@@ -1,0 +1,45 @@
+// Reproduces paper Figure 7: end-to-end latency with pooled input buffering
+// and unaligned application buffers.
+//
+// Paper: the semantics split into three clusters by number of copies —
+// system-allocated (0 copies, ~121 Mbps at 60 KB), other application-
+// allocated (1 copy at the receiver, ~92 Mbps), and copy (2 copies,
+// 77 Mbps).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace genie {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 7: latency, unaligned pooled input buffering (us) ===\n\n");
+  ExperimentConfig config;
+  config.buffering = InputBuffering::kPooled;
+  config.dst_page_offset = 1000;  // Unaligned application receive buffers.
+  const auto lengths = PageMultipleLengths();
+  const auto results = RunAllSemantics(config, lengths);
+
+  PrintLatencySeries(results, "One-way latency (us)", PickLatency);
+
+  std::printf("\n60 KB throughput clusters (paper: copy 77; other app-allocated ~92;\n");
+  std::printf("system-allocated 121 Mbps):\n");
+  TextTable table;
+  table.AddHeader({"semantics", "copies", "throughput (Mbps)"});
+  for (const auto& [sem, run] : results) {
+    const char* copies = sem == Semantics::kCopy          ? "2"
+                         : IsApplicationAllocated(sem)    ? "1"
+                                                          : "0";
+    table.AddRow({std::string(SemanticsName(sem)), copies,
+                  FormatDouble(SampleFor(run, 61440).throughput_mbps, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace genie
+
+int main() {
+  genie::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces paper Table 6: costs of primitive data-passing operations,
+// obtained exactly as the paper did — by instrumenting the Genie code while
+// running the Figure 3/6/7 experiments and least-squares fitting each
+// operation's latency against datagram length.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/analysis/linear_fit.h"
+
+namespace genie {
+namespace {
+
+struct PaperLine {
+  double slope;
+  double intercept;
+};
+
+// Table 6 rows (Micron P166, microseconds, B = bytes).
+const std::map<OpKind, PaperLine> kPaperTable6 = {
+    {OpKind::kCopyin, {0.0180, -3}},
+    {OpKind::kCopyout, {0.0220, 15}},
+    {OpKind::kReference, {0.000363, 5}},
+    {OpKind::kUnreference, {0.000100, 2}},
+    {OpKind::kWire, {0.00141, 18}},
+    {OpKind::kUnwire, {0.000237, 10}},
+    {OpKind::kReadOnly, {0.000367, 2}},
+    {OpKind::kInvalidate, {0.000373, 2}},
+    {OpKind::kSwap, {0.00163, 15}},
+    {OpKind::kRegionCreate, {0, 24}},
+    {OpKind::kRegionFill, {0.000398, 9}},
+    {OpKind::kRegionFillOverlayRefill, {0.000716, 11}},
+    {OpKind::kRegionMap, {0.000474, 6}},
+    {OpKind::kRegionMarkOut, {0, 3}},
+    {OpKind::kRegionMarkIn, {0, 1}},
+    {OpKind::kRegionCheck, {0, 5}},
+    {OpKind::kRegionCheckUnrefReinstateMarkIn, {0.000507, 11}},
+    {OpKind::kRegionCheckUnrefMarkIn, {0.000194, 6}},
+    {OpKind::kOverlayAllocate, {0, 7}},
+    {OpKind::kOverlay, {0, 7}},
+    {OpKind::kOverlayDeallocate, {0.000344, 12}},
+};
+
+void Run() {
+  std::printf("=== Table 6: costs of primitive data-passing operations (us) ===\n");
+  std::printf("Measured by instrumenting Genie across the Figure 3/6/7 sweeps and\n");
+  std::printf("fitting each operation's charged latency vs datagram length.\n\n");
+
+  // Gather op samples across all semantics and the three experiments'
+  // buffering/alignment settings, as the paper did.
+  std::map<OpKind, std::vector<std::pair<double, double>>> samples;
+  const auto lengths = PageMultipleLengths();
+  struct Setting {
+    InputBuffering buffering;
+    std::uint32_t dst_offset;
+  };
+  const Setting settings[] = {{InputBuffering::kEarlyDemux, 0},
+                              {InputBuffering::kPooled, 0},
+                              {InputBuffering::kPooled, 1000}};
+  for (const Setting& setting : settings) {
+    ExperimentConfig config;
+    config.buffering = setting.buffering;
+    config.dst_page_offset = setting.dst_offset;
+    config.collect_op_samples = true;
+    config.repetitions = 2;
+    for (const Semantics sem : kAllSemantics) {
+      Experiment experiment(config);
+      const RunResult run = experiment.Run(sem, lengths);
+      for (const auto& [op, points] : run.op_samples) {
+        for (const auto& [bytes, us] : points) {
+          samples[op].emplace_back(static_cast<double>(bytes), us);
+        }
+      }
+    }
+  }
+
+  TextTable table;
+  table.AddHeader({"operation", "fit (us)", "paper Table 6", "samples", "R^2"});
+  for (const auto& [op, points] : samples) {
+    const LinearFit fit = FitLine(points);
+    std::string fitted;
+    if (fit.slope > 1e-7) {
+      fitted = FormatDouble(fit.slope, 6) + " B + " + FormatDouble(fit.intercept, 0);
+    } else {
+      fitted = FormatDouble(fit.intercept, 0);
+    }
+    std::string paper = "(not a Table 6 row)";
+    if (auto it = kPaperTable6.find(op); it != kPaperTable6.end()) {
+      if (it->second.slope > 0) {
+        paper = FormatDouble(it->second.slope, 6) + " B + " + FormatDouble(it->second.intercept, 0);
+      } else {
+        paper = FormatDouble(it->second.intercept, 0);
+      }
+    }
+    table.AddRow({std::string(OpKindName(op)), fitted, paper, std::to_string(points.size()),
+                  FormatDouble(fit.r2, 4)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nNote: copyin's negative intercept is clamped at zero when charged\n");
+  std::printf("(warm-cache L1/L2 effect in the paper), so its fitted intercept may\n");
+  std::printf("sit slightly above the paper's -3.\n");
+}
+
+}  // namespace
+}  // namespace genie
+
+int main() {
+  genie::Run();
+  return 0;
+}

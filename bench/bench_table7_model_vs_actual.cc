@@ -1,0 +1,67 @@
+// Reproduces paper Table 7: estimated (E) vs actual (A) end-to-end latency
+// lines for every semantics under early demultiplexing, application-aligned
+// pooled, and unaligned pooled input buffering.
+//
+// E comes from the analytic breakdown model (base latency + Table 2 prepare
+// + Table 3/4 receiver critical-path operations); A is a least-squares fit
+// of latencies measured in the simulator. Close agreement validates the
+// overlap structure of the breakdown model.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/latency_model.h"
+#include "src/analysis/linear_fit.h"
+
+namespace genie {
+namespace {
+
+void RunSetting(const char* title, InputBuffering buffering, std::uint32_t dst_offset) {
+  std::printf("--- %s ---\n", title);
+  ExperimentConfig config;
+  config.buffering = buffering;
+  config.dst_page_offset = dst_offset;
+  config.repetitions = 3;
+  const CostModel cost(config.profile);
+  const auto lengths = PageMultipleLengths();
+
+  TextTable table;
+  table.AddHeader({"semantics", "E slope", "E intercept", "A slope", "A intercept", "A R^2"});
+  for (const Semantics sem : kAllSemantics) {
+    Experiment experiment(config);
+    const RunResult run = experiment.Run(sem, lengths);
+    std::vector<std::pair<double, double>> pts;
+    for (const LatencySample& s : run.samples) {
+      pts.emplace_back(static_cast<double>(s.bytes), s.latency_us);
+    }
+    const LinearFit actual = FitLine(pts);
+    const LatencyLine estimated =
+        EstimateLatencyLine(cost, sem, buffering, dst_offset == 0);
+    table.AddRow({std::string(SemanticsName(sem)),
+                  FormatDouble(estimated.slope_us_per_byte, 4),
+                  FormatDouble(estimated.intercept_us, 0), FormatDouble(actual.slope, 4),
+                  FormatDouble(actual.intercept, 0), FormatDouble(actual.r2, 5)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Run() {
+  std::printf("=== Table 7: estimated (E) and actual (A) end-to-end latencies ===\n");
+  std::printf("Lines are latency_us = slope * B + intercept, B in bytes.\n");
+  std::printf("Paper values (E/A) for early demultiplexing: copy 0.0997B+141 /\n");
+  std::printf("0.0998B+125; emulated copy 0.0621B+153 / 0.0622B+150; share 0.0619B+165\n");
+  std::printf("/ 0.0621B+162; emulated share 0.0602B+137 / 0.0600B+137; move\n");
+  std::printf("0.0628B+197 / 0.0626B+202; emulated move 0.0610B+151 / 0.0609B+150;\n");
+  std::printf("weak move 0.0620B+173 / 0.0615B+170; emulated weak move 0.0603B+144 /\n");
+  std::printf("0.0602B+143.\n\n");
+  RunSetting("Early demultiplexing", InputBuffering::kEarlyDemux, 0);
+  RunSetting("Application-aligned pooled", InputBuffering::kPooled, 0);
+  RunSetting("Unaligned pooled", InputBuffering::kPooled, 1000);
+}
+
+}  // namespace
+}  // namespace genie
+
+int main() {
+  genie::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces paper Table 8: scaling of data-passing costs on the Gateway
+// P5-90 and the AlphaStation 255/233 relative to the Micron P166 baseline,
+// grouped by parameter class (memory-, cache-, CPU-dominated), against the
+// bounds estimated from machine specifications (paper Table 5).
+//
+// Also re-measures cross-platform end-to-end behavior: the simulator runs
+// the Figure 3 sweep on each profile and fits the lines, verifying that the
+// performance clustering is platform-independent ("results for the other
+// platforms were similar").
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/linear_fit.h"
+#include "src/analysis/scaling_model.h"
+
+namespace genie {
+namespace {
+
+void PrintProfile(const MachineProfile& p) {
+  std::printf("  %-22s SPECint %.2f, mem copy %.0f Mbps, L2 copy %.0f Mbps, page %u B\n",
+              p.name.c_str(), p.spec_int, p.mem_copy_bw_mbps, p.l2_copy_bw_mbps, p.page_size);
+}
+
+void PrintScaling(const char* name, const MachineProfile& target) {
+  const MachineProfile base = MachineProfile::MicronP166();
+  const CostModel base_cost(base);
+  const CostModel target_cost(target);
+  const ScalingReport report = ComputeScaling(base_cost, target_cost);
+  const EstimatedScaling est = EstimateScalingBounds(base, target);
+
+  std::printf("--- %s ---\n", name);
+  TextTable table;
+  table.AddHeader({"parameter class", "estimated", "GM", "min", "max", "n"});
+  table.AddRow({"Memory-dominated", FormatDouble(est.memory, 2),
+                FormatDouble(report.memory_dominated.geometric_mean, 2),
+                FormatDouble(report.memory_dominated.min, 2),
+                FormatDouble(report.memory_dominated.max, 2),
+                std::to_string(report.memory_dominated.count)});
+  table.AddRow({"Cache-dominated",
+                "> " + FormatDouble(est.cache_low, 2) + ", < " + FormatDouble(est.cache_high, 2),
+                FormatDouble(report.cache_dominated.geometric_mean, 2),
+                FormatDouble(report.cache_dominated.min, 2),
+                FormatDouble(report.cache_dominated.max, 2),
+                std::to_string(report.cache_dominated.count)});
+  table.AddRow({"CPU-dominated mult. factor", "> " + FormatDouble(est.cpu_low, 2),
+                FormatDouble(report.cpu_mult_factor.geometric_mean, 2),
+                FormatDouble(report.cpu_mult_factor.min, 2),
+                FormatDouble(report.cpu_mult_factor.max, 2),
+                std::to_string(report.cpu_mult_factor.count)});
+  table.AddRow({"CPU-dominated fixed term", "> " + FormatDouble(est.cpu_low, 2),
+                FormatDouble(report.cpu_fixed_term.geometric_mean, 2),
+                FormatDouble(report.cpu_fixed_term.min, 2),
+                FormatDouble(report.cpu_fixed_term.max, 2),
+                std::to_string(report.cpu_fixed_term.count)});
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void CrossPlatformClustering(const MachineProfile& profile) {
+  ExperimentConfig config;
+  config.profile = profile;
+  config.repetitions = 2;
+  const std::uint64_t sixty_kb = 60 * 1024 / profile.page_size * profile.page_size;
+  const std::vector<std::uint64_t> lengths = {sixty_kb};
+  double copy_latency = 0;
+  double non_copy_max = 0;
+  for (const Semantics sem : kAllSemantics) {
+    Experiment experiment(config);
+    const double l = experiment.Run(sem, lengths).samples[0].latency_us;
+    if (sem == Semantics::kCopy) {
+      copy_latency = l;
+    } else {
+      non_copy_max = std::max(non_copy_max, l);
+    }
+  }
+  std::printf("  %-22s copy %.0f us vs worst non-copy %.0f us (+%.0f%%): clustering %s\n",
+              profile.name.c_str(), copy_latency, non_copy_max,
+              (copy_latency - non_copy_max) / non_copy_max * 100.0,
+              copy_latency > non_copy_max * 1.15 ? "holds" : "BROKEN");
+}
+
+void Run() {
+  std::printf("=== Table 8: scaling of data-passing costs relative to the Micron P166 ===\n\n");
+  std::printf("Machine profiles (paper Table 5):\n");
+  PrintProfile(MachineProfile::MicronP166());
+  PrintProfile(MachineProfile::GatewayP5_90());
+  PrintProfile(MachineProfile::AlphaStation255());
+  std::printf("\nPaper Table 8 (Gateway P5-90): memory est 2.40 meas 2.43; cache est\n");
+  std::printf("(1.44, 3.33) meas 2.46; CPU mult est >1.57 GM 1.79 [1.58, 1.92]; CPU\n");
+  std::printf("fixed GM 1.83 [1.53, 2.59].\n");
+  std::printf("Paper Table 8 (AlphaStation): memory est 1.00 meas 0.83; cache est\n");
+  std::printf("(0.26, 1.39) meas 0.54; CPU mult est >1.30 GM 1.64 [0.75, 3.77]; CPU\n");
+  std::printf("fixed GM 1.54 [0.47, 3.74].\n\n");
+
+  PrintScaling("Gateway P5-90", MachineProfile::GatewayP5_90());
+  PrintScaling("AlphaStation 255/233", MachineProfile::AlphaStation255());
+
+  std::printf("Cross-platform sanity (paper: \"results for the other platforms were\n");
+  std::printf("similar\" - copy distinctly worst everywhere):\n");
+  CrossPlatformClustering(MachineProfile::MicronP166());
+  CrossPlatformClustering(MachineProfile::GatewayP5_90());
+  CrossPlatformClustering(MachineProfile::AlphaStation255());
+}
+
+}  // namespace
+}  // namespace genie
+
+int main() {
+  genie::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// figures and tables.
+#ifndef GENIE_BENCH_BENCH_UTIL_H_
+#define GENIE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/genie/semantics.h"
+#include "src/harness/experiment.h"
+#include "src/util/table.h"
+
+namespace genie {
+
+// Runs the sweep for every semantics and returns semantics -> samples.
+inline std::map<Semantics, RunResult> RunAllSemantics(const ExperimentConfig& config,
+                                                      std::span<const std::uint64_t> lengths) {
+  std::map<Semantics, RunResult> results;
+  for (const Semantics sem : kAllSemantics) {
+    Experiment experiment(config);
+    results[sem] = experiment.Run(sem, lengths);
+  }
+  return results;
+}
+
+// Prints one figure-style series table: rows = lengths, columns = semantics.
+inline void PrintLatencySeries(const std::map<Semantics, RunResult>& results,
+                               const std::string& value_label,
+                               double (*pick)(const LatencySample&)) {
+  TextTable table;
+  std::vector<std::string> header = {"bytes"};
+  for (const auto& [sem, run] : results) {
+    header.emplace_back(SemanticsName(sem));
+  }
+  table.AddHeader(std::move(header));
+  const RunResult& first = results.begin()->second;
+  for (std::size_t i = 0; i < first.samples.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(first.samples[i].bytes)};
+    for (const auto& [sem, run] : results) {
+      row.push_back(FormatDouble(pick(run.samples[i]), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s (columns per semantics)\n", value_label.c_str());
+  std::printf("%s", table.ToString().c_str());
+}
+
+inline double PickLatency(const LatencySample& s) { return s.latency_us; }
+inline double PickThroughput(const LatencySample& s) { return s.throughput_mbps; }
+inline double PickReceiverUtilPercent(const LatencySample& s) {
+  return s.receiver_utilization * 100.0;
+}
+inline double PickSenderUtilPercent(const LatencySample& s) {
+  return s.sender_utilization * 100.0;
+}
+
+inline const LatencySample& SampleFor(const RunResult& run, std::uint64_t bytes) {
+  for (const LatencySample& s : run.samples) {
+    if (s.bytes == bytes) {
+      return s;
+    }
+  }
+  std::fprintf(stderr, "no sample for %llu bytes\n", static_cast<unsigned long long>(bytes));
+  std::abort();
+}
+
+}  // namespace genie
+
+#endif  // GENIE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,91 @@
+// Example: RPC-style request/response over Genie. A client sends a small
+// request; the server answers with a bulk reply. Round-trip time combines
+// the short-datagram regime (requests ride the copy-conversion fast path)
+// with the bulk regime (replies win from copy avoidance) — the two ends of
+// the paper's Figure 5 and Figure 3 in one workload.
+//
+//   build/examples/rpc_pingpong
+#include <cstdio>
+#include <vector>
+
+#include "src/genie/endpoint.h"
+#include "src/genie/node.h"
+#include "src/sim/engine.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace genie;
+
+constexpr Vaddr kReq = 0x20000000;
+constexpr Vaddr kResp = 0x30000000;
+constexpr std::uint64_t kRequestBytes = 128;
+constexpr std::uint64_t kResponseBytes = 48 * 1024;
+constexpr int kCalls = 8;
+
+Task<void> Server(Endpoint& ep, AddressSpace& app, Semantics sem) {
+  std::vector<std::byte> response(kResponseBytes, std::byte{0x42});
+  for (int i = 0; i < kCalls; ++i) {
+    const InputResult req = co_await ep.Input(app, kReq, kRequestBytes, sem);
+    GENIE_CHECK(req.ok);
+    // "Handle" the request, then reply.
+    (void)app.Write(kResp, response);
+    co_await ep.Output(app, kResp, kResponseBytes, sem);
+  }
+}
+
+Task<void> Client(Engine& engine, Endpoint& ep, AddressSpace& app, Semantics sem,
+                  double* mean_rtt_us) {
+  std::vector<std::byte> request(kRequestBytes, std::byte{0x01});
+  double sum = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    const SimTime t0 = engine.now();
+    (void)app.Write(kReq, request);
+    co_await ep.Output(app, kReq, kRequestBytes, sem);
+    const InputResult resp = co_await ep.Input(app, kResp, kResponseBytes, sem);
+    GENIE_CHECK(resp.ok);
+    sum += SimTimeToMicros(resp.completed_at - t0);
+  }
+  *mean_rtt_us = sum / kCalls;
+}
+
+double RunRpc(Semantics sem) {
+  Engine engine;
+  Node client_host(engine, "client", Node::Config{});
+  Node server_host(engine, "server", Node::Config{});
+  Network net(engine, client_host, server_host);
+  Endpoint client_ep(client_host, 1);
+  Endpoint server_ep(server_host, 1);
+  AddressSpace& client_app = client_host.CreateProcess("client");
+  AddressSpace& server_app = server_host.CreateProcess("server");
+  client_app.CreateRegion(kReq, 4096);
+  client_app.CreateRegion(kResp, 64 * 1024);
+  server_app.CreateRegion(kReq, 4096);
+  server_app.CreateRegion(kResp, 64 * 1024);
+
+  double mean_rtt = 0;
+  std::move(Server(server_ep, server_app, sem)).Detach();
+  std::move(Client(engine, client_ep, client_app, sem, &mean_rtt)).Detach();
+  engine.Run();
+  return mean_rtt;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RPC ping-pong: %llu-byte requests, %llu-byte responses, %d calls.\n\n",
+              static_cast<unsigned long long>(kRequestBytes),
+              static_cast<unsigned long long>(kResponseBytes), kCalls);
+  TextTable table;
+  table.AddHeader({"semantics", "mean round trip (us)"});
+  for (const Semantics sem : {Semantics::kCopy, Semantics::kEmulatedCopy, Semantics::kShare,
+                              Semantics::kEmulatedShare}) {
+    table.AddRow({std::string(SemanticsName(sem)), FormatDouble(RunRpc(sem), 0)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nThe tiny request costs the same everywhere (short outputs convert to\n"
+      "copy semantics); the bulk response is where emulated copy earns its\n"
+      "keep - with the exact same RPC stub code the copy version uses.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Example: a guided tour of the taxonomy (paper Section 2). For each
+// dimension this program runs a small scenario and prints what the
+// application actually observes: what overwriting an output buffer does,
+// what a racing reader sees during input, and how the system-allocated API
+// differs from the application-allocated one.
+//
+//   build/examples/semantics_tour
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/genie/endpoint.h"
+#include "src/genie/node.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+using namespace genie;
+
+constexpr Vaddr kBuf = 0x20000000;
+constexpr std::uint64_t kLen = 8 * 4096;
+
+struct Tour {
+  Tour()
+      : sender(engine, "tx", Node::Config{}),
+        receiver(engine, "rx", Node::Config{}),
+        network(engine, sender, receiver),
+        tx(sender, 1),
+        rx(receiver, 1),
+        tx_app(sender.CreateProcess("app")),
+        rx_app(receiver.CreateProcess("app")) {
+    tx_app.CreateRegion(kBuf, 16 * 4096);
+    rx_app.CreateRegion(kBuf, 16 * 4096);
+  }
+
+  InputResult Send(Semantics sem, Vaddr src = kBuf) {
+    InputResult result;
+    auto in = [](Endpoint& ep, AddressSpace& app, Semantics s, InputResult* out) -> Task<void> {
+      if (IsSystemAllocated(s)) {
+        *out = co_await ep.InputSystemAllocated(app, kLen, s);
+      } else {
+        *out = co_await ep.Input(app, kBuf, kLen, s);
+      }
+    };
+    std::move(in(rx, rx_app, sem, &result)).Detach();
+    std::move(tx.Output(tx_app, src, kLen, sem)).Detach();
+    engine.Run();
+    return result;
+  }
+
+  unsigned char FirstByteAt(AddressSpace& app, Vaddr va) {
+    std::byte b{};
+    (void)app.Read(va, std::span(&b, 1));
+    return static_cast<unsigned char>(b);
+  }
+
+  Engine engine;
+  Node sender;
+  Node receiver;
+  Network network;
+  Endpoint tx;
+  Endpoint rx;
+  AddressSpace& tx_app;
+  AddressSpace& rx_app;
+};
+
+void FillBuffer(AddressSpace& app, Vaddr va, unsigned char v) {
+  std::vector<std::byte> data(kLen, static_cast<std::byte>(v));
+  (void)app.Write(va, data);
+}
+
+void DimensionIntegrity() {
+  std::printf("--- Dimension: guaranteed integrity (strong vs weak) ---\n");
+  std::printf("The sender overwrites its buffer midway through transmission.\n\n");
+  for (const Semantics sem : {Semantics::kEmulatedCopy, Semantics::kEmulatedShare}) {
+    Tour t;
+    FillBuffer(t.tx_app, kBuf, 0xAA);
+    t.engine.ScheduleAt(MicrosToSimTime(1500), [&] { FillBuffer(t.tx_app, kBuf, 0xEE); });
+    const InputResult r = t.Send(sem);
+    const unsigned char first = t.FirstByteAt(t.rx_app, r.addr);
+    const unsigned char last = t.FirstByteAt(t.rx_app, r.addr + kLen - 1);
+    std::printf("  %-18s receiver saw first=0x%02X last=0x%02X -> %s\n",
+                std::string(SemanticsName(sem)).c_str(),
+                first, last,
+                (first == 0xAA && last == 0xAA)
+                    ? "snapshot of output call (strong)"
+                    : "late pages corrupted by the overwrite (weak)");
+    if (sem == Semantics::kEmulatedCopy) {
+      std::printf("  %-18s (TCOW copied %llu page(s) when the writer faulted)\n", "",
+                  static_cast<unsigned long long>(t.tx_app.counters().tcow_copies));
+    }
+  }
+  std::printf("\n");
+}
+
+void DimensionAllocation() {
+  std::printf("--- Dimension: buffer allocation (application vs system) ---\n\n");
+  {
+    Tour t;
+    FillBuffer(t.tx_app, kBuf, 0x11);
+    const InputResult r = t.Send(Semantics::kEmulatedCopy);
+    std::printf("  emulated copy      the application chose the input location: 0x%llx\n",
+                static_cast<unsigned long long>(r.addr));
+  }
+  {
+    Tour t;
+    const Vaddr out_buf = t.tx.AllocateIoBuffer(t.tx_app, kLen);
+    FillBuffer(t.tx_app, out_buf, 0x22);
+    const InputResult r = t.Send(Semantics::kEmulatedMove, out_buf);
+    std::printf("  emulated move      the SYSTEM chose the input location:      0x%llx\n",
+                static_cast<unsigned long long>(r.addr));
+    std::byte probe{};
+    const AccessResult res = t.tx_app.Read(out_buf, std::span(&probe, 1));
+    std::printf("  emulated move      sender's buffer after output: %s\n",
+                res == AccessResult::kOk ? "still accessible (?)"
+                                         : "gone - unrecoverable fault (moved out)");
+  }
+  std::printf("\n");
+}
+
+void DimensionOptimization() {
+  std::printf("--- Dimension: level of optimization (basic vs emulated) ---\n\n");
+  for (const Semantics sem : {Semantics::kCopy, Semantics::kEmulatedCopy}) {
+    Tour t;
+    FillBuffer(t.tx_app, kBuf, 0x33);
+    const SimTime t0 = t.engine.now();
+    const InputResult r = t.Send(sem);
+    std::printf("  %-18s 32 KB datagram in %6.0f us, %llu pages swapped, %llu bytes copied\n",
+                std::string(SemanticsName(sem)).c_str(), SimTimeToMicros(r.completed_at - t0),
+                static_cast<unsigned long long>(t.rx.stats().pages_swapped),
+                static_cast<unsigned long long>(t.rx.stats().bytes_copied +
+                                                t.tx.stats().outputs_converted_to_copy * kLen));
+  }
+  std::printf("\n  Same API, same guarantees - the emulated version simply avoids the\n");
+  std::printf("  copies (TCOW on output, aligned page swapping on input).\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A tour of the data-passing taxonomy (paper Figure 1).\n\n");
+  DimensionIntegrity();
+  DimensionAllocation();
+  DimensionOptimization();
+  std::printf("Conclusion (paper Section 10): emulated copy gives copy's API and\n");
+  std::printf("integrity with the performance of the best semantics in the taxonomy.\n");
+  return 0;
+}

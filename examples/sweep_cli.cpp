@@ -1,0 +1,167 @@
+// Command-line experiment runner: sweep any semantics / buffering scheme /
+// machine profile / link rate without writing code.
+//
+//   build/examples/sweep_cli --semantics=emulated-copy --buffering=pooled
+//       --profile=alpha --offset=1000 --lengths=4096,16384,61440 --reps=5
+//
+// Flags (all optional):
+//   --semantics=S   copy | emulated-copy | share | emulated-share | move |
+//                   emulated-move | weak-move | emulated-weak-move | all
+//   --buffering=B   early-demux | pooled | outboard
+//   --profile=P     p166 | p90 | alpha
+//   --link=MBPS     effective AAL5 payload link rate (default OC-3 ~ 133.8)
+//   --offset=N      receive-buffer page offset in bytes (unaligned runs)
+//   --lengths=L,..  datagram lengths in bytes (default: page multiples)
+//   --reps=N        measured repetitions per point (default 5)
+//   --trace=FILE    write a chrome://tracing JSON of the final run
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/latency_model.h"
+#include "src/harness/experiment.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace genie;
+
+std::optional<std::string> FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Semantics> ParseSemantics(const std::string& s) {
+  for (const Semantics sem : kAllSemantics) {
+    std::string name(SemanticsName(sem));
+    for (char& c : name) {
+      if (c == ' ') {
+        c = '-';
+      }
+    }
+    if (s == name) {
+      return sem;
+    }
+  }
+  return std::nullopt;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--semantics=S|all] [--buffering=early-demux|pooled|outboard]\n"
+               "          [--profile=p166|p90|alpha] [--link=MBPS] [--offset=BYTES]\n"
+               "          [--lengths=N,N,...] [--reps=N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  std::vector<Semantics> semantics = {Semantics::kEmulatedCopy};
+
+  if (const auto v = FlagValue(argc, argv, "semantics")) {
+    if (*v == "all") {
+      semantics.assign(kAllSemantics.begin(), kAllSemantics.end());
+    } else if (const auto sem = ParseSemantics(*v)) {
+      semantics = {*sem};
+    } else {
+      std::fprintf(stderr, "unknown semantics '%s'\n", v->c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (const auto v = FlagValue(argc, argv, "buffering")) {
+    if (*v == "early-demux") {
+      config.buffering = InputBuffering::kEarlyDemux;
+    } else if (*v == "pooled") {
+      config.buffering = InputBuffering::kPooled;
+    } else if (*v == "outboard") {
+      config.buffering = InputBuffering::kOutboard;
+    } else {
+      std::fprintf(stderr, "unknown buffering '%s'\n", v->c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (const auto v = FlagValue(argc, argv, "profile")) {
+    if (*v == "p166") {
+      config.profile = MachineProfile::MicronP166();
+    } else if (*v == "p90") {
+      config.profile = MachineProfile::GatewayP5_90();
+    } else if (*v == "alpha") {
+      config.profile = MachineProfile::AlphaStation255();
+    } else {
+      std::fprintf(stderr, "unknown profile '%s'\n", v->c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (const auto v = FlagValue(argc, argv, "link")) {
+    config.profile = config.profile.WithEffectiveLinkMbps(std::stod(*v));
+  }
+  if (const auto v = FlagValue(argc, argv, "offset")) {
+    config.dst_page_offset = static_cast<std::uint32_t>(std::stoul(*v));
+  }
+  if (const auto v = FlagValue(argc, argv, "reps")) {
+    config.repetitions = std::stoi(*v);
+  }
+  std::vector<std::uint64_t> lengths;
+  if (const auto v = FlagValue(argc, argv, "lengths")) {
+    std::size_t pos = 0;
+    while (pos < v->size()) {
+      std::size_t next = v->find(',', pos);
+      if (next == std::string::npos) {
+        next = v->size();
+      }
+      lengths.push_back(std::stoull(v->substr(pos, next - pos)));
+      pos = next + 1;
+    }
+  } else {
+    lengths = PageMultipleLengths(config.profile.page_size);
+  }
+
+  std::printf("profile=%s  link=%.1f Mbps  buffering=%s  rx offset=%u  reps=%d\n\n",
+              config.profile.name.c_str(), config.profile.effective_link_mbps(),
+              std::string(InputBufferingName(config.buffering)).c_str(),
+              config.dst_page_offset, config.repetitions);
+
+  const CostModel cost(config.profile);
+  const auto trace_file = FlagValue(argc, argv, "trace");
+  for (const Semantics sem : semantics) {
+    Experiment experiment(config);
+    const RunResult run = experiment.Run(sem, lengths);
+    std::printf("--- %s ---\n", std::string(SemanticsName(sem)).c_str());
+    TextTable table;
+    table.AddHeader({"bytes", "latency (us)", "model (us)", "tput (Mbps)", "rx CPU (%)"});
+    for (const LatencySample& s : run.samples) {
+      const double model = EstimateLatencyUs(cost, config.options, sem, config.buffering,
+                                             config.dst_page_offset, s.bytes);
+      table.AddRow({std::to_string(s.bytes), FormatDouble(s.latency_us, 1),
+                    FormatDouble(model, 1), FormatDouble(s.throughput_mbps, 1),
+                    FormatDouble(s.receiver_utilization * 100, 1)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  if (trace_file) {
+    // Trace one representative transfer (the largest length, first
+    // semantics) and dump it for chrome://tracing / Perfetto.
+    TraceLog trace;
+    Testbed bed(config);
+    bed.sender().set_trace(&trace);
+    bed.receiver().set_trace(&trace);
+    bed.TransferOnce(lengths.back(), semantics.front());
+    std::ofstream out(*trace_file);
+    trace.WriteJson(out);
+    std::printf("trace of one %llu-byte %s transfer written to %s\n",
+                static_cast<unsigned long long>(lengths.back()),
+                std::string(SemanticsName(semantics.front())).c_str(), trace_file->c_str());
+  }
+  return 0;
+}

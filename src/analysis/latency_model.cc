@@ -1,0 +1,387 @@
+#include "src/analysis/latency_model.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+namespace {
+
+// How many bytes of an input dispose move by swap vs copy under the
+// reverse-copyout rule (Section 5.2), for a buffer of `bytes` starting at
+// `page_offset` within its page.
+struct Split {
+  std::uint64_t swapped = 0;
+  std::uint64_t copied = 0;
+};
+
+Split SwapCopySplit(std::uint64_t bytes, std::uint32_t page_offset, std::uint32_t page_size,
+                    std::uint64_t threshold) {
+  Split split;
+  std::uint64_t pos = 0;
+  std::uint32_t off = page_offset;
+  while (pos < bytes) {
+    const std::uint64_t filled = std::min<std::uint64_t>(page_size - off, bytes - pos);
+    if (off == 0 && filled == page_size) {
+      split.swapped += filled;
+    } else if (filled <= threshold) {
+      split.copied += filled;
+    } else {
+      split.copied += page_size - filled;  // Reverse copyout completion.
+      split.swapped += filled;
+    }
+    pos += filled;
+    off = 0;
+  }
+  return split;
+}
+
+Semantics EffectiveOutputSemantics(const GenieOptions& options, Semantics sem,
+                                   std::uint64_t bytes) {
+  if (!options.enable_copy_conversion) {
+    return sem;
+  }
+  if (sem == Semantics::kEmulatedCopy && bytes < options.emulated_copy_output_threshold) {
+    return Semantics::kCopy;
+  }
+  if (sem == Semantics::kEmulatedShare && bytes < options.emulated_share_output_threshold) {
+    return Semantics::kCopy;
+  }
+  return sem;
+}
+
+double ClampedCostUs(const CostModel& cost, OpKind op, std::uint64_t bytes) {
+  return std::max(cost.CostUs(op, bytes), 0.0);
+}
+
+std::uint64_t CeilBytes(std::uint64_t bytes, std::uint32_t page_size) {
+  return (bytes + page_size - 1) / page_size * page_size;
+}
+
+double SenderPrepareUs(const CostModel& cost, Semantics effective, std::uint64_t b) {
+  double us = 0.0;
+  switch (effective) {
+    case Semantics::kCopy:
+      us += ClampedCostUs(cost, OpKind::kOverlayAllocate, 0);  // System buffer.
+      us += ClampedCostUs(cost, OpKind::kCopyin, b);
+      break;
+    case Semantics::kEmulatedCopy:
+      us += ClampedCostUs(cost, OpKind::kReference, b);
+      us += ClampedCostUs(cost, OpKind::kReadOnly, b);
+      break;
+    case Semantics::kShare:
+      us += ClampedCostUs(cost, OpKind::kReference, b);
+      us += ClampedCostUs(cost, OpKind::kWire, b);
+      break;
+    case Semantics::kEmulatedShare:
+      us += ClampedCostUs(cost, OpKind::kReference, b);
+      break;
+    case Semantics::kMove:
+      us += ClampedCostUs(cost, OpKind::kReference, b);
+      us += ClampedCostUs(cost, OpKind::kWire, b);
+      us += ClampedCostUs(cost, OpKind::kRegionMarkOut, 0);
+      us += ClampedCostUs(cost, OpKind::kInvalidate, b);
+      break;
+    case Semantics::kEmulatedMove:
+      us += ClampedCostUs(cost, OpKind::kReference, b);
+      us += ClampedCostUs(cost, OpKind::kRegionMarkOut, 0);
+      us += ClampedCostUs(cost, OpKind::kInvalidate, b);
+      break;
+    case Semantics::kWeakMove:
+      us += ClampedCostUs(cost, OpKind::kReference, b);
+      us += ClampedCostUs(cost, OpKind::kWire, b);
+      us += ClampedCostUs(cost, OpKind::kRegionMarkOut, 0);
+      break;
+    case Semantics::kEmulatedWeakMove:
+      us += ClampedCostUs(cost, OpKind::kReference, b);
+      us += ClampedCostUs(cost, OpKind::kRegionMarkOut, 0);
+      break;
+  }
+  return us;
+}
+
+// Receiver dispose for early-demultiplexed / outboard DMA targets (Table 3).
+double ReceiverDisposeTable3Us(const CostModel& cost, const GenieOptions& options,
+                               Semantics sem, std::uint32_t dst_page_offset, std::uint64_t b) {
+  const std::uint32_t psz = cost.profile().page_size;
+  double us = 0.0;
+  switch (sem) {
+    case Semantics::kCopy:
+      us += ClampedCostUs(cost, OpKind::kCopyout, b);
+      break;
+    case Semantics::kEmulatedCopy: {
+      if (options.enable_input_alignment || dst_page_offset == 0) {
+        const Split split =
+            SwapCopySplit(b, dst_page_offset, psz, options.reverse_copyout_threshold);
+        if (split.swapped > 0) {
+          us += ClampedCostUs(cost, OpKind::kSwap, split.swapped);
+        }
+        if (split.copied > 0) {
+          us += ClampedCostUs(cost, OpKind::kCopyout, split.copied);
+        }
+      } else {
+        us += ClampedCostUs(cost, OpKind::kCopyout, b);
+      }
+      break;
+    }
+    case Semantics::kShare:
+      us += ClampedCostUs(cost, OpKind::kUnwire, b);
+      us += ClampedCostUs(cost, OpKind::kUnreference, b);
+      break;
+    case Semantics::kEmulatedShare:
+      us += ClampedCostUs(cost, OpKind::kUnreference, b);
+      break;
+    case Semantics::kMove:
+      us += ClampedCostUs(cost, OpKind::kRegionCreate, 0);
+      us += ClampedCostUs(cost, OpKind::kZeroFill, CeilBytes(b, psz) - b);
+      us += ClampedCostUs(cost, OpKind::kRegionFill, b);
+      us += ClampedCostUs(cost, OpKind::kRegionMap, b);
+      break;
+    case Semantics::kEmulatedMove:
+      us += ClampedCostUs(cost, OpKind::kRegionCheckUnrefReinstateMarkIn, b);
+      break;
+    case Semantics::kWeakMove:
+      us += ClampedCostUs(cost, OpKind::kRegionCheck, 0);
+      us += ClampedCostUs(cost, OpKind::kUnwire, b);
+      us += ClampedCostUs(cost, OpKind::kUnreference, b);
+      us += ClampedCostUs(cost, OpKind::kRegionMarkIn, 0);
+      break;
+    case Semantics::kEmulatedWeakMove:
+      us += ClampedCostUs(cost, OpKind::kRegionCheckUnrefMarkIn, b);
+      break;
+  }
+  return us;
+}
+
+// Receiver ready + dispose for pooled overlay buffers (Table 4).
+double ReceiverPooledUs(const CostModel& cost, const GenieOptions& options, Semantics sem,
+                        std::uint32_t dst_page_offset, std::uint64_t b) {
+  const std::uint32_t psz = cost.profile().page_size;
+  double us = ClampedCostUs(cost, OpKind::kOverlayAllocate, 0) +
+              ClampedCostUs(cost, OpKind::kOverlay, 0);
+  const bool aligned = dst_page_offset == 0;
+  auto swap_or_copy = [&](std::uint32_t offset) {
+    const Split split = SwapCopySplit(b, offset, psz, options.reverse_copyout_threshold);
+    double v = 0.0;
+    if (split.swapped > 0) {
+      v += ClampedCostUs(cost, OpKind::kSwap, split.swapped);
+    }
+    if (split.copied > 0) {
+      v += ClampedCostUs(cost, OpKind::kCopyout, split.copied);
+    }
+    return v;
+  };
+  switch (sem) {
+    case Semantics::kCopy:
+      us += ClampedCostUs(cost, OpKind::kCopyout, b);
+      break;
+    case Semantics::kEmulatedCopy:
+      us += aligned ? swap_or_copy(0) : ClampedCostUs(cost, OpKind::kCopyout, b);
+      break;
+    case Semantics::kShare:
+      us += ClampedCostUs(cost, OpKind::kUnwire, b);
+      us += ClampedCostUs(cost, OpKind::kUnreference, b);
+      us += aligned ? swap_or_copy(0) : ClampedCostUs(cost, OpKind::kCopyout, b);
+      break;
+    case Semantics::kEmulatedShare:
+      us += ClampedCostUs(cost, OpKind::kUnreference, b);
+      us += aligned ? swap_or_copy(0) : ClampedCostUs(cost, OpKind::kCopyout, b);
+      break;
+    case Semantics::kMove:
+      us += ClampedCostUs(cost, OpKind::kRegionCreate, 0);
+      us += ClampedCostUs(cost, OpKind::kZeroFill, CeilBytes(b, psz) - b);
+      us += ClampedCostUs(cost, OpKind::kRegionFillOverlayRefill, b);
+      us += ClampedCostUs(cost, OpKind::kRegionMap, b);
+      break;
+    case Semantics::kEmulatedMove:
+    case Semantics::kEmulatedWeakMove:
+      us += ClampedCostUs(cost, OpKind::kRegionCheck, 0);
+      us += ClampedCostUs(cost, OpKind::kUnreference, b);
+      us += swap_or_copy(0);  // System-allocated regions are page-aligned.
+      us += ClampedCostUs(cost, OpKind::kRegionMarkIn, 0);
+      break;
+    case Semantics::kWeakMove:
+      us += ClampedCostUs(cost, OpKind::kRegionCheck, 0);
+      us += ClampedCostUs(cost, OpKind::kUnwire, b);
+      us += ClampedCostUs(cost, OpKind::kUnreference, b);
+      us += swap_or_copy(0);
+      us += ClampedCostUs(cost, OpKind::kRegionMarkIn, 0);
+      break;
+  }
+  us += ClampedCostUs(cost, OpKind::kOverlayDeallocate, b);
+  return us;
+}
+
+}  // namespace
+
+double EstimateLatencyUs(const CostModel& cost, const GenieOptions& options, Semantics sem,
+                         InputBuffering buffering, std::uint32_t dst_page_offset,
+                         std::uint64_t bytes) {
+  return EstimateMixedLatencyUs(cost, options, sem, sem, buffering, dst_page_offset, bytes);
+}
+
+double EstimateMixedLatencyUs(const CostModel& cost, const GenieOptions& options,
+                              Semantics out_sem, Semantics in_sem, InputBuffering buffering,
+                              std::uint32_t dst_page_offset, std::uint64_t bytes) {
+  // Base latency: kernel crossings, device/bus/network fixed latencies, and
+  // the wire transfer.
+  double us = ClampedCostUs(cost, OpKind::kSenderKernelFixed, 0) +
+              ClampedCostUs(cost, OpKind::kReceiverKernelFixed, 0) +
+              ClampedCostUs(cost, OpKind::kHardwareFixed, 0) +
+              ClampedCostUs(cost, OpKind::kNetworkTransfer, bytes);
+
+  const Semantics effective = EffectiveOutputSemantics(options, out_sem, bytes);
+  us += SenderPrepareUs(cost, effective, bytes);
+
+  switch (buffering) {
+    case InputBuffering::kEarlyDemux:
+      us += ReceiverDisposeTable3Us(cost, options, in_sem, dst_page_offset, bytes);
+      break;
+    case InputBuffering::kPooled:
+      us += ReceiverPooledUs(cost, options, in_sem, dst_page_offset, bytes);
+      break;
+    case InputBuffering::kOutboard:
+      us += ClampedCostUs(cost, OpKind::kBusTransfer, bytes);
+      if (in_sem == Semantics::kEmulatedCopy) {
+        // Section 6.2.3: reference, DMA into the application buffer,
+        // unreference — much like emulated share.
+        us += ClampedCostUs(cost, OpKind::kReference, bytes);
+        us += ClampedCostUs(cost, OpKind::kUnreference, bytes);
+      } else {
+        us += ReceiverDisposeTable3Us(cost, options, in_sem, dst_page_offset, bytes);
+      }
+      break;
+  }
+  return us;
+}
+
+LatencyLine EstimateLatencyLine(const CostModel& cost, Semantics sem, InputBuffering buffering,
+                                bool app_aligned) {
+  // Evaluate the exact estimator at two page-multiple lengths; in that
+  // regime the model is affine, so two points determine the line.
+  GenieOptions options;  // Defaults; thresholds are inactive at page multiples.
+  const std::uint32_t psz = cost.profile().page_size;
+  const std::uint32_t offset = app_aligned ? 0 : psz / 2;
+  const double b1 = static_cast<double>(4 * psz);
+  const double b2 = static_cast<double>(12 * psz);
+  const double y1 = EstimateLatencyUs(cost, options, sem, buffering, offset, 4 * psz);
+  const double y2 = EstimateLatencyUs(cost, options, sem, buffering, offset, 12 * psz);
+  LatencyLine line;
+  line.slope_us_per_byte = (y2 - y1) / (b2 - b1);
+  line.intercept_us = y1 - line.slope_us_per_byte * b1;
+  return line;
+}
+
+OpList CriticalPathOps(Semantics sem, InputBuffering buffering, bool app_aligned) {
+  OpList ops;
+  ops.sender_prepare.push_back(OpKind::kSenderKernelFixed);
+  switch (sem) {
+    case Semantics::kCopy:
+      ops.sender_prepare.insert(ops.sender_prepare.end(),
+                                {OpKind::kOverlayAllocate, OpKind::kCopyin});
+      break;
+    case Semantics::kEmulatedCopy:
+      ops.sender_prepare.insert(ops.sender_prepare.end(),
+                                {OpKind::kReference, OpKind::kReadOnly});
+      break;
+    case Semantics::kShare:
+      ops.sender_prepare.insert(ops.sender_prepare.end(), {OpKind::kReference, OpKind::kWire});
+      break;
+    case Semantics::kEmulatedShare:
+      ops.sender_prepare.push_back(OpKind::kReference);
+      break;
+    case Semantics::kMove:
+      ops.sender_prepare.insert(
+          ops.sender_prepare.end(),
+          {OpKind::kReference, OpKind::kWire, OpKind::kRegionMarkOut, OpKind::kInvalidate});
+      break;
+    case Semantics::kEmulatedMove:
+      ops.sender_prepare.insert(ops.sender_prepare.end(),
+                                {OpKind::kReference, OpKind::kRegionMarkOut, OpKind::kInvalidate});
+      break;
+    case Semantics::kWeakMove:
+      ops.sender_prepare.insert(ops.sender_prepare.end(),
+                                {OpKind::kReference, OpKind::kWire, OpKind::kRegionMarkOut});
+      break;
+    case Semantics::kEmulatedWeakMove:
+      ops.sender_prepare.insert(ops.sender_prepare.end(),
+                                {OpKind::kReference, OpKind::kRegionMarkOut});
+      break;
+  }
+
+  ops.receiver_critical.push_back(OpKind::kReceiverKernelFixed);
+  const bool pooled = buffering == InputBuffering::kPooled;
+  if (pooled) {
+    ops.receiver_critical.insert(ops.receiver_critical.end(),
+                                 {OpKind::kOverlayAllocate, OpKind::kOverlay});
+  }
+  if (buffering == InputBuffering::kOutboard) {
+    ops.receiver_critical.push_back(OpKind::kBusTransfer);
+    if (sem == Semantics::kEmulatedCopy) {
+      ops.receiver_critical.insert(ops.receiver_critical.end(),
+                                   {OpKind::kReference, OpKind::kUnreference});
+      return ops;
+    }
+  }
+  const bool swaps = app_aligned || buffering != InputBuffering::kPooled;
+  switch (sem) {
+    case Semantics::kCopy:
+      ops.receiver_critical.push_back(OpKind::kCopyout);
+      break;
+    case Semantics::kEmulatedCopy:
+      ops.receiver_critical.push_back(swaps ? OpKind::kSwap : OpKind::kCopyout);
+      break;
+    case Semantics::kShare:
+      if (pooled) {
+        ops.receiver_critical.push_back(swaps ? OpKind::kSwap : OpKind::kCopyout);
+      }
+      ops.receiver_critical.insert(ops.receiver_critical.end(),
+                                   {OpKind::kUnwire, OpKind::kUnreference});
+      break;
+    case Semantics::kEmulatedShare:
+      if (pooled) {
+        ops.receiver_critical.push_back(swaps ? OpKind::kSwap : OpKind::kCopyout);
+      }
+      ops.receiver_critical.push_back(OpKind::kUnreference);
+      break;
+    case Semantics::kMove:
+      ops.receiver_critical.insert(
+          ops.receiver_critical.end(),
+          {OpKind::kRegionCreate, OpKind::kZeroFill,
+           pooled ? OpKind::kRegionFillOverlayRefill : OpKind::kRegionFill, OpKind::kRegionMap});
+      break;
+    case Semantics::kEmulatedMove:
+      if (pooled) {
+        ops.receiver_critical.insert(ops.receiver_critical.end(),
+                                     {OpKind::kRegionCheck, OpKind::kUnreference, OpKind::kSwap,
+                                      OpKind::kRegionMarkIn});
+      } else {
+        ops.receiver_critical.push_back(OpKind::kRegionCheckUnrefReinstateMarkIn);
+      }
+      break;
+    case Semantics::kWeakMove:
+      ops.receiver_critical.insert(ops.receiver_critical.end(),
+                                   {OpKind::kRegionCheck, OpKind::kUnwire, OpKind::kUnreference});
+      if (pooled) {
+        ops.receiver_critical.push_back(OpKind::kSwap);
+      }
+      ops.receiver_critical.push_back(OpKind::kRegionMarkIn);
+      break;
+    case Semantics::kEmulatedWeakMove:
+      if (pooled) {
+        ops.receiver_critical.insert(ops.receiver_critical.end(),
+                                     {OpKind::kRegionCheck, OpKind::kUnreference, OpKind::kSwap,
+                                      OpKind::kRegionMarkIn});
+      } else {
+        ops.receiver_critical.push_back(OpKind::kRegionCheckUnrefMarkIn);
+      }
+      break;
+  }
+  if (pooled) {
+    ops.receiver_critical.push_back(OpKind::kOverlayDeallocate);
+  }
+  return ops;
+}
+
+}  // namespace genie

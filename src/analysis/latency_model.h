@@ -1,0 +1,59 @@
+// The paper's latency breakdown model (Section 8): end-to-end latency is the
+// base latency plus the sender's prepare-time operations (Table 2) plus the
+// receiver-side operations on the critical path (dispose for early
+// demultiplexing, ready + dispose for pooled/outboard; Tables 3, 4 and
+// Section 6.2.3). These estimates are the "E" rows of Table 7; the benches
+// compare them against latencies measured in the simulator ("A" rows).
+#ifndef GENIE_SRC_ANALYSIS_LATENCY_MODEL_H_
+#define GENIE_SRC_ANALYSIS_LATENCY_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/genie/options.h"
+#include "src/genie/semantics.h"
+#include "src/net/adapter.h"
+
+namespace genie {
+
+struct LatencyLine {
+  double slope_us_per_byte = 0.0;
+  double intercept_us = 0.0;
+
+  double At(double bytes) const { return slope_us_per_byte * bytes + intercept_us; }
+};
+
+// Linear estimate valid for page-multiple datagram lengths (no conversion,
+// no partial pages): the Table 7 "E" rows. `app_aligned` selects between
+// the aligned and unaligned variants for pooled buffering.
+LatencyLine EstimateLatencyLine(const CostModel& cost, Semantics sem, InputBuffering buffering,
+                                bool app_aligned);
+
+// Exact estimate for an arbitrary length: applies the short-output copy
+// conversion thresholds, the reverse-copyout rule for partial pages, and
+// move semantics' zero-completion — the model behind Figure 5's crossovers.
+// `dst_page_offset` is the receive buffer's offset within its page.
+double EstimateLatencyUs(const CostModel& cost, const GenieOptions& options, Semantics sem,
+                         InputBuffering buffering, std::uint32_t dst_page_offset,
+                         std::uint64_t bytes);
+
+// Mixed-semantics estimate (paper Section 8): with different semantics at
+// the two ends, end-to-end latency is the base latency plus the sender-side
+// prepare of `out_sem` plus the receiver-side critical path of `in_sem`.
+double EstimateMixedLatencyUs(const CostModel& cost, const GenieOptions& options,
+                              Semantics out_sem, Semantics in_sem, InputBuffering buffering,
+                              std::uint32_t dst_page_offset, std::uint64_t bytes);
+
+// The operations the estimator charges, for documentation and the Table 6
+// bench: (op, scaled-by-bytes?) pairs for sender prepare and receiver
+// critical-path stages.
+struct OpList {
+  std::vector<OpKind> sender_prepare;
+  std::vector<OpKind> receiver_critical;
+};
+OpList CriticalPathOps(Semantics sem, InputBuffering buffering, bool app_aligned);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_ANALYSIS_LATENCY_MODEL_H_

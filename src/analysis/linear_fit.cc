@@ -1,0 +1,47 @@
+#include "src/analysis/linear_fit.h"
+
+#include <cmath>
+
+namespace genie {
+
+LinearFit FitLine(std::span<const std::pair<double, double>> points) {
+  LinearFit fit;
+  const std::size_t n = points.size();
+  if (n == 0) {
+    return fit;
+  }
+  double sx = 0;
+  double sy = 0;
+  for (const auto& [x, y] : points) {
+    sx += x;
+    sy += y;
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (const auto& [x, y] : points) {
+    sxx += (x - mx) * (x - mx);
+    sxy += (x - mx) * (y - my);
+    syy += (y - my) * (y - my);
+  }
+  if (sxx == 0.0) {
+    // No x spread: constant fit.
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r2 = 1.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy == 0.0) {
+    fit.r2 = 1.0;  // All y identical: the fit is exact.
+  } else {
+    const double ss_res = syy - fit.slope * sxy;
+    fit.r2 = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+}  // namespace genie

@@ -1,0 +1,24 @@
+// Least-squares linear fit, as the paper uses to reduce measured operation
+// and end-to-end latencies to (slope, intercept) lines (Tables 6 and 7).
+#ifndef GENIE_SRC_ANALYSIS_LINEAR_FIT_H_
+#define GENIE_SRC_ANALYSIS_LINEAR_FIT_H_
+
+#include <span>
+#include <utility>
+
+namespace genie {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination (1 for constants)
+};
+
+// Fits y = slope * x + intercept over (x, y) points. With fewer than two
+// distinct x values the slope is 0 and the intercept the mean of y (the
+// paper's "constant or very small latencies" case).
+LinearFit FitLine(std::span<const std::pair<double, double>> points);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_ANALYSIS_LINEAR_FIT_H_

@@ -1,0 +1,86 @@
+#include "src/analysis/scaling_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace genie {
+
+namespace {
+
+ClassScaling Aggregate(const std::vector<double>& ratios) {
+  ClassScaling agg;
+  if (ratios.empty()) {
+    return agg;
+  }
+  agg.geometric_mean = GeometricMean(ratios);
+  agg.min = Min(ratios);
+  agg.max = Max(ratios);
+  agg.count = static_cast<int>(ratios.size());
+  return agg;
+}
+
+}  // namespace
+
+ScalingReport ComputeScaling(const CostModel& base, const CostModel& target) {
+  std::vector<double> memory;
+  std::vector<double> cache;
+  std::vector<double> cpu_mult;
+  std::vector<double> cpu_fixed;
+
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const OpKind op = static_cast<OpKind>(i);
+    const OpCostLine b = base.Line(op);
+    const OpCostLine t = target.Line(op);
+    switch (b.cost_class) {
+      case CostClass::kMemory:
+        if (b.slope_us_per_byte > 0) {
+          memory.push_back(t.slope_us_per_byte / b.slope_us_per_byte);
+        }
+        break;
+      case CostClass::kCache:
+        if (b.slope_us_per_byte > 0) {
+          cache.push_back(t.slope_us_per_byte / b.slope_us_per_byte);
+        }
+        break;
+      case CostClass::kCpu:
+        if (b.slope_us_per_byte > 0) {
+          cpu_mult.push_back(t.slope_us_per_byte / b.slope_us_per_byte);
+        }
+        if (b.intercept_us > 0) {
+          cpu_fixed.push_back(t.intercept_us / b.intercept_us);
+        }
+        break;
+      case CostClass::kNetwork:
+      case CostClass::kBus:
+      case CostClass::kHardware:
+        break;  // Not machine-scaled parameters.
+    }
+  }
+  ScalingReport report;
+  report.memory_dominated = Aggregate(memory);
+  report.cache_dominated = Aggregate(cache);
+  report.cpu_mult_factor = Aggregate(cpu_mult);
+  report.cpu_fixed_term = Aggregate(cpu_fixed);
+  return report;
+}
+
+EstimatedScaling EstimateScalingBounds(const MachineProfile& base,
+                                       const MachineProfile& target) {
+  GENIE_CHECK_GT(target.mem_copy_bw_mbps, 0.0);
+  GENIE_CHECK_GT(target.l2_copy_bw_mbps, 0.0);
+  EstimatedScaling est;
+  est.memory = base.mem_copy_bw_mbps / target.mem_copy_bw_mbps;
+  // Copyin lies between the L2-cache and main-memory copy bandwidths on each
+  // machine, giving these bounds for the ratio (paper Table 8).
+  est.cache_low = base.mem_copy_bw_mbps / target.l2_copy_bw_mbps;
+  est.cache_high = base.l2_copy_bw_mbps / target.mem_copy_bw_mbps;
+  // SPECint ratings used were upper bounds for the targets, so the ratio is
+  // a lower bound.
+  est.cpu_low = base.spec_int / target.spec_int;
+  return est;
+}
+
+}  // namespace genie

@@ -1,0 +1,50 @@
+// The paper's Section 8 scaling model: how primitive data-passing costs
+// scale across machines (Table 8) and link rates (the OC-12 extrapolation).
+#ifndef GENIE_SRC_ANALYSIS_SCALING_MODEL_H_
+#define GENIE_SRC_ANALYSIS_SCALING_MODEL_H_
+
+#include <map>
+#include <string>
+
+#include "src/cost/cost_model.h"
+
+namespace genie {
+
+// Aggregate ratios of per-operation cost parameters (target / base ... the
+// paper reports base / target as "scaling relative to the Micron P166",
+// i.e. how much cheaper/more expensive each parameter class is).
+struct ClassScaling {
+  double geometric_mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int count = 0;
+};
+
+struct ScalingReport {
+  ClassScaling memory_dominated;   // copyout/zero slopes
+  ClassScaling cache_dominated;    // copyin slope
+  ClassScaling cpu_mult_factor;    // slopes of CPU-dominated ops
+  ClassScaling cpu_fixed_term;     // intercepts of CPU-dominated ops
+};
+
+// Ratios of `base` parameters over `target` parameters (>1 = `target` is
+// slower/scaled up relative to base... the paper's Table 8 lists ratios of
+// the *target machine's* costs relative to the P166, so this computes
+// target/base).
+ScalingReport ComputeScaling(const CostModel& base, const CostModel& target);
+
+// The "estimated" column of Table 8, from machine specifications alone:
+//   memory:   base mem bandwidth / target mem bandwidth;
+//   cache:    bounded by (base_mem/target_l2, base_l2/target_mem);
+//   cpu:      lower-bounded by the SPECint ratio (ratings were upper bounds).
+struct EstimatedScaling {
+  double memory = 0.0;
+  double cache_low = 0.0;
+  double cache_high = 0.0;
+  double cpu_low = 0.0;
+};
+EstimatedScaling EstimateScalingBounds(const MachineProfile& base, const MachineProfile& target);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_ANALYSIS_SCALING_MODEL_H_

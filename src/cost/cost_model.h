@@ -1,0 +1,56 @@
+// Cost model for primitive data-passing operations.
+//
+// Baseline costs are the paper's Table 6 least-squares fits on the Micron
+// P166 (cost = slope * bytes + intercept, microseconds). A MachineProfile
+// rescales each cost according to its Section 8 scaling class:
+//   * CPU-dominated: by the inverse SPECint ratio, times per-op architecture
+//     factors;
+//   * memory-dominated: slope by the measured memory factor;
+//   * cache-dominated: slope by the measured cache factor;
+//   * network / bus / fixed-hardware: from the profile's link, bus and device
+//     parameters directly.
+#ifndef GENIE_SRC_COST_COST_MODEL_H_
+#define GENIE_SRC_COST_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/cost/machine_profile.h"
+#include "src/cost/op_kind.h"
+#include "src/util/units.h"
+
+namespace genie {
+
+// A (slope, intercept) cost line in microseconds, plus the scaling class.
+struct OpCostLine {
+  double slope_us_per_byte = 0.0;
+  double intercept_us = 0.0;
+  CostClass cost_class = CostClass::kCpu;
+};
+
+// Table 6 baseline (Micron P166) for one operation.
+OpCostLine BaselineCost(OpKind op);
+
+class CostModel {
+ public:
+  explicit CostModel(MachineProfile profile);
+
+  const MachineProfile& profile() const { return profile_; }
+
+  // The scaled cost line for `op` on this machine.
+  OpCostLine Line(OpKind op) const { return lines_[static_cast<std::size_t>(op)]; }
+
+  // Cost of applying `op` to `bytes` bytes, as simulated time. Never negative
+  // (the copyin fit has a negative intercept; the line is clamped at zero).
+  SimTime Cost(OpKind op, std::uint64_t bytes) const;
+
+  // Cost in microseconds (unclamped line evaluation, for the analytic model).
+  double CostUs(OpKind op, std::uint64_t bytes) const;
+
+ private:
+  MachineProfile profile_;
+  OpCostLine lines_[kOpKindCount];
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_COST_COST_MODEL_H_

@@ -1,0 +1,111 @@
+#include "src/cost/machine_profile.h"
+
+#include "src/util/check.h"
+
+namespace genie {
+
+namespace {
+
+// Applies the AlphaStation's per-operation architecture factors. The paper
+// observes (Section 8, Table 8) that on a machine of different architecture,
+// CPU-dominated costs scale with CPU speed only on geometric mean, with wide
+// per-operation variance: page-table updates (read-only, invalidate, swap,
+// region map, reinstate) are relatively expensive on the 21064A, while region
+// bookkeeping is relatively cheap. These factors reproduce that spread
+// (ratios 0.75..3.77 for slopes, 0.47..3.74 for fixed terms, GM ~1.6).
+void ApplyAlphaArchFactors(MachineProfile& p) {
+  // Page-table-update-heavy operations.
+  p.set_arch_factors(OpKind::kReadOnly, 2.9, 2.88);
+  p.set_arch_factors(OpKind::kInvalidate, 2.9, 2.5);
+  p.set_arch_factors(OpKind::kSwap, 2.5, 2.2);
+  p.set_arch_factors(OpKind::kRegionMap, 2.2, 2.0);
+  p.set_arch_factors(OpKind::kRegionCheckUnrefReinstateMarkIn, 2.0, 1.8);
+  // Reference counting.
+  p.set_arch_factors(OpKind::kReference, 1.1, 0.9);
+  p.set_arch_factors(OpKind::kUnreference, 0.9, 0.8);
+  p.set_arch_factors(OpKind::kWire, 1.4, 1.2);
+  p.set_arch_factors(OpKind::kUnwire, 0.9, 0.9);
+  // Region bookkeeping.
+  p.set_arch_factors(OpKind::kRegionCreate, 1.0, 0.6);
+  p.set_arch_factors(OpKind::kRegionFill, 0.65, 0.7);
+  p.set_arch_factors(OpKind::kRegionFillOverlayRefill, 0.7, 0.75);
+  p.set_arch_factors(OpKind::kRegionMarkOut, 1.0, 0.36);
+  p.set_arch_factors(OpKind::kRegionMarkIn, 1.0, 0.5);
+  p.set_arch_factors(OpKind::kRegionCheck, 1.0, 0.6);
+  p.set_arch_factors(OpKind::kRegionCheckUnrefMarkIn, 0.75, 0.8);
+  p.set_arch_factors(OpKind::kRegionDequeue, 1.0, 0.8);
+  // Overlay handling.
+  p.set_arch_factors(OpKind::kOverlayAllocate, 1.0, 0.9);
+  p.set_arch_factors(OpKind::kOverlay, 1.0, 0.9);
+  p.set_arch_factors(OpKind::kOverlayDeallocate, 0.58, 0.85);
+}
+
+// The Gateway P5-90 shares the P166's architecture; measured CPU-dominated
+// ratios exceed the SPECint estimate slightly (Table 8: 1.58..1.92 for
+// slopes, 1.53..2.59 for fixed terms, vs estimated >1.57) because the
+// SPECint rating used was an upper bound (bigger L2 than the actual machine).
+void ApplyGatewayArchFactors(MachineProfile& p) {
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    p.arch_slope_factor[i] = 1.12;
+    p.arch_intercept_factor[i] = 1.17;
+  }
+  p.set_arch_factors(OpKind::kReadOnly, 1.22, 1.3);
+  p.set_arch_factors(OpKind::kInvalidate, 1.22, 1.3);
+  p.set_arch_factors(OpKind::kSwap, 1.2, 1.65);
+  p.set_arch_factors(OpKind::kReference, 1.01, 1.1);
+  p.set_arch_factors(OpKind::kRegionMarkOut, 1.0, 0.97);
+}
+
+}  // namespace
+
+MachineProfile::MachineProfile() {
+  arch_slope_factor.fill(1.0);
+  arch_intercept_factor.fill(1.0);
+}
+
+MachineProfile MachineProfile::WithEffectiveLinkMbps(double effective_mbps) const {
+  GENIE_CHECK_GT(effective_mbps, 0.0);
+  MachineProfile p = *this;
+  p.link_us_per_byte = 8.0 / effective_mbps;
+  return p;
+}
+
+MachineProfile MachineProfile::MicronP166() {
+  MachineProfile p;
+  p.name = "Micron P166";
+  p.spec_int = 4.52;
+  p.mem_copy_bw_mbps = 351.0;
+  p.l2_copy_bw_mbps = 486.0;
+  p.cache_factor = 1.0;
+  p.memory_factor = 1.0;
+  p.page_size = 4096;
+  return p;
+}
+
+MachineProfile MachineProfile::GatewayP5_90() {
+  MachineProfile p;
+  p.name = "Gateway P5-90";
+  p.spec_int = 2.88;  // Upper bound (Dell XPS 90 rating), per Table 5.
+  p.mem_copy_bw_mbps = 146.0;
+  p.l2_copy_bw_mbps = 244.0;
+  p.cache_factor = 2.46;   // Measured copyin scaling vs P166 (Table 8).
+  p.memory_factor = 2.43;  // Measured copyout scaling vs P166 (Table 8).
+  p.page_size = 4096;
+  ApplyGatewayArchFactors(p);
+  return p;
+}
+
+MachineProfile MachineProfile::AlphaStation255() {
+  MachineProfile p;
+  p.name = "AlphaStation 255/233";
+  p.spec_int = 3.48;  // SPECint_base95 upper bound, per Table 5.
+  p.mem_copy_bw_mbps = 350.0;
+  p.l2_copy_bw_mbps = 1366.0;
+  p.cache_factor = 0.54;   // Measured copyin scaling vs P166 (Table 8).
+  p.memory_factor = 0.83;  // Measured copyout scaling vs P166 (Table 8).
+  p.page_size = 8192;
+  ApplyAlphaArchFactors(p);
+  return p;
+}
+
+}  // namespace genie

@@ -1,0 +1,91 @@
+// Machine profiles: the hardware parameters of paper Table 5 plus the
+// Section 8 scaling inputs. A profile parameterizes the cost model; presets
+// reproduce the three machines of the paper's evaluation.
+#ifndef GENIE_SRC_COST_MACHINE_PROFILE_H_
+#define GENIE_SRC_COST_MACHINE_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/cost/op_kind.h"
+
+namespace genie {
+
+struct MachineProfile {
+  std::string name;
+
+  // SPECint95 integer rating (Table 5). CPU-dominated costs scale as the
+  // inverse ratio of this against the Micron P166 baseline (4.52).
+  double spec_int = 4.52;
+
+  // Peak main-memory copy bandwidth in Mbps, from a user-level bcopy
+  // benchmark (Table 5). Governs memory-dominated (copyout, zero) slopes.
+  double mem_copy_bw_mbps = 351.0;
+
+  // Peak L2-cache copy bandwidth in Mbps (Table 5). With mem_copy_bw_mbps it
+  // bounds the cache-dominated (copyin) slope; the measured point within the
+  // bound is cache_factor.
+  double l2_copy_bw_mbps = 486.0;
+
+  // Measured scaling of the cache-dominated copyin slope relative to the
+  // P166 (paper Table 8: 2.46 for the P5-90, 0.54 for the AlphaStation).
+  double cache_factor = 1.0;
+
+  // Measured scaling of memory-dominated slopes relative to the P166
+  // (paper Table 8: 2.43 for the P5-90, 0.83 for the AlphaStation).
+  double memory_factor = 1.0;
+
+  // VM page size in bytes (Table 5: 4 KB x86, 8 KB Alpha).
+  std::uint32_t page_size = 4096;
+
+  // Effective network time per payload byte in microseconds. At OC-3 the
+  // paper measures 0.0598 us/B (155.52 Mbps line rate less ATM cell and
+  // SONET framing tax ~= 134 Mbps of AAL5 payload).
+  double link_us_per_byte = 0.0598;
+
+  // Host I/O bus (PCI burst DMA) time per byte; used for outboard staging.
+  double bus_us_per_byte = 0.0098;
+
+  // Fixed device + bus + network latency (does not scale with CPU).
+  double hw_fixed_us = 75.0;
+
+  // Per-operation architecture factors for CPU-dominated costs, defaulting
+  // to 1. The AlphaStation preset uses these to model the paper's finding
+  // that page-table-update costs diverge between architectures (Table 8's
+  // wide min/max for CPU-dominated parameters).
+  std::array<double, kOpKindCount> arch_slope_factor{};
+  std::array<double, kOpKindCount> arch_intercept_factor{};
+
+  MachineProfile();
+
+  double arch_slope(OpKind op) const {
+    return arch_slope_factor[static_cast<std::size_t>(op)];
+  }
+  double arch_intercept(OpKind op) const {
+    return arch_intercept_factor[static_cast<std::size_t>(op)];
+  }
+  void set_arch_factors(OpKind op, double slope_f, double intercept_f) {
+    arch_slope_factor[static_cast<std::size_t>(op)] = slope_f;
+    arch_intercept_factor[static_cast<std::size_t>(op)] = intercept_f;
+  }
+
+  // CPU scaling relative to the Micron P166 baseline: costs multiply by this.
+  double cpu_scale() const { return 4.52 / spec_int; }
+
+  // Returns a copy with the link rate changed to `effective_mbps` of AAL5
+  // payload bandwidth (e.g. OC-12 ~= 4x OC-3).
+  MachineProfile WithEffectiveLinkMbps(double effective_mbps) const;
+
+  // Effective AAL5 payload bandwidth implied by link_us_per_byte, in Mbps.
+  double effective_link_mbps() const { return 8.0 / link_us_per_byte; }
+
+  // --- Presets (paper Table 5) ---
+  static MachineProfile MicronP166();
+  static MachineProfile GatewayP5_90();
+  static MachineProfile AlphaStation255();
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_COST_MACHINE_PROFILE_H_

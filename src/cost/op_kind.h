@@ -1,0 +1,80 @@
+// Primitive data-passing operations (rows of paper Table 6, plus base-latency
+// components and simulator-specific extensions) and their scaling classes
+// (paper Section 8).
+#ifndef GENIE_SRC_COST_OP_KIND_H_
+#define GENIE_SRC_COST_OP_KIND_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace genie {
+
+// One primitive data-passing operation. Comments give the paper's Table 6
+// least-squares fit on the Micron P166 in microseconds (B = bytes).
+enum class OpKind : std::uint8_t {
+  // --- Data movement ---
+  kCopyin,    // 0.0180 B - 3   application -> system buffer (cache-dominated)
+  kCopyout,   // 0.0220 B + 15  system buffer -> application (memory-dominated)
+  kZeroFill,  // (ours) zero-complete unused bytes of system pages, move input
+
+  // --- Page referencing / protection ---
+  kReference,    // 0.000363 B + 5
+  kUnreference,  // 0.000100 B + 2
+  kWire,         // 0.00141 B + 18
+  kUnwire,       // 0.000237 B + 10
+  kReadOnly,     // 0.000367 B + 2   remove write permissions (TCOW arm)
+  kInvalidate,   // 0.000373 B + 2   remove all access permissions
+  kSwap,         // 0.00163 B + 15   swap pages between system and app buffers
+
+  // --- Region manipulation ---
+  kRegionCreate,                   // 24
+  kRegionFill,                     // 0.000398 B + 9
+  kRegionFillOverlayRefill,        // 0.000716 B + 11
+  kRegionMap,                      // 0.000474 B + 6
+  kRegionMarkOut,                  // 3   mark moved/weakly-moved out and enqueue
+  kRegionMarkIn,                   // 1
+  kRegionCheck,                    // 5
+  kRegionCheckUnrefReinstateMarkIn,  // 0.000507 B + 11 (emulated move dispose)
+  kRegionCheckUnrefMarkIn,         // 0.000194 B + 6  (emulated weak move dispose)
+  kRegionDequeue,                  // (ours) dequeue cached region, mark moving in
+  kRegionRemove,                   // (ours) tear down a region at move dispose
+
+  // --- Overlay (pooled input buffering, Table 4) ---
+  kOverlayAllocate,    // 7
+  kOverlay,            // 7
+  kOverlayDeallocate,  // 0.000344 B + 12
+
+  // --- Base-latency components (sum of fixed terms = 130 us on the P166,
+  // --- network slope = 0.0598 us/B at OC-3; paper Table 7 "Base") ---
+  kSenderKernelFixed,    // syscall entry, driver, device setup (CPU-scaled)
+  kReceiverKernelFixed,  // interrupt, dispatch, syscall return (CPU-scaled)
+  kHardwareFixed,        // I/O bus + device + network fixed latency
+  kNetworkTransfer,      // per-byte time on the link (network-dominated)
+  kBusTransfer,          // per-byte host/outboard DMA (outboard staging)
+  kDriverPerByte,        // (ours) per-byte driver work overlapping the wire
+
+  // --- Checksum integration extension (paper Section 9 / reference [4]) ---
+  kChecksumRead,        // separate read-only checksum pass over the data
+  kChecksumIntegrated,  // extra ALU cost when folded into a data copy
+
+  kCount,  // sentinel
+};
+
+inline constexpr std::size_t kOpKindCount = static_cast<std::size_t>(OpKind::kCount);
+
+// How an operation's cost scales across machines (paper Section 8 rules).
+enum class CostClass : std::uint8_t {
+  kCpu,       // scales with SPECint ratio (rule 5)
+  kMemory,    // scales with main-memory copy bandwidth (rule 3)
+  kCache,     // scales with L2/memory cache copy bandwidth (rule 4)
+  kNetwork,   // inverse of net transmission rate (rule 1)
+  kBus,       // inverse of I/O bus DMA bandwidth
+  kHardware,  // fixed device/bus/network latency, machine-independent here
+};
+
+std::string_view OpKindName(OpKind op);
+std::string_view CostClassName(CostClass c);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_COST_OP_KIND_H_

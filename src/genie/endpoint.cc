@@ -1,0 +1,1174 @@
+#include "src/genie/endpoint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/net/checksum.h"
+#include "src/net/iovec_io.h"
+#include "src/util/check.h"
+
+namespace genie {
+
+namespace {
+
+std::uint64_t CeilPages(std::uint64_t len, std::uint32_t page_size) {
+  return (len + page_size - 1) / page_size;
+}
+
+}  // namespace
+
+Endpoint::Endpoint(Node& node, std::uint64_t channel, GenieOptions options)
+    : node_(&node), channel_(channel), options_(options) {
+  switch (node_->adapter().rx_buffering()) {
+    case InputBuffering::kPooled:
+      node_->RegisterPooledHandler(channel_,
+                                   [this](PooledFrame f) { OnPooledFrame(std::move(f)); });
+      break;
+    case InputBuffering::kOutboard:
+      node_->RegisterOutboardHandler(channel_,
+                                     [this](const OutboardFrame& f) { OnOutboardFrame(f); });
+      break;
+    case InputBuffering::kEarlyDemux:
+      break;
+  }
+}
+
+Endpoint::~Endpoint() {
+  while (!named_buffers_.empty()) {
+    UnregisterNamedBuffer(named_buffers_.begin()->first);
+  }
+}
+
+Delay Endpoint::Charge(OpKind op, std::uint64_t bytes) {
+  const SimTime cost = node_->Cost(op, bytes);
+  if (op_probe_) {
+    op_probe_(op, bytes, cost);
+  }
+  if (TraceLog* trace = node_->trace(); trace != nullptr && cost > 0) {
+    const SimTime now = node_->engine().now();
+    trace->Span(node_->name() + ".cpu", std::string(OpKindName(op)), "genie", now, now + cost);
+  }
+  return Delay(node_->engine(), cost);
+}
+
+void Endpoint::FinishOperation() {
+  GENIE_CHECK_GT(pending_, 0u);
+  --pending_;
+}
+
+bool Endpoint::HasPreparedInput() const {
+  switch (node_->adapter().rx_buffering()) {
+    case InputBuffering::kEarlyDemux:
+      return node_->adapter().posted_receives(channel_) > 0;
+    case InputBuffering::kPooled:
+      return !pending_pooled_.empty();
+    case InputBuffering::kOutboard:
+      return !pending_outboard_.empty();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Output (Table 2)
+// ---------------------------------------------------------------------------
+
+Task<void> Endpoint::Output(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem) {
+  return OutputTagged(app, va, len, sem, /*tag=*/0);
+}
+
+Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                  Semantics sem, std::uint32_t tag) {
+  GENIE_CHECK_GT(len, 0u);
+  GENIE_CHECK_LE(len, kMaxAal5Payload);
+  auto st = std::make_shared<OutputState>();
+  st->app = &app;
+  st->va = va;
+  st->len = len;
+  st->tag = tag;
+  st->requested = sem;
+
+  // Short-output conversion to copy semantics (Section 6 / Figure 5).
+  Semantics effective = sem;
+  if (options_.enable_copy_conversion) {
+    if (sem == Semantics::kEmulatedCopy && len < options_.emulated_copy_output_threshold) {
+      effective = Semantics::kCopy;
+    } else if (sem == Semantics::kEmulatedShare &&
+               len < options_.emulated_share_output_threshold) {
+      effective = Semantics::kCopy;
+    }
+    if (effective != sem) {
+      ++stats_.outputs_converted_to_copy;
+    }
+  }
+  // Ablation: without TCOW there is no safe write-protection scheme for
+  // in-place strong-integrity output; emulated copy degenerates to copy.
+  if (!options_.enable_tcow && effective == Semantics::kEmulatedCopy) {
+    effective = Semantics::kCopy;
+  }
+  st->effective = effective;
+
+  ++stats_.outputs;
+  ++pending_;
+
+  co_await node_->cpu().Acquire();
+  co_await Charge(OpKind::kSenderKernelFixed, 0);
+  Charges charges;
+  PrepareOutput(*st, charges);
+  if (options_.checksum_mode != ChecksumMode::kNone) {
+    // Compute the transport checksum over the outgoing data. For copy
+    // semantics it can be integrated with the copyin (reference [7]); for
+    // in-place output it is a separate read-only pass.
+    st->header = ChecksumOfIoVec(app.vm().pm(), st->wire, len);
+    if (corrupt_next_checksum_) {
+      corrupt_next_checksum_ = false;
+      st->header ^= 0xFFFF;
+    }
+    charges.Add(options_.checksum_mode == ChecksumMode::kIntegrated &&
+                        st->effective == Semantics::kCopy
+                    ? OpKind::kChecksumIntegrated
+                    : OpKind::kChecksumRead,
+                len);
+  }
+  for (const auto& [op, bytes] : charges.items) {
+    co_await Charge(op, bytes);
+  }
+  node_->cpu().Release();
+
+  // Transmission and dispose proceed asynchronously; the application
+  // regains control now (the output call returns).
+  std::move(TransmitAndDispose(st)).Detach();
+  co_return;
+}
+
+void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
+  AddressSpace& app = *st.app;
+  PhysicalMemory& pm = app.vm().pm();
+  const Vaddr va = st.va;
+  const std::uint64_t len = st.len;
+  Region* region = app.FindRegion(va);
+  GENIE_CHECK(region != nullptr && va + len <= region->end()) << "bad output buffer";
+  if (IsSystemAllocated(st.effective)) {
+    // Output with system-allocated semantics is allowed only on moved-in
+    // regions (Section 2.1): deallocating an unmovable region (heap/stack)
+    // would open inconsistent gaps.
+    GENIE_CHECK(region->state == RegionState::kMovedIn)
+        << "system-allocated output requires a moved-in region";
+    st.region_start = region->start;
+  }
+
+  switch (st.effective) {
+    case Semantics::kCopy: {
+      // Allocate system buffer; copyin output data. Under memory pressure
+      // the pageout daemon makes room first.
+      node_->EnsureFreeFrames(CeilPages(len, pm.page_size()));
+      st.sysbuf = AllocateSysBuffer(pm, 0, len);
+      st.has_sysbuf = true;
+      std::vector<std::byte> staging(static_cast<std::size_t>(len));
+      const AccessResult res = app.Read(va, staging);
+      GENIE_CHECK(res == AccessResult::kOk);
+      WriteToIoVec(pm, st.sysbuf.iov, 0, staging);
+      for (const FrameId f : st.sysbuf.frames) {
+        pm.AddOutputRef(f);
+      }
+      ch.Add(OpKind::kOverlayAllocate, 0);  // System buffer allocation.
+      ch.Add(OpKind::kCopyin, len);
+      st.wire = st.sysbuf.iov;
+      break;
+    }
+    case Semantics::kEmulatedCopy: {
+      // Reference application pages; read-only application pages (TCOW arm).
+      const AccessResult res = ReferenceRange(app, va, len, IoDirection::kOutput, &st.ref);
+      GENIE_CHECK(res == AccessResult::kOk);
+      ch.Add(OpKind::kReference, len);
+      app.RemoveWrite(va, len);
+      ch.Add(OpKind::kReadOnly, len);
+      st.wire = st.ref.iovec;
+      break;
+    }
+    case Semantics::kShare: {
+      const AccessResult res = ReferenceRange(app, va, len, IoDirection::kOutput, &st.ref);
+      GENIE_CHECK(res == AccessResult::kOk);
+      ch.Add(OpKind::kReference, len);
+      for (const FrameId f : st.ref.frames) {
+        pm.Wire(f);
+      }
+      ch.Add(OpKind::kWire, len);
+      st.wire = st.ref.iovec;
+      break;
+    }
+    case Semantics::kEmulatedShare: {
+      const AccessResult res = ReferenceRange(app, va, len, IoDirection::kOutput, &st.ref);
+      GENIE_CHECK(res == AccessResult::kOk);
+      ch.Add(OpKind::kReference, len);
+      st.wire = st.ref.iovec;
+      break;
+    }
+    case Semantics::kMove:
+    case Semantics::kWeakMove:
+    case Semantics::kEmulatedMove:
+    case Semantics::kEmulatedWeakMove: {
+      const AccessResult res = ReferenceRange(app, va, len, IoDirection::kOutput, &st.ref);
+      GENIE_CHECK(res == AccessResult::kOk);
+      ch.Add(OpKind::kReference, len);
+      if (st.effective == Semantics::kMove || st.effective == Semantics::kWeakMove) {
+        for (const FrameId f : st.ref.frames) {
+          pm.Wire(f);
+        }
+        ch.Add(OpKind::kWire, len);
+      }
+      region->state = RegionState::kMovingOut;
+      ch.Add(OpKind::kRegionMarkOut, 0);
+      if (st.effective == Semantics::kMove || st.effective == Semantics::kEmulatedMove) {
+        // Strong move semantics: invalidate application pages so the data
+        // cannot be observed or corrupted during output.
+        app.RemoveAll(region->start, region->length);
+        ch.Add(OpKind::kInvalidate, len);
+      }
+      st.wire = st.ref.iovec;
+      break;
+    }
+  }
+
+  // Ablation: with input-disabled pageout off, the emulated semantics must
+  // wire like the basic ones to keep pages resident during I/O.
+  if (!options_.enable_input_disabled_pageout && IsEmulated(st.effective)) {
+    for (const FrameId f : st.ref.frames) {
+      pm.Wire(f);
+    }
+    st.extra_wired = true;
+    ch.Add(OpKind::kWire, len);
+  }
+}
+
+Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
+  // Device setup, bus and network fixed latencies, then the wire transfer.
+  co_await Delay(node_->engine(), node_->Cost(OpKind::kHardwareFixed, 0));
+  co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag);
+
+  // Transmit-complete: dispose on the sender CPU (overlapping the network
+  // and receiver-side processing).
+  co_await node_->cpu().Acquire();
+  Charges charges;
+  DisposeOutput(*st, charges);
+  for (const auto& [op, bytes] : charges.items) {
+    co_await Charge(op, bytes);
+  }
+  node_->cpu().Release();
+  FinishOperation();
+}
+
+void Endpoint::DisposeOutput(OutputState& st, Charges& ch) {
+  AddressSpace& app = *st.app;
+  PhysicalMemory& pm = app.vm().pm();
+  const std::uint64_t len = st.len;
+
+  if (st.extra_wired) {
+    for (const FrameId f : st.ref.frames) {
+      pm.Unwire(f);
+    }
+    ch.Add(OpKind::kUnwire, len);
+  }
+
+  switch (st.effective) {
+    case Semantics::kCopy: {
+      for (const FrameId f : st.sysbuf.frames) {
+        pm.DropOutputRef(f);
+      }
+      FreeSysBuffer(pm, st.sysbuf);
+      ch.Add(OpKind::kUnreference, len);
+      break;
+    }
+    case Semantics::kEmulatedCopy: {
+      Unreference(app.vm(), st.ref);
+      ch.Add(OpKind::kUnreference, len);
+      break;
+    }
+    case Semantics::kShare: {
+      for (const FrameId f : st.ref.frames) {
+        pm.Unwire(f);
+      }
+      ch.Add(OpKind::kUnwire, len);
+      Unreference(app.vm(), st.ref);
+      ch.Add(OpKind::kUnreference, len);
+      break;
+    }
+    case Semantics::kEmulatedShare: {
+      Unreference(app.vm(), st.ref);
+      ch.Add(OpKind::kUnreference, len);
+      break;
+    }
+    case Semantics::kMove:
+    case Semantics::kWeakMove: {
+      for (const FrameId f : st.ref.frames) {
+        pm.Unwire(f);
+      }
+      ch.Add(OpKind::kUnwire, len);
+      Unreference(app.vm(), st.ref);
+      ch.Add(OpKind::kUnreference, len);
+      if (st.effective == Semantics::kMove) {
+        // Deferred region removal (kept until dispose so virtual addresses
+        // are not reassigned during I/O).
+        if (app.RegionAt(st.region_start) != nullptr) {
+          app.RemoveRegion(st.region_start);
+        }
+        ch.Add(OpKind::kRegionRemove, 0);
+      } else {
+        if (Region* region = app.RegionAt(st.region_start); region != nullptr) {
+          region->state = RegionState::kWeaklyMovedOut;
+          app.EnqueueCachedRegion(region->start);
+        }
+        ch.Add(OpKind::kRegionMarkOut, 0);
+      }
+      break;
+    }
+    case Semantics::kEmulatedMove:
+    case Semantics::kEmulatedWeakMove: {
+      Unreference(app.vm(), st.ref);
+      ch.Add(OpKind::kUnreference, len);
+      Region* region = app.RegionAt(st.region_start);
+      if (st.effective == Semantics::kEmulatedMove && !options_.enable_region_hiding) {
+        // Ablation: no hiding — pay full region removal like basic move.
+        if (region != nullptr) {
+          app.RemoveRegion(st.region_start);
+        }
+        ch.Add(OpKind::kRegionRemove, 0);
+      } else if (region != nullptr) {
+        region->state = st.effective == Semantics::kEmulatedMove
+                            ? RegionState::kMovedOut
+                            : RegionState::kWeaklyMovedOut;
+        app.EnqueueCachedRegion(region->start);
+        ch.Add(OpKind::kRegionMarkOut, 0);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Input (Tables 3, 4 and Section 6.2.3)
+// ---------------------------------------------------------------------------
+
+Task<InputResult> Endpoint::Input(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                  Semantics sem) {
+  GENIE_CHECK(IsApplicationAllocated(sem))
+      << "Input() takes application-allocated semantics; use InputSystemAllocated";
+  return InputCommon(app, va, len, sem, /*system_allocated=*/false);
+}
+
+Task<InputResult> Endpoint::InputSystemAllocated(AddressSpace& app, std::uint64_t len,
+                                                 Semantics sem) {
+  GENIE_CHECK(IsSystemAllocated(sem));
+  return InputCommon(app, 0, len, sem, /*system_allocated=*/true);
+}
+
+Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                        Semantics sem, bool system_allocated) {
+  GENIE_CHECK_GT(len, 0u);
+  GENIE_CHECK_LE(len, kMaxAal5Payload);
+  auto pi = std::make_shared<PendingInput>(node_->engine());
+  pi->app = &app;
+  pi->va = va;
+  pi->len = len;
+  pi->sem = sem;
+  pi->mode = node_->adapter().rx_buffering();
+  pi->system_allocated = system_allocated;
+
+  ++stats_.inputs;
+  ++pending_;
+
+  co_await node_->cpu().Acquire();
+  Charges charges;
+  PrepareInput(*pi, charges);
+  for (const auto& [op, bytes] : charges.items) {
+    co_await Charge(op, bytes);
+  }
+  node_->cpu().Release();
+
+  switch (pi->mode) {
+    case InputBuffering::kEarlyDemux: {
+      Adapter::PostedReceive posted;
+      posted.target = pi->target;
+      posted.on_complete = [this, pi](const RxCompletion& c) {
+        std::move(RunDisposeEarlyDemux(pi, c)).Detach();
+      };
+      node_->adapter().PostReceive(channel_, std::move(posted));
+      break;
+    }
+    case InputBuffering::kPooled:
+      pending_pooled_.push_back(pi);
+      break;
+    case InputBuffering::kOutboard:
+      pending_outboard_.push_back(pi);
+      break;
+  }
+
+  co_await pi->done.Wait();
+  co_return pi->result;
+}
+
+void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
+  AddressSpace& app = *pi.app;
+  PhysicalMemory& pm = app.vm().pm();
+  const std::uint32_t psz = pm.page_size();
+  const std::uint64_t len = pi.len;
+
+  switch (pi.sem) {
+    case Semantics::kCopy: {
+      // Ready-time system buffer (charged here: preposted input overlaps
+      // ready-time work with the sender and the network).
+      if (pi.mode != InputBuffering::kPooled) {
+        node_->EnsureFreeFrames(CeilPages(len, psz));
+        pi.sysbuf = AllocateSysBuffer(pm, 0, len);
+        pi.has_sysbuf = true;
+        pi.target = pi.sysbuf.iov;
+        ch.Add(OpKind::kOverlayAllocate, 0);
+      }
+      break;
+    }
+    case Semantics::kEmulatedCopy: {
+      // System input alignment (Section 5.2): the aligned buffer has the
+      // same page offset and length as the application buffer. With
+      // outboard devices no buffer is needed (Section 6.2.3).
+      if (pi.mode == InputBuffering::kEarlyDemux) {
+        const std::uint32_t offset =
+            options_.enable_input_alignment ? static_cast<std::uint32_t>(pi.va % psz) : 0;
+        node_->EnsureFreeFrames(CeilPages(static_cast<std::uint64_t>(offset) + len, psz));
+        pi.sysbuf = AllocateSysBuffer(pm, offset, len);
+        pi.has_sysbuf = true;
+        pi.target = pi.sysbuf.iov;
+        ch.Add(OpKind::kOverlayAllocate, 0);
+      }
+      break;
+    }
+    case Semantics::kShare:
+    case Semantics::kEmulatedShare: {
+      // In-place input: reference (and for share, wire) application pages.
+      const AccessResult res = ReferenceRange(app, pi.va, len, IoDirection::kInput, &pi.ref);
+      GENIE_CHECK(res == AccessResult::kOk) << "bad input buffer";
+      ch.Add(OpKind::kReference, len);
+      if (pi.sem == Semantics::kShare ||
+          (!options_.enable_input_disabled_pageout && pi.sem == Semantics::kEmulatedShare)) {
+        WireRefFrames(pi);
+        ch.Add(OpKind::kWire, len);
+      }
+      pi.target = pi.ref.iovec;
+      break;
+    }
+    case Semantics::kMove: {
+      // System buffer; the region is created at dispose time.
+      if (pi.mode != InputBuffering::kPooled) {
+        node_->EnsureFreeFrames(CeilPages(len, psz));
+        pi.sysbuf = AllocateSysBuffer(pm, 0, len);
+        pi.has_sysbuf = true;
+        pi.target = pi.sysbuf.iov;
+        ch.Add(OpKind::kOverlayAllocate, 0);
+      }
+      break;
+    }
+    case Semantics::kEmulatedMove:
+    case Semantics::kWeakMove:
+    case Semantics::kEmulatedWeakMove: {
+      // Dequeue a cached region (region caching / hiding) or allocate a new
+      // one marked moving-in.
+      const RegionState cache_state = pi.sem == Semantics::kEmulatedMove
+                                          ? RegionState::kMovedOut
+                                          : RegionState::kWeaklyMovedOut;
+      const std::uint64_t rlen = CeilPages(len, psz) * psz;
+      Region* region = nullptr;
+      const bool may_use_cache =
+          pi.sem != Semantics::kEmulatedMove || options_.enable_region_hiding;
+      if (may_use_cache) {
+        region = app.DequeueCachedRegion(rlen, cache_state);
+      }
+      if (region != nullptr) {
+        ++stats_.region_cache_hits;
+        ch.Add(OpKind::kRegionDequeue, 0);
+      } else {
+        ++stats_.region_cache_misses;
+        const Vaddr addr = app.FindFreeRange(rlen);
+        region = app.CreateRegion(addr, rlen, RegionState::kMovingIn);
+        ch.Add(OpKind::kRegionCreate, 0);
+      }
+      region->state = RegionState::kMovingIn;
+      pi.region_start = region->start;
+      pi.region_object = region->object;
+      pi.va = region->start;
+      const AccessResult res =
+          ReferenceRange(app, region->start, len, IoDirection::kInput, &pi.ref);
+      GENIE_CHECK(res == AccessResult::kOk);
+      ch.Add(OpKind::kReference, len);
+      if (pi.sem == Semantics::kWeakMove || !options_.enable_input_disabled_pageout) {
+        WireRefFrames(pi);
+        ch.Add(OpKind::kWire, len);
+      }
+      pi.target = pi.ref.iovec;
+      break;
+    }
+  }
+}
+
+void Endpoint::WireRefFrames(PendingInput& pi) {
+  PhysicalMemory& pm = pi.app->vm().pm();
+  for (const FrameId f : pi.ref.frames) {
+    pm.Wire(f);
+  }
+  pi.wired_frames = pi.ref.frames;
+  pi.wired = true;
+}
+
+void Endpoint::MapRegionPages(AddressSpace& app, Region& region) {
+  const std::uint32_t psz = app.page_size();
+  for (const auto& [index, frame] : region.object->pages()) {
+    app.MapPage(region.start + index * psz, frame, Prot::kReadWrite);
+  }
+}
+
+Region* Endpoint::CheckOrRemapRegion(PendingInput& pi, Charges& ch) {
+  AddressSpace& app = *pi.app;
+  Region* region = app.RegionAt(pi.region_start);
+  if (region != nullptr && region->object == pi.region_object) {
+    return region;
+  }
+  // The application (advertently or not) removed the prepared region during
+  // input. The object survived via the I/O reference; map it into a fresh
+  // region so the location information returned is correct (Section 6.2.1).
+  ++stats_.regions_remapped_at_dispose;
+  const std::uint64_t rlen = pi.region_object->num_pages() * app.page_size();
+  const Vaddr addr = app.FindFreeRange(rlen);
+  region = app.CreateRegionWithObject(addr, rlen, pi.region_object, RegionState::kMovingIn);
+  pi.region_start = addr;
+  ch.Add(OpKind::kRegionCreate, 0);
+  return region;
+}
+
+// --- Early demultiplexed / outboard dispose (Table 3) ---
+
+void Endpoint::DisposeInputTable3(PendingInput& pi, std::uint64_t n, Charges& ch) {
+  AddressSpace& app = *pi.app;
+  PhysicalMemory& pm = app.vm().pm();
+  InputResult& result = pi.result;
+
+  switch (pi.sem) {
+    case Semantics::kCopy: {
+      const DisposePlan plan = DisposeCopyOutIntoApp(app, pi.va, n, pi.sysbuf.iov);
+      stats_.bytes_copied += plan.copied_bytes;
+      ch.Add(OpKind::kCopyout, n);
+      FreeSysBuffer(pm, pi.sysbuf);
+      result.addr = pi.va;
+      break;
+    }
+    case Semantics::kEmulatedCopy: {
+      if (pi.sysbuf.page_offset == pi.va % pm.page_size()) {
+        const DisposePlan plan = DisposeAligned(pi, pi.va, n, pi.sysbuf, /*to_pool=*/false, ch);
+        (void)plan;
+      } else {
+        const DisposePlan plan = DisposeCopyOutIntoApp(app, pi.va, n, pi.sysbuf.iov);
+        stats_.bytes_copied += plan.copied_bytes;
+        ch.Add(OpKind::kCopyout, n);
+      }
+      FreeSysBuffer(pm, pi.sysbuf);
+      result.addr = pi.va;
+      break;
+    }
+    case Semantics::kShare:
+    case Semantics::kEmulatedShare: {
+      // Data arrived in place.
+      if (pi.wired) {
+        UnwireFrames(pi);
+        ch.Add(OpKind::kUnwire, n);
+      }
+      Unreference(app.vm(), pi.ref);
+      ch.Add(OpKind::kUnreference, n);
+      result.addr = pi.va;
+      break;
+    }
+    case Semantics::kMove: {
+      // Create region; zero-complete system pages and fill region; map.
+      const std::uint32_t psz = pm.page_size();
+      const std::uint64_t pages = CeilPages(n, psz);
+      const std::uint64_t rlen = pages * psz;
+      const Vaddr addr = app.FindFreeRange(rlen);
+      Region* region = app.CreateRegion(addr, rlen, RegionState::kMovedIn);
+      ch.Add(OpKind::kRegionCreate, 0);
+      // Zero the tail of the last page (protection: frames may carry other
+      // processes' residue).
+      if (n < rlen) {
+        const FrameId last = pi.sysbuf.frames[pages - 1];
+        auto data = pm.Data(last);
+        std::memset(data.data() + (n - (pages - 1) * psz), 0,
+                    static_cast<std::size_t>(rlen - n));
+      }
+      ch.Add(OpKind::kZeroFill, rlen - n);
+      for (std::uint64_t i = 0; i < pages; ++i) {
+        region->object->InsertPage(i, pi.sysbuf.frames[i]);
+        pi.sysbuf.frames[i] = kInvalidFrame;  // Donated to the region.
+      }
+      ch.Add(OpKind::kRegionFill, n);
+      MapRegionPages(app, *region);
+      ch.Add(OpKind::kRegionMap, n);
+      FreeSysBuffer(pm, pi.sysbuf);  // Frames beyond `pages`, if any.
+      result.addr = addr;
+      break;
+    }
+    case Semantics::kEmulatedMove: {
+      Region* region = CheckOrRemapRegion(pi, ch);
+      Unreference(app.vm(), pi.ref);
+      MapRegionPages(app, *region);  // Reinstate page accesses.
+      region->state = RegionState::kMovedIn;
+      ch.Add(OpKind::kRegionCheckUnrefReinstateMarkIn, n);
+      result.addr = region->start;
+      break;
+    }
+    case Semantics::kWeakMove: {
+      Region* region = CheckOrRemapRegion(pi, ch);
+      ch.Add(OpKind::kRegionCheck, 0);
+      UnwireFrames(pi);
+      ch.Add(OpKind::kUnwire, n);
+      Unreference(app.vm(), pi.ref);
+      ch.Add(OpKind::kUnreference, n);
+      MapRegionPages(app, *region);
+      region->state = RegionState::kMovedIn;
+      ch.Add(OpKind::kRegionMarkIn, 0);
+      result.addr = region->start;
+      break;
+    }
+    case Semantics::kEmulatedWeakMove: {
+      Region* region = CheckOrRemapRegion(pi, ch);
+      Unreference(app.vm(), pi.ref);
+      MapRegionPages(app, *region);
+      region->state = RegionState::kMovedIn;
+      ch.Add(OpKind::kRegionCheckUnrefMarkIn, n);
+      result.addr = region->start;
+      break;
+    }
+  }
+  if (pi.wired) {
+    // Ablation wiring of emulated semantics (input-disabled pageout off).
+    UnwireFrames(pi);
+    ch.Add(OpKind::kUnwire, n);
+  }
+  result.ok = true;
+  result.bytes = n;
+}
+
+void Endpoint::UnwireFrames(PendingInput& pi) {
+  PhysicalMemory& pm = pi.app->vm().pm();
+  for (const FrameId f : pi.wired_frames) {
+    pm.Unwire(f);
+  }
+  pi.wired_frames.clear();
+  pi.wired = false;
+}
+
+// --- Pooled dispose (Table 4) ---
+
+void Endpoint::DisposeInputTable4(PendingInput& pi, PooledFrame& frame, std::uint64_t n,
+                                  Charges& ch) {
+  AddressSpace& app = *pi.app;
+  PhysicalMemory& pm = app.vm().pm();
+  BufferPool& pool = *node_->adapter().pool();
+  const std::uint32_t psz = pm.page_size();
+  InputResult& result = pi.result;
+
+  // Wrap the overlay pages as an offset-0 source buffer.
+  SysBuffer overlay;
+  overlay.frames = std::move(frame.overlay_pages);
+  overlay.length = frame.bytes;
+  overlay.page_offset = 0;
+  {
+    std::uint64_t remaining = frame.bytes;
+    for (const FrameId f : overlay.frames) {
+      const std::uint32_t seg =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(psz, remaining));
+      overlay.iov.segments.push_back(IoSegment{f, 0, seg});
+      remaining -= seg;
+    }
+  }
+  auto release_overlay_to_pool = [&] {
+    for (FrameId& f : overlay.frames) {
+      if (f != kInvalidFrame) {
+        pool.Free(f);
+        f = kInvalidFrame;
+      }
+    }
+  };
+
+  switch (pi.sem) {
+    case Semantics::kCopy: {
+      const DisposePlan plan = DisposeCopyOutIntoApp(app, pi.va, n, overlay.iov);
+      stats_.bytes_copied += plan.copied_bytes;
+      ch.Add(OpKind::kCopyout, n);
+      release_overlay_to_pool();
+      ch.Add(OpKind::kOverlayDeallocate, n);
+      result.addr = pi.va;
+      break;
+    }
+    case Semantics::kEmulatedCopy:
+    case Semantics::kShare:
+    case Semantics::kEmulatedShare: {
+      const bool aligned = pi.va % psz == 0;
+      if (aligned) {
+        DisposeAligned(pi, pi.va, n, overlay, /*to_pool=*/true, ch);
+      } else {
+        const DisposePlan plan = DisposeCopyOutIntoApp(app, pi.va, n, overlay.iov);
+        stats_.bytes_copied += plan.copied_bytes;
+        ch.Add(OpKind::kCopyout, n);
+      }
+      release_overlay_to_pool();
+      ch.Add(OpKind::kOverlayDeallocate, n);
+      if (pi.sem == Semantics::kShare || pi.sem == Semantics::kEmulatedShare) {
+        if (pi.wired) {
+          // The in-place frames referenced at prepare may have been swapped
+          // out of the object; unwire the originally wired frames.
+          UnwireFrames(pi);
+          ch.Add(OpKind::kUnwire, n);
+        }
+        Unreference(app.vm(), pi.ref);
+        ch.Add(OpKind::kUnreference, n);
+      }
+      result.addr = pi.va;
+      break;
+    }
+    case Semantics::kMove: {
+      // Create region; zero-complete overlay pages, fill region and refill
+      // overlay buffer; map region.
+      const std::uint64_t pages = CeilPages(n, psz);
+      const std::uint64_t rlen = pages * psz;
+      const Vaddr addr = app.FindFreeRange(rlen);
+      Region* region = app.CreateRegion(addr, rlen, RegionState::kMovedIn);
+      ch.Add(OpKind::kRegionCreate, 0);
+      if (n < rlen) {
+        const FrameId last = overlay.frames[pages - 1];
+        auto data = pm.Data(last);
+        std::memset(data.data() + (n - (pages - 1) * psz), 0,
+                    static_cast<std::size_t>(rlen - n));
+      }
+      ch.Add(OpKind::kZeroFill, rlen - n);
+      for (std::uint64_t i = 0; i < pages; ++i) {
+        region->object->InsertPage(i, overlay.frames[i]);
+        overlay.frames[i] = kInvalidFrame;  // Donated; pool must be refilled.
+      }
+      pool.Refill(pages);
+      ch.Add(OpKind::kRegionFillOverlayRefill, n);
+      MapRegionPages(app, *region);
+      ch.Add(OpKind::kRegionMap, n);
+      release_overlay_to_pool();  // Pages beyond `pages`, if any.
+      ch.Add(OpKind::kOverlayDeallocate, n);
+      result.addr = addr;
+      break;
+    }
+    case Semantics::kEmulatedMove:
+    case Semantics::kWeakMove:
+    case Semantics::kEmulatedWeakMove: {
+      Region* region = CheckOrRemapRegion(pi, ch);
+      ch.Add(OpKind::kRegionCheck, 0);
+      if (pi.wired) {
+        UnwireFrames(pi);
+        ch.Add(OpKind::kUnwire, n);
+      }
+      Unreference(app.vm(), pi.ref);
+      ch.Add(OpKind::kUnreference, n);
+      // Swap overlay pages into the region; displaced region pages refill
+      // the pool.
+      DisposeAligned(pi, region->start, n, overlay, /*to_pool=*/true, ch);
+      release_overlay_to_pool();
+      MapRegionPages(app, *region);
+      region->state = RegionState::kMovedIn;
+      ch.Add(OpKind::kRegionMarkIn, 0);
+      ch.Add(OpKind::kOverlayDeallocate, n);
+      result.addr = region->start;
+      break;
+    }
+  }
+  result.ok = true;
+  result.bytes = n;
+}
+
+DisposePlan Endpoint::DisposeAligned(PendingInput& pi, Vaddr va, std::uint64_t n,
+                                     SysBuffer& src, bool to_pool, Charges& ch) {
+  AddressSpace& app = *pi.app;
+  std::function<void(FrameId)> retire;
+  if (to_pool) {
+    BufferPool* pool = node_->adapter().pool();
+    retire = [pool](FrameId f) { pool->Free(f); };
+  }
+  const DisposePlan plan =
+      DisposeAlignedIntoApp(app, va, n, src, options_.reverse_copyout_threshold, retire);
+  if (to_pool && plan.swaps_without_displaced > 0) {
+    // Swaps into untouched pages displaced no frame to give back to the
+    // pool; replenish it with fresh frames to avoid depletion.
+    node_->adapter().pool()->Refill(plan.swaps_without_displaced);
+  }
+  stats_.pages_swapped += plan.pages_swapped;
+  stats_.reverse_copyouts += plan.reverse_copyouts;
+  stats_.bytes_swapped += plan.swapped_bytes;
+  stats_.bytes_copied += plan.copied_bytes;
+  if (plan.swapped_bytes > 0) {
+    ch.Add(OpKind::kSwap, plan.swapped_bytes);
+  }
+  if (plan.copied_bytes > 0) {
+    ch.Add(OpKind::kCopyout, plan.copied_bytes);
+  }
+  return plan;
+}
+
+void Endpoint::CleanupFailedInput(PendingInput& pi, Charges& ch) {
+  AddressSpace& app = *pi.app;
+  PhysicalMemory& pm = app.vm().pm();
+  ++stats_.crc_failures;
+  if (pi.has_sysbuf) {
+    // Strong semantics: the application buffer was never touched; simply
+    // discard the system buffer.
+    FreeSysBuffer(pm, pi.sysbuf);
+  }
+  if (pi.wired) {
+    UnwireFrames(pi);
+    ch.Add(OpKind::kUnwire, 0);
+  }
+  if (pi.ref.active) {
+    Unreference(app.vm(), pi.ref);
+    ch.Add(OpKind::kUnreference, 0);
+  }
+  if (pi.system_allocated && pi.sem != Semantics::kMove) {
+    // Return the prepared region to its cache; the application never saw it.
+    if (Region* region = app.RegionAt(pi.region_start);
+        region != nullptr && region->object == pi.region_object) {
+      region->state = pi.sem == Semantics::kEmulatedMove ? RegionState::kMovedOut
+                                                         : RegionState::kWeaklyMovedOut;
+      app.EnqueueCachedRegion(region->start);
+    }
+  }
+  pi.result.ok = false;
+}
+
+Endpoint::ChecksumVerdict Endpoint::VerifyChecksum(PendingInput& pi, const IoVec& data,
+                                                   std::uint64_t n, std::uint32_t header,
+                                                   Charges& ch) {
+  ChecksumVerdict verdict;
+  if (options_.checksum_mode == ChecksumMode::kNone || n == 0) {
+    return verdict;
+  }
+  const std::uint16_t computed = ChecksumOfIoVec(pi.app->vm().pm(), data, n);
+  verdict.verified_ok = computed == static_cast<std::uint16_t>(header);
+  // Integration with the final copy is only possible on copy-out dispose
+  // paths (copy semantics, or emulated copy without alignment); swap and
+  // in-place paths always use a separate read pass (paper Section 9: with a
+  // system buffer involved, passing by VM manipulation and then reading the
+  // data costs less than a one-step checksum-and-copy).
+  const bool copies_out =
+      pi.sem == Semantics::kCopy ||
+      (pi.sem == Semantics::kEmulatedCopy && pi.has_sysbuf &&
+       pi.sysbuf.page_offset != pi.va % pi.app->vm().page_size());
+  verdict.integrated = options_.checksum_mode == ChecksumMode::kIntegrated && copies_out;
+  ch.Add(verdict.integrated ? OpKind::kChecksumIntegrated : OpKind::kChecksumRead, n);
+  return verdict;
+}
+
+// --- Dispose drivers ---
+
+Task<void> Endpoint::RunDisposeEarlyDemux(std::shared_ptr<PendingInput> pi,
+                                          RxCompletion completion) {
+  co_await node_->cpu().Acquire();
+  co_await Charge(OpKind::kReceiverKernelFixed, 0);
+  Charges charges;
+  pi->result.crc_ok = completion.crc_ok;
+  const std::uint64_t n = std::min<std::uint64_t>(completion.bytes, pi->len);
+  if (!completion.crc_ok) {
+    CleanupFailedInput(*pi, charges);
+  } else {
+    const ChecksumVerdict verdict =
+        VerifyChecksum(*pi, pi->target, n, completion.header, charges);
+    pi->result.checksum_ok = verdict.verified_ok;
+    if (!verdict.verified_ok && !verdict.integrated) {
+      // Separate-pass verification failed before any data reached the
+      // application buffer: fail the input, strong semantics intact.
+      CleanupFailedInput(*pi, charges);
+    } else {
+      DisposeInputTable3(*pi, n, charges);
+      if (!verdict.verified_ok) {
+        // Integrated verification detects the error only after the copy:
+        // the application buffer was overwritten (weak behavior, the
+        // Section 9 semantic implication).
+        pi->result.ok = false;
+      }
+    }
+  }
+  for (const auto& [op, bytes] : charges.items) {
+    co_await Charge(op, bytes);
+  }
+  pi->result.completed_at = node_->engine().now();
+  node_->cpu().Release();
+  FinishOperation();
+  pi->done.Set();
+}
+
+Task<void> Endpoint::RunDisposePooled(std::shared_ptr<PendingInput> pi, PooledFrame frame) {
+  co_await node_->cpu().Acquire();
+  co_await Charge(OpKind::kReceiverKernelFixed, 0);
+  // Ready-time operations (Table 4): overlay allocation happened at arrival
+  // in the device; the kernel-side costs land here, on the critical path.
+  co_await Charge(OpKind::kOverlayAllocate, 0);
+  co_await Charge(OpKind::kOverlay, 0);
+  Charges charges;
+  pi->result.crc_ok = frame.crc_ok;
+  const std::uint64_t n = std::min<std::uint64_t>(frame.bytes, pi->len);
+  bool failed = !frame.crc_ok;
+  bool integrated_mismatch = false;
+  if (!failed) {
+    IoVec overlay_iov;
+    {
+      std::uint64_t remaining = frame.bytes;
+      const std::uint32_t psz = node_->vm().page_size();
+      for (const FrameId f : frame.overlay_pages) {
+        const std::uint32_t seg =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(psz, remaining));
+        overlay_iov.segments.push_back(IoSegment{f, 0, seg});
+        remaining -= seg;
+      }
+    }
+    const ChecksumVerdict verdict =
+        VerifyChecksum(*pi, overlay_iov, n, frame.header, charges);
+    pi->result.checksum_ok = verdict.verified_ok;
+    if (!verdict.verified_ok && !verdict.integrated) {
+      failed = true;
+    } else if (!verdict.verified_ok) {
+      integrated_mismatch = true;
+    }
+  }
+  if (failed) {
+    BufferPool& pool = *node_->adapter().pool();
+    for (const FrameId f : frame.overlay_pages) {
+      pool.Free(f);
+    }
+    CleanupFailedInput(*pi, charges);
+  } else {
+    DisposeInputTable4(*pi, frame, n, charges);
+    if (integrated_mismatch) {
+      pi->result.ok = false;
+    }
+  }
+  for (const auto& [op, bytes] : charges.items) {
+    co_await Charge(op, bytes);
+  }
+  pi->result.completed_at = node_->engine().now();
+  node_->cpu().Release();
+  FinishOperation();
+  pi->done.Set();
+}
+
+Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, OutboardFrame frame) {
+  Adapter& adapter = node_->adapter();
+  const std::uint64_t n = std::min<std::uint64_t>(frame.bytes, pi->len);
+  co_await node_->cpu().Acquire();
+  co_await Charge(OpKind::kReceiverKernelFixed, 0);
+  pi->result.crc_ok = frame.crc_ok;
+
+  // Transport checksum: with outboard staging a separate pass can verify in
+  // adapter memory before any host DMA (strong); integrated-with-DMA
+  // verification detects the error only after the data reached its final
+  // host location.
+  bool checksum_failed_early = false;
+  bool integrated_mismatch = false;
+  if (frame.crc_ok && options_.checksum_mode != ChecksumMode::kNone && n > 0) {
+    const std::uint16_t computed =
+        ChecksumOf(adapter.OutboardData(frame.handle).subspan(0, static_cast<std::size_t>(n)));
+    const bool ok = computed == static_cast<std::uint16_t>(frame.header);
+    pi->result.checksum_ok = ok;
+    co_await Charge(options_.checksum_mode == ChecksumMode::kIntegrated
+                        ? OpKind::kChecksumIntegrated
+                        : OpKind::kChecksumRead,
+                    n);
+    if (!ok) {
+      if (options_.checksum_mode == ChecksumMode::kSeparatePass) {
+        checksum_failed_early = true;
+      } else {
+        integrated_mismatch = true;
+      }
+    }
+  }
+
+  if (!frame.crc_ok || checksum_failed_early) {
+    Charges charges;
+    CleanupFailedInput(*pi, charges);
+    for (const auto& [op, bytes] : charges.items) {
+      co_await Charge(op, bytes);
+    }
+    adapter.FreeOutboard(frame.handle);
+    pi->result.completed_at = node_->engine().now();
+    node_->cpu().Release();
+    FinishOperation();
+    pi->done.Set();
+    co_return;
+  }
+
+  if (pi->sem == Semantics::kEmulatedCopy) {
+    // Section 6.2.3: reference the application pages, DMA the outboard data
+    // directly into the application buffer, unreference, free the outboard
+    // buffer. No aligned buffer, no swap: close to emulated share.
+    const AccessResult res =
+        ReferenceRange(*pi->app, pi->va, n, IoDirection::kInput, &pi->ref);
+    GENIE_CHECK(res == AccessResult::kOk);
+    co_await Charge(OpKind::kReference, n);
+    node_->cpu().Release();
+    co_await Delay(node_->engine(), node_->Cost(OpKind::kBusTransfer, n));
+    WriteToIoVec(pi->app->vm().pm(), pi->ref.iovec, 0,
+                 adapter.OutboardData(frame.handle).subspan(0, static_cast<std::size_t>(n)));
+    co_await node_->cpu().Acquire();
+    Unreference(pi->app->vm(), pi->ref);
+    co_await Charge(OpKind::kUnreference, n);
+    adapter.FreeOutboard(frame.handle);
+    pi->result.ok = true;
+    pi->result.bytes = n;
+    pi->result.addr = pi->va;
+  } else {
+    // DMA the staged frame into the prepared host target, then run the
+    // Table 3 dispose operations.
+    node_->cpu().Release();
+    co_await Delay(node_->engine(), node_->Cost(OpKind::kBusTransfer, n));
+    WriteToIoVec(pi->app->vm().pm(), pi->target, 0,
+                 adapter.OutboardData(frame.handle).subspan(0, static_cast<std::size_t>(n)));
+    co_await node_->cpu().Acquire();
+    Charges charges;
+    DisposeInputTable3(*pi, n, charges);
+    for (const auto& [op, bytes] : charges.items) {
+      co_await Charge(op, bytes);
+    }
+    adapter.FreeOutboard(frame.handle);
+  }
+  if (integrated_mismatch) {
+    // Integrated verification: the host buffer was already written when the
+    // mismatch surfaced (weak behavior, Section 9).
+    pi->result.ok = false;
+  }
+  pi->result.completed_at = node_->engine().now();
+  node_->cpu().Release();
+  FinishOperation();
+  pi->done.Set();
+}
+
+void Endpoint::OnPooledFrame(PooledFrame frame) {
+  if (pending_pooled_.empty()) {
+    // No pending input: drop (return overlay pages to the pool).
+    BufferPool& pool = *node_->adapter().pool();
+    for (const FrameId f : frame.overlay_pages) {
+      pool.Free(f);
+    }
+    return;
+  }
+  std::shared_ptr<PendingInput> pi = pending_pooled_.front();
+  pending_pooled_.pop_front();
+  std::move(RunDisposePooled(pi, std::move(frame))).Detach();
+}
+
+void Endpoint::OnOutboardFrame(const OutboardFrame& frame) {
+  if (pending_outboard_.empty()) {
+    node_->adapter().FreeOutboard(frame.handle);
+    return;
+  }
+  std::shared_ptr<PendingInput> pi = pending_outboard_.front();
+  pending_outboard_.pop_front();
+  std::move(RunDisposeOutboard(pi, frame)).Detach();
+}
+
+// ---------------------------------------------------------------------------
+// Sender-managed buffer placement (Section 6.2.1)
+// ---------------------------------------------------------------------------
+
+std::uint32_t Endpoint::RegisterNamedBuffer(AddressSpace& app, Vaddr va, std::uint64_t len) {
+  GENIE_CHECK(node_->adapter().rx_buffering() == InputBuffering::kEarlyDemux)
+      << "sender-managed placement requires early demultiplexing";
+  auto nb = std::make_shared<NamedBuffer>(node_->engine());
+  nb->app = &app;
+  nb->va = va;
+  nb->len = len;
+  // Pin the buffer with a long-lived input reference: the device may write
+  // it at any time, and input-disabled pageout keeps it resident — the
+  // moral equivalent of a non-pageable buffer area (Section 9).
+  const AccessResult res = ReferenceRange(app, va, len, IoDirection::kInput, &nb->ref);
+  GENIE_CHECK(res == AccessResult::kOk) << "bad named buffer";
+  const std::uint32_t tag = next_tag_++;
+  Adapter::PostedReceive posted;
+  posted.target = nb->ref.iovec;
+  posted.on_complete = [this, nb](const RxCompletion& c) {
+    std::move(RunNamedArrival(nb, c)).Detach();
+  };
+  node_->adapter().RegisterNamedBuffer(channel_, tag, std::move(posted));
+  named_buffers_[tag] = std::move(nb);
+  return tag;
+}
+
+void Endpoint::UnregisterNamedBuffer(std::uint32_t tag) {
+  auto it = named_buffers_.find(tag);
+  GENIE_CHECK(it != named_buffers_.end()) << "unknown named buffer tag " << tag;
+  node_->adapter().UnregisterNamedBuffer(channel_, tag);
+  Unreference(it->second->app->vm(), it->second->ref);
+  it->second->ready.Set();  // Release any stranded waiter (sees no arrival).
+  named_buffers_.erase(it);
+}
+
+Task<InputResult> Endpoint::ReceiveNamed(std::uint32_t tag) {
+  auto it = named_buffers_.find(tag);
+  GENIE_CHECK(it != named_buffers_.end()) << "unknown named buffer tag " << tag;
+  std::shared_ptr<NamedBuffer> nb = it->second;
+  while (nb->arrivals.empty()) {
+    nb->ready.Reset();
+    co_await nb->ready.Wait();
+    if (!nb->ref.active) {
+      co_return InputResult{};  // Unregistered while waiting.
+    }
+  }
+  const InputResult result = nb->arrivals.front();
+  nb->arrivals.pop_front();
+  co_return result;
+}
+
+Task<void> Endpoint::RunNamedArrival(std::shared_ptr<NamedBuffer> nb,
+                                     RxCompletion completion) {
+  // The cheapest possible receive path: interrupt processing and a
+  // notification. No per-datagram buffer management at all.
+  co_await node_->cpu().Acquire();
+  co_await Charge(OpKind::kReceiverKernelFixed, 0);
+  InputResult result;
+  result.crc_ok = completion.crc_ok;
+  result.bytes = std::min<std::uint64_t>(completion.bytes, nb->len);
+  result.addr = nb->va;
+  result.ok = completion.crc_ok;
+  if (options_.checksum_mode != ChecksumMode::kNone && completion.crc_ok &&
+      result.bytes > 0) {
+    const std::uint16_t computed =
+        ChecksumOfIoVec(nb->app->vm().pm(), nb->ref.iovec, result.bytes);
+    result.checksum_ok = computed == static_cast<std::uint16_t>(completion.header);
+    co_await Charge(OpKind::kChecksumRead, result.bytes);
+    // The data is already in place (weak integrity by construction); a
+    // mismatch can only be reported, not undone.
+    result.ok = result.ok && result.checksum_ok;
+  }
+  result.completed_at = node_->engine().now();
+  node_->cpu().Release();
+  nb->arrivals.push_back(result);
+  nb->ready.Set();
+}
+
+// ---------------------------------------------------------------------------
+// System-allocated buffer API (Section 2.1)
+// ---------------------------------------------------------------------------
+
+Vaddr Endpoint::AllocateIoBuffer(AddressSpace& app, std::uint64_t len) {
+  const std::uint32_t psz = app.page_size();
+  const std::uint64_t rlen = CeilPages(len, psz) * psz;
+  const Vaddr addr = app.FindFreeRange(rlen);
+  app.CreateRegion(addr, rlen, RegionState::kMovedIn);
+  return addr;
+}
+
+void Endpoint::FreeIoBuffer(AddressSpace& app, Vaddr start) {
+  Region* region = app.RegionAt(start);
+  GENIE_CHECK(region != nullptr) << "freeing unknown I/O buffer";
+  GENIE_CHECK(region->state == RegionState::kMovedIn ||
+              region->state == RegionState::kMovedOut ||
+              region->state == RegionState::kWeaklyMovedOut)
+      << "freeing I/O buffer with pending I/O";
+  app.RemoveRegion(start);
+}
+
+}  // namespace genie

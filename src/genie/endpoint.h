@@ -1,0 +1,237 @@
+// A Genie communication endpoint: the application-facing I/O interface that
+// implements every data-passing semantics of the taxonomy over one network
+// channel (paper Section 6).
+//
+// Output follows Table 2 (prepare at the output call, dispose at
+// transmit-complete, overlapping the network and the receiver). Input is
+// preposted and follows Table 3 for early-demultiplexed and outboard devices
+// (with the Section 6.2.3 emulated-copy special case) and Table 4 for pooled
+// devices. Short outputs are transparently converted to copy semantics under
+// the Section 6 thresholds.
+#ifndef GENIE_SRC_GENIE_ENDPOINT_H_
+#define GENIE_SRC_GENIE_ENDPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+
+#include "src/genie/node.h"
+#include "src/genie/options.h"
+#include "src/genie/semantics.h"
+#include "src/genie/sys_buffer.h"
+#include "src/sim/awaitable.h"
+#include "src/sim/task.h"
+#include "src/vm/io_ref.h"
+
+namespace genie {
+
+struct InputResult {
+  bool ok = false;         // data delivered with the semantics' guarantees
+  bool crc_ok = true;      // network CRC status
+  bool checksum_ok = true;  // transport checksum status (ChecksumMode != kNone)
+  Vaddr addr = 0;        // where the data is (application buffer, or the
+                         // moved-in region for system-allocated semantics)
+  std::uint64_t bytes = 0;
+  SimTime completed_at = 0;
+};
+
+class Endpoint {
+ public:
+  // Per-operation instrumentation hook: (op, bytes, charged simulated time).
+  using OpProbe = std::function<void(OpKind, std::uint64_t, SimTime)>;
+
+  struct Stats {
+    std::uint64_t outputs = 0;
+    std::uint64_t inputs = 0;
+    std::uint64_t outputs_converted_to_copy = 0;
+    std::uint64_t pages_swapped = 0;
+    std::uint64_t reverse_copyouts = 0;
+    std::uint64_t bytes_swapped = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t crc_failures = 0;
+    std::uint64_t region_cache_hits = 0;
+    std::uint64_t region_cache_misses = 0;
+    std::uint64_t regions_remapped_at_dispose = 0;
+  };
+
+  Endpoint(Node& node, std::uint64_t channel, GenieOptions options = GenieOptions{});
+  // Releases any still-registered named buffers (drops their pinned pages).
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  Node& node() { return *node_; }
+  std::uint64_t channel() const { return channel_; }
+  const GenieOptions& options() const { return options_; }
+  const Stats& stats() const { return stats_; }
+  void set_op_probe(OpProbe probe) { op_probe_ = std::move(probe); }
+
+  // Sends [va, va+len) with the given semantics. The task completes when the
+  // application regains control (prepare done); transmission and dispose
+  // continue asynchronously. For system-allocated semantics the buffer must
+  // lie in a moved-in region, which is deallocated (moved out) by the send.
+  Task<void> Output(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem);
+
+  // Application-allocated input: preposts a receive into [va, va+len) and
+  // completes when the datagram has been delivered (dispose done).
+  Task<InputResult> Input(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem);
+
+  // System-allocated input: the system chooses the location; the result's
+  // `addr` points at the moved-in region.
+  Task<InputResult> InputSystemAllocated(AddressSpace& app, std::uint64_t len, Semantics sem);
+
+  // Explicit I/O buffer management for the system-allocated API (paper
+  // Section 2.1): allocates a moved-in region usable as an output buffer.
+  Vaddr AllocateIoBuffer(AddressSpace& app, std::uint64_t len);
+  void FreeIoBuffer(AddressSpace& app, Vaddr start);
+
+  // The preferred alignment of application input buffers (application input
+  // alignment, Section 5.2) — page offset the first byte should have.
+  std::uint32_t PreferredInputAlignment() const { return options_.preferred_input_offset; }
+
+  // --- Sender-managed buffer placement (Section 6.2.1, refs [5],[20]) ---
+  // The receiver registers a persistent in-place buffer under a tag; senders
+  // direct datagrams at it with OutputTagged, with no per-datagram
+  // preposting and the cheapest possible receive path (interrupt + notify).
+  // Weak integrity: the buffer stays mapped and device-writable, like
+  // Hamlyn's sender-managed areas; its pages are pinned by long-lived input
+  // references (which input-disabled pageout honors — the "non-pageable
+  // buffer area" of Section 9's OS-bypass discussion).
+  std::uint32_t RegisterNamedBuffer(AddressSpace& app, Vaddr va, std::uint64_t len);
+  void UnregisterNamedBuffer(std::uint32_t tag);
+  // Awaits the next datagram arrival into the named buffer.
+  Task<InputResult> ReceiveNamed(std::uint32_t tag);
+  // Sends [va, va+len) to the receiver's named buffer `tag`.
+  Task<void> OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem,
+                          std::uint32_t tag);
+
+  // Operations (outputs awaiting dispose, inputs awaiting data) in flight.
+  std::size_t pending_operations() const { return pending_; }
+
+  // True if at least one input has completed its prepare and is waiting for
+  // data (posted to the device / queued for pooled or outboard frames).
+  bool HasPreparedInput() const;
+
+  // Test hook: the next output's transport checksum is corrupted in flight.
+  void CorruptNextChecksum() { corrupt_next_checksum_ = true; }
+
+ private:
+  struct Charges {
+    std::vector<std::pair<OpKind, std::uint64_t>> items;
+    void Add(OpKind op, std::uint64_t bytes) { items.emplace_back(op, bytes); }
+  };
+
+  struct OutputState {
+    AddressSpace* app = nullptr;
+    Vaddr va = 0;
+    std::uint64_t len = 0;
+    std::uint32_t tag = 0;  // sender-managed destination (0 = receiver-posted)
+    Semantics requested = Semantics::kCopy;
+    Semantics effective = Semantics::kCopy;
+    IoReference ref;
+    SysBuffer sysbuf;
+    bool has_sysbuf = false;
+    IoVec wire;
+    std::uint32_t header = 0;  // transport checksum (ChecksumMode != kNone)
+    bool extra_wired = false;  // ablation: emulated semantics wired
+    Vaddr region_start = 0;    // system-allocated
+  };
+
+  struct PendingInput {
+    explicit PendingInput(Engine& engine) : done(engine) {}
+    AddressSpace* app = nullptr;
+    Vaddr va = 0;
+    std::uint64_t len = 0;
+    Semantics sem = Semantics::kCopy;
+    InputBuffering mode = InputBuffering::kEarlyDemux;
+    bool system_allocated = false;
+    SysBuffer sysbuf;
+    bool has_sysbuf = false;
+    IoReference ref;
+    bool wired = false;
+    std::vector<FrameId> wired_frames;  // survives Unreference() for unwiring
+    Vaddr region_start = 0;
+    std::shared_ptr<MemoryObject> region_object;
+    IoVec target;  // DMA target (posted buffer or outboard destination)
+    InputResult result;
+    SimEvent done;
+  };
+
+  Task<InputResult> InputCommon(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem,
+                                bool system_allocated);
+
+  // Transport checksum verification (Section 9 extension). Returns the ops
+  // to charge and whether dispose should proceed; on a mismatch with a
+  // separate-pass verify, the input is failed before any data reaches the
+  // application buffer (strong); integrated verification is only detected
+  // after the copy (weak for copy-out paths).
+  struct ChecksumVerdict {
+    bool verified_ok = true;
+    bool integrated = false;
+  };
+  ChecksumVerdict VerifyChecksum(PendingInput& pi, const IoVec& data, std::uint64_t n,
+                                 std::uint32_t header, Charges& ch);
+
+  // Functional halves (bookkeeping + data movement), recording the costs to
+  // charge; the coroutines charge them while holding the CPU.
+  void PrepareOutput(OutputState& st, Charges& ch);
+  void DisposeOutput(OutputState& st, Charges& ch);
+  void PrepareInput(PendingInput& pi, Charges& ch);
+  // Table 3 dispose (early demultiplexed and outboard DMA targets).
+  void DisposeInputTable3(PendingInput& pi, std::uint64_t n, Charges& ch);
+  // Table 4 dispose (pooled overlay buffers).
+  void DisposeInputTable4(PendingInput& pi, PooledFrame& frame, std::uint64_t n, Charges& ch);
+  void CleanupFailedInput(PendingInput& pi, Charges& ch);
+
+  Task<void> TransmitAndDispose(std::shared_ptr<OutputState> st);
+  Task<void> RunDisposeEarlyDemux(std::shared_ptr<PendingInput> pi, RxCompletion completion);
+  Task<void> RunDisposePooled(std::shared_ptr<PendingInput> pi, PooledFrame frame);
+  Task<void> RunDisposeOutboard(std::shared_ptr<PendingInput> pi, OutboardFrame frame);
+
+  void OnPooledFrame(PooledFrame frame);
+  void OnOutboardFrame(const OutboardFrame& frame);
+
+  struct NamedBuffer {
+    explicit NamedBuffer(Engine& engine) : ready(engine) {}
+    AddressSpace* app = nullptr;
+    Vaddr va = 0;
+    std::uint64_t len = 0;
+    IoReference ref;  // Long-lived: pins the pages for the device.
+    std::deque<InputResult> arrivals;
+    SimEvent ready;
+  };
+  Task<void> RunNamedArrival(std::shared_ptr<NamedBuffer> nb, RxCompletion completion);
+
+  // Swap-or-copy of `n` bytes from aligned source pages into the buffer at
+  // `va`, charging per the plan; overlay sources retire displaced frames to
+  // the device pool.
+  DisposePlan DisposeAligned(PendingInput& pi, Vaddr va, std::uint64_t n, SysBuffer& src,
+                             bool to_pool, Charges& ch);
+
+  // Charges `op` over `bytes` as held-CPU time (use only while holding cpu).
+  Delay Charge(OpKind op, std::uint64_t bytes);
+
+  void WireRefFrames(PendingInput& pi);
+  void UnwireFrames(PendingInput& pi);
+  void MapRegionPages(AddressSpace& app, Region& region);
+  Region* CheckOrRemapRegion(PendingInput& pi, Charges& ch);
+  void FinishOperation();
+
+  Node* node_;
+  std::uint64_t channel_;
+  GenieOptions options_;
+  Stats stats_;
+  OpProbe op_probe_;
+  bool corrupt_next_checksum_ = false;
+  std::size_t pending_ = 0;
+  std::deque<std::shared_ptr<PendingInput>> pending_pooled_;
+  std::deque<std::shared_ptr<PendingInput>> pending_outboard_;
+  std::map<std::uint32_t, std::shared_ptr<NamedBuffer>> named_buffers_;
+  std::uint32_t next_tag_ = 1;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_GENIE_ENDPOINT_H_

@@ -1,0 +1,104 @@
+#include "src/genie/message.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+MessageChannel::MessageChannel(Endpoint& endpoint, Options options)
+    : endpoint_(&endpoint), options_(options) {
+  const std::uint32_t psz = endpoint.node().page_size();
+  GENIE_CHECK_GT(options_.fragment_bytes, 0u);
+  GENIE_CHECK_EQ(options_.fragment_bytes % psz, 0u)
+      << "fragment size must be a page multiple (keeps fragments swappable)";
+  GENIE_CHECK_LE(options_.fragment_bytes, kMaxAal5Payload);
+  GENIE_CHECK_GT(options_.window, 0u);
+}
+
+Task<void> MessageChannel::SendMessage(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                       Semantics sem) {
+  GENIE_CHECK(IsApplicationAllocated(sem))
+      << "fragmented messages reassemble in place; use application-allocated semantics";
+  GENIE_CHECK_GT(len, 0u);
+  std::uint64_t sent = 0;
+  while (sent < len) {
+    const std::uint64_t n = std::min<std::uint64_t>(options_.fragment_bytes, len - sent);
+    // Each fragment is an independent Genie output; with flow control on,
+    // the transmit side blocks on credits, so a slow receiver back-pressures
+    // the sender instead of dropping frames.
+    co_await endpoint_->Output(app, va + sent, n, sem);
+    sent += n;
+  }
+}
+
+namespace {
+
+// An eagerly-started fragment receive: the driver task runs to the
+// endpoint's prepost immediately, then parks until dispose completes.
+struct PendingFragment {
+  explicit PendingFragment(Engine& engine) : done(engine) {}
+  InputResult result;
+  bool finished = false;
+  SimEvent done;
+};
+
+Task<void> DriveFragment(Endpoint& ep, AddressSpace& app, Vaddr va, std::uint64_t n,
+                         Semantics sem, std::shared_ptr<PendingFragment> pf) {
+  pf->result = co_await ep.Input(app, va, n, sem);
+  pf->finished = true;
+  pf->done.Set();
+}
+
+}  // namespace
+
+Task<MessageResult> MessageChannel::ReceiveMessage(AddressSpace& app, Vaddr va,
+                                                   std::uint64_t len, Semantics sem) {
+  GENIE_CHECK(IsApplicationAllocated(sem));
+  GENIE_CHECK_GT(len, 0u);
+  MessageResult result;
+
+  // Keep up to `window` fragment receives preposted; refill the window as
+  // fragments complete. Fragments arrive in order (one FIFO virtual
+  // circuit), so the k-th completion is the k-th fragment.
+  const std::uint64_t frag = options_.fragment_bytes;
+  const std::uint64_t total_frags = (len + frag - 1) / frag;
+  Engine& engine = endpoint_->node().engine();
+  std::deque<std::shared_ptr<PendingFragment>> in_flight;
+  std::uint64_t posted = 0;
+  auto post_next = [&] {
+    const std::uint64_t off = posted * frag;
+    const std::uint64_t n = std::min<std::uint64_t>(frag, len - off);
+    auto pf = std::make_shared<PendingFragment>(engine);
+    std::move(DriveFragment(*endpoint_, app, va + off, n, sem, pf)).Detach();
+    in_flight.push_back(std::move(pf));
+    ++posted;
+  };
+  while (posted < total_frags && posted < options_.window) {
+    post_next();
+  }
+
+  while (!in_flight.empty()) {
+    std::shared_ptr<PendingFragment> head = std::move(in_flight.front());
+    in_flight.pop_front();
+    if (!head->finished) {
+      co_await head->done.Wait();
+    }
+    const InputResult r = head->result;
+    if (!r.ok) {
+      result.ok = false;
+      co_return result;  // A lost/corrupt fragment fails the message.
+    }
+    result.bytes += r.bytes;
+    result.completed_at = r.completed_at;
+    ++result.fragments;
+    if (posted < total_frags) {
+      post_next();
+    }
+  }
+  result.ok = result.bytes == len;
+  co_return result;
+}
+
+}  // namespace genie

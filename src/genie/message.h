@@ -1,0 +1,57 @@
+// Multi-packet (fragmented) message transfer over a Genie endpoint —
+// the "multiple-packet communication" setting of paper reference [4].
+//
+// Messages larger than one AAL5 datagram are split into fragments at page-
+// multiple boundaries (so every fragment of an aligned buffer stays
+// swappable) and reassembled in place at the receiver. A window of receives
+// is preposted to keep the pipe full; with the adapter's credit-based flow
+// control enabled, senders additionally never overrun the window.
+#ifndef GENIE_SRC_GENIE_MESSAGE_H_
+#define GENIE_SRC_GENIE_MESSAGE_H_
+
+#include <cstdint>
+
+#include "src/genie/endpoint.h"
+
+namespace genie {
+
+struct MessageResult {
+  bool ok = false;
+  std::uint64_t bytes = 0;
+  SimTime completed_at = 0;
+  std::uint32_t fragments = 0;
+};
+
+class MessageChannel {
+ public:
+  struct Options {
+    // Fragment payload size; must be a page multiple <= the AAL5 maximum.
+    std::uint64_t fragment_bytes = 60 * 1024;
+    // How many fragment receives to keep preposted.
+    std::uint32_t window = 4;
+  };
+
+  explicit MessageChannel(Endpoint& endpoint) : MessageChannel(endpoint, Options{}) {}
+  MessageChannel(Endpoint& endpoint, Options options);
+
+  Endpoint& endpoint() { return *endpoint_; }
+  const Options& options() const { return options_; }
+
+  // Sends [va, va+len) as a sequence of fragments with `sem`
+  // (application-allocated semantics only: fragments reassemble into one
+  // contiguous receiver buffer). Completes when the last fragment's output
+  // call returns.
+  Task<void> SendMessage(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem);
+
+  // Receives a message of exactly `len` bytes into [va, va+len).
+  Task<MessageResult> ReceiveMessage(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                     Semantics sem);
+
+ private:
+  Endpoint* endpoint_;
+  Options options_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_GENIE_MESSAGE_H_

@@ -1,0 +1,70 @@
+#include "src/genie/node.h"
+
+namespace genie {
+
+namespace {
+
+Adapter::Config AdapterConfig(const Node::Config& config) {
+  Adapter::Config ac;
+  ac.rx_buffering = config.rx_buffering;
+  ac.pool_pages = config.pool_pages;
+  ac.chunk_bytes = config.profile.page_size;
+  ac.flow_control = config.flow_control;
+  return ac;
+}
+
+}  // namespace
+
+Node::Node(Engine& engine, std::string name, Config config)
+    : engine_(&engine),
+      name_(std::move(name)),
+      cost_(config.profile),
+      vm_(config.mem_frames, config.profile.page_size),
+      cpu_(engine, name_ + ".cpu"),
+      adapter_(engine, vm_.pm(), cost_, name_ + ".nic", AdapterConfig(config)),
+      pageout_(vm_) {
+  vm_.set_low_memory_reclaimer([this](std::size_t want) { pageout_.EvictUntilFree(want); });
+  if (config.model_driver_work) {
+    adapter_.SetDriverWork(&cpu_, &cpu_,
+                           cost_.Line(OpKind::kDriverPerByte).slope_us_per_byte);
+  }
+}
+
+AddressSpace& Node::CreateProcess(const std::string& proc_name) {
+  processes_.push_back(std::make_unique<AddressSpace>(vm_, name_ + "." + proc_name));
+  return *processes_.back();
+}
+
+void Node::RegisterPooledHandler(std::uint64_t channel,
+                                 std::function<void(PooledFrame)> handler) {
+  if (pooled_handlers_.empty()) {
+    adapter_.set_pooled_handler([this](PooledFrame frame) {
+      auto it = pooled_handlers_.find(frame.channel);
+      GENIE_CHECK(it != pooled_handlers_.end())
+          << "pooled frame on unregistered channel " << frame.channel;
+      it->second(std::move(frame));
+    });
+  }
+  pooled_handlers_[channel] = std::move(handler);
+}
+
+void Node::RegisterOutboardHandler(std::uint64_t channel,
+                                   std::function<void(OutboardFrame)> handler) {
+  if (outboard_handlers_.empty()) {
+    adapter_.set_outboard_handler([this](OutboardFrame frame) {
+      auto it = outboard_handlers_.find(frame.channel);
+      GENIE_CHECK(it != outboard_handlers_.end())
+          << "outboard frame on unregistered channel " << frame.channel;
+      it->second(frame);
+    });
+  }
+  outboard_handlers_[channel] = std::move(handler);
+}
+
+Network::Network(Engine& engine, Node& a, Node& b)
+    : link_ab_(engine, a.name() + "->" + b.name()), link_ba_(engine, b.name() + "->" + a.name()) {
+  a.adapter().ConnectTo(&b.adapter(), &link_ab_);
+  b.adapter().ConnectTo(&a.adapter(), &link_ba_);
+}
+
+}  // namespace genie

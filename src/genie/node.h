@@ -1,0 +1,105 @@
+// A simulated host: CPU, physical/virtual memory, pageout daemon, network
+// adapter, and the cost model for its machine profile. Genie endpoints run
+// on nodes; examples and benchmarks build a pair of nodes joined by a
+// Network.
+#ifndef GENIE_SRC_GENIE_NODE_H_
+#define GENIE_SRC_GENIE_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/net/adapter.h"
+#include "src/sim/engine.h"
+#include "src/sim/trace.h"
+#include "src/sim/resource.h"
+#include "src/vm/address_space.h"
+#include "src/vm/pageout.h"
+#include "src/vm/vm.h"
+
+namespace genie {
+
+class Node {
+ public:
+  struct Config {
+    MachineProfile profile = MachineProfile::MicronP166();
+    std::size_t mem_frames = 4096;
+    InputBuffering rx_buffering = InputBuffering::kEarlyDemux;
+    std::size_t pool_pages = 64;
+    // Charge overlapped per-byte driver work on the CPUs (Figure 4).
+    bool model_driver_work = true;
+    // Credit-based flow control on the adapter (refs [2], [14]).
+    bool flow_control = false;
+  };
+
+  Node(Engine& engine, std::string name, Config config);
+
+  Engine& engine() { return *engine_; }
+  const std::string& name() const { return name_; }
+  const MachineProfile& profile() const { return cost_.profile(); }
+  const CostModel& cost_model() const { return cost_; }
+  Vm& vm() { return vm_; }
+  Resource& cpu() { return cpu_; }
+  Adapter& adapter() { return adapter_; }
+  PageoutDaemon& pageout() { return pageout_; }
+  std::uint32_t page_size() const { return vm_.page_size(); }
+
+  // Creates a process address space owned by this node.
+  AddressSpace& CreateProcess(const std::string& proc_name);
+
+  // Per-channel demultiplexing of pooled / outboard frames to endpoints
+  // (the adapter has a single handler slot; nodes fan it out).
+  void RegisterPooledHandler(std::uint64_t channel, std::function<void(PooledFrame)> handler);
+  void RegisterOutboardHandler(std::uint64_t channel,
+                               std::function<void(OutboardFrame)> handler);
+
+  // Cost of `op` over `bytes` on this machine, as simulated time.
+  SimTime Cost(OpKind op, std::uint64_t bytes) const { return cost_.Cost(op, bytes); }
+
+  // Makes sure at least `frames` page frames are free, running the pageout
+  // daemon under memory pressure (as a real kernel does before allocating
+  // system buffers). Aborts only if eviction cannot make room.
+  void EnsureFreeFrames(std::size_t frames) {
+    if (vm_.pm().free_frames() < frames) {
+      pageout_.EvictUntilFree(frames);
+    }
+    GENIE_CHECK_GE(vm_.pm().free_frames(), frames) << "out of memory and nothing evictable";
+  }
+
+  // Optional execution tracing (chrome://tracing export); nullptr disables.
+  void set_trace(TraceLog* trace) {
+    trace_ = trace;
+    adapter_.set_trace(trace);
+  }
+  TraceLog* trace() { return trace_; }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  CostModel cost_;
+  Vm vm_;
+  Resource cpu_;
+  Adapter adapter_;
+  PageoutDaemon pageout_;
+  std::vector<std::unique_ptr<AddressSpace>> processes_;
+  TraceLog* trace_ = nullptr;
+  std::map<std::uint64_t, std::function<void(PooledFrame)>> pooled_handlers_;
+  std::map<std::uint64_t, std::function<void(OutboardFrame)>> outboard_handlers_;
+};
+
+// Connects two nodes with one ATM virtual circuit in each direction.
+class Network {
+ public:
+  Network(Engine& engine, Node& a, Node& b);
+
+ private:
+  Resource link_ab_;
+  Resource link_ba_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_GENIE_NODE_H_

@@ -1,0 +1,65 @@
+// Tunable Genie policies: the paper's empirically chosen thresholds
+// (Section 7) and toggles for the optimizations, used by the ablation
+// benchmarks.
+#ifndef GENIE_SRC_GENIE_OPTIONS_H_
+#define GENIE_SRC_GENIE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace genie {
+
+// How transport checksums are computed/verified (paper Section 9): in a
+// separate read-only pass over the data, or integrated with a data copy
+// (reference [7]). Integration with the final copyout has a semantic
+// implication: a bad checksum is detected only after the application buffer
+// was overwritten, degrading copy to weak semantics.
+enum class ChecksumMode : std::uint8_t {
+  kNone,
+  kSeparatePass,
+  kIntegrated,
+};
+
+struct GenieOptions {
+  // Output shorter than these thresholds is transparently converted to copy
+  // semantics, which is very efficient for short data (Section 6 / Figure 5:
+  // 1666 bytes for emulated copy, 280 bytes for emulated share).
+  std::uint64_t emulated_copy_output_threshold = 1666;
+  std::uint64_t emulated_share_output_threshold = 280;
+  bool enable_copy_conversion = true;
+
+  // Reverse copyout threshold (Section 5.2, Figure 5: 2178 bytes, just above
+  // half a 4 KB page): data in a partially filled system page shorter than
+  // this is copied out; longer data is completed from the application page
+  // and swapped.
+  std::uint64_t reverse_copyout_threshold = 2178;
+
+  // Input alignment (Section 5.2): allocate system input buffers at the same
+  // page offset and length as the application buffer so pages can be
+  // swapped. Off = traditional practice (copyout for unaligned buffers).
+  bool enable_input_alignment = true;
+
+  // Region hiding (Section 4): emulated move revokes access and caches the
+  // region instead of removing/creating regions. Off = emulated move pays
+  // region create/remove like basic move.
+  bool enable_region_hiding = true;
+
+  // Input-disabled pageout (Section 3.2) makes wiring unnecessary in the
+  // emulated semantics. Off = emulated semantics wire like the basic ones.
+  bool enable_input_disabled_pageout = true;
+
+  // TCOW (Section 5.1). Off = emulated copy output copies like basic copy
+  // (the output side of copy avoidance disappears).
+  bool enable_tcow = true;
+
+  // Transport checksum handling (Section 9 extension).
+  ChecksumMode checksum_mode = ChecksumMode::kNone;
+
+  // Preferred page offset of application input buffers reported by the I/O
+  // module (application input alignment query, Section 5.2). Zero for our
+  // AAL5 stack (no unstripped headers).
+  std::uint32_t preferred_input_offset = 0;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_GENIE_OPTIONS_H_

@@ -1,0 +1,27 @@
+#include "src/genie/semantics.h"
+
+namespace genie {
+
+std::string_view SemanticsName(Semantics s) {
+  switch (s) {
+    case Semantics::kCopy:
+      return "copy";
+    case Semantics::kEmulatedCopy:
+      return "emulated copy";
+    case Semantics::kShare:
+      return "share";
+    case Semantics::kEmulatedShare:
+      return "emulated share";
+    case Semantics::kMove:
+      return "move";
+    case Semantics::kEmulatedMove:
+      return "emulated move";
+    case Semantics::kWeakMove:
+      return "weak move";
+    case Semantics::kEmulatedWeakMove:
+      return "emulated weak move";
+  }
+  return "?";
+}
+
+}  // namespace genie

@@ -1,0 +1,143 @@
+#include "src/genie/sys_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+SysBuffer AllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::uint64_t len) {
+  const std::uint32_t psz = pm.page_size();
+  GENIE_CHECK_LT(page_offset, psz);
+  GENIE_CHECK_GT(len, 0u);
+  SysBuffer buf;
+  buf.length = len;
+  buf.page_offset = page_offset;
+  std::uint64_t remaining = len;
+  std::uint32_t off = page_offset;
+  while (remaining > 0) {
+    const FrameId f = pm.Allocate();
+    buf.frames.push_back(f);
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(psz - off, remaining));
+    buf.iov.segments.push_back(IoSegment{f, off, chunk});
+    remaining -= chunk;
+    off = 0;
+  }
+  return buf;
+}
+
+void FreeSysBuffer(PhysicalMemory& pm, SysBuffer& buf) {
+  for (FrameId& f : buf.frames) {
+    if (f != kInvalidFrame) {
+      pm.Free(f);
+      f = kInvalidFrame;
+    }
+  }
+}
+
+DisposePlan DisposeAlignedIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                  SysBuffer& src, std::uint64_t reverse_copyout_threshold,
+                                  std::function<void(FrameId)> retire_old) {
+  PhysicalMemory& pm = app.vm().pm();
+  const std::uint32_t psz = pm.page_size();
+  GENIE_CHECK_EQ(va % psz, src.page_offset) << "system buffer not aligned to application buffer";
+  GENIE_CHECK_LE(len, src.length);
+  Region* region = app.FindRegion(va);
+  GENIE_CHECK(region != nullptr && va + len <= region->end());
+  MemoryObject& obj = *region->object;
+  if (!retire_old) {
+    retire_old = [&pm](FrameId f) { pm.Free(f); };
+  }
+
+  DisposePlan plan;
+  std::uint64_t pos = 0;
+  std::size_t i = 0;
+  while (pos < len) {
+    const Vaddr addr = va + pos;
+    const Vaddr base = addr & ~static_cast<Vaddr>(psz - 1);
+    const std::uint32_t off = static_cast<std::uint32_t>(addr - base);
+    const std::uint64_t filled = std::min<std::uint64_t>(psz - off, len - pos);
+    const std::uint64_t index = (base - region->start) / psz;
+    GENIE_CHECK_LT(i, src.frames.size());
+    const FrameId sframe = src.frames[i];
+    GENIE_CHECK(sframe != kInvalidFrame);
+
+    auto swap_in = [&] {
+      const FrameId old =
+          obj.PageAt(index) != kInvalidFrame ? obj.ReplacePage(index, sframe) : kInvalidFrame;
+      if (old == kInvalidFrame) {
+        obj.InsertPage(index, sframe);
+        ++plan.swaps_without_displaced;
+      }
+      if (Pte* pte = app.FindPte(base); pte != nullptr) {
+        pte->frame = sframe;  // Keep the existing protection.
+      }
+      if (old != kInvalidFrame) {
+        retire_old(old);
+      }
+      src.frames[i] = kInvalidFrame;  // Consumed; no longer ours to free.
+      plan.swapped_bytes += filled;
+      ++plan.pages_swapped;
+    };
+
+    if (off == 0 && filled == psz) {
+      swap_in();
+    } else if (filled <= reverse_copyout_threshold) {
+      // Short partial page: plain copyout into the application page.
+      const FrameId aframe = app.ResolvePageForIo(addr, /*for_write=*/true);
+      GENIE_CHECK(aframe != kInvalidFrame);
+      std::memcpy(pm.Data(aframe).data() + off, pm.Data(sframe).data() + off,
+                  static_cast<std::size_t>(filled));
+      plan.copied_bytes += filled;
+    } else {
+      // Reverse copyout (Figure 2, items 3-4): complete the system page with
+      // the application page's bytes outside the buffer, then swap.
+      const FrameId aframe = app.ResolvePageForIo(addr, /*for_write=*/false);
+      GENIE_CHECK(aframe != kInvalidFrame);
+      auto sdata = pm.Data(sframe);
+      auto adata = pm.Data(aframe);
+      std::memcpy(sdata.data(), adata.data(), off);
+      const std::size_t tail_start = static_cast<std::size_t>(off + filled);
+      std::memcpy(sdata.data() + tail_start, adata.data() + tail_start, psz - tail_start);
+      plan.copied_bytes += psz - filled;
+      ++plan.reverse_copyouts;
+      swap_in();
+    }
+    pos += filled;
+    ++i;
+  }
+  return plan;
+}
+
+DisposePlan DisposeCopyOutIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                  const IoVec& src_iov) {
+  GENIE_CHECK_LE(len, src_iov.total_bytes());
+  DisposePlan plan;
+  if (len == 0) {
+    return plan;
+  }
+  std::vector<std::byte> staging(static_cast<std::size_t>(len));
+  // Gather from the source frames, then store through the application's
+  // address space (faulting pages in as needed).
+  PhysicalMemory& pm = app.vm().pm();
+  std::uint64_t seg_start = 0;
+  std::size_t done = 0;
+  for (const IoSegment& seg : src_iov.segments) {
+    if (done == staging.size()) {
+      break;
+    }
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(seg.length, len - done));
+    std::memcpy(staging.data() + done, pm.Data(seg.frame).data() + seg.offset, chunk);
+    done += chunk;
+    seg_start += seg.length;
+  }
+  const AccessResult res = app.Write(va, staging);
+  GENIE_CHECK(res == AccessResult::kOk) << "copyout into bad application buffer";
+  plan.copied_bytes = len;
+  return plan;
+}
+
+}  // namespace genie

@@ -1,0 +1,71 @@
+// Kernel system buffers and input alignment (paper Section 5.2).
+//
+// A SysBuffer is a run of raw kernel frames (not owned by a memory object)
+// used as a DMA target or source. With *system input alignment* the buffer
+// starts at the same page offset and has the same length as the application
+// buffer it will be disposed into, so whole pages can be swapped even when
+// the application buffer is not page-aligned; partially filled pages are
+// moved by (reverse) copyout under the threshold rule.
+#ifndef GENIE_SRC_GENIE_SYS_BUFFER_H_
+#define GENIE_SRC_GENIE_SYS_BUFFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/mem/phys_memory.h"
+#include "src/vm/address_space.h"
+#include "src/vm/io_vec.h"
+
+namespace genie {
+
+struct SysBuffer {
+  std::vector<FrameId> frames;  // kInvalidFrame marks pages consumed by swaps
+  IoVec iov;
+  std::uint64_t length = 0;
+  std::uint32_t page_offset = 0;  // offset of the first byte in the first frame
+};
+
+// Allocates a system buffer of `len` bytes whose first byte sits at
+// `page_offset` within its first frame (0 = conventional unaligned buffer).
+SysBuffer AllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::uint64_t len);
+
+// Frees the frames still held by `buf` (those not consumed by page swaps).
+void FreeSysBuffer(PhysicalMemory& pm, SysBuffer& buf);
+
+// Byte accounting of an input dispose, used to charge swap vs copy costs.
+struct DisposePlan {
+  std::uint64_t swapped_bytes = 0;   // moved by page swap
+  std::uint64_t copied_bytes = 0;    // moved by copyout or reverse copyout
+  std::uint64_t pages_swapped = 0;
+  std::uint64_t reverse_copyouts = 0;
+  // Swaps into previously untouched buffer pages, which displace no old
+  // frame (an overlay pool must replenish itself by this many pages).
+  std::uint64_t swaps_without_displaced = 0;
+};
+
+// Disposes `len` bytes of input data from aligned source pages into the
+// application buffer [va, va+len) by swapping full pages and applying the
+// reverse-copyout rule to partial ones (Section 5.2 and Figure 2):
+//   data in a partial source page <= threshold  -> copy it out;
+//   longer                                      -> complete the source page
+//                                                  from the application page,
+//                                                  then swap.
+//
+// Preconditions: src.page_offset == va % page_size (alignment), and
+// src.frames covers ceil(len) pages. Swapped-in frames join the buffer's
+// memory object; displaced application frames are passed to `retire_old`
+// (default: freed). Consumed source frames are marked kInvalidFrame in
+// `src.frames`.
+DisposePlan DisposeAlignedIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                  SysBuffer& src, std::uint64_t reverse_copyout_threshold,
+                                  std::function<void(FrameId)> retire_old = nullptr);
+
+// Unaligned fallback: copies all `len` bytes from `src_iov` into the
+// application buffer.
+DisposePlan DisposeCopyOutIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                  const IoVec& src_iov);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_GENIE_SYS_BUFFER_H_

@@ -1,0 +1,30 @@
+#include "src/mem/backing_store.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+void BackingStore::Save(ObjectId object, std::uint64_t page, std::span<const std::byte> data) {
+  std::vector<std::byte> copy(data.begin(), data.end());
+  store_[{object, page}] = std::move(copy);
+  ++total_pageouts_;
+}
+
+bool BackingStore::Contains(ObjectId object, std::uint64_t page) const {
+  return store_.contains({object, page});
+}
+
+void BackingStore::Restore(ObjectId object, std::uint64_t page, std::span<std::byte> out) {
+  auto it = store_.find({object, page});
+  GENIE_CHECK(it != store_.end()) << "page-in of page not in backing store";
+  GENIE_CHECK_EQ(out.size(), it->second.size());
+  std::memcpy(out.data(), it->second.data(), out.size());
+  store_.erase(it);
+  ++total_pageins_;
+}
+
+void BackingStore::Erase(ObjectId object, std::uint64_t page) { store_.erase({object, page}); }
+
+}  // namespace genie

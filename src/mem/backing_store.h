@@ -1,0 +1,44 @@
+// Simulated swap device: holds evicted page contents keyed by
+// (memory object, page index). Used by the pageout daemon and the fault
+// handler's fault-in path.
+#ifndef GENIE_SRC_MEM_BACKING_STORE_H_
+#define GENIE_SRC_MEM_BACKING_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/mem/phys_memory.h"
+
+namespace genie {
+
+class BackingStore {
+ public:
+  // Saves a copy of `data` for (object, page).
+  void Save(ObjectId object, std::uint64_t page, std::span<const std::byte> data);
+
+  // True if (object, page) has saved contents.
+  bool Contains(ObjectId object, std::uint64_t page) const;
+
+  // Copies saved contents into `out` and erases the slot. Aborts if absent.
+  void Restore(ObjectId object, std::uint64_t page, std::span<std::byte> out);
+
+  // Drops a saved page if present (object destruction).
+  void Erase(ObjectId object, std::uint64_t page);
+
+  std::size_t stored_pages() const { return store_.size(); }
+  std::uint64_t total_pageouts() const { return total_pageouts_; }
+  std::uint64_t total_pageins() const { return total_pageins_; }
+
+ private:
+  using Key = std::pair<ObjectId, std::uint64_t>;
+  std::map<Key, std::vector<std::byte>> store_;
+  std::uint64_t total_pageouts_ = 0;
+  std::uint64_t total_pageins_ = 0;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_MEM_BACKING_STORE_H_

@@ -1,0 +1,143 @@
+#include "src/mem/phys_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace genie {
+
+PhysicalMemory::PhysicalMemory(std::size_t num_frames, std::uint32_t page_size)
+    : page_size_(page_size) {
+  GENIE_CHECK_GT(num_frames, 0u);
+  GENIE_CHECK_GT(page_size, 0u);
+  arena_.resize(num_frames * page_size);
+  info_.resize(num_frames);
+  free_list_.reserve(num_frames);
+  // Push in reverse so frame 0 is allocated first (cosmetic determinism).
+  for (std::size_t i = num_frames; i-- > 0;) {
+    free_list_.push_back(static_cast<FrameId>(i));
+  }
+}
+
+FrameId PhysicalMemory::Allocate() {
+  const FrameId frame = TryAllocate();
+  GENIE_CHECK(frame != kInvalidFrame) << "out of physical memory";
+  return frame;
+}
+
+FrameId PhysicalMemory::TryAllocate() {
+  if (free_list_.empty()) {
+    return kInvalidFrame;
+  }
+  const FrameId frame = free_list_.back();
+  free_list_.pop_back();
+  FrameInfo& fi = info_[frame];
+  GENIE_CHECK(!fi.allocated && !fi.zombie);
+  fi = FrameInfo{};
+  fi.allocated = true;
+  ++total_allocations_;
+  return frame;
+}
+
+FrameId PhysicalMemory::AllocateZeroed() {
+  const FrameId frame = Allocate();
+  auto data = Data(frame);
+  std::memset(data.data(), 0, data.size());
+  return frame;
+}
+
+void PhysicalMemory::Free(FrameId frame) {
+  CheckValid(frame);
+  FrameInfo& fi = info_[frame];
+  GENIE_CHECK(fi.allocated) << "double free of frame " << frame;
+  GENIE_CHECK_EQ(fi.wire_count, 0) << "freeing wired frame " << frame;
+  fi.allocated = false;
+  fi.owner_object = kNoOwner;
+  if (fi.input_refs > 0 || fi.output_refs > 0) {
+    // Pending device I/O: defer until the last reference drops (paper §3.1).
+    fi.zombie = true;
+    ++zombie_count_;
+    ++deferred_frees_;
+    return;
+  }
+  free_list_.push_back(frame);
+}
+
+std::span<std::byte> PhysicalMemory::Data(FrameId frame) {
+  CheckValid(frame);
+  return {arena_.data() + static_cast<std::size_t>(frame) * page_size_, page_size_};
+}
+
+std::span<const std::byte> PhysicalMemory::Data(FrameId frame) const {
+  CheckValid(frame);
+  return {arena_.data() + static_cast<std::size_t>(frame) * page_size_, page_size_};
+}
+
+void PhysicalMemory::AddInputRef(FrameId frame) {
+  CheckValid(frame);
+  GENIE_CHECK(info_[frame].allocated) << "input ref on unallocated frame";
+  ++info_[frame].input_refs;
+}
+
+void PhysicalMemory::DropInputRef(FrameId frame) {
+  CheckValid(frame);
+  FrameInfo& fi = info_[frame];
+  GENIE_CHECK_GT(fi.input_refs, 0);
+  --fi.input_refs;
+  MaybeReclaim(frame);
+}
+
+void PhysicalMemory::AddOutputRef(FrameId frame) {
+  CheckValid(frame);
+  GENIE_CHECK(info_[frame].allocated) << "output ref on unallocated frame";
+  ++info_[frame].output_refs;
+}
+
+void PhysicalMemory::DropOutputRef(FrameId frame) {
+  CheckValid(frame);
+  FrameInfo& fi = info_[frame];
+  GENIE_CHECK_GT(fi.output_refs, 0);
+  --fi.output_refs;
+  MaybeReclaim(frame);
+}
+
+bool PhysicalMemory::HasIoRefs(FrameId frame) const {
+  CheckValid(frame);
+  return info_[frame].input_refs > 0 || info_[frame].output_refs > 0;
+}
+
+void PhysicalMemory::MaybeReclaim(FrameId frame) {
+  FrameInfo& fi = info_[frame];
+  if (fi.zombie && fi.input_refs == 0 && fi.output_refs == 0) {
+    // Last I/O reference on a page deallocated during I/O: now reusable.
+    fi.zombie = false;
+    --zombie_count_;
+    ++completed_deferred_frees_;
+    free_list_.push_back(frame);
+  }
+}
+
+void PhysicalMemory::Wire(FrameId frame) {
+  CheckValid(frame);
+  GENIE_CHECK(info_[frame].allocated);
+  ++info_[frame].wire_count;
+}
+
+void PhysicalMemory::Unwire(FrameId frame) {
+  CheckValid(frame);
+  GENIE_CHECK_GT(info_[frame].wire_count, 0);
+  --info_[frame].wire_count;
+}
+
+void PhysicalMemory::SetOwner(FrameId frame, ObjectId object, std::uint64_t page_index) {
+  CheckValid(frame);
+  GENIE_CHECK(info_[frame].allocated);
+  info_[frame].owner_object = object;
+  info_[frame].owner_page = page_index;
+}
+
+void PhysicalMemory::ClearOwner(FrameId frame) {
+  CheckValid(frame);
+  info_[frame].owner_object = kNoOwner;
+}
+
+}  // namespace genie

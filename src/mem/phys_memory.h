@@ -1,0 +1,117 @@
+// Simulated physical memory: a fixed arena of page frames with a free list,
+// per-frame I/O reference counts, and I/O-deferred page deallocation
+// (paper Section 3.1).
+//
+// Devices (DMA) read and write frame data directly through Data(), bypassing
+// any address-space permissions — the property that makes page referencing
+// necessary for safe in-place I/O.
+#ifndef GENIE_SRC_MEM_PHYS_MEMORY_H_
+#define GENIE_SRC_MEM_PHYS_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+using FrameId = std::uint32_t;
+inline constexpr FrameId kInvalidFrame = static_cast<FrameId>(-1);
+
+// Identifies the memory object (or device pool) owning a frame.
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kNoOwner = static_cast<ObjectId>(-1);
+
+struct FrameInfo {
+  // Nonzero while a device input (write into memory) targets this frame.
+  std::uint16_t input_refs = 0;
+  // Nonzero while a device output (read from memory) sources from this frame.
+  std::uint16_t output_refs = 0;
+  // Frame is owned (by a memory object or device pool); not on the free list.
+  bool allocated = false;
+  // Free() was called while I/O references were outstanding; the frame will
+  // join the free list when the last reference drops (deferred deallocation).
+  bool zombie = false;
+  // Wire count: pageout daemon must skip wired frames.
+  std::uint16_t wire_count = 0;
+  // Owning memory object and page index within it (kNoOwner if unowned,
+  // e.g. device pool pages).
+  ObjectId owner_object = kNoOwner;
+  std::uint64_t owner_page = 0;
+};
+
+class PhysicalMemory {
+ public:
+  PhysicalMemory(std::size_t num_frames, std::uint32_t page_size);
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  std::uint32_t page_size() const { return page_size_; }
+  std::size_t num_frames() const { return info_.size(); }
+  std::size_t free_frames() const { return free_list_.size(); }
+
+  // Allocates a frame (contents indeterminate, as on real hardware: whatever
+  // the previous owner left). Aborts if out of memory; use TryAllocate when
+  // the caller can recover (e.g. by triggering pageout).
+  FrameId Allocate();
+  FrameId TryAllocate();  // kInvalidFrame if none free.
+  FrameId AllocateZeroed();
+
+  // Releases a frame. If I/O references are outstanding the frame becomes a
+  // zombie and is reclaimed when the last reference drops — never while a
+  // device may still touch it (I/O-deferred page deallocation).
+  void Free(FrameId frame);
+
+  // Raw frame bytes. Used by the CPU-side simulation (after permission
+  // checks) and by devices (no checks — DMA bypasses the MMU).
+  std::span<std::byte> Data(FrameId frame);
+  std::span<const std::byte> Data(FrameId frame) const;
+
+  // --- I/O referencing (paper Section 3.1) ---
+  void AddInputRef(FrameId frame);
+  void DropInputRef(FrameId frame);
+  void AddOutputRef(FrameId frame);
+  void DropOutputRef(FrameId frame);
+  bool HasIoRefs(FrameId frame) const;
+
+  // --- Wiring (share/move/weak-move semantics) ---
+  void Wire(FrameId frame);
+  void Unwire(FrameId frame);
+
+  // --- Owner bookkeeping (reverse map for pageout) ---
+  void SetOwner(FrameId frame, ObjectId object, std::uint64_t page_index);
+  void ClearOwner(FrameId frame);
+
+  const FrameInfo& info(FrameId frame) const {
+    CheckValid(frame);
+    return info_[frame];
+  }
+
+  // --- Statistics (tests, diagnostics) ---
+  std::uint64_t total_allocations() const { return total_allocations_; }
+  std::uint64_t deferred_frees() const { return deferred_frees_; }
+  std::uint64_t completed_deferred_frees() const { return completed_deferred_frees_; }
+  std::size_t allocated_frames() const { return num_frames() - free_frames() - zombie_count_; }
+  std::size_t zombie_frames() const { return zombie_count_; }
+
+ private:
+  void CheckValid(FrameId frame) const {
+    GENIE_CHECK_LT(frame, info_.size()) << "bad frame id";
+  }
+  void MaybeReclaim(FrameId frame);
+
+  std::uint32_t page_size_;
+  std::vector<std::byte> arena_;
+  std::vector<FrameInfo> info_;
+  std::vector<FrameId> free_list_;
+  std::size_t zombie_count_ = 0;
+  std::uint64_t total_allocations_ = 0;
+  std::uint64_t deferred_frees_ = 0;
+  std::uint64_t completed_deferred_frees_ = 0;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_MEM_PHYS_MEMORY_H_

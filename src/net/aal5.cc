@@ -1,0 +1,41 @@
+#include "src/net/aal5.h"
+
+#include <array>
+
+namespace genie {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(std::span<const std::byte> data) {
+  const auto& table = CrcTable();
+  for (const std::byte b : data) {
+    state_ = table[(state_ ^ static_cast<std::uint32_t>(b)) & 0xFF] ^ (state_ >> 8);
+  }
+}
+
+std::uint32_t ComputeCrc32(std::span<const std::byte> data) {
+  Crc32 crc;
+  crc.Update(data);
+  return crc.value();
+}
+
+}  // namespace genie

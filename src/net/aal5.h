@@ -1,0 +1,35 @@
+// AAL5 framing constants and CRC-32 for the simulated ATM network.
+//
+// The simulation models the link at AAL5-frame + page granularity; the
+// 53/48-byte cell tax and SONET overhead are folded into the effective
+// per-byte link rate of the machine profile (0.0598 us/B at OC-3).
+#ifndef GENIE_SRC_NET_AAL5_H_
+#define GENIE_SRC_NET_AAL5_H_
+
+#include <cstdint>
+#include <span>
+
+namespace genie {
+
+// Largest AAL5 payload. The paper's experiments go up to 60 KB, "the largest
+// page-size multiple allowed by ATM AAL5" (max payload 65535).
+inline constexpr std::uint64_t kMaxAal5Payload = 65535;
+
+// Standard IEEE 802.3 CRC-32, computed incrementally:
+//   Crc32 crc; crc.Update(chunk); ... crc.value()
+class Crc32 {
+ public:
+  void Update(std::span<const std::byte> data);
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+// One-shot convenience.
+std::uint32_t ComputeCrc32(std::span<const std::byte> data);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_NET_AAL5_H_

@@ -1,0 +1,303 @@
+#include "src/net/adapter.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/net/iovec_io.h"
+#include "src/util/check.h"
+
+namespace genie {
+
+std::string_view InputBufferingName(InputBuffering b) {
+  switch (b) {
+    case InputBuffering::kEarlyDemux:
+      return "early-demultiplexed";
+    case InputBuffering::kPooled:
+      return "pooled in-host";
+    case InputBuffering::kOutboard:
+      return "outboard";
+  }
+  return "?";
+}
+
+Adapter::Adapter(Engine& engine, PhysicalMemory& pm, const CostModel& cost, std::string name,
+                 Config config)
+    : engine_(engine), pm_(pm), name_(std::move(name)), config_(config) {
+  link_us_per_byte_ = cost.Line(OpKind::kNetworkTransfer).slope_us_per_byte;
+  GENIE_CHECK_GT(link_us_per_byte_, 0.0);
+  GENIE_CHECK_GT(config_.chunk_bytes, 0u);
+  if (config_.rx_buffering == InputBuffering::kPooled) {
+    pool_ = std::make_unique<BufferPool>(pm_, config_.pool_pages);
+  }
+}
+
+void Adapter::ConnectTo(Adapter* peer, Resource* link) {
+  GENIE_CHECK(peer != nullptr && link != nullptr);
+  peer_ = peer;
+  tx_link_ = link;
+}
+
+Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_t header,
+                                  std::uint32_t tag) {
+  GENIE_CHECK(peer_ != nullptr) << "adapter " << name_ << " not connected";
+  const std::uint64_t total = iov.total_bytes();
+  GENIE_CHECK_GT(total, 0u);
+  GENIE_CHECK_LE(total, kMaxAal5Payload);
+
+  if (config_.flow_control && tag == 0) {
+    // Credit-based flow control: wait for the receiver to have a buffer.
+    co_await AcquireCredit(channel);
+  }
+  // Hold the virtual circuit for the whole frame (AAL5 frames on one VC are
+  // not interleaved).
+  co_await tx_link_->Acquire();
+  const SimTime wire_start = engine_.now();
+  peer_->BeginRxFrame(channel, header, tag);
+  std::vector<std::byte> chunk(config_.chunk_bytes);
+  std::uint64_t sent = 0;
+  while (sent < total) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(config_.chunk_bytes, total - sent));
+    // Snapshot the bytes from the frames *now*: this is the instant the DMA
+    // engine reads them. Earlier or later application stores are or are not
+    // visible exactly as on real cut-through hardware (page granularity).
+    ReadFromIoVec(pm_, iov, sent, std::span<std::byte>(chunk.data(), n));
+    if (tx_cpu_ != nullptr && driver_us_per_byte_ > 0) {
+      // Driver/descriptor processing overlapping this chunk's wire time.
+      std::move(tx_cpu_->Run(MicrosToSimTime(static_cast<double>(n) * driver_us_per_byte_)))
+          .Detach();
+    }
+    co_await Delay(engine_, MicrosToSimTime(static_cast<double>(n) * link_us_per_byte_));
+    const bool is_last = sent + n == total;
+    peer_->DeliverChunk(std::span<const std::byte>(chunk.data(), n), is_last);
+    sent += n;
+  }
+  bool crc_ok = true;
+  if (peer_->inject_crc_error_) {
+    peer_->inject_crc_error_ = false;
+    crc_ok = false;
+  }
+  peer_->EndRxFrame(crc_ok);
+  if (trace_ != nullptr) {
+    trace_->Span(name_ + ".wire", "frame " + std::to_string(total) + "B", "net", wire_start,
+                 engine_.now());
+  }
+  tx_link_->Release();
+  ++frames_sent_;
+}
+
+void Adapter::PostReceive(std::uint64_t channel, PostedReceive posted) {
+  GENIE_CHECK(config_.rx_buffering == InputBuffering::kEarlyDemux)
+      << "PostReceive requires early demultiplexing";
+  posted_[channel].push_back(std::move(posted));
+  if (config_.flow_control && peer_ != nullptr) {
+    // Return a credit to the sender after the control-cell latency.
+    Adapter* peer = peer_;
+    engine_.ScheduleAfter(config_.credit_latency,
+                          [peer, channel] { peer->GrantCredit(channel); });
+  }
+}
+
+void Adapter::GrantCredit(std::uint64_t channel) {
+  auto& waiters = credit_waiters_[channel];
+  if (!waiters.empty()) {
+    // Hand the credit straight to the oldest blocked transmission.
+    const std::coroutine_handle<> h = waiters.front();
+    waiters.pop_front();
+    engine_.ScheduleAfter(0, [h] { h.resume(); });
+    return;
+  }
+  ++tx_credits_[channel];
+}
+
+std::size_t Adapter::posted_receives(std::uint64_t channel) const {
+  auto it = posted_.find(channel);
+  return it == posted_.end() ? 0 : it->second.size();
+}
+
+void Adapter::BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag) {
+  GENIE_CHECK(!rx_.has_value()) << "overlapping frames on one link";
+  rx_.emplace();
+  rx_->channel = channel;
+  rx_->header = header;
+  rx_->tag = tag;
+  if (config_.rx_buffering == InputBuffering::kEarlyDemux) {
+    if (tag != 0) {
+      // Sender-managed placement: look the tag up in the named registry.
+      auto named = named_.find({channel, tag});
+      if (named != named_.end()) {
+        rx_->posted = named->second;  // Copy: the registration persists.
+        rx_->named = true;
+        return;
+      }
+      rx_->dropped = true;
+      ++frames_dropped_no_buffer_;
+      return;
+    }
+    auto it = posted_.find(channel);
+    if (it == posted_.end() || it->second.empty()) {
+      // No posted buffer: the controller has nowhere to put the data.
+      rx_->dropped = true;
+      ++frames_dropped_no_buffer_;
+    } else {
+      rx_->posted = std::move(it->second.front());
+      it->second.pop_front();
+    }
+  }
+}
+
+void Adapter::RegisterNamedBuffer(std::uint64_t channel, std::uint32_t tag,
+                                  PostedReceive buffer) {
+  GENIE_CHECK(config_.rx_buffering == InputBuffering::kEarlyDemux)
+      << "named buffers require early demultiplexing";
+  GENIE_CHECK(tag != 0) << "tag 0 is reserved for receiver-posted buffers";
+  const bool inserted = named_.emplace(std::make_pair(channel, tag), std::move(buffer)).second;
+  GENIE_CHECK(inserted) << "tag " << tag << " already registered";
+}
+
+void Adapter::UnregisterNamedBuffer(std::uint64_t channel, std::uint32_t tag) {
+  const std::size_t erased = named_.erase({channel, tag});
+  GENIE_CHECK_EQ(erased, 1u) << "unregistering unknown named buffer";
+}
+
+void Adapter::DeliverChunk(std::span<const std::byte> data, bool is_last) {
+  GENIE_CHECK(rx_.has_value());
+  if (rx_cpu_ != nullptr && driver_us_per_byte_ > 0 && !is_last) {
+    // Receive-side driver work overlapping the rest of the frame's arrival.
+    // The final chunk's share is folded into the interrupt processing that
+    // completion charges, so it is skipped here to keep it off the wire path.
+    std::move(
+        rx_cpu_->Run(MicrosToSimTime(static_cast<double>(data.size()) * driver_us_per_byte_)))
+        .Detach();
+  }
+  RxState& rx = *rx_;
+  if (rx.dropped) {
+    rx.bytes += data.size();
+    return;
+  }
+  switch (config_.rx_buffering) {
+    case InputBuffering::kEarlyDemux:
+      DeliverChunkEarlyDemux(rx, data);
+      break;
+    case InputBuffering::kPooled:
+      DeliverChunkPooled(rx, data);
+      break;
+    case InputBuffering::kOutboard:
+      if (outboard_bytes_held_ + rx.outboard.size() + data.size() >
+          config_.outboard_capacity_bytes) {
+        // Outboard staging RAM exhausted: the controller drops the frame.
+        rx.dropped = true;
+        ++frames_dropped_no_buffer_;
+        rx.outboard.clear();
+        rx.outboard.shrink_to_fit();
+        rx.bytes += data.size();
+        break;
+      }
+      rx.outboard.insert(rx.outboard.end(), data.begin(), data.end());
+      rx.bytes += data.size();
+      break;
+  }
+}
+
+void Adapter::DeliverChunkEarlyDemux(RxState& rx, std::span<const std::byte> data) {
+  const std::uint64_t written = WriteToIoVec(pm_, rx.posted->target, rx.bytes, data);
+  if (written < data.size()) {
+    rx.truncated = true;
+  }
+  rx.bytes += data.size();
+}
+
+void Adapter::DeliverChunkPooled(RxState& rx, std::span<const std::byte> data) {
+  const std::uint32_t page = pm_.page_size();
+  std::size_t done = 0;
+  while (done < data.size()) {
+    if (rx.overlay_pages.empty() || rx.in_page == page) {
+      const FrameId f = pool_->Allocate();
+      if (f == kInvalidFrame) {
+        rx.dropped = true;
+        ++frames_dropped_no_buffer_;
+        // Return overlay pages already used for this frame.
+        for (const FrameId used : rx.overlay_pages) {
+          pool_->Free(used);
+        }
+        rx.overlay_pages.clear();
+        rx.bytes += data.size() - done;
+        return;
+      }
+      rx.overlay_pages.push_back(f);
+      rx.in_page = 0;
+    }
+    const std::size_t chunk =
+        std::min<std::size_t>(page - rx.in_page, data.size() - done);
+    std::memcpy(pm_.Data(rx.overlay_pages.back()).data() + rx.in_page, data.data() + done,
+                chunk);
+    rx.in_page += static_cast<std::uint32_t>(chunk);
+    done += chunk;
+    rx.bytes += chunk;
+  }
+}
+
+void Adapter::EndRxFrame(bool crc_ok) {
+  GENIE_CHECK(rx_.has_value());
+  RxState rx = std::move(*rx_);
+  rx_.reset();
+  if (rx.dropped) {
+    return;
+  }
+  ++frames_received_;
+  switch (config_.rx_buffering) {
+    case InputBuffering::kEarlyDemux: {
+      RxCompletion completion;
+      completion.channel = rx.channel;
+      completion.header = rx.header;
+      completion.tag = rx.tag;
+      completion.bytes = std::min<std::uint64_t>(rx.bytes, rx.posted->target.total_bytes());
+      completion.crc_ok = crc_ok;
+      completion.truncated = rx.truncated;
+      if (rx.posted->on_complete) {
+        rx.posted->on_complete(completion);
+      }
+      break;
+    }
+    case InputBuffering::kPooled: {
+      PooledFrame frame;
+      frame.channel = rx.channel;
+      frame.header = rx.header;
+      frame.overlay_pages = std::move(rx.overlay_pages);
+      frame.bytes = rx.bytes;
+      frame.crc_ok = crc_ok;
+      GENIE_CHECK(pooled_handler_) << "no pooled handler installed";
+      pooled_handler_(std::move(frame));
+      break;
+    }
+    case InputBuffering::kOutboard: {
+      OutboardFrame frame;
+      frame.channel = rx.channel;
+      frame.header = rx.header;
+      frame.handle = next_outboard_handle_++;
+      frame.bytes = rx.bytes;
+      frame.crc_ok = crc_ok;
+      outboard_bytes_held_ += rx.outboard.size();
+      outboard_[frame.handle] = std::move(rx.outboard);
+      GENIE_CHECK(outboard_handler_) << "no outboard handler installed";
+      outboard_handler_(frame);
+      break;
+    }
+  }
+}
+
+std::span<const std::byte> Adapter::OutboardData(std::uint32_t handle) const {
+  auto it = outboard_.find(handle);
+  GENIE_CHECK(it != outboard_.end()) << "unknown outboard handle " << handle;
+  return it->second;
+}
+
+void Adapter::FreeOutboard(std::uint32_t handle) {
+  auto it = outboard_.find(handle);
+  GENIE_CHECK(it != outboard_.end()) << "freeing unknown outboard buffer";
+  GENIE_CHECK_GE(outboard_bytes_held_, it->second.size());
+  outboard_bytes_held_ -= it->second.size();
+  outboard_.erase(it);
+}
+
+}  // namespace genie

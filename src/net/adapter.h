@@ -1,0 +1,261 @@
+// Simulated Credit Net ATM adapter (paper reference [14]).
+//
+// Transmit: gather DMA from physical frames, streamed onto the link one page
+// at a time — each chunk's bytes are snapshotted from the frames at the
+// simulated instant it is transmitted, so application stores racing with the
+// DMA are observable at page granularity (the weak-integrity hazards of the
+// taxonomy).
+//
+// Receive: three device input-buffering architectures (paper Section 6.2):
+//   * early demultiplexed — per-channel lists of posted host buffers; data
+//     DMA'd straight into them as it arrives (cut-through);
+//   * pooled in-host     — overlay pages drawn from a private pool
+//     (cut-through);
+//   * outboard           — frames staged in adapter memory, handed to the
+//     host after complete reception (store-and-forward).
+#ifndef GENIE_SRC_NET_ADAPTER_H_
+#define GENIE_SRC_NET_ADAPTER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/mem/phys_memory.h"
+#include "src/net/aal5.h"
+#include "src/net/buffer_pool.h"
+#include "src/sim/awaitable.h"
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+#include "src/sim/trace.h"
+#include "src/vm/io_vec.h"
+
+namespace genie {
+
+enum class InputBuffering : std::uint8_t {
+  kEarlyDemux,
+  kPooled,
+  kOutboard,
+};
+
+std::string_view InputBufferingName(InputBuffering b);
+
+// Completion report for an early-demultiplexed receive.
+struct RxCompletion {
+  std::uint64_t channel = 0;
+  std::uint64_t bytes = 0;     // bytes delivered into the posted buffer
+  std::uint32_t header = 0;    // sender-supplied per-frame header word
+  std::uint32_t tag = 0;       // sender-managed buffer tag (0 = receiver-posted)
+  bool crc_ok = true;
+  bool truncated = false;      // frame longer than the posted buffer
+};
+
+// A complete frame received into pooled overlay buffers.
+struct PooledFrame {
+  std::uint64_t channel = 0;
+  std::vector<FrameId> overlay_pages;  // owned by the adapter's pool
+  std::uint64_t bytes = 0;
+  std::uint32_t header = 0;
+  bool crc_ok = true;
+};
+
+// A complete frame staged in outboard adapter memory.
+struct OutboardFrame {
+  std::uint64_t channel = 0;
+  std::uint32_t handle = 0;  // outboard buffer handle
+  std::uint64_t bytes = 0;
+  std::uint32_t header = 0;
+  bool crc_ok = true;
+};
+
+class Adapter {
+ public:
+  struct Config {
+    InputBuffering rx_buffering = InputBuffering::kEarlyDemux;
+    std::size_t pool_pages = 64;        // pooled mode
+    std::size_t chunk_bytes = 4096;     // streaming granularity (page)
+    // Credit-based flow control (the Credit Net scheme, paper refs [2],
+    // [14]): each receiver-posted buffer returns one credit to the sender;
+    // transmission blocks with no credit, so frames are never dropped for
+    // lack of a posted buffer. Early-demultiplexed buffering only; tagged
+    // (sender-managed) frames bypass credits, as their buffers persist.
+    bool flow_control = false;
+    SimTime credit_latency = 5 * kMicrosecond;  // control-cell return time
+    // Outboard adapter memory capacity (Section 6.2.3 notes outboard
+    // buffering "can add complexity and cost to the controller" — the cost
+    // is finite staging RAM). Frames that would overflow it are dropped.
+    std::size_t outboard_capacity_bytes = 256 * 1024;
+  };
+
+  // Optional execution tracing: frame transmit spans land on the
+  // "<name>.wire" track.
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  // Optional host-CPU driver work per transferred byte (descriptor and
+  // buffer-chain processing that overlaps the wire transfer). Contributes to
+  // CPU utilization but not to latency while the CPU is otherwise idle.
+  void SetDriverWork(Resource* tx_cpu, Resource* rx_cpu, double driver_us_per_byte) {
+    tx_cpu_ = tx_cpu;
+    rx_cpu_ = rx_cpu;
+    driver_us_per_byte_ = driver_us_per_byte;
+  }
+
+  Adapter(Engine& engine, PhysicalMemory& pm, const CostModel& cost, std::string name,
+          Config config);
+
+  const std::string& name() const { return name_; }
+  InputBuffering rx_buffering() const { return config_.rx_buffering; }
+  BufferPool* pool() { return pool_.get(); }
+
+  // Wires this adapter's transmit side to `peer`'s receive side over `link`
+  // (a Resource modelling the ATM virtual circuit in this direction).
+  void ConnectTo(Adapter* peer, Resource* link);
+
+  // Transmits one AAL5 frame gathering payload from `iov`. Completes when
+  // the last byte has left the wire (transmit-complete interrupt time).
+  // `header` is an opaque per-frame word (e.g. a transport checksum)
+  // delivered with the receive completion.
+  Task<void> TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_t header = 0,
+                           std::uint32_t tag = 0);
+
+  // --- Early-demultiplexed receive ---
+  struct PostedReceive {
+    IoVec target;
+    std::function<void(const RxCompletion&)> on_complete;
+  };
+  // Queues a host buffer on the channel's input buffer list.
+  void PostReceive(std::uint64_t channel, PostedReceive posted);
+  std::size_t posted_receives(std::uint64_t channel) const;
+
+  // Sender-managed placement (paper Section 6.2.1, Hamlyn-style): registers
+  // a persistent named buffer; frames transmitted with a matching tag DMA
+  // straight into it, no per-datagram preposting. The completion callback
+  // fires for every arrival; the registration survives until removed.
+  void RegisterNamedBuffer(std::uint64_t channel, std::uint32_t tag, PostedReceive buffer);
+  void UnregisterNamedBuffer(std::uint64_t channel, std::uint32_t tag);
+
+  // --- Pooled receive ---
+  void set_pooled_handler(std::function<void(PooledFrame)> handler) {
+    pooled_handler_ = std::move(handler);
+  }
+
+  // --- Outboard receive ---
+  void set_outboard_handler(std::function<void(OutboardFrame)> handler) {
+    outboard_handler_ = std::move(handler);
+  }
+  // Reads out of / releases outboard memory (host-side DMA endpoints).
+  std::span<const std::byte> OutboardData(std::uint32_t handle) const;
+  void FreeOutboard(std::uint32_t handle);
+  std::size_t outboard_frames_held() const { return outboard_.size(); }
+
+  // --- Fault injection ---
+  // The next received frame reports a CRC failure.
+  void InjectCrcError() { inject_crc_error_ = true; }
+
+  // --- Flow control ---
+  std::uint32_t tx_credits(std::uint64_t channel) const {
+    auto it = tx_credits_.find(channel);
+    return it == tx_credits_.end() ? 0 : it->second;
+  }
+  std::size_t credit_waiters(std::uint64_t channel) const {
+    auto it = credit_waiters_.find(channel);
+    return it == credit_waiters_.end() ? 0 : it->second.size();
+  }
+
+  // --- Statistics ---
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t frames_dropped_no_buffer() const { return frames_dropped_no_buffer_; }
+
+ private:
+  struct RxState {
+    std::uint64_t channel = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t header = 0;
+    std::uint32_t tag = 0;
+    bool crc_failed = false;
+    // Early demux:
+    std::optional<PostedReceive> posted;
+    bool named = false;  // posted came from the named-buffer registry
+    bool truncated = false;
+    bool dropped = false;
+    // Pooled:
+    std::vector<FrameId> overlay_pages;
+    std::uint32_t in_page = 0;  // fill level of last overlay page
+    // Outboard:
+    std::vector<std::byte> outboard;
+  };
+
+  // Peer-side delivery, called by the transmitting adapter.
+  void BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag);
+  void DeliverChunk(std::span<const std::byte> data, bool is_last);
+  void EndRxFrame(bool crc_ok);
+
+  void DeliverChunkEarlyDemux(RxState& rx, std::span<const std::byte> data);
+  void DeliverChunkPooled(RxState& rx, std::span<const std::byte> data);
+
+  // Flow control: blocks the transmitting task until a credit is available.
+  auto AcquireCredit(std::uint64_t channel) {
+    struct Awaiter {
+      Adapter& adapter;
+      std::uint64_t channel;
+      bool await_ready() {
+        std::uint32_t& credits = adapter.tx_credits_[channel];
+        if (credits > 0) {
+          --credits;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        adapter.credit_waiters_[channel].push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, channel};
+  }
+  // Called (after the credit latency) when the peer posts a receive buffer.
+  void GrantCredit(std::uint64_t channel);
+
+  Engine& engine_;
+  PhysicalMemory& pm_;
+  TraceLog* trace_ = nullptr;
+  std::string name_;
+  Config config_;
+  double link_us_per_byte_;
+
+  Adapter* peer_ = nullptr;
+  Resource* tx_link_ = nullptr;
+  Resource* tx_cpu_ = nullptr;
+  Resource* rx_cpu_ = nullptr;
+  double driver_us_per_byte_ = 0.0;
+
+  std::map<std::uint64_t, std::deque<PostedReceive>> posted_;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, PostedReceive> named_;
+  std::function<void(PooledFrame)> pooled_handler_;
+  std::function<void(OutboardFrame)> outboard_handler_;
+  std::unique_ptr<BufferPool> pool_;
+  std::map<std::uint32_t, std::vector<std::byte>> outboard_;
+  std::size_t outboard_bytes_held_ = 0;  // stored frames + in-progress rx
+  std::uint32_t next_outboard_handle_ = 1;
+
+  std::optional<RxState> rx_;  // in-progress frame (one at a time per link)
+  std::map<std::uint64_t, std::uint32_t> tx_credits_;
+  std::map<std::uint64_t, std::deque<std::coroutine_handle<>>> credit_waiters_;
+  bool inject_crc_error_ = false;
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t frames_dropped_no_buffer_ = 0;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_NET_ADAPTER_H_

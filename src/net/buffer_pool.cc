@@ -1,0 +1,49 @@
+#include "src/net/buffer_pool.h"
+
+#include "src/util/check.h"
+
+namespace genie {
+
+BufferPool::BufferPool(PhysicalMemory& pm, std::size_t num_pages)
+    : pm_(pm), capacity_(num_pages) {
+  free_.reserve(num_pages);
+  for (std::size_t i = 0; i < num_pages; ++i) {
+    free_.push_back(pm_.Allocate());
+  }
+}
+
+BufferPool::~BufferPool() {
+  for (const FrameId f : free_) {
+    pm_.Free(f);
+  }
+}
+
+FrameId BufferPool::Allocate() {
+  if (free_.empty()) {
+    ++depletion_events_;
+    return kInvalidFrame;
+  }
+  const FrameId f = free_.back();
+  free_.pop_back();
+  return f;
+}
+
+void BufferPool::Free(FrameId frame) {
+  GENIE_CHECK_LT(free_.size(), capacity_) << "pool overfull";
+  free_.push_back(frame);
+}
+
+std::size_t BufferPool::Refill(std::size_t n) {
+  std::size_t refilled = 0;
+  while (refilled < n && free_.size() < capacity_) {
+    const FrameId f = pm_.TryAllocate();
+    if (f == kInvalidFrame) {
+      break;
+    }
+    free_.push_back(f);
+    ++refilled;
+  }
+  return refilled;
+}
+
+}  // namespace genie

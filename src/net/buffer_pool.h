@@ -1,0 +1,48 @@
+// Pooled in-host input buffering (paper Section 6.2.2): the device controller
+// draws fixed-size overlay buffers (pages) from a private pool in host main
+// memory, without regard to the input request or connection.
+#ifndef GENIE_SRC_NET_BUFFER_POOL_H_
+#define GENIE_SRC_NET_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/phys_memory.h"
+
+namespace genie {
+
+class BufferPool {
+ public:
+  // Preallocates `num_pages` frames from physical memory. Pool frames are
+  // unowned by any memory object (the pageout daemon never touches them).
+  BufferPool(PhysicalMemory& pm, std::size_t num_pages);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Takes a page from the pool; kInvalidFrame if depleted (the adapter then
+  // drops the frame, as real hardware does).
+  FrameId Allocate();
+
+  // Returns an overlay page to the pool.
+  void Free(FrameId frame);
+
+  // Move semantics donates overlay pages to the application and must refill
+  // the pool with freshly allocated frames to avoid depletion (Table 4).
+  // Returns the number of frames actually refilled (limited by free memory).
+  std::size_t Refill(std::size_t n);
+
+  std::size_t available() const { return free_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t depletion_events() const { return depletion_events_; }
+
+ private:
+  PhysicalMemory& pm_;
+  std::vector<FrameId> free_;
+  std::size_t capacity_;
+  std::uint64_t depletion_events_ = 0;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_NET_BUFFER_POOL_H_

@@ -1,0 +1,59 @@
+#include "src/net/checksum.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+void InternetChecksum::Update(std::span<const std::byte> data) {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    sum_ += static_cast<std::uint32_t>((pending_ << 8) | static_cast<std::uint8_t>(data[0]));
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<std::uint32_t>((static_cast<std::uint8_t>(data[i]) << 8) |
+                                       static_cast<std::uint8_t>(data[i + 1]));
+  }
+  if (i < data.size()) {
+    pending_ = static_cast<std::uint8_t>(data[i]);
+    odd_ = true;
+  }
+}
+
+std::uint16_t InternetChecksum::value() const {
+  std::uint32_t sum = sum_;
+  if (odd_) {
+    sum += static_cast<std::uint32_t>(pending_ << 8);
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t ChecksumOf(std::span<const std::byte> data) {
+  InternetChecksum c;
+  c.Update(data);
+  return c.value();
+}
+
+std::uint16_t ChecksumOfIoVec(const PhysicalMemory& pm, const IoVec& iov, std::uint64_t bytes) {
+  GENIE_CHECK_LE(bytes, iov.total_bytes());
+  InternetChecksum c;
+  std::uint64_t done = 0;
+  for (const IoSegment& seg : iov.segments) {
+    if (done == bytes) {
+      break;
+    }
+    const std::uint64_t chunk = std::min<std::uint64_t>(seg.length, bytes - done);
+    c.Update(pm.Data(seg.frame).subspan(seg.offset, static_cast<std::size_t>(chunk)));
+    done += chunk;
+  }
+  return c.value();
+}
+
+}  // namespace genie

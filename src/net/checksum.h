@@ -1,0 +1,37 @@
+// Internet (RFC 1071 style) 16-bit one's-complement checksum, used by the
+// checksum-integration extension (paper Section 9 and reference [4]): a
+// transport-level checksum the sender computes over the payload and the
+// receiver verifies, either in a separate read pass or integrated with a
+// data copy.
+#ifndef GENIE_SRC_NET_CHECKSUM_H_
+#define GENIE_SRC_NET_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/mem/phys_memory.h"
+#include "src/vm/io_vec.h"
+
+namespace genie {
+
+// Incremental one's-complement checksum.
+class InternetChecksum {
+ public:
+  void Update(std::span<const std::byte> data);
+  std::uint16_t value() const;
+  void Reset() { sum_ = 0; odd_ = false; }
+
+ private:
+  std::uint32_t sum_ = 0;
+  bool odd_ = false;  // A dangling odd byte from the previous update.
+  std::uint8_t pending_ = 0;
+};
+
+std::uint16_t ChecksumOf(std::span<const std::byte> data);
+
+// Checksum over the first `bytes` bytes of a scatter/gather list.
+std::uint16_t ChecksumOfIoVec(const PhysicalMemory& pm, const IoVec& iov, std::uint64_t bytes);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_NET_CHECKSUM_H_

@@ -1,0 +1,27 @@
+// Helpers for moving bytes between linear buffers and scatter/gather lists
+// of physical frames (device DMA data movement).
+#ifndef GENIE_SRC_NET_IOVEC_IO_H_
+#define GENIE_SRC_NET_IOVEC_IO_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/mem/phys_memory.h"
+#include "src/vm/io_vec.h"
+
+namespace genie {
+
+// Copies iovec bytes [offset, offset+out.size()) into `out` (gather DMA
+// read). Aborts if the range exceeds the iovec.
+void ReadFromIoVec(const PhysicalMemory& pm, const IoVec& iov, std::uint64_t offset,
+                   std::span<std::byte> out);
+
+// Copies `in` into iovec bytes starting at `offset` (scatter DMA write).
+// Returns the number of bytes actually written (clipped at the iovec end,
+// so a too-long frame is truncated rather than corrupting memory).
+std::uint64_t WriteToIoVec(PhysicalMemory& pm, const IoVec& iov, std::uint64_t offset,
+                           std::span<const std::byte> in);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_NET_IOVEC_IO_H_

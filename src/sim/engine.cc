@@ -1,0 +1,61 @@
+#include "src/sim/engine.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+void Engine::ScheduleAt(SimTime t, Callback fn) {
+  GENIE_CHECK_GE(t, now_) << "cannot schedule in the past";
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::ScheduleAfter(SimTime delay, Callback fn) {
+  GENIE_CHECK_GE(delay, 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Engine::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  GENIE_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::Run() {
+  while (Step()) {
+  }
+}
+
+SimTime Engine::RunFor(SimTime duration) {
+  GENIE_CHECK_GE(duration, 0);
+  const SimTime deadline = now_ + duration;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Step();
+  }
+  now_ = deadline;
+  return now_;
+}
+
+bool Engine::RunUntil(const std::function<bool()>& pred) {
+  if (pred()) {
+    return true;
+  }
+  while (Step()) {
+    if (pred()) {
+      return true;
+    }
+  }
+  return pred();
+}
+
+}  // namespace genie

@@ -1,0 +1,78 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of (time, sequence, callback) events and a
+// monotonically advancing clock in integer nanoseconds. Events scheduled for
+// the same instant run in scheduling order (FIFO), which makes every run of a
+// simulation bit-for-bit deterministic.
+#ifndef GENIE_SRC_SIM_ENGINE_H_
+#define GENIE_SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace genie {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Current simulated time.
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `t` (must be >= now()).
+  void ScheduleAt(SimTime t, Callback fn);
+
+  // Schedules `fn` to run `delay` ns from now (delay must be >= 0).
+  void ScheduleAfter(SimTime delay, Callback fn);
+
+  // Runs the earliest pending event. Returns false if none are pending.
+  bool Step();
+
+  // Runs until no events remain.
+  void Run();
+
+  // Runs events with time <= now() + duration; advances the clock to exactly
+  // that bound even if the queue drains earlier. Returns the new time.
+  SimTime RunFor(SimTime duration);
+
+  // Runs until `pred` returns true (checked after each event) or the queue
+  // drains. Returns true if the predicate was satisfied.
+  bool RunUntil(const std::function<bool()>& pred);
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+  // Total number of events executed so far (for tests and diagnostics).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_SIM_ENGINE_H_

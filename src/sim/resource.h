@@ -1,0 +1,105 @@
+// A FIFO-served exclusive resource (CPU, DMA engine, network link) with
+// busy-time accounting for utilization measurements (paper Figure 4).
+#ifndef GENIE_SRC_SIM_RESOURCE_H_
+#define GENIE_SRC_SIM_RESOURCE_H_
+
+#include <coroutine>
+#include <deque>
+#include <string>
+
+#include "src/sim/awaitable.h"
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/util/check.h"
+#include "src/util/units.h"
+
+namespace genie {
+
+class Resource {
+ public:
+  Resource(Engine& engine, std::string name) : engine_(&engine), name_(std::move(name)) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  // `co_await resource.Acquire()` grants exclusive use, queueing FIFO behind
+  // the current holder. Pair with Release().
+  auto Acquire() {
+    struct Awaiter {
+      Resource& res;
+      bool await_ready() noexcept {
+        if (!res.held_) {
+          res.Grant();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { res.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  // Releases the resource; the next queued waiter (if any) is granted at the
+  // current simulated time via a fresh engine event.
+  void Release() {
+    GENIE_CHECK(held_) << "Release() on idle resource " << name_;
+    busy_accum_ += engine_->now() - grant_time_;
+    if (waiters_.empty()) {
+      held_ = false;
+      return;
+    }
+    std::coroutine_handle<> next = waiters_.front();
+    waiters_.pop_front();
+    grant_time_ = engine_->now();  // Hand-off: stays held, new grant starts now.
+    engine_->ScheduleAfter(0, [next] { next.resume(); });
+  }
+
+  // Acquires the resource, holds it for `cost` ns of simulated work, and
+  // releases it. This is how kernel code "executes" on a CPU.
+  Task<void> Run(SimTime cost) {
+    GENIE_CHECK_GE(cost, 0);
+    co_await Acquire();
+    co_await Delay(*engine_, cost);
+    Release();
+  }
+
+  bool held() const { return held_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+
+  // Total simulated time this resource has been held. If currently held the
+  // in-progress grant is included up to now().
+  SimTime busy_time() const {
+    SimTime busy = busy_accum_;
+    if (held_) {
+      busy += engine_->now() - grant_time_;
+    }
+    return busy;
+  }
+
+  // Resets the busy-time accumulator (to start a measurement window).
+  void ResetBusyTime() {
+    busy_accum_ = 0;
+    if (held_) {
+      grant_time_ = engine_->now();
+    }
+  }
+
+ private:
+  friend struct AcquireAwaiter;
+  void Grant() {
+    held_ = true;
+    grant_time_ = engine_->now();
+  }
+
+  Engine* engine_;
+  std::string name_;
+  bool held_ = false;
+  SimTime grant_time_ = 0;
+  SimTime busy_accum_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_SIM_RESOURCE_H_

@@ -1,0 +1,152 @@
+// Coroutine task type for the discrete-event engine.
+//
+// A Task<T> is a lazily-started coroutine. It can be:
+//   * awaited (`T r = co_await ChildTask();`) — the child runs and resumes the
+//     awaiting coroutine when it completes (symmetric transfer), or
+//   * detached (`std::move(task).Detach();`) — it starts immediately and frees
+//     its own frame on completion. Detached tasks must not throw.
+//
+// Simulated kernel threads, device engines, and application actors are all
+// Tasks suspended on engine-scheduled awaitables (Delay, SimEvent, Resource).
+#ifndef GENIE_SRC_SIM_TASK_H_
+#define GENIE_SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace internal {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  bool detached = false;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      TaskPromiseBase& p = h.promise();
+      if (p.continuation) {
+        return p.continuation;
+      }
+      if (p.detached) {
+        if (p.exception) {
+          // A detached task has nowhere to deliver an exception.
+          std::terminate();
+        }
+        h.destroy();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace internal
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = internal::TaskPromise<T>;
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) {
+        handle_.destroy();
+      }
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Starts the coroutine and severs ownership; the frame frees itself when
+  // the coroutine completes. Only meaningful for Task<void>.
+  void Detach() && {
+    static_assert(std::is_void_v<T>, "only Task<void> may be detached");
+    GENIE_CHECK(handle_ != nullptr);
+    auto h = std::exchange(handle_, nullptr);
+    h.promise().detached = true;
+    h.resume();
+    // `h` may now be dangling (self-destroyed); do not touch it.
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // Start the child task.
+      }
+      T await_resume() {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*h.promise().value);
+        }
+      }
+    };
+    GENIE_CHECK(handle_ != nullptr);
+    return Awaiter{handle_};
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace internal {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace internal
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_SIM_TASK_H_

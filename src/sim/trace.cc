@@ -1,0 +1,81 @@
+#include "src/sim/trace.h"
+
+#include <map>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+void TraceLog::Span(const std::string& track, const std::string& name,
+                    const std::string& category, SimTime start, SimTime end) {
+  GENIE_CHECK_LE(start, end);
+  events_.push_back(Event{track, name, category, start, end, false});
+}
+
+void TraceLog::Instant(const std::string& track, const std::string& name,
+                       const std::string& category, SimTime at) {
+  events_.push_back(Event{track, name, category, at, at, true});
+}
+
+namespace {
+
+void WriteEscaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TraceLog::WriteJson(std::ostream& os) const {
+  // Assign a stable integer tid per track, in order of first appearance.
+  std::map<std::string, int> tids;
+  for (const Event& e : events_) {
+    tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
+  }
+  os << "[\n";
+  bool first = true;
+  // Thread-name metadata so viewers label the tracks.
+  for (const auto& [track, tid] : tids) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << R"({"ph":"M","pid":1,"tid":)" << tid << R"(,"name":"thread_name","args":{"name":)";
+    WriteEscaped(os, track);
+    os << "}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    const double ts_us = SimTimeToMicros(e.start);
+    os << R"({"pid":1,"tid":)" << tids[e.track] << R"(,"ts":)" << ts_us << R"(,"name":)";
+    WriteEscaped(os, e.name);
+    os << R"(,"cat":)";
+    WriteEscaped(os, e.category);
+    if (e.instant) {
+      os << R"(,"ph":"i","s":"t"})";
+    } else {
+      os << R"(,"ph":"X","dur":)" << SimTimeToMicros(e.end - e.start) << "}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace genie

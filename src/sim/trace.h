@@ -1,0 +1,49 @@
+// Execution tracing for the discrete-event simulation, exportable as
+// Chrome trace-event JSON (chrome://tracing, Perfetto). Tracks are free-form
+// strings (one per CPU, link, or actor); spans carry a name and category.
+//
+// Tracing is opt-in: a null/disabled TraceLog makes every hook a no-op.
+#ifndef GENIE_SRC_SIM_TRACE_H_
+#define GENIE_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace genie {
+
+class TraceLog {
+ public:
+  // Records a completed span [start, end) on `track`.
+  void Span(const std::string& track, const std::string& name, const std::string& category,
+            SimTime start, SimTime end);
+
+  // Records an instantaneous event.
+  void Instant(const std::string& track, const std::string& name,
+               const std::string& category, SimTime at);
+
+  std::size_t event_count() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Writes the Chrome trace-event JSON array format. Timestamps are emitted
+  // in microseconds (the trace-event unit).
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  struct Event {
+    std::string track;
+    std::string name;
+    std::string category;
+    SimTime start = 0;
+    SimTime end = 0;  // == start for instants
+    bool instant = false;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_SIM_TRACE_H_

@@ -1,0 +1,14 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace genie {
+
+void CheckFailed(const char* expr, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "GENIE_CHECK failed: %s at %s:%d %s\n", expr, file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace genie

@@ -1,0 +1,59 @@
+// Invariant checking macros.
+//
+// GENIE_CHECK is always on (release and debug): the simulated kernel relies on
+// these invariants for memory safety of the simulation itself, so violating one
+// aborts with a source location and message rather than corrupting state.
+#ifndef GENIE_SRC_UTIL_CHECK_H_
+#define GENIE_SRC_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace genie {
+
+// Aborts the process, printing `msg` with the failing expression and location.
+// Used by the GENIE_CHECK family; callers normally do not call this directly.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line, const std::string& msg);
+
+}  // namespace genie
+
+// Aborts if `cond` is false. Additional stream-style context may be appended:
+//   GENIE_CHECK(frame < limit) << "frame=" << frame;
+#define GENIE_CHECK(cond)                                                   \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::genie::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+// Equality check with both values printed on failure.
+#define GENIE_CHECK_EQ(a, b) GENIE_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define GENIE_CHECK_NE(a, b) GENIE_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define GENIE_CHECK_LT(a, b) GENIE_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define GENIE_CHECK_LE(a, b) GENIE_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define GENIE_CHECK_GT(a, b) GENIE_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define GENIE_CHECK_GE(a, b) GENIE_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+
+namespace genie {
+
+// Accumulates streamed context and aborts in its destructor.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckFailureStream() { CheckFailed(expr_, file_, line_, os_.str()); }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_UTIL_CHECK_H_

@@ -1,0 +1,48 @@
+// Small descriptive-statistics helpers used by the experiment harness and the
+// analysis library (averaging over runs, reporting spreads).
+#ifndef GENIE_SRC_UTIL_STATS_H_
+#define GENIE_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace genie {
+
+// Arithmetic mean; 0 for an empty input.
+double Mean(std::span<const double> xs);
+
+// Population standard deviation; 0 for fewer than two samples.
+double StdDev(std::span<const double> xs);
+
+// Geometric mean; all inputs must be positive. 0 for an empty input.
+double GeometricMean(std::span<const double> xs);
+
+// Minimum / maximum; inputs must be non-empty.
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+
+// Linear interpolation percentile, p in [0, 100]; input must be non-empty.
+// The input need not be sorted (a sorted copy is made).
+double Percentile(std::span<const double> xs, double p);
+
+// Running accumulator for mean/min/max without storing samples.
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_UTIL_STATS_H_

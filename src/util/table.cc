@@ -1,0 +1,76 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace genie {
+
+void TextTable::AddHeader(std::vector<std::string> cells) {
+  Row row;
+  row.cells = std::move(cells);
+  row.is_header = true;
+  row.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  Row row;
+  row.cells = std::move(cells);
+  row.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const Row& row : rows_) {
+    if (row.cells.size() > widths.size()) {
+      widths.resize(row.cells.size(), static_cast<std::size_t>(min_width_));
+    }
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+  auto print_rule = [&] {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      os << (i == 0 ? "+" : "+");
+      os << std::string(widths[i] + 2, '-');
+    }
+    os << "+\n";
+  };
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    if (r == 0 || row.rule_before) {
+      print_rule();
+    }
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.cells.size() ? row.cells[i] : std::string();
+      os << "| " << cell << std::string(widths[i] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+    if (row.is_header) {
+      print_rule();
+    }
+  }
+  if (!rows_.empty()) {
+    print_rule();
+  }
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace genie

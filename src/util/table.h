@@ -1,0 +1,44 @@
+// Fixed-width text table printer used by the benchmark binaries to render
+// paper-style tables and figure series on stdout.
+#ifndef GENIE_SRC_UTIL_TABLE_H_
+#define GENIE_SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace genie {
+
+// Accumulates rows of string cells and prints them with per-column alignment.
+// The first row added with AddHeader() is separated from the body by a rule.
+class TextTable {
+ public:
+  // `min_width` pads every column to at least that many characters.
+  explicit TextTable(int min_width = 0) : min_width_(min_width) {}
+
+  void AddHeader(std::vector<std::string> cells);
+  void AddRow(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next row.
+  void AddRule();
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_header = false;
+    bool rule_before = false;
+  };
+
+  int min_width_;
+  bool pending_rule_ = false;
+  std::vector<Row> rows_;
+};
+
+// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_UTIL_TABLE_H_

@@ -1,0 +1,34 @@
+// Size and time unit helpers shared by the whole project.
+//
+// Simulated time is kept as an integer number of nanoseconds (SimTime) for
+// determinism; the paper reports microseconds, so conversion helpers live here.
+#ifndef GENIE_SRC_UTIL_UNITS_H_
+#define GENIE_SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace genie {
+
+// Simulated time in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+// Converts a duration in (possibly fractional) microseconds to SimTime,
+// rounding to the nearest nanosecond.
+constexpr SimTime MicrosToSimTime(double us) {
+  return static_cast<SimTime>(us * 1000.0 + (us >= 0 ? 0.5 : -0.5));
+}
+
+// Converts SimTime to microseconds for reporting.
+constexpr double SimTimeToMicros(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_UTIL_UNITS_H_

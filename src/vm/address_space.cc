@@ -1,0 +1,417 @@
+#include "src/vm/address_space.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+namespace {
+constexpr Vaddr kFirstMappableAddress = 0x10000000;
+}  // namespace
+
+std::string_view RegionStateName(RegionState s) {
+  switch (s) {
+    case RegionState::kUnmovable:
+      return "unmovable";
+    case RegionState::kMovedIn:
+      return "moved-in";
+    case RegionState::kMovingIn:
+      return "moving-in";
+    case RegionState::kMovingOut:
+      return "moving-out";
+    case RegionState::kMovedOut:
+      return "moved-out";
+    case RegionState::kWeaklyMovedOut:
+      return "weakly-moved-out";
+  }
+  return "?";
+}
+
+AddressSpace::AddressSpace(Vm& vm, std::string name)
+    : vm_(&vm),
+      name_(std::move(name)),
+      page_size_(vm.page_size()),
+      next_free_hint_(kFirstMappableAddress) {}
+
+AddressSpace::~AddressSpace() {
+  while (!regions_.empty()) {
+    RemoveRegion(regions_.begin()->first);
+  }
+}
+
+Region* AddressSpace::CreateRegion(Vaddr start, std::uint64_t length, RegionState state) {
+  const std::uint64_t pages = length / page_size_;
+  GENIE_CHECK_GT(length, 0u);
+  GENIE_CHECK_EQ(length % page_size_, 0u) << "region length must be a page multiple";
+  return CreateRegionWithObject(start, length, vm_->CreateObject(pages), state);
+}
+
+Region* AddressSpace::CreateRegionWithObject(Vaddr start, std::uint64_t length,
+                                             std::shared_ptr<MemoryObject> object,
+                                             RegionState state) {
+  GENIE_CHECK_EQ(start % page_size_, 0u) << "region start must be page-aligned";
+  GENIE_CHECK_EQ(length % page_size_, 0u);
+  GENIE_CHECK(object != nullptr);
+  // Reject overlap with an existing region.
+  auto next = regions_.lower_bound(start);
+  if (next != regions_.end()) {
+    GENIE_CHECK_LE(start + length, next->second.start) << "region overlap";
+  }
+  if (next != regions_.begin()) {
+    auto prev = std::prev(next);
+    GENIE_CHECK_LE(prev->second.end(), start) << "region overlap";
+  }
+  Region region;
+  region.start = start;
+  region.length = length;
+  region.object = std::move(object);
+  region.state = state;
+  region.object->AddMapping(this, start);
+  auto [it, inserted] = regions_.emplace(start, std::move(region));
+  GENIE_CHECK(inserted);
+  return &it->second;
+}
+
+Vaddr AddressSpace::FindFreeRange(std::uint64_t length) {
+  GENIE_CHECK_GT(length, 0u);
+  Vaddr candidate = next_free_hint_;
+  for (;;) {
+    auto next = regions_.lower_bound(candidate);
+    // Conflict with the previous region?
+    if (next != regions_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->second.end() > candidate) {
+        candidate = prev->second.end();
+        continue;
+      }
+    }
+    // Conflict with the next region?
+    if (next != regions_.end() && candidate + length > next->second.start) {
+      candidate = next->second.end();
+      continue;
+    }
+    next_free_hint_ = candidate + length;
+    return candidate;
+  }
+}
+
+void AddressSpace::RemoveRegion(Vaddr start) {
+  auto it = regions_.find(start);
+  GENIE_CHECK(it != regions_.end()) << "removing unknown region";
+  Region& region = it->second;
+  for (Vaddr va = region.start; va < region.end(); va += page_size_) {
+    if (page_table_.contains(va)) {
+      UnmapPage(va);
+    }
+  }
+  region.object->RemoveMapping(this, start);
+  regions_.erase(it);
+}
+
+Region* AddressSpace::FindRegion(Vaddr va) {
+  auto it = regions_.upper_bound(va);
+  if (it == regions_.begin()) {
+    return nullptr;
+  }
+  Region& region = std::prev(it)->second;
+  return region.Contains(va) ? &region : nullptr;
+}
+
+Region* AddressSpace::RegionAt(Vaddr start) {
+  auto it = regions_.find(start);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+AccessResult AddressSpace::Read(Vaddr va, std::span<std::byte> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Vaddr addr = va + done;
+    const Vaddr base = PageBase(addr);
+    Pte* pte = FindPte(addr);
+    if (pte == nullptr || !CanRead(pte->prot)) {
+      if (FaultIn(addr, /*for_write=*/false) != AccessResult::kOk) {
+        return AccessResult::kUnrecoverableFault;
+      }
+      pte = FindPte(addr);
+      GENIE_CHECK(pte != nullptr && CanRead(pte->prot));
+    }
+    const std::size_t offset = addr - base;
+    const std::size_t chunk = std::min<std::size_t>(page_size_ - offset, out.size() - done);
+    std::memcpy(out.data() + done, vm_->pm().Data(pte->frame).data() + offset, chunk);
+    done += chunk;
+  }
+  return AccessResult::kOk;
+}
+
+AccessResult AddressSpace::Write(Vaddr va, std::span<const std::byte> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const Vaddr addr = va + done;
+    const Vaddr base = PageBase(addr);
+    Pte* pte = FindPte(addr);
+    if (pte == nullptr || !CanWrite(pte->prot)) {
+      if (FaultIn(addr, /*for_write=*/true) != AccessResult::kOk) {
+        return AccessResult::kUnrecoverableFault;
+      }
+      pte = FindPte(addr);
+      GENIE_CHECK(pte != nullptr && CanWrite(pte->prot));
+    }
+    const std::size_t offset = addr - base;
+    const std::size_t chunk = std::min<std::size_t>(page_size_ - offset, in.size() - done);
+    std::memcpy(vm_->pm().Data(pte->frame).data() + offset, in.data() + done, chunk);
+    done += chunk;
+  }
+  return AccessResult::kOk;
+}
+
+AccessResult AddressSpace::FaultIn(Vaddr va, bool for_write) {
+  Pte* pte = FindPte(va);
+  if (pte != nullptr && (for_write ? CanWrite(pte->prot) : CanRead(pte->prot))) {
+    return AccessResult::kOk;  // Already mapped with sufficient access.
+  }
+  return HandleFault(va, for_write);
+}
+
+MemoryObject::Lookup AddressSpace::LookupOrPageIn(MemoryObject& top, std::uint64_t index) {
+  bool is_top = true;
+  for (MemoryObject* obj = &top; obj != nullptr; obj = obj->shadow_of().get()) {
+    const FrameId resident = obj->PageAt(index);
+    if (resident != kInvalidFrame) {
+      return MemoryObject::Lookup{resident, obj, is_top};
+    }
+    if (vm_->backing().Contains(obj->id(), index)) {
+      const FrameId frame = vm_->pm().Allocate();
+      vm_->backing().Restore(obj->id(), index, vm_->pm().Data(frame));
+      obj->InsertPage(index, frame);
+      ++counters_.pageins;
+      return MemoryObject::Lookup{frame, obj, is_top};
+    }
+    is_top = false;
+  }
+  return MemoryObject::Lookup{};
+}
+
+AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
+  Region* region = FindRegion(va);
+  // The fault handler recovers only in unmovable or moved-in regions
+  // (paper Section 4): a hidden (moved-out) or in-transit region faults
+  // unrecoverably, exactly as if it had been removed.
+  if (region == nullptr ||
+      (region->state != RegionState::kUnmovable && region->state != RegionState::kMovedIn)) {
+    ++counters_.unrecoverable_faults;
+    return AccessResult::kUnrecoverableFault;
+  }
+  ++counters_.faults;
+  PhysicalMemory& pm = vm_->pm();
+  const Vaddr base = PageBase(va);
+  const std::uint64_t index = PageIndexInRegion(*region, va);
+  MemoryObject& top = *region->object;
+
+  // Under memory pressure, reclaim *before* resolving the page (eviction
+  // must never run between a lookup and its use). Up to two frames may be
+  // needed: one page-in plus one COW/TCOW copy.
+  vm_->ReclaimIfLow(2);
+  const MemoryObject::Lookup found = LookupOrPageIn(top, index);
+  if (found.frame != kInvalidFrame) {
+    if (found.in_top) {
+      if (for_write) {
+        const FrameInfo& fi = pm.info(found.frame);
+        if (fi.output_refs > 0) {
+          // TCOW (Section 5.1): the page is the source of a pending output.
+          // Copy it, swap pages in the memory object, and map the copy
+          // writable; the original stays untouched for the device and is
+          // reclaimed by deferred deallocation when the output unreferences
+          // it.
+          const FrameId copy = pm.Allocate();
+          std::memcpy(pm.Data(copy).data(), pm.Data(found.frame).data(), page_size_);
+          const FrameId old = top.ReplacePage(index, copy);
+          pm.Free(old);  // Zombie until the output drops its reference.
+          MapPage(base, copy, Prot::kReadWrite);
+          ++counters_.tcow_copies;
+        } else {
+          // Output already completed: simply re-enable writing (no copy).
+          MapPage(base, found.frame, Prot::kReadWrite);
+          ++counters_.tcow_reenables;
+        }
+      } else {
+        // Read fault on a resident page (e.g. unmapped by pageout path).
+        const Prot prot =
+            pm.info(found.frame).output_refs > 0 ? Prot::kRead : Prot::kReadWrite;
+        MapPage(base, found.frame, prot);
+      }
+    } else {
+      // Page found in a shadowed (backing) object: conventional COW.
+      if (for_write) {
+        const FrameId copy = pm.Allocate();
+        std::memcpy(pm.Data(copy).data(), pm.Data(found.frame).data(), page_size_);
+        top.InsertPage(index, copy);
+        MapPage(base, copy, Prot::kReadWrite);
+        ++counters_.cow_copies;
+      } else {
+        MapPage(base, found.frame, Prot::kRead);
+      }
+    }
+    return AccessResult::kOk;
+  }
+
+  // Anonymous zero-fill.
+  const FrameId frame = pm.AllocateZeroed();
+  top.InsertPage(index, frame);
+  MapPage(base, frame, Prot::kReadWrite);
+  ++counters_.zero_fills;
+  return AccessResult::kOk;
+}
+
+FrameId AddressSpace::ResolvePageForIo(Vaddr va, bool for_write) {
+  Region* region = FindRegion(va);
+  if (region == nullptr) {
+    return kInvalidFrame;
+  }
+  PhysicalMemory& pm = vm_->pm();
+  const Vaddr base = PageBase(va);
+  const std::uint64_t index = PageIndexInRegion(*region, va);
+  MemoryObject& top = *region->object;
+
+  vm_->ReclaimIfLow(2);  // See HandleFault: reclaim strictly before lookup.
+  const MemoryObject::Lookup found = LookupOrPageIn(top, index);
+  if (found.frame != kInvalidFrame) {
+    if (!for_write) {
+      return found.frame;  // Device reads: any resident chain page will do.
+    }
+    if (found.in_top) {
+      if (pm.info(found.frame).output_refs > 0) {
+        // Device store into a page with pending output: TCOW-copy so the
+        // earlier output still reads the original (strong integrity).
+        const FrameId copy = pm.Allocate();
+        std::memcpy(pm.Data(copy).data(), pm.Data(found.frame).data(), page_size_);
+        const FrameId old = top.ReplacePage(index, copy);
+        pm.Free(old);  // Zombie until the pending output unreferences it.
+        RetargetPte(base, old, copy);
+        ++counters_.tcow_copies;
+        return copy;
+      }
+      return found.frame;
+    }
+    // Device store into a COW-shared page: copy up into the top object so
+    // the DMA cannot become visible to other sharers (the write-access
+    // verification of input page referencing, Section 3.3 reverse case).
+    const FrameId copy = pm.Allocate();
+    std::memcpy(pm.Data(copy).data(), pm.Data(found.frame).data(), page_size_);
+    top.InsertPage(index, copy);
+    RetargetPte(base, found.frame, copy);
+    ++counters_.cow_copies;
+    return copy;
+  }
+
+  const FrameId frame = pm.AllocateZeroed();
+  top.InsertPage(index, frame);
+  ++counters_.zero_fills;
+  return frame;
+}
+
+void AddressSpace::RetargetPte(Vaddr va, FrameId old_frame, FrameId new_frame) {
+  if (Pte* pte = FindPte(va); pte != nullptr && pte->frame == old_frame) {
+    pte->frame = new_frame;
+  }
+}
+
+Pte* AddressSpace::FindPte(Vaddr va) {
+  auto it = page_table_.find(PageBase(va));
+  return it == page_table_.end() ? nullptr : &it->second;
+}
+
+void AddressSpace::MapPage(Vaddr va, FrameId frame, Prot prot) {
+  GENIE_CHECK_EQ(va % page_size_, 0u);
+  page_table_[va] = Pte{frame, prot};
+}
+
+void AddressSpace::UnmapPage(Vaddr va) {
+  const std::size_t erased = page_table_.erase(PageBase(va));
+  GENIE_CHECK_EQ(erased, 1u) << "unmapping absent page";
+}
+
+void AddressSpace::RemoveWrite(Vaddr va, std::uint64_t len) {
+  for (Vaddr p = PageBase(va); p < va + len; p += page_size_) {
+    if (Pte* pte = FindPte(p); pte != nullptr && CanWrite(pte->prot)) {
+      pte->prot = Prot::kRead;
+    }
+  }
+}
+
+void AddressSpace::RemoveAll(Vaddr va, std::uint64_t len) {
+  for (Vaddr p = PageBase(va); p < va + len; p += page_size_) {
+    if (Pte* pte = FindPte(p); pte != nullptr) {
+      pte->prot = Prot::kNone;  // PTE retained: region hiding keeps pages.
+    }
+  }
+}
+
+void AddressSpace::Reinstate(Vaddr va, std::uint64_t len) {
+  for (Vaddr p = PageBase(va); p < va + len; p += page_size_) {
+    if (Pte* pte = FindPte(p); pte != nullptr) {
+      pte->prot = Prot::kReadWrite;
+    }
+  }
+}
+
+AccessResult AddressSpace::WireRange(Vaddr va, std::uint64_t len, bool for_write) {
+  for (Vaddr p = PageBase(va); p < va + len; p += page_size_) {
+    if (FaultIn(p, for_write) != AccessResult::kOk) {
+      return AccessResult::kUnrecoverableFault;
+    }
+    Pte* pte = FindPte(p);
+    GENIE_CHECK(pte != nullptr);
+    vm_->pm().Wire(pte->frame);
+  }
+  return AccessResult::kOk;
+}
+
+void AddressSpace::UnwireRange(Vaddr va, std::uint64_t len) {
+  for (Vaddr p = PageBase(va); p < va + len; p += page_size_) {
+    Pte* pte = FindPte(p);
+    GENIE_CHECK(pte != nullptr) << "unwiring unmapped page";
+    vm_->pm().Unwire(pte->frame);
+  }
+}
+
+std::deque<Vaddr>& AddressSpace::CacheFor(RegionState state) {
+  switch (state) {
+    case RegionState::kMovedOut:
+      return moved_out_cache_;
+    case RegionState::kWeaklyMovedOut:
+      return weakly_moved_out_cache_;
+    default:
+      GENIE_CHECK(false) << "no cache for state " << RegionStateName(state);
+      __builtin_unreachable();
+  }
+}
+
+void AddressSpace::EnqueueCachedRegion(Vaddr start) {
+  Region* region = RegionAt(start);
+  GENIE_CHECK(region != nullptr);
+  CacheFor(region->state).push_back(start);
+}
+
+Region* AddressSpace::DequeueCachedRegion(std::uint64_t length, RegionState state) {
+  std::deque<Vaddr>& cache = CacheFor(state);
+  for (auto it = cache.begin(); it != cache.end();) {
+    Region* region = RegionAt(*it);
+    if (region == nullptr || region->state != state) {
+      it = cache.erase(it);  // Stale: region removed or recycled already.
+      continue;
+    }
+    if (region->length == length) {
+      cache.erase(it);
+      return region;
+    }
+    ++it;
+  }
+  return nullptr;
+}
+
+std::size_t AddressSpace::cached_regions(RegionState state) const {
+  return const_cast<AddressSpace*>(this)->CacheFor(state).size();
+}
+
+}  // namespace genie

@@ -1,0 +1,60 @@
+#include "src/vm/cow.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+#include "src/vm/memory_object.h"
+
+namespace genie {
+
+CowShareResult CowShareRegion(AddressSpace& src, Vaddr src_start, AddressSpace& dst) {
+  Region* region = src.RegionAt(src_start);
+  GENIE_CHECK(region != nullptr) << "CowShareRegion: no region at source address";
+  Vm& vm = src.vm();
+  const std::uint32_t page_size = vm.page_size();
+  const std::uint64_t length = region->length;
+  const std::uint64_t pages = length / page_size;
+
+  CowShareResult result;
+  result.dst_start = dst.FindFreeRange(length);
+
+  if (region->object->ChainHasInputRefs()) {
+    // Input-disabled COW: pending DMA input would bypass write protection,
+    // so perform a physical copy instead of COW.
+    result.physically_copied = true;
+    Region* dst_region =
+        dst.CreateRegion(result.dst_start, length, RegionState::kUnmovable);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      const MemoryObject::Lookup found = region->object->Find(i);
+      if (found.frame == kInvalidFrame) {
+        continue;  // Non-resident page: stays demand-zero / backing-store.
+      }
+      const FrameId copy = vm.pm().Allocate();
+      std::memcpy(vm.pm().Data(copy).data(), vm.pm().Data(found.frame).data(), page_size);
+      dst_region->object->InsertPage(i, copy);
+      dst.MapPage(result.dst_start + i * page_size, copy, Prot::kReadWrite);
+    }
+    return result;
+  }
+
+  // Conventional COW: the current object becomes an immutable backing;
+  // each sharer gets a fresh shadow object in front of it. Writes fault and
+  // copy up into the faulting sharer's shadow.
+  std::shared_ptr<MemoryObject> backing = region->object;
+  std::shared_ptr<MemoryObject> src_shadow = vm.CreateObject(pages);
+  src_shadow->set_shadow_of(backing);
+  std::shared_ptr<MemoryObject> dst_shadow = vm.CreateObject(pages);
+  dst_shadow->set_shadow_of(backing);
+
+  // Swap the source region onto its shadow and write-protect its mapping so
+  // the next store faults.
+  backing->RemoveMapping(&src, src_start);
+  region->object = src_shadow;
+  src_shadow->AddMapping(&src, src_start);
+  src.RemoveWrite(src_start, length);
+
+  dst.CreateRegionWithObject(result.dst_start, length, dst_shadow, RegionState::kUnmovable);
+  return result;
+}
+
+}  // namespace genie

@@ -1,0 +1,30 @@
+// Copy-on-write region sharing with input-disabled COW (paper Section 3.3).
+//
+// COW implements copy semantics for IPC/memory inheritance — unless a page
+// of the shared region is the target of a pending in-place *input*: DMA
+// writes physical memory without faulting, so both sharers would observe the
+// change (share, not copy, semantics). Genie therefore demotes COW to a
+// physical copy whenever any backing object of the region has a nonzero
+// input reference count.
+#ifndef GENIE_SRC_VM_COW_H_
+#define GENIE_SRC_VM_COW_H_
+
+#include "src/vm/address_space.h"
+#include "src/vm/types.h"
+
+namespace genie {
+
+struct CowShareResult {
+  Vaddr dst_start = 0;
+  // True if input-disabled COW forced a physical copy.
+  bool physically_copied = false;
+};
+
+// Shares the region starting at `src_start` of `src` into `dst` with copy
+// semantics, at a freshly chosen destination address. Uses COW (shadow
+// objects over the current object) unless the region has pending input.
+CowShareResult CowShareRegion(AddressSpace& src, Vaddr src_start, AddressSpace& dst);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_VM_COW_H_

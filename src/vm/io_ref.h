@@ -1,0 +1,51 @@
+// Page referencing (paper Section 3.1): Genie integrates preparing the DMA
+// descriptor, verifying access rights, and updating per-frame I/O reference
+// counts into one pass over the buffer. Input referencing additionally bumps
+// the buffer object's input count (input-disabled COW, Section 3.3).
+//
+// Referencing an input buffer verifies *write* access, which faults in a
+// private writable copy if the region is COW — the paper's "reverse case"
+// that needs no special handling.
+#ifndef GENIE_SRC_VM_IO_REF_H_
+#define GENIE_SRC_VM_IO_REF_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/vm/address_space.h"
+#include "src/vm/io_vec.h"
+#include "src/vm/types.h"
+
+namespace genie {
+
+enum class IoDirection : std::uint8_t {
+  kInput,   // device writes memory
+  kOutput,  // device reads memory
+};
+
+// A live I/O reference on an application (or system) buffer. Holds the
+// scatter/gather list for the device and keeps the memory object alive so a
+// malicious region removal cannot free pages under the device.
+struct IoReference {
+  IoVec iovec;
+  std::vector<FrameId> frames;  // one per page touched
+  std::shared_ptr<MemoryObject> object;
+  IoDirection direction = IoDirection::kOutput;
+  bool active = false;
+};
+
+// References [va, va+len) of `aspace` for I/O. The range must lie within one
+// region. Faults pages in (write access for input), increments frame I/O
+// reference counts, and fills `out`. Returns kUnrecoverableFault if the
+// application passed a bad buffer.
+AccessResult ReferenceRange(AddressSpace& aspace, Vaddr va, std::uint64_t len, IoDirection dir,
+                            IoReference* out);
+
+// Drops the references taken by ReferenceRange. Idempotence is not provided;
+// call exactly once per successful ReferenceRange.
+void Unreference(Vm& vm, IoReference& ref);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_VM_IO_REF_H_

@@ -1,0 +1,34 @@
+// Scatter/gather descriptor for device DMA: a list of (frame, offset, length)
+// segments referencing physical pages. Produced by page referencing
+// (paper Section 3.1) and consumed by the network adapter.
+#ifndef GENIE_SRC_VM_IO_VEC_H_
+#define GENIE_SRC_VM_IO_VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/phys_memory.h"
+
+namespace genie {
+
+struct IoSegment {
+  FrameId frame = kInvalidFrame;
+  std::uint32_t offset = 0;  // byte offset within the frame
+  std::uint32_t length = 0;  // bytes in this segment
+};
+
+struct IoVec {
+  std::vector<IoSegment> segments;
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const IoSegment& s : segments) {
+      n += s.length;
+    }
+    return n;
+  }
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_VM_IO_VEC_H_

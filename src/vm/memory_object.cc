@@ -1,0 +1,101 @@
+#include "src/vm/memory_object.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/vm/vm.h"
+
+namespace genie {
+
+MemoryObject::MemoryObject(Vm& vm, std::uint64_t num_pages) : vm_(vm), num_pages_(num_pages) {
+  id_ = vm_.RegisterObject(this);
+}
+
+MemoryObject::~MemoryObject() {
+  GENIE_CHECK_EQ(input_refs_, 0) << "destroying object with pending input refs";
+  for (auto& [index, frame] : pages_) {
+    vm_.pm().ClearOwner(frame);
+    // Deferred deallocation keeps frames with pending device I/O alive.
+    vm_.pm().Free(frame);
+    vm_.backing().Erase(id_, index);
+  }
+  // Paged-out pages with no resident frame may still sit in the backing
+  // store; drop them too.
+  for (std::uint64_t i = 0; i < num_pages_; ++i) {
+    vm_.backing().Erase(id_, i);
+  }
+  vm_.DeregisterObject(id_);
+}
+
+FrameId MemoryObject::PageAt(std::uint64_t index) const {
+  auto it = pages_.find(index);
+  return it == pages_.end() ? kInvalidFrame : it->second;
+}
+
+void MemoryObject::InsertPage(std::uint64_t index, FrameId frame) {
+  GENIE_CHECK_LT(index, num_pages_);
+  GENIE_CHECK(!pages_.contains(index)) << "page " << index << " already present";
+  pages_[index] = frame;
+  vm_.pm().SetOwner(frame, id_, index);
+}
+
+FrameId MemoryObject::TakePage(std::uint64_t index) {
+  auto it = pages_.find(index);
+  GENIE_CHECK(it != pages_.end()) << "taking absent page " << index;
+  const FrameId frame = it->second;
+  pages_.erase(it);
+  vm_.pm().ClearOwner(frame);
+  return frame;
+}
+
+FrameId MemoryObject::ReplacePage(std::uint64_t index, FrameId frame) {
+  auto it = pages_.find(index);
+  GENIE_CHECK(it != pages_.end()) << "replacing absent page " << index;
+  const FrameId old = it->second;
+  vm_.pm().ClearOwner(old);
+  it->second = frame;
+  vm_.pm().SetOwner(frame, id_, index);
+  return old;
+}
+
+MemoryObject::Lookup MemoryObject::Find(std::uint64_t index) {
+  MemoryObject* obj = this;
+  bool top = true;
+  while (obj != nullptr) {
+    const FrameId frame = obj->PageAt(index);
+    if (frame != kInvalidFrame) {
+      return Lookup{frame, obj, top};
+    }
+    obj = obj->shadow_of_.get();
+    top = false;
+  }
+  return Lookup{};
+}
+
+void MemoryObject::DropInputRef() {
+  GENIE_CHECK_GT(input_refs_, 0);
+  --input_refs_;
+}
+
+bool MemoryObject::ChainHasInputRefs() const {
+  for (const MemoryObject* obj = this; obj != nullptr; obj = obj->shadow_of_.get()) {
+    if (obj->input_refs_ > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MemoryObject::AddMapping(AddressSpace* aspace, std::uint64_t region_start) {
+  mappings_.push_back(Mapping{aspace, region_start});
+}
+
+void MemoryObject::RemoveMapping(AddressSpace* aspace, std::uint64_t region_start) {
+  auto it = std::find_if(mappings_.begin(), mappings_.end(), [&](const Mapping& m) {
+    return m.aspace == aspace && m.region_start == region_start;
+  });
+  GENIE_CHECK(it != mappings_.end()) << "removing unknown mapping";
+  mappings_.erase(it);
+}
+
+}  // namespace genie

@@ -1,0 +1,104 @@
+// Mach-style memory objects (paper reference [18]): the backing store of a
+// region. An object holds a sparse page map and may shadow another object
+// for copy-on-write: a page lookup walks the shadow chain front to back.
+//
+// Objects also carry the total count of input references to their pages in
+// current input operations (paper Section 3.3, input-disabled COW).
+#ifndef GENIE_SRC_VM_MEMORY_OBJECT_H_
+#define GENIE_SRC_VM_MEMORY_OBJECT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/mem/phys_memory.h"
+#include "src/vm/types.h"
+
+namespace genie {
+
+class AddressSpace;
+class Vm;
+
+class MemoryObject {
+ public:
+  // Create through Vm::CreateObject so the object is registered for reverse
+  // lookup by the pageout daemon.
+  MemoryObject(Vm& vm, std::uint64_t num_pages);
+  ~MemoryObject();
+  MemoryObject(const MemoryObject&) = delete;
+  MemoryObject& operator=(const MemoryObject&) = delete;
+
+  ObjectId id() const { return id_; }
+  std::uint64_t num_pages() const { return num_pages_; }
+
+  // --- Top-object page map ---
+
+  // Frame at `index` in this object only (no chain walk); kInvalidFrame if
+  // absent.
+  FrameId PageAt(std::uint64_t index) const;
+
+  // Inserts `frame` at `index` (must be vacant) and takes ownership.
+  void InsertPage(std::uint64_t index, FrameId frame);
+
+  // Removes and returns the frame at `index`, clearing its owner. The caller
+  // takes ownership (page swap between system and application buffers).
+  FrameId TakePage(std::uint64_t index);
+
+  // Replaces the frame at `index` with `frame` (TCOW fault recovery: "swap
+  // pages in the memory object"). The displaced frame is returned disowned;
+  // the caller must Free() it (deferred deallocation keeps it alive for the
+  // pending output).
+  FrameId ReplacePage(std::uint64_t index, FrameId frame);
+
+  std::size_t resident_pages() const { return pages_.size(); }
+
+  // Resident top-object pages (index -> frame), e.g. for mapping a freshly
+  // filled region.
+  const std::map<std::uint64_t, FrameId>& pages() const { return pages_; }
+
+  // --- Shadow chain (copy-on-write) ---
+
+  void set_shadow_of(std::shared_ptr<MemoryObject> backing) { shadow_of_ = std::move(backing); }
+  const std::shared_ptr<MemoryObject>& shadow_of() const { return shadow_of_; }
+
+  struct Lookup {
+    FrameId frame = kInvalidFrame;
+    MemoryObject* object = nullptr;  // chain member where the page was found
+    bool in_top = false;
+  };
+  // Walks the shadow chain for `index`. Does not consult the backing store
+  // (the fault handler handles page-in separately).
+  Lookup Find(std::uint64_t index);
+
+  // --- Input referencing (input-disabled COW, Section 3.3) ---
+
+  void AddInputRef() { ++input_refs_; }
+  void DropInputRef();
+  int input_refs() const { return input_refs_; }
+  // True if this object or any object it shadows has pending input.
+  bool ChainHasInputRefs() const;
+
+  // --- Mapping registry (reverse map for the pageout daemon) ---
+
+  struct Mapping {
+    AddressSpace* aspace = nullptr;
+    Vaddr region_start = 0;
+  };
+  void AddMapping(AddressSpace* aspace, std::uint64_t region_start);
+  void RemoveMapping(AddressSpace* aspace, std::uint64_t region_start);
+  const std::vector<Mapping>& mappings() const { return mappings_; }
+
+ private:
+  Vm& vm_;
+  ObjectId id_;
+  std::uint64_t num_pages_;
+  std::map<std::uint64_t, FrameId> pages_;
+  std::shared_ptr<MemoryObject> shadow_of_;
+  int input_refs_ = 0;
+  std::vector<Mapping> mappings_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_VM_MEMORY_OBJECT_H_

@@ -1,0 +1,80 @@
+#include "src/vm/pageout.h"
+
+#include "src/util/check.h"
+#include "src/vm/address_space.h"
+
+namespace genie {
+
+PageoutDaemon::PageoutDaemon(Vm& vm, Options options) : vm_(vm), options_(options) {}
+
+std::size_t PageoutDaemon::ScanOnce(std::size_t max_evictions) {
+  std::size_t evicted = 0;
+  const std::size_t total = vm_.pm().num_frames();
+  for (std::size_t scanned = 0; scanned < total && evicted < max_evictions; ++scanned) {
+    const FrameId frame = clock_hand_;
+    clock_hand_ = static_cast<FrameId>((clock_hand_ + 1) % total);
+    if (TryEvict(frame)) {
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+std::size_t PageoutDaemon::EvictUntilFree(std::size_t target_free) {
+  std::size_t evicted = 0;
+  while (vm_.pm().free_frames() < target_free) {
+    if (ScanOnce(1) == 0) {
+      break;  // Nothing left to evict.
+    }
+    ++evicted;
+  }
+  return evicted;
+}
+
+bool PageoutDaemon::TryEvict(FrameId frame) {
+  const FrameInfo& fi = vm_.pm().info(frame);
+  if (!fi.allocated || fi.owner_object == kNoOwner) {
+    return false;  // Free, zombie, or anonymous (device pool) frame.
+  }
+  if (fi.wire_count > 0) {
+    ++skipped_wired_;
+    return false;
+  }
+  if (options_.input_disabled_pageout && fi.input_refs > 0) {
+    // Input-disabled pageout (Section 3.2): pending input would modify the
+    // page after pageout, making the paged-out copy inconsistent.
+    ++skipped_input_referenced_;
+    return false;
+  }
+  MemoryObject* object = vm_.FindObject(fi.owner_object);
+  GENIE_CHECK(object != nullptr) << "frame owned by dead object";
+  if (object->mappings().empty()) {
+    // COW backing object reachable only through shadow chains: skip
+    // (documented simplification; such pages stay resident).
+    return false;
+  }
+  const std::uint64_t index = fi.owner_page;
+
+  // Save contents, then tear the page out of the object and all mappings.
+  vm_.backing().Save(object->id(), index, vm_.pm().Data(frame));
+  for (const MemoryObject::Mapping& m : object->mappings()) {
+    Region* region = m.aspace->RegionAt(m.region_start);
+    GENIE_CHECK(region != nullptr);
+    if (region->object.get() != object) {
+      continue;  // Region has been re-pointed at a shadow.
+    }
+    const Vaddr va = region->start + index * vm_.page_size();
+    if (Pte* pte = m.aspace->FindPte(va); pte != nullptr && pte->frame == frame) {
+      m.aspace->UnmapPage(va);
+    }
+  }
+  const FrameId taken = object->TakePage(index);
+  GENIE_CHECK_EQ(taken, frame);
+  // Pending *output* references keep the frame contents alive as a zombie
+  // until the device finishes (I/O-deferred deallocation).
+  vm_.pm().Free(frame);
+  ++total_evictions_;
+  return true;
+}
+
+}  // namespace genie

@@ -1,0 +1,56 @@
+// The pageout daemon, with the paper's input-disabled pageout optimization
+// (Section 3.2): frames with nonzero *input* reference count are never
+// evicted (pending DMA would make the paged-out copy stale and the invoking
+// application will touch the page soon anyway). Frames with pending *output*
+// may be evicted normally: the frame's contents survive until the device
+// drops its reference, thanks to I/O-deferred deallocation.
+//
+// Eviction: save contents to the backing store, unmap the page from every
+// registered mapping, remove it from its memory object, and free the frame.
+#ifndef GENIE_SRC_VM_PAGEOUT_H_
+#define GENIE_SRC_VM_PAGEOUT_H_
+
+#include <cstdint>
+
+#include "src/vm/vm.h"
+
+namespace genie {
+
+class PageoutDaemon {
+ public:
+  struct Options {
+    // The paper's optimization; set false for the ablation benchmark, in
+    // which case only wiring protects pending-input pages.
+    bool input_disabled_pageout = true;
+  };
+
+  explicit PageoutDaemon(Vm& vm) : PageoutDaemon(vm, Options{}) {}
+  PageoutDaemon(Vm& vm, Options options);
+
+  // Scans frames clock-wise and evicts up to `max_evictions` eligible ones.
+  // Returns the number evicted.
+  std::size_t ScanOnce(std::size_t max_evictions);
+
+  // Evicts until at least `target_free` frames are free (or no more frames
+  // are eligible). Returns frames evicted.
+  std::size_t EvictUntilFree(std::size_t target_free);
+
+  std::uint64_t total_evictions() const { return total_evictions_; }
+  std::uint64_t skipped_input_referenced() const { return skipped_input_referenced_; }
+  std::uint64_t skipped_wired() const { return skipped_wired_; }
+
+ private:
+  // Attempts to evict one frame; true on success.
+  bool TryEvict(FrameId frame);
+
+  Vm& vm_;
+  Options options_;
+  FrameId clock_hand_ = 0;
+  std::uint64_t total_evictions_ = 0;
+  std::uint64_t skipped_input_referenced_ = 0;
+  std::uint64_t skipped_wired_ = 0;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_VM_PAGEOUT_H_

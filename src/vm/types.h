@@ -1,0 +1,55 @@
+// Common virtual-memory types: virtual addresses, page protections, region
+// states (paper Sections 2.1, 2.2 and 4), and access results.
+#ifndef GENIE_SRC_VM_TYPES_H_
+#define GENIE_SRC_VM_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/mem/phys_memory.h"
+
+namespace genie {
+
+using Vaddr = std::uint64_t;
+
+// Page protection bits in a page-table entry.
+enum class Prot : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kReadWrite = 3,
+};
+
+inline bool CanRead(Prot p) { return (static_cast<std::uint8_t>(p) & 1) != 0; }
+inline bool CanWrite(Prot p) { return (static_cast<std::uint8_t>(p) & 2) != 0; }
+
+// Region life-cycle states for the system-allocated semantics (paper §2.1:
+// moved in / unmovable; §2.2: weakly moved out via region caching; §4:
+// moved out via region hiding; Tables 2-3: transitional moving states).
+enum class RegionState : std::uint8_t {
+  kUnmovable,       // heap/stack-like; output with system-allocated semantics forbidden
+  kMovedIn,         // system-allocated, accessible
+  kMovingIn,        // input in progress
+  kMovingOut,       // output in progress
+  kMovedOut,        // hidden: access is an unrecoverable fault (region hiding)
+  kWeaklyMovedOut,  // cached for reuse; still mapped, contents indeterminate
+};
+
+std::string_view RegionStateName(RegionState s);
+
+// Result of an application memory access: the VM fault handler recovers from
+// faults only in unmovable or moved-in regions (paper §4); everything else is
+// an unrecoverable fault (the application would be killed).
+enum class AccessResult : std::uint8_t {
+  kOk,
+  kUnrecoverableFault,
+};
+
+// A page-table entry.
+struct Pte {
+  FrameId frame = kInvalidFrame;
+  Prot prot = Prot::kNone;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_VM_TYPES_H_

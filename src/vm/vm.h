@@ -1,0 +1,72 @@
+// The machine's memory system: physical memory, backing store (swap), and
+// the registry of live memory objects (reverse lookup for the pageout
+// daemon and I/O completion).
+#ifndef GENIE_SRC_VM_VM_H_
+#define GENIE_SRC_VM_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/mem/backing_store.h"
+#include "src/mem/phys_memory.h"
+#include "src/vm/memory_object.h"
+
+namespace genie {
+
+class Vm {
+ public:
+  Vm(std::size_t num_frames, std::uint32_t page_size)
+      : pm_(num_frames, page_size), page_size_(page_size) {}
+
+  PhysicalMemory& pm() { return pm_; }
+  const PhysicalMemory& pm() const { return pm_; }
+  BackingStore& backing() { return backing_; }
+  std::uint32_t page_size() const { return page_size_; }
+
+  // Creates a memory object covering `num_pages` pages.
+  std::shared_ptr<MemoryObject> CreateObject(std::uint64_t num_pages) {
+    return std::make_shared<MemoryObject>(*this, num_pages);
+  }
+
+  // Looks up a live object by id; nullptr if it has been destroyed.
+  MemoryObject* FindObject(ObjectId id) {
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second;
+  }
+
+  std::size_t live_objects() const { return objects_.size(); }
+
+  // Low-memory reclaim hook (the pageout daemon). The fault paths call
+  // ReclaimIfLow() before allocating so page-ins, COW and TCOW copies work
+  // under memory pressure instead of aborting.
+  void set_low_memory_reclaimer(std::function<void(std::size_t)> reclaimer) {
+    reclaimer_ = std::move(reclaimer);
+  }
+  void ReclaimIfLow(std::size_t want_free) {
+    if (pm_.free_frames() < want_free && reclaimer_) {
+      reclaimer_(want_free);
+    }
+  }
+
+ private:
+  friend class MemoryObject;
+  ObjectId RegisterObject(MemoryObject* obj) {
+    const ObjectId id = next_object_id_++;
+    objects_[id] = obj;
+    return id;
+  }
+  void DeregisterObject(ObjectId id) { objects_.erase(id); }
+
+  PhysicalMemory pm_;
+  BackingStore backing_;
+  std::function<void(std::size_t)> reclaimer_;
+  std::uint32_t page_size_;
+  ObjectId next_object_id_ = 1;
+  std::unordered_map<ObjectId, MemoryObject*> objects_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_VM_VM_H_

@@ -1,0 +1,64 @@
+#include "src/analysis/linear_fit.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<std::pair<double, double>> pts;
+  for (int x = 0; x <= 10; ++x) {
+    pts.emplace_back(x, 3.0 * x + 7.0);
+  }
+  const LinearFit fit = FitLine(pts);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NegativeInterceptAndSlope) {
+  std::vector<std::pair<double, double>> pts;
+  for (int x = 1; x <= 5; ++x) {
+    pts.emplace_back(x, -2.0 * x - 3.0);
+  }
+  const LinearFit fit = FitLine(pts);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -3.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHasGoodR2) {
+  std::vector<std::pair<double, double>> pts;
+  for (int x = 0; x < 20; ++x) {
+    const double noise = (x % 2 == 0) ? 0.5 : -0.5;
+    pts.emplace_back(x, 2.0 * x + 1.0 + noise);
+  }
+  const LinearFit fit = FitLine(pts);
+  EXPECT_NEAR(fit.slope, 2.0, 0.02);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFitTest, ConstantDataFitsWithZeroSlope) {
+  std::vector<std::pair<double, double>> pts = {{1, 5}, {2, 5}, {3, 5}};
+  const LinearFit fit = FitLine(pts);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+}
+
+TEST(LinearFitTest, SingleXValueFallsBackToMean) {
+  std::vector<std::pair<double, double>> pts = {{4, 2}, {4, 6}};
+  const LinearFit fit = FitLine(pts);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+}
+
+TEST(LinearFitTest, EmptyInput) {
+  const LinearFit fit = FitLine({});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+}
+
+}  // namespace
+}  // namespace genie

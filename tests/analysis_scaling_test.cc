@@ -1,0 +1,131 @@
+// Section 8 scaling model (Table 8 and the OC-12 extrapolation).
+#include "src/analysis/scaling_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/latency_model.h"
+
+namespace genie {
+namespace {
+
+TEST(ScalingTest, GatewayMemoryAndCacheRatios) {
+  const CostModel base(MachineProfile::MicronP166());
+  const CostModel target(MachineProfile::GatewayP5_90());
+  const ScalingReport report = ComputeScaling(base, target);
+  // Paper Table 8: memory-dominated 2.43, cache-dominated 2.46.
+  EXPECT_NEAR(report.memory_dominated.geometric_mean, 2.43, 0.05);
+  EXPECT_NEAR(report.cache_dominated.geometric_mean, 2.46, 0.01);
+}
+
+TEST(ScalingTest, GatewayCpuRatiosExceedSpecintEstimate) {
+  const CostModel base(MachineProfile::MicronP166());
+  const CostModel target(MachineProfile::GatewayP5_90());
+  const ScalingReport report = ComputeScaling(base, target);
+  const EstimatedScaling est =
+      EstimateScalingBounds(MachineProfile::MicronP166(), MachineProfile::GatewayP5_90());
+  EXPECT_NEAR(est.cpu_low, 1.57, 0.01);
+  // Measured ratios exceed the lower bound (the rating was an upper bound).
+  EXPECT_GE(report.cpu_mult_factor.min, est.cpu_low * 0.99);
+  EXPECT_NEAR(report.cpu_mult_factor.geometric_mean, 1.79, 0.08);
+  EXPECT_NEAR(report.cpu_fixed_term.geometric_mean, 1.83, 0.12);
+}
+
+TEST(ScalingTest, AlphaCpuRatiosHaveWideVariance) {
+  const CostModel base(MachineProfile::MicronP166());
+  const CostModel target(MachineProfile::AlphaStation255());
+  const ScalingReport report = ComputeScaling(base, target);
+  // Paper: GM ~1.64 for slopes with min 0.75 / max 3.77 (page-table update
+  // costs diverge on a different architecture).
+  EXPECT_NEAR(report.cpu_mult_factor.geometric_mean, 1.64, 0.15);
+  EXPECT_NEAR(report.cpu_mult_factor.min, 0.75, 0.05);
+  EXPECT_NEAR(report.cpu_mult_factor.max, 3.77, 0.05);
+  // Fixed terms: GM ~1.54, min 0.47, max 3.74.
+  EXPECT_NEAR(report.cpu_fixed_term.min, 0.47, 0.05);
+  EXPECT_NEAR(report.cpu_fixed_term.max, 3.74, 0.05);
+  // Memory/cache: 0.83 / 0.54.
+  EXPECT_NEAR(report.memory_dominated.geometric_mean, 0.83, 0.03);
+  EXPECT_NEAR(report.cache_dominated.geometric_mean, 0.54, 0.01);
+}
+
+TEST(ScalingTest, EstimatedBoundsMatchPaper) {
+  const EstimatedScaling gw =
+      EstimateScalingBounds(MachineProfile::MicronP166(), MachineProfile::GatewayP5_90());
+  EXPECT_NEAR(gw.memory, 2.40, 0.02);     // Paper "Estimated" 2.40.
+  EXPECT_NEAR(gw.cache_low, 1.44, 0.01);  // > 1.44
+  EXPECT_NEAR(gw.cache_high, 3.33, 0.01);  // < 3.33
+  const EstimatedScaling alpha =
+      EstimateScalingBounds(MachineProfile::MicronP166(), MachineProfile::AlphaStation255());
+  EXPECT_NEAR(alpha.memory, 1.00, 0.01);
+  EXPECT_NEAR(alpha.cache_low, 0.26, 0.01);
+  EXPECT_NEAR(alpha.cache_high, 1.39, 0.01);
+  EXPECT_NEAR(alpha.cpu_low, 1.30, 0.01);
+}
+
+TEST(ScalingTest, Oc12Extrapolation) {
+  // Paper Section 8: at OC-12, 60 KB single-datagram throughput close to
+  // 140 Mbps copy, 404 emulated copy, 463 emulated share, 380 move.
+  const MachineProfile oc12 =
+      MachineProfile::MicronP166().WithEffectiveLinkMbps(4 * MachineProfile().effective_link_mbps());
+  const CostModel cost(oc12);
+  const GenieOptions opts;
+  const std::uint64_t b = 60 * 1024;
+  auto tput = [&](Semantics s) {
+    return static_cast<double>(b) * 8 /
+           EstimateLatencyUs(cost, opts, s, InputBuffering::kEarlyDemux, 0, b);
+  };
+  EXPECT_NEAR(tput(Semantics::kCopy), 140, 5);
+  EXPECT_NEAR(tput(Semantics::kEmulatedCopy), 404, 12);
+  EXPECT_NEAR(tput(Semantics::kEmulatedShare), 463, 15);
+  EXPECT_NEAR(tput(Semantics::kMove), 380, 12);
+}
+
+TEST(ScalingTest, TrendsWidenTheCopyGap) {
+  // "If CPU speeds continue to increase faster than main memory bandwidth,
+  // the performance difference between copy and other semantics will
+  // increase."
+  MachineProfile future = MachineProfile::MicronP166();
+  future.spec_int *= 10;       // CPU 10x.
+  future.memory_factor = 0.5;  // Memory copy only 2x.
+  future.cache_factor = 0.5;
+  future.link_us_per_byte /= 10;  // Devices keep pace with the CPU.
+  const CostModel now(MachineProfile::MicronP166());
+  const CostModel later(future);
+  const GenieOptions opts;
+  const std::uint64_t b = 60 * 1024;
+  auto gap = [&](const CostModel& cm) {
+    const double copy =
+        EstimateLatencyUs(cm, opts, Semantics::kCopy, InputBuffering::kEarlyDemux, 0, b);
+    const double ecopy =
+        EstimateLatencyUs(cm, opts, Semantics::kEmulatedCopy, InputBuffering::kEarlyDemux, 0, b);
+    return copy / ecopy;
+  };
+  EXPECT_GT(gap(later), gap(now));
+}
+
+TEST(ScalingTest, TrendsShrinkNonCopyDifferences) {
+  // "Performance differences between semantics other than copy will tend to
+  // decrease" as CPU speeds outpace transmission rates.
+  MachineProfile future = MachineProfile::MicronP166();
+  future.spec_int *= 10;  // CPU 10x, same link.
+  const CostModel now(MachineProfile::MicronP166());
+  const CostModel later(future);
+  const GenieOptions opts;
+  const std::uint64_t b = 60 * 1024;
+  auto spread = [&](const CostModel& cm) {
+    double lo = 1e18;
+    double hi = 0;
+    for (const Semantics s : kAllSemantics) {
+      if (s == Semantics::kCopy) {
+        continue;
+      }
+      const double v = EstimateLatencyUs(cm, opts, s, InputBuffering::kEarlyDemux, 0, b);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return (hi - lo) / lo;
+  };
+  EXPECT_LT(spread(later), spread(now));
+}
+
+}  // namespace
+}  // namespace genie

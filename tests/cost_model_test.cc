@@ -1,0 +1,137 @@
+#include "src/cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cost/machine_profile.h"
+#include "src/cost/op_kind.h"
+#include "src/util/units.h"
+
+namespace genie {
+namespace {
+
+// On the Micron P166 baseline, the cost model must reproduce the paper's
+// Table 6 fits exactly.
+TEST(CostModelTest, P166MatchesTable6) {
+  const CostModel m(MachineProfile::MicronP166());
+  EXPECT_NEAR(m.CostUs(OpKind::kCopyin, 10000), 0.0180 * 10000 - 3, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kCopyout, 10000), 0.0220 * 10000 + 15, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kReference, 10000), 0.000363 * 10000 + 5, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kUnreference, 10000), 0.000100 * 10000 + 2, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kWire, 10000), 0.00141 * 10000 + 18, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kUnwire, 10000), 0.000237 * 10000 + 10, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kReadOnly, 10000), 0.000367 * 10000 + 2, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kInvalidate, 10000), 0.000373 * 10000 + 2, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kSwap, 10000), 0.00163 * 10000 + 15, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kRegionCreate, 10000), 24, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kRegionFill, 10000), 0.000398 * 10000 + 9, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kRegionMap, 10000), 0.000474 * 10000 + 6, 1e-9);
+  EXPECT_NEAR(m.CostUs(OpKind::kOverlayDeallocate, 10000), 0.000344 * 10000 + 12, 1e-9);
+}
+
+// The base latency of Table 7 is 0.0598 B + 130 on the P166: network slope
+// plus the three fixed components.
+TEST(CostModelTest, BaseLatencyComponentsSumTo130) {
+  const CostModel m(MachineProfile::MicronP166());
+  const double fixed = m.CostUs(OpKind::kSenderKernelFixed, 0) +
+                       m.CostUs(OpKind::kReceiverKernelFixed, 0) +
+                       m.CostUs(OpKind::kHardwareFixed, 0);
+  EXPECT_NEAR(fixed, 130.0, 1e-9);
+  EXPECT_NEAR(m.Line(OpKind::kNetworkTransfer).slope_us_per_byte, 0.0598, 1e-9);
+}
+
+TEST(CostModelTest, NegativeCostClampedToZero) {
+  const CostModel m(MachineProfile::MicronP166());
+  // Copyin fit: 0.0180 B - 3, negative for tiny B.
+  EXPECT_LT(m.CostUs(OpKind::kCopyin, 10), 0.0);
+  EXPECT_EQ(m.Cost(OpKind::kCopyin, 10), 0);
+}
+
+TEST(CostModelTest, CostReturnsNanoseconds) {
+  const CostModel m(MachineProfile::MicronP166());
+  // Reference of 0 bytes: 5 us = 5000 ns.
+  EXPECT_EQ(m.Cost(OpKind::kReference, 0), 5 * kMicrosecond);
+}
+
+TEST(CostModelTest, CpuDominatedScalesWithSpecInt) {
+  const CostModel p166(MachineProfile::MicronP166());
+  const CostModel p90(MachineProfile::GatewayP5_90());
+  // Region create has arch factor 1.17 intercept on the Gateway.
+  const double ratio =
+      p90.CostUs(OpKind::kRegionCreate, 0) / p166.CostUs(OpKind::kRegionCreate, 0);
+  EXPECT_NEAR(ratio, 4.52 / 2.88 * 1.17, 1e-6);
+}
+
+TEST(CostModelTest, MemoryDominatedUsesMemoryFactor) {
+  const CostModel p166(MachineProfile::MicronP166());
+  const CostModel p90(MachineProfile::GatewayP5_90());
+  const double ratio = p90.Line(OpKind::kCopyout).slope_us_per_byte /
+                       p166.Line(OpKind::kCopyout).slope_us_per_byte;
+  EXPECT_NEAR(ratio, 2.43, 1e-9);
+}
+
+TEST(CostModelTest, CacheDominatedUsesCacheFactor) {
+  const CostModel p166(MachineProfile::MicronP166());
+  const CostModel alpha(MachineProfile::AlphaStation255());
+  const double ratio = alpha.Line(OpKind::kCopyin).slope_us_per_byte /
+                       p166.Line(OpKind::kCopyin).slope_us_per_byte;
+  EXPECT_NEAR(ratio, 0.54, 1e-9);
+}
+
+TEST(CostModelTest, AlphaPageTableOpsScaleWorseThanCpuRatio) {
+  const CostModel p166(MachineProfile::MicronP166());
+  const CostModel alpha(MachineProfile::AlphaStation255());
+  const double cpu_ratio = 4.52 / 3.48;
+  const double swap_ratio =
+      alpha.Line(OpKind::kSwap).slope_us_per_byte / p166.Line(OpKind::kSwap).slope_us_per_byte;
+  EXPECT_GT(swap_ratio, cpu_ratio);  // Page-table updates diverge upward.
+  const double fill_ratio = alpha.Line(OpKind::kRegionFill).slope_us_per_byte /
+                            p166.Line(OpKind::kRegionFill).slope_us_per_byte;
+  EXPECT_LT(fill_ratio, cpu_ratio);  // Bookkeeping diverges downward.
+}
+
+TEST(CostModelTest, NetworkSlopeFromProfileLinkRate) {
+  const MachineProfile oc12 = MachineProfile::MicronP166().WithEffectiveLinkMbps(4 * 8.0 / 0.0598);
+  const CostModel m(oc12);
+  EXPECT_NEAR(m.Line(OpKind::kNetworkTransfer).slope_us_per_byte, 0.0598 / 4, 1e-9);
+}
+
+TEST(CostModelTest, EffectiveLinkMbpsRoundTrips) {
+  const MachineProfile p = MachineProfile::MicronP166();
+  EXPECT_NEAR(p.effective_link_mbps(), 8.0 / 0.0598, 1e-6);
+  const MachineProfile q = p.WithEffectiveLinkMbps(500.0);
+  EXPECT_NEAR(q.effective_link_mbps(), 500.0, 1e-9);
+}
+
+TEST(CostModelTest, AlphaPageSizeIs8K) {
+  EXPECT_EQ(MachineProfile::AlphaStation255().page_size, 8192u);
+  EXPECT_EQ(MachineProfile::MicronP166().page_size, 4096u);
+}
+
+TEST(CostModelTest, AllOpsHaveNamesAndBaselines) {
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const OpKind op = static_cast<OpKind>(i);
+    EXPECT_NE(OpKindName(op), "?");
+    const OpCostLine line = BaselineCost(op);
+    // Slopes and intercepts are sane magnitudes (microseconds).
+    EXPECT_LT(line.slope_us_per_byte, 1.0);
+    EXPECT_LT(line.intercept_us, 200.0);
+  }
+}
+
+// Sanity: the paper's headline 37% latency reduction for 60 KB datagrams is
+// implied by the Table 6 numbers this model encodes (copy vs emulated copy).
+TEST(CostModelTest, HeadlineLatencyReductionImpliedByTable6) {
+  const CostModel m(MachineProfile::MicronP166());
+  const double b = 60.0 * 1024;
+  const double base =
+      m.CostUs(OpKind::kNetworkTransfer, static_cast<std::uint64_t>(b)) + 130.0;
+  const double copy = base + m.CostUs(OpKind::kCopyin, static_cast<std::uint64_t>(b)) +
+                      m.CostUs(OpKind::kCopyout, static_cast<std::uint64_t>(b));
+  const double ecopy = base + m.CostUs(OpKind::kReference, static_cast<std::uint64_t>(b)) +
+                       m.CostUs(OpKind::kReadOnly, static_cast<std::uint64_t>(b)) +
+                       m.CostUs(OpKind::kSwap, static_cast<std::uint64_t>(b));
+  EXPECT_NEAR((copy - ecopy) / copy, 0.37, 0.02);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,124 @@
+// Cross-platform behavior: the whole stack must work with the AlphaStation's
+// 8 KB pages and the Gateway's slower memory system, and the paper's
+// qualitative results ("results for the other platforms were similar") must
+// hold on every profile.
+#include <gtest/gtest.h>
+
+#include "src/analysis/latency_model.h"
+#include "src/harness/experiment.h"
+
+namespace genie {
+namespace {
+
+class CrossProfileTest : public ::testing::TestWithParam<int> {
+ protected:
+  static MachineProfile Profile(int index) {
+    switch (index) {
+      case 0:
+        return MachineProfile::MicronP166();
+      case 1:
+        return MachineProfile::GatewayP5_90();
+      default:
+        return MachineProfile::AlphaStation255();
+    }
+  }
+};
+
+TEST_P(CrossProfileTest, AllSemanticsTransferCorrectly) {
+  ExperimentConfig config;
+  config.profile = Profile(GetParam());
+  config.repetitions = 1;
+  // 8 KB pages on the Alpha: use a page multiple of both 4 K and 8 K, plus
+  // an unaligned odd length.
+  const std::uint32_t psz = config.profile.page_size;
+  const std::vector<std::uint64_t> lengths = {psz, 3 * psz, 3 * psz + 123};
+  for (const Semantics sem : kAllSemantics) {
+    Experiment experiment(config);
+    const RunResult run = experiment.Run(sem, lengths);
+    ASSERT_EQ(run.samples.size(), lengths.size()) << SemanticsName(sem);
+    for (const LatencySample& s : run.samples) {
+      EXPECT_GT(s.latency_us, 0.0);
+    }
+  }
+}
+
+TEST_P(CrossProfileTest, MeasuredMatchesModelOnEveryProfile) {
+  ExperimentConfig config;
+  config.profile = Profile(GetParam());
+  config.repetitions = 2;
+  const CostModel cost(config.profile);
+  const std::uint32_t psz = config.profile.page_size;
+  const std::vector<std::uint64_t> lengths = {4 * psz, 56 * 1024 / psz * psz};
+  for (const Semantics sem :
+       {Semantics::kCopy, Semantics::kEmulatedCopy, Semantics::kEmulatedMove}) {
+    Experiment experiment(config);
+    const RunResult run = experiment.Run(sem, lengths);
+    for (const LatencySample& s : run.samples) {
+      const double estimated = EstimateLatencyUs(cost, config.options, sem,
+                                                 InputBuffering::kEarlyDemux, 0, s.bytes);
+      EXPECT_NEAR(s.latency_us, estimated, estimated * 0.02 + 2.0)
+          << config.profile.name << " " << SemanticsName(sem) << " B=" << s.bytes;
+    }
+  }
+}
+
+TEST_P(CrossProfileTest, CopyDistinctlyWorstEverywhere) {
+  ExperimentConfig config;
+  config.profile = Profile(GetParam());
+  config.repetitions = 1;
+  const std::uint32_t psz = config.profile.page_size;
+  const std::vector<std::uint64_t> lengths = {56 * 1024 / psz * psz};
+  double copy = 0;
+  double best_other = 1e18;
+  for (const Semantics sem : kAllSemantics) {
+    Experiment experiment(config);
+    const double l = experiment.Run(sem, lengths).samples[0].latency_us;
+    if (sem == Semantics::kCopy) {
+      copy = l;
+    } else {
+      best_other = std::min(best_other, l);
+    }
+  }
+  EXPECT_GT(copy, best_other * 1.2) << config.profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, CrossProfileTest, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           switch (param_info.param) {
+                             case 0:
+                               return std::string("MicronP166");
+                             case 1:
+                               return std::string("GatewayP5_90");
+                             default:
+                               return std::string("AlphaStation255");
+                           }
+                         });
+
+TEST(AlphaPageSizeTest, ReverseCopyoutThresholdRegimeWith8KPages) {
+  // The reverse-copyout threshold (2178 B) is far below half of an 8 KB
+  // page; partial 8 K pages with more data than the threshold still swap.
+  ExperimentConfig config;
+  config.profile = MachineProfile::AlphaStation255();
+  config.repetitions = 1;
+  Testbed bed(config);
+  const std::uint64_t len = 8192 + 5000;  // Partial second page: 5000 B.
+  const InputResult r = bed.TransferOnceMixed(len, Semantics::kEmulatedCopy,
+                                              Semantics::kEmulatedCopy);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(bed.rx().stats().reverse_copyouts, 1u);
+  EXPECT_EQ(bed.rx().stats().pages_swapped, 2u);
+}
+
+TEST(AlphaPageSizeTest, SixtyKBIsNotAPageMultipleOn8K) {
+  // 60 KB = 7.5 Alpha pages; an unaligned tail must still round-trip.
+  ExperimentConfig config;
+  config.profile = MachineProfile::AlphaStation255();
+  Testbed bed(config);
+  const InputResult r =
+      bed.TransferOnceMixed(60 * 1024, Semantics::kEmulatedCopy, Semantics::kEmulatedCopy);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.bytes, 60u * 1024);
+}
+
+}  // namespace
+}  // namespace genie

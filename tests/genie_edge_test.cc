@@ -1,0 +1,135 @@
+// API edge cases and misuse: bad buffers, taxonomy misuse, boundary
+// lengths — the contract checks a downstream user would hit first.
+#include <gtest/gtest.h>
+
+#include "tests/genie_test_util.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kSrc = 0x20000000;
+constexpr Vaddr kDst = 0x30000000;
+
+struct EdgeRig : Rig {
+  EdgeRig() {
+    tx_app.CreateRegion(kSrc, 32 * kPage);
+    rx_app.CreateRegion(kDst, 32 * kPage);
+  }
+};
+
+TEST(EdgeTest, OutputFromUnmappedAddressAborts) {
+  EdgeRig rig;
+  EXPECT_DEATH(
+      {
+        std::move(rig.tx_ep.Output(rig.tx_app, 0xDEAD0000, 64, Semantics::kEmulatedCopy))
+            .Detach();
+        rig.engine.Run();
+      },
+      "bad output buffer");
+}
+
+TEST(EdgeTest, OutputPastRegionEndAborts) {
+  EdgeRig rig;
+  EXPECT_DEATH(
+      {
+        std::move(rig.tx_ep.Output(rig.tx_app, kSrc + 31 * kPage, 2 * kPage,
+                                   Semantics::kEmulatedShare))
+            .Detach();
+        rig.engine.Run();
+      },
+      "bad output buffer");
+}
+
+TEST(EdgeTest, ZeroLengthOutputAborts) {
+  EdgeRig rig;
+  EXPECT_DEATH(
+      {
+        std::move(rig.tx_ep.Output(rig.tx_app, kSrc, 0, Semantics::kCopy)).Detach();
+      },
+      "");
+}
+
+TEST(EdgeTest, OversizedDatagramAborts) {
+  EdgeRig rig;
+  EXPECT_DEATH(
+      {
+        std::move(rig.tx_ep.Output(rig.tx_app, kSrc, kMaxAal5Payload + 1, Semantics::kCopy))
+            .Detach();
+      },
+      "");
+}
+
+TEST(EdgeTest, InputWithSystemAllocatedSemanticsViaWrongCallAborts) {
+  EdgeRig rig;
+  EXPECT_DEATH(
+      {
+        auto drive = [](Endpoint& ep, AddressSpace& app) -> Task<void> {
+          (void)co_await ep.Input(app, kDst, kPage, Semantics::kMove);
+        };
+        std::move(drive(rig.rx_ep, rig.rx_app)).Detach();
+      },
+      "application-allocated");
+}
+
+TEST(EdgeTest, SystemAllocatedInputViaWrongCallAborts) {
+  EdgeRig rig;
+  EXPECT_DEATH(
+      {
+        auto drive = [](Endpoint& ep, AddressSpace& app) -> Task<void> {
+          (void)co_await ep.InputSystemAllocated(app, kPage, Semantics::kCopy);
+        };
+        std::move(drive(rig.rx_ep, rig.rx_app)).Detach();
+      },
+      "");
+}
+
+TEST(EdgeTest, FreeUnknownIoBufferAborts) {
+  EdgeRig rig;
+  EXPECT_DEATH(rig.tx_ep.FreeIoBuffer(rig.tx_app, 0x12340000), "unknown");
+}
+
+TEST(EdgeTest, MaxAal5PayloadTransfers) {
+  // The largest legal datagram (65535 bytes) round-trips for the taxonomy's
+  // headline semantics.
+  EdgeRig rig;
+  const std::uint64_t len = kMaxAal5Payload;
+  const auto payload = TestPattern(len, 9);
+  ASSERT_EQ(rig.tx_app.Write(kSrc, payload), AccessResult::kOk);
+  const InputResult r = rig.Transfer(kSrc, kDst, len, Semantics::kEmulatedCopy);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.bytes, len);
+  const auto got = rig.ReadBack(kDst, len);
+  EXPECT_EQ(std::memcmp(got.data(), payload.data(), len), 0);
+}
+
+TEST(EdgeTest, OneByteTransferEverySemantics) {
+  for (const Semantics sem : kAllSemantics) {
+    EdgeRig rig;
+    Vaddr src = kSrc;
+    if (IsSystemAllocated(sem)) {
+      src = rig.tx_ep.AllocateIoBuffer(rig.tx_app, 1);
+    }
+    const auto payload = TestPattern(1, 7);
+    ASSERT_EQ(rig.tx_app.Write(src, payload), AccessResult::kOk);
+    const InputResult r = rig.Transfer(src, kDst, 1, sem);
+    ASSERT_TRUE(r.ok) << SemanticsName(sem);
+    const auto got = rig.ReadBack(r.addr, 1);
+    EXPECT_EQ(got[0], payload[0]) << SemanticsName(sem);
+  }
+}
+
+TEST(EdgeTest, UnknownNamedTagReceiveAborts) {
+  EdgeRig rig;
+  EXPECT_DEATH(
+      {
+        auto drive = [](Endpoint& ep) -> Task<void> {
+          (void)co_await ep.ReceiveNamed(42);
+        };
+        std::move(drive(rig.rx_ep)).Detach();
+      },
+      "unknown named buffer");
+}
+
+}  // namespace
+}  // namespace genie

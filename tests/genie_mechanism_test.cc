@@ -1,0 +1,298 @@
+// Mechanism-level behavior: copy-conversion thresholds, reverse copyout
+// rule, input alignment, optimization ablation toggles, pooled-pool
+// accounting, and resource hygiene under churn.
+#include <gtest/gtest.h>
+
+#include "tests/genie_test_util.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kSrc = 0x20000000;
+constexpr Vaddr kDst = 0x30000000;
+
+struct PreparedRig : Rig {
+  explicit PreparedRig(InputBuffering rx = InputBuffering::kEarlyDemux,
+                       GenieOptions options = GenieOptions{})
+      : Rig(rx, options) {
+    tx_app.CreateRegion(kSrc, 32 * kPage);
+    rx_app.CreateRegion(kDst, 32 * kPage);
+  }
+
+  InputResult Send(std::uint64_t len, Semantics sem, Vaddr src_off = 0, Vaddr dst_off = 0) {
+    const auto payload = TestPattern(len, static_cast<unsigned char>(len % 251));
+    GENIE_CHECK(tx_app.Write(kSrc + src_off, payload) == AccessResult::kOk);
+    const InputResult r = Transfer(kSrc + src_off, kDst + dst_off, len, sem);
+    if (r.ok) {
+      const auto got = ReadBack(r.addr, len);
+      GENIE_CHECK_EQ(std::memcmp(got.data(), payload.data(), len), 0);
+    }
+    return r;
+  }
+};
+
+// --- Copy conversion thresholds (Section 6 / Figure 5) ---
+
+TEST(ThresholdTest, ShortEmulatedCopyOutputConvertsToCopy) {
+  PreparedRig rig;
+  rig.Send(1665, Semantics::kEmulatedCopy);
+  EXPECT_EQ(rig.tx_ep.stats().outputs_converted_to_copy, 1u);
+  rig.Send(1666, Semantics::kEmulatedCopy);
+  EXPECT_EQ(rig.tx_ep.stats().outputs_converted_to_copy, 1u);  // Not converted.
+}
+
+TEST(ThresholdTest, ShortEmulatedShareOutputConvertsToCopy) {
+  PreparedRig rig;
+  rig.Send(279, Semantics::kEmulatedShare);
+  EXPECT_EQ(rig.tx_ep.stats().outputs_converted_to_copy, 1u);
+  rig.Send(280, Semantics::kEmulatedShare);
+  EXPECT_EQ(rig.tx_ep.stats().outputs_converted_to_copy, 1u);
+}
+
+TEST(ThresholdTest, ConversionDisabledByOption) {
+  GenieOptions options;
+  options.enable_copy_conversion = false;
+  PreparedRig rig(InputBuffering::kEarlyDemux, options);
+  rig.Send(100, Semantics::kEmulatedCopy);
+  EXPECT_EQ(rig.tx_ep.stats().outputs_converted_to_copy, 0u);
+}
+
+TEST(ThresholdTest, ConvertedOutputStillStrongIntegrity) {
+  // The conversion is transparent: overwriting right after output must not
+  // affect the data (copy semantics guarantees).
+  PreparedRig rig;
+  const std::uint64_t len = 1000;  // Below threshold: converted.
+  const auto payload = TestPattern(len, 7);
+  ASSERT_EQ(rig.tx_app.Write(kSrc, payload), AccessResult::kOk);
+  rig.engine.ScheduleAt(MicrosToSimTime(50), [&] {
+    // Mid-flight overwrite.
+    auto junk = TestPattern(len, 200);
+    ASSERT_EQ(rig.tx_app.Write(kSrc, junk), AccessResult::kOk);
+  });
+  const InputResult r = rig.Transfer(kSrc, kDst, len, Semantics::kEmulatedCopy);
+  ASSERT_TRUE(r.ok);
+  const auto got = rig.ReadBack(kDst, len);
+  EXPECT_EQ(std::memcmp(got.data(), payload.data(), len), 0);
+}
+
+// --- Reverse copyout rule (Section 5.2) ---
+
+TEST(ReverseCopyoutTest, ShortPartialPageIsCopiedOut) {
+  PreparedRig rig;
+  // 2178-byte threshold: a final page filled with 2000 bytes is copied.
+  const std::uint64_t len = kPage + 2000;
+  rig.Send(len, Semantics::kEmulatedCopy);
+  EXPECT_EQ(rig.rx_ep.stats().reverse_copyouts, 0u);
+  EXPECT_EQ(rig.rx_ep.stats().bytes_copied, 2000u);
+  EXPECT_EQ(rig.rx_ep.stats().pages_swapped, 1u);  // The full first page.
+}
+
+TEST(ReverseCopyoutTest, LongPartialPageIsCompletedAndSwapped) {
+  PreparedRig rig;
+  const std::uint64_t len = kPage + 3000;  // 3000 > 2178.
+  rig.Send(len, Semantics::kEmulatedCopy);
+  EXPECT_EQ(rig.rx_ep.stats().reverse_copyouts, 1u);
+  EXPECT_EQ(rig.rx_ep.stats().pages_swapped, 2u);
+  EXPECT_EQ(rig.rx_ep.stats().bytes_copied, kPage - 3000u);  // Completion bytes.
+}
+
+TEST(ReverseCopyoutTest, PageMultipleSwapsEverything) {
+  PreparedRig rig;
+  rig.Send(4 * kPage, Semantics::kEmulatedCopy);
+  EXPECT_EQ(rig.rx_ep.stats().pages_swapped, 4u);
+  EXPECT_EQ(rig.rx_ep.stats().bytes_copied, 0u);
+  EXPECT_EQ(rig.rx_ep.stats().bytes_swapped, 4 * kPage);
+}
+
+// --- Input alignment (Section 5.2) ---
+
+TEST(InputAlignmentTest, UnalignedBufferStillSwapsWithSystemAlignment) {
+  PreparedRig rig;
+  // Buffer at odd offset: system alignment lets interior pages swap.
+  rig.Send(6 * kPage, Semantics::kEmulatedCopy, /*src_off=*/0, /*dst_off=*/100);
+  EXPECT_GT(rig.rx_ep.stats().pages_swapped, 3u);
+}
+
+TEST(InputAlignmentTest, DisabledAlignmentFallsBackToCopyout) {
+  GenieOptions options;
+  options.enable_input_alignment = false;
+  PreparedRig rig(InputBuffering::kEarlyDemux, options);
+  rig.Send(6 * kPage, Semantics::kEmulatedCopy, 0, /*dst_off=*/100);
+  EXPECT_EQ(rig.rx_ep.stats().pages_swapped, 0u);
+  EXPECT_EQ(rig.rx_ep.stats().bytes_copied, 6 * kPage);
+}
+
+TEST(InputAlignmentTest, AlignedBufferUnaffectedByOption) {
+  GenieOptions options;
+  options.enable_input_alignment = false;
+  PreparedRig rig(InputBuffering::kEarlyDemux, options);
+  rig.Send(4 * kPage, Semantics::kEmulatedCopy);  // Page-aligned anyway.
+  EXPECT_EQ(rig.rx_ep.stats().pages_swapped, 4u);
+}
+
+// --- Region hiding ablation (Section 4) ---
+
+TEST(RegionHidingTest, DisabledHidingRemovesAndRecreatesRegions) {
+  GenieOptions options;
+  options.enable_region_hiding = false;
+  Rig rig(InputBuffering::kEarlyDemux, options);
+  const std::uint64_t len = 2 * kPage;
+  Vaddr buf = rig.tx_ep.AllocateIoBuffer(rig.tx_app, len);
+  ASSERT_EQ(rig.tx_app.Write(buf, TestPattern(len, 1)), AccessResult::kOk);
+  const InputResult r = rig.Transfer(buf, 0, len, Semantics::kEmulatedMove);
+  ASSERT_TRUE(r.ok);
+  // Without hiding, the sender's region was fully removed at dispose.
+  EXPECT_EQ(rig.tx_app.RegionAt(buf), nullptr);
+  EXPECT_EQ(rig.rx_ep.stats().region_cache_hits, 0u);
+}
+
+TEST(RegionHidingTest, EnabledHidingKeepsAndReusesRegion) {
+  Rig rig;
+  const std::uint64_t len = 2 * kPage;
+  Vaddr buf = rig.tx_ep.AllocateIoBuffer(rig.tx_app, len);
+  ASSERT_EQ(rig.tx_app.Write(buf, TestPattern(len, 1)), AccessResult::kOk);
+  const InputResult r = rig.Transfer(buf, 0, len, Semantics::kEmulatedMove);
+  ASSERT_TRUE(r.ok);
+  // Hidden, not removed.
+  Region* region = rig.tx_app.RegionAt(buf);
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->state, RegionState::kMovedOut);
+  EXPECT_EQ(rig.tx_app.cached_regions(RegionState::kMovedOut), 1u);
+}
+
+// --- Input-disabled pageout ablation wiring ---
+
+TEST(WiringAblationTest, EmulatedSemanticsWireWhenOptimizationOff) {
+  GenieOptions options;
+  options.enable_input_disabled_pageout = false;
+  PreparedRig rig(InputBuffering::kEarlyDemux, options);
+
+  // Mid-transfer, the source pages must be wired (share-style protection).
+  bool checked = false;
+  rig.engine.ScheduleAt(MicrosToSimTime(200), [&] {
+    Pte* pte = rig.tx_app.FindPte(kSrc);
+    if (pte != nullptr) {
+      EXPECT_GT(rig.sender.vm().pm().info(pte->frame).wire_count, 0);
+      checked = true;
+    }
+  });
+  rig.Send(4 * kPage, Semantics::kEmulatedShare);
+  EXPECT_TRUE(checked);
+  // And unwired afterwards.
+  Pte* pte = rig.tx_app.FindPte(kSrc);
+  ASSERT_NE(pte, nullptr);
+  EXPECT_EQ(rig.sender.vm().pm().info(pte->frame).wire_count, 0);
+}
+
+TEST(WiringAblationTest, EmulatedSemanticsDoNotWireByDefault) {
+  PreparedRig rig;
+  bool checked = false;
+  rig.engine.ScheduleAt(MicrosToSimTime(200), [&] {
+    Pte* pte = rig.tx_app.FindPte(kSrc);
+    if (pte != nullptr) {
+      EXPECT_EQ(rig.sender.vm().pm().info(pte->frame).wire_count, 0);
+      checked = true;
+    }
+  });
+  rig.Send(4 * kPage, Semantics::kEmulatedShare);
+  EXPECT_TRUE(checked);
+}
+
+// --- Pooled buffering accounting ---
+
+TEST(PooledAccountingTest, PoolLevelRestoredAfterEachSemantics) {
+  for (const Semantics sem : kAllSemantics) {
+    PreparedRig rig(InputBuffering::kPooled);
+    BufferPool* pool = rig.receiver.adapter().pool();
+    const std::size_t before = pool->available();
+    if (IsSystemAllocated(sem)) {
+      Vaddr buf = rig.tx_ep.AllocateIoBuffer(rig.tx_app, 4 * kPage);
+      ASSERT_EQ(rig.tx_app.Write(buf, TestPattern(4 * kPage, 3)), AccessResult::kOk);
+      ASSERT_TRUE(rig.Transfer(buf, 0, 4 * kPage, sem).ok);
+    } else {
+      rig.Send(4 * kPage, sem);
+    }
+    EXPECT_EQ(pool->available(), before) << SemanticsName(sem);
+  }
+}
+
+TEST(PooledAccountingTest, MoveRefillsPoolAfterDonatingPages) {
+  PreparedRig rig(InputBuffering::kPooled);
+  BufferPool* pool = rig.receiver.adapter().pool();
+  const std::size_t before = pool->available();
+  Vaddr buf = rig.tx_ep.AllocateIoBuffer(rig.tx_app, 4 * kPage);
+  ASSERT_EQ(rig.tx_app.Write(buf, TestPattern(4 * kPage, 3)), AccessResult::kOk);
+  ASSERT_TRUE(rig.Transfer(buf, 0, 4 * kPage, Semantics::kMove).ok);
+  EXPECT_EQ(pool->available(), before);  // Refilled with fresh frames.
+}
+
+// --- Churn: repeated transfers leak nothing ---
+
+TEST(ChurnTest, HundredTransfersConserveMemory) {
+  PreparedRig rig;
+  // Pre-touch both buffers so the baseline includes their resident pages.
+  ASSERT_EQ(rig.tx_app.Write(kSrc, TestPattern(8 * kPage, 1)), AccessResult::kOk);
+  ASSERT_EQ(rig.rx_app.Write(kDst, TestPattern(8 * kPage, 1)), AccessResult::kOk);
+  const std::size_t frames_before =
+      rig.sender.vm().pm().free_frames() + rig.receiver.vm().pm().free_frames();
+  for (int i = 0; i < 50; ++i) {
+    rig.Send(3 * kPage + (i * 97) % kPage + 1, Semantics::kEmulatedCopy);
+    rig.Send(2 * kPage, Semantics::kEmulatedShare, 0, 64);
+  }
+  rig.ExpectQuiescent();
+  const std::size_t frames_after =
+      rig.sender.vm().pm().free_frames() + rig.receiver.vm().pm().free_frames();
+  EXPECT_EQ(frames_before, frames_after);
+  EXPECT_EQ(rig.sender.vm().pm().zombie_frames(), 0u);
+  EXPECT_EQ(rig.receiver.vm().pm().zombie_frames(), 0u);
+}
+
+TEST(ChurnTest, SystemAllocatedChurnReusesRegionsWithoutGrowth) {
+  Rig rig;
+  const std::uint64_t len = 2 * kPage;
+  Vaddr buf = rig.tx_ep.AllocateIoBuffer(rig.tx_app, len);
+  ASSERT_EQ(rig.tx_app.Write(buf, TestPattern(len, 1)), AccessResult::kOk);
+  for (int i = 0; i < 20; ++i) {
+    const InputResult in = rig.Transfer(buf, 0, len, Semantics::kEmulatedWeakMove);
+    ASSERT_TRUE(in.ok);
+    // Echo back to keep the ping-pong going.
+    InputResult back;
+    auto input_driver = [](Endpoint& ep, AddressSpace& app, std::uint64_t n,
+                           InputResult* out) -> Task<void> {
+      *out = co_await ep.InputSystemAllocated(app, n, Semantics::kEmulatedWeakMove);
+    };
+    std::move(input_driver(rig.tx_ep, rig.tx_app, len, &back)).Detach();
+    std::move(rig.rx_ep.Output(rig.rx_app, in.addr, len, Semantics::kEmulatedWeakMove))
+        .Detach();
+    rig.engine.Run();
+    ASSERT_TRUE(back.ok);
+    buf = back.addr;
+  }
+  // Steady state: at most a couple of regions per side.
+  EXPECT_LE(rig.tx_app.region_count(), 3u);
+  EXPECT_LE(rig.rx_app.region_count(), 3u);
+  EXPECT_GE(rig.rx_ep.stats().region_cache_hits + rig.tx_ep.stats().region_cache_hits, 30u);
+}
+
+// --- Pageout interaction: input buffers survive memory pressure ---
+
+TEST(PageoutInteractionTest, PendingInputSurvivesPageoutPressure) {
+  PreparedRig rig;
+  const std::uint64_t len = 4 * kPage;
+  const auto payload = TestPattern(len, 0x66);
+  ASSERT_EQ(rig.tx_app.Write(kSrc, payload), AccessResult::kOk);
+
+  // Run the receiver's pageout daemon aggressively mid-transfer.
+  rig.engine.ScheduleAt(MicrosToSimTime(150), [&] {
+    rig.receiver.pageout().ScanOnce(1000);
+  });
+  const InputResult r = rig.Transfer(kSrc, kDst, len, Semantics::kEmulatedShare);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(rig.receiver.pageout().skipped_input_referenced(), 0u);
+  const auto got = rig.ReadBack(kDst, len);
+  EXPECT_EQ(std::memcmp(got.data(), payload.data(), len), 0);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,91 @@
+// Memory-pressure behavior of the data path: system-buffer allocation under
+// low free memory triggers the pageout daemon instead of failing, and
+// transfers keep working while an idle process's pages get evicted.
+#include <gtest/gtest.h>
+
+#include "tests/genie_test_util.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kSrc = 0x20000000;
+constexpr Vaddr kDst = 0x30000000;
+constexpr Vaddr kHog = 0x70000000;
+
+TEST(MemoryPressureTest, CopySemanticsTransfersSurviveLowMemory) {
+  // 96 frames total; a memory hog dirties most of them; copy semantics needs
+  // two 60 KB system buffers (sender + receiver) per transfer.
+  Rig rig(InputBuffering::kEarlyDemux, GenieOptions{}, MachineProfile::MicronP166(),
+          /*mem_frames=*/72);
+  rig.tx_app.CreateRegion(kSrc, 16 * kPage);
+  rig.rx_app.CreateRegion(kDst, 16 * kPage);
+
+  // Hog most of each node's memory with an idle process.
+  AddressSpace& tx_hog = rig.sender.CreateProcess("hog");
+  AddressSpace& rx_hog = rig.receiver.CreateProcess("hog");
+  tx_hog.CreateRegion(kHog, 48 * kPage);
+  rx_hog.CreateRegion(kHog, 48 * kPage);
+  const auto hog_data = TestPattern(48 * kPage, 0x42);
+  ASSERT_EQ(tx_hog.Write(kHog, hog_data), AccessResult::kOk);
+  ASSERT_EQ(rx_hog.Write(kHog, hog_data), AccessResult::kOk);
+
+  const std::uint64_t len = 15 * kPage;
+  const auto payload = TestPattern(len, 3);
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_EQ(rig.tx_app.Write(kSrc, payload), AccessResult::kOk);
+    const InputResult r = rig.Transfer(kSrc, kDst, len, Semantics::kCopy);
+    ASSERT_TRUE(r.ok) << round;
+    const auto got = rig.ReadBack(kDst, len);
+    ASSERT_EQ(std::memcmp(got.data(), payload.data(), len), 0) << round;
+  }
+  // The daemons had to evict to make room for the system buffers.
+  EXPECT_GT(rig.sender.pageout().total_evictions() + rig.receiver.pageout().total_evictions(),
+            0u);
+
+  // The hog's data survived eviction (pages back in from swap on demand).
+  std::vector<std::byte> check(kPage);
+  for (int i = 0; i < 48; i += 7) {
+    rig.sender.EnsureFreeFrames(2);
+    ASSERT_EQ(tx_hog.Read(kHog + i * kPage, check), AccessResult::kOk);
+    ASSERT_EQ(std::memcmp(check.data(), hog_data.data() + i * kPage, kPage), 0) << i;
+  }
+}
+
+TEST(MemoryPressureTest, EmulatedCopyNeedsFewerFramesUnderPressure) {
+  // Emulated copy allocates an aligned system buffer only at the receiver;
+  // the sender side is in place. It must work where memory is even tighter.
+  Rig rig(InputBuffering::kEarlyDemux, GenieOptions{}, MachineProfile::MicronP166(),
+          /*mem_frames=*/52);
+  rig.tx_app.CreateRegion(kSrc, 16 * kPage);
+  rig.rx_app.CreateRegion(kDst, 16 * kPage);
+  AddressSpace& rx_hog = rig.receiver.CreateProcess("hog");
+  rx_hog.CreateRegion(kHog, 40 * kPage);
+  ASSERT_EQ(rx_hog.Write(kHog, TestPattern(40 * kPage, 1)), AccessResult::kOk);
+
+  const std::uint64_t len = 15 * kPage;
+  const auto payload = TestPattern(len, 5);
+  ASSERT_EQ(rig.tx_app.Write(kSrc, payload), AccessResult::kOk);
+  const InputResult r = rig.Transfer(kSrc, kDst, len, Semantics::kEmulatedCopy);
+  ASSERT_TRUE(r.ok);
+  const auto got = rig.ReadBack(kDst, len);
+  EXPECT_EQ(std::memcmp(got.data(), payload.data(), len), 0);
+  EXPECT_GT(rig.receiver.pageout().total_evictions(), 0u);
+}
+
+TEST(MemoryPressureTest, EnsureFreeFramesAbortsOnlyWhenNothingEvictable) {
+  Engine engine;
+  Node::Config cfg;
+  cfg.mem_frames = 8;
+  Node node(engine, "n", cfg);
+  AddressSpace& app = node.CreateProcess("app");
+  app.CreateRegion(kHog, 6 * kPage);
+  ASSERT_EQ(app.WireRange(kHog, 6 * kPage, true), AccessResult::kOk);  // Unevictable.
+  EXPECT_DEATH(node.EnsureFreeFrames(5), "out of memory");
+  app.UnwireRange(kHog, 6 * kPage);
+  node.EnsureFreeFrames(7);  // Now the daemon can evict.
+  EXPECT_GE(node.vm().pm().free_frames(), 7u);
+}
+
+}  // namespace
+}  // namespace genie

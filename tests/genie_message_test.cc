@@ -1,0 +1,175 @@
+// Multi-packet messages (fragmentation/reassembly) and credit-based flow
+// control (the Credit Net scheme, paper refs [2], [4], [14]).
+#include "src/genie/message.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/genie_test_util.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kSrc = 0x20000000;
+constexpr Vaddr kDst = 0x40000000;
+
+struct MessageRig {
+  explicit MessageRig(bool flow_control, std::uint64_t buf_bytes = 2 * 1024 * 1024)
+      : sender(engine, "tx", NodeConfig(flow_control)),
+        receiver(engine, "rx", NodeConfig(flow_control)),
+        network(engine, sender, receiver),
+        tx_ep(sender, 1),
+        rx_ep(receiver, 1),
+        tx_app(sender.CreateProcess("app")),
+        rx_app(receiver.CreateProcess("app")) {
+    tx_app.CreateRegion(kSrc, buf_bytes);
+    rx_app.CreateRegion(kDst, buf_bytes);
+  }
+  static Node::Config NodeConfig(bool flow_control) {
+    Node::Config c;
+    c.mem_frames = 2048;
+    c.flow_control = flow_control;
+    return c;
+  }
+
+  MessageResult Exchange(std::uint64_t len, Semantics sem, MessageChannel::Options options) {
+    MessageChannel tx_chan(tx_ep, options);
+    MessageChannel rx_chan(rx_ep, options);
+    const auto payload = TestPattern(len, static_cast<unsigned char>(len % 251));
+    GENIE_CHECK(tx_app.Write(kSrc, payload) == AccessResult::kOk);
+    MessageResult result;
+    auto recv = [](MessageChannel& chan, AddressSpace& app, std::uint64_t n, Semantics s,
+                   MessageResult* out) -> Task<void> {
+      *out = co_await chan.ReceiveMessage(app, kDst, n, s);
+    };
+    std::move(recv(rx_chan, rx_app, len, sem, &result)).Detach();
+    std::move(tx_chan.SendMessage(tx_app, kSrc, len, sem)).Detach();
+    engine.Run();
+    if (result.ok) {
+      std::vector<std::byte> got(static_cast<std::size_t>(len));
+      GENIE_CHECK(rx_app.Read(kDst, got) == AccessResult::kOk);
+      GENIE_CHECK_EQ(std::memcmp(got.data(), payload.data(), len), 0);
+    }
+    return result;
+  }
+
+  Engine engine;
+  Node sender;
+  Node receiver;
+  Network network;
+  Endpoint tx_ep;
+  Endpoint rx_ep;
+  AddressSpace& tx_app;
+  AddressSpace& rx_app;
+};
+
+class MessageSemanticsTest : public ::testing::TestWithParam<Semantics> {};
+
+TEST_P(MessageSemanticsTest, OneMegabyteMessageRoundTrips) {
+  MessageRig rig(/*flow_control=*/true);
+  const std::uint64_t len = 1024 * 1024 + 12345;  // 18 fragments, odd tail.
+  const MessageResult r = rig.Exchange(len, GetParam(), MessageChannel::Options{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.bytes, len);
+  EXPECT_EQ(r.fragments, (len + 60 * 1024 - 1) / (60 * 1024));
+}
+
+INSTANTIATE_TEST_SUITE_P(AppAllocated, MessageSemanticsTest,
+                         ::testing::Values(Semantics::kCopy, Semantics::kEmulatedCopy,
+                                           Semantics::kShare, Semantics::kEmulatedShare),
+                         [](const ::testing::TestParamInfo<Semantics>& param_info) {
+                           std::string name(SemanticsName(param_info.param));
+                           for (char& c : name) {
+                             if (c == ' ') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(MessageTest, SingleFragmentMessage) {
+  MessageRig rig(true);
+  const MessageResult r = rig.Exchange(1000, Semantics::kEmulatedCopy, {});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.fragments, 1u);
+}
+
+TEST(MessageTest, ExactFragmentMultiple) {
+  MessageRig rig(true);
+  MessageChannel::Options options;
+  options.fragment_bytes = 8 * kPage;
+  const MessageResult r = rig.Exchange(32 * kPage, Semantics::kEmulatedCopy, options);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.fragments, 4u);
+}
+
+TEST(MessageTest, WindowOneWithFlowControlNeverDrops) {
+  // Window 1: only one receive posted at a time. Without credits the sender
+  // would overrun it; with credits it back-pressures. No drops, ever.
+  MessageRig rig(/*flow_control=*/true);
+  MessageChannel::Options options;
+  options.window = 1;
+  const MessageResult r = rig.Exchange(512 * 1024, Semantics::kEmulatedCopy, options);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(rig.receiver.adapter().frames_dropped_no_buffer(), 0u);
+}
+
+TEST(MessageTest, WindowOneWithoutFlowControlDropsFrames) {
+  // The hazard credits exist to prevent: back-to-back fragments overrun a
+  // single posted buffer and the device drops them.
+  MessageRig rig(/*flow_control=*/false);
+  MessageChannel::Options options;
+  options.window = 1;
+  const MessageResult r = rig.Exchange(512 * 1024, Semantics::kEmulatedCopy, options);
+  EXPECT_FALSE(r.ok);  // The message cannot complete...
+  EXPECT_GT(rig.receiver.adapter().frames_dropped_no_buffer(), 0u);  // ...frames died.
+}
+
+TEST(MessageTest, WiderWindowPipelinesFragments) {
+  // With a window >= 2 the next fragment is on the wire while the previous
+  // one disposes: total time approaches wire-limited.
+  MessageRig rig_w1(true);
+  MessageChannel::Options w1;
+  w1.window = 1;
+  rig_w1.Exchange(1024 * 1024, Semantics::kEmulatedCopy, w1);
+  const double t_w1 = SimTimeToMicros(rig_w1.engine.now());
+
+  MessageRig rig_w4(true);
+  MessageChannel::Options w4;
+  w4.window = 4;
+  rig_w4.Exchange(1024 * 1024, Semantics::kEmulatedCopy, w4);
+  const double t_w4 = SimTimeToMicros(rig_w4.engine.now());
+
+  EXPECT_LT(t_w4, t_w1);
+  // Window 4 is within 15% of the pure wire time for 1 MB.
+  const double wire_us = 1024 * 1024 * 0.0598;
+  EXPECT_LT(t_w4, wire_us * 1.15);
+}
+
+TEST(MessageTest, CrcFailureFailsTheMessageCleanly) {
+  MessageRig rig(true);
+  rig.receiver.adapter().InjectCrcError();  // First fragment dies.
+  const MessageResult r = rig.Exchange(256 * 1024, Semantics::kEmulatedCopy, {});
+  EXPECT_FALSE(r.ok);
+  // No stuck operations or leaked frames; note in-flight preposted
+  // fragments beyond the failure are still pending by design (a real
+  // transport would cancel or reuse them).
+  EXPECT_EQ(rig.receiver.vm().pm().zombie_frames(), 0u);
+}
+
+TEST(MessageTest, CreditAccountingVisible) {
+  MessageRig rig(true);
+  EXPECT_EQ(rig.sender.adapter().tx_credits(1), 0u);
+  // Posting receives grants credits to the sender after the credit latency.
+  MessageChannel rx_chan(rig.rx_ep, {});
+  MessageResult result;
+  auto recv = [](MessageChannel& chan, AddressSpace& app, MessageResult* out) -> Task<void> {
+    *out = co_await chan.ReceiveMessage(app, kDst, 240 * 1024, Semantics::kEmulatedCopy);
+  };
+  std::move(recv(rx_chan, rig.rx_app, &result)).Detach();
+  rig.engine.RunFor(100 * kMicrosecond);
+  EXPECT_EQ(rig.sender.adapter().tx_credits(1), 4u);  // Window of 4 posted.
+}
+
+}  // namespace
+}  // namespace genie

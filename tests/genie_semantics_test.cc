@@ -1,0 +1,76 @@
+// The taxonomy's dimensions (paper Figure 1 / Section 2).
+#include "src/genie/semantics.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(SemanticsTest, EightDistinctSemantics) {
+  std::set<Semantics> all(kAllSemantics.begin(), kAllSemantics.end());
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(SemanticsTest, AllocationDimension) {
+  EXPECT_TRUE(IsApplicationAllocated(Semantics::kCopy));
+  EXPECT_TRUE(IsApplicationAllocated(Semantics::kEmulatedCopy));
+  EXPECT_TRUE(IsApplicationAllocated(Semantics::kShare));
+  EXPECT_TRUE(IsApplicationAllocated(Semantics::kEmulatedShare));
+  EXPECT_TRUE(IsSystemAllocated(Semantics::kMove));
+  EXPECT_TRUE(IsSystemAllocated(Semantics::kEmulatedMove));
+  EXPECT_TRUE(IsSystemAllocated(Semantics::kWeakMove));
+  EXPECT_TRUE(IsSystemAllocated(Semantics::kEmulatedWeakMove));
+}
+
+TEST(SemanticsTest, IntegrityDimension) {
+  EXPECT_TRUE(IsStrongIntegrity(Semantics::kCopy));
+  EXPECT_TRUE(IsStrongIntegrity(Semantics::kEmulatedCopy));
+  EXPECT_TRUE(IsStrongIntegrity(Semantics::kMove));
+  EXPECT_TRUE(IsStrongIntegrity(Semantics::kEmulatedMove));
+  EXPECT_TRUE(IsWeakIntegrity(Semantics::kShare));
+  EXPECT_TRUE(IsWeakIntegrity(Semantics::kEmulatedShare));
+  EXPECT_TRUE(IsWeakIntegrity(Semantics::kWeakMove));
+  EXPECT_TRUE(IsWeakIntegrity(Semantics::kEmulatedWeakMove));
+}
+
+TEST(SemanticsTest, OptimizationDimension) {
+  int emulated = 0;
+  for (const Semantics s : kAllSemantics) {
+    if (IsEmulated(s)) {
+      ++emulated;
+      EXPECT_FALSE(IsEmulated(BasicOf(s)));
+      // An emulated semantics shares the other two dimensions with its basic
+      // counterpart (compatible behavior, Section 2.3).
+      EXPECT_EQ(IsSystemAllocated(s), IsSystemAllocated(BasicOf(s)));
+      EXPECT_EQ(IsWeakIntegrity(s), IsWeakIntegrity(BasicOf(s)));
+    } else {
+      EXPECT_EQ(BasicOf(s), s);
+    }
+  }
+  EXPECT_EQ(emulated, 4);
+}
+
+TEST(SemanticsTest, EveryCellOfTheCubeIsCovered) {
+  // 2 allocation schemes x 2 integrity levels x 2 optimization levels.
+  std::set<std::tuple<bool, bool, bool>> cells;
+  for (const Semantics s : kAllSemantics) {
+    cells.insert({IsSystemAllocated(s), IsWeakIntegrity(s), IsEmulated(s)});
+  }
+  EXPECT_EQ(cells.size(), 8u);
+}
+
+TEST(SemanticsTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (const Semantics s : kAllSemantics) {
+    const std::string_view name = SemanticsName(s);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,76 @@
+#include "src/mem/backing_store.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+std::vector<std::byte> Pattern(std::size_t n, unsigned char seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed + i) & 0xFF);
+  }
+  return v;
+}
+
+TEST(BackingStoreTest, SaveRestoreRoundTrip) {
+  BackingStore bs;
+  const auto data = Pattern(4096, 7);
+  bs.Save(1, 2, data);
+  EXPECT_TRUE(bs.Contains(1, 2));
+  std::vector<std::byte> out(4096);
+  bs.Restore(1, 2, out);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), 4096), 0);
+  EXPECT_FALSE(bs.Contains(1, 2));  // Restore consumes the slot.
+}
+
+TEST(BackingStoreTest, KeysAreObjectAndPage) {
+  BackingStore bs;
+  bs.Save(1, 0, Pattern(64, 1));
+  bs.Save(1, 1, Pattern(64, 2));
+  bs.Save(2, 0, Pattern(64, 3));
+  EXPECT_TRUE(bs.Contains(1, 0));
+  EXPECT_TRUE(bs.Contains(1, 1));
+  EXPECT_TRUE(bs.Contains(2, 0));
+  EXPECT_FALSE(bs.Contains(2, 1));
+  EXPECT_EQ(bs.stored_pages(), 3u);
+}
+
+TEST(BackingStoreTest, SaveOverwrites) {
+  BackingStore bs;
+  bs.Save(1, 0, Pattern(16, 1));
+  bs.Save(1, 0, Pattern(16, 9));
+  std::vector<std::byte> out(16);
+  bs.Restore(1, 0, out);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 9);
+}
+
+TEST(BackingStoreTest, EraseDropsPage) {
+  BackingStore bs;
+  bs.Save(3, 4, Pattern(16, 1));
+  bs.Erase(3, 4);
+  EXPECT_FALSE(bs.Contains(3, 4));
+  bs.Erase(3, 4);  // Idempotent.
+}
+
+TEST(BackingStoreTest, CountersTrackTraffic) {
+  BackingStore bs;
+  bs.Save(1, 0, Pattern(16, 1));
+  bs.Save(1, 1, Pattern(16, 2));
+  std::vector<std::byte> out(16);
+  bs.Restore(1, 0, out);
+  EXPECT_EQ(bs.total_pageouts(), 2u);
+  EXPECT_EQ(bs.total_pageins(), 1u);
+}
+
+TEST(BackingStoreDeathTest, RestoreMissingAborts) {
+  BackingStore bs;
+  std::vector<std::byte> out(16);
+  EXPECT_DEATH(bs.Restore(9, 9, out), "not in backing store");
+}
+
+}  // namespace
+}  // namespace genie

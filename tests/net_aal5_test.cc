@@ -1,0 +1,54 @@
+#include "src/net/aal5.h"
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+std::vector<std::byte> Bytes(std::string_view s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+TEST(Crc32Test, KnownVector) {
+  // Standard check value for "123456789" under CRC-32/IEEE.
+  EXPECT_EQ(ComputeCrc32(Bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInput) { EXPECT_EQ(ComputeCrc32({}), 0x00000000u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const auto data = Bytes("the quick brown fox jumps over the lazy dog");
+  Crc32 crc;
+  crc.Update(std::span<const std::byte>(data).subspan(0, 10));
+  crc.Update(std::span<const std::byte>(data).subspan(10, 5));
+  crc.Update(std::span<const std::byte>(data).subspan(15));
+  EXPECT_EQ(crc.value(), ComputeCrc32(data));
+}
+
+TEST(Crc32Test, DifferentDataDifferentCrc) {
+  EXPECT_NE(ComputeCrc32(Bytes("abc")), ComputeCrc32(Bytes("abd")));
+}
+
+TEST(Crc32Test, ResetStartsFresh) {
+  Crc32 crc;
+  crc.Update(Bytes("junk"));
+  crc.Reset();
+  crc.Update(Bytes("123456789"));
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Aal5Test, MaxPayloadConstant) {
+  EXPECT_EQ(kMaxAal5Payload, 65535u);
+  // 60 KB is the largest page multiple under the limit (paper Section 7).
+  EXPECT_LE(60u * 1024, kMaxAal5Payload);
+  EXPECT_GT(64u * 1024, kMaxAal5Payload);
+}
+
+}  // namespace
+}  // namespace genie

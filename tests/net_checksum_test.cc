@@ -1,0 +1,88 @@
+#include "src/net/checksum.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+std::vector<std::byte> Bytes(std::initializer_list<unsigned char> list) {
+  std::vector<std::byte> v;
+  for (unsigned char c : list) {
+    v.push_back(static_cast<std::byte>(c));
+  }
+  return v;
+}
+
+TEST(InternetChecksumTest, Rfc1071Example) {
+  // RFC 1071's worked example: 00 01 f2 03 f4 f5 f6 f7 sums to ddf2
+  // (before complement); checksum = ~ddf2 = 220d.
+  const auto data = Bytes({0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7});
+  EXPECT_EQ(ChecksumOf(data), 0x220D);
+}
+
+TEST(InternetChecksumTest, EmptyData) {
+  EXPECT_EQ(ChecksumOf({}), 0xFFFF);  // ~0.
+}
+
+TEST(InternetChecksumTest, OddLength) {
+  // Odd final byte is padded with zero: 0xAB00 -> ~0xAB00 = 0x54FF.
+  const auto data = Bytes({0xAB});
+  EXPECT_EQ(ChecksumOf(data), 0x54FF);
+}
+
+TEST(InternetChecksumTest, IncrementalMatchesOneShotEvenSplits) {
+  std::vector<std::byte> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i * 13 + 7) & 0xFF);
+  }
+  InternetChecksum c;
+  c.Update(std::span<const std::byte>(data).subspan(0, 400));
+  c.Update(std::span<const std::byte>(data).subspan(400));
+  EXPECT_EQ(c.value(), ChecksumOf(data));
+}
+
+TEST(InternetChecksumTest, IncrementalMatchesOneShotOddSplits) {
+  std::vector<std::byte> data(999);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i * 31 + 3) & 0xFF);
+  }
+  InternetChecksum c;
+  c.Update(std::span<const std::byte>(data).subspan(0, 333));  // Odd chunk.
+  c.Update(std::span<const std::byte>(data).subspan(333, 111));  // Odd chunk.
+  c.Update(std::span<const std::byte>(data).subspan(444));
+  EXPECT_EQ(c.value(), ChecksumOf(data));
+}
+
+TEST(InternetChecksumTest, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(64, std::byte{0x42});
+  const std::uint16_t before = ChecksumOf(data);
+  data[17] = std::byte{0x43};
+  EXPECT_NE(ChecksumOf(data), before);
+}
+
+TEST(InternetChecksumTest, IoVecMatchesLinear) {
+  PhysicalMemory pm(4, 4096);
+  const FrameId a = pm.Allocate();
+  const FrameId b = pm.Allocate();
+  std::vector<std::byte> linear(6000);
+  for (std::size_t i = 0; i < linear.size(); ++i) {
+    linear[i] = static_cast<std::byte>((i * 7) & 0xFF);
+  }
+  std::memcpy(pm.Data(a).data() + 100, linear.data(), 3996);
+  std::memcpy(pm.Data(b).data(), linear.data() + 3996, 2004);
+  IoVec iov;
+  iov.segments.push_back(IoSegment{a, 100, 3996});
+  iov.segments.push_back(IoSegment{b, 0, 2004});
+  EXPECT_EQ(ChecksumOfIoVec(pm, iov, 6000), ChecksumOf(linear));
+  // Prefix checksum over a sub-range also matches.
+  EXPECT_EQ(ChecksumOfIoVec(pm, iov, 1000),
+            ChecksumOf(std::span<const std::byte>(linear).subspan(0, 1000)));
+  pm.Free(a);
+  pm.Free(b);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,72 @@
+// Determinism: identical simulations produce bit-for-bit identical event
+// sequences, timings, and measured results — the property that makes every
+// experiment in this repository exactly reproducible.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/sim/trace.h"
+#include "tests/genie_test_util.h"
+
+namespace genie {
+namespace {
+
+struct RunSignature {
+  std::uint64_t events = 0;
+  SimTime final_time = 0;
+  SimTime completed_at = 0;
+  std::string trace_json;
+};
+
+RunSignature RunOnce() {
+  TraceLog trace;
+  Rig rig(InputBuffering::kPooled);
+  rig.sender.set_trace(&trace);
+  rig.receiver.set_trace(&trace);
+  constexpr Vaddr kBuf = 0x20000000;
+  rig.tx_app.CreateRegion(kBuf, 32 * 4096);
+  rig.rx_app.CreateRegion(kBuf, 32 * 4096);
+  GENIE_CHECK(rig.tx_app.Write(kBuf, TestPattern(10 * 4096, 3)) == AccessResult::kOk);
+  InputResult last;
+  for (int i = 0; i < 3; ++i) {
+    last = rig.Transfer(kBuf + 100, kBuf + 100, 10 * 4096 + 77, Semantics::kEmulatedCopy);
+    GENIE_CHECK(last.ok);
+  }
+  RunSignature sig;
+  sig.events = rig.engine.events_executed();
+  sig.final_time = rig.engine.now();
+  sig.completed_at = last.completed_at;
+  std::ostringstream os;
+  trace.WriteJson(os);
+  sig.trace_json = os.str();
+  return sig;
+}
+
+TEST(DeterminismTest, IdenticalRunsAreBitForBitIdentical) {
+  const RunSignature a = RunOnce();
+  const RunSignature b = RunOnce();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.completed_at, b.completed_at);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST(DeterminismTest, HarnessSweepsAreReproducible) {
+  ExperimentConfig config;
+  config.repetitions = 2;
+  const std::vector<std::uint64_t> lengths = {4096, 61440};
+  Experiment e1(config);
+  Experiment e2(config);
+  const RunResult r1 = e1.Run(Semantics::kWeakMove, lengths);
+  const RunResult r2 = e2.Run(Semantics::kWeakMove, lengths);
+  ASSERT_EQ(r1.samples.size(), r2.samples.size());
+  for (std::size_t i = 0; i < r1.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.samples[i].latency_us, r2.samples[i].latency_us);
+    EXPECT_DOUBLE_EQ(r1.samples[i].sender_utilization, r2.samples[i].sender_utilization);
+    EXPECT_DOUBLE_EQ(r1.samples[i].receiver_utilization, r2.samples[i].receiver_utilization);
+  }
+}
+
+}  // namespace
+}  // namespace genie

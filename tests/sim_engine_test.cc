@@ -1,0 +1,113 @@
+#include "src/sim/engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0);
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+TEST(EngineTest, StepOnEmptyQueueReturnsFalse) {
+  Engine eng;
+  EXPECT_FALSE(eng.Step());
+}
+
+TEST(EngineTest, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.ScheduleAt(30, [&] { order.push_back(3); });
+  eng.ScheduleAt(10, [&] { order.push_back(1); });
+  eng.ScheduleAt(20, [&] { order.push_back(2); });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(EngineTest, SimultaneousEventsRunFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.ScheduleAt(100, [&order, i] { order.push_back(i); });
+  }
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine eng;
+  SimTime observed = -1;
+  eng.ScheduleAt(50, [&] { eng.ScheduleAfter(25, [&] { observed = eng.now(); }); });
+  eng.Run();
+  EXPECT_EQ(observed, 75);
+}
+
+TEST(EngineTest, EventsScheduledDuringRunAreExecuted) {
+  Engine eng;
+  int count = 0;
+  eng.ScheduleAt(1, [&] {
+    ++count;
+    eng.ScheduleAfter(1, [&] { ++count; });
+  });
+  eng.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EngineTest, RunForStopsAtDeadline) {
+  Engine eng;
+  int count = 0;
+  eng.ScheduleAt(10, [&] { ++count; });
+  eng.ScheduleAt(20, [&] { ++count; });
+  eng.ScheduleAt(30, [&] { ++count; });
+  eng.RunFor(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(eng.now(), 20);
+  eng.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EngineTest, RunForAdvancesClockEvenWithoutEvents) {
+  Engine eng;
+  eng.RunFor(1000);
+  EXPECT_EQ(eng.now(), 1000);
+}
+
+TEST(EngineTest, RunUntilPredicate) {
+  Engine eng;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    eng.ScheduleAt(i, [&] { ++count; });
+  }
+  EXPECT_TRUE(eng.RunUntil([&] { return count == 4; }));
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(eng.now(), 4);
+}
+
+TEST(EngineTest, RunUntilReturnsFalseIfQueueDrains) {
+  Engine eng;
+  eng.ScheduleAt(1, [] {});
+  EXPECT_FALSE(eng.RunUntil([] { return false; }));
+}
+
+TEST(EngineTest, EventsExecutedCounter) {
+  Engine eng;
+  eng.ScheduleAt(1, [] {});
+  eng.ScheduleAt(2, [] {});
+  eng.Run();
+  EXPECT_EQ(eng.events_executed(), 2u);
+}
+
+TEST(EngineDeathTest, SchedulingInThePastAborts) {
+  Engine eng;
+  eng.ScheduleAt(100, [] {});
+  eng.Run();
+  EXPECT_DEATH(eng.ScheduleAt(50, [] {}), "cannot schedule in the past");
+}
+
+}  // namespace
+}  // namespace genie

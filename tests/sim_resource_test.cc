@@ -1,0 +1,157 @@
+#include "src/sim/resource.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/awaitable.h"
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+
+namespace genie {
+namespace {
+
+Task<void> HoldFor(Engine& eng, Resource& res, SimTime dur, std::vector<SimTime>* grants) {
+  co_await res.Acquire();
+  if (grants != nullptr) {
+    grants->push_back(eng.now());
+  }
+  co_await Delay(eng, dur);
+  res.Release();
+}
+
+TEST(ResourceTest, UncontendedAcquireIsImmediate) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::vector<SimTime> grants;
+  std::move(HoldFor(eng, res, 10, &grants)).Detach();
+  eng.Run();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0], 0);
+  EXPECT_FALSE(res.held());
+}
+
+TEST(ResourceTest, ContendersServedFifo) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::vector<SimTime> grants;
+  std::move(HoldFor(eng, res, 10, &grants)).Detach();
+  std::move(HoldFor(eng, res, 10, &grants)).Detach();
+  std::move(HoldFor(eng, res, 10, &grants)).Detach();
+  eng.Run();
+  EXPECT_EQ(grants, (std::vector<SimTime>{0, 10, 20}));
+}
+
+TEST(ResourceTest, BusyTimeAccumulates) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::move(HoldFor(eng, res, 25, nullptr)).Detach();
+  std::move(HoldFor(eng, res, 15, nullptr)).Detach();
+  eng.Run();
+  EXPECT_EQ(res.busy_time(), 40);
+}
+
+TEST(ResourceTest, BusyTimeExcludesIdleGaps) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::move(HoldFor(eng, res, 10, nullptr)).Detach();
+  eng.Run();
+  // Idle gap from t=10 to t=100.
+  eng.ScheduleAt(100, [] {});
+  eng.Run();
+  std::move(HoldFor(eng, res, 5, nullptr)).Detach();
+  eng.Run();
+  EXPECT_EQ(res.busy_time(), 15);
+  EXPECT_EQ(eng.now(), 105);
+}
+
+TEST(ResourceTest, BusyTimeIncludesInProgressGrant) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::move(HoldFor(eng, res, 100, nullptr)).Detach();
+  eng.RunFor(40);
+  EXPECT_EQ(res.busy_time(), 40);
+}
+
+TEST(ResourceTest, ResetBusyTimeStartsWindow) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::move(HoldFor(eng, res, 10, nullptr)).Detach();
+  eng.Run();
+  res.ResetBusyTime();
+  EXPECT_EQ(res.busy_time(), 0);
+  std::move(HoldFor(eng, res, 7, nullptr)).Detach();
+  eng.Run();
+  EXPECT_EQ(res.busy_time(), 7);
+}
+
+Task<void> UseRun(Resource& res, SimTime cost) { co_await res.Run(cost); }
+
+TEST(ResourceTest, RunAcquiresHoldsReleases) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::move(UseRun(res, 33)).Detach();
+  eng.Run();
+  EXPECT_EQ(res.busy_time(), 33);
+  EXPECT_FALSE(res.held());
+  EXPECT_EQ(eng.now(), 33);
+}
+
+TEST(ResourceTest, RunSerializesWork) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::move(UseRun(res, 10)).Detach();
+  std::move(UseRun(res, 20)).Detach();
+  eng.Run();
+  EXPECT_EQ(eng.now(), 30);
+  EXPECT_EQ(res.busy_time(), 30);
+}
+
+TEST(ResourceTest, ZeroCostRunStillWorks) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::move(UseRun(res, 0)).Detach();
+  eng.Run();
+  EXPECT_EQ(res.busy_time(), 0);
+  EXPECT_FALSE(res.held());
+}
+
+TEST(ResourceTest, QueueLengthVisible) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  std::move(HoldFor(eng, res, 50, nullptr)).Detach();
+  std::move(HoldFor(eng, res, 50, nullptr)).Detach();
+  std::move(HoldFor(eng, res, 50, nullptr)).Detach();
+  EXPECT_TRUE(res.held());
+  EXPECT_EQ(res.queue_length(), 2u);
+  eng.Run();
+  EXPECT_EQ(res.queue_length(), 0u);
+}
+
+TEST(ResourceDeathTest, ReleaseWithoutAcquireAborts) {
+  Engine eng;
+  Resource res(eng, "cpu");
+  EXPECT_DEATH(res.Release(), "Release");
+}
+
+// Two resources used by interleaved tasks: utilization accounting stays
+// independent.
+Task<void> PingPong(Resource& a, Resource& b) {
+  co_await a.Run(10);
+  co_await b.Run(20);
+  co_await a.Run(30);
+}
+
+TEST(ResourceTest, IndependentResources) {
+  Engine eng;
+  Resource a(eng, "a");
+  Resource b(eng, "b");
+  std::move(PingPong(a, b)).Detach();
+  eng.Run();
+  EXPECT_EQ(a.busy_time(), 40);
+  EXPECT_EQ(b.busy_time(), 20);
+  EXPECT_EQ(eng.now(), 60);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,95 @@
+#include "src/util/stats.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, MeanOfSingle) {
+  const std::array<double, 1> xs = {42.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 42.0);
+}
+
+TEST(StatsTest, MeanOfSeveral) {
+  const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+}
+
+TEST(StatsTest, StdDevOfConstantIsZero) {
+  const std::array<double, 3> xs = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(StdDev(xs), 0.0);
+}
+
+TEST(StatsTest, StdDevKnownValue) {
+  const std::array<double, 4> xs = {2.0, 4.0, 4.0, 6.0};
+  // Population stddev: mean 4, squared devs {4,0,0,4}, variance 2.
+  EXPECT_DOUBLE_EQ(StdDev(xs), std::sqrt(2.0));
+}
+
+TEST(StatsTest, GeometricMeanKnownValue) {
+  const std::array<double, 2> xs = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(GeometricMean(xs), 2.0);
+}
+
+TEST(StatsTest, GeometricMeanSingle) {
+  const std::array<double, 1> xs = {7.5};
+  EXPECT_DOUBLE_EQ(GeometricMean(xs), 7.5);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::array<double, 5> xs = {3.0, -1.0, 7.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::array<double, 4> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::array<double, 2> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 5.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  const std::array<double, 3> xs = {30.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 20.0);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, TracksMeanMinMax) {
+  RunningStats rs;
+  rs.Add(2.0);
+  rs.Add(8.0);
+  rs.Add(5.0);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 15.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats rs;
+  rs.Add(-3.0);
+  rs.Add(-7.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -7.0);
+  EXPECT_DOUBLE_EQ(rs.max(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), -5.0);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,75 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(TextTableTest, EmptyTablePrintsNothing) {
+  TextTable t;
+  EXPECT_EQ(t.ToString(), "");
+}
+
+TEST(TextTableTest, HeaderAndRow) {
+  TextTable t;
+  t.AddHeader({"name", "value"});
+  t.AddRow({"x", "1"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| x"), std::string::npos);
+  // Header separated from body by a rule line.
+  EXPECT_NE(s.find("+-"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlignToWidestCell) {
+  TextTable t;
+  t.AddHeader({"a", "b"});
+  t.AddRow({"longer-cell", "1"});
+  const std::string s = t.ToString();
+  // All lines between rules have the same length.
+  std::size_t line_len = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t eol = s.find('\n', pos);
+    if (line_len == 0) {
+      line_len = eol - pos;
+    } else {
+      EXPECT_EQ(eol - pos, line_len);
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable t;
+  t.AddHeader({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleBeforeRow) {
+  TextTable t;
+  t.AddHeader({"h"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  const std::string s = t.ToString();
+  // Count rule lines: top, under header, before "2", bottom = 4.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++count;
+    pos = s.find('\n', pos);
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace genie

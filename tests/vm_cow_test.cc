@@ -1,0 +1,182 @@
+// Conventional COW sharing and input-disabled COW (paper Section 3.3).
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/vm/address_space.h"
+#include "src/vm/cow.h"
+#include "src/vm/io_ref.h"
+#include "src/vm/vm.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kBase = 0x10000000;
+
+std::vector<std::byte> Fill(std::size_t n, unsigned char v) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(v));
+}
+
+class CowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    src_.CreateRegion(kBase, 2 * kPage);
+    ASSERT_EQ(src_.Write(kBase, Fill(2 * kPage, 0xAA)), AccessResult::kOk);
+  }
+
+  Vm vm_{64, kPage};
+  AddressSpace src_{vm_, "parent"};
+  AddressSpace dst_{vm_, "child"};
+};
+
+TEST_F(CowTest, ShareIsCowWithoutPendingInput) {
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  EXPECT_FALSE(r.physically_copied);
+  // No page copies yet: both sides read the same data.
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(dst_.Read(r.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xAA);
+  EXPECT_EQ(dst_.counters().cow_copies, 0u);
+}
+
+TEST_F(CowTest, ReadersShareTheSameFrame) {
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  std::vector<std::byte> out(1);
+  ASSERT_EQ(dst_.Read(r.dst_start, out), AccessResult::kOk);
+  ASSERT_EQ(src_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(dst_.FindPte(r.dst_start)->frame, src_.FindPte(kBase)->frame);
+}
+
+TEST_F(CowTest, WriterGetsPrivateCopy) {
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  ASSERT_EQ(dst_.Write(r.dst_start, Fill(16, 0xBB)), AccessResult::kOk);
+  EXPECT_EQ(dst_.counters().cow_copies, 1u);
+  // Source unaffected.
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(src_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xAA);
+  // Destination sees its write.
+  ASSERT_EQ(dst_.Read(r.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xBB);
+}
+
+TEST_F(CowTest, SourceWriteAfterShareAlsoCopiesUp) {
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  ASSERT_EQ(src_.Write(kBase, Fill(16, 0xCC)), AccessResult::kOk);
+  EXPECT_EQ(src_.counters().cow_copies, 1u);
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(dst_.Read(r.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xAA);  // Child unaffected.
+}
+
+TEST_F(CowTest, OnlyWrittenPagesCopied) {
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  ASSERT_EQ(dst_.Write(r.dst_start, Fill(16, 0xBB)), AccessResult::kOk);
+  std::vector<std::byte> out(16);
+  // Second page still shared.
+  ASSERT_EQ(dst_.Read(r.dst_start + kPage, out), AccessResult::kOk);
+  ASSERT_EQ(src_.Read(kBase + kPage, out), AccessResult::kOk);
+  EXPECT_EQ(dst_.FindPte(r.dst_start + kPage)->frame, src_.FindPte(kBase + kPage)->frame);
+  EXPECT_EQ(dst_.counters().cow_copies, 1u);
+}
+
+// --- Input-disabled COW (Section 3.3) ---
+
+TEST_F(CowTest, PendingInputDemotesCowToPhysicalCopy) {
+  // Post an in-place input into the source region, as an early-demultiplexed
+  // preposted receive would.
+  IoReference input_ref;
+  ASSERT_EQ(ReferenceRange(src_, kBase, kPage, IoDirection::kInput, &input_ref),
+            AccessResult::kOk);
+
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  EXPECT_TRUE(r.physically_copied);
+
+  // DMA lands input into the source's frame, bypassing the MMU.
+  const FrameId target = input_ref.iovec.segments[0].frame;
+  std::memset(vm_.pm().Data(target).data(), 0xEE, kPage);
+  Unreference(vm_, input_ref);
+
+  // Copy semantics preserved: the child must NOT see the late input.
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(dst_.Read(r.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xAA);
+  // The parent, which issued the input, sees it.
+  ASSERT_EQ(src_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xEE);
+}
+
+TEST_F(CowTest, WithoutInputDisabledCowDmaWouldLeakToSharer) {
+  // Demonstrates the hazard the optimization exists for: if we force plain
+  // COW despite pending input, the DMA store becomes visible to both
+  // processes — share semantics, not copy.
+  IoReference input_ref;
+  ASSERT_EQ(ReferenceRange(src_, kBase, kPage, IoDirection::kInput, &input_ref),
+            AccessResult::kOk);
+  const FrameId target = input_ref.iovec.segments[0].frame;
+  Unreference(vm_, input_ref);  // Drop counts, but pretend DMA still runs:
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  ASSERT_FALSE(r.physically_copied);  // Plain COW (no pending refs now).
+  std::memset(vm_.pm().Data(target).data(), 0xEE, kPage);  // "Late" DMA.
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(dst_.Read(r.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xEE);  // Leaked!
+}
+
+TEST_F(CowTest, CowBeforeInputResolvedByReferenceWriteCheck) {
+  // The reverse case (Section 3.3): region already COW, then in-place input.
+  // Input page referencing verifies write access, so the fault handler
+  // makes a private writable copy first; DMA then cannot touch shared data.
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  ASSERT_FALSE(r.physically_copied);
+
+  IoReference input_ref;
+  ASSERT_EQ(ReferenceRange(src_, kBase, kPage, IoDirection::kInput, &input_ref),
+            AccessResult::kOk);
+  EXPECT_EQ(src_.counters().cow_copies, 1u);  // Copy-up happened.
+
+  const FrameId target = input_ref.iovec.segments[0].frame;
+  std::memset(vm_.pm().Data(target).data(), 0xEE, kPage);
+  Unreference(vm_, input_ref);
+
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(dst_.Read(r.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xAA);  // Child safe.
+  ASSERT_EQ(src_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xEE);
+}
+
+TEST_F(CowTest, ObjectInputRefsTrackedDuringReference) {
+  Region* region = src_.RegionAt(kBase);
+  EXPECT_FALSE(region->object->ChainHasInputRefs());
+  IoReference ref;
+  ASSERT_EQ(ReferenceRange(src_, kBase, 2 * kPage, IoDirection::kInput, &ref),
+            AccessResult::kOk);
+  EXPECT_EQ(region->object->input_refs(), 2);  // One per page.
+  Unreference(vm_, ref);
+  EXPECT_FALSE(region->object->ChainHasInputRefs());
+}
+
+TEST_F(CowTest, ChainedSharesStillCorrect) {
+  // Share parent->child, then child->grandchild; writes stay private.
+  const CowShareResult r1 = CowShareRegion(src_, kBase, dst_);
+  AddressSpace grand(vm_, "grandchild");
+  const CowShareResult r2 = CowShareRegion(dst_, r1.dst_start, grand);
+  EXPECT_FALSE(r2.physically_copied);
+
+  ASSERT_EQ(grand.Write(r2.dst_start, Fill(16, 0x11)), AccessResult::kOk);
+  ASSERT_EQ(dst_.Write(r1.dst_start, Fill(16, 0x22)), AccessResult::kOk);
+
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(src_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xAA);
+  ASSERT_EQ(dst_.Read(r1.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x22);
+  ASSERT_EQ(grand.Read(r2.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x11);
+}
+
+}  // namespace
+}  // namespace genie

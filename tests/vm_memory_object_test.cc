@@ -1,0 +1,174 @@
+#include "src/vm/memory_object.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/vm/vm.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+
+TEST(MemoryObjectTest, RegistersWithVm) {
+  Vm vm(16, kPage);
+  auto obj = vm.CreateObject(4);
+  EXPECT_EQ(vm.live_objects(), 1u);
+  EXPECT_EQ(vm.FindObject(obj->id()), obj.get());
+  const ObjectId id = obj->id();
+  obj.reset();
+  EXPECT_EQ(vm.live_objects(), 0u);
+  EXPECT_EQ(vm.FindObject(id), nullptr);
+}
+
+TEST(MemoryObjectTest, InsertTakePage) {
+  Vm vm(16, kPage);
+  auto obj = vm.CreateObject(4);
+  const FrameId f = vm.pm().Allocate();
+  obj->InsertPage(2, f);
+  EXPECT_EQ(obj->PageAt(2), f);
+  EXPECT_EQ(obj->PageAt(0), kInvalidFrame);
+  EXPECT_EQ(vm.pm().info(f).owner_object, obj->id());
+  EXPECT_EQ(vm.pm().info(f).owner_page, 2u);
+  EXPECT_EQ(obj->TakePage(2), f);
+  EXPECT_EQ(obj->PageAt(2), kInvalidFrame);
+  EXPECT_EQ(vm.pm().info(f).owner_object, kNoOwner);
+  vm.pm().Free(f);
+}
+
+TEST(MemoryObjectDeathTest, DoubleInsertAborts) {
+  Vm vm(16, kPage);
+  auto obj = vm.CreateObject(4);
+  obj->InsertPage(0, vm.pm().Allocate());
+  const FrameId g = vm.pm().Allocate();
+  EXPECT_DEATH(obj->InsertPage(0, g), "already present");
+}
+
+TEST(MemoryObjectTest, ReplacePageDisownsOld) {
+  Vm vm(16, kPage);
+  auto obj = vm.CreateObject(1);
+  const FrameId old = vm.pm().Allocate();
+  obj->InsertPage(0, old);
+  const FrameId fresh = vm.pm().Allocate();
+  EXPECT_EQ(obj->ReplacePage(0, fresh), old);
+  EXPECT_EQ(obj->PageAt(0), fresh);
+  EXPECT_EQ(vm.pm().info(old).owner_object, kNoOwner);
+  EXPECT_EQ(vm.pm().info(fresh).owner_object, obj->id());
+  vm.pm().Free(old);
+}
+
+TEST(MemoryObjectTest, DestructorFreesOwnedFrames) {
+  Vm vm(4, kPage);
+  {
+    auto obj = vm.CreateObject(4);
+    obj->InsertPage(0, vm.pm().Allocate());
+    obj->InsertPage(1, vm.pm().Allocate());
+    EXPECT_EQ(vm.pm().free_frames(), 2u);
+  }
+  EXPECT_EQ(vm.pm().free_frames(), 4u);
+}
+
+TEST(MemoryObjectTest, DestructorDefersFramesWithIoRefs) {
+  Vm vm(4, kPage);
+  FrameId f = kInvalidFrame;
+  {
+    auto obj = vm.CreateObject(1);
+    f = vm.pm().Allocate();
+    obj->InsertPage(0, f);
+    vm.pm().AddOutputRef(f);
+  }
+  // Object gone, frame still zombie (pending device output).
+  EXPECT_EQ(vm.pm().zombie_frames(), 1u);
+  vm.pm().DropOutputRef(f);
+  EXPECT_EQ(vm.pm().free_frames(), 4u);
+}
+
+TEST(MemoryObjectTest, FindWalksShadowChain) {
+  Vm vm(16, kPage);
+  auto backing = vm.CreateObject(4);
+  auto shadow = vm.CreateObject(4);
+  shadow->set_shadow_of(backing);
+  const FrameId in_backing = vm.pm().Allocate();
+  backing->InsertPage(1, in_backing);
+  const FrameId in_shadow = vm.pm().Allocate();
+  shadow->InsertPage(2, in_shadow);
+
+  auto found = shadow->Find(1);
+  EXPECT_EQ(found.frame, in_backing);
+  EXPECT_EQ(found.object, backing.get());
+  EXPECT_FALSE(found.in_top);
+
+  found = shadow->Find(2);
+  EXPECT_EQ(found.frame, in_shadow);
+  EXPECT_TRUE(found.in_top);
+
+  found = shadow->Find(3);
+  EXPECT_EQ(found.frame, kInvalidFrame);
+}
+
+TEST(MemoryObjectTest, ShadowPageOccludesBacking) {
+  Vm vm(16, kPage);
+  auto backing = vm.CreateObject(1);
+  auto shadow = vm.CreateObject(1);
+  shadow->set_shadow_of(backing);
+  backing->InsertPage(0, vm.pm().Allocate());
+  const FrameId private_copy = vm.pm().Allocate();
+  shadow->InsertPage(0, private_copy);
+  EXPECT_EQ(shadow->Find(0).frame, private_copy);
+  EXPECT_TRUE(shadow->Find(0).in_top);
+}
+
+TEST(MemoryObjectTest, TwoLevelShadowChain) {
+  Vm vm(16, kPage);
+  auto base = vm.CreateObject(1);
+  auto mid = vm.CreateObject(1);
+  auto top = vm.CreateObject(1);
+  mid->set_shadow_of(base);
+  top->set_shadow_of(mid);
+  const FrameId f = vm.pm().Allocate();
+  base->InsertPage(0, f);
+  EXPECT_EQ(top->Find(0).frame, f);
+  EXPECT_EQ(top->Find(0).object, base.get());
+}
+
+TEST(MemoryObjectTest, InputRefCounting) {
+  Vm vm(16, kPage);
+  auto obj = vm.CreateObject(1);
+  EXPECT_EQ(obj->input_refs(), 0);
+  obj->AddInputRef();
+  obj->AddInputRef();
+  EXPECT_EQ(obj->input_refs(), 2);
+  obj->DropInputRef();
+  obj->DropInputRef();
+  EXPECT_EQ(obj->input_refs(), 0);
+}
+
+TEST(MemoryObjectTest, ChainHasInputRefsSeesBacking) {
+  Vm vm(16, kPage);
+  auto backing = vm.CreateObject(1);
+  auto shadow = vm.CreateObject(1);
+  shadow->set_shadow_of(backing);
+  EXPECT_FALSE(shadow->ChainHasInputRefs());
+  backing->AddInputRef();
+  EXPECT_TRUE(shadow->ChainHasInputRefs());
+  EXPECT_FALSE(backing->shadow_of() && false);  // backing chain unaffected
+  backing->DropInputRef();
+  EXPECT_FALSE(shadow->ChainHasInputRefs());
+}
+
+TEST(MemoryObjectTest, BackingStoreSlotsErasedOnDestruction) {
+  Vm vm(4, kPage);
+  ObjectId id;
+  {
+    auto obj = vm.CreateObject(2);
+    id = obj->id();
+    std::vector<std::byte> data(kPage);
+    vm.backing().Save(id, 0, data);
+    EXPECT_TRUE(vm.backing().Contains(id, 0));
+  }
+  EXPECT_FALSE(vm.backing().Contains(id, 0));
+}
+
+}  // namespace
+}  // namespace genie

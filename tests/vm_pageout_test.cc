@@ -1,0 +1,181 @@
+// Pageout daemon tests: eviction/page-in round trips, wiring, and the
+// input-disabled pageout optimization (paper Section 3.2) including the
+// corruption hazard it prevents (ablation path).
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/vm/address_space.h"
+#include "src/vm/io_ref.h"
+#include "src/vm/pageout.h"
+#include "src/vm/vm.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kBase = 0x10000000;
+
+std::vector<std::byte> Fill(std::size_t n, unsigned char v) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(v));
+}
+
+class PageoutTest : public ::testing::Test {
+ protected:
+  Vm vm_{16, kPage};
+  AddressSpace as_{vm_, "app"};
+};
+
+TEST_F(PageoutTest, EvictAndFaultBackInPreservesData) {
+  as_.CreateRegion(kBase, 2 * kPage);
+  ASSERT_EQ(as_.Write(kBase, Fill(2 * kPage, 0x3C)), AccessResult::kOk);
+  PageoutDaemon daemon(vm_);
+  EXPECT_EQ(daemon.ScanOnce(100), 2u);
+  EXPECT_EQ(vm_.pm().allocated_frames(), 0u);
+  EXPECT_EQ(as_.FindPte(kBase), nullptr);  // Unmapped by eviction.
+
+  std::vector<std::byte> out(2 * kPage);
+  ASSERT_EQ(as_.Read(kBase, out), AccessResult::kOk);  // Faults in from swap.
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x3C);
+  EXPECT_EQ(static_cast<unsigned char>(out[2 * kPage - 1]), 0x3C);
+  EXPECT_EQ(as_.counters().pageins, 2u);
+}
+
+TEST_F(PageoutTest, WiredPagesSkipped) {
+  as_.CreateRegion(kBase, 2 * kPage);
+  ASSERT_EQ(as_.Write(kBase, Fill(2 * kPage, 1)), AccessResult::kOk);
+  ASSERT_EQ(as_.WireRange(kBase, kPage, false), AccessResult::kOk);
+  PageoutDaemon daemon(vm_);
+  EXPECT_EQ(daemon.ScanOnce(100), 1u);  // Only the unwired page.
+  EXPECT_EQ(daemon.skipped_wired(), 1u);
+  EXPECT_NE(as_.FindPte(kBase), nullptr);
+  as_.UnwireRange(kBase, kPage);
+}
+
+TEST_F(PageoutTest, InputReferencedPagesSkipped) {
+  // Input-disabled pageout: no wiring needed, yet the pending-input page is
+  // never evicted.
+  as_.CreateRegion(kBase, 2 * kPage);
+  ASSERT_EQ(as_.Write(kBase, Fill(2 * kPage, 1)), AccessResult::kOk);
+  IoReference ref;
+  ASSERT_EQ(ReferenceRange(as_, kBase, kPage, IoDirection::kInput, &ref), AccessResult::kOk);
+  PageoutDaemon daemon(vm_);
+  EXPECT_EQ(daemon.ScanOnce(100), 1u);
+  EXPECT_EQ(daemon.skipped_input_referenced(), 1u);
+  Unreference(vm_, ref);
+  // After input completes the page is evictable again.
+  EXPECT_EQ(daemon.ScanOnce(100), 1u);
+}
+
+TEST_F(PageoutTest, OutputReferencedPagesEvictableSafely) {
+  // Pages with pending *output* may be paged out: deferred deallocation
+  // keeps the frame contents alive for the device.
+  as_.CreateRegion(kBase, kPage);
+  ASSERT_EQ(as_.Write(kBase, Fill(kPage, 0x42)), AccessResult::kOk);
+  IoReference ref;
+  ASSERT_EQ(ReferenceRange(as_, kBase, kPage, IoDirection::kOutput, &ref), AccessResult::kOk);
+  const FrameId frame = ref.iovec.segments[0].frame;
+
+  PageoutDaemon daemon(vm_);
+  EXPECT_EQ(daemon.ScanOnce(100), 1u);
+  // Device still reads correct data from the zombie frame.
+  EXPECT_EQ(static_cast<unsigned char>(vm_.pm().Data(frame)[0]), 0x42);
+  EXPECT_EQ(vm_.pm().zombie_frames(), 1u);
+  Unreference(vm_, ref);
+  EXPECT_EQ(vm_.pm().zombie_frames(), 0u);
+
+  // And the application can still fault the data back in from swap.
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(as_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x42);
+}
+
+TEST_F(PageoutTest, AblationWithoutInputDisabledPageoutCorruptsInput) {
+  // Demonstrates the hazard: with the optimization off and no wiring, the
+  // daemon evicts a pending-input page; the DMA store then lands in a frame
+  // no longer attached to the buffer, and the application reads stale data.
+  as_.CreateRegion(kBase, kPage);
+  ASSERT_EQ(as_.Write(kBase, Fill(kPage, 0x01)), AccessResult::kOk);
+  IoReference ref;
+  ASSERT_EQ(ReferenceRange(as_, kBase, kPage, IoDirection::kInput, &ref), AccessResult::kOk);
+  const FrameId dma_target = ref.iovec.segments[0].frame;
+
+  PageoutDaemon daemon(vm_, PageoutDaemon::Options{.input_disabled_pageout = false});
+  EXPECT_EQ(daemon.ScanOnce(100), 1u);  // Evicts the pending-input page!
+
+  // Device input arrives.
+  std::memset(vm_.pm().Data(dma_target).data(), 0xEE, kPage);
+  Unreference(vm_, ref);
+
+  // Application reads its input buffer: the data is the stale paged-out
+  // copy, not the device input — the inconsistency Section 3.2 describes.
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(as_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x01);
+}
+
+TEST_F(PageoutTest, EvictUntilFreeStopsAtTarget) {
+  as_.CreateRegion(kBase, 8 * kPage);
+  ASSERT_EQ(as_.Write(kBase, Fill(8 * kPage, 1)), AccessResult::kOk);
+  PageoutDaemon daemon(vm_);
+  EXPECT_EQ(vm_.pm().free_frames(), 8u);
+  daemon.EvictUntilFree(12);
+  EXPECT_GE(vm_.pm().free_frames(), 12u);
+  EXPECT_LE(daemon.total_evictions(), 5u);
+}
+
+TEST_F(PageoutTest, EvictUntilFreeGivesUpWhenAllPinned) {
+  as_.CreateRegion(kBase, 4 * kPage);
+  ASSERT_EQ(as_.WireRange(kBase, 4 * kPage, true), AccessResult::kOk);
+  PageoutDaemon daemon(vm_);
+  daemon.EvictUntilFree(vm_.pm().num_frames());
+  EXPECT_EQ(daemon.total_evictions(), 0u);
+  as_.UnwireRange(kBase, 4 * kPage);
+}
+
+TEST_F(PageoutTest, SharedMappingsAllUnmapped) {
+  AddressSpace other(vm_, "other");
+  Region* r = as_.CreateRegion(kBase, kPage);
+  ASSERT_EQ(as_.Write(kBase, Fill(kPage, 0x09)), AccessResult::kOk);
+  other.CreateRegionWithObject(kBase, kPage, r->object, RegionState::kUnmovable);
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(other.Read(kBase, out), AccessResult::kOk);  // Maps in `other` too.
+
+  PageoutDaemon daemon(vm_);
+  EXPECT_EQ(daemon.ScanOnce(100), 1u);
+  EXPECT_EQ(as_.FindPte(kBase), nullptr);
+  EXPECT_EQ(other.FindPte(kBase), nullptr);
+
+  ASSERT_EQ(other.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x09);
+}
+
+TEST_F(PageoutTest, MemoryPressureWorkflow) {
+  // Fill physical memory via one region, then allocate another region whose
+  // population requires evicting the first.
+  as_.CreateRegion(kBase, 12 * kPage);
+  ASSERT_EQ(as_.Write(kBase, Fill(12 * kPage, 0x0A)), AccessResult::kOk);
+  PageoutDaemon daemon(vm_);
+
+  const Vaddr second = as_.FindFreeRange(8 * kPage);
+  as_.CreateRegion(second, 8 * kPage);
+  for (int i = 0; i < 8; ++i) {
+    if (vm_.pm().free_frames() < 2) {
+      daemon.EvictUntilFree(2);
+    }
+    ASSERT_EQ(as_.Write(second + i * kPage, Fill(kPage, 0x0B)), AccessResult::kOk);
+  }
+  // First region data survives (page-in on demand).
+  std::vector<std::byte> out(kPage);
+  for (int i = 0; i < 12; ++i) {
+    if (vm_.pm().free_frames() < 2) {
+      daemon.EvictUntilFree(2);
+    }
+    ASSERT_EQ(as_.Read(kBase + i * kPage, out), AccessResult::kOk);
+    EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x0A) << "page " << i;
+  }
+}
+
+}  // namespace
+}  // namespace genie
