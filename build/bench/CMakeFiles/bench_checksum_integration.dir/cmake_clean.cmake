@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checksum_integration.dir/bench_checksum_integration.cc.o"
+  "CMakeFiles/bench_checksum_integration.dir/bench_checksum_integration.cc.o.d"
+  "bench_checksum_integration"
+  "bench_checksum_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checksum_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

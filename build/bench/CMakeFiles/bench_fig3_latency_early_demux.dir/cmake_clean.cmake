@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_latency_early_demux.dir/bench_fig3_latency_early_demux.cc.o"
+  "CMakeFiles/bench_fig3_latency_early_demux.dir/bench_fig3_latency_early_demux.cc.o.d"
+  "bench_fig3_latency_early_demux"
+  "bench_fig3_latency_early_demux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_latency_early_demux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

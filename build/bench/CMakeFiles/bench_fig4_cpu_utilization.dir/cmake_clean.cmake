@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cpu_utilization.dir/bench_fig4_cpu_utilization.cc.o"
+  "CMakeFiles/bench_fig4_cpu_utilization.dir/bench_fig4_cpu_utilization.cc.o.d"
+  "bench_fig4_cpu_utilization"
+  "bench_fig4_cpu_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cpu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_short_datagrams.dir/bench_fig5_short_datagrams.cc.o"
+  "CMakeFiles/bench_fig5_short_datagrams.dir/bench_fig5_short_datagrams.cc.o.d"
+  "bench_fig5_short_datagrams"
+  "bench_fig5_short_datagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_short_datagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

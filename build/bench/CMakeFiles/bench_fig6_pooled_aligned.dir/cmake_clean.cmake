@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pooled_aligned.dir/bench_fig6_pooled_aligned.cc.o"
+  "CMakeFiles/bench_fig6_pooled_aligned.dir/bench_fig6_pooled_aligned.cc.o.d"
+  "bench_fig6_pooled_aligned"
+  "bench_fig6_pooled_aligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pooled_aligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

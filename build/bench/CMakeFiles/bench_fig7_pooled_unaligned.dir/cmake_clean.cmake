@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pooled_unaligned.dir/bench_fig7_pooled_unaligned.cc.o"
+  "CMakeFiles/bench_fig7_pooled_unaligned.dir/bench_fig7_pooled_unaligned.cc.o.d"
+  "bench_fig7_pooled_unaligned"
+  "bench_fig7_pooled_unaligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pooled_unaligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

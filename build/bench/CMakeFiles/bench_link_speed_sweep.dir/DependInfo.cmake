@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_link_speed_sweep.cc" "bench/CMakeFiles/bench_link_speed_sweep.dir/bench_link_speed_sweep.cc.o" "gcc" "bench/CMakeFiles/bench_link_speed_sweep.dir/bench_link_speed_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/genie_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/genie_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/genie/CMakeFiles/genie_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/genie_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/genie_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/genie_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/genie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

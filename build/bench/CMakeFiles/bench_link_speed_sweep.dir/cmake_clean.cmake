@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_speed_sweep.dir/bench_link_speed_sweep.cc.o"
+  "CMakeFiles/bench_link_speed_sweep.dir/bench_link_speed_sweep.cc.o.d"
+  "bench_link_speed_sweep"
+  "bench_link_speed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_speed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

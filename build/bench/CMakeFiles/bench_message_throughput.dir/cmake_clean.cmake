@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_throughput.dir/bench_message_throughput.cc.o"
+  "CMakeFiles/bench_message_throughput.dir/bench_message_throughput.cc.o.d"
+  "bench_message_throughput"
+  "bench_message_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_semantics.dir/bench_mixed_semantics.cc.o"
+  "CMakeFiles/bench_mixed_semantics.dir/bench_mixed_semantics.cc.o.d"
+  "bench_mixed_semantics"
+  "bench_mixed_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oc12_extrapolation.dir/bench_oc12_extrapolation.cc.o"
+  "CMakeFiles/bench_oc12_extrapolation.dir/bench_oc12_extrapolation.cc.o.d"
+  "bench_oc12_extrapolation"
+  "bench_oc12_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oc12_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outboard_prediction.dir/bench_outboard_prediction.cc.o"
+  "CMakeFiles/bench_outboard_prediction.dir/bench_outboard_prediction.cc.o.d"
+  "bench_outboard_prediction"
+  "bench_outboard_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outboard_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sender_managed.dir/bench_sender_managed.cc.o"
+  "CMakeFiles/bench_sender_managed.dir/bench_sender_managed.cc.o.d"
+  "bench_sender_managed"
+  "bench_sender_managed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sender_managed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lan_history.dir/bench_table1_lan_history.cc.o"
+  "CMakeFiles/bench_table1_lan_history.dir/bench_table1_lan_history.cc.o.d"
+  "bench_table1_lan_history"
+  "bench_table1_lan_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lan_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_primitive_ops.dir/bench_table6_primitive_ops.cc.o"
+  "CMakeFiles/bench_table6_primitive_ops.dir/bench_table6_primitive_ops.cc.o.d"
+  "bench_table6_primitive_ops"
+  "bench_table6_primitive_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_primitive_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

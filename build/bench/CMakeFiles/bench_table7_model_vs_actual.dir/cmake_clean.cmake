@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_model_vs_actual.dir/bench_table7_model_vs_actual.cc.o"
+  "CMakeFiles/bench_table7_model_vs_actual.dir/bench_table7_model_vs_actual.cc.o.d"
+  "bench_table7_model_vs_actual"
+  "bench_table7_model_vs_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_model_vs_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_model_vs_actual.
+# This may be replaced when dependencies are built.

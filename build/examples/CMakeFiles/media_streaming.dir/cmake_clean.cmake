@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_streaming.dir/media_streaming.cpp.o"
+  "CMakeFiles/media_streaming.dir/media_streaming.cpp.o.d"
+  "media_streaming"
+  "media_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_pingpong.dir/rpc_pingpong.cpp.o"
+  "CMakeFiles/rpc_pingpong.dir/rpc_pingpong.cpp.o.d"
+  "rpc_pingpong"
+  "rpc_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

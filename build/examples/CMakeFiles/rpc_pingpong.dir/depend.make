@@ -1,0 +1,2 @@
+# Empty dependencies file for rpc_pingpong.
+# This may be replaced when dependencies are built.

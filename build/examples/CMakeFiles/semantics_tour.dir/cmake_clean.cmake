@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_tour.dir/semantics_tour.cpp.o"
+  "CMakeFiles/semantics_tour.dir/semantics_tour.cpp.o.d"
+  "semantics_tour"
+  "semantics_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_cli.dir/sweep_cli.cpp.o"
+  "CMakeFiles/sweep_cli.dir/sweep_cli.cpp.o.d"
+  "sweep_cli"
+  "sweep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_analysis.dir/latency_model.cc.o"
+  "CMakeFiles/genie_analysis.dir/latency_model.cc.o.d"
+  "CMakeFiles/genie_analysis.dir/linear_fit.cc.o"
+  "CMakeFiles/genie_analysis.dir/linear_fit.cc.o.d"
+  "CMakeFiles/genie_analysis.dir/scaling_model.cc.o"
+  "CMakeFiles/genie_analysis.dir/scaling_model.cc.o.d"
+  "libgenie_analysis.a"
+  "libgenie_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgenie_analysis.a"
+)

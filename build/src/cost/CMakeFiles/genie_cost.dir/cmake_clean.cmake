@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_cost.dir/cost_model.cc.o"
+  "CMakeFiles/genie_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/genie_cost.dir/machine_profile.cc.o"
+  "CMakeFiles/genie_cost.dir/machine_profile.cc.o.d"
+  "libgenie_cost.a"
+  "libgenie_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

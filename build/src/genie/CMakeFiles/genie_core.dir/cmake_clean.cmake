@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_core.dir/endpoint.cc.o"
+  "CMakeFiles/genie_core.dir/endpoint.cc.o.d"
+  "CMakeFiles/genie_core.dir/message.cc.o"
+  "CMakeFiles/genie_core.dir/message.cc.o.d"
+  "CMakeFiles/genie_core.dir/node.cc.o"
+  "CMakeFiles/genie_core.dir/node.cc.o.d"
+  "CMakeFiles/genie_core.dir/semantics.cc.o"
+  "CMakeFiles/genie_core.dir/semantics.cc.o.d"
+  "CMakeFiles/genie_core.dir/sys_buffer.cc.o"
+  "CMakeFiles/genie_core.dir/sys_buffer.cc.o.d"
+  "libgenie_core.a"
+  "libgenie_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_harness.dir/experiment.cc.o"
+  "CMakeFiles/genie_harness.dir/experiment.cc.o.d"
+  "libgenie_harness.a"
+  "libgenie_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

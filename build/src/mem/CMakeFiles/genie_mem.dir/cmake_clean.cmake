@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_mem.dir/backing_store.cc.o"
+  "CMakeFiles/genie_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/genie_mem.dir/phys_memory.cc.o"
+  "CMakeFiles/genie_mem.dir/phys_memory.cc.o.d"
+  "libgenie_mem.a"
+  "libgenie_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/aal5.cc" "src/net/CMakeFiles/genie_net.dir/aal5.cc.o" "gcc" "src/net/CMakeFiles/genie_net.dir/aal5.cc.o.d"
+  "/root/repo/src/net/adapter.cc" "src/net/CMakeFiles/genie_net.dir/adapter.cc.o" "gcc" "src/net/CMakeFiles/genie_net.dir/adapter.cc.o.d"
+  "/root/repo/src/net/buffer_pool.cc" "src/net/CMakeFiles/genie_net.dir/buffer_pool.cc.o" "gcc" "src/net/CMakeFiles/genie_net.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/genie_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/genie_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/iovec_io.cc" "src/net/CMakeFiles/genie_net.dir/iovec_io.cc.o" "gcc" "src/net/CMakeFiles/genie_net.dir/iovec_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/genie_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/genie_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/genie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

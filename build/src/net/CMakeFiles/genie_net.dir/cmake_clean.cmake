@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_net.dir/aal5.cc.o"
+  "CMakeFiles/genie_net.dir/aal5.cc.o.d"
+  "CMakeFiles/genie_net.dir/adapter.cc.o"
+  "CMakeFiles/genie_net.dir/adapter.cc.o.d"
+  "CMakeFiles/genie_net.dir/buffer_pool.cc.o"
+  "CMakeFiles/genie_net.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/genie_net.dir/checksum.cc.o"
+  "CMakeFiles/genie_net.dir/checksum.cc.o.d"
+  "CMakeFiles/genie_net.dir/iovec_io.cc.o"
+  "CMakeFiles/genie_net.dir/iovec_io.cc.o.d"
+  "libgenie_net.a"
+  "libgenie_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_sim.dir/engine.cc.o"
+  "CMakeFiles/genie_sim.dir/engine.cc.o.d"
+  "CMakeFiles/genie_sim.dir/trace.cc.o"
+  "CMakeFiles/genie_sim.dir/trace.cc.o.d"
+  "libgenie_sim.a"
+  "libgenie_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

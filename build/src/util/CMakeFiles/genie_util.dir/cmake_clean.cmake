@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_util.dir/check.cc.o"
+  "CMakeFiles/genie_util.dir/check.cc.o.d"
+  "CMakeFiles/genie_util.dir/stats.cc.o"
+  "CMakeFiles/genie_util.dir/stats.cc.o.d"
+  "CMakeFiles/genie_util.dir/table.cc.o"
+  "CMakeFiles/genie_util.dir/table.cc.o.d"
+  "libgenie_util.a"
+  "libgenie_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

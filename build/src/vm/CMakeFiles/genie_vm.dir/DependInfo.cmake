@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/address_space.cc" "src/vm/CMakeFiles/genie_vm.dir/address_space.cc.o" "gcc" "src/vm/CMakeFiles/genie_vm.dir/address_space.cc.o.d"
+  "/root/repo/src/vm/cow.cc" "src/vm/CMakeFiles/genie_vm.dir/cow.cc.o" "gcc" "src/vm/CMakeFiles/genie_vm.dir/cow.cc.o.d"
+  "/root/repo/src/vm/io_ref.cc" "src/vm/CMakeFiles/genie_vm.dir/io_ref.cc.o" "gcc" "src/vm/CMakeFiles/genie_vm.dir/io_ref.cc.o.d"
+  "/root/repo/src/vm/memory_object.cc" "src/vm/CMakeFiles/genie_vm.dir/memory_object.cc.o" "gcc" "src/vm/CMakeFiles/genie_vm.dir/memory_object.cc.o.d"
+  "/root/repo/src/vm/pageout.cc" "src/vm/CMakeFiles/genie_vm.dir/pageout.cc.o" "gcc" "src/vm/CMakeFiles/genie_vm.dir/pageout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/genie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_vm.dir/address_space.cc.o"
+  "CMakeFiles/genie_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/genie_vm.dir/cow.cc.o"
+  "CMakeFiles/genie_vm.dir/cow.cc.o.d"
+  "CMakeFiles/genie_vm.dir/io_ref.cc.o"
+  "CMakeFiles/genie_vm.dir/io_ref.cc.o.d"
+  "CMakeFiles/genie_vm.dir/memory_object.cc.o"
+  "CMakeFiles/genie_vm.dir/memory_object.cc.o.d"
+  "CMakeFiles/genie_vm.dir/pageout.cc.o"
+  "CMakeFiles/genie_vm.dir/pageout.cc.o.d"
+  "libgenie_vm.a"
+  "libgenie_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_latency_model_test.dir/analysis_latency_model_test.cc.o"
+  "CMakeFiles/analysis_latency_model_test.dir/analysis_latency_model_test.cc.o.d"
+  "analysis_latency_model_test"
+  "analysis_latency_model_test.pdb"
+  "analysis_latency_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_latency_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

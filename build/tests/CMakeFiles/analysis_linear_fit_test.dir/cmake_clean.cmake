@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_linear_fit_test.dir/analysis_linear_fit_test.cc.o"
+  "CMakeFiles/analysis_linear_fit_test.dir/analysis_linear_fit_test.cc.o.d"
+  "analysis_linear_fit_test"
+  "analysis_linear_fit_test.pdb"
+  "analysis_linear_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_linear_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_scaling_test.dir/analysis_scaling_test.cc.o"
+  "CMakeFiles/analysis_scaling_test.dir/analysis_scaling_test.cc.o.d"
+  "analysis_scaling_test"
+  "analysis_scaling_test.pdb"
+  "analysis_scaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_checksum_test.dir/genie_checksum_test.cc.o"
+  "CMakeFiles/genie_checksum_test.dir/genie_checksum_test.cc.o.d"
+  "genie_checksum_test"
+  "genie_checksum_test.pdb"
+  "genie_checksum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_checksum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

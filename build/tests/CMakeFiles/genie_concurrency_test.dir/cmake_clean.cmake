@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_concurrency_test.dir/genie_concurrency_test.cc.o"
+  "CMakeFiles/genie_concurrency_test.dir/genie_concurrency_test.cc.o.d"
+  "genie_concurrency_test"
+  "genie_concurrency_test.pdb"
+  "genie_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_cross_profile_test.dir/genie_cross_profile_test.cc.o"
+  "CMakeFiles/genie_cross_profile_test.dir/genie_cross_profile_test.cc.o.d"
+  "genie_cross_profile_test"
+  "genie_cross_profile_test.pdb"
+  "genie_cross_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_cross_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_edge_test.dir/genie_edge_test.cc.o"
+  "CMakeFiles/genie_edge_test.dir/genie_edge_test.cc.o.d"
+  "genie_edge_test"
+  "genie_edge_test.pdb"
+  "genie_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

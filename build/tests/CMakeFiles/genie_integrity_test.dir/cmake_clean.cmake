@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_integrity_test.dir/genie_integrity_test.cc.o"
+  "CMakeFiles/genie_integrity_test.dir/genie_integrity_test.cc.o.d"
+  "genie_integrity_test"
+  "genie_integrity_test.pdb"
+  "genie_integrity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_integrity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_mechanism_test.dir/genie_mechanism_test.cc.o"
+  "CMakeFiles/genie_mechanism_test.dir/genie_mechanism_test.cc.o.d"
+  "genie_mechanism_test"
+  "genie_mechanism_test.pdb"
+  "genie_mechanism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

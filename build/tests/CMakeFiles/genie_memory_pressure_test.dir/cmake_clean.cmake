@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_memory_pressure_test.dir/genie_memory_pressure_test.cc.o"
+  "CMakeFiles/genie_memory_pressure_test.dir/genie_memory_pressure_test.cc.o.d"
+  "genie_memory_pressure_test"
+  "genie_memory_pressure_test.pdb"
+  "genie_memory_pressure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_memory_pressure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

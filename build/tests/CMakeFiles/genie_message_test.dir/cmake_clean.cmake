@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_message_test.dir/genie_message_test.cc.o"
+  "CMakeFiles/genie_message_test.dir/genie_message_test.cc.o.d"
+  "genie_message_test"
+  "genie_message_test.pdb"
+  "genie_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

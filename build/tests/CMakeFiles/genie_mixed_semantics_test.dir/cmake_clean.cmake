@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_mixed_semantics_test.dir/genie_mixed_semantics_test.cc.o"
+  "CMakeFiles/genie_mixed_semantics_test.dir/genie_mixed_semantics_test.cc.o.d"
+  "genie_mixed_semantics_test"
+  "genie_mixed_semantics_test.pdb"
+  "genie_mixed_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_mixed_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

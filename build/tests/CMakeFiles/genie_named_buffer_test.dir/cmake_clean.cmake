@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_named_buffer_test.dir/genie_named_buffer_test.cc.o"
+  "CMakeFiles/genie_named_buffer_test.dir/genie_named_buffer_test.cc.o.d"
+  "genie_named_buffer_test"
+  "genie_named_buffer_test.pdb"
+  "genie_named_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_named_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

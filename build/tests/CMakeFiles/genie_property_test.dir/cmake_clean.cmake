@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_property_test.dir/genie_property_test.cc.o"
+  "CMakeFiles/genie_property_test.dir/genie_property_test.cc.o.d"
+  "genie_property_test"
+  "genie_property_test.pdb"
+  "genie_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

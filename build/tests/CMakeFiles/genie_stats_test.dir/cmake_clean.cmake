@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_stats_test.dir/genie_stats_test.cc.o"
+  "CMakeFiles/genie_stats_test.dir/genie_stats_test.cc.o.d"
+  "genie_stats_test"
+  "genie_stats_test.pdb"
+  "genie_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

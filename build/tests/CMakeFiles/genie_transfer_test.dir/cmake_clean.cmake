@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_transfer_test.dir/genie_transfer_test.cc.o"
+  "CMakeFiles/genie_transfer_test.dir/genie_transfer_test.cc.o.d"
+  "genie_transfer_test"
+  "genie_transfer_test.pdb"
+  "genie_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_experiment_test.dir/harness_experiment_test.cc.o"
+  "CMakeFiles/harness_experiment_test.dir/harness_experiment_test.cc.o.d"
+  "harness_experiment_test"
+  "harness_experiment_test.pdb"
+  "harness_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_backing_store_test.dir/mem_backing_store_test.cc.o"
+  "CMakeFiles/mem_backing_store_test.dir/mem_backing_store_test.cc.o.d"
+  "mem_backing_store_test"
+  "mem_backing_store_test.pdb"
+  "mem_backing_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_backing_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

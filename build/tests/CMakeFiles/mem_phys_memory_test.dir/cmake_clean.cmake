@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_phys_memory_test.dir/mem_phys_memory_test.cc.o"
+  "CMakeFiles/mem_phys_memory_test.dir/mem_phys_memory_test.cc.o.d"
+  "mem_phys_memory_test"
+  "mem_phys_memory_test.pdb"
+  "mem_phys_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_phys_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_adapter_test.dir/net_adapter_test.cc.o"
+  "CMakeFiles/net_adapter_test.dir/net_adapter_test.cc.o.d"
+  "net_adapter_test"
+  "net_adapter_test.pdb"
+  "net_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_checksum_test.dir/net_checksum_test.cc.o"
+  "CMakeFiles/net_checksum_test.dir/net_checksum_test.cc.o.d"
+  "net_checksum_test"
+  "net_checksum_test.pdb"
+  "net_checksum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_checksum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

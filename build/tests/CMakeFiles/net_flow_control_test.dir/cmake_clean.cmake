@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_flow_control_test.dir/net_flow_control_test.cc.o"
+  "CMakeFiles/net_flow_control_test.dir/net_flow_control_test.cc.o.d"
+  "net_flow_control_test"
+  "net_flow_control_test.pdb"
+  "net_flow_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_flow_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_determinism_test.dir/sim_determinism_test.cc.o"
+  "CMakeFiles/sim_determinism_test.dir/sim_determinism_test.cc.o.d"
+  "sim_determinism_test"
+  "sim_determinism_test.pdb"
+  "sim_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_resource_test.dir/sim_resource_test.cc.o"
+  "CMakeFiles/sim_resource_test.dir/sim_resource_test.cc.o.d"
+  "sim_resource_test"
+  "sim_resource_test.pdb"
+  "sim_resource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

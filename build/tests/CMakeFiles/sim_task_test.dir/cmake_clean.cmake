@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_task_test.dir/sim_task_test.cc.o"
+  "CMakeFiles/sim_task_test.dir/sim_task_test.cc.o.d"
+  "sim_task_test"
+  "sim_task_test.pdb"
+  "sim_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm_address_space_test.cc" "tests/CMakeFiles/vm_address_space_test.dir/vm_address_space_test.cc.o" "gcc" "tests/CMakeFiles/vm_address_space_test.dir/vm_address_space_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/genie_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/genie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_address_space_test.dir/vm_address_space_test.cc.o"
+  "CMakeFiles/vm_address_space_test.dir/vm_address_space_test.cc.o.d"
+  "vm_address_space_test"
+  "vm_address_space_test.pdb"
+  "vm_address_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_address_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_cow_test.dir/vm_cow_test.cc.o"
+  "CMakeFiles/vm_cow_test.dir/vm_cow_test.cc.o.d"
+  "vm_cow_test"
+  "vm_cow_test.pdb"
+  "vm_cow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_cow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_io_ref_test.dir/vm_io_ref_test.cc.o"
+  "CMakeFiles/vm_io_ref_test.dir/vm_io_ref_test.cc.o.d"
+  "vm_io_ref_test"
+  "vm_io_ref_test.pdb"
+  "vm_io_ref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_io_ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_memory_object_test.dir/vm_memory_object_test.cc.o"
+  "CMakeFiles/vm_memory_object_test.dir/vm_memory_object_test.cc.o.d"
+  "vm_memory_object_test"
+  "vm_memory_object_test.pdb"
+  "vm_memory_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_memory_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

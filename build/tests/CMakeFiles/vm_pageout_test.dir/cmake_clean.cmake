@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_pageout_test.dir/vm_pageout_test.cc.o"
+  "CMakeFiles/vm_pageout_test.dir/vm_pageout_test.cc.o.d"
+  "vm_pageout_test"
+  "vm_pageout_test.pdb"
+  "vm_pageout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_pageout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_stress_test.dir/vm_stress_test.cc.o"
+  "CMakeFiles/vm_stress_test.dir/vm_stress_test.cc.o.d"
+  "vm_stress_test"
+  "vm_stress_test.pdb"
+  "vm_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

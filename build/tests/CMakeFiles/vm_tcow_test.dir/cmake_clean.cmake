@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_tcow_test.dir/vm_tcow_test.cc.o"
+  "CMakeFiles/vm_tcow_test.dir/vm_tcow_test.cc.o.d"
+  "vm_tcow_test"
+  "vm_tcow_test.pdb"
+  "vm_tcow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_tcow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
