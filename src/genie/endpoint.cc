@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/genie/host_path.h"
 #include "src/net/checksum.h"
 #include "src/net/iovec_io.h"
 #include "src/util/check.h"
@@ -118,7 +119,8 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
     // Compute the transport checksum over the outgoing data. For copy
     // semantics it can be integrated with the copyin (reference [7]); for
     // in-place output it is a separate read-only pass.
-    st->header = ChecksumOfIoVec(app.vm().pm(), st->wire, len);
+    st->header = st->has_fused_header ? st->fused_header
+                                      : ChecksumOfIoVec(app.vm().pm(), st->wire, len);
     if (corrupt_next_checksum_) {
       corrupt_next_checksum_ = false;
       st->header ^= 0xFFFF;
@@ -163,10 +165,16 @@ void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
       node_->EnsureFreeFrames(CeilPages(len, pm.page_size()));
       st.sysbuf = AllocateSysBuffer(pm, 0, len);
       st.has_sysbuf = true;
-      std::vector<std::byte> staging(static_cast<std::size_t>(len));
-      const AccessResult res = app.Read(va, staging);
+      // Single-pass copyin, with the transport checksum folded in when one
+      // is wanted (reference [7]): the data is read exactly once.
+      InternetChecksum sum;
+      const bool fuse = options_.checksum_mode != ChecksumMode::kNone;
+      const AccessResult res = CopyinToIoVec(app, va, len, st.sysbuf.iov, fuse ? &sum : nullptr);
       GENIE_CHECK(res == AccessResult::kOk);
-      WriteToIoVec(pm, st.sysbuf.iov, 0, staging);
+      if (fuse) {
+        st.fused_header = sum.value();
+        st.has_fused_header = true;
+      }
       for (const FrameId f : st.sysbuf.frames) {
         pm.AddOutputRef(f);
       }

@@ -134,7 +134,9 @@ class Endpoint {
     SysBuffer sysbuf;
     bool has_sysbuf = false;
     IoVec wire;
-    std::uint32_t header = 0;  // transport checksum (ChecksumMode != kNone)
+    std::uint32_t header = 0;       // transport checksum (ChecksumMode != kNone)
+    bool has_fused_header = false;  // checksum already computed during copyin
+    std::uint16_t fused_header = 0;
     bool extra_wired = false;  // ablation: emulated semantics wired
     Vaddr region_start = 0;    // system-allocated
   };

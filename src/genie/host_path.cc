@@ -1,0 +1,38 @@
+#include "src/genie/host_path.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+AccessResult CopyinToIoVec(AddressSpace& app, Vaddr va, std::uint64_t len, const IoVec& dst,
+                           InternetChecksum* sum) {
+  GENIE_CHECK_LE(len, dst.total_bytes());
+  PhysicalMemory& pm = app.vm().pm();
+  std::size_t seg_i = 0;
+  std::uint64_t seg_off = 0;  // bytes already written into segment seg_i
+  return app.ReadScatter(va, len, [&](std::span<const std::byte> chunk) {
+    std::uint64_t done = 0;
+    while (done < chunk.size()) {
+      const IoSegment& seg = dst.segments[seg_i];
+      const std::uint64_t n =
+          std::min<std::uint64_t>(seg.length - seg_off, chunk.size() - done);
+      std::span<std::byte> out = pm.DataRun(seg.frame, seg.offset + seg_off, n);
+      if (sum != nullptr) {
+        sum->UpdateWithCopy(chunk.subspan(done, n), out.data());
+      } else {
+        std::memcpy(out.data(), chunk.data() + done, static_cast<std::size_t>(n));
+      }
+      done += n;
+      seg_off += n;
+      if (seg_off == seg.length) {
+        ++seg_i;
+        seg_off = 0;
+      }
+    }
+  });
+}
+
+}  // namespace genie

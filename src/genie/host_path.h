@@ -1,0 +1,28 @@
+// Fused host data-path primitives: single-pass copyin with integrated
+// Internet checksum (paper Section 9 / reference [7]: checksum computed in
+// the same pass as the copy, as in BSD in_cksum-folded copyin). Lives in
+// the genie layer because it combines the VM (MMU-checked scatter access)
+// with the net layer (checksum), which must not depend on each other.
+#ifndef GENIE_SRC_GENIE_HOST_PATH_H_
+#define GENIE_SRC_GENIE_HOST_PATH_H_
+
+#include <cstdint>
+
+#include "src/net/checksum.h"
+#include "src/vm/address_space.h"
+#include "src/vm/io_vec.h"
+
+namespace genie {
+
+// Copies `len` bytes from the application buffer [va, va+len) into the
+// scatter/gather list `dst` (from its first byte), faulting application
+// pages in as needed. When `sum` is non-null the bytes are folded into it
+// in the same pass, so an integrated copyin+checksum reads the data once.
+// Returns kUnrecoverableFault (with the copy partially done) exactly where
+// AddressSpace::Read would.
+AccessResult CopyinToIoVec(AddressSpace& app, Vaddr va, std::uint64_t len, const IoVec& dst,
+                           InternetChecksum* sum);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_GENIE_HOST_PATH_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "src/util/check.h"
 
@@ -14,6 +15,22 @@ SysBuffer AllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::
   SysBuffer buf;
   buf.length = len;
   buf.page_offset = page_offset;
+  const std::uint64_t pages = (page_offset + len + psz - 1) / psz;
+  // Preferred: one physically contiguous run, so the DMA list is a single
+  // segment and disposes/copies touch one span.
+  if (page_offset + len <= std::numeric_limits<std::uint32_t>::max()) {
+    const FrameId first = pm.TryAllocateRun(static_cast<std::size_t>(pages));
+    if (first != kInvalidFrame) {
+      for (std::uint64_t i = 0; i < pages; ++i) {
+        buf.frames.push_back(first + static_cast<FrameId>(i));
+      }
+      buf.iov.segments.push_back(
+          IoSegment{first, page_offset, static_cast<std::uint32_t>(len)});
+      return buf;
+    }
+  }
+  // Fragmented fallback: frame-at-a-time, still merging segments that land
+  // physically adjacent.
   std::uint64_t remaining = len;
   std::uint32_t off = page_offset;
   while (remaining > 0) {
@@ -21,6 +38,16 @@ SysBuffer AllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::
     buf.frames.push_back(f);
     const std::uint32_t chunk =
         static_cast<std::uint32_t>(std::min<std::uint64_t>(psz - off, remaining));
+    if (!buf.iov.segments.empty()) {
+      IoSegment& last = buf.iov.segments.back();
+      if (static_cast<std::uint64_t>(last.frame) * psz + last.offset + last.length ==
+          static_cast<std::uint64_t>(f) * psz + off) {
+        last.length += chunk;
+        remaining -= chunk;
+        off = 0;
+        continue;
+      }
+    }
     buf.iov.segments.push_back(IoSegment{f, off, chunk});
     remaining -= chunk;
     off = 0;
@@ -118,24 +145,20 @@ DisposePlan DisposeCopyOutIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len
   if (len == 0) {
     return plan;
   }
-  std::vector<std::byte> staging(static_cast<std::size_t>(len));
-  // Gather from the source frames, then store through the application's
-  // address space (faulting pages in as needed).
+  // Store each source segment straight through the application's address
+  // space (faulting pages in as needed) — no staging copy.
   PhysicalMemory& pm = app.vm().pm();
-  std::uint64_t seg_start = 0;
-  std::size_t done = 0;
+  std::uint64_t done = 0;
   for (const IoSegment& seg : src_iov.segments) {
-    if (done == staging.size()) {
+    if (done == len) {
       break;
     }
-    const std::size_t chunk =
-        static_cast<std::size_t>(std::min<std::uint64_t>(seg.length, len - done));
-    std::memcpy(staging.data() + done, pm.Data(seg.frame).data() + seg.offset, chunk);
+    const std::uint64_t chunk = std::min<std::uint64_t>(seg.length, len - done);
+    const AccessResult res = app.Write(va + done, pm.DataRun(seg.frame, seg.offset, chunk));
+    GENIE_CHECK(res == AccessResult::kOk) << "copyout into bad application buffer";
     done += chunk;
-    seg_start += seg.length;
   }
-  const AccessResult res = app.Write(va, staging);
-  GENIE_CHECK(res == AccessResult::kOk) << "copyout into bad application buffer";
+  GENIE_CHECK_EQ(done, len);
   plan.copied_bytes = len;
   return plan;
 }

@@ -11,11 +11,31 @@ PhysicalMemory::PhysicalMemory(std::size_t num_frames, std::uint32_t page_size)
   GENIE_CHECK_GT(page_size, 0u);
   arena_.resize(num_frames * page_size);
   info_.resize(num_frames);
-  free_list_.reserve(num_frames);
-  // Push in reverse so frame 0 is allocated first (cosmetic determinism).
-  for (std::size_t i = num_frames; i-- > 0;) {
-    free_list_.push_back(static_cast<FrameId>(i));
+  free_runs_[0] = static_cast<FrameId>(num_frames);
+  free_count_ = num_frames;
+}
+
+void PhysicalMemory::TakeFromRun(std::map<FrameId, FrameId>::iterator run, FrameId first,
+                                 FrameId count) {
+  const FrameId run_start = run->first;
+  const FrameId run_len = run->second;
+  GENIE_CHECK_LE(run_start, first);
+  GENIE_CHECK_LE(first + count, run_start + run_len);
+  free_runs_.erase(run);
+  if (first > run_start) {
+    free_runs_[run_start] = first - run_start;
   }
+  if (first + count < run_start + run_len) {
+    free_runs_[first + count] = (run_start + run_len) - (first + count);
+  }
+  free_count_ -= count;
+  for (FrameId f = first; f < first + count; ++f) {
+    FrameInfo& fi = info_[f];
+    GENIE_CHECK(!fi.allocated && !fi.zombie);
+    fi = FrameInfo{};
+    fi.allocated = true;
+  }
+  total_allocations_ += count;
 }
 
 FrameId PhysicalMemory::Allocate() {
@@ -25,17 +45,25 @@ FrameId PhysicalMemory::Allocate() {
 }
 
 FrameId PhysicalMemory::TryAllocate() {
-  if (free_list_.empty()) {
+  if (free_runs_.empty()) {
     return kInvalidFrame;
   }
-  const FrameId frame = free_list_.back();
-  free_list_.pop_back();
-  FrameInfo& fi = info_[frame];
-  GENIE_CHECK(!fi.allocated && !fi.zombie);
-  fi = FrameInfo{};
-  fi.allocated = true;
-  ++total_allocations_;
+  auto run = free_runs_.begin();  // Lowest free frame first.
+  const FrameId frame = run->first;
+  TakeFromRun(run, frame, 1);
   return frame;
+}
+
+FrameId PhysicalMemory::TryAllocateRun(std::size_t count) {
+  GENIE_CHECK_GT(count, 0u);
+  for (auto run = free_runs_.begin(); run != free_runs_.end(); ++run) {
+    if (run->second >= count) {
+      const FrameId first = run->first;
+      TakeFromRun(run, first, static_cast<FrameId>(count));
+      return first;
+    }
+  }
+  return kInvalidFrame;
 }
 
 FrameId PhysicalMemory::AllocateZeroed() {
@@ -43,6 +71,34 @@ FrameId PhysicalMemory::AllocateZeroed() {
   auto data = Data(frame);
   std::memset(data.data(), 0, data.size());
   return frame;
+}
+
+void PhysicalMemory::ReleaseToFreeList(FrameId frame) {
+  auto next = free_runs_.lower_bound(frame);
+  // Merge with the preceding run if it ends exactly at `frame`.
+  if (next != free_runs_.begin()) {
+    auto prev = std::prev(next);
+    GENIE_CHECK_LE(prev->first + prev->second, frame) << "frame already free";
+    if (prev->first + prev->second == frame) {
+      ++prev->second;
+      ++free_count_;
+      // Merge with the following run if it starts right after.
+      if (next != free_runs_.end() && next->first == frame + 1) {
+        prev->second += next->second;
+        free_runs_.erase(next);
+      }
+      return;
+    }
+  }
+  if (next != free_runs_.end() && next->first == frame + 1) {
+    const FrameId len = next->second;
+    free_runs_.erase(next);
+    free_runs_[frame] = len + 1;
+  } else {
+    GENIE_CHECK(next == free_runs_.end() || next->first != frame) << "frame already free";
+    free_runs_[frame] = 1;
+  }
+  ++free_count_;
 }
 
 void PhysicalMemory::Free(FrameId frame) {
@@ -59,7 +115,7 @@ void PhysicalMemory::Free(FrameId frame) {
     ++deferred_frees_;
     return;
   }
-  free_list_.push_back(frame);
+  ReleaseToFreeList(frame);
 }
 
 std::span<std::byte> PhysicalMemory::Data(FrameId frame) {
@@ -70,6 +126,22 @@ std::span<std::byte> PhysicalMemory::Data(FrameId frame) {
 std::span<const std::byte> PhysicalMemory::Data(FrameId frame) const {
   CheckValid(frame);
   return {arena_.data() + static_cast<std::size_t>(frame) * page_size_, page_size_};
+}
+
+std::span<std::byte> PhysicalMemory::DataRun(FrameId first, std::uint64_t offset,
+                                             std::uint64_t length) {
+  CheckValid(first);
+  const std::uint64_t start = static_cast<std::uint64_t>(first) * page_size_ + offset;
+  GENIE_CHECK_LE(start + length, arena_.size()) << "frame run out of bounds";
+  return {arena_.data() + start, static_cast<std::size_t>(length)};
+}
+
+std::span<const std::byte> PhysicalMemory::DataRun(FrameId first, std::uint64_t offset,
+                                                   std::uint64_t length) const {
+  CheckValid(first);
+  const std::uint64_t start = static_cast<std::uint64_t>(first) * page_size_ + offset;
+  GENIE_CHECK_LE(start + length, arena_.size()) << "frame run out of bounds";
+  return {arena_.data() + start, static_cast<std::size_t>(length)};
 }
 
 void PhysicalMemory::AddInputRef(FrameId frame) {
@@ -112,7 +184,7 @@ void PhysicalMemory::MaybeReclaim(FrameId frame) {
     fi.zombie = false;
     --zombie_count_;
     ++completed_deferred_frees_;
-    free_list_.push_back(frame);
+    ReleaseToFreeList(frame);
   }
 }
 

@@ -5,11 +5,18 @@
 // Devices (DMA) read and write frame data directly through Data(), bypassing
 // any address-space permissions — the property that makes page referencing
 // necessary for safe in-place I/O.
+//
+// Frames are contiguous in the arena (frame f starts at byte f * page_size),
+// so a run of adjacent FrameIds is one contiguous byte range; DataRun() and
+// TryAllocateRun() let the data path exploit that with single memcpys and
+// single-segment scatter/gather lists. The free list is kept as an ordered
+// map of maximal free runs so contiguous allocation stays common over time.
 #ifndef GENIE_SRC_MEM_PHYS_MEMORY_H_
 #define GENIE_SRC_MEM_PHYS_MEMORY_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -50,14 +57,22 @@ class PhysicalMemory {
 
   std::uint32_t page_size() const { return page_size_; }
   std::size_t num_frames() const { return info_.size(); }
-  std::size_t free_frames() const { return free_list_.size(); }
+  std::size_t free_frames() const { return free_count_; }
 
   // Allocates a frame (contents indeterminate, as on real hardware: whatever
   // the previous owner left). Aborts if out of memory; use TryAllocate when
-  // the caller can recover (e.g. by triggering pageout).
+  // the caller can recover (e.g. by triggering pageout). Allocation is
+  // lowest-address-first, which keeps frame ids deterministic and favors
+  // contiguous runs.
   FrameId Allocate();
   FrameId TryAllocate();  // kInvalidFrame if none free.
   FrameId AllocateZeroed();
+
+  // Allocates `count` physically contiguous frames (first-fit over the free
+  // runs) and returns the first frame of the run, or kInvalidFrame if no
+  // free run is long enough. Callers fall back to frame-at-a-time
+  // allocation on failure.
+  FrameId TryAllocateRun(std::size_t count);
 
   // Releases a frame. If I/O references are outstanding the frame becomes a
   // zombie and is reclaimed when the last reference drops — never while a
@@ -68,6 +83,13 @@ class PhysicalMemory {
   // checks) and by devices (no checks — DMA bypasses the MMU).
   std::span<std::byte> Data(FrameId frame);
   std::span<const std::byte> Data(FrameId frame) const;
+
+  // Raw bytes of a physically contiguous run: `length` bytes starting
+  // `offset` bytes into frame `first`, possibly spanning multiple frames.
+  // The range is bounds-checked against the arena.
+  std::span<std::byte> DataRun(FrameId first, std::uint64_t offset, std::uint64_t length);
+  std::span<const std::byte> DataRun(FrameId first, std::uint64_t offset,
+                                     std::uint64_t length) const;
 
   // --- I/O referencing (paper Section 3.1) ---
   void AddInputRef(FrameId frame);
@@ -95,17 +117,25 @@ class PhysicalMemory {
   std::uint64_t completed_deferred_frees() const { return completed_deferred_frees_; }
   std::size_t allocated_frames() const { return num_frames() - free_frames() - zombie_count_; }
   std::size_t zombie_frames() const { return zombie_count_; }
+  std::size_t free_runs() const { return free_runs_.size(); }  // fragmentation gauge
 
  private:
   void CheckValid(FrameId frame) const {
     GENIE_CHECK_LT(frame, info_.size()) << "bad frame id";
   }
   void MaybeReclaim(FrameId frame);
+  // Marks [first, first+count) allocated, removing it from its free run.
+  void TakeFromRun(std::map<FrameId, FrameId>::iterator run, FrameId first, FrameId count);
+  // Returns `frame` to the free runs, merging with adjacent runs.
+  void ReleaseToFreeList(FrameId frame);
 
   std::uint32_t page_size_;
   std::vector<std::byte> arena_;
   std::vector<FrameInfo> info_;
-  std::vector<FrameId> free_list_;
+  // Maximal free runs: start frame -> run length (frames). Ordered so
+  // allocation is lowest-first and merges are O(log runs).
+  std::map<FrameId, FrameId> free_runs_;
+  std::size_t free_count_ = 0;
   std::size_t zombie_count_ = 0;
   std::uint64_t total_allocations_ = 0;
   std::uint64_t deferred_frees_ = 0;

@@ -3,6 +3,13 @@
 // transport-level checksum the sender computes over the payload and the
 // receiver verifies, either in a separate read pass or integrated with a
 // data copy.
+//
+// The implementation is word-at-a-time (RFC 1071 Section 2(B)-(C)): bytes
+// are summed as native 64-bit words with end-around carry, folded to 16
+// bits at the end, and byte-swapped on little-endian hosts. The result is
+// bit-identical to summing big-endian 16-bit words byte-by-byte. A fused
+// copy-and-checksum primitive covers the integrated case in one pass over
+// the data, as in BSD copyin/copyout with checksum.
 #ifndef GENIE_SRC_NET_CHECKSUM_H_
 #define GENIE_SRC_NET_CHECKSUM_H_
 
@@ -14,20 +21,38 @@
 
 namespace genie {
 
-// Incremental one's-complement checksum.
+// Incremental one's-complement checksum. Update calls may split the stream
+// at arbitrary (including odd) boundaries; a dangling odd byte is carried
+// into the next update.
 class InternetChecksum {
  public:
   void Update(std::span<const std::byte> data);
+
+  // Copies `src` to `dst` and folds it into the checksum in the same pass.
+  // `dst` must have room for src.size() bytes and must not overlap `src`.
+  void UpdateWithCopy(std::span<const std::byte> src, std::byte* dst);
+
   std::uint16_t value() const;
-  void Reset() { sum_ = 0; odd_ = false; }
+  void Reset() {
+    sum_ = 0;
+    odd_ = false;
+    pending_ = 0;
+  }
 
  private:
-  std::uint32_t sum_ = 0;
-  bool odd_ = false;  // A dangling odd byte from the previous update.
+  template <bool kCopy>
+  void Consume(const std::byte* p, std::size_t n, std::byte* dst);
+
+  std::uint64_t sum_ = 0;  // one's-complement sum of native 16-bit lanes
+  bool odd_ = false;       // A dangling odd byte from the previous update.
   std::uint8_t pending_ = 0;
 };
 
 std::uint16_t ChecksumOf(std::span<const std::byte> data);
+
+// One-pass memcpy + checksum: copies `src` into `dst` (equal sizes) and
+// returns the checksum of the data.
+std::uint16_t CopyAndChecksum(std::span<const std::byte> src, std::span<std::byte> dst);
 
 // Checksum over the first `bytes` bytes of a scatter/gather list.
 std::uint16_t ChecksumOfIoVec(const PhysicalMemory& pm, const IoVec& iov, std::uint64_t bytes);

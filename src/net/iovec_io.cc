@@ -22,7 +22,8 @@ void ReadFromIoVec(const PhysicalMemory& pm, const IoVec& iov, std::uint64_t off
       const std::uint64_t in_seg = want - seg_start;
       const std::size_t chunk =
           static_cast<std::size_t>(std::min<std::uint64_t>(seg.length - in_seg, out.size() - done));
-      std::memcpy(out.data() + done, pm.Data(seg.frame).data() + seg.offset + in_seg, chunk);
+      std::memcpy(out.data() + done, pm.DataRun(seg.frame, seg.offset + in_seg, chunk).data(),
+                  chunk);
       done += chunk;
     }
     seg_start = seg_end;
@@ -48,7 +49,7 @@ std::uint64_t WriteToIoVec(PhysicalMemory& pm, const IoVec& iov, std::uint64_t o
     if (want < seg_end) {
       const std::uint64_t in_seg = want - seg_start;
       const std::uint64_t chunk = std::min<std::uint64_t>(seg.length - in_seg, writable - done);
-      std::memcpy(pm.Data(seg.frame).data() + seg.offset + in_seg, in.data() + done,
+      std::memcpy(pm.DataRun(seg.frame, seg.offset + in_seg, chunk).data(), in.data() + done,
                   static_cast<std::size_t>(chunk));
       done += chunk;
     }

@@ -1,5 +1,6 @@
 #include "src/vm/address_space.h"
 
+#include <bit>
 #include <cstring>
 
 #include "src/util/check.h"
@@ -32,13 +33,52 @@ AddressSpace::AddressSpace(Vm& vm, std::string name)
     : vm_(&vm),
       name_(std::move(name)),
       page_size_(vm.page_size()),
-      next_free_hint_(kFirstMappableAddress) {}
+      page_shift_(static_cast<std::uint32_t>(std::countr_zero(vm.page_size()))),
+      next_free_hint_(kFirstMappableAddress) {
+  GENIE_CHECK(std::has_single_bit(page_size_)) << "page size must be a power of two";
+}
 
 AddressSpace::~AddressSpace() {
   while (!regions_.empty()) {
     RemoveRegion(regions_.begin()->first);
   }
 }
+
+// --- Software TLB ---
+
+bool AddressSpace::LookupPte(Vaddr base, Pte* out) {
+  TlbEntry& entry = tlb_[TlbIndex(base)];
+  if (entry.base == base) {
+    ++counters_.tlb_hits;
+    *out = entry.pte;
+    return true;
+  }
+  ++counters_.tlb_misses;
+  auto it = page_table_.find(base);
+  if (it == page_table_.end()) {
+    return false;
+  }
+  entry.base = base;
+  entry.pte = it->second;
+  *out = it->second;
+  return true;
+}
+
+void AddressSpace::TlbInvalidate(Vaddr base) {
+  TlbEntry& entry = tlb_[TlbIndex(base)];
+  if (entry.base == base) {
+    entry.base = kTlbEmpty;
+    ++counters_.tlb_invalidations;
+  }
+}
+
+void AddressSpace::TlbFill(Vaddr base, Pte pte) {
+  TlbEntry& entry = tlb_[TlbIndex(base)];
+  entry.base = base;
+  entry.pte = pte;
+}
+
+// --- Regions ---
 
 Region* AddressSpace::CreateRegion(Vaddr start, std::uint64_t length, RegionState state) {
   const std::uint64_t pages = length / page_size_;
@@ -123,25 +163,56 @@ Region* AddressSpace::RegionAt(Vaddr start) {
   return it == regions_.end() ? nullptr : &it->second;
 }
 
-AccessResult AddressSpace::Read(Vaddr va, std::span<std::byte> out) {
-  std::size_t done = 0;
-  while (done < out.size()) {
+// --- Application access ---
+
+AccessResult AddressSpace::ReadScatter(
+    Vaddr va, std::uint64_t len,
+    const std::function<void(std::span<const std::byte>)>& sink) {
+  std::uint64_t done = 0;
+  while (done < len) {
     const Vaddr addr = va + done;
     const Vaddr base = PageBase(addr);
-    Pte* pte = FindPte(addr);
-    if (pte == nullptr || !CanRead(pte->prot)) {
+    Pte pte;
+    if (!LookupPte(base, &pte) || !CanRead(pte.prot)) {
       if (FaultIn(addr, /*for_write=*/false) != AccessResult::kOk) {
         return AccessResult::kUnrecoverableFault;
       }
-      pte = FindPte(addr);
-      GENIE_CHECK(pte != nullptr && CanRead(pte->prot));
+      const bool mapped = LookupPte(base, &pte);
+      GENIE_CHECK(mapped && CanRead(pte.prot));
     }
-    const std::size_t offset = addr - base;
-    const std::size_t chunk = std::min<std::size_t>(page_size_ - offset, out.size() - done);
-    std::memcpy(out.data() + done, vm_->pm().Data(pte->frame).data() + offset, chunk);
+    const std::uint64_t offset = addr - base;
+    std::uint64_t chunk = std::min<std::uint64_t>(page_size_ - offset, len - done);
+    // Extend over physically contiguous pages already mapped readable, so
+    // one chunk (one memcpy downstream) spans the whole run.
+    FrameId next_frame = pte.frame + 1;
+    Vaddr next_base = base + page_size_;
+    std::uint64_t pages = 1;
+    while (done + chunk < len) {
+      Pte npte;
+      if (!LookupPte(next_base, &npte) || !CanRead(npte.prot) || npte.frame != next_frame) {
+        break;
+      }
+      chunk += std::min<std::uint64_t>(page_size_, len - done - chunk);
+      ++next_frame;
+      next_base += page_size_;
+      ++pages;
+    }
+    if (pages > 1) {
+      ++counters_.coalesced_runs;
+      counters_.coalesced_pages += pages - 1;
+    }
+    sink(vm_->pm().DataRun(pte.frame, offset, chunk));
     done += chunk;
   }
   return AccessResult::kOk;
+}
+
+AccessResult AddressSpace::Read(Vaddr va, std::span<std::byte> out) {
+  std::size_t done = 0;
+  return ReadScatter(va, out.size(), [&](std::span<const std::byte> chunk) {
+    std::memcpy(out.data() + done, chunk.data(), chunk.size());
+    done += chunk.size();
+  });
 }
 
 AccessResult AddressSpace::Write(Vaddr va, std::span<const std::byte> in) {
@@ -149,25 +220,43 @@ AccessResult AddressSpace::Write(Vaddr va, std::span<const std::byte> in) {
   while (done < in.size()) {
     const Vaddr addr = va + done;
     const Vaddr base = PageBase(addr);
-    Pte* pte = FindPte(addr);
-    if (pte == nullptr || !CanWrite(pte->prot)) {
+    Pte pte;
+    if (!LookupPte(base, &pte) || !CanWrite(pte.prot)) {
       if (FaultIn(addr, /*for_write=*/true) != AccessResult::kOk) {
         return AccessResult::kUnrecoverableFault;
       }
-      pte = FindPte(addr);
-      GENIE_CHECK(pte != nullptr && CanWrite(pte->prot));
+      const bool mapped = LookupPte(base, &pte);
+      GENIE_CHECK(mapped && CanWrite(pte.prot));
     }
     const std::size_t offset = addr - base;
-    const std::size_t chunk = std::min<std::size_t>(page_size_ - offset, in.size() - done);
-    std::memcpy(vm_->pm().Data(pte->frame).data() + offset, in.data() + done, chunk);
+    std::uint64_t chunk = std::min<std::uint64_t>(page_size_ - offset, in.size() - done);
+    FrameId next_frame = pte.frame + 1;
+    Vaddr next_base = base + page_size_;
+    std::uint64_t pages = 1;
+    while (done + chunk < in.size()) {
+      Pte npte;
+      if (!LookupPte(next_base, &npte) || !CanWrite(npte.prot) || npte.frame != next_frame) {
+        break;
+      }
+      chunk += std::min<std::uint64_t>(page_size_, in.size() - done - chunk);
+      ++next_frame;
+      next_base += page_size_;
+      ++pages;
+    }
+    if (pages > 1) {
+      ++counters_.coalesced_runs;
+      counters_.coalesced_pages += pages - 1;
+    }
+    std::memcpy(vm_->pm().DataRun(pte.frame, offset, chunk).data(), in.data() + done,
+                static_cast<std::size_t>(chunk));
     done += chunk;
   }
   return AccessResult::kOk;
 }
 
 AccessResult AddressSpace::FaultIn(Vaddr va, bool for_write) {
-  Pte* pte = FindPte(va);
-  if (pte != nullptr && (for_write ? CanWrite(pte->prot) : CanRead(pte->prot))) {
+  Pte pte;
+  if (LookupPte(PageBase(va), &pte) && (for_write ? CanWrite(pte.prot) : CanRead(pte.prot))) {
     return AccessResult::kOk;  // Already mapped with sufficient access.
   }
   return HandleFault(va, for_write);
@@ -264,12 +353,34 @@ AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
 }
 
 FrameId AddressSpace::ResolvePageForIo(Vaddr va, bool for_write) {
+  PhysicalMemory& pm = vm_->pm();
+  const Vaddr base = PageBase(va);
+
+  // Fast path: a live PTE always names the top object's current page for
+  // this mapping (every page replacement retargets or unmaps it), so for
+  // device reads the mapped frame is authoritative as-is. For device
+  // writes it is usable only if no output pends on it (else TCOW below)
+  // and the frame belongs to this region's top object at this index (else
+  // it is a COW-shared page that must be copied up).
+  Pte pte;
+  if (LookupPte(base, &pte)) {
+    if (!for_write) {
+      return pte.frame;
+    }
+    const FrameInfo& fi = pm.info(pte.frame);
+    if (fi.output_refs == 0 && fi.owner_object != kNoOwner) {
+      Region* region = FindRegion(va);
+      if (region != nullptr && fi.owner_object == region->object->id() &&
+          fi.owner_page == PageIndexInRegion(*region, va)) {
+        return pte.frame;
+      }
+    }
+  }
+
   Region* region = FindRegion(va);
   if (region == nullptr) {
     return kInvalidFrame;
   }
-  PhysicalMemory& pm = vm_->pm();
-  const Vaddr base = PageBase(va);
   const std::uint64_t index = PageIndexInRegion(*region, va);
   MemoryObject& top = *region->object;
 
@@ -317,21 +428,32 @@ void AddressSpace::RetargetPte(Vaddr va, FrameId old_frame, FrameId new_frame) {
 }
 
 Pte* AddressSpace::FindPte(Vaddr va) {
-  auto it = page_table_.find(PageBase(va));
+  const Vaddr base = PageBase(va);
+  // The caller can mutate the PTE through the returned pointer (TCOW
+  // retargets, system-buffer page swaps, protection changes), so drop any
+  // cached translation before handing it out.
+  TlbInvalidate(base);
+  auto it = page_table_.find(base);
   return it == page_table_.end() ? nullptr : &it->second;
 }
 
 void AddressSpace::MapPage(Vaddr va, FrameId frame, Prot prot) {
   GENIE_CHECK_EQ(va % page_size_, 0u);
-  page_table_[va] = Pte{frame, prot};
+  const Pte pte{frame, prot};
+  page_table_[va] = pte;
+  TlbFill(va, pte);
 }
 
 void AddressSpace::UnmapPage(Vaddr va) {
-  const std::size_t erased = page_table_.erase(PageBase(va));
+  const Vaddr base = PageBase(va);
+  const std::size_t erased = page_table_.erase(base);
   GENIE_CHECK_EQ(erased, 1u) << "unmapping absent page";
+  TlbInvalidate(base);
 }
 
 void AddressSpace::RemoveWrite(Vaddr va, std::uint64_t len) {
+  // FindPte invalidates the TLB entry, so the downgrade is visible on the
+  // very next access (TCOW depends on this).
   for (Vaddr p = PageBase(va); p < va + len; p += page_size_) {
     if (Pte* pte = FindPte(p); pte != nullptr && CanWrite(pte->prot)) {
       pte->prot = Prot::kRead;
@@ -356,22 +478,45 @@ void AddressSpace::Reinstate(Vaddr va, std::uint64_t len) {
 }
 
 AccessResult AddressSpace::WireRange(Vaddr va, std::uint64_t len, bool for_write) {
-  for (Vaddr p = PageBase(va); p < va + len; p += page_size_) {
+  const Vaddr end = va + len;
+  Vaddr p = PageBase(va);
+  while (p < end) {
     if (FaultIn(p, for_write) != AccessResult::kOk) {
       return AccessResult::kUnrecoverableFault;
     }
-    Pte* pte = FindPte(p);
-    GENIE_CHECK(pte != nullptr);
-    vm_->pm().Wire(pte->frame);
+    Pte pte;
+    const bool mapped = LookupPte(p, &pte);
+    GENIE_CHECK(mapped);
+    // Collect the run of physically contiguous pages already mapped with
+    // sufficient access; pages that still need a fault close the run.
+    FrameId count = 1;
+    p += page_size_;
+    while (p < end) {
+      Pte npte;
+      if (!LookupPte(p, &npte) || npte.frame != pte.frame + count ||
+          !(for_write ? CanWrite(npte.prot) : CanRead(npte.prot))) {
+        break;
+      }
+      ++count;
+      p += page_size_;
+    }
+    if (count > 1) {
+      ++counters_.coalesced_runs;
+      counters_.coalesced_pages += count - 1;
+    }
+    for (FrameId i = 0; i < count; ++i) {
+      vm_->pm().Wire(pte.frame + i);
+    }
   }
   return AccessResult::kOk;
 }
 
 void AddressSpace::UnwireRange(Vaddr va, std::uint64_t len) {
   for (Vaddr p = PageBase(va); p < va + len; p += page_size_) {
-    Pte* pte = FindPte(p);
-    GENIE_CHECK(pte != nullptr) << "unwiring unmapped page";
-    vm_->pm().Unwire(pte->frame);
+    Pte pte;
+    const bool mapped = LookupPte(p, &pte);
+    GENIE_CHECK(mapped) << "unwiring unmapped page";
+    vm_->pm().Unwire(pte.frame);
   }
 }
 

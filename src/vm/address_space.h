@@ -6,11 +6,21 @@
 // permissions exactly like an MMU: a protection or missing-page fault enters
 // HandleFault(), which recovers only in unmovable or moved-in regions
 // (paper Section 4) and implements TCOW (Section 5.1).
+//
+// Hot-path translations go through a small direct-mapped software TLB that
+// caches PTEs by value in front of the page-table hash. Every PTE mutation
+// must invalidate the cached entry: TCOW and region hiding depend on
+// protection downgrades (RemoveWrite/RemoveAll) and frame retargets being
+// visible on the very next access. All mutations flow through MapPage /
+// UnmapPage / FindPte (which surrenders a mutable PTE pointer and therefore
+// conservatively invalidates), so the invariant is centralized there.
 #ifndef GENIE_SRC_VM_ADDRESS_SPACE_H_
 #define GENIE_SRC_VM_ADDRESS_SPACE_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -43,6 +53,11 @@ class AddressSpace {
     std::uint64_t cow_copies = 0;            // conventional copy-up faults
     std::uint64_t pageins = 0;               // restored from backing store
     std::uint64_t zero_fills = 0;            // fresh anonymous pages
+    std::uint64_t tlb_hits = 0;              // translations served by the TLB
+    std::uint64_t tlb_misses = 0;            // page-table hash walks
+    std::uint64_t tlb_invalidations = 0;     // cached entries dropped
+    std::uint64_t coalesced_runs = 0;        // multi-page contiguous copies
+    std::uint64_t coalesced_pages = 0;       // pages beyond the first per run
   };
 
   AddressSpace(Vm& vm, std::string name);
@@ -85,6 +100,13 @@ class AddressSpace {
   AccessResult Read(Vaddr va, std::span<std::byte> out);
   AccessResult Write(Vaddr va, std::span<const std::byte> in);
 
+  // MMU-checked scatter read: resolves [va, va+len) page by page (faulting
+  // as needed, coalescing physically contiguous runs) and hands each
+  // resolved chunk to `sink` in address order. The single-pass integrated
+  // data paths (copyin with checksum) are built on this.
+  AccessResult ReadScatter(Vaddr va, std::uint64_t len,
+                           const std::function<void(std::span<const std::byte>)>& sink);
+
   // --- Kernel-side page operations ---
 
   // Resolves the page containing `va` so it is mapped with at least the
@@ -101,6 +123,8 @@ class AddressSpace {
   // Returns kInvalidFrame if `va` lies outside any region.
   FrameId ResolvePageForIo(Vaddr va, bool for_write);
 
+  // Returns a mutable pointer into the page table. The caller may change
+  // the PTE through it, so the TLB entry for `va` is invalidated.
   Pte* FindPte(Vaddr va);
   void MapPage(Vaddr va, FrameId frame, Prot prot);
   void UnmapPage(Vaddr va);
@@ -133,10 +157,26 @@ class AddressSpace {
   const Counters& counters() const { return counters_; }
 
  private:
+  static constexpr std::size_t kTlbEntries = 64;  // direct-mapped, power of two
+  static constexpr Vaddr kTlbEmpty = 1;           // odd: never a page base
+  struct TlbEntry {
+    Vaddr base = kTlbEmpty;
+    Pte pte;
+  };
+
   Vaddr PageBase(Vaddr va) const { return va & ~static_cast<Vaddr>(page_size_ - 1); }
   std::uint64_t PageIndexInRegion(const Region& r, Vaddr va) const {
     return (PageBase(va) - r.start) / page_size_;
   }
+  std::size_t TlbIndex(Vaddr base) const {
+    return (base >> page_shift_) & (kTlbEntries - 1);
+  }
+  // TLB-first translation (no fault). Fills the TLB from the page table on
+  // a miss; returns false if the page is unmapped.
+  bool LookupPte(Vaddr base, Pte* out);
+  void TlbInvalidate(Vaddr base);
+  void TlbFill(Vaddr base, Pte pte);
+
   AccessResult HandleFault(Vaddr va, bool for_write);
   // Walks the shadow chain for `index`, checking, at EACH level, residency
   // first and then that object's backing-store slot (paging it in if found).
@@ -151,8 +191,10 @@ class AddressSpace {
   Vm* vm_;
   std::string name_;
   std::uint32_t page_size_;
+  std::uint32_t page_shift_;
   std::map<Vaddr, Region> regions_;
   std::unordered_map<Vaddr, Pte> page_table_;  // keyed by page base address
+  std::array<TlbEntry, kTlbEntries> tlb_;
   std::deque<Vaddr> moved_out_cache_;
   std::deque<Vaddr> weakly_moved_out_cache_;
   Counters counters_;

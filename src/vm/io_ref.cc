@@ -44,7 +44,23 @@ AccessResult ReferenceRange(AddressSpace& aspace, Vaddr va, std::uint64_t len, I
       aspace.vm().pm().AddOutputRef(frame);
     }
     out->frames.push_back(frame);
-    out->iovec.segments.push_back(IoSegment{frame, offset, chunk});
+    // Physically contiguous with the previous segment? Grow it instead of
+    // appending, so the device sees one long DMA segment (frames stay
+    // per-page for reference accounting).
+    bool merged = false;
+    if (!out->iovec.segments.empty()) {
+      IoSegment& last = out->iovec.segments.back();
+      const std::uint64_t last_end =
+          static_cast<std::uint64_t>(last.frame) * page_size + last.offset + last.length;
+      const std::uint64_t this_start = static_cast<std::uint64_t>(frame) * page_size + offset;
+      if (last_end == this_start) {
+        last.length += chunk;
+        merged = true;
+      }
+    }
+    if (!merged) {
+      out->iovec.segments.push_back(IoSegment{frame, offset, chunk});
+    }
     done += chunk;
   }
   out->active = true;

@@ -213,6 +213,81 @@ TEST(PhysMemoryTest, AllocationCounterAdvances) {
   EXPECT_EQ(pm.total_allocations(), 2u);
 }
 
+// --- Contiguous runs ---
+
+TEST(PhysMemoryTest, AllocateRunIsContiguousAndLowestFirst) {
+  PhysicalMemory pm(8, kPage);
+  const FrameId run = pm.TryAllocateRun(4);
+  EXPECT_EQ(run, 0u);
+  for (FrameId f = run; f < run + 4; ++f) {
+    EXPECT_TRUE(pm.info(f).allocated);
+  }
+  EXPECT_EQ(pm.free_frames(), 4u);
+}
+
+TEST(PhysMemoryTest, AllocateRunSkipsFragmentedGaps) {
+  PhysicalMemory pm(8, kPage);
+  const FrameId a = pm.Allocate();  // frame 0
+  const FrameId b = pm.Allocate();  // frame 1
+  pm.Free(a);                       // free: {0} and {2..7}
+  const FrameId run = pm.TryAllocateRun(3);
+  EXPECT_EQ(run, 2u);  // First fit past the single-frame hole.
+  const FrameId single = pm.TryAllocate();
+  EXPECT_EQ(single, 0u);  // The hole still serves single-frame requests.
+  pm.Free(b);
+  pm.Free(single);
+  for (FrameId f = run; f < run + 3; ++f) {
+    pm.Free(f);
+  }
+  EXPECT_EQ(pm.free_frames(), 8u);
+}
+
+TEST(PhysMemoryTest, FreeingMergesAdjacentRuns) {
+  PhysicalMemory pm(8, kPage);
+  std::vector<FrameId> all;
+  for (int i = 0; i < 8; ++i) {
+    all.push_back(pm.Allocate());
+  }
+  // Free in an order that exercises both-sided merging: 3 then 5 then 4.
+  pm.Free(3);
+  pm.Free(5);
+  EXPECT_EQ(pm.free_runs(), 2u);
+  pm.Free(4);
+  EXPECT_EQ(pm.free_runs(), 1u);  // {3,4,5} merged into one run.
+  EXPECT_EQ(pm.TryAllocateRun(3), 3u);
+}
+
+TEST(PhysMemoryTest, TryAllocateRunFailsWithoutContiguousSpace) {
+  PhysicalMemory pm(4, kPage);
+  pm.Allocate();  // 0
+  const FrameId f1 = pm.Allocate();
+  pm.Allocate();  // 2
+  const FrameId f3 = pm.Allocate();
+  pm.Free(f1);
+  pm.Free(f3);  // free: {1} and {3}: two frames, but no pair.
+  EXPECT_EQ(pm.free_frames(), 2u);
+  EXPECT_EQ(pm.TryAllocateRun(2), kInvalidFrame);
+}
+
+TEST(PhysMemoryTest, DataRunSpansFrames) {
+  PhysicalMemory pm(4, kPage);
+  const FrameId run = pm.TryAllocateRun(3);
+  ASSERT_NE(run, kInvalidFrame);
+  auto span = pm.DataRun(run, 100, 2 * kPage);
+  EXPECT_EQ(span.size(), 2 * kPage);
+  EXPECT_EQ(span.data(), pm.Data(run).data() + 100);
+  // Bytes stored through a whole-run span read back through per-frame spans.
+  span[kPage] = std::byte{0x5A};
+  EXPECT_EQ(pm.Data(run + 1)[100], std::byte{0x5A});
+}
+
+TEST(PhysMemoryDeathTest, DataRunPastArenaAborts) {
+  PhysicalMemory pm(2, kPage);
+  pm.Allocate();
+  pm.Allocate();
+  EXPECT_DEATH(pm.DataRun(1, 0, 2 * kPage), "out of bounds");
+}
+
 // Property: alloc/free churn conserves frames (no leaks, no duplication).
 TEST(PhysMemoryTest, ChurnConservesFrames) {
   PhysicalMemory pm(16, kPage);

@@ -1,12 +1,32 @@
 #include "src/net/checksum.h"
 
+#include <algorithm>
 #include <cstring>
+#include <random>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 namespace genie {
 namespace {
+
+// Scalar big-endian-word reference (RFC 1071 as usually written): the
+// word-at-a-time implementation must be bit-identical to this.
+std::uint16_t ReferenceChecksum(std::span<const std::byte> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::to_integer<std::uint32_t>(data[i]) << 8) |
+           std::to_integer<std::uint32_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += std::to_integer<std::uint32_t>(data[i]) << 8;
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
 
 std::vector<std::byte> Bytes(std::initializer_list<unsigned char> list) {
   std::vector<std::byte> v;
@@ -61,6 +81,95 @@ TEST(InternetChecksumTest, DetectsSingleBitFlip) {
   const std::uint16_t before = ChecksumOf(data);
   data[17] = std::byte{0x43};
   EXPECT_NE(ChecksumOf(data), before);
+}
+
+// --- Property tests: random buffers, arbitrary split points ---
+
+TEST(InternetChecksumTest, MatchesScalarReferenceOnRandomBuffers) {
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> size(0, 8192);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::byte> data(size(rng));
+    for (auto& b : data) {
+      b = static_cast<std::byte>(byte(rng));
+    }
+    ASSERT_EQ(ChecksumOf(data), ReferenceChecksum(data)) << "len=" << data.size();
+  }
+}
+
+TEST(InternetChecksumTest, ArbitrarySplitSequencesMatchOneShot) {
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 100; ++round) {
+    std::uniform_int_distribution<std::size_t> size(1, 4096);
+    std::vector<std::byte> data(size(rng));
+    for (auto& b : data) {
+      b = static_cast<std::byte>(byte(rng));
+    }
+    const std::uint16_t expect = ChecksumOf(data);
+    InternetChecksum c;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      // Heavily biased toward tiny (incl. odd and zero-length) chunks so
+      // the dangling-byte carry path is exercised at every alignment.
+      std::uniform_int_distribution<std::size_t> step(0, 1 + (round % 37));
+      const std::size_t n = std::min(step(rng), data.size() - pos);
+      c.Update(std::span<const std::byte>(data).subspan(pos, n));
+      pos += n;
+    }
+    ASSERT_EQ(c.value(), expect) << "len=" << data.size() << " round=" << round;
+  }
+}
+
+TEST(InternetChecksumTest, CopyAndChecksumMatchesMemcpyPlusChecksum) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> size(0, 10000);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::byte> src(size(rng));
+    for (auto& b : src) {
+      b = static_cast<std::byte>(byte(rng));
+    }
+    std::vector<std::byte> dst(src.size(), std::byte{0xEE});
+    const std::uint16_t sum = CopyAndChecksum(src, dst);
+    EXPECT_EQ(sum, ChecksumOf(src));
+    ASSERT_TRUE(std::equal(src.begin(), src.end(), dst.begin()));
+  }
+}
+
+TEST(InternetChecksumTest, UpdateWithCopySplitSequencesCopyAndSum) {
+  // Split fused updates at arbitrary odd points: both the checksum and the
+  // copied bytes must match the one-shot versions.
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 50; ++round) {
+    std::uniform_int_distribution<std::size_t> size(1, 3000);
+    std::vector<std::byte> src(size(rng));
+    for (auto& b : src) {
+      b = static_cast<std::byte>(byte(rng));
+    }
+    std::vector<std::byte> dst(src.size(), std::byte{0});
+    InternetChecksum c;
+    std::size_t pos = 0;
+    while (pos < src.size()) {
+      std::uniform_int_distribution<std::size_t> step(1, 61);
+      const std::size_t n = std::min(step(rng), src.size() - pos);
+      c.UpdateWithCopy(std::span<const std::byte>(src).subspan(pos, n), dst.data() + pos);
+      pos += n;
+    }
+    ASSERT_EQ(c.value(), ChecksumOf(src));
+    ASSERT_TRUE(std::equal(src.begin(), src.end(), dst.begin()));
+  }
+}
+
+TEST(InternetChecksumTest, ResetClearsDanglingByte) {
+  InternetChecksum c;
+  c.Update(Bytes({0x01, 0x02, 0x03}));  // Leaves a dangling odd byte.
+  c.Reset();
+  EXPECT_EQ(c.value(), 0xFFFF);
+  c.Update(Bytes({0xAB}));
+  EXPECT_EQ(c.value(), 0x54FF);
 }
 
 TEST(InternetChecksumTest, IoVecMatchesLinear) {

@@ -159,6 +159,21 @@ TEST_F(CowTest, ObjectInputRefsTrackedDuringReference) {
   EXPECT_FALSE(region->object->ChainHasInputRefs());
 }
 
+TEST_F(CowTest, WarmTlbDoesNotBypassCowProtection) {
+  // Write immediately before the share so the parent's TLB caches a
+  // writable translation; the share's write-protection must invalidate it,
+  // and the next parent write must copy up instead of mutating the frame
+  // the child reads.
+  ASSERT_EQ(src_.Write(kBase, Fill(16, 0xAA)), AccessResult::kOk);
+  const CowShareResult r = CowShareRegion(src_, kBase, dst_);
+  ASSERT_FALSE(r.physically_copied);
+  ASSERT_EQ(src_.Write(kBase, Fill(16, 0xCC)), AccessResult::kOk);
+  EXPECT_EQ(src_.counters().cow_copies, 1u);
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(dst_.Read(r.dst_start, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xAA);  // Child unaffected.
+}
+
 TEST_F(CowTest, ChainedSharesStillCorrect) {
   // Share parent->child, then child->grandchild; writes stay private.
   const CowShareResult r1 = CowShareRegion(src_, kBase, dst_);

@@ -24,31 +24,52 @@ class IoRefTest : public ::testing::Test {
   AddressSpace as_{vm_, "app"};
 };
 
-TEST_F(IoRefTest, PageAlignedBufferYieldsFullPageSegments) {
+TEST_F(IoRefTest, PageAlignedBufferCoalescesContiguousFrames) {
+  // Fresh zero-fill pages come from one contiguous frame run, so the DMA
+  // list collapses to a single segment; reference accounting stays per page.
   IoReference ref;
   ASSERT_EQ(ReferenceRange(as_, kBase, 3 * kPage, IoDirection::kOutput, &ref),
             AccessResult::kOk);
-  ASSERT_EQ(ref.iovec.segments.size(), 3u);
-  for (const IoSegment& s : ref.iovec.segments) {
-    EXPECT_EQ(s.offset, 0u);
-    EXPECT_EQ(s.length, kPage);
-  }
+  ASSERT_EQ(ref.frames.size(), 3u);
+  ASSERT_EQ(ref.iovec.segments.size(), 1u);
+  EXPECT_EQ(ref.iovec.segments[0].frame, ref.frames[0]);
+  EXPECT_EQ(ref.iovec.segments[0].offset, 0u);
+  EXPECT_EQ(ref.iovec.segments[0].length, 3 * kPage);
   EXPECT_EQ(ref.iovec.total_bytes(), 3 * kPage);
   Unreference(vm_, ref);
 }
 
-TEST_F(IoRefTest, UnalignedBufferYieldsPartialEndSegments) {
+TEST_F(IoRefTest, UnalignedBufferKeepsOffsetAndLength) {
   IoReference ref;
   const Vaddr va = kBase + 100;
   const std::uint64_t len = 2 * kPage;  // spans 3 pages
   ASSERT_EQ(ReferenceRange(as_, va, len, IoDirection::kOutput, &ref), AccessResult::kOk);
-  ASSERT_EQ(ref.iovec.segments.size(), 3u);
+  ASSERT_EQ(ref.frames.size(), 3u);
+  ASSERT_EQ(ref.iovec.segments.size(), 1u);
   EXPECT_EQ(ref.iovec.segments[0].offset, 100u);
-  EXPECT_EQ(ref.iovec.segments[0].length, kPage - 100);
-  EXPECT_EQ(ref.iovec.segments[1].length, kPage);
-  EXPECT_EQ(ref.iovec.segments[2].length, 100u);
   EXPECT_EQ(ref.iovec.total_bytes(), len);
   Unreference(vm_, ref);
+}
+
+TEST_F(IoRefTest, NonContiguousFramesYieldSeparateSegments) {
+  // Force non-adjacent frames for adjacent pages: fault page 1 first, then
+  // interpose an allocation, then fault page 0. The DMA list must not merge
+  // across the physical gap.
+  ASSERT_EQ(as_.Write(kBase + kPage, std::vector<std::byte>(1, std::byte{1})),
+            AccessResult::kOk);
+  const FrameId hole = vm_.pm().Allocate();
+  ASSERT_EQ(as_.Write(kBase, std::vector<std::byte>(1, std::byte{1})), AccessResult::kOk);
+  IoReference ref;
+  ASSERT_EQ(ReferenceRange(as_, kBase, 2 * kPage, IoDirection::kOutput, &ref),
+            AccessResult::kOk);
+  ASSERT_EQ(ref.frames.size(), 2u);
+  ASSERT_NE(ref.frames[0] + 1, ref.frames[1]);
+  ASSERT_EQ(ref.iovec.segments.size(), 2u);
+  EXPECT_EQ(ref.iovec.segments[0].length, kPage);
+  EXPECT_EQ(ref.iovec.segments[1].length, kPage);
+  EXPECT_EQ(ref.iovec.total_bytes(), 2 * kPage);
+  Unreference(vm_, ref);
+  vm_.pm().Free(hole);
 }
 
 TEST_F(IoRefTest, OutputReferencesCountOutputRefs) {

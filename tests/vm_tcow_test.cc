@@ -94,10 +94,10 @@ TEST_F(TcowTest, TcowIsPageGranular) {
   EXPECT_EQ(as_.counters().tcow_copies, 1u);
 
   // Untouched pages still map the device frames.
-  EXPECT_EQ(as_.FindPte(kBase)->frame, ref_.iovec.segments[0].frame);
-  EXPECT_EQ(as_.FindPte(kBase + 3 * kPage)->frame, ref_.iovec.segments[3].frame);
+  EXPECT_EQ(as_.FindPte(kBase)->frame, ref_.frames[0]);
+  EXPECT_EQ(as_.FindPte(kBase + 3 * kPage)->frame, ref_.frames[3]);
   // The written page does not.
-  EXPECT_NE(as_.FindPte(kBase + 2 * kPage)->frame, ref_.iovec.segments[2].frame);
+  EXPECT_NE(as_.FindPte(kBase + 2 * kPage)->frame, ref_.frames[2]);
   DisposeOutput();
 }
 
@@ -149,6 +149,71 @@ TEST_F(TcowTest, WriterNeverStalls) {
   // while the app holds control), so mere completion demonstrates no-stall.
   ASSERT_EQ(as_.Write(kBase, Fill(kPage, 0xCD)), AccessResult::kOk);
   DisposeOutput();
+}
+
+// --- Software TLB coherence ---
+//
+// Read/Write serve translations from a direct-mapped TLB in front of the
+// page-table hash. Every protection downgrade or frame retarget must kill
+// the cached entry, or the MMU would grant access the page table revoked.
+
+TEST_F(TcowTest, WarmTlbDoesNotBypassRemoveWrite) {
+  // SetUp's Write left a writable translation cached. The output prepare's
+  // RemoveWrite must invalidate it, so the next write TCOW-faults instead
+  // of storing into the frame the device is reading.
+  ASSERT_EQ(as_.Write(kBase, Fill(16, 0x11)), AccessResult::kOk);  // re-warm
+  PrepareOutput(kBase, kPage);
+  const FrameId device_frame = ref_.frames[0];
+  ASSERT_EQ(as_.Write(kBase, Fill(16, 0xCD)), AccessResult::kOk);
+  EXPECT_EQ(as_.counters().tcow_copies, 1u);
+  EXPECT_EQ(static_cast<unsigned char>(vm_.pm().Data(device_frame)[0]), 0x11);
+}
+
+TEST_F(TcowTest, WarmTlbDoesNotReadStaleFrameAfterIoRetarget) {
+  // Warm the read translation, then let an in-place input TCOW-copy the
+  // page (pending output) and retarget the PTE to the copy. A later read
+  // must see the device's store in the NEW frame, not cached stale bytes.
+  std::vector<std::byte> out(16);
+  ASSERT_EQ(as_.Read(kBase, out), AccessResult::kOk);
+  PrepareOutput(kBase, kPage);
+  IoReference in_ref;
+  ASSERT_EQ(ReferenceRange(as_, kBase, kPage, IoDirection::kInput, &in_ref),
+            AccessResult::kOk);
+  const FrameId new_frame = in_ref.frames[0];
+  ASSERT_NE(new_frame, ref_.frames[0]);
+  vm_.pm().Data(new_frame)[0] = std::byte{0x77};  // DMA store.
+  ASSERT_EQ(as_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x77);
+  Unreference(vm_, in_ref);
+  DisposeOutput();
+}
+
+TEST_F(TcowTest, WarmTlbDoesNotBypassRemoveAll) {
+  // Region hiding (emulated move): RemoveAll + moved-out state must make
+  // every access fault unrecoverably, even with a hot translation.
+  ASSERT_EQ(as_.Write(kBase, Fill(16, 0x11)), AccessResult::kOk);
+  as_.RemoveAll(kBase, 4 * kPage);
+  Region* region = as_.RegionAt(kBase);
+  ASSERT_NE(region, nullptr);
+  region->state = RegionState::kMovedOut;
+  std::vector<std::byte> out(16);
+  EXPECT_EQ(as_.Read(kBase, out), AccessResult::kUnrecoverableFault);
+  EXPECT_EQ(as_.Write(kBase, Fill(16, 0xCD)), AccessResult::kUnrecoverableFault);
+  // Reinstate (region recycled back to the application) restores access.
+  region->state = RegionState::kMovedIn;
+  as_.Reinstate(kBase, 4 * kPage);
+  ASSERT_EQ(as_.Read(kBase, out), AccessResult::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x11);
+}
+
+TEST_F(TcowTest, TlbServesRepeatedAccesses) {
+  std::vector<std::byte> out(64);
+  ASSERT_EQ(as_.Read(kBase, out), AccessResult::kOk);
+  const auto hits_before = as_.counters().tlb_hits;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(as_.Read(kBase, out), AccessResult::kOk);
+  }
+  EXPECT_GE(as_.counters().tlb_hits, hits_before + 8);
 }
 
 TEST_F(TcowTest, OutputFromUnmappedBufferFaultsInViaReference) {
