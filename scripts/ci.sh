@@ -25,4 +25,24 @@ cmake --build build-asan -j "$JOBS"
 # UBSan stay fully enabled.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "CI OK: both suites passed."
+echo "=== tier-1: fault-stress replay (ASan) ==="
+# Third leg: the fault-injection stress harness under ASan. Three pinned
+# seeds gate the build (each under a fixed wall-clock budget), then one fresh
+# entropy seed widens coverage a little every run; an entropy failure is
+# reported for triage (the seed is the complete repro) but does not fail CI.
+STRESS_BIN=build-asan/tests/fault_stress_test
+STRESS_FILTER='--gtest_filter=FaultStressTest.SeededInterleavingsKeepInvariantsAndBytes'
+STRESS_BUDGET=120  # seconds of wall clock per seed
+for seed in 1001 1042 1137; do
+  echo "fault-stress fixed seed $seed"
+  GENIE_FAULT_SEED=$seed ASAN_OPTIONS=detect_leaks=0 \
+    timeout "$STRESS_BUDGET" "$STRESS_BIN" "$STRESS_FILTER"
+done
+ENTROPY_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+echo "fault-stress entropy seed $ENTROPY_SEED (replay: GENIE_FAULT_SEED=$ENTROPY_SEED $STRESS_BIN $STRESS_FILTER)"
+if ! GENIE_FAULT_SEED=$ENTROPY_SEED ASAN_OPTIONS=detect_leaks=0 \
+    timeout "$STRESS_BUDGET" "$STRESS_BIN" "$STRESS_FILTER"; then
+  echo "NON-FATAL: entropy seed $ENTROPY_SEED failed the fault-stress harness — file for triage."
+fi
+
+echo "CI OK: all suites passed."

@@ -114,7 +114,19 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
   co_await node_->cpu().Acquire();
   co_await Charge(OpKind::kSenderKernelFixed, 0);
   Charges charges;
-  PrepareOutput(*st, charges);
+  const IoStatus prep = PrepareOutput(*st, charges);
+  if (prep != IoStatus::kOk) {
+    // The output never started; everything prepared so far was unwound. The
+    // kernel time spent on the attempt is still charged.
+    ++stats_.failed_outputs;
+    ++stats_.recovered_transfers;
+    for (const auto& [op, bytes] : charges.items) {
+      co_await Charge(op, bytes);
+    }
+    node_->cpu().Release();
+    FinishOperation();
+    co_return;
+  }
   if (options_.checksum_mode != ChecksumMode::kNone) {
     // Compute the transport checksum over the outgoing data. For copy
     // semantics it can be integrated with the copyin (reference [7]); for
@@ -142,7 +154,7 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
   co_return;
 }
 
-void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
+IoStatus Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
   AddressSpace& app = *st.app;
   PhysicalMemory& pm = app.vm().pm();
   const Vaddr va = st.va;
@@ -162,15 +174,23 @@ void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
     case Semantics::kCopy: {
       // Allocate system buffer; copyin output data. Under memory pressure
       // the pageout daemon makes room first.
-      node_->EnsureFreeFrames(CeilPages(len, pm.page_size()));
-      st.sysbuf = AllocateSysBuffer(pm, 0, len);
+      if (!node_->TryEnsureFreeFrames(CeilPages(len, pm.page_size())) ||
+          !TryAllocateSysBuffer(pm, 0, len, &st.sysbuf)) {
+        return IoStatus::kNoMemory;
+      }
       st.has_sysbuf = true;
       // Single-pass copyin, with the transport checksum folded in when one
       // is wanted (reference [7]): the data is read exactly once.
       InternetChecksum sum;
       const bool fuse = options_.checksum_mode != ChecksumMode::kNone;
       const AccessResult res = CopyinToIoVec(app, va, len, st.sysbuf.iov, fuse ? &sum : nullptr);
-      GENIE_CHECK(res == AccessResult::kOk);
+      if (res != AccessResult::kOk) {
+        // A source page could not be faulted in (injected allocation or
+        // backing failure); release the system buffer and fail the output.
+        FreeSysBuffer(pm, st.sysbuf);
+        st.has_sysbuf = false;
+        return IoStatus::kIoError;
+      }
       if (fuse) {
         st.fused_header = sum.value();
         st.has_fused_header = true;
@@ -185,8 +205,11 @@ void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
     }
     case Semantics::kEmulatedCopy: {
       // Reference application pages; read-only application pages (TCOW arm).
+      // ReferenceRange unwinds itself on a mid-run page-in failure.
       const AccessResult res = ReferenceRange(app, va, len, IoDirection::kOutput, &st.ref);
-      GENIE_CHECK(res == AccessResult::kOk);
+      if (res != AccessResult::kOk) {
+        return IoStatus::kIoError;
+      }
       ch.Add(OpKind::kReference, len);
       app.RemoveWrite(va, len);
       ch.Add(OpKind::kReadOnly, len);
@@ -195,7 +218,9 @@ void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
     }
     case Semantics::kShare: {
       const AccessResult res = ReferenceRange(app, va, len, IoDirection::kOutput, &st.ref);
-      GENIE_CHECK(res == AccessResult::kOk);
+      if (res != AccessResult::kOk) {
+        return IoStatus::kIoError;
+      }
       ch.Add(OpKind::kReference, len);
       for (const FrameId f : st.ref.frames) {
         pm.Wire(f);
@@ -206,7 +231,9 @@ void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
     }
     case Semantics::kEmulatedShare: {
       const AccessResult res = ReferenceRange(app, va, len, IoDirection::kOutput, &st.ref);
-      GENIE_CHECK(res == AccessResult::kOk);
+      if (res != AccessResult::kOk) {
+        return IoStatus::kIoError;
+      }
       ch.Add(OpKind::kReference, len);
       st.wire = st.ref.iovec;
       break;
@@ -216,7 +243,9 @@ void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
     case Semantics::kEmulatedMove:
     case Semantics::kEmulatedWeakMove: {
       const AccessResult res = ReferenceRange(app, va, len, IoDirection::kOutput, &st.ref);
-      GENIE_CHECK(res == AccessResult::kOk);
+      if (res != AccessResult::kOk) {
+        return IoStatus::kIoError;
+      }
       ch.Add(OpKind::kReference, len);
       if (st.effective == Semantics::kMove || st.effective == Semantics::kWeakMove) {
         for (const FrameId f : st.ref.frames) {
@@ -246,6 +275,7 @@ void Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
     st.extra_wired = true;
     ch.Add(OpKind::kWire, len);
   }
+  return IoStatus::kOk;
 }
 
 Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
@@ -386,11 +416,23 @@ Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64
 
   co_await node_->cpu().Acquire();
   Charges charges;
-  PrepareInput(*pi, charges);
+  const IoStatus prep = PrepareInput(*pi, charges);
   for (const auto& [op, bytes] : charges.items) {
     co_await Charge(op, bytes);
   }
   node_->cpu().Release();
+
+  if (prep != IoStatus::kOk) {
+    // The input was never posted; prepare unwound everything it did. The
+    // failure is reported to the caller instead of aborting the kernel.
+    ++stats_.failed_inputs;
+    ++stats_.recovered_transfers;
+    pi->result.ok = false;
+    pi->result.status = prep;
+    pi->result.completed_at = node_->engine().now();
+    FinishOperation();
+    co_return pi->result;
+  }
 
   switch (pi->mode) {
     case InputBuffering::kEarlyDemux: {
@@ -414,7 +456,7 @@ Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64
   co_return pi->result;
 }
 
-void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
+IoStatus Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
   AddressSpace& app = *pi.app;
   PhysicalMemory& pm = app.vm().pm();
   const std::uint32_t psz = pm.page_size();
@@ -425,8 +467,10 @@ void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
       // Ready-time system buffer (charged here: preposted input overlaps
       // ready-time work with the sender and the network).
       if (pi.mode != InputBuffering::kPooled) {
-        node_->EnsureFreeFrames(CeilPages(len, psz));
-        pi.sysbuf = AllocateSysBuffer(pm, 0, len);
+        if (!node_->TryEnsureFreeFrames(CeilPages(len, psz)) ||
+            !TryAllocateSysBuffer(pm, 0, len, &pi.sysbuf)) {
+          return IoStatus::kNoMemory;
+        }
         pi.has_sysbuf = true;
         pi.target = pi.sysbuf.iov;
         ch.Add(OpKind::kOverlayAllocate, 0);
@@ -440,8 +484,11 @@ void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
       if (pi.mode == InputBuffering::kEarlyDemux) {
         const std::uint32_t offset =
             options_.enable_input_alignment ? static_cast<std::uint32_t>(pi.va % psz) : 0;
-        node_->EnsureFreeFrames(CeilPages(static_cast<std::uint64_t>(offset) + len, psz));
-        pi.sysbuf = AllocateSysBuffer(pm, offset, len);
+        if (!node_->TryEnsureFreeFrames(
+                CeilPages(static_cast<std::uint64_t>(offset) + len, psz)) ||
+            !TryAllocateSysBuffer(pm, offset, len, &pi.sysbuf)) {
+          return IoStatus::kNoMemory;
+        }
         pi.has_sysbuf = true;
         pi.target = pi.sysbuf.iov;
         ch.Add(OpKind::kOverlayAllocate, 0);
@@ -452,7 +499,9 @@ void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
     case Semantics::kEmulatedShare: {
       // In-place input: reference (and for share, wire) application pages.
       const AccessResult res = ReferenceRange(app, pi.va, len, IoDirection::kInput, &pi.ref);
-      GENIE_CHECK(res == AccessResult::kOk) << "bad input buffer";
+      if (res != AccessResult::kOk) {
+        return IoStatus::kIoError;
+      }
       ch.Add(OpKind::kReference, len);
       if (pi.sem == Semantics::kShare ||
           (!options_.enable_input_disabled_pageout && pi.sem == Semantics::kEmulatedShare)) {
@@ -465,8 +514,10 @@ void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
     case Semantics::kMove: {
       // System buffer; the region is created at dispose time.
       if (pi.mode != InputBuffering::kPooled) {
-        node_->EnsureFreeFrames(CeilPages(len, psz));
-        pi.sysbuf = AllocateSysBuffer(pm, 0, len);
+        if (!node_->TryEnsureFreeFrames(CeilPages(len, psz)) ||
+            !TryAllocateSysBuffer(pm, 0, len, &pi.sysbuf)) {
+          return IoStatus::kNoMemory;
+        }
         pi.has_sysbuf = true;
         pi.target = pi.sysbuf.iov;
         ch.Add(OpKind::kOverlayAllocate, 0);
@@ -483,10 +534,12 @@ void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
                                           : RegionState::kWeaklyMovedOut;
       const std::uint64_t rlen = CeilPages(len, psz) * psz;
       Region* region = nullptr;
+      bool from_cache = false;
       const bool may_use_cache =
           pi.sem != Semantics::kEmulatedMove || options_.enable_region_hiding;
       if (may_use_cache) {
         region = app.DequeueCachedRegion(rlen, cache_state);
+        from_cache = region != nullptr;
       }
       if (region != nullptr) {
         ++stats_.region_cache_hits;
@@ -503,7 +556,21 @@ void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
       pi.va = region->start;
       const AccessResult res =
           ReferenceRange(app, region->start, len, IoDirection::kInput, &pi.ref);
-      GENIE_CHECK(res == AccessResult::kOk);
+      if (res != AccessResult::kOk) {
+        // Unwind the prepared region: back to its cache if it came from one
+        // (any pages it already holds stay with its object for reuse),
+        // otherwise remove the fresh region entirely.
+        if (from_cache) {
+          region->state = cache_state;
+          app.EnqueueCachedRegion(region->start);
+        } else {
+          app.RemoveRegion(region->start);
+        }
+        pi.region_start = 0;
+        pi.region_object.reset();
+        pi.va = 0;
+        return IoStatus::kIoError;
+      }
       ch.Add(OpKind::kReference, len);
       if (pi.sem == Semantics::kWeakMove || !options_.enable_input_disabled_pageout) {
         WireRefFrames(pi);
@@ -513,6 +580,7 @@ void Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
       break;
     }
   }
+  return IoStatus::kOk;
 }
 
 void Endpoint::WireRefFrames(PendingInput& pi) {
@@ -555,6 +623,7 @@ void Endpoint::DisposeInputTable3(PendingInput& pi, std::uint64_t n, Charges& ch
   AddressSpace& app = *pi.app;
   PhysicalMemory& pm = app.vm().pm();
   InputResult& result = pi.result;
+  bool ok = true;
 
   switch (pi.sem) {
     case Semantics::kCopy: {
@@ -563,16 +632,18 @@ void Endpoint::DisposeInputTable3(PendingInput& pi, std::uint64_t n, Charges& ch
       ch.Add(OpKind::kCopyout, n);
       FreeSysBuffer(pm, pi.sysbuf);
       result.addr = pi.va;
+      ok = plan.ok;
       break;
     }
     case Semantics::kEmulatedCopy: {
       if (pi.sysbuf.page_offset == pi.va % pm.page_size()) {
         const DisposePlan plan = DisposeAligned(pi, pi.va, n, pi.sysbuf, /*to_pool=*/false, ch);
-        (void)plan;
+        ok = plan.ok;
       } else {
         const DisposePlan plan = DisposeCopyOutIntoApp(app, pi.va, n, pi.sysbuf.iov);
         stats_.bytes_copied += plan.copied_bytes;
         ch.Add(OpKind::kCopyout, n);
+        ok = plan.ok;
       }
       FreeSysBuffer(pm, pi.sysbuf);
       result.addr = pi.va;
@@ -655,8 +726,13 @@ void Endpoint::DisposeInputTable3(PendingInput& pi, std::uint64_t n, Charges& ch
     UnwireFrames(pi);
     ch.Add(OpKind::kUnwire, n);
   }
-  result.ok = true;
+  result.ok = ok;
   result.bytes = n;
+  if (!ok) {
+    result.status = IoStatus::kIoError;
+    ++stats_.failed_inputs;
+    ++stats_.recovered_transfers;
+  }
 }
 
 void Endpoint::UnwireFrames(PendingInput& pi) {
@@ -677,6 +753,7 @@ void Endpoint::DisposeInputTable4(PendingInput& pi, PooledFrame& frame, std::uin
   BufferPool& pool = *node_->adapter().pool();
   const std::uint32_t psz = pm.page_size();
   InputResult& result = pi.result;
+  bool ok = true;
 
   // Wrap the overlay pages as an offset-0 source buffer.
   SysBuffer overlay;
@@ -709,6 +786,7 @@ void Endpoint::DisposeInputTable4(PendingInput& pi, PooledFrame& frame, std::uin
       release_overlay_to_pool();
       ch.Add(OpKind::kOverlayDeallocate, n);
       result.addr = pi.va;
+      ok = plan.ok;
       break;
     }
     case Semantics::kEmulatedCopy:
@@ -716,11 +794,12 @@ void Endpoint::DisposeInputTable4(PendingInput& pi, PooledFrame& frame, std::uin
     case Semantics::kEmulatedShare: {
       const bool aligned = pi.va % psz == 0;
       if (aligned) {
-        DisposeAligned(pi, pi.va, n, overlay, /*to_pool=*/true, ch);
+        ok = DisposeAligned(pi, pi.va, n, overlay, /*to_pool=*/true, ch).ok;
       } else {
         const DisposePlan plan = DisposeCopyOutIntoApp(app, pi.va, n, overlay.iov);
         stats_.bytes_copied += plan.copied_bytes;
         ch.Add(OpKind::kCopyout, n);
+        ok = plan.ok;
       }
       release_overlay_to_pool();
       ch.Add(OpKind::kOverlayDeallocate, n);
@@ -778,7 +857,7 @@ void Endpoint::DisposeInputTable4(PendingInput& pi, PooledFrame& frame, std::uin
       ch.Add(OpKind::kUnreference, n);
       // Swap overlay pages into the region; displaced region pages refill
       // the pool.
-      DisposeAligned(pi, region->start, n, overlay, /*to_pool=*/true, ch);
+      ok = DisposeAligned(pi, region->start, n, overlay, /*to_pool=*/true, ch).ok;
       release_overlay_to_pool();
       MapRegionPages(app, *region);
       region->state = RegionState::kMovedIn;
@@ -788,17 +867,46 @@ void Endpoint::DisposeInputTable4(PendingInput& pi, PooledFrame& frame, std::uin
       break;
     }
   }
-  result.ok = true;
+  if (!pi.deferred_retire.empty()) {
+    // Displaced frames that still carried I/O references or wiring at swap
+    // time (the share-family input reference is dropped only after the
+    // swap). Those are released now, so the frames can go back to physical
+    // memory — deferred if a straggler (e.g. a delayed output completion)
+    // still references them — and the pool is replenished in their stead.
+    for (const FrameId f : pi.deferred_retire) {
+      pm.Free(f);
+    }
+    pool.Refill(pi.deferred_retire.size());
+    pi.deferred_retire.clear();
+  }
+  result.ok = ok;
   result.bytes = n;
+  if (!ok) {
+    result.status = IoStatus::kIoError;
+    ++stats_.failed_inputs;
+    ++stats_.recovered_transfers;
+  }
 }
 
 DisposePlan Endpoint::DisposeAligned(PendingInput& pi, Vaddr va, std::uint64_t n,
                                      SysBuffer& src, bool to_pool, Charges& ch) {
   AddressSpace& app = *pi.app;
+  PhysicalMemory& pm = app.vm().pm();
   std::function<void(FrameId)> retire;
   if (to_pool) {
     BufferPool* pool = node_->adapter().pool();
-    retire = [pool](FrameId f) { pool->Free(f); };
+    retire = [&pi, &pm, pool](FrameId f) {
+      // A displaced frame may still carry I/O references or wiring (a share
+      // input's own reference is dropped only after the swap; a concurrent
+      // delayed output may still source from it). Handing such a frame to
+      // the device pool would let a new arrival DMA into memory another
+      // party still reads — defer its retirement instead.
+      if (pm.HasIoRefs(f) || pm.info(f).wire_count > 0) {
+        pi.deferred_retire.push_back(f);
+      } else {
+        pool->Free(f);
+      }
+    };
   }
   const DisposePlan plan =
       DisposeAlignedIntoApp(app, va, n, src, options_.reverse_copyout_threshold, retire);
@@ -847,6 +955,9 @@ void Endpoint::CleanupFailedInput(PendingInput& pi, Charges& ch) {
     }
   }
   pi.result.ok = false;
+  pi.result.status = IoStatus::kIoError;
+  ++stats_.failed_inputs;
+  ++stats_.recovered_transfers;
 }
 
 Endpoint::ChecksumVerdict Endpoint::VerifyChecksum(PendingInput& pi, const IoVec& data,
@@ -1015,7 +1126,20 @@ Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, Outboa
     // buffer. No aligned buffer, no swap: close to emulated share.
     const AccessResult res =
         ReferenceRange(*pi->app, pi->va, n, IoDirection::kInput, &pi->ref);
-    GENIE_CHECK(res == AccessResult::kOk);
+    if (res != AccessResult::kOk) {
+      // The application buffer could not be pinned (page-in or allocation
+      // failed): fail the input; the staged data never left adapter memory.
+      adapter.FreeOutboard(frame.handle);
+      pi->result.ok = false;
+      pi->result.status = IoStatus::kIoError;
+      ++stats_.failed_inputs;
+      ++stats_.recovered_transfers;
+      pi->result.completed_at = node_->engine().now();
+      node_->cpu().Release();
+      FinishOperation();
+      pi->done.Set();
+      co_return;
+    }
     co_await Charge(OpKind::kReference, n);
     node_->cpu().Release();
     co_await Delay(node_->engine(), node_->Cost(OpKind::kBusTransfer, n));

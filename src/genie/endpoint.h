@@ -27,10 +27,19 @@
 
 namespace genie {
 
+// Why an operation failed. Application misuse (bad buffer bounds, taxonomy
+// misuse) still aborts — these cover failures the kernel recovers from.
+enum class IoStatus : std::uint8_t {
+  kOk = 0,
+  kNoMemory,   // frame allocation failed and pageout could not make room
+  kIoError,    // device error, failed page-in, or buffer yanked mid-transfer
+};
+
 struct InputResult {
   bool ok = false;         // data delivered with the semantics' guarantees
   bool crc_ok = true;      // network CRC status
   bool checksum_ok = true;  // transport checksum status (ChecksumMode != kNone)
+  IoStatus status = IoStatus::kOk;  // failure cause when !ok
   Vaddr addr = 0;        // where the data is (application buffer, or the
                          // moved-in region for system-allocated semantics)
   std::uint64_t bytes = 0;
@@ -54,6 +63,11 @@ class Endpoint {
     std::uint64_t region_cache_hits = 0;
     std::uint64_t region_cache_misses = 0;
     std::uint64_t regions_remapped_at_dispose = 0;
+    // Fault-recovery accounting: operations that hit a recoverable failure
+    // (injected or real) and were fully unwound instead of aborting.
+    std::uint64_t failed_outputs = 0;
+    std::uint64_t failed_inputs = 0;
+    std::uint64_t recovered_transfers = 0;
   };
 
   Endpoint(Node& node, std::uint64_t channel, GenieOptions options = GenieOptions{});
@@ -157,6 +171,9 @@ class Endpoint {
     Vaddr region_start = 0;
     std::shared_ptr<MemoryObject> region_object;
     IoVec target;  // DMA target (posted buffer or outboard destination)
+    // Displaced frames whose retirement to the device pool must wait until
+    // their I/O references and wiring drop (see DisposeAligned).
+    std::vector<FrameId> deferred_retire;
     InputResult result;
     SimEvent done;
   };
@@ -178,9 +195,11 @@ class Endpoint {
 
   // Functional halves (bookkeeping + data movement), recording the costs to
   // charge; the coroutines charge them while holding the CPU.
-  void PrepareOutput(OutputState& st, Charges& ch);
+  // Prepare may fail recoverably (allocation exhaustion, injected faults);
+  // on failure everything it did is unwound and the operation is not started.
+  IoStatus PrepareOutput(OutputState& st, Charges& ch);
   void DisposeOutput(OutputState& st, Charges& ch);
-  void PrepareInput(PendingInput& pi, Charges& ch);
+  IoStatus PrepareInput(PendingInput& pi, Charges& ch);
   // Table 3 dispose (early demultiplexed and outboard DMA targets).
   void DisposeInputTable3(PendingInput& pi, std::uint64_t n, Charges& ch);
   // Table 4 dispose (pooled overlay buffers).

@@ -63,10 +63,30 @@ class Node {
   // daemon under memory pressure (as a real kernel does before allocating
   // system buffers). Aborts only if eviction cannot make room.
   void EnsureFreeFrames(std::size_t frames) {
+    GENIE_CHECK(TryEnsureFreeFrames(frames)) << "out of memory and nothing evictable";
+  }
+
+  // Recoverable variant for the data path: returns false when eviction
+  // cannot make room (genuine exhaustion, or every eligible pageout write
+  // failing under fault injection), letting the caller fail the operation
+  // instead of the kernel aborting.
+  bool TryEnsureFreeFrames(std::size_t frames) {
     if (vm_.pm().free_frames() < frames) {
       pageout_.EvictUntilFree(frames);
     }
-    GENIE_CHECK_GE(vm_.pm().free_frames(), frames) << "out of memory and nothing evictable";
+    return vm_.pm().free_frames() >= frames;
+  }
+
+  // Attaches `plan` (nullptr detaches) to every injection point this node
+  // owns — frame allocation, backing-store I/O, and the adapter's transmit
+  // path — and gives the plan this node's sim clock for time-window rules.
+  void AttachFaultPlan(FaultPlan* plan) {
+    vm_.pm().set_fault_plan(plan);
+    vm_.backing().set_fault_plan(plan);
+    adapter_.set_fault_plan(plan);
+    if (plan != nullptr) {
+      plan->set_clock([this] { return engine_->now(); });
+    }
   }
 
   // Optional execution tracing (chrome://tracing export); nullptr disables.

@@ -55,6 +55,58 @@ SysBuffer AllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::
   return buf;
 }
 
+bool TryAllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::uint64_t len,
+                          SysBuffer* out) {
+  const std::uint32_t psz = pm.page_size();
+  GENIE_CHECK_LT(page_offset, psz);
+  GENIE_CHECK_GT(len, 0u);
+  SysBuffer buf;
+  buf.length = len;
+  buf.page_offset = page_offset;
+  const std::uint64_t pages = (page_offset + len + psz - 1) / psz;
+  if (page_offset + len <= std::numeric_limits<std::uint32_t>::max()) {
+    const FrameId first = pm.TryAllocateRun(static_cast<std::size_t>(pages));
+    if (first != kInvalidFrame) {
+      for (std::uint64_t i = 0; i < pages; ++i) {
+        buf.frames.push_back(first + static_cast<FrameId>(i));
+      }
+      buf.iov.segments.push_back(
+          IoSegment{first, page_offset, static_cast<std::uint32_t>(len)});
+      *out = std::move(buf);
+      return true;
+    }
+  }
+  // Fragmented fallback, frame-at-a-time; each allocation may fail (for real
+  // or by injection), in which case the partial buffer is released.
+  std::uint64_t remaining = len;
+  std::uint32_t off = page_offset;
+  while (remaining > 0) {
+    const FrameId f = pm.TryAllocate();
+    if (f == kInvalidFrame) {
+      FreeSysBuffer(pm, buf);
+      return false;
+    }
+    buf.frames.push_back(f);
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(psz - off, remaining));
+    if (!buf.iov.segments.empty()) {
+      IoSegment& last = buf.iov.segments.back();
+      if (static_cast<std::uint64_t>(last.frame) * psz + last.offset + last.length ==
+          static_cast<std::uint64_t>(f) * psz + off) {
+        last.length += chunk;
+        remaining -= chunk;
+        off = 0;
+        continue;
+      }
+    }
+    buf.iov.segments.push_back(IoSegment{f, off, chunk});
+    remaining -= chunk;
+    off = 0;
+  }
+  *out = std::move(buf);
+  return true;
+}
+
 void FreeSysBuffer(PhysicalMemory& pm, SysBuffer& buf) {
   for (FrameId& f : buf.frames) {
     if (f != kInvalidFrame) {
@@ -71,14 +123,20 @@ DisposePlan DisposeAlignedIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len
   const std::uint32_t psz = pm.page_size();
   GENIE_CHECK_EQ(va % psz, src.page_offset) << "system buffer not aligned to application buffer";
   GENIE_CHECK_LE(len, src.length);
+  DisposePlan plan;
   Region* region = app.FindRegion(va);
-  GENIE_CHECK(region != nullptr && va + len <= region->end());
+  if (region == nullptr || va + len > region->end()) {
+    // The application buffer vanished while the transfer was in flight (the
+    // region was removed under the pending I/O). Nothing has been disposed;
+    // the caller still owns every source frame and fails the input.
+    plan.ok = false;
+    return plan;
+  }
   MemoryObject& obj = *region->object;
   if (!retire_old) {
     retire_old = [&pm](FrameId f) { pm.Free(f); };
   }
 
-  DisposePlan plan;
   std::uint64_t pos = 0;
   std::size_t i = 0;
   while (pos < len) {
@@ -114,7 +172,13 @@ DisposePlan DisposeAlignedIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len
     } else if (filled <= reverse_copyout_threshold) {
       // Short partial page: plain copyout into the application page.
       const FrameId aframe = app.ResolvePageForIo(addr, /*for_write=*/true);
-      GENIE_CHECK(aframe != kInvalidFrame);
+      if (aframe == kInvalidFrame) {
+        // The application page could not be materialized (injected allocation
+        // or backing-read failure). Stop; remaining source frames stay with
+        // the caller.
+        plan.ok = false;
+        return plan;
+      }
       std::memcpy(pm.Data(aframe).data() + off, pm.Data(sframe).data() + off,
                   static_cast<std::size_t>(filled));
       plan.copied_bytes += filled;
@@ -122,7 +186,10 @@ DisposePlan DisposeAlignedIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len
       // Reverse copyout (Figure 2, items 3-4): complete the system page with
       // the application page's bytes outside the buffer, then swap.
       const FrameId aframe = app.ResolvePageForIo(addr, /*for_write=*/false);
-      GENIE_CHECK(aframe != kInvalidFrame);
+      if (aframe == kInvalidFrame) {
+        plan.ok = false;
+        return plan;
+      }
       auto sdata = pm.Data(sframe);
       auto adata = pm.Data(aframe);
       std::memcpy(sdata.data(), adata.data(), off);
@@ -155,7 +222,14 @@ DisposePlan DisposeCopyOutIntoApp(AddressSpace& app, Vaddr va, std::uint64_t len
     }
     const std::uint64_t chunk = std::min<std::uint64_t>(seg.length, len - done);
     const AccessResult res = app.Write(va + done, pm.DataRun(seg.frame, seg.offset, chunk));
-    GENIE_CHECK(res == AccessResult::kOk) << "copyout into bad application buffer";
+    if (res != AccessResult::kOk) {
+      // The application buffer was yanked (or a page-in failed) while the
+      // data was in flight. The bytes already copied out stay; the caller
+      // fails the input instead of the kernel aborting.
+      plan.ok = false;
+      plan.copied_bytes = done;
+      return plan;
+    }
     done += chunk;
   }
   GENIE_CHECK_EQ(done, len);

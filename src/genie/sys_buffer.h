@@ -30,6 +30,12 @@ struct SysBuffer {
 // `page_offset` within its first frame (0 = conventional unaligned buffer).
 SysBuffer AllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::uint64_t len);
 
+// As AllocateSysBuffer, but recoverable: on allocation failure (exhaustion or
+// an injected FaultSite::kFrameAllocate/kFrameAllocateRun) any partially
+// allocated frames are freed and false is returned with `*out` empty.
+bool TryAllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::uint64_t len,
+                          SysBuffer* out);
+
 // Frees the frames still held by `buf` (those not consumed by page swaps).
 void FreeSysBuffer(PhysicalMemory& pm, SysBuffer& buf);
 
@@ -42,6 +48,12 @@ struct DisposePlan {
   // Swaps into previously untouched buffer pages, which displace no old
   // frame (an overlay pool must replenish itself by this many pages).
   std::uint64_t swaps_without_displaced = 0;
+  // False if the dispose stopped early because the application buffer became
+  // unusable mid-transfer (region removed, or a page could not be materialized
+  // under an injected allocation/backing failure). The byte counts above
+  // reflect what was actually moved; unconsumed source frames remain owned by
+  // `src` for the caller to free.
+  bool ok = true;
 };
 
 // Disposes `len` bytes of input data from aligned source pages into the

@@ -12,6 +12,16 @@ void BackingStore::Save(ObjectId object, std::uint64_t page, std::span<const std
   ++total_pageouts_;
 }
 
+bool BackingStore::TrySave(ObjectId object, std::uint64_t page,
+                           std::span<const std::byte> data) {
+  if (fault_plan_ != nullptr && fault_plan_->ShouldFail(FaultSite::kBackingWrite)) {
+    ++failed_saves_;
+    return false;
+  }
+  Save(object, page, data);
+  return true;
+}
+
 bool BackingStore::Contains(ObjectId object, std::uint64_t page) const {
   return store_.contains({object, page});
 }
@@ -23,6 +33,16 @@ void BackingStore::Restore(ObjectId object, std::uint64_t page, std::span<std::b
   std::memcpy(out.data(), it->second.data(), out.size());
   store_.erase(it);
   ++total_pageins_;
+}
+
+bool BackingStore::TryRestore(ObjectId object, std::uint64_t page, std::span<std::byte> out) {
+  GENIE_CHECK(Contains(object, page)) << "page-in of page not in backing store";
+  if (fault_plan_ != nullptr && fault_plan_->ShouldFail(FaultSite::kBackingRead)) {
+    ++failed_restores_;
+    return false;
+  }
+  Restore(object, page, out);
+  return true;
 }
 
 void BackingStore::Erase(ObjectId object, std::uint64_t page) { store_.erase({object, page}); }

@@ -10,14 +10,20 @@
 #include <utility>
 #include <vector>
 
+#include "src/mem/fault_plan.h"
 #include "src/mem/phys_memory.h"
 
 namespace genie {
 
 class BackingStore {
  public:
-  // Saves a copy of `data` for (object, page).
+  // Saves a copy of `data` for (object, page). Aborts-free; use TrySave when
+  // the caller can recover from a simulated device write error.
   void Save(ObjectId object, std::uint64_t page, std::span<const std::byte> data);
+
+  // Save with fault injection (FaultSite::kBackingWrite): returns false — and
+  // stores nothing — on an injected swap-device write error.
+  bool TrySave(ObjectId object, std::uint64_t page, std::span<const std::byte> data);
 
   // True if (object, page) has saved contents.
   bool Contains(ObjectId object, std::uint64_t page) const;
@@ -25,18 +31,32 @@ class BackingStore {
   // Copies saved contents into `out` and erases the slot. Aborts if absent.
   void Restore(ObjectId object, std::uint64_t page, std::span<std::byte> out);
 
+  // Restore with fault injection (FaultSite::kBackingRead): returns false —
+  // leaving the slot and `out` untouched — on an injected read error. Still
+  // aborts if the page was never saved (that is a kernel bug, not a device
+  // condition).
+  bool TryRestore(ObjectId object, std::uint64_t page, std::span<std::byte> out);
+
   // Drops a saved page if present (object destruction).
   void Erase(ObjectId object, std::uint64_t page);
+
+  // Fault plan consulted by TrySave/TryRestore; nullptr detaches. Not owned.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
 
   std::size_t stored_pages() const { return store_.size(); }
   std::uint64_t total_pageouts() const { return total_pageouts_; }
   std::uint64_t total_pageins() const { return total_pageins_; }
+  std::uint64_t failed_saves() const { return failed_saves_; }
+  std::uint64_t failed_restores() const { return failed_restores_; }
 
  private:
   using Key = std::pair<ObjectId, std::uint64_t>;
   std::map<Key, std::vector<std::byte>> store_;
+  FaultPlan* fault_plan_ = nullptr;
   std::uint64_t total_pageouts_ = 0;
   std::uint64_t total_pageins_ = 0;
+  std::uint64_t failed_saves_ = 0;
+  std::uint64_t failed_restores_ = 0;
 };
 
 }  // namespace genie

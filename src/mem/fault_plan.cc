@@ -1,0 +1,91 @@
+#include "src/mem/fault_plan.h"
+
+#include "src/util/check.h"
+
+namespace genie {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFrameAllocate:
+      return "frame_allocate";
+    case FaultSite::kFrameAllocateRun:
+      return "frame_allocate_run";
+    case FaultSite::kBackingWrite:
+      return "backing_write";
+    case FaultSite::kBackingRead:
+      return "backing_read";
+    case FaultSite::kDeviceError:
+      return "device_error";
+    case FaultSite::kDeviceShortTransfer:
+      return "device_short_transfer";
+    case FaultSite::kDeviceDelay:
+      return "device_delay";
+    case FaultSite::kPageoutPressure:
+      return "pageout_pressure";
+  }
+  return "unknown";
+}
+
+void FaultPlan::AddRule(const FaultRule& rule) {
+  GENIE_CHECK(rule.nth > 0 || rule.probability > 0.0)
+      << "fault rule addresses nothing: set nth or probability";
+  GENIE_CHECK_LT(rule.window_begin, rule.window_end) << "empty fault window";
+  rules_.push_back(rule);
+  rule_fires_.push_back(0);
+}
+
+void FaultPlan::Clear() {
+  rules_.clear();
+  rule_fires_.clear();
+  // Op/injection counters and the RNG stream deliberately survive Clear():
+  // a harness that swaps rule sets mid-run keeps one coherent history.
+}
+
+bool FaultPlan::ShouldFail(FaultSite site, std::uint64_t* arg) {
+  const std::uint64_t op = ++ops_[Index(site)];
+  bool fired = false;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.site != site) {
+      continue;
+    }
+    const bool spent = rule_fires_[i] >= rule.max_fires;
+    const bool in_window = !clock_ || [&] {
+      const SimTime now = clock_();
+      return now >= rule.window_begin && now < rule.window_end;
+    }();
+    bool hit;
+    if (rule.nth > 0) {
+      hit = op == rule.nth;
+    } else {
+      // A probability rule consumes exactly one RNG draw per in-window,
+      // unspent consult — never more, never fewer — so the stream position
+      // is a pure function of the deterministic op sequence.
+      if (spent || !in_window) {
+        continue;
+      }
+      hit = rng_.Chance(rule.probability);
+    }
+    if (!hit || spent || !in_window || fired) {
+      continue;
+    }
+    ++rule_fires_[i];
+    ++injected_[Index(site)];
+    if (arg != nullptr) {
+      *arg = rule.arg;
+    }
+    fired = true;
+    // Keep scanning: later probability rules must still consume their draw.
+  }
+  return fired;
+}
+
+std::uint64_t FaultPlan::total_injected() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : injected_) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace genie

@@ -1,0 +1,105 @@
+// Deterministic fault injection for the VM and device layers.
+//
+// A FaultPlan is a seeded set of rules consulted at fixed injection points
+// ("sites"): frame allocation, contiguous-run allocation, backing-store reads
+// and writes, device transmit (CRC error, short transfer, delayed
+// completion), and pageout pressure ticks. Each rule addresses its site by
+// schedule ("fail the Nth matching op"), by probability, or by a sim-time
+// window — and any combination: a probability rule with a window fires
+// randomly but only inside the window.
+//
+// Everything is deterministic in (seed, rule set, call sequence, sim clock):
+// the sim engine is single-threaded and bit-for-bit reproducible, so the
+// same seed replays the same faults at the same ops. That is what makes a
+// failing stress seed a complete bug report.
+//
+// The plan lives in src/mem (lowest layer that needs it) and takes the sim
+// clock as an injected callback so genie_mem does not grow a dependency on
+// genie_sim. With no plan attached, every hook is a single null-pointer test
+// on the hot path.
+#ifndef GENIE_SRC_MEM_FAULT_PLAN_H_
+#define GENIE_SRC_MEM_FAULT_PLAN_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace genie {
+
+enum class FaultSite : std::uint8_t {
+  kFrameAllocate,       // PhysicalMemory::TryAllocate -> allocation exhaustion
+  kFrameAllocateRun,    // PhysicalMemory::TryAllocateRun -> fragmentation
+  kBackingWrite,        // BackingStore::TrySave -> pageout write error
+  kBackingRead,         // BackingStore::TryRestore -> page-in read error
+  kDeviceError,         // Adapter transmit -> frame delivered with bad CRC
+  kDeviceShortTransfer, // Adapter transmit -> truncated frame (arg = bytes kept)
+  kDeviceDelay,         // Adapter transmit -> completion delayed (arg = extra ns)
+  kPageoutPressure,     // Pressure tick -> force evictions (arg = frames)
+};
+
+inline constexpr std::size_t kNumFaultSites = 8;
+
+const char* FaultSiteName(FaultSite site);
+
+struct FaultRule {
+  FaultSite site = FaultSite::kFrameAllocate;
+  // Fire on the Nth matching op at this site (1-based, counted across the
+  // whole plan lifetime). 0 means "not schedule-addressed": use probability.
+  std::uint64_t nth = 0;
+  // Per-op firing probability when nth == 0.
+  double probability = 0.0;
+  // Rule is active only while window_begin <= now < window_end (sim clock).
+  // A plan with no clock attached treats every rule as always in-window.
+  SimTime window_begin = 0;
+  SimTime window_end = std::numeric_limits<SimTime>::max();
+  // Cap on how many times this rule may fire (default: unlimited).
+  std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+  // Site-specific payload, handed back to the injection point:
+  //   kDeviceShortTransfer: bytes to keep (clamped to [1, frame length))
+  //   kDeviceDelay:         extra completion delay in sim ns
+  //   kPageoutPressure:     frames to force-evict per firing tick
+  std::uint64_t arg = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : rng_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Sim clock used to evaluate rule windows; optional.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  void AddRule(const FaultRule& rule);
+  void Clear();
+
+  // Consulted by an injection point. Advances the per-site op counter,
+  // evaluates rules in insertion order, and returns true if one fires (the
+  // first firing rule wins; its `arg` is stored through *arg if non-null).
+  bool ShouldFail(FaultSite site, std::uint64_t* arg = nullptr);
+
+  // --- Counters (stats tables, tests) ---
+  std::uint64_t site_ops(FaultSite site) const { return ops_[Index(site)]; }
+  std::uint64_t injected(FaultSite site) const { return injected_[Index(site)]; }
+  std::uint64_t total_injected() const;
+
+ private:
+  static std::size_t Index(FaultSite site) { return static_cast<std::size_t>(site); }
+
+  SplitMix64 rng_;
+  std::uint64_t seed_;
+  std::function<SimTime()> clock_;
+  std::vector<FaultRule> rules_;
+  std::vector<std::uint64_t> rule_fires_;
+  std::array<std::uint64_t, kNumFaultSites> ops_{};
+  std::array<std::uint64_t, kNumFaultSites> injected_{};
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_MEM_FAULT_PLAN_H_

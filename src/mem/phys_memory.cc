@@ -39,12 +39,13 @@ void PhysicalMemory::TakeFromRun(std::map<FrameId, FrameId>::iterator run, Frame
 }
 
 FrameId PhysicalMemory::Allocate() {
-  const FrameId frame = TryAllocate();
+  // No fault-plan consult: Allocate is the no-recovery path (see header).
+  const FrameId frame = AllocateLowest();
   GENIE_CHECK(frame != kInvalidFrame) << "out of physical memory";
   return frame;
 }
 
-FrameId PhysicalMemory::TryAllocate() {
+FrameId PhysicalMemory::AllocateLowest() {
   if (free_runs_.empty()) {
     return kInvalidFrame;
   }
@@ -54,8 +55,18 @@ FrameId PhysicalMemory::TryAllocate() {
   return frame;
 }
 
+FrameId PhysicalMemory::TryAllocate() {
+  if (fault_plan_ != nullptr && fault_plan_->ShouldFail(FaultSite::kFrameAllocate)) {
+    return kInvalidFrame;  // Injected allocation exhaustion.
+  }
+  return AllocateLowest();
+}
+
 FrameId PhysicalMemory::TryAllocateRun(std::size_t count) {
   GENIE_CHECK_GT(count, 0u);
+  if (fault_plan_ != nullptr && fault_plan_->ShouldFail(FaultSite::kFrameAllocateRun)) {
+    return kInvalidFrame;  // Injected fragmentation: no run long enough.
+  }
   for (auto run = free_runs_.begin(); run != free_runs_.end(); ++run) {
     if (run->second >= count) {
       const FrameId first = run->first;

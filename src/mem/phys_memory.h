@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "src/mem/fault_plan.h"
 #include "src/util/check.h"
 
 namespace genie {
@@ -64,6 +65,12 @@ class PhysicalMemory {
   // the caller can recover (e.g. by triggering pageout). Allocation is
   // lowest-address-first, which keeps frame ids deterministic and favors
   // contiguous runs.
+  //
+  // Allocate() is reserved for infrastructure that has no recovery path
+  // (arena setup, device pools): it never consults the fault plan, so a
+  // fault-injected run cannot turn a setup allocation into an abort. All
+  // recoverable paths use TryAllocate/TryAllocateRun, which are injection
+  // points (FaultSite::kFrameAllocate / kFrameAllocateRun).
   FrameId Allocate();
   FrameId TryAllocate();  // kInvalidFrame if none free.
   FrameId AllocateZeroed();
@@ -111,6 +118,12 @@ class PhysicalMemory {
     return info_[frame];
   }
 
+  // --- Fault injection (tests, stress harness) ---
+  // Attaches a fault plan consulted by TryAllocate/TryAllocateRun. Pass
+  // nullptr to detach. Not owned; must outlive this object or be detached.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
   // --- Statistics (tests, diagnostics) ---
   std::uint64_t total_allocations() const { return total_allocations_; }
   std::uint64_t deferred_frees() const { return deferred_frees_; }
@@ -118,12 +131,17 @@ class PhysicalMemory {
   std::size_t allocated_frames() const { return num_frames() - free_frames() - zombie_count_; }
   std::size_t zombie_frames() const { return zombie_count_; }
   std::size_t free_runs() const { return free_runs_.size(); }  // fragmentation gauge
+  // The raw free-run map (start frame -> length), for invariant checking:
+  // runs must be sorted, non-overlapping, maximal, and sum to free_frames().
+  const std::map<FrameId, FrameId>& free_run_map() const { return free_runs_; }
 
  private:
   void CheckValid(FrameId frame) const {
     GENIE_CHECK_LT(frame, info_.size()) << "bad frame id";
   }
   void MaybeReclaim(FrameId frame);
+  // Takes the lowest free frame, bypassing fault injection.
+  FrameId AllocateLowest();
   // Marks [first, first+count) allocated, removing it from its free run.
   void TakeFromRun(std::map<FrameId, FrameId>::iterator run, FrameId first, FrameId count);
   // Returns `frame` to the free runs, merging with adjacent runs.
@@ -135,6 +153,7 @@ class PhysicalMemory {
   // Maximal free runs: start frame -> run length (frames). Ordered so
   // allocation is lowest-first and merges are O(log runs).
   std::map<FrameId, FrameId> free_runs_;
+  FaultPlan* fault_plan_ = nullptr;
   std::size_t free_count_ = 0;
   std::size_t zombie_count_ = 0;
   std::uint64_t total_allocations_ = 0;

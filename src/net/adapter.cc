@@ -51,13 +51,27 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
   // Hold the virtual circuit for the whole frame (AAL5 frames on one VC are
   // not interleaved).
   co_await tx_link_->Acquire();
+  // Injected short transfer: the device stops after `arg` bytes (at least
+  // one; default half the frame), as when cell loss truncates an AAL5 frame.
+  // The CRC still passes — the transport checksum in `header`, when enabled,
+  // is what notices — so the receive path sees a well-formed shorter frame.
+  std::uint64_t wire_bytes = total;
+  if (fault_plan_ != nullptr) {
+    std::uint64_t keep = 0;
+    if (fault_plan_->ShouldFail(FaultSite::kDeviceShortTransfer, &keep)) {
+      if (keep == 0) {
+        keep = total / 2;
+      }
+      wire_bytes = std::max<std::uint64_t>(1, std::min(keep, total));
+    }
+  }
   const SimTime wire_start = engine_.now();
   peer_->BeginRxFrame(channel, header, tag);
   std::vector<std::byte> chunk(config_.chunk_bytes);
   std::uint64_t sent = 0;
-  while (sent < total) {
+  while (sent < wire_bytes) {
     const std::size_t n =
-        static_cast<std::size_t>(std::min<std::uint64_t>(config_.chunk_bytes, total - sent));
+        static_cast<std::size_t>(std::min<std::uint64_t>(config_.chunk_bytes, wire_bytes - sent));
     // Snapshot the bytes from the frames *now*: this is the instant the DMA
     // engine reads them. Earlier or later application stores are or are not
     // visible exactly as on real cut-through hardware (page granularity).
@@ -68,7 +82,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
           .Detach();
     }
     co_await Delay(engine_, MicrosToSimTime(static_cast<double>(n) * link_us_per_byte_));
-    const bool is_last = sent + n == total;
+    const bool is_last = sent + n == wire_bytes;
     peer_->DeliverChunk(std::span<const std::byte>(chunk.data(), n), is_last);
     sent += n;
   }
@@ -76,6 +90,21 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
   if (peer_->inject_crc_error_) {
     peer_->inject_crc_error_ = false;
     crc_ok = false;
+  }
+  if (fault_plan_ != nullptr) {
+    // Injected device error: the frame arrived but its AAL5 CRC failed.
+    if (fault_plan_->ShouldFail(FaultSite::kDeviceError)) {
+      crc_ok = false;
+    }
+    // Injected delayed completion: the receive interrupt is held off while
+    // the VC stays busy — widens the window in which the sender's pages keep
+    // their I/O references, TCOW protection, and hidden regions, so races
+    // against pageout and write faults become reachable.
+    std::uint64_t delay_ns = 0;
+    if (fault_plan_->ShouldFail(FaultSite::kDeviceDelay, &delay_ns)) {
+      co_await Delay(engine_, delay_ns == 0 ? 20 * kMicrosecond
+                                            : static_cast<SimTime>(delay_ns));
+    }
   }
   peer_->EndRxFrame(crc_ok);
   if (trace_ != nullptr) {

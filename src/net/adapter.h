@@ -159,6 +159,13 @@ class Adapter {
   // The next received frame reports a CRC failure.
   void InjectCrcError() { inject_crc_error_ = true; }
 
+  // Fault plan consulted by this adapter's *transmit* path for
+  // kDeviceError (frame delivered with bad CRC), kDeviceShortTransfer
+  // (truncated frame), and kDeviceDelay (completion interrupt held off).
+  // The faults manifest at the receiving peer, as on a real wire. nullptr
+  // detaches. Not owned.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   // --- Flow control ---
   std::uint32_t tx_credits(std::uint64_t channel) const {
     auto it = tx_credits_.find(channel);
@@ -250,6 +257,7 @@ class Adapter {
   std::map<std::uint64_t, std::uint32_t> tx_credits_;
   std::map<std::uint64_t, std::deque<std::coroutine_handle<>>> credit_waiters_;
   bool inject_crc_error_ = false;
+  FaultPlan* fault_plan_ = nullptr;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;

@@ -27,6 +27,8 @@ bool Engine::Step() {
   GENIE_CHECK_GE(ev.time, now_);
   now_ = ev.time;
   ++events_executed_;
+  digest_.Mix(static_cast<std::uint64_t>(ev.time));
+  digest_.Mix(ev.seq);
   ev.fn();
   return true;
 }

@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/util/rng.h"
 #include "src/util/units.h"
 
 namespace genie {
@@ -52,6 +53,12 @@ class Engine {
   // Total number of events executed so far (for tests and diagnostics).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  // Running FNV-1a digest over every executed event's (time, seq) pair. Two
+  // runs of the same seeded simulation are bit-for-bit identical exactly when
+  // their digests match after the same number of events — the fault-stress
+  // harness uses this to prove a failing seed replays the same schedule.
+  std::uint64_t event_digest() const { return digest_.value(); }
+
  private:
   struct Event {
     SimTime time;
@@ -70,6 +77,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  Fnv1a64 digest_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

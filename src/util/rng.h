@@ -1,0 +1,64 @@
+// Small deterministic PRNG for the simulator and the fault-injection layer.
+//
+// SplitMix64 (Steele, Lea, Flood 2014): 64 bits of state, one multiply-xor
+// round per output, passes BigCrush. We need determinism and speed, not
+// cryptographic strength: the same seed must produce the same stream on every
+// platform and build so a failing stress seed can be replayed bit-for-bit.
+// <random> engines are deliberately avoided — distributions such as
+// std::uniform_int_distribution are not specified to be identical across
+// standard libraries.
+#ifndef GENIE_SRC_UTIL_RNG_H_
+#define GENIE_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace genie {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound == 0 yields 0. The modulo bias is < 2^-32
+  // for any bound that fits the simulator's use (frame counts, byte lengths),
+  // and — unlike rejection sampling — consumes exactly one draw, which keeps
+  // call sites deterministic in the number of stream advances.
+  std::uint64_t Below(std::uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool Chance(double p) { return p > 0.0 && NextDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Incremental FNV-1a over arbitrary integers; used to digest event sequences
+// so two runs can be compared bit-for-bit without storing the full trace.
+class Fnv1a64 {
+ public:
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_UTIL_RNG_H_

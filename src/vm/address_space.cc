@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <sstream>
 
 #include "src/util/check.h"
 
@@ -267,14 +268,27 @@ MemoryObject::Lookup AddressSpace::LookupOrPageIn(MemoryObject& top, std::uint64
   for (MemoryObject* obj = &top; obj != nullptr; obj = obj->shadow_of().get()) {
     const FrameId resident = obj->PageAt(index);
     if (resident != kInvalidFrame) {
-      return MemoryObject::Lookup{resident, obj, is_top};
+      return MemoryObject::Lookup{.frame = resident, .object = obj, .in_top = is_top};
     }
     if (vm_->backing().Contains(obj->id(), index)) {
-      const FrameId frame = vm_->pm().Allocate();
-      vm_->backing().Restore(obj->id(), index, vm_->pm().Data(frame));
+      // Page-in can fail two ways, neither fatal to the kernel: no frame
+      // free (even after the caller's ReclaimIfLow) or a swap-device read
+      // error. Either way nothing has been modified — the slot stays in the
+      // backing store — so report io_error and let the caller fail the
+      // access instead of zero-filling over live data.
+      const FrameId frame = vm_->pm().TryAllocate();
+      if (frame == kInvalidFrame) {
+        ++counters_.io_errors;
+        return MemoryObject::Lookup{.io_error = true};
+      }
+      if (!vm_->backing().TryRestore(obj->id(), index, vm_->pm().Data(frame))) {
+        vm_->pm().Free(frame);
+        ++counters_.io_errors;
+        return MemoryObject::Lookup{.io_error = true};
+      }
       obj->InsertPage(index, frame);
       ++counters_.pageins;
-      return MemoryObject::Lookup{frame, obj, is_top};
+      return MemoryObject::Lookup{.frame = frame, .object = obj, .in_top = is_top};
     }
     is_top = false;
   }
@@ -302,6 +316,13 @@ AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
   // needed: one page-in plus one COW/TCOW copy.
   vm_->ReclaimIfLow(2);
   const MemoryObject::Lookup found = LookupOrPageIn(top, index);
+  if (found.io_error) {
+    // Page-in failed (frame exhaustion or swap read error): the access
+    // cannot be satisfied, but kernel state is untouched — fail it like a
+    // SIGBUS rather than aborting the simulation.
+    ++counters_.unrecoverable_faults;
+    return AccessResult::kUnrecoverableFault;
+  }
   if (found.frame != kInvalidFrame) {
     if (found.in_top) {
       if (for_write) {
@@ -312,7 +333,12 @@ AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
           // writable; the original stays untouched for the device and is
           // reclaimed by deferred deallocation when the output unreferences
           // it.
-          const FrameId copy = pm.Allocate();
+          const FrameId copy = pm.TryAllocate();
+          if (copy == kInvalidFrame) {
+            ++counters_.io_errors;
+            ++counters_.unrecoverable_faults;
+            return AccessResult::kUnrecoverableFault;
+          }
           std::memcpy(pm.Data(copy).data(), pm.Data(found.frame).data(), page_size_);
           const FrameId old = top.ReplacePage(index, copy);
           pm.Free(old);  // Zombie until the output drops its reference.
@@ -332,7 +358,12 @@ AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
     } else {
       // Page found in a shadowed (backing) object: conventional COW.
       if (for_write) {
-        const FrameId copy = pm.Allocate();
+        const FrameId copy = pm.TryAllocate();
+        if (copy == kInvalidFrame) {
+          ++counters_.io_errors;
+          ++counters_.unrecoverable_faults;
+          return AccessResult::kUnrecoverableFault;
+        }
         std::memcpy(pm.Data(copy).data(), pm.Data(found.frame).data(), page_size_);
         top.InsertPage(index, copy);
         MapPage(base, copy, Prot::kReadWrite);
@@ -345,7 +376,13 @@ AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
   }
 
   // Anonymous zero-fill.
-  const FrameId frame = pm.AllocateZeroed();
+  const FrameId frame = pm.TryAllocate();
+  if (frame == kInvalidFrame) {
+    ++counters_.io_errors;
+    ++counters_.unrecoverable_faults;
+    return AccessResult::kUnrecoverableFault;
+  }
+  std::memset(pm.Data(frame).data(), 0, page_size_);
   top.InsertPage(index, frame);
   MapPage(base, frame, Prot::kReadWrite);
   ++counters_.zero_fills;
@@ -386,6 +423,9 @@ FrameId AddressSpace::ResolvePageForIo(Vaddr va, bool for_write) {
 
   vm_->ReclaimIfLow(2);  // See HandleFault: reclaim strictly before lookup.
   const MemoryObject::Lookup found = LookupOrPageIn(top, index);
+  if (found.io_error) {
+    return kInvalidFrame;  // Page-in failed; caller unwinds (counted above).
+  }
   if (found.frame != kInvalidFrame) {
     if (!for_write) {
       return found.frame;  // Device reads: any resident chain page will do.
@@ -394,7 +434,11 @@ FrameId AddressSpace::ResolvePageForIo(Vaddr va, bool for_write) {
       if (pm.info(found.frame).output_refs > 0) {
         // Device store into a page with pending output: TCOW-copy so the
         // earlier output still reads the original (strong integrity).
-        const FrameId copy = pm.Allocate();
+        const FrameId copy = pm.TryAllocate();
+        if (copy == kInvalidFrame) {
+          ++counters_.io_errors;
+          return kInvalidFrame;
+        }
         std::memcpy(pm.Data(copy).data(), pm.Data(found.frame).data(), page_size_);
         const FrameId old = top.ReplacePage(index, copy);
         pm.Free(old);  // Zombie until the pending output unreferences it.
@@ -407,7 +451,11 @@ FrameId AddressSpace::ResolvePageForIo(Vaddr va, bool for_write) {
     // Device store into a COW-shared page: copy up into the top object so
     // the DMA cannot become visible to other sharers (the write-access
     // verification of input page referencing, Section 3.3 reverse case).
-    const FrameId copy = pm.Allocate();
+    const FrameId copy = pm.TryAllocate();
+    if (copy == kInvalidFrame) {
+      ++counters_.io_errors;
+      return kInvalidFrame;
+    }
     std::memcpy(pm.Data(copy).data(), pm.Data(found.frame).data(), page_size_);
     top.InsertPage(index, copy);
     RetargetPte(base, found.frame, copy);
@@ -415,7 +463,12 @@ FrameId AddressSpace::ResolvePageForIo(Vaddr va, bool for_write) {
     return copy;
   }
 
-  const FrameId frame = pm.AllocateZeroed();
+  const FrameId frame = pm.TryAllocate();
+  if (frame == kInvalidFrame) {
+    ++counters_.io_errors;
+    return kInvalidFrame;
+  }
+  std::memset(pm.Data(frame).data(), 0, page_size_);
   top.InsertPage(index, frame);
   ++counters_.zero_fills;
   return frame;
@@ -535,7 +588,18 @@ std::deque<Vaddr>& AddressSpace::CacheFor(RegionState state) {
 void AddressSpace::EnqueueCachedRegion(Vaddr start) {
   Region* region = RegionAt(start);
   GENIE_CHECK(region != nullptr);
-  CacheFor(region->state).push_back(start);
+  std::deque<Vaddr>& cache = CacheFor(region->state);
+  // Drop entries whose region was removed or recycled since they were
+  // cached. DequeueCachedRegion prunes lazily as it scans, but an
+  // application that removes regions and never does another
+  // system-allocated input would otherwise grow the cache without bound;
+  // pruning here keeps cache size <= live regions at all times.
+  const RegionState state = region->state;
+  std::erase_if(cache, [&](Vaddr s) {
+    Region* r = RegionAt(s);
+    return r == nullptr || r->state != state;
+  });
+  cache.push_back(start);
 }
 
 Region* AddressSpace::DequeueCachedRegion(std::uint64_t length, RegionState state) {
@@ -557,6 +621,95 @@ Region* AddressSpace::DequeueCachedRegion(std::uint64_t length, RegionState stat
 
 std::size_t AddressSpace::cached_regions(RegionState state) const {
   return const_cast<AddressSpace*>(this)->CacheFor(state).size();
+}
+
+void AddressSpace::AppendInvariantViolations(std::vector<std::string>& out) const {
+  auto fail = [&](const std::string& what, Vaddr va) {
+    std::ostringstream os;
+    os << name_ << ": " << what << " at va 0x" << std::hex << va;
+    out.push_back(os.str());
+  };
+  auto region_containing = [&](Vaddr base) -> const Region* {
+    auto it = regions_.upper_bound(base);
+    if (it == regions_.begin()) {
+      return nullptr;
+    }
+    const Region& r = std::prev(it)->second;
+    return r.Contains(base) ? &r : nullptr;
+  };
+
+  // Every PTE lies inside a region, names an allocated frame, and agrees
+  // with what the region's object chain resolves to right now. Any path
+  // that moves a page (eviction, TCOW replace, system-buffer swap) must
+  // have retargeted or unmapped the PTE, or this trips.
+  for (const auto& [base, pte] : page_table_) {
+    const Region* region = region_containing(base);
+    if (region == nullptr) {
+      fail("PTE outside any region", base);
+      continue;
+    }
+    const FrameInfo& fi = vm_->pm().info(pte.frame);
+    if (!fi.allocated) {
+      fail(fi.zombie ? "PTE maps zombie frame" : "PTE maps free frame", base);
+      continue;
+    }
+    const std::uint64_t index = PageIndexInRegion(*region, base);
+    FrameId resolved = kInvalidFrame;
+    for (const MemoryObject* obj = region->object.get(); obj != nullptr;
+         obj = obj->shadow_of().get()) {
+      resolved = obj->PageAt(index);
+      if (resolved != kInvalidFrame) {
+        break;
+      }
+    }
+    if (resolved != pte.frame) {
+      fail("stale PTE: mapped frame not in object chain", base);
+    }
+  }
+
+  // Every warm TLB entry must match the page table exactly: a mismatch is a
+  // missed invalidation, i.e. a stale translation an MMU would still honor.
+  for (const TlbEntry& entry : tlb_) {
+    if (entry.base == kTlbEmpty) {
+      continue;
+    }
+    auto it = page_table_.find(entry.base);
+    if (it == page_table_.end()) {
+      fail("TLB entry for unmapped page", entry.base);
+    } else if (it->second.frame != entry.pte.frame || it->second.prot != entry.pte.prot) {
+      fail("stale TLB entry (frame or protection mismatch)", entry.base);
+    }
+  }
+
+  // Hidden-region caches: duplicates would hand the same region out twice;
+  // a live entry in the wrong-state cache would resurrect a region in a
+  // state the fault handler does not expect; and live entries can never
+  // outnumber the regions of this address space (cache boundedness).
+  const struct {
+    const std::deque<Vaddr>& cache;
+    RegionState state;
+  } caches[] = {{moved_out_cache_, RegionState::kMovedOut},
+                {weakly_moved_out_cache_, RegionState::kWeaklyMovedOut}};
+  std::map<Vaddr, int> seen;
+  for (const auto& [cache, state] : caches) {
+    std::size_t live = 0;
+    for (const Vaddr start : cache) {
+      if (++seen[start] > 1) {
+        fail("region cached twice", start);
+      }
+      auto it = regions_.find(start);
+      if (it == regions_.end()) {
+        continue;  // Stale entry; pruned lazily. Allowed.
+      }
+      ++live;
+      if (it->second.state != state) {
+        fail("cached region in wrong state for its cache", start);
+      }
+    }
+    if (live > regions_.size()) {
+      fail("region cache holds more live entries than regions exist", 0);
+    }
+  }
 }
 
 }  // namespace genie

@@ -26,6 +26,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/vm/memory_object.h"
 #include "src/vm/types.h"
@@ -58,6 +59,7 @@ class AddressSpace {
     std::uint64_t tlb_invalidations = 0;     // cached entries dropped
     std::uint64_t coalesced_runs = 0;        // multi-page contiguous copies
     std::uint64_t coalesced_pages = 0;       // pages beyond the first per run
+    std::uint64_t io_errors = 0;             // page-in/copy failures propagated
   };
 
   AddressSpace(Vm& vm, std::string name);
@@ -153,6 +155,19 @@ class AddressSpace {
   Region* DequeueCachedRegion(std::uint64_t length, RegionState state);
 
   std::size_t cached_regions(RegionState state) const;
+
+  // --- Invariant checking (used by VmInvariants::CheckAll) ---
+
+  // Appends one message per violated per-address-space invariant:
+  //   * every PTE lies inside a region, names an allocated frame, and that
+  //     frame is what the region's object chain currently resolves to
+  //     (catches stale PTEs left behind by eviction/swap/TCOW paths);
+  //   * every warm software-TLB entry matches the page table exactly
+  //     (catches missing invalidations — stale translations);
+  //   * hidden-region caches hold no duplicates, live entries match their
+  //     cache's state, and live entries never outnumber regions.
+  // Read-only: does not touch the TLB, counters, or caches.
+  void AppendInvariantViolations(std::vector<std::string>& out) const;
 
   const Counters& counters() const { return counters_; }
 

@@ -1,0 +1,150 @@
+#include "src/vm/invariants.h"
+
+#include <map>
+#include <sstream>
+
+namespace genie {
+
+namespace {
+std::uint64_t g_total_checks = 0;
+}  // namespace
+
+std::string InvariantReport::ToString() const {
+  std::ostringstream os;
+  os << violations.size() << " invariant violation(s):\n";
+  for (const std::string& v : violations) {
+    os << "  - " << v << "\n";
+  }
+  return os.str();
+}
+
+std::uint64_t VmInvariants::total_checks() { return g_total_checks; }
+
+InvariantReport VmInvariants::CheckAll(Vm& vm, std::span<AddressSpace* const> spaces,
+                                       bool expect_quiescent) {
+  InvariantReport report;
+  auto check = [&](bool ok, auto&&... parts) {
+    ++report.checks;
+    if (!ok) {
+      std::ostringstream os;
+      (os << ... << parts);
+      report.violations.push_back(os.str());
+    }
+  };
+
+  const PhysicalMemory& pm = vm.pm();
+  const std::size_t n = pm.num_frames();
+
+  // --- Free-run map structure, and which frames it covers ---
+  std::vector<bool> in_free_run(n, false);
+  {
+    FrameId prev_end = 0;
+    bool first = true;
+    std::uint64_t covered = 0;
+    for (const auto& [start, len] : pm.free_run_map()) {
+      check(len > 0, "free run at ", start, " has zero length");
+      check(static_cast<std::size_t>(start) + len <= n, "free run at ", start,
+            " extends past the arena");
+      // Maximal: adjacent runs would have been merged on free.
+      check(first || start > prev_end, "free runs overlap or touch at frame ", start);
+      first = false;
+      prev_end = start + len;
+      covered += len;
+      for (FrameId f = start; f < start + len && f < n; ++f) {
+        in_free_run[f] = true;
+      }
+    }
+    check(covered == pm.free_frames(), "free runs cover ", covered, " frames but free_frames()=",
+          pm.free_frames());
+  }
+
+  // --- Per-frame state machine and cross-checks against the run map ---
+  std::size_t free_seen = 0;
+  std::size_t zombie_seen = 0;
+  std::uint64_t frame_input_refs = 0;
+  for (FrameId f = 0; f < n; ++f) {
+    const FrameInfo& fi = pm.info(f);
+    check(!(fi.allocated && fi.zombie), "frame ", f, " both allocated and zombie");
+    frame_input_refs += fi.input_refs;
+    if (fi.allocated) {
+      check(!in_free_run[f], "allocated frame ", f, " is on the free list");
+    } else if (fi.zombie) {
+      ++zombie_seen;
+      check(!in_free_run[f], "zombie frame ", f, " is on the free list");
+      check(fi.input_refs > 0 || fi.output_refs > 0, "zombie frame ", f,
+            " has no I/O references (missed reclaim)");
+      check(fi.wire_count == 0, "zombie frame ", f, " still wired");
+      check(fi.owner_object == kNoOwner, "zombie frame ", f, " still owned");
+    } else {
+      ++free_seen;
+      check(in_free_run[f], "free frame ", f, " missing from the free runs");
+      check(fi.input_refs == 0 && fi.output_refs == 0, "free frame ", f,
+            " has dangling I/O references");
+      check(fi.wire_count == 0, "free frame ", f, " still wired");
+      check(fi.owner_object == kNoOwner, "free frame ", f, " still owned");
+    }
+    if (fi.owner_object != kNoOwner) {
+      MemoryObject* owner = vm.FindObject(fi.owner_object);
+      check(owner != nullptr, "frame ", f, " owned by dead object ", fi.owner_object);
+      if (owner != nullptr) {
+        check(owner->PageAt(fi.owner_page) == f, "frame ", f, " claims page ", fi.owner_page,
+              " of object ", fi.owner_object, " but the object disagrees");
+      }
+    }
+  }
+  check(free_seen == pm.free_frames(), "free_frames()=", pm.free_frames(), " but ", free_seen,
+        " frames are actually free");
+  check(zombie_seen == pm.zombie_frames(), "zombie_frames()=", pm.zombie_frames(), " but ",
+        zombie_seen, " frames are actually zombies");
+
+  // --- Object page maps: bidirectional ownership, no double owners ---
+  std::uint64_t object_input_refs = 0;
+  std::map<FrameId, ObjectId> frame_owner;
+  for (const auto& [id, object] : vm.objects()) {
+    check(object->input_refs() >= 0, "object ", id, " has negative input refs");
+    object_input_refs += static_cast<std::uint64_t>(object->input_refs());
+    for (const auto& [index, frame] : object->pages()) {
+      const FrameInfo& fi = pm.info(frame);
+      check(fi.allocated, "object ", id, " page ", index, " maps unallocated frame ", frame);
+      check(fi.owner_object == id && fi.owner_page == index, "object ", id, " page ", index,
+            " owns frame ", frame, " but the frame claims object ", fi.owner_object, " page ",
+            fi.owner_page);
+      const auto [it, inserted] = frame_owner.emplace(frame, id);
+      check(inserted, "frame ", frame, " owned by both object ", it->second, " and object ", id);
+    }
+  }
+
+  // --- Input-reference pairing (paper Section 3.3) ---
+  // Every frame input reference is taken together with one object input
+  // reference (ReferenceRange) and dropped together (Unreference); a failed
+  // DMA that unwound only one side shows up as an imbalance here.
+  check(frame_input_refs == object_input_refs, "sum of frame input refs (", frame_input_refs,
+        ") != sum of object input refs (", object_input_refs, ")");
+
+  // --- Per-address-space: PTEs, TLB, region caches ---
+  for (AddressSpace* aspace : spaces) {
+    const std::size_t before = report.violations.size();
+    aspace->AppendInvariantViolations(report.violations);
+    report.checks += 1 + (report.violations.size() - before);
+  }
+
+  // --- Quiescence: every transfer fully unwound ---
+  if (expect_quiescent) {
+    check(pm.zombie_frames() == 0, pm.zombie_frames(), " zombie frames while quiescent");
+    for (FrameId f = 0; f < n; ++f) {
+      const FrameInfo& fi = pm.info(f);
+      check(fi.input_refs == 0 && fi.output_refs == 0, "frame ", f,
+            " has I/O references while quiescent (input=", fi.input_refs,
+            " output=", fi.output_refs, ")");
+    }
+    for (const auto& [id, object] : vm.objects()) {
+      check(object->input_refs() == 0, "object ", id, " has ", object->input_refs(),
+            " input refs while quiescent");
+    }
+  }
+
+  g_total_checks += report.checks;
+  return report;
+}
+
+}  // namespace genie

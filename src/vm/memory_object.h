@@ -66,6 +66,11 @@ class MemoryObject {
     FrameId frame = kInvalidFrame;
     MemoryObject* object = nullptr;  // chain member where the page was found
     bool in_top = false;
+    // Lookup failed because of an I/O or allocation error (injected swap
+    // read error, frame exhaustion during page-in) rather than because the
+    // page does not exist. Distinguishes "zero-fill it" from "fail the
+    // access". Only LookupOrPageIn sets this; a plain Find never does.
+    bool io_error = false;
   };
   // Walks the shadow chain for `index`. Does not consult the backing store
   // (the fault handler handles page-in separately).

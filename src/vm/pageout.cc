@@ -56,7 +56,13 @@ bool PageoutDaemon::TryEvict(FrameId frame) {
   const std::uint64_t index = fi.owner_page;
 
   // Save contents, then tear the page out of the object and all mappings.
-  vm_.backing().Save(object->id(), index, vm_.pm().Data(frame));
+  // A (possibly injected) swap write error means the frame simply stays
+  // resident: nothing has been unmapped yet, so the failure is invisible to
+  // the application and the daemon moves its clock hand on.
+  if (!vm_.backing().TrySave(object->id(), index, vm_.pm().Data(frame))) {
+    ++failed_pageout_writes_;
+    return false;
+  }
   for (const MemoryObject::Mapping& m : object->mappings()) {
     Region* region = m.aspace->RegionAt(m.region_start);
     GENIE_CHECK(region != nullptr);
@@ -75,6 +81,22 @@ bool PageoutDaemon::TryEvict(FrameId frame) {
   vm_.pm().Free(frame);
   ++total_evictions_;
   return true;
+}
+
+void SchedulePageoutPressure(Engine& engine, PageoutDaemon& daemon, FaultPlan& plan,
+                             SimTime period, SimTime until) {
+  GENIE_CHECK_GT(period, 0);
+  const SimTime next = engine.now() + period;
+  if (next > until) {
+    return;
+  }
+  engine.ScheduleAt(next, [&engine, &daemon, &plan, period, until] {
+    std::uint64_t frames = 0;
+    if (plan.ShouldFail(FaultSite::kPageoutPressure, &frames)) {
+      daemon.ScanOnce(frames == 0 ? 1 : static_cast<std::size_t>(frames));
+    }
+    SchedulePageoutPressure(engine, daemon, plan, period, until);
+  });
 }
 
 }  // namespace genie

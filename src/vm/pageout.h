@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "src/sim/engine.h"
 #include "src/vm/vm.h"
 
 namespace genie {
@@ -38,6 +39,7 @@ class PageoutDaemon {
   std::uint64_t total_evictions() const { return total_evictions_; }
   std::uint64_t skipped_input_referenced() const { return skipped_input_referenced_; }
   std::uint64_t skipped_wired() const { return skipped_wired_; }
+  std::uint64_t failed_pageout_writes() const { return failed_pageout_writes_; }
 
  private:
   // Attempts to evict one frame; true on success.
@@ -49,7 +51,17 @@ class PageoutDaemon {
   std::uint64_t total_evictions_ = 0;
   std::uint64_t skipped_input_referenced_ = 0;
   std::uint64_t skipped_wired_ = 0;
+  std::uint64_t failed_pageout_writes_ = 0;
 };
+
+// Forced eviction pressure at chosen sim times: every `period` ns until
+// `until`, consult `plan` at FaultSite::kPageoutPressure; each firing tick
+// force-evicts up to the rule's `arg` frames (1 if arg is 0) via `daemon`.
+// Rules address ticks the usual ways — nth tick, probability per tick, or a
+// sim-time window — so a test can say "evict two frames at t=40us" and land
+// the eviction between a transfer's reference and its DMA completion.
+void SchedulePageoutPressure(Engine& engine, PageoutDaemon& daemon, FaultPlan& plan,
+                             SimTime period, SimTime until);
 
 }  // namespace genie
 

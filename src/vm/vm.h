@@ -38,6 +38,9 @@ class Vm {
 
   std::size_t live_objects() const { return objects_.size(); }
 
+  // Registry of live objects (VmInvariants walks every object's page map).
+  const std::unordered_map<ObjectId, MemoryObject*>& objects() const { return objects_; }
+
   // Low-memory reclaim hook (the pageout daemon). The fault paths call
   // ReclaimIfLow() before allocating so page-ins, COW and TCOW copies work
   // under memory pressure instead of aborting.

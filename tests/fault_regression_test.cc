@@ -1,0 +1,164 @@
+// Targeted regressions for stale-state and error-path bugs the fault layer
+// can now reach deterministically:
+//   * a warm software TLB must not survive an injected pageout eviction;
+//   * a TCOW write fault racing a delayed output completion must not leak
+//     modified bytes to the receiver;
+//   * DisposeCopyOutIntoApp / DisposeAlignedIntoApp must fail an input softly
+//     when the application buffer is removed mid-flight (used to abort);
+//   * ReferenceRange must roll back cleanly when page-in fails mid-run.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/vm/io_ref.h"
+#include "tests/fault_test_util.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kSrc = 0x20000000;
+constexpr Vaddr kDst = 0x30000000;
+
+// Warm the receiver's software TLB on a resident buffer, then force the
+// pageout daemon to evict those pages at an injected pressure tick. Stale
+// TLB entries would let the next access hit a freed frame; the per-aspace
+// invariants (and the restored bytes) prove the eviction invalidated them.
+TEST(FaultRegressionTest, WarmTlbInvalidatedByInjectedEviction) {
+  FaultRig rig(/*seed=*/11);
+  rig.rx_app.CreateRegion(kDst, 4 * kPage);
+  const auto payload = TestPattern(4 * kPage, 21);
+  ASSERT_EQ(rig.rx_app.Write(kDst, payload), AccessResult::kOk);
+  // Touch every page again so the TLB is warm for all of them.
+  std::vector<std::byte> warm(4 * kPage);
+  ASSERT_EQ(rig.rx_app.Read(kDst, warm), AccessResult::kOk);
+
+  FaultRule rule;
+  rule.site = FaultSite::kPageoutPressure;
+  rule.nth = 1;
+  rule.arg = 8;  // force up to 8 evictions at the first tick
+  rig.plan.AddRule(rule);
+  SchedulePageoutPressure(rig.engine, rig.receiver.pageout(), rig.plan,
+                          MicrosToSimTime(10), MicrosToSimTime(60));
+  rig.engine.Run();
+
+  EXPECT_EQ(rig.plan.injected(FaultSite::kPageoutPressure), 1u);
+  EXPECT_GT(rig.receiver.pageout().total_evictions(), 0u);
+  const InvariantReport mid = rig.CheckInvariants(/*expect_quiescent=*/true);
+  EXPECT_TRUE(mid.ok()) << mid.ToString();
+
+  // The evicted pages fault back in from the backing store with the same
+  // contents — through fresh translations, not the stale ones.
+  const auto got = rig.ReadBack(kDst, 4 * kPage);
+  EXPECT_EQ(std::memcmp(got.data(), payload.data(), payload.size()), 0);
+  const InvariantReport final_report = rig.CheckInvariants(/*expect_quiescent=*/true);
+  EXPECT_TRUE(final_report.ok()) << final_report.ToString();
+}
+
+// TCOW race: emulated-copy output protects the source TCOW; an injected
+// device delay stretches the in-flight window and the application writes the
+// buffer inside it. Strong integrity requires the receiver to see the
+// output-call snapshot while the application keeps its modified copy.
+TEST(FaultRegressionTest, TcowWriteFaultDuringDelayedOutputCompletion) {
+  FaultRig rig(/*seed=*/12);
+  rig.tx_app.CreateRegion(kSrc, 8 * kPage);
+  rig.rx_app.CreateRegion(kDst, 8 * kPage);
+  const std::uint64_t len = 4 * kPage;
+  const auto original = TestPattern(static_cast<std::size_t>(len), 7);
+  ASSERT_EQ(rig.tx_app.Write(kSrc, original), AccessResult::kOk);
+
+  FaultRule rule;
+  rule.site = FaultSite::kDeviceDelay;
+  rule.nth = 1;
+  rule.arg = 300000;  // +300us of in-flight window
+  rig.plan.AddRule(rule);
+
+  const auto modified = TestPattern(static_cast<std::size_t>(len), 99);
+  rig.engine.ScheduleAt(MicrosToSimTime(300), [&] {
+    ASSERT_EQ(rig.tx_app.Write(kSrc, modified), AccessResult::kOk);
+  });
+
+  const InputResult result =
+      rig.DriveTransfer(kSrc, kDst, len, Semantics::kEmulatedCopy);
+
+  EXPECT_EQ(rig.plan.injected(FaultSite::kDeviceDelay), 1u);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.bytes, len);
+  const auto received = rig.ReadBack(kDst, len);
+  EXPECT_EQ(std::memcmp(received.data(), original.data(), len), 0)
+      << "receiver saw bytes written after the output call";
+  std::vector<std::byte> sender_now(static_cast<std::size_t>(len));
+  ASSERT_EQ(rig.tx_app.Read(kSrc, sender_now), AccessResult::kOk);
+  EXPECT_EQ(std::memcmp(sender_now.data(), modified.data(), len), 0)
+      << "application lost its own write";
+
+  const InvariantReport report = rig.CheckInvariants(/*expect_quiescent=*/true);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// The application removes the destination region while the datagram is in
+// flight (stretched by an injected device delay, so the removal lands between
+// the prepare and the dispose). The dispose used to abort the kernel; it must
+// now fail the input with kIoError and leave both nodes spotless. Exercises
+// DisposeCopyOutIntoApp (early demux) and DisposeAlignedIntoApp's
+// region-vanished path (pooled, outboard).
+TEST(FaultRegressionTest, RegionRemovedMidFlightFailsInputSoftly) {
+  for (const InputBuffering buffering :
+       {InputBuffering::kEarlyDemux, InputBuffering::kPooled, InputBuffering::kOutboard}) {
+    SCOPED_TRACE(InputBufferingName(buffering));
+    FaultRig rig(/*seed=*/13, buffering);
+    rig.tx_app.CreateRegion(kSrc, 8 * kPage);
+    rig.rx_app.CreateRegion(kDst, 8 * kPage);
+    const std::uint64_t len = 4 * kPage;
+    const auto payload = TestPattern(static_cast<std::size_t>(len), 31);
+    ASSERT_EQ(rig.tx_app.Write(kSrc, payload), AccessResult::kOk);
+
+    FaultRule rule;
+    rule.site = FaultSite::kDeviceDelay;
+    rule.nth = 1;
+    rule.arg = 500000;  // hold the frame in flight past the removal below
+    rig.plan.AddRule(rule);
+    rig.engine.ScheduleAt(MicrosToSimTime(400), [&] { rig.rx_app.RemoveRegion(kDst); });
+
+    const InputResult result = rig.DriveTransfer(kSrc, kDst, len, Semantics::kCopy);
+
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.status, IoStatus::kIoError);
+    EXPECT_TRUE(result.crc_ok);
+    EXPECT_EQ(rig.rx_ep.stats().failed_inputs, 1u);
+    EXPECT_EQ(rig.tx_ep.pending_operations(), 0u);
+    EXPECT_EQ(rig.rx_ep.pending_operations(), 0u);
+    const InvariantReport report = rig.CheckInvariants(/*expect_quiescent=*/true);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+// ReferenceRange hits an injected allocation failure on its second page:
+// the reference it already took on the first page must be dropped and the
+// object/frame input-reference pairing restored (a one-sided unwind is
+// exactly what the pairing invariant detects).
+TEST(FaultRegressionTest, ReferenceRangeRollsBackOnMidRunPageInFailure) {
+  Vm vm(32, kPage);
+  AddressSpace as(vm, "app");
+  as.CreateRegion(kSrc, 4 * kPage);
+
+  FaultPlan plan(14);
+  FaultRule rule;
+  rule.site = FaultSite::kFrameAllocate;
+  rule.nth = 2;  // first page faults in fine, second allocation fails
+  plan.AddRule(rule);
+  vm.pm().set_fault_plan(&plan);
+
+  IoReference ref;
+  const AccessResult res = ReferenceRange(as, kSrc, 3 * kPage, IoDirection::kInput, &ref);
+  vm.pm().set_fault_plan(nullptr);
+
+  EXPECT_EQ(res, AccessResult::kUnrecoverableFault);
+  EXPECT_EQ(plan.injected(FaultSite::kFrameAllocate), 1u);
+  EXPECT_FALSE(ref.active);
+  const InvariantReport report = VmInvariants::CheckAll(vm, as, /*expect_quiescent=*/true);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,110 @@
+// Shared fixture for fault-injection tests: a Rig with a seeded FaultPlan
+// attached to both nodes, whole-VM invariant checking, and helpers for
+// driving transfers that are allowed to fail.
+#ifndef GENIE_TESTS_FAULT_TEST_UTIL_H_
+#define GENIE_TESTS_FAULT_TEST_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mem/fault_plan.h"
+#include "src/util/rng.h"
+#include "src/vm/invariants.h"
+#include "src/vm/pageout.h"
+#include "tests/genie_test_util.h"
+
+namespace genie {
+
+// A Rig whose nodes share one deterministic fault plan. The plan starts with
+// no rules (zero faults); tests add rules before driving traffic. Every
+// injection point — frame allocation, backing I/O, the adapters' transmit
+// paths, pageout pressure — consults the same plan, so one seed fully
+// determines a run.
+struct FaultRig : Rig {
+  explicit FaultRig(std::uint64_t seed, InputBuffering rx = InputBuffering::kEarlyDemux,
+                    GenieOptions options = GenieOptions{}, std::size_t mem_frames = 512)
+      : Rig(rx, options, MachineProfile::MicronP166(), mem_frames), plan(seed) {
+    sender.AttachFaultPlan(&plan);
+    receiver.AttachFaultPlan(&plan);
+  }
+  ~FaultRig() {
+    sender.AttachFaultPlan(nullptr);
+    receiver.AttachFaultPlan(nullptr);
+  }
+
+  // Whole-VM invariants on both nodes, merged into one report.
+  InvariantReport CheckInvariants(bool expect_quiescent) {
+    InvariantReport report = VmInvariants::CheckAll(sender.vm(), tx_app, expect_quiescent);
+    InvariantReport rx_report =
+        VmInvariants::CheckAll(receiver.vm(), rx_app, expect_quiescent);
+    report.checks += rx_report.checks;
+    report.violations.insert(report.violations.end(), rx_report.violations.begin(),
+                             rx_report.violations.end());
+    return report;
+  }
+
+  // ReadBack that tolerates injected faults on the fault-in path: nullopt if
+  // the read itself hit an (injected) unrecoverable fault.
+  std::optional<std::vector<std::byte>> TryReadBack(Vaddr addr, std::uint64_t len) {
+    std::vector<std::byte> out(static_cast<std::size_t>(len));
+    if (rx_app.Read(addr, out) != AccessResult::kOk) {
+      return std::nullopt;
+    }
+    return out;
+  }
+
+  // Drives one datagram like Rig::Transfer, but tolerates one-sided
+  // failures: if the output fails recoverably and strands the preposted
+  // input, injection is disabled (plan.Clear keeps counters) and plain copy
+  // datagrams flush the input so every operation completes. Dies if the
+  // input cannot be completed — that is a real stuck-transfer bug.
+  InputResult DriveTransfer(Vaddr src_va, Vaddr dst_va, std::uint64_t len, Semantics sem) {
+    InputResult result;
+    bool done = false;
+    auto input_driver = [](Endpoint& ep, AddressSpace& app, Vaddr va, std::uint64_t n,
+                           Semantics s, InputResult* out, bool* flag) -> Task<void> {
+      if (IsSystemAllocated(s)) {
+        *out = co_await ep.InputSystemAllocated(app, n, s);
+      } else {
+        *out = co_await ep.Input(app, va, n, s);
+      }
+      *flag = true;
+    };
+    std::move(input_driver(rx_ep, rx_app, dst_va, len, sem, &result, &done)).Detach();
+    std::move(tx_ep.Output(tx_app, src_va, len, sem)).Detach();
+    engine.Run();
+    int flushes = 0;
+    while (!done && flushes++ < 4) {
+      plan.Clear();
+      std::move(tx_ep.Output(tx_app, src_va, len, Semantics::kCopy)).Detach();
+      engine.Run();
+    }
+    GENIE_CHECK(done) << "input never completed (transfer stuck)";
+    return result;
+  }
+
+  FaultPlan plan;
+};
+
+// Schedules an invariant sweep every `period` ns of sim time until `until`:
+// between events, while transfers are mid-flight, the whole-VM invariants
+// must already hold (non-quiescent mode). Violations accumulate in `*out`.
+inline void ScheduleInvariantSweep(Engine& engine, Vm& vm, AddressSpace& aspace,
+                                   SimTime period, SimTime until,
+                                   std::vector<std::string>* out) {
+  const SimTime next = engine.now() + period;
+  if (next > until) {
+    return;
+  }
+  engine.ScheduleAt(next, [&engine, &vm, &aspace, period, until, out] {
+    const InvariantReport report =
+        VmInvariants::CheckAll(vm, aspace, /*expect_quiescent=*/false);
+    out->insert(out->end(), report.violations.begin(), report.violations.end());
+    ScheduleInvariantSweep(engine, vm, aspace, period, until, out);
+  });
+}
+
+}  // namespace genie
+
+#endif  // GENIE_TESTS_FAULT_TEST_UTIL_H_
