@@ -23,6 +23,8 @@
 #include "src/net/checksum.h"
 #include "src/net/iovec_io.h"
 #include "src/mem/phys_memory.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_env.h"
 #include "src/util/table.h"
 #include "src/vm/address_space.h"
 #include "src/vm/invariants.h"
@@ -204,10 +206,17 @@ int Run() {
   //     fault-free run leaves them untouched while the checker still runs. ---
   std::uint64_t injected_faults = 0;
   std::uint64_t recovered_transfers = 0;
+  std::string metrics_json;
   {
+    // GENIE_TRACE=out.json captures this end-to-end transfer's spans.
+    ScopedTraceFile trace_file;
     Engine engine;
     Node sender(engine, "tx", Node::Config{});
     Node receiver(engine, "rx", Node::Config{});
+    if (trace_file.enabled()) {
+      sender.set_trace(trace_file.log());
+      receiver.set_trace(trace_file.log());
+    }
     Network network(engine, sender, receiver);
     Endpoint tx_ep(sender, 1);
     Endpoint rx_ep(receiver, 1);
@@ -238,6 +247,7 @@ int Run() {
     }
     injected_faults = plan.total_injected();
     recovered_transfers = tx_ep.stats().recovered_transfers + rx_ep.stats().recovered_transfers;
+    metrics_json = receiver.metrics().Snapshot().ToJson();
   }
   TextTable fault_table;
   fault_table.AddHeader({"fault/recovery counter", "value"});
@@ -256,6 +266,7 @@ int Run() {
     std::printf("%s\"%s\": %.1f", i == 0 ? "" : ", ", rows[i].name.c_str(), rows[i].mb_per_s);
   }
   std::printf("}\n");
+  std::printf("\nReceiver metrics snapshot (end-to-end transfer):\n%s\n", metrics_json.c_str());
   return 0;
 }
 

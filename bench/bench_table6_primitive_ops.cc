@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "src/analysis/linear_fit.h"
+#include "src/obs/trace_env.h"
 
 namespace genie {
 namespace {
@@ -42,6 +43,8 @@ const std::map<OpKind, PaperLine> kPaperTable6 = {
 };
 
 void Run() {
+  // GENIE_TRACE=out.json records the per-transfer spans of every sweep below.
+  ScopedTraceFile trace_file;
   std::printf("=== Table 6: costs of primitive data-passing operations (us) ===\n");
   std::printf("Measured by instrumenting Genie across the Figure 3/6/7 sweeps and\n");
   std::printf("fitting each operation's charged latency vs datagram length.\n\n");
@@ -63,6 +66,7 @@ void Run() {
     config.dst_page_offset = setting.dst_offset;
     config.collect_op_samples = true;
     config.repetitions = 2;
+    config.trace = trace_file.log();
     for (const Semantics sem : kAllSemantics) {
       Experiment experiment(config);
       const RunResult run = experiment.Run(sem, lengths);

@@ -9,6 +9,7 @@
 
 #include "src/genie/endpoint.h"
 #include "src/genie/node.h"
+#include "src/obs/trace_env.h"
 #include "src/sim/engine.h"
 
 namespace {
@@ -34,10 +35,16 @@ Task<void> Receiver(Endpoint& ep, AddressSpace& app, Vaddr buffer, std::uint64_t
 int main() {
   std::printf("Genie quickstart: two hosts over simulated OC-3 ATM.\n\n");
 
-  // 1. Build the machines and the network.
+  // 1. Build the machines and the network. GENIE_TRACE=out.json captures a
+  // per-transfer execution trace (Chrome/Perfetto format).
+  ScopedTraceFile trace_file;
   Engine engine;
   Node sender(engine, "alice", Node::Config{});
   Node receiver(engine, "bob", Node::Config{});
+  if (trace_file.enabled()) {
+    sender.set_trace(trace_file.log());
+    receiver.set_trace(trace_file.log());
+  }
   Network network(engine, sender, receiver);
 
   // 2. One endpoint (channel 1) per side, one process per side.

@@ -14,7 +14,15 @@ JOBS=$(nproc)
 echo "=== tier-1: optimized build ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+# The bench_smoke gate (label "bench") runs in this leg. On failure, print
+# the metrics snapshot it wrote so the op-count drift is visible in the log.
+if ! ctest --test-dir build --output-on-failure -j "$JOBS"; then
+  if [[ -f build/tests/bench_smoke_metrics.json ]]; then
+    echo "--- bench_smoke metrics snapshot (build/tests/bench_smoke_metrics.json) ---"
+    cat build/tests/bench_smoke_metrics.json
+  fi
+  exit 1
+fi
 
 echo "=== tier-1: ASan+UBSan build ==="
 cmake -B build-asan -S . -DGENIE_ASAN=ON >/dev/null
@@ -23,7 +31,9 @@ cmake --build build-asan -j "$JOBS"
 # coroutine tasks pending when the engine is torn down, so their frames are
 # reported as leaks even though every test passes. ASan (bad accesses) and
 # UBSan stay fully enabled.
-ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+# -LE bench: the bench_smoke wall-clock gate only means something at -O2;
+# its deterministic layers already ran in the optimized leg.
+ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -LE bench
 
 echo "=== tier-1: fault-stress replay (ASan) ==="
 # Third leg: the fault-injection stress harness under ASan. Three pinned

@@ -6,6 +6,7 @@
 #include "src/genie/host_path.h"
 #include "src/net/checksum.h"
 #include "src/net/iovec_io.h"
+#include "src/obs/trace_scope.h"
 #include "src/util/check.h"
 
 namespace genie {
@@ -19,7 +20,11 @@ std::uint64_t CeilPages(std::uint64_t len, std::uint32_t page_size) {
 }  // namespace
 
 Endpoint::Endpoint(Node& node, std::uint64_t channel, GenieOptions options)
-    : node_(&node), channel_(channel), options_(options) {
+    : node_(&node),
+      channel_(channel),
+      options_(options),
+      metric_prefix_("ep" + std::to_string(channel) + ".") {
+  RegisterMetrics();
   switch (node_->adapter().rx_buffering()) {
     case InputBuffering::kPooled:
       node_->RegisterPooledHandler(channel_,
@@ -38,10 +43,58 @@ Endpoint::~Endpoint() {
   while (!named_buffers_.empty()) {
     UnregisterNamedBuffer(named_buffers_.begin()->first);
   }
+  // The node (and its registry) outlives the endpoint, but gauges capture
+  // `this` — drop them so a later snapshot cannot read freed memory.
+  node_->metrics().UnregisterByPrefix(metric_prefix_);
+}
+
+void Endpoint::RegisterMetrics() {
+  MetricsRegistry& m = node_->metrics();
+  m.RegisterGauge(metric_prefix_ + "outputs", [this] { return stats_.outputs; });
+  m.RegisterGauge(metric_prefix_ + "inputs", [this] { return stats_.inputs; });
+  m.RegisterGauge(metric_prefix_ + "outputs_converted_to_copy",
+                  [this] { return stats_.outputs_converted_to_copy; });
+  m.RegisterGauge(metric_prefix_ + "pages_swapped", [this] { return stats_.pages_swapped; });
+  m.RegisterGauge(metric_prefix_ + "reverse_copyouts",
+                  [this] { return stats_.reverse_copyouts; });
+  m.RegisterGauge(metric_prefix_ + "bytes_swapped", [this] { return stats_.bytes_swapped; });
+  m.RegisterGauge(metric_prefix_ + "bytes_copied", [this] { return stats_.bytes_copied; });
+  m.RegisterGauge(metric_prefix_ + "crc_failures", [this] { return stats_.crc_failures; });
+  m.RegisterGauge(metric_prefix_ + "region_cache_hits",
+                  [this] { return stats_.region_cache_hits; });
+  m.RegisterGauge(metric_prefix_ + "region_cache_misses",
+                  [this] { return stats_.region_cache_misses; });
+  m.RegisterGauge(metric_prefix_ + "regions_remapped_at_dispose",
+                  [this] { return stats_.regions_remapped_at_dispose; });
+  m.RegisterGauge(metric_prefix_ + "failed_outputs", [this] { return stats_.failed_outputs; });
+  m.RegisterGauge(metric_prefix_ + "failed_inputs", [this] { return stats_.failed_inputs; });
+  m.RegisterGauge(metric_prefix_ + "recovered_transfers",
+                  [this] { return stats_.recovered_transfers; });
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const std::string op_prefix =
+        metric_prefix_ + "op." + std::string(OpKindName(static_cast<OpKind>(i))) + ".";
+    m.RegisterGauge(op_prefix + "count", [this, i] { return op_counts_[i]; });
+    m.RegisterGauge(op_prefix + "bytes", [this, i] { return op_bytes_[i]; });
+  }
+}
+
+std::string Endpoint::XferLabel(const char* direction, Semantics sem) {
+  return std::string(direction) + "#" + std::to_string(next_transfer_id_++) + "[" +
+         std::string(SemanticsName(sem)) + "]";
+}
+
+std::string Endpoint::XferTrack() const { return node_->name() + ".xfer"; }
+
+void Endpoint::RecordInputComplete(PendingInput& pi) {
+  node_->metrics()
+      .Histogram(metric_prefix_ + "input_latency_us")
+      .Add(SimTimeToMicros(node_->engine().now() - pi.started_at));
 }
 
 Delay Endpoint::Charge(OpKind op, std::uint64_t bytes) {
   const SimTime cost = node_->Cost(op, bytes);
+  ++op_counts_[static_cast<std::size_t>(op)];
+  op_bytes_[static_cast<std::size_t>(op)] += bytes;
   if (op_probe_) {
     op_probe_(op, bytes, cost);
   }
@@ -107,14 +160,23 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
     effective = Semantics::kCopy;
   }
   st->effective = effective;
+  st->xfer = XferLabel("out", effective);
+  st->started_at = node_->engine().now();
 
   ++stats_.outputs;
   ++pending_;
 
   co_await node_->cpu().Acquire();
+  TraceScope prepare_span(node_->trace(), XferTrack(), st->xfer + ".prepare");
   co_await Charge(OpKind::kSenderKernelFixed, 0);
   Charges charges;
-  const IoStatus prep = PrepareOutput(*st, charges);
+  IoStatus prep;
+  {
+    // Synchronous phase: VM events it triggers (faults, page-ins) are keyed
+    // to this transfer.
+    ScopedTraceContext trace_ctx(node_->trace(), st->xfer);
+    prep = PrepareOutput(*st, charges);
+  }
   if (prep != IoStatus::kOk) {
     // The output never started; everything prepared so far was unwound. The
     // kernel time spent on the attempt is still charged.
@@ -123,6 +185,7 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
     for (const auto& [op, bytes] : charges.items) {
       co_await Charge(op, bytes);
     }
+    prepare_span.End();
     node_->cpu().Release();
     FinishOperation();
     co_return;
@@ -146,6 +209,7 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
   for (const auto& [op, bytes] : charges.items) {
     co_await Charge(op, bytes);
   }
+  prepare_span.End();
   node_->cpu().Release();
 
   // Transmission and dispose proceed asynchronously; the application
@@ -280,17 +344,28 @@ IoStatus Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
 
 Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
   // Device setup, bus and network fixed latencies, then the wire transfer.
+  // The transmit span covers DMA through the adapter completion.
+  TraceScope transmit_span(node_->trace(), XferTrack(), st->xfer + ".transmit");
   co_await Delay(node_->engine(), node_->Cost(OpKind::kHardwareFixed, 0));
   co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag);
+  transmit_span.End();
 
   // Transmit-complete: dispose on the sender CPU (overlapping the network
   // and receiver-side processing).
   co_await node_->cpu().Acquire();
+  TraceScope dispose_span(node_->trace(), XferTrack(), st->xfer + ".dispose");
   Charges charges;
-  DisposeOutput(*st, charges);
+  {
+    ScopedTraceContext trace_ctx(node_->trace(), st->xfer);
+    DisposeOutput(*st, charges);
+  }
   for (const auto& [op, bytes] : charges.items) {
     co_await Charge(op, bytes);
   }
+  dispose_span.End();
+  node_->metrics()
+      .Histogram(metric_prefix_ + "output_latency_us")
+      .Add(SimTimeToMicros(node_->engine().now() - st->started_at));
   node_->cpu().Release();
   FinishOperation();
 }
@@ -410,16 +485,24 @@ Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64
   pi->sem = sem;
   pi->mode = node_->adapter().rx_buffering();
   pi->system_allocated = system_allocated;
+  pi->xfer = XferLabel("in", sem);
+  pi->started_at = node_->engine().now();
 
   ++stats_.inputs;
   ++pending_;
 
   co_await node_->cpu().Acquire();
+  TraceScope prepare_span(node_->trace(), XferTrack(), pi->xfer + ".prepare");
   Charges charges;
-  const IoStatus prep = PrepareInput(*pi, charges);
+  IoStatus prep;
+  {
+    ScopedTraceContext trace_ctx(node_->trace(), pi->xfer);
+    prep = PrepareInput(*pi, charges);
+  }
   for (const auto& [op, bytes] : charges.items) {
     co_await Charge(op, bytes);
   }
+  prepare_span.End();
   node_->cpu().Release();
 
   if (prep != IoStatus::kOk) {
@@ -988,34 +1071,40 @@ Endpoint::ChecksumVerdict Endpoint::VerifyChecksum(PendingInput& pi, const IoVec
 Task<void> Endpoint::RunDisposeEarlyDemux(std::shared_ptr<PendingInput> pi,
                                           RxCompletion completion) {
   co_await node_->cpu().Acquire();
+  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose");
   co_await Charge(OpKind::kReceiverKernelFixed, 0);
   Charges charges;
   pi->result.crc_ok = completion.crc_ok;
   const std::uint64_t n = std::min<std::uint64_t>(completion.bytes, pi->len);
-  if (!completion.crc_ok) {
-    CleanupFailedInput(*pi, charges);
-  } else {
-    const ChecksumVerdict verdict =
-        VerifyChecksum(*pi, pi->target, n, completion.header, charges);
-    pi->result.checksum_ok = verdict.verified_ok;
-    if (!verdict.verified_ok && !verdict.integrated) {
-      // Separate-pass verification failed before any data reached the
-      // application buffer: fail the input, strong semantics intact.
+  {
+    ScopedTraceContext trace_ctx(node_->trace(), pi->xfer);
+    if (!completion.crc_ok) {
       CleanupFailedInput(*pi, charges);
     } else {
-      DisposeInputTable3(*pi, n, charges);
-      if (!verdict.verified_ok) {
-        // Integrated verification detects the error only after the copy:
-        // the application buffer was overwritten (weak behavior, the
-        // Section 9 semantic implication).
-        pi->result.ok = false;
+      const ChecksumVerdict verdict =
+          VerifyChecksum(*pi, pi->target, n, completion.header, charges);
+      pi->result.checksum_ok = verdict.verified_ok;
+      if (!verdict.verified_ok && !verdict.integrated) {
+        // Separate-pass verification failed before any data reached the
+        // application buffer: fail the input, strong semantics intact.
+        CleanupFailedInput(*pi, charges);
+      } else {
+        DisposeInputTable3(*pi, n, charges);
+        if (!verdict.verified_ok) {
+          // Integrated verification detects the error only after the copy:
+          // the application buffer was overwritten (weak behavior, the
+          // Section 9 semantic implication).
+          pi->result.ok = false;
+        }
       }
     }
   }
   for (const auto& [op, bytes] : charges.items) {
     co_await Charge(op, bytes);
   }
+  dispose_span.End();
   pi->result.completed_at = node_->engine().now();
+  RecordInputComplete(*pi);
   node_->cpu().Release();
   FinishOperation();
   pi->done.Set();
@@ -1023,6 +1112,7 @@ Task<void> Endpoint::RunDisposeEarlyDemux(std::shared_ptr<PendingInput> pi,
 
 Task<void> Endpoint::RunDisposePooled(std::shared_ptr<PendingInput> pi, PooledFrame frame) {
   co_await node_->cpu().Acquire();
+  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose");
   co_await Charge(OpKind::kReceiverKernelFixed, 0);
   // Ready-time operations (Table 4): overlay allocation happened at arrival
   // in the device; the kernel-side costs land here, on the critical path.
@@ -1033,43 +1123,48 @@ Task<void> Endpoint::RunDisposePooled(std::shared_ptr<PendingInput> pi, PooledFr
   const std::uint64_t n = std::min<std::uint64_t>(frame.bytes, pi->len);
   bool failed = !frame.crc_ok;
   bool integrated_mismatch = false;
-  if (!failed) {
-    IoVec overlay_iov;
-    {
-      std::uint64_t remaining = frame.bytes;
-      const std::uint32_t psz = node_->vm().page_size();
-      for (const FrameId f : frame.overlay_pages) {
-        const std::uint32_t seg =
-            static_cast<std::uint32_t>(std::min<std::uint64_t>(psz, remaining));
-        overlay_iov.segments.push_back(IoSegment{f, 0, seg});
-        remaining -= seg;
+  {
+    ScopedTraceContext trace_ctx(node_->trace(), pi->xfer);
+    if (!failed) {
+      IoVec overlay_iov;
+      {
+        std::uint64_t remaining = frame.bytes;
+        const std::uint32_t psz = node_->vm().page_size();
+        for (const FrameId f : frame.overlay_pages) {
+          const std::uint32_t seg =
+              static_cast<std::uint32_t>(std::min<std::uint64_t>(psz, remaining));
+          overlay_iov.segments.push_back(IoSegment{f, 0, seg});
+          remaining -= seg;
+        }
+      }
+      const ChecksumVerdict verdict =
+          VerifyChecksum(*pi, overlay_iov, n, frame.header, charges);
+      pi->result.checksum_ok = verdict.verified_ok;
+      if (!verdict.verified_ok && !verdict.integrated) {
+        failed = true;
+      } else if (!verdict.verified_ok) {
+        integrated_mismatch = true;
       }
     }
-    const ChecksumVerdict verdict =
-        VerifyChecksum(*pi, overlay_iov, n, frame.header, charges);
-    pi->result.checksum_ok = verdict.verified_ok;
-    if (!verdict.verified_ok && !verdict.integrated) {
-      failed = true;
-    } else if (!verdict.verified_ok) {
-      integrated_mismatch = true;
-    }
-  }
-  if (failed) {
-    BufferPool& pool = *node_->adapter().pool();
-    for (const FrameId f : frame.overlay_pages) {
-      pool.Free(f);
-    }
-    CleanupFailedInput(*pi, charges);
-  } else {
-    DisposeInputTable4(*pi, frame, n, charges);
-    if (integrated_mismatch) {
-      pi->result.ok = false;
+    if (failed) {
+      BufferPool& pool = *node_->adapter().pool();
+      for (const FrameId f : frame.overlay_pages) {
+        pool.Free(f);
+      }
+      CleanupFailedInput(*pi, charges);
+    } else {
+      DisposeInputTable4(*pi, frame, n, charges);
+      if (integrated_mismatch) {
+        pi->result.ok = false;
+      }
     }
   }
   for (const auto& [op, bytes] : charges.items) {
     co_await Charge(op, bytes);
   }
+  dispose_span.End();
   pi->result.completed_at = node_->engine().now();
+  RecordInputComplete(*pi);
   node_->cpu().Release();
   FinishOperation();
   pi->done.Set();
@@ -1079,6 +1174,7 @@ Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, Outboa
   Adapter& adapter = node_->adapter();
   const std::uint64_t n = std::min<std::uint64_t>(frame.bytes, pi->len);
   co_await node_->cpu().Acquire();
+  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose");
   co_await Charge(OpKind::kReceiverKernelFixed, 0);
   pi->result.crc_ok = frame.crc_ok;
 
@@ -1108,12 +1204,17 @@ Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, Outboa
 
   if (!frame.crc_ok || checksum_failed_early) {
     Charges charges;
-    CleanupFailedInput(*pi, charges);
+    {
+      ScopedTraceContext trace_ctx(node_->trace(), pi->xfer);
+      CleanupFailedInput(*pi, charges);
+    }
     for (const auto& [op, bytes] : charges.items) {
       co_await Charge(op, bytes);
     }
     adapter.FreeOutboard(frame.handle);
+    dispose_span.End();
     pi->result.completed_at = node_->engine().now();
+    RecordInputComplete(*pi);
     node_->cpu().Release();
     FinishOperation();
     pi->done.Set();
@@ -1124,8 +1225,12 @@ Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, Outboa
     // Section 6.2.3: reference the application pages, DMA the outboard data
     // directly into the application buffer, unreference, free the outboard
     // buffer. No aligned buffer, no swap: close to emulated share.
-    const AccessResult res =
-        ReferenceRange(*pi->app, pi->va, n, IoDirection::kInput, &pi->ref);
+    AccessResult res;
+    {
+      // Referencing may fault the application buffer in (page-in/zero-fill).
+      ScopedTraceContext trace_ctx(node_->trace(), pi->xfer);
+      res = ReferenceRange(*pi->app, pi->va, n, IoDirection::kInput, &pi->ref);
+    }
     if (res != AccessResult::kOk) {
       // The application buffer could not be pinned (page-in or allocation
       // failed): fail the input; the staged data never left adapter memory.
@@ -1134,7 +1239,9 @@ Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, Outboa
       pi->result.status = IoStatus::kIoError;
       ++stats_.failed_inputs;
       ++stats_.recovered_transfers;
+      dispose_span.End();
       pi->result.completed_at = node_->engine().now();
+      RecordInputComplete(*pi);
       node_->cpu().Release();
       FinishOperation();
       pi->done.Set();
@@ -1161,7 +1268,10 @@ Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, Outboa
                  adapter.OutboardData(frame.handle).subspan(0, static_cast<std::size_t>(n)));
     co_await node_->cpu().Acquire();
     Charges charges;
-    DisposeInputTable3(*pi, n, charges);
+    {
+      ScopedTraceContext trace_ctx(node_->trace(), pi->xfer);
+      DisposeInputTable3(*pi, n, charges);
+    }
     for (const auto& [op, bytes] : charges.items) {
       co_await Charge(op, bytes);
     }
@@ -1172,7 +1282,9 @@ Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, Outboa
     // mismatch surfaced (weak behavior, Section 9).
     pi->result.ok = false;
   }
+  dispose_span.End();
   pi->result.completed_at = node_->engine().now();
+  RecordInputComplete(*pi);
   node_->cpu().Release();
   FinishOperation();
   pi->done.Set();

@@ -11,11 +11,13 @@
 #ifndef GENIE_SRC_GENIE_ENDPOINT_H_
 #define GENIE_SRC_GENIE_ENDPOINT_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "src/genie/node.h"
 #include "src/genie/options.h"
@@ -81,6 +83,17 @@ class Endpoint {
   const GenieOptions& options() const { return options_; }
   const Stats& stats() const { return stats_; }
   void set_op_probe(OpProbe probe) { op_probe_ = std::move(probe); }
+
+  // Deterministic per-operation accounting: how many times each primitive
+  // ran on this endpoint and over how many bytes. Bit-stable across runs —
+  // the bench-regression gate exact-matches these through the node's
+  // MetricsRegistry (gauges "ep<channel>.op.<name>.count" / ".bytes").
+  std::uint64_t op_count(OpKind op) const {
+    return op_counts_[static_cast<std::size_t>(op)];
+  }
+  std::uint64_t op_bytes(OpKind op) const {
+    return op_bytes_[static_cast<std::size_t>(op)];
+  }
 
   // Sends [va, va+len) with the given semantics. The task completes when the
   // application regains control (prepare done); transmission and dispose
@@ -153,6 +166,8 @@ class Endpoint {
     std::uint16_t fused_header = 0;
     bool extra_wired = false;  // ablation: emulated semantics wired
     Vaddr region_start = 0;    // system-allocated
+    std::string xfer;          // trace key: "out#<id>[<semantics>]"
+    SimTime started_at = 0;
   };
 
   struct PendingInput {
@@ -176,6 +191,8 @@ class Endpoint {
     std::vector<FrameId> deferred_retire;
     InputResult result;
     SimEvent done;
+    std::string xfer;  // trace key: "in#<id>[<semantics>]"
+    SimTime started_at = 0;
   };
 
   Task<InputResult> InputCommon(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem,
@@ -240,10 +257,23 @@ class Endpoint {
   Region* CheckOrRemapRegion(PendingInput& pi, Charges& ch);
   void FinishOperation();
 
+  // Registers this endpoint's stats and op-count gauges ("ep<channel>.*")
+  // with the node's MetricsRegistry; the destructor unregisters them.
+  void RegisterMetrics();
+  // "out#7[emulated copy]" — the per-transfer trace/metric key.
+  std::string XferLabel(const char* direction, Semantics sem);
+  // The "<node>.xfer" track every per-transfer span lands on.
+  std::string XferTrack() const;
+  void RecordInputComplete(PendingInput& pi);
+
   Node* node_;
   std::uint64_t channel_;
   GenieOptions options_;
   Stats stats_;
+  std::array<std::uint64_t, kOpKindCount> op_counts_{};
+  std::array<std::uint64_t, kOpKindCount> op_bytes_{};
+  std::string metric_prefix_;  // "ep<channel>."
+  std::uint64_t next_transfer_id_ = 1;
   OpProbe op_probe_;
   bool corrupt_next_checksum_ = false;
   std::size_t pending_ = 0;

@@ -28,11 +28,73 @@ Node::Node(Engine& engine, std::string name, Config config)
     adapter_.SetDriverWork(&cpu_, &cpu_,
                            cost_.Line(OpKind::kDriverPerByte).slope_us_per_byte);
   }
+  RegisterComponentGauges();
+}
+
+void Node::RegisterComponentGauges() {
+  const PhysicalMemory& pm = vm_.pm();
+  metrics_.RegisterGauge("mem.free_frames", [&pm] { return std::uint64_t{pm.free_frames()}; });
+  metrics_.RegisterGauge("mem.allocated_frames",
+                         [&pm] { return std::uint64_t{pm.allocated_frames()}; });
+  metrics_.RegisterGauge("mem.zombie_frames",
+                         [&pm] { return std::uint64_t{pm.zombie_frames()}; });
+  metrics_.RegisterGauge("mem.total_allocations", [&pm] { return pm.total_allocations(); });
+  metrics_.RegisterGauge("mem.deferred_frees", [&pm] { return pm.deferred_frees(); });
+  metrics_.RegisterGauge("mem.completed_deferred_frees",
+                         [&pm] { return pm.completed_deferred_frees(); });
+
+  const BackingStore& backing = vm_.backing();
+  metrics_.RegisterGauge("backing.stored_pages",
+                         [&backing] { return std::uint64_t{backing.stored_pages()}; });
+  metrics_.RegisterGauge("backing.total_pageouts",
+                         [&backing] { return backing.total_pageouts(); });
+  metrics_.RegisterGauge("backing.total_pageins",
+                         [&backing] { return backing.total_pageins(); });
+  metrics_.RegisterGauge("backing.failed_saves", [&backing] { return backing.failed_saves(); });
+  metrics_.RegisterGauge("backing.failed_restores",
+                         [&backing] { return backing.failed_restores(); });
+
+  // Pageout pressure: evictions performed and pages the daemon had to skip.
+  const PageoutDaemon& pd = pageout_;
+  metrics_.RegisterGauge("pageout.total_evictions", [&pd] { return pd.total_evictions(); });
+  metrics_.RegisterGauge("pageout.skipped_input_referenced",
+                         [&pd] { return pd.skipped_input_referenced(); });
+  metrics_.RegisterGauge("pageout.skipped_wired", [&pd] { return pd.skipped_wired(); });
+  metrics_.RegisterGauge("pageout.failed_pageout_writes",
+                         [&pd] { return pd.failed_pageout_writes(); });
+
+  const Adapter& nic = adapter_;
+  metrics_.RegisterGauge("nic.frames_sent", [&nic] { return nic.frames_sent(); });
+  metrics_.RegisterGauge("nic.frames_received", [&nic] { return nic.frames_received(); });
+  metrics_.RegisterGauge("nic.frames_dropped_no_buffer",
+                         [&nic] { return nic.frames_dropped_no_buffer(); });
+  metrics_.RegisterGauge("nic.rx_crc_errors", [&nic] { return nic.rx_crc_errors(); });
+  metrics_.RegisterGauge("nic.rx_truncated_frames",
+                         [&nic] { return nic.rx_truncated_frames(); });
 }
 
 AddressSpace& Node::CreateProcess(const std::string& proc_name) {
   processes_.push_back(std::make_unique<AddressSpace>(vm_, name_ + "." + proc_name));
-  return *processes_.back();
+  AddressSpace& as = *processes_.back();
+  // Fault and translation counters of this process, keyed by its (node-
+  // local) name. The address space lives exactly as long as the node, so the
+  // captured reference cannot dangle.
+  const std::string prefix = "vm." + proc_name + ".";
+  const AddressSpace::Counters& c = as.counters();
+  metrics_.RegisterGauge(prefix + "faults", [&c] { return c.faults; });
+  metrics_.RegisterGauge(prefix + "unrecoverable_faults", [&c] { return c.unrecoverable_faults; });
+  metrics_.RegisterGauge(prefix + "tcow_copies", [&c] { return c.tcow_copies; });
+  metrics_.RegisterGauge(prefix + "tcow_reenables", [&c] { return c.tcow_reenables; });
+  metrics_.RegisterGauge(prefix + "cow_copies", [&c] { return c.cow_copies; });
+  metrics_.RegisterGauge(prefix + "pageins", [&c] { return c.pageins; });
+  metrics_.RegisterGauge(prefix + "zero_fills", [&c] { return c.zero_fills; });
+  metrics_.RegisterGauge(prefix + "tlb_hits", [&c] { return c.tlb_hits; });
+  metrics_.RegisterGauge(prefix + "tlb_misses", [&c] { return c.tlb_misses; });
+  metrics_.RegisterGauge(prefix + "tlb_invalidations", [&c] { return c.tlb_invalidations; });
+  metrics_.RegisterGauge(prefix + "coalesced_runs", [&c] { return c.coalesced_runs; });
+  metrics_.RegisterGauge(prefix + "coalesced_pages", [&c] { return c.coalesced_pages; });
+  metrics_.RegisterGauge(prefix + "io_errors", [&c] { return c.io_errors; });
+  return as;
 }
 
 void Node::RegisterPooledHandler(std::uint64_t channel,

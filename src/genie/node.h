@@ -13,6 +13,7 @@
 
 #include "src/cost/cost_model.h"
 #include "src/net/adapter.h"
+#include "src/obs/metrics.h"
 #include "src/sim/engine.h"
 #include "src/sim/trace.h"
 #include "src/sim/resource.h"
@@ -90,16 +91,32 @@ class Node {
   }
 
   // Optional execution tracing (chrome://tracing export); nullptr disables.
+  // The log is given this node's sim clock so TraceScope and the VM fault
+  // instants read the current simulated time without threading the engine.
   void set_trace(TraceLog* trace) {
     trace_ = trace;
     adapter_.set_trace(trace);
+    vm_.set_trace(trace);
+    if (trace != nullptr) {
+      trace->set_clock([this] { return engine_->now(); });
+    }
   }
   TraceLog* trace() { return trace_; }
 
+  // This node's metrics registry. The node registers gauges over its own
+  // components (physical memory, backing store, pageout daemon, adapter) at
+  // construction and over each process address space in CreateProcess;
+  // endpoints add theirs when constructed on the node. The underlying
+  // structs stay authoritative — the registry is a uniform read path.
+  MetricsRegistry& metrics() { return metrics_; }
+
  private:
+  void RegisterComponentGauges();
+
   Engine* engine_;
   std::string name_;
   CostModel cost_;
+  MetricsRegistry metrics_;
   Vm vm_;
   Resource cpu_;
   Adapter adapter_;

@@ -33,6 +33,10 @@ Testbed::Testbed(const ExperimentConfig& config) : config_(config) {
 
   sender_ = std::make_unique<Node>(engine_, "tx", sender_cfg);
   receiver_ = std::make_unique<Node>(engine_, "rx", receiver_cfg);
+  if (config.trace != nullptr) {
+    sender_->set_trace(config.trace);
+    receiver_->set_trace(config.trace);
+  }
   network_ = std::make_unique<Network>(engine_, *sender_, *receiver_);
   tx_ep_ = std::make_unique<Endpoint>(*sender_, 1, config.options);
   rx_ep_ = std::make_unique<Endpoint>(*receiver_, 1, config.options);

@@ -32,6 +32,9 @@ struct ExperimentConfig {
   int repetitions = 5;
   std::size_t mem_frames = 4096;
   bool collect_op_samples = false;
+  // Optional execution trace: attached to both testbed nodes (benches set
+  // this from the GENIE_TRACE env hook). Not owned; nullptr disables.
+  TraceLog* trace = nullptr;
 };
 
 struct LatencySample {

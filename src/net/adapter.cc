@@ -274,6 +274,18 @@ void Adapter::EndRxFrame(bool crc_ok) {
     return;
   }
   ++frames_received_;
+  if (!crc_ok) {
+    ++rx_crc_errors_;
+  }
+  if (rx.truncated) {
+    ++rx_truncated_frames_;
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire",
+                    "rx_complete " + std::to_string(rx.bytes) + "B" +
+                        (crc_ok ? "" : " crc_error") + (rx.truncated ? " truncated" : ""),
+                    "net", engine_.now());
+  }
   switch (config_.rx_buffering) {
     case InputBuffering::kEarlyDemux: {
       RxCompletion completion;

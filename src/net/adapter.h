@@ -180,6 +180,11 @@ class Adapter {
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_received() const { return frames_received_; }
   std::uint64_t frames_dropped_no_buffer() const { return frames_dropped_no_buffer_; }
+  // Delivered frames whose CRC check failed (line errors, injected or real).
+  std::uint64_t rx_crc_errors() const { return rx_crc_errors_; }
+  // Delivered frames longer than their posted buffer (short-transfer events:
+  // the tail was cut at the receiving device).
+  std::uint64_t rx_truncated_frames() const { return rx_truncated_frames_; }
 
  private:
   struct RxState {
@@ -262,6 +267,8 @@ class Adapter {
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t frames_dropped_no_buffer_ = 0;
+  std::uint64_t rx_crc_errors_ = 0;
+  std::uint64_t rx_truncated_frames_ = 0;
 };
 
 }  // namespace genie

@@ -1,0 +1,42 @@
+#include "src/obs/gate.h"
+
+#include <cstdio>
+
+namespace genie {
+
+std::string GateResult::ToString() const {
+  std::string out;
+  for (const std::string& f : failures) {
+    out += f;
+    out += '\n';
+  }
+  return out;
+}
+
+GateResult CheckExactMetrics(const MetricsSnapshot& snapshot,
+                             std::span<const MetricExpectation> expected) {
+  GateResult result;
+  for (const MetricExpectation& e : expected) {
+    const std::uint64_t actual = snapshot.Value(e.name);
+    if (actual != e.expected) {
+      result.failures.push_back("metric " + e.name + ": expected " +
+                                std::to_string(e.expected) + ", got " +
+                                std::to_string(actual));
+    }
+  }
+  return result;
+}
+
+GateResult CheckThroughputFloor(const std::string& name, double mb_per_s,
+                                double floor_mb_per_s) {
+  GateResult result;
+  if (!(mb_per_s >= floor_mb_per_s)) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s: %.1f MB/s below the %.1f MB/s floor",
+                  name.c_str(), mb_per_s, floor_mb_per_s);
+    result.failures.push_back(buf);
+  }
+  return result;
+}
+
+}  // namespace genie

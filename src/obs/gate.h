@@ -1,0 +1,41 @@
+// Bench-regression gate over MetricsSnapshot: exact-match comparison of
+// deterministic op-count metrics, and tolerance-band checks for wall-clock
+// throughput. Both report every violation (not just the first) so a CI
+// failure shows the whole drift at once.
+#ifndef GENIE_SRC_OBS_GATE_H_
+#define GENIE_SRC_OBS_GATE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace genie {
+
+struct MetricExpectation {
+  std::string name;
+  std::uint64_t expected = 0;
+};
+
+struct GateResult {
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+  std::string ToString() const;  // one failure per line
+};
+
+// Exact match: every expectation's metric must equal its expected value
+// (absent == 0). Op counts are bit-stable across runs, so no tolerance.
+GateResult CheckExactMetrics(const MetricsSnapshot& snapshot,
+                             std::span<const MetricExpectation> expected);
+
+// Tolerance band: fails when `mb_per_s` falls below `floor_mb_per_s`.
+// Floors are set far under measured steady-state (see DESIGN.md §9) so the
+// gate catches order-of-magnitude regressions without wall-clock flake.
+GateResult CheckThroughputFloor(const std::string& name, double mb_per_s,
+                                double floor_mb_per_s);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_OBS_GATE_H_

@@ -1,0 +1,178 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+#include "src/util/json.h"
+
+namespace genie {
+
+namespace {
+
+// 2^(k/4) for k = 0..3, written out exactly so boundaries are identical on
+// every platform (no runtime pow).
+constexpr double kQuarterOctave[4] = {
+    1.0,
+    1.1892071150027210667,
+    1.4142135623730950488,
+    1.6817928305074290861,
+};
+
+// Smallest bucket tops out at 2^-10 us (~1 ns of simulated time).
+constexpr int kMinExponent = -10;
+constexpr std::size_t kFiniteBuckets = LatencyHistogram::kBuckets - 1;
+
+const double* Boundaries() {
+  static const auto bounds = [] {
+    static double b[kFiniteBuckets];
+    for (std::size_t i = 0; i < kFiniteBuckets; ++i) {
+      b[i] = std::ldexp(kQuarterOctave[i % 4], kMinExponent + static_cast<int>(i / 4));
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+double LatencyHistogram::BucketUpperBound(std::size_t i) {
+  GENIE_CHECK_LT(i, kBuckets);
+  return Boundaries()[std::min(i, kFiniteBuckets - 1)];
+}
+
+std::size_t LatencyHistogram::BucketIndex(double value_us) {
+  const double* b = Boundaries();
+  const double* end = b + kFiniteBuckets;
+  const double* it = std::lower_bound(b, end, value_us);  // first bound >= value
+  return static_cast<std::size_t>(it - b);  // == kFiniteBuckets -> overflow
+}
+
+void LatencyHistogram::Add(double value_us) {
+  ++buckets_[BucketIndex(value_us)];
+  if (count_ == 0) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  ++count_;
+  sum_ += value_us;
+}
+
+double LatencyHistogram::Quantile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  GENIE_CHECK(p >= 0.0 && p <= 100.0) << "p=" << p;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      if (i == kBuckets - 1) {
+        return max_;  // Overflow bucket has no boundary; report the true max.
+      }
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable: rank <= count_
+}
+
+std::uint64_t& MetricsRegistry::Counter(const std::string& name) {
+  return counters_[name];  // value-initialized to 0 on first use
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name, GaugeFn fn) {
+  GENIE_CHECK(fn != nullptr) << "gauge " << name;
+  gauges_[name] = std::move(fn);
+}
+
+void MetricsRegistry::UnregisterByPrefix(const std::string& prefix) {
+  auto it = gauges_.lower_bound(prefix);
+  while (it != gauges_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = gauges_.erase(it);
+  }
+}
+
+LatencyHistogram& MetricsRegistry::Histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, value] : counters_) {
+    if (value != 0) {
+      snap.values[name] = value;
+    }
+  }
+  for (const auto& [name, fn] : gauges_) {
+    const std::uint64_t value = fn();
+    if (value != 0) {
+      // A gauge and a counter under one name would silently shadow each
+      // other in the flat view; nothing registers both.
+      GENIE_CHECK(snap.values.find(name) == snap.values.end())
+          << "metric name collision: " << name;
+      snap.values[name] = value;
+    }
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h.count() == 0) {
+      continue;
+    }
+    HistogramStats s;
+    s.count = h.count();
+    s.sum = h.sum();
+    s.min = h.min();
+    s.max = h.max();
+    s.p50 = h.Quantile(50);
+    s.p95 = h.Quantile(95);
+    s.p99 = h.Quantile(99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void MetricsSnapshot::WriteJson(std::ostream& os) const {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    WriteJsonString(os, name);
+    os << ": " << value;
+  }
+  for (const auto& [name, h] : histograms) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    WriteJsonString(os, name);
+    os << ": {\"count\": " << h.count << ", \"sum\": ";
+    WriteJsonDouble(os, h.sum);
+    os << ", \"min\": ";
+    WriteJsonDouble(os, h.min);
+    os << ", \"max\": ";
+    WriteJsonDouble(os, h.max);
+    os << ", \"p50\": ";
+    WriteJsonDouble(os, h.p50);
+    os << ", \"p95\": ";
+    WriteJsonDouble(os, h.p95);
+    os << ", \"p99\": ";
+    WriteJsonDouble(os, h.p99);
+    os << "}";
+  }
+  os << "}";
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+}  // namespace genie

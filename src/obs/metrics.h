@@ -1,0 +1,131 @@
+// Unified observability: one registry per node holding every counter, gauge,
+// and latency histogram the simulated host exposes.
+//
+// The subsystem structs (Endpoint::Stats, AddressSpace::Counters, the
+// physical-memory / backing-store / pageout / adapter accessors) remain the
+// canonical storage — their accessors are unchanged and every existing call
+// site keeps working. The registry reads them through gauge callbacks, so a
+// MetricsSnapshot is one flat, machine-readable view of the whole node:
+// exact integer values for the deterministic op counts (the bench gate
+// compares them bit-for-bit) plus histogram percentiles for latencies.
+//
+// Determinism: histograms use fixed log-scale bucket boundaries (four
+// buckets per octave, precomputed from an exact mantissa table), so p50/p95/
+// p99 depend only on the sample multiset, never on insertion order or
+// floating-point summation order.
+#ifndef GENIE_SRC_OBS_METRICS_H_
+#define GENIE_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace genie {
+
+// Fixed-boundary log-scale histogram for simulated latencies (microseconds).
+// Boundaries are 2^(i/4) scaled to cover ~1 ns .. ~18 minutes; values above
+// the top boundary land in an overflow bucket. Quantiles return the upper
+// boundary of the bucket holding the ranked sample, clamped to the observed
+// [min, max] — so a single-sample histogram reports that sample exactly and
+// overflow quantiles report the true maximum.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 161;  // 160 finite + overflow
+
+  // Upper boundary of bucket `i` in microseconds; the overflow bucket
+  // (i == kBuckets - 1) has no finite boundary and reports the previous one.
+  static double BucketUpperBound(std::size_t i);
+
+  // Index of the bucket that holds `value_us`.
+  static std::size_t BucketIndex(double value_us);
+
+  void Add(double value_us);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  // Quantile for p in [0, 100]: the value at rank ceil(p/100 * count)
+  // (1-based, clamped), resolved to its bucket's upper boundary and clamped
+  // to [min, max]. 0 for an empty histogram.
+  double Quantile(double p) const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile summary of one histogram, as captured in a snapshot.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// A point-in-time, alphabetically ordered capture of a registry. Zero-valued
+// integers and empty histograms are omitted (absent == 0 via Value()), which
+// keeps the JSON stable as instruments are registered but never hit.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> values;          // counters + gauges
+  std::map<std::string, HistogramStats> histograms;
+
+  // Value of a counter or gauge; 0 if absent from the snapshot.
+  std::uint64_t Value(const std::string& name) const {
+    auto it = values.find(name);
+    return it == values.end() ? 0 : it->second;
+  }
+
+  // One flat JSON object: integer members for values, nested objects
+  // (count/sum/min/max/p50/p95/p99) for histograms. Deterministic: map
+  // order, round-trip double formatting.
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  using GaugeFn = std::function<std::uint64_t()>;
+
+  // Owned counter cell, created at 0 on first use. The reference is stable
+  // for the registry's lifetime (node-owned storage, unlike gauges which
+  // read component state).
+  std::uint64_t& Counter(const std::string& name);
+  void Add(const std::string& name, std::uint64_t delta) { Counter(name) += delta; }
+
+  // Registers (or replaces) a gauge: a callback sampled at Snapshot() time.
+  // Exact by construction — gauges return integers read straight from the
+  // owning struct, not cached copies.
+  void RegisterGauge(const std::string& name, GaugeFn fn);
+
+  // Drops every gauge whose name starts with `prefix`. Components that can
+  // die before the node (endpoints) unregister their gauges on destruction;
+  // counters and histograms are registry-owned and survive.
+  void UnregisterByPrefix(const std::string& prefix);
+
+  // Owned histogram, created empty on first use; stable reference.
+  LatencyHistogram& Histogram(const std::string& name);
+
+  std::size_t gauge_count() const { return gauges_.size(); }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, GaugeFn> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_OBS_METRICS_H_

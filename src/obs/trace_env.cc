@@ -1,0 +1,31 @@
+#include "src/obs/trace_env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace genie {
+
+ScopedTraceFile::ScopedTraceFile(const char* env_var) {
+  const char* path = std::getenv(env_var);
+  if (path != nullptr && path[0] != '\0') {
+    path_ = path;
+    log_ = std::make_unique<TraceLog>();
+  }
+}
+
+ScopedTraceFile::~ScopedTraceFile() {
+  if (log_ == nullptr) {
+    return;
+  }
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "GENIE_TRACE: cannot open %s for writing\n", path_.c_str());
+    return;
+  }
+  log_->WriteJson(out);
+  std::fprintf(stderr, "GENIE_TRACE: wrote %zu events to %s\n", log_->event_count(),
+               path_.c_str());
+}
+
+}  // namespace genie

@@ -1,0 +1,36 @@
+// GENIE_TRACE=out.json support for benches and examples: construct one
+// ScopedTraceFile at the top of main(), attach log() to the nodes of
+// interest (nullptr when the variable is unset — tracing stays free), and
+// the Chrome/Perfetto trace JSON is written when the scope closes.
+#ifndef GENIE_SRC_OBS_TRACE_ENV_H_
+#define GENIE_SRC_OBS_TRACE_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sim/trace.h"
+
+namespace genie {
+
+class ScopedTraceFile {
+ public:
+  explicit ScopedTraceFile(const char* env_var = "GENIE_TRACE");
+  // Writes the trace to the configured path (best-effort; a warning is
+  // printed on failure, the program's work is already done).
+  ~ScopedTraceFile();
+  ScopedTraceFile(const ScopedTraceFile&) = delete;
+  ScopedTraceFile& operator=(const ScopedTraceFile&) = delete;
+
+  // The log to attach via Node::set_trace; nullptr when tracing is off.
+  TraceLog* log() { return log_.get(); }
+  bool enabled() const { return log_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::unique_ptr<TraceLog> log_;
+  std::string path_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_OBS_TRACE_ENV_H_

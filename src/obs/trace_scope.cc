@@ -1,0 +1,42 @@
+#include "src/obs/trace_scope.h"
+
+#include <utility>
+
+namespace genie {
+
+TraceScope::TraceScope(TraceLog* log, std::string track, std::string name,
+                       std::string category)
+    : log_(log),
+      track_(std::move(track)),
+      name_(std::move(name)),
+      category_(std::move(category)) {
+  if (log_ != nullptr) {
+    start_ = log_->Now();
+  } else {
+    ended_ = true;
+  }
+}
+
+void TraceScope::End() {
+  if (ended_) {
+    return;
+  }
+  ended_ = true;
+  log_->Span(track_, name_, category_, start_, log_->Now());
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceLog* log, const std::string& context)
+    : log_(log) {
+  if (log_ != nullptr) {
+    previous_ = log_->context();
+    log_->set_context(context);
+  }
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (log_ != nullptr) {
+    log_->set_context(std::move(previous_));
+  }
+}
+
+}  // namespace genie

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "src/util/check.h"
+#include "src/util/json.h"
 
 namespace genie {
 
@@ -16,30 +17,6 @@ void TraceLog::Instant(const std::string& track, const std::string& name,
                        const std::string& category, SimTime at) {
   events_.push_back(Event{track, name, category, at, at, true});
 }
-
-namespace {
-
-void WriteEscaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      default:
-        os << c;
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
 
 void TraceLog::WriteJson(std::ostream& os) const {
   // Assign a stable integer tid per track, in order of first appearance.
@@ -56,7 +33,7 @@ void TraceLog::WriteJson(std::ostream& os) const {
     }
     first = false;
     os << R"({"ph":"M","pid":1,"tid":)" << tid << R"(,"name":"thread_name","args":{"name":)";
-    WriteEscaped(os, track);
+    WriteJsonString(os, track);
     os << "}}";
   }
   for (const Event& e : events_) {
@@ -66,9 +43,9 @@ void TraceLog::WriteJson(std::ostream& os) const {
     first = false;
     const double ts_us = SimTimeToMicros(e.start);
     os << R"({"pid":1,"tid":)" << tids[e.track] << R"(,"ts":)" << ts_us << R"(,"name":)";
-    WriteEscaped(os, e.name);
+    WriteJsonString(os, e.name);
     os << R"(,"cat":)";
-    WriteEscaped(os, e.category);
+    WriteJsonString(os, e.category);
     if (e.instant) {
       os << R"(,"ph":"i","s":"t"})";
     } else {

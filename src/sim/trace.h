@@ -7,6 +7,7 @@
 #define GENIE_SRC_SIM_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -17,6 +18,15 @@ namespace genie {
 
 class TraceLog {
  public:
+  struct Event {
+    std::string track;
+    std::string name;
+    std::string category;
+    SimTime start = 0;
+    SimTime end = 0;  // == start for instants
+    bool instant = false;
+  };
+
   // Records a completed span [start, end) on `track`.
   void Span(const std::string& track, const std::string& name, const std::string& category,
             SimTime start, SimTime end);
@@ -26,22 +36,30 @@ class TraceLog {
                const std::string& category, SimTime at);
 
   std::size_t event_count() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
   void Clear() { events_.clear(); }
+
+  // Optional simulated clock, used by convenience emitters (TraceScope) so
+  // span producers need not thread an Engine everywhere. Node::set_trace
+  // installs its engine's clock; an unclocked log reads 0.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  SimTime Now() const { return clock_ ? clock_() : 0; }
+
+  // Current transfer context (e.g. "out#3[copy]"), managed RAII-style by
+  // ScopedTraceContext around a transfer's synchronous phases. Deeper layers
+  // (VM fault handler) prefix their instants with it, keying the event to
+  // the transfer that caused it. Empty outside any transfer.
+  const std::string& context() const { return context_; }
+  void set_context(std::string context) { context_ = std::move(context); }
 
   // Writes the Chrome trace-event JSON array format. Timestamps are emitted
   // in microseconds (the trace-event unit).
   void WriteJson(std::ostream& os) const;
 
  private:
-  struct Event {
-    std::string track;
-    std::string name;
-    std::string category;
-    SimTime start = 0;
-    SimTime end = 0;  // == start for instants
-    bool instant = false;
-  };
   std::vector<Event> events_;
+  std::function<SimTime()> clock_;
+  std::string context_;
 };
 
 }  // namespace genie

@@ -1,0 +1,65 @@
+#include "src/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace genie {
+
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void WriteJsonDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << '0';
+    return;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int prec = 6; prec <= 17; prec += prec < 15 ? 3 : 2) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) {
+      break;
+    }
+  }
+  os << buf;
+}
+
+}  // namespace genie

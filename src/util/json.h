@@ -1,0 +1,26 @@
+// Minimal JSON emission helpers shared by the trace exporter and the metrics
+// snapshot. Only string escaping and number formatting live here — the
+// callers hand-assemble their (flat) documents.
+#ifndef GENIE_SRC_UTIL_JSON_H_
+#define GENIE_SRC_UTIL_JSON_H_
+
+#include <ostream>
+#include <string_view>
+
+namespace genie {
+
+// Writes `s` as a JSON string literal, including the surrounding quotes.
+// Escapes the two mandatory characters (quote, backslash), the common
+// whitespace shorthands (\n \r \t \b \f), and every remaining control
+// character below 0x20 as \u00XX — RFC 8259 requires all of them, and a
+// track or span name is free-form text that may contain any of it.
+void WriteJsonString(std::ostream& os, std::string_view s);
+
+// Writes a double with enough digits to round-trip, using "%.17g" only when
+// needed; never emits locale-dependent separators. NaN/Inf (not valid JSON)
+// are emitted as 0.
+void WriteJsonDouble(std::ostream& os, double v);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_UTIL_JSON_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/sim/trace.h"
 #include "src/util/check.h"
 
 namespace genie {
@@ -288,6 +289,7 @@ MemoryObject::Lookup AddressSpace::LookupOrPageIn(MemoryObject& top, std::uint64
       }
       obj->InsertPage(index, frame);
       ++counters_.pageins;
+      TraceVmEvent("pagein");
       return MemoryObject::Lookup{.frame = frame, .object = obj, .in_top = is_top};
     }
     is_top = false;
@@ -344,10 +346,12 @@ AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
           pm.Free(old);  // Zombie until the output drops its reference.
           MapPage(base, copy, Prot::kReadWrite);
           ++counters_.tcow_copies;
+          TraceVmEvent("tcow_copy");
         } else {
           // Output already completed: simply re-enable writing (no copy).
           MapPage(base, found.frame, Prot::kReadWrite);
           ++counters_.tcow_reenables;
+          TraceVmEvent("tcow_reenable");
         }
       } else {
         // Read fault on a resident page (e.g. unmapped by pageout path).
@@ -368,6 +372,7 @@ AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
         top.InsertPage(index, copy);
         MapPage(base, copy, Prot::kReadWrite);
         ++counters_.cow_copies;
+        TraceVmEvent("cow_copy");
       } else {
         MapPage(base, found.frame, Prot::kRead);
       }
@@ -386,7 +391,18 @@ AccessResult AddressSpace::HandleFault(Vaddr va, bool for_write) {
   top.InsertPage(index, frame);
   MapPage(base, frame, Prot::kReadWrite);
   ++counters_.zero_fills;
+  TraceVmEvent("zero_fill");
   return AccessResult::kOk;
+}
+
+void AddressSpace::TraceVmEvent(const char* event) {
+  TraceLog* trace = vm_->trace();
+  if (trace == nullptr) {
+    return;
+  }
+  const std::string& ctx = trace->context();
+  trace->Instant(name_ + ".vm", ctx.empty() ? std::string(event) : ctx + "." + event, "vm",
+                 trace->Now());
 }
 
 FrameId AddressSpace::ResolvePageForIo(Vaddr va, bool for_write) {

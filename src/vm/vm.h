@@ -15,6 +15,8 @@
 
 namespace genie {
 
+class TraceLog;
+
 class Vm {
  public:
   Vm(std::size_t num_frames, std::uint32_t page_size)
@@ -53,6 +55,12 @@ class Vm {
     }
   }
 
+  // Optional execution tracing: the fault paths emit per-event instants
+  // (page-in, TCOW/COW copy, zero-fill) prefixed with the log's current
+  // transfer context. Installed by Node::set_trace; nullptr disables.
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+  TraceLog* trace() { return trace_; }
+
  private:
   friend class MemoryObject;
   ObjectId RegisterObject(MemoryObject* obj) {
@@ -64,6 +72,7 @@ class Vm {
 
   PhysicalMemory pm_;
   BackingStore backing_;
+  TraceLog* trace_ = nullptr;
   std::function<void(std::size_t)> reclaimer_;
   std::uint32_t page_size_;
   ObjectId next_object_id_ = 1;

@@ -1,0 +1,376 @@
+// Per-semantics primitive-operation counts: the Table 6 regression oracle.
+//
+// For one 8 KiB datagram under each of the eight semantics — aligned early-
+// demux and page-offset pooled buffering — the exact multiset of charged
+// primitive operations is pinned down, sender and receiver side, counts and
+// bytes. These are the operations whose fitted costs reproduce the paper's
+// Table 6; any change to a semantics' op sequence shows up here as an exact
+// diff long before it shifts a latency curve.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "tests/genie_test_util.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kSrc = 0x20000000;
+constexpr Vaddr kDst = 0x30000000;
+constexpr std::uint64_t kLen = 2 * kPage;
+
+struct OpExpectation {
+  OpKind op;
+  std::uint64_t tx_count;
+  std::uint64_t rx_count;
+  std::uint64_t tx_bytes;
+  std::uint64_t rx_bytes;
+};
+
+struct Scenario {
+  Semantics sem;
+  InputBuffering buffering;
+  std::uint32_t dst_offset;  // Applied to application-allocated semantics.
+  std::vector<OpExpectation> ops;
+};
+
+// Aligned receive buffer, early-demux adapter (the Figure 3 setting).
+const std::vector<Scenario>& AlignedEarlyDemux() {
+  static const std::vector<Scenario> kScenarios = {
+      {Semantics::kCopy,
+       InputBuffering::kEarlyDemux,
+       0,
+       {
+           {OpKind::kCopyin, 1, 0, 8192, 0},
+           {OpKind::kCopyout, 0, 1, 0, 8192},
+           {OpKind::kUnreference, 1, 0, 8192, 0},
+           {OpKind::kOverlayAllocate, 1, 1, 0, 0},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kEmulatedCopy,
+       InputBuffering::kEarlyDemux,
+       0,
+       {
+           {OpKind::kReference, 1, 0, 8192, 0},
+           {OpKind::kUnreference, 1, 0, 8192, 0},
+           {OpKind::kReadOnly, 1, 0, 8192, 0},
+           {OpKind::kSwap, 0, 1, 0, 8192},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kShare,
+       InputBuffering::kEarlyDemux,
+       0,
+       {
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 1, 8192, 8192},
+           {OpKind::kWire, 1, 1, 8192, 8192},
+           {OpKind::kUnwire, 1, 1, 8192, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kEmulatedShare,
+       InputBuffering::kEarlyDemux,
+       0,
+       {
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 1, 8192, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kMove,
+       InputBuffering::kEarlyDemux,
+       0,
+       {
+           {OpKind::kZeroFill, 0, 1, 0, 0},
+           {OpKind::kReference, 1, 0, 8192, 0},
+           {OpKind::kUnreference, 1, 0, 8192, 0},
+           {OpKind::kWire, 1, 0, 8192, 0},
+           {OpKind::kUnwire, 1, 0, 8192, 0},
+           {OpKind::kInvalidate, 1, 0, 8192, 0},
+           {OpKind::kRegionCreate, 0, 1, 0, 0},
+           {OpKind::kRegionFill, 0, 1, 0, 8192},
+           {OpKind::kRegionMap, 0, 1, 0, 8192},
+           {OpKind::kRegionMarkOut, 1, 0, 0, 0},
+           {OpKind::kRegionRemove, 1, 0, 0, 0},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kEmulatedMove,
+       InputBuffering::kEarlyDemux,
+       0,
+       {
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 0, 8192, 0},
+           {OpKind::kInvalidate, 1, 0, 8192, 0},
+           {OpKind::kRegionCreate, 0, 1, 0, 0},
+           {OpKind::kRegionMarkOut, 2, 0, 0, 0},
+           {OpKind::kRegionCheckUnrefReinstateMarkIn, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kWeakMove,
+       InputBuffering::kEarlyDemux,
+       0,
+       {
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 1, 8192, 8192},
+           {OpKind::kWire, 1, 1, 8192, 8192},
+           {OpKind::kUnwire, 1, 1, 8192, 8192},
+           {OpKind::kRegionCreate, 0, 1, 0, 0},
+           {OpKind::kRegionMarkOut, 2, 0, 0, 0},
+           {OpKind::kRegionMarkIn, 0, 1, 0, 0},
+           {OpKind::kRegionCheck, 0, 1, 0, 0},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kEmulatedWeakMove,
+       InputBuffering::kEarlyDemux,
+       0,
+       {
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 0, 8192, 0},
+           {OpKind::kRegionCreate, 0, 1, 0, 0},
+           {OpKind::kRegionMarkOut, 2, 0, 0, 0},
+           {OpKind::kRegionCheckUnrefMarkIn, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+  };
+  return kScenarios;
+}
+
+// Unaligned (page offset 1000) receive buffer, pooled adapter buffering (the
+// Figure 7 setting): the overlay machinery appears, and misalignment forces
+// the receive-side copyout for application-allocated semantics.
+const std::vector<Scenario>& UnalignedPooled() {
+  static const std::vector<Scenario> kScenarios = {
+      {Semantics::kCopy,
+       InputBuffering::kPooled,
+       1000,
+       {
+           {OpKind::kCopyin, 1, 0, 8192, 0},
+           {OpKind::kCopyout, 0, 1, 0, 8192},
+           {OpKind::kUnreference, 1, 0, 8192, 0},
+           {OpKind::kOverlayAllocate, 1, 1, 0, 0},
+           {OpKind::kOverlay, 0, 1, 0, 0},
+           {OpKind::kOverlayDeallocate, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kEmulatedCopy,
+       InputBuffering::kPooled,
+       1000,
+       {
+           {OpKind::kCopyout, 0, 1, 0, 8192},
+           {OpKind::kReference, 1, 0, 8192, 0},
+           {OpKind::kUnreference, 1, 0, 8192, 0},
+           {OpKind::kReadOnly, 1, 0, 8192, 0},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kOverlay, 0, 1, 0, 0},
+           {OpKind::kOverlayDeallocate, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kShare,
+       InputBuffering::kPooled,
+       1000,
+       {
+           {OpKind::kCopyout, 0, 1, 0, 8192},
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 1, 8192, 8192},
+           {OpKind::kWire, 1, 1, 8192, 8192},
+           {OpKind::kUnwire, 1, 1, 8192, 8192},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kOverlay, 0, 1, 0, 0},
+           {OpKind::kOverlayDeallocate, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kEmulatedShare,
+       InputBuffering::kPooled,
+       1000,
+       {
+           {OpKind::kCopyout, 0, 1, 0, 8192},
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 1, 8192, 8192},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kOverlay, 0, 1, 0, 0},
+           {OpKind::kOverlayDeallocate, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kMove,
+       InputBuffering::kPooled,
+       1000,
+       {
+           {OpKind::kZeroFill, 0, 1, 0, 0},
+           {OpKind::kReference, 1, 0, 8192, 0},
+           {OpKind::kUnreference, 1, 0, 8192, 0},
+           {OpKind::kWire, 1, 0, 8192, 0},
+           {OpKind::kUnwire, 1, 0, 8192, 0},
+           {OpKind::kInvalidate, 1, 0, 8192, 0},
+           {OpKind::kRegionCreate, 0, 1, 0, 0},
+           {OpKind::kRegionFillOverlayRefill, 0, 1, 0, 8192},
+           {OpKind::kRegionMap, 0, 1, 0, 8192},
+           {OpKind::kRegionMarkOut, 1, 0, 0, 0},
+           {OpKind::kRegionRemove, 1, 0, 0, 0},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kOverlay, 0, 1, 0, 0},
+           {OpKind::kOverlayDeallocate, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kEmulatedMove,
+       InputBuffering::kPooled,
+       1000,
+       {
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 1, 8192, 8192},
+           {OpKind::kInvalidate, 1, 0, 8192, 0},
+           {OpKind::kSwap, 0, 1, 0, 8192},
+           {OpKind::kRegionCreate, 0, 1, 0, 0},
+           {OpKind::kRegionMarkOut, 2, 0, 0, 0},
+           {OpKind::kRegionMarkIn, 0, 1, 0, 0},
+           {OpKind::kRegionCheck, 0, 1, 0, 0},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kOverlay, 0, 1, 0, 0},
+           {OpKind::kOverlayDeallocate, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kWeakMove,
+       InputBuffering::kPooled,
+       1000,
+       {
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 1, 8192, 8192},
+           {OpKind::kWire, 1, 1, 8192, 8192},
+           {OpKind::kUnwire, 1, 1, 8192, 8192},
+           {OpKind::kSwap, 0, 1, 0, 8192},
+           {OpKind::kRegionCreate, 0, 1, 0, 0},
+           {OpKind::kRegionMarkOut, 2, 0, 0, 0},
+           {OpKind::kRegionMarkIn, 0, 1, 0, 0},
+           {OpKind::kRegionCheck, 0, 1, 0, 0},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kOverlay, 0, 1, 0, 0},
+           {OpKind::kOverlayDeallocate, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+      {Semantics::kEmulatedWeakMove,
+       InputBuffering::kPooled,
+       1000,
+       {
+           {OpKind::kReference, 1, 1, 8192, 8192},
+           {OpKind::kUnreference, 1, 1, 8192, 8192},
+           {OpKind::kSwap, 0, 1, 0, 8192},
+           {OpKind::kRegionCreate, 0, 1, 0, 0},
+           {OpKind::kRegionMarkOut, 2, 0, 0, 0},
+           {OpKind::kRegionMarkIn, 0, 1, 0, 0},
+           {OpKind::kRegionCheck, 0, 1, 0, 0},
+           {OpKind::kOverlayAllocate, 0, 1, 0, 0},
+           {OpKind::kOverlay, 0, 1, 0, 0},
+           {OpKind::kOverlayDeallocate, 0, 1, 0, 8192},
+           {OpKind::kSenderKernelFixed, 1, 0, 0, 0},
+           {OpKind::kReceiverKernelFixed, 0, 1, 0, 0},
+       }},
+  };
+  return kScenarios;
+}
+
+void CheckScenario(const Scenario& sc) {
+  SCOPED_TRACE(std::string(SemanticsName(sc.sem)) + " / " +
+               std::string(InputBufferingName(sc.buffering)) + " / offset " +
+               std::to_string(sc.dst_offset));
+  Rig rig(sc.buffering);
+  rig.tx_app.CreateRegion(kSrc, 16 * kPage,
+                          IsSystemAllocated(sc.sem) ? RegionState::kMovedIn
+                                                    : RegionState::kUnmovable);
+  Vaddr dst = kDst;
+  if (IsApplicationAllocated(sc.sem)) {
+    rig.rx_app.CreateRegion(kDst, 16 * kPage);
+    dst += sc.dst_offset;
+  }
+  const auto payload = TestPattern(kLen, 1);
+  ASSERT_EQ(rig.tx_app.Write(kSrc, payload), AccessResult::kOk);
+  const InputResult result = rig.Transfer(kSrc, dst, kLen, sc.sem);
+  ASSERT_TRUE(result.ok);
+
+  // Every op kind is checked: listed ones against their expectation, all
+  // others against zero, on both sides, counts and bytes.
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const OpKind op = static_cast<OpKind>(i);
+    OpExpectation want{op, 0, 0, 0, 0};
+    for (const OpExpectation& e : sc.ops) {
+      if (e.op == op) {
+        want = e;
+        break;
+      }
+    }
+    SCOPED_TRACE(std::string(OpKindName(op)));
+    EXPECT_EQ(rig.tx_ep.op_count(op), want.tx_count);
+    EXPECT_EQ(rig.rx_ep.op_count(op), want.rx_count);
+    EXPECT_EQ(rig.tx_ep.op_bytes(op), want.tx_bytes);
+    EXPECT_EQ(rig.rx_ep.op_bytes(op), want.rx_bytes);
+
+    // The registry's gauge view must agree exactly with the accessors — the
+    // bench gate reads these names.
+    const std::string op_prefix = "ep1.op." + std::string(OpKindName(op)) + ".";
+    EXPECT_EQ(rig.sender.metrics().Snapshot().Value(op_prefix + "count"), want.tx_count);
+    EXPECT_EQ(rig.receiver.metrics().Snapshot().Value(op_prefix + "count"), want.rx_count);
+  }
+}
+
+class OpCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OpCountTest, AlignedEarlyDemuxMatchesOracle) {
+  CheckScenario(AlignedEarlyDemux()[GetParam()]);
+}
+
+TEST_P(OpCountTest, UnalignedPooledMatchesOracle) {
+  CheckScenario(UnalignedPooled()[GetParam()]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSemantics, OpCountTest, ::testing::Range<std::size_t>(0, 8),
+                         [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+                           std::string name(SemanticsName(kAllSemantics[param_info.param]));
+                           for (char& c : name) {
+                             if (c == ' ') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Counts are per-endpoint and reset with it: a second identical transfer on a
+// fresh rig reproduces the oracle bit-for-bit (determinism of the charge
+// sequence itself).
+TEST(OpCountTest, RepeatRunsAreBitIdentical) {
+  auto run = [] {
+    Rig rig;
+    rig.tx_app.CreateRegion(kSrc, 16 * kPage);
+    rig.rx_app.CreateRegion(kDst, 16 * kPage);
+    (void)rig.tx_app.Write(kSrc, TestPattern(kLen, 1));
+    GENIE_CHECK(rig.Transfer(kSrc, kDst, kLen, Semantics::kEmulatedCopy).ok);
+    std::vector<std::uint64_t> v;
+    for (std::size_t i = 0; i < kOpKindCount; ++i) {
+      v.push_back(rig.tx_ep.op_count(static_cast<OpKind>(i)));
+      v.push_back(rig.rx_ep.op_count(static_cast<OpKind>(i)));
+      v.push_back(rig.tx_ep.op_bytes(static_cast<OpKind>(i)));
+      v.push_back(rig.rx_ep.op_bytes(static_cast<OpKind>(i)));
+    }
+    return v;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,235 @@
+// Metrics registry: counters, gauges, log-scale latency histograms, and the
+// snapshot JSON view. Includes the histogram-vs-exact-percentile property
+// test (deterministic seeds) and the bench-gate checks.
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/gate.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace genie {
+namespace {
+
+// One bucket spans a quarter octave: upper/lower boundary ratio 2^(1/4).
+constexpr double kBucketRatio = 1.1892071150027210667;
+
+TEST(MetricsRegistryTest, CountersStartAtZeroAndAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.Counter("a"), 0u);
+  reg.Add("a", 3);
+  reg.Add("a", 4);
+  EXPECT_EQ(reg.Counter("a"), 7u);
+}
+
+TEST(MetricsRegistryTest, CounterReferencesAreStable) {
+  MetricsRegistry reg;
+  std::uint64_t& a = reg.Counter("a");
+  // Creating many more counters must not invalidate the first reference
+  // (std::map storage).
+  for (int i = 0; i < 100; ++i) {
+    reg.Counter("x" + std::to_string(i)) = 1;
+  }
+  a = 42;
+  EXPECT_EQ(reg.Counter("a"), 42u);
+}
+
+TEST(MetricsRegistryTest, GaugesSampleAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::uint64_t live = 5;
+  reg.RegisterGauge("g", [&live] { return live; });
+  EXPECT_EQ(reg.Snapshot().Value("g"), 5u);
+  live = 9;  // No re-registration needed: the callback reads current state.
+  EXPECT_EQ(reg.Snapshot().Value("g"), 9u);
+}
+
+TEST(MetricsRegistryTest, RegisterGaugeReplacesOnRebind) {
+  MetricsRegistry reg;
+  reg.RegisterGauge("g", [] { return std::uint64_t{1}; });
+  reg.RegisterGauge("g", [] { return std::uint64_t{2}; });
+  EXPECT_EQ(reg.gauge_count(), 1u);
+  EXPECT_EQ(reg.Snapshot().Value("g"), 2u);
+}
+
+TEST(MetricsRegistryTest, UnregisterByPrefixDropsOnlyMatching) {
+  MetricsRegistry reg;
+  reg.RegisterGauge("ep1.outputs", [] { return std::uint64_t{1}; });
+  reg.RegisterGauge("ep1.inputs", [] { return std::uint64_t{2}; });
+  reg.RegisterGauge("ep10.outputs", [] { return std::uint64_t{3}; });
+  reg.RegisterGauge("mem.free", [] { return std::uint64_t{4}; });
+  reg.UnregisterByPrefix("ep1.");
+  EXPECT_EQ(reg.gauge_count(), 2u);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("ep1.outputs"), 0u);
+  EXPECT_EQ(snap.Value("ep1.inputs"), 0u);
+  // "ep10." does not match prefix "ep1." followed by the dot.
+  EXPECT_EQ(snap.Value("ep10.outputs"), 3u);
+  EXPECT_EQ(snap.Value("mem.free"), 4u);
+}
+
+TEST(MetricsRegistryTest, SnapshotOmitsZeroValuesAndEmptyHistograms) {
+  MetricsRegistry reg;
+  reg.Counter("zero");
+  reg.Add("nonzero", 1);
+  reg.RegisterGauge("gauge_zero", [] { return std::uint64_t{0}; });
+  reg.Histogram("empty_hist");
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.values.size(), 1u);
+  EXPECT_EQ(snap.histograms.size(), 0u);
+  // Absent reads as zero — the gate treats missing and zero identically.
+  EXPECT_EQ(snap.Value("zero"), 0u);
+  EXPECT_EQ(snap.Value("never_registered"), 0u);
+  EXPECT_EQ(snap.Value("nonzero"), 1u);
+}
+
+TEST(MetricsSnapshotTest, JsonIsFlatAndDeterministic) {
+  MetricsRegistry reg;
+  reg.Add("b.count", 2);
+  reg.Add("a.count", 1);
+  reg.Histogram("lat").Add(10.0);
+  const std::string json = reg.Snapshot().ToJson();
+  // Alphabetical member order regardless of insertion order.
+  EXPECT_LT(json.find("\"a.count\": 1"), json.find("\"b.count\": 2"));
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 10"), std::string::npos);
+  // Byte-identical on re-capture.
+  EXPECT_EQ(json, reg.Snapshot().ToJson());
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(50), 0.0);
+  EXPECT_EQ(h.Quantile(0), 0.0);
+  EXPECT_EQ(h.Quantile(100), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsReportedExactly) {
+  LatencyHistogram h;
+  h.Add(137.5);
+  // Clamping to [min, max] collapses every quantile onto the one sample.
+  EXPECT_EQ(h.Quantile(0), 137.5);
+  EXPECT_EQ(h.Quantile(50), 137.5);
+  EXPECT_EQ(h.Quantile(99), 137.5);
+  EXPECT_EQ(h.Quantile(100), 137.5);
+  EXPECT_EQ(h.min(), 137.5);
+  EXPECT_EQ(h.max(), 137.5);
+  EXPECT_EQ(h.sum(), 137.5);
+}
+
+TEST(LatencyHistogramTest, OverflowSamplesReportTrueMaximum) {
+  LatencyHistogram h;
+  const double top = LatencyHistogram::BucketUpperBound(LatencyHistogram::kBuckets - 2);
+  const double huge = top * 1000.0;  // Far beyond the last finite boundary.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(huge), LatencyHistogram::kBuckets - 1);
+  h.Add(1.0);
+  h.Add(huge);
+  EXPECT_EQ(h.count(), 2u);
+  // p99 ranks into the overflow bucket; the clamp makes it the observed max
+  // rather than an unbounded boundary.
+  EXPECT_EQ(h.Quantile(99), huge);
+  EXPECT_EQ(h.max(), huge);
+}
+
+TEST(LatencyHistogramTest, BoundariesAreStrictlyIncreasing) {
+  for (std::size_t i = 1; i + 1 < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_LT(LatencyHistogram::BucketUpperBound(i - 1), LatencyHistogram::BucketUpperBound(i));
+  }
+  // Each boundary sits in its own bucket (boundaries are inclusive upper
+  // bounds), so BucketIndex inverts BucketUpperBound.
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(LatencyHistogram::BucketUpperBound(i)), i);
+  }
+}
+
+TEST(LatencyHistogramTest, QuantileOrderIsInsensitive) {
+  // Same multiset inserted in opposite orders -> identical quantiles.
+  std::vector<double> xs;
+  SplitMix64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(1.0 + 5000.0 * rng.NextDouble());
+  }
+  LatencyHistogram fwd;
+  LatencyHistogram rev;
+  for (const double x : xs) {
+    fwd.Add(x);
+  }
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    rev.Add(*it);
+  }
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(fwd.Quantile(p), rev.Quantile(p)) << "p=" << p;
+  }
+}
+
+// Property test (satellite): against the exact linear-interpolation
+// Percentile from util/stats.h, the histogram quantile must land within one
+// bucket width. Log-uniform samples over three decades keep adjacent order
+// statistics well inside a quarter octave, so the comparison is tight; the
+// seeds are fixed, so the test is deterministic.
+TEST(LatencyHistogramTest, QuantilesTrackExactPercentilesWithinOneBucket) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SplitMix64 rng(seed);
+    LatencyHistogram h;
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i) {
+      // Log-uniform over [1, 1000] us.
+      const double v = std::pow(10.0, 3.0 * rng.NextDouble());
+      xs.push_back(v);
+      h.Add(v);
+    }
+    for (const double p : {1.0, 5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+      const double exact = Percentile(xs, p);
+      const double approx = h.Quantile(p);
+      EXPECT_LE(approx, exact * kBucketRatio)
+          << "seed=" << seed << " p=" << p << " exact=" << exact;
+      EXPECT_GE(approx, exact / kBucketRatio)
+          << "seed=" << seed << " p=" << p << " exact=" << exact;
+    }
+  }
+}
+
+TEST(GateTest, ExactMetricsPassAndFail) {
+  MetricsRegistry reg;
+  reg.Add("ep1.op.copyin.count", 16);
+  reg.Add("ep1.op.reference.count", 3);
+  const MetricsSnapshot snap = reg.Snapshot();
+
+  const MetricExpectation good[] = {
+      {"ep1.op.copyin.count", 16},
+      {"ep1.op.reference.count", 3},
+      {"ep1.op.swap.count", 0},  // absent == 0
+  };
+  EXPECT_TRUE(CheckExactMetrics(snap, good).ok());
+
+  const MetricExpectation bad[] = {
+      {"ep1.op.copyin.count", 15},
+      {"ep1.op.reference.count", 3},
+      {"ep1.op.swap.count", 2},
+  };
+  const GateResult result = CheckExactMetrics(snap, bad);
+  EXPECT_FALSE(result.ok());
+  // Every violation is reported, not just the first.
+  EXPECT_EQ(result.failures.size(), 2u);
+  EXPECT_NE(result.ToString().find("ep1.op.copyin.count"), std::string::npos);
+  EXPECT_NE(result.ToString().find("expected 15, got 16"), std::string::npos);
+}
+
+TEST(GateTest, ThroughputFloor) {
+  EXPECT_TRUE(CheckThroughputFloor("memcpy", 1000.0, 50.0).ok());
+  EXPECT_FALSE(CheckThroughputFloor("memcpy", 10.0, 50.0).ok());
+  // NaN must fail, not silently pass (the check is !(x >= floor)).
+  EXPECT_FALSE(CheckThroughputFloor("memcpy", std::nan(""), 50.0).ok());
+}
+
+}  // namespace
+}  // namespace genie

@@ -47,6 +47,52 @@ TEST(TraceLogTest, EscapesSpecialCharacters) {
   EXPECT_NE(os.str().find("quote\\\"back\\\\slash"), std::string::npos);
 }
 
+TEST(TraceLogTest, EscapesAllControlCharacters) {
+  TraceLog trace;
+  // Every kind of character JSON forbids raw inside a string: the named
+  // short escapes and an arbitrary control byte (0x01) that needs \u00XX.
+  trace.Instant("t", std::string("a\nb\rc\td\be\ff") + '\x01' + "g", "c", 0);
+  std::ostringstream os;
+  trace.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("a\\nb\\rc\\td\\be\\ff\\u0001g"), std::string::npos);
+  // None of the raw bytes may survive into the output (newlines between
+  // rows are structural; the payload's would appear glued to 'a'..'f').
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_EQ(json.find("a\nb"), std::string::npos);
+  EXPECT_EQ(json.find("c\td"), std::string::npos);
+}
+
+TEST(TraceLogTest, EscapesTrackNamesInMetadata) {
+  TraceLog trace;
+  trace.Instant("tr\"ack\n1", "event", "c", 0);
+  std::ostringstream os;
+  trace.WriteJson(os);
+  const std::string json = os.str();
+  // The track name appears (escaped) in the thread_name metadata row.
+  EXPECT_NE(json.find("tr\\\"ack\\n1"), std::string::npos);
+  EXPECT_EQ(json.find("ack\n1"), std::string::npos);
+}
+
+TEST(TraceLogTest, ClockDefaultsToZeroAndFollowsInstalledCallback) {
+  TraceLog trace;
+  EXPECT_EQ(trace.Now(), 0);
+  SimTime t = 42 * kMicrosecond;
+  trace.set_clock([&t] { return t; });
+  EXPECT_EQ(trace.Now(), 42 * kMicrosecond);
+  t = 99 * kMicrosecond;
+  EXPECT_EQ(trace.Now(), 99 * kMicrosecond);
+}
+
+TEST(TraceLogTest, ContextIsEmptyByDefaultAndSettable) {
+  TraceLog trace;
+  EXPECT_TRUE(trace.context().empty());
+  trace.set_context("out#1[copy]");
+  EXPECT_EQ(trace.context(), "out#1[copy]");
+  trace.set_context("");
+  EXPECT_TRUE(trace.context().empty());
+}
+
 TEST(TraceLogTest, GenieTransferProducesStructuredTrace) {
   TraceLog trace;
   Rig rig;

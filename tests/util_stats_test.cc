@@ -64,6 +64,29 @@ TEST(StatsTest, PercentileUnsortedInput) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 50), 20.0);
 }
 
+TEST(StatsTest, PercentileSingleSample) {
+  const std::array<double, 1> xs = {42.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 42.0);
+}
+
+TEST(StatsTest, PercentileWithDuplicates) {
+  const std::array<double, 5> xs = {5.0, 5.0, 5.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 9.0);
+}
+
+TEST(StatsTest, PercentileIsMonotonicInP) {
+  const std::array<double, 6> xs = {1.0, 4.0, 4.5, 9.0, 16.0, 25.0};
+  double prev = Percentile(xs, 0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = Percentile(xs, p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
 TEST(RunningStatsTest, Empty) {
   RunningStats rs;
   EXPECT_EQ(rs.count(), 0u);
