@@ -55,4 +55,23 @@ if ! GENIE_FAULT_SEED=$ENTROPY_SEED ASAN_OPTIONS=detect_leaks=0 \
   echo "NON-FATAL: entropy seed $ENTROPY_SEED failed the fault-stress harness — file for triage."
 fi
 
+echo "=== tier-1: lossy-link soak (ASan) ==="
+# Fourth leg: the reliable-delivery stress harness (ARQ + semantics fallback
+# + transfer watchdogs under link drop/duplicate/reorder faults) under ASan.
+# Same shape as leg 3: three pinned seeds gate the build, one entropy seed
+# widens coverage without gating.
+RELIABLE_BIN=build-asan/tests/reliable_stress_test
+RELIABLE_FILTER='--gtest_filter=ReliableStressTest.SeededFaultSweepsDeliverExactlyOnce'
+for seed in 7003 7071 7158; do
+  echo "reliable-stress fixed seed $seed"
+  GENIE_RELIABLE_SEED=$seed ASAN_OPTIONS=detect_leaks=0 \
+    timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"
+done
+ENTROPY_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+echo "reliable-stress entropy seed $ENTROPY_SEED (replay: GENIE_RELIABLE_SEED=$ENTROPY_SEED $RELIABLE_BIN $RELIABLE_FILTER)"
+if ! GENIE_RELIABLE_SEED=$ENTROPY_SEED ASAN_OPTIONS=detect_leaks=0 \
+    timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"; then
+  echo "NON-FATAL: entropy seed $ENTROPY_SEED failed the reliable-stress harness — file for triage."
+fi
+
 echo "CI OK: all suites passed."

@@ -17,6 +17,78 @@ std::uint64_t CeilPages(std::uint64_t len, std::uint32_t page_size) {
   return (len + page_size - 1) / page_size;
 }
 
+// Semantics degradation chains (options.enable_semantics_fallback): the next
+// semantics to try after `s` failed to prepare. The chain runs emulated ->
+// basic -> copy; copy is the floor because it only needs a system buffer and
+// a copyin/copyout, the weakest resource demand of the taxonomy.
+//
+// Demoting a move-family output to copy sets *deallocate_region: the
+// application relinquished the buffer when it called output, so the copy
+// fallback must still retire the moved-in region at dispose.
+bool NextOutputFallback(Semantics s, Semantics* next, bool* deallocate_region) {
+  switch (s) {
+    case Semantics::kEmulatedCopy:
+      *next = Semantics::kCopy;
+      return true;
+    case Semantics::kEmulatedShare:
+      *next = Semantics::kShare;
+      return true;
+    case Semantics::kShare:
+      *next = Semantics::kCopy;
+      return true;
+    case Semantics::kEmulatedMove:
+      *next = Semantics::kMove;
+      return true;
+    case Semantics::kEmulatedWeakMove:
+      *next = Semantics::kWeakMove;
+      return true;
+    case Semantics::kMove:
+    case Semantics::kWeakMove:
+      *next = Semantics::kCopy;
+      *deallocate_region = true;
+      return true;
+    case Semantics::kCopy:
+      return false;
+  }
+  return false;
+}
+
+// Input chains keep the allocation family fixed: an application-allocated
+// input must deliver into the caller's buffer (floor: copy), a
+// system-allocated input must deliver a moved-in region (floor: basic move,
+// which builds its region from a plain system buffer at dispose and has no
+// prepare-time region or wiring demands).
+bool NextInputFallback(Semantics s, bool system_allocated, Semantics* next) {
+  if (system_allocated) {
+    switch (s) {
+      case Semantics::kEmulatedMove:
+        *next = Semantics::kMove;
+        return true;
+      case Semantics::kEmulatedWeakMove:
+        *next = Semantics::kWeakMove;
+        return true;
+      case Semantics::kWeakMove:
+        *next = Semantics::kMove;
+        return true;
+      default:
+        return false;
+    }
+  }
+  switch (s) {
+    case Semantics::kEmulatedCopy:
+      *next = Semantics::kCopy;
+      return true;
+    case Semantics::kEmulatedShare:
+      *next = Semantics::kShare;
+      return true;
+    case Semantics::kShare:
+      *next = Semantics::kCopy;
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 Endpoint::Endpoint(Node& node, std::uint64_t channel, GenieOptions options)
@@ -70,6 +142,10 @@ void Endpoint::RegisterMetrics() {
   m.RegisterGauge(metric_prefix_ + "failed_inputs", [this] { return stats_.failed_inputs; });
   m.RegisterGauge(metric_prefix_ + "recovered_transfers",
                   [this] { return stats_.recovered_transfers; });
+  m.RegisterGauge(metric_prefix_ + "semantics_fallbacks",
+                  [this] { return stats_.semantics_fallbacks; });
+  m.RegisterGauge(metric_prefix_ + "watchdog_cancels",
+                  [this] { return stats_.watchdog_cancels; });
   for (std::size_t i = 0; i < kOpKindCount; ++i) {
     const std::string op_prefix =
         metric_prefix_ + "op." + std::string(OpKindName(static_cast<OpKind>(i))) + ".";
@@ -175,7 +251,7 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
     // Synchronous phase: VM events it triggers (faults, page-ins) are keyed
     // to this transfer.
     ScopedTraceContext trace_ctx(node_->trace(), st->xfer);
-    prep = PrepareOutput(*st, charges);
+    prep = PrepareOutputWithFallback(*st, charges);
   }
   if (prep != IoStatus::kOk) {
     // The output never started; everything prepared so far was unwound. The
@@ -342,13 +418,109 @@ IoStatus Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
   return IoStatus::kOk;
 }
 
+void Endpoint::RecordSemanticsFallback(const std::string& xfer, std::string_view from,
+                                       std::string_view to) {
+  ++stats_.semantics_fallbacks;
+  node_->reliable().RecordFallback(xfer, from, to);
+}
+
+IoStatus Endpoint::PrepareOutputWithFallback(OutputState& st, Charges& ch) {
+  IoStatus prep = PrepareOutput(st, ch);
+  while (prep != IoStatus::kOk && options_.enable_semantics_fallback) {
+    Semantics next;
+    bool deallocate = st.deallocate_region;
+    if (!NextOutputFallback(st.effective, &next, &deallocate)) {
+      break;
+    }
+    RecordSemanticsFallback(st.xfer, SemanticsName(st.effective), SemanticsName(next));
+    // The failed attempt unwound its own resources; drop the stale handles
+    // before retrying with the demoted semantics.
+    st.ref = IoReference{};
+    st.sysbuf = SysBuffer{};
+    st.has_sysbuf = false;
+    st.has_fused_header = false;
+    st.wire = IoVec{};
+    st.effective = next;
+    st.deallocate_region = deallocate;
+    prep = PrepareOutput(st, ch);
+  }
+  if (prep == IoStatus::kOk && st.deallocate_region) {
+    // Copy fallback of a move-family output: mark the region moving-out now
+    // (so the application cannot start another transfer from it) and retire
+    // it at dispose, honoring the move contract despite the demotion.
+    if (Region* region = st.app->RegionAt(st.region_start); region != nullptr) {
+      region->state = RegionState::kMovingOut;
+    }
+    ch.Add(OpKind::kRegionMarkOut, 0);
+  }
+  return prep;
+}
+
 Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
   // Device setup, bus and network fixed latencies, then the wire transfer.
   // The transmit span covers DMA through the adapter completion.
+  ReliableDelivery& reliable = node_->reliable();
   TraceScope transmit_span(node_->trace(), XferTrack(), st->xfer + ".transmit");
   co_await Delay(node_->engine(), node_->Cost(OpKind::kHardwareFixed, 0));
-  co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag);
+  bool delivery_failed = false;
+  bool watchdog_cancelled = false;
+  if (reliable.arq_enabled()) {
+    auto token = std::make_shared<ReliableDelivery::CancelToken>();
+    std::uint64_t watch_id = 0;
+    bool watching = false;
+    if (reliable.watchdog_enabled()) {
+      watching = true;
+      watch_id = reliable.Watch(st->xfer, [this, token] {
+        if (token->cancelled) {
+          return ReliableDelivery::WatchVerdict::kBusy;  // Unwind under way.
+        }
+        token->cancelled = true;
+        // Kick the transfer out of whichever wait it is parked in: a credit
+        // wait is aborted outright, an ack wait is woken to observe the
+        // cancellation.
+        if (token->ctl != nullptr) {
+          node_->adapter().AbortCreditWait(channel_, token->ctl);
+        }
+        if (token->wake != nullptr) {
+          token->wake->Set();
+        }
+        return ReliableDelivery::WatchVerdict::kCancelled;
+      });
+    }
+    const ReliableDelivery::TxReport report = co_await reliable.TransmitReliably(
+        channel_, st->wire, st->header, st->tag, st->xfer, token);
+    if (watching) {
+      reliable.Unwatch(watch_id);
+    }
+    delivery_failed = report.outcome != ReliableDelivery::TxOutcome::kDelivered;
+    watchdog_cancelled = report.outcome == ReliableDelivery::TxOutcome::kCancelled;
+  } else if (reliable.watchdog_enabled()) {
+    // Unreliable transmit, but watched: a credit deadlock (flow control with
+    // the peer never posting a receive) is broken by aborting the wait.
+    auto ctl = std::make_shared<TxControl>();
+    const std::uint64_t watch_id = reliable.Watch(st->xfer, [this, ctl] {
+      return node_->adapter().AbortCreditWait(channel_, ctl)
+                 ? ReliableDelivery::WatchVerdict::kCancelled
+                 : ReliableDelivery::WatchVerdict::kBusy;
+    });
+    co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag, ctl);
+    reliable.Unwatch(watch_id);
+    delivery_failed = ctl->aborted;
+    watchdog_cancelled = ctl->aborted;
+  } else {
+    co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag);
+  }
   transmit_span.End();
+  if (delivery_failed) {
+    // The data never reached the peer (retries exhausted or watchdog
+    // cancelled); the send still disposes below — the sender-side unwind is
+    // identical — but is accounted as failed-and-recovered.
+    ++stats_.failed_outputs;
+    ++stats_.recovered_transfers;
+    if (watchdog_cancelled) {
+      ++stats_.watchdog_cancels;
+    }
+  }
 
   // Transmit-complete: dispose on the sender CPU (overlapping the network
   // and receiver-side processing).
@@ -389,6 +561,14 @@ void Endpoint::DisposeOutput(OutputState& st, Charges& ch) {
       }
       FreeSysBuffer(pm, st.sysbuf);
       ch.Add(OpKind::kUnreference, len);
+      if (st.deallocate_region) {
+        // Copy fallback of a move-family output: the application gave the
+        // buffer up, so the moved-in region is still retired here.
+        if (app.RegionAt(st.region_start) != nullptr) {
+          app.RemoveRegion(st.region_start);
+        }
+        ch.Add(OpKind::kRegionRemove, 0);
+      }
       break;
     }
     case Semantics::kEmulatedCopy: {
@@ -497,7 +677,7 @@ Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64
   IoStatus prep;
   {
     ScopedTraceContext trace_ctx(node_->trace(), pi->xfer);
-    prep = PrepareInput(*pi, charges);
+    prep = PrepareInputWithFallback(*pi, charges);
   }
   for (const auto& [op, bytes] : charges.items) {
     co_await Charge(op, bytes);
@@ -517,10 +697,12 @@ Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64
     co_return pi->result;
   }
 
+  pi->cancel_id = next_cancel_id_++;
   switch (pi->mode) {
     case InputBuffering::kEarlyDemux: {
       Adapter::PostedReceive posted;
       posted.target = pi->target;
+      posted.cancel_id = pi->cancel_id;
       posted.on_complete = [this, pi](const RxCompletion& c) {
         std::move(RunDisposeEarlyDemux(pi, c)).Detach();
       };
@@ -535,8 +717,43 @@ Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64
       break;
   }
 
+  bool watching = false;
+  std::uint64_t watch_id = 0;
+  if (node_->reliable().watchdog_enabled()) {
+    watching = true;
+    watch_id = node_->reliable().Watch(pi->xfer, [this, pi] { return TryCancelStuckInput(pi); });
+  }
   co_await pi->done.Wait();
+  if (watching) {
+    node_->reliable().Unwatch(watch_id);
+  }
   co_return pi->result;
+}
+
+IoStatus Endpoint::PrepareInputWithFallback(PendingInput& pi, Charges& ch) {
+  IoStatus prep = PrepareInput(pi, ch);
+  while (prep != IoStatus::kOk && options_.enable_semantics_fallback) {
+    Semantics next;
+    if (!NextInputFallback(pi.sem, pi.system_allocated, &next)) {
+      break;
+    }
+    RecordSemanticsFallback(pi.xfer, SemanticsName(pi.sem), SemanticsName(next));
+    // The failed attempt unwound its own resources (including resetting
+    // pi.va for system-allocated regions); drop the stale handles and retry
+    // demoted. Dispose follows pi.sem, so the downgrade carries through the
+    // whole transfer automatically.
+    pi.sysbuf = SysBuffer{};
+    pi.has_sysbuf = false;
+    pi.ref = IoReference{};
+    pi.wired = false;
+    pi.wired_frames.clear();
+    pi.region_start = 0;
+    pi.region_object.reset();
+    pi.target = IoVec{};
+    pi.sem = next;
+    prep = PrepareInput(pi, ch);
+  }
+  return prep;
 }
 
 IoStatus Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
@@ -567,9 +784,24 @@ IoStatus Endpoint::PrepareInput(PendingInput& pi, Charges& ch) {
       if (pi.mode == InputBuffering::kEarlyDemux) {
         const std::uint32_t offset =
             options_.enable_input_alignment ? static_cast<std::uint32_t>(pi.va % psz) : 0;
-        if (!node_->TryEnsureFreeFrames(
-                CeilPages(static_cast<std::uint64_t>(offset) + len, psz)) ||
-            !TryAllocateSysBuffer(pm, offset, len, &pi.sysbuf)) {
+        if (options_.enable_semantics_fallback) {
+          // Alignment degradation: when the aligned pool is exhausted, an
+          // offset-0 buffer (one page smaller) may still fit; the dispose
+          // then copies out instead of swapping, staying emulated copy.
+          bool degraded = false;
+          if (!TryAllocateSysBufferDegraded(
+                  pm, offset, len, &pi.sysbuf, &degraded,
+                  [this](std::uint64_t pages) {
+                    return node_->TryEnsureFreeFrames(static_cast<std::size_t>(pages));
+                  })) {
+            return IoStatus::kNoMemory;
+          }
+          if (degraded) {
+            RecordSemanticsFallback(pi.xfer, "aligned", "unaligned");
+          }
+        } else if (!node_->TryEnsureFreeFrames(
+                       CeilPages(static_cast<std::uint64_t>(offset) + len, psz)) ||
+                   !TryAllocateSysBuffer(pm, offset, len, &pi.sysbuf)) {
           return IoStatus::kNoMemory;
         }
         pi.has_sysbuf = true;
@@ -1011,14 +1243,14 @@ DisposePlan Endpoint::DisposeAligned(PendingInput& pi, Vaddr va, std::uint64_t n
   return plan;
 }
 
-void Endpoint::CleanupFailedInput(PendingInput& pi, Charges& ch) {
+void Endpoint::UnwindInputResources(PendingInput& pi, Charges& ch) {
   AddressSpace& app = *pi.app;
   PhysicalMemory& pm = app.vm().pm();
-  ++stats_.crc_failures;
   if (pi.has_sysbuf) {
     // Strong semantics: the application buffer was never touched; simply
     // discard the system buffer.
     FreeSysBuffer(pm, pi.sysbuf);
+    pi.has_sysbuf = false;
   }
   if (pi.wired) {
     UnwireFrames(pi);
@@ -1037,10 +1269,69 @@ void Endpoint::CleanupFailedInput(PendingInput& pi, Charges& ch) {
       app.EnqueueCachedRegion(region->start);
     }
   }
+}
+
+void Endpoint::CleanupFailedInput(PendingInput& pi, Charges& ch) {
+  ++stats_.crc_failures;
+  UnwindInputResources(pi, ch);
   pi.result.ok = false;
   pi.result.status = IoStatus::kIoError;
   ++stats_.failed_inputs;
   ++stats_.recovered_transfers;
+}
+
+ReliableDelivery::WatchVerdict Endpoint::TryCancelStuckInput(
+    const std::shared_ptr<PendingInput>& pi) {
+  if (pi->result.completed_at != 0 || pi->done.is_set()) {
+    return ReliableDelivery::WatchVerdict::kCompleted;  // Raced its completion.
+  }
+  switch (pi->mode) {
+    case InputBuffering::kEarlyDemux:
+      if (!node_->adapter().CancelPostedReceive(channel_, pi->cancel_id)) {
+        // The posting was consumed: a frame is mid-delivery into it. The
+        // completion handler owns the input now; extend the deadline.
+        return ReliableDelivery::WatchVerdict::kBusy;
+      }
+      break;
+    case InputBuffering::kPooled: {
+      auto it = std::find(pending_pooled_.begin(), pending_pooled_.end(), pi);
+      if (it == pending_pooled_.end()) {
+        return ReliableDelivery::WatchVerdict::kBusy;
+      }
+      pending_pooled_.erase(it);
+      break;
+    }
+    case InputBuffering::kOutboard: {
+      auto it = std::find(pending_outboard_.begin(), pending_outboard_.end(), pi);
+      if (it == pending_outboard_.end()) {
+        return ReliableDelivery::WatchVerdict::kBusy;
+      }
+      pending_outboard_.erase(it);
+      break;
+    }
+  }
+  CancelStuckInput(*pi);
+  return ReliableDelivery::WatchVerdict::kCancelled;
+}
+
+void Endpoint::CancelStuckInput(PendingInput& pi) {
+  // Watchdog path: runs outside the CPU resource and charges nothing —
+  // cancellation is control-plane work off the measured data path.
+  Charges discarded;
+  UnwindInputResources(pi, discarded);
+  pi.result.ok = false;
+  pi.result.status = IoStatus::kCancelled;
+  pi.result.completed_at = node_->engine().now();
+  ++stats_.failed_inputs;
+  ++stats_.recovered_transfers;
+  ++stats_.watchdog_cancels;
+  if (TraceLog* trace = node_->trace(); trace != nullptr) {
+    trace->Instant(XferTrack(), pi.xfer + " watchdog cancelled", "reliable",
+                   node_->engine().now());
+  }
+  RecordInputComplete(pi);
+  FinishOperation();
+  pi.done.Set();
 }
 
 Endpoint::ChecksumVerdict Endpoint::VerifyChecksum(PendingInput& pi, const IoVec& data,

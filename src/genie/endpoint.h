@@ -35,6 +35,7 @@ enum class IoStatus : std::uint8_t {
   kOk = 0,
   kNoMemory,   // frame allocation failed and pageout could not make room
   kIoError,    // device error, failed page-in, or buffer yanked mid-transfer
+  kCancelled,  // transfer watchdog cancelled a stuck operation
 };
 
 struct InputResult {
@@ -70,6 +71,10 @@ class Endpoint {
     std::uint64_t failed_outputs = 0;
     std::uint64_t failed_inputs = 0;
     std::uint64_t recovered_transfers = 0;
+    // Reliability layer: semantics downgrades taken instead of failing
+    // (options.enable_semantics_fallback) and watchdog-cancelled operations.
+    std::uint64_t semantics_fallbacks = 0;
+    std::uint64_t watchdog_cancels = 0;
   };
 
   Endpoint(Node& node, std::uint64_t channel, GenieOptions options = GenieOptions{});
@@ -166,6 +171,10 @@ class Endpoint {
     std::uint16_t fused_header = 0;
     bool extra_wired = false;  // ablation: emulated semantics wired
     Vaddr region_start = 0;    // system-allocated
+    // Semantics fallback demoted a move-family output to copy: the moved-in
+    // region must still be deallocated at dispose (the move contract — the
+    // application has relinquished the buffer).
+    bool deallocate_region = false;
     std::string xfer;          // trace key: "out#<id>[<semantics>]"
     SimTime started_at = 0;
   };
@@ -193,6 +202,10 @@ class Endpoint {
     SimEvent done;
     std::string xfer;  // trace key: "in#<id>[<semantics>]"
     SimTime started_at = 0;
+    // Nonzero when the transfer watchdog may cancel this input; for
+    // early-demultiplexed inputs the same id is stamped on the posted
+    // receive so the adapter-side posting can be revoked atomically.
+    std::uint64_t cancel_id = 0;
   };
 
   Task<InputResult> InputCommon(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem,
@@ -217,11 +230,27 @@ class Endpoint {
   IoStatus PrepareOutput(OutputState& st, Charges& ch);
   void DisposeOutput(OutputState& st, Charges& ch);
   IoStatus PrepareInput(PendingInput& pi, Charges& ch);
+  // Prepare wrapped in the semantics degradation loop: on a recoverable
+  // prepare failure with options.enable_semantics_fallback, walks the chain
+  // emulated -> basic -> copy (resetting the half-prepared state between
+  // attempts) until an attempt sticks or the chain bottoms out.
+  IoStatus PrepareOutputWithFallback(OutputState& st, Charges& ch);
+  IoStatus PrepareInputWithFallback(PendingInput& pi, Charges& ch);
+  void RecordSemanticsFallback(const std::string& xfer, std::string_view from,
+                               std::string_view to);
   // Table 3 dispose (early demultiplexed and outboard DMA targets).
   void DisposeInputTable3(PendingInput& pi, std::uint64_t n, Charges& ch);
   // Table 4 dispose (pooled overlay buffers).
   void DisposeInputTable4(PendingInput& pi, PooledFrame& frame, std::uint64_t n, Charges& ch);
   void CleanupFailedInput(PendingInput& pi, Charges& ch);
+  // Shared unwind core (free sysbuf, unwire, unreference, restore hidden
+  // regions) used by the CRC cleanup path and the watchdog cancel path.
+  void UnwindInputResources(PendingInput& pi, Charges& ch);
+  // Watchdog callback for a stuck input: kCompleted if it finished on its
+  // own, kBusy if a frame is mid-delivery, else revokes the posting/queue
+  // entry, unwinds, fails the input with IoStatus::kCancelled.
+  ReliableDelivery::WatchVerdict TryCancelStuckInput(const std::shared_ptr<PendingInput>& pi);
+  void CancelStuckInput(PendingInput& pi);
 
   Task<void> TransmitAndDispose(std::shared_ptr<OutputState> st);
   Task<void> RunDisposeEarlyDemux(std::shared_ptr<PendingInput> pi, RxCompletion completion);
@@ -281,6 +310,7 @@ class Endpoint {
   std::deque<std::shared_ptr<PendingInput>> pending_outboard_;
   std::map<std::uint32_t, std::shared_ptr<NamedBuffer>> named_buffers_;
   std::uint32_t next_tag_ = 1;
+  std::uint64_t next_cancel_id_ = 1;
 };
 
 }  // namespace genie

@@ -22,6 +22,7 @@ Node::Node(Engine& engine, std::string name, Config config)
       vm_(config.mem_frames, config.profile.page_size),
       cpu_(engine, name_ + ".cpu"),
       adapter_(engine, vm_.pm(), cost_, name_ + ".nic", AdapterConfig(config)),
+      reliable_(std::make_unique<ReliableDelivery>(engine, adapter_, name_ + ".xfer")),
       pageout_(vm_) {
   vm_.set_low_memory_reclaimer([this](std::size_t want) { pageout_.EvictUntilFree(want); });
   if (config.model_driver_work) {
@@ -71,6 +72,37 @@ void Node::RegisterComponentGauges() {
   metrics_.RegisterGauge("nic.rx_crc_errors", [&nic] { return nic.rx_crc_errors(); });
   metrics_.RegisterGauge("nic.rx_truncated_frames",
                          [&nic] { return nic.rx_truncated_frames(); });
+  // Drop causes, split out so "frames_dropped_no_buffer went up" is
+  // diagnosable from a metrics snapshot alone.
+  metrics_.RegisterGauge("nic.drops_no_posted_buffer",
+                         [&nic] { return nic.drops_no_posted_buffer(); });
+  metrics_.RegisterGauge("nic.drops_pool_exhausted",
+                         [&nic] { return nic.drops_pool_exhausted(); });
+  metrics_.RegisterGauge("nic.drops_outboard_overflow",
+                         [&nic] { return nic.drops_outboard_overflow(); });
+  metrics_.RegisterGauge("nic.rx_duplicate_frames",
+                         [&nic] { return nic.rx_duplicate_frames(); });
+  metrics_.RegisterGauge("nic.acks_sent", [&nic] { return nic.acks_sent(); });
+  metrics_.RegisterGauge("nic.nacks_sent", [&nic] { return nic.nacks_sent(); });
+  metrics_.RegisterGauge("nic.link_frames_dropped", [&nic] { return nic.link_frames_dropped(); });
+  metrics_.RegisterGauge("nic.link_frames_duplicated",
+                         [&nic] { return nic.link_frames_duplicated(); });
+  metrics_.RegisterGauge("nic.link_frames_reordered",
+                         [&nic] { return nic.link_frames_reordered(); });
+
+  const ReliableDelivery& rel = *reliable_;
+  metrics_.RegisterGauge("reliable.sequenced_frames",
+                         [&rel] { return rel.stats().sequenced_frames; });
+  metrics_.RegisterGauge("reliable.retransmits", [&rel] { return rel.stats().retransmits; });
+  metrics_.RegisterGauge("reliable.timeouts", [&rel] { return rel.stats().timeouts; });
+  metrics_.RegisterGauge("reliable.acks", [&rel] { return rel.stats().acks; });
+  metrics_.RegisterGauge("reliable.nacks", [&rel] { return rel.stats().nacks; });
+  metrics_.RegisterGauge("reliable.giveups", [&rel] { return rel.stats().giveups; });
+  metrics_.RegisterGauge("reliable.fallbacks", [&rel] { return rel.stats().fallbacks; });
+  metrics_.RegisterGauge("reliable.watchdog_cancels",
+                         [&rel] { return rel.stats().watchdog_cancels; });
+  metrics_.RegisterGauge("reliable.watchdog_scans",
+                         [&rel] { return rel.stats().watchdog_scans; });
 }
 
 AddressSpace& Node::CreateProcess(const std::string& proc_name) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/cost/cost_model.h"
+#include "src/genie/reliable.h"
 #include "src/net/adapter.h"
 #include "src/obs/metrics.h"
 #include "src/sim/engine.h"
@@ -45,6 +46,7 @@ class Node {
   Vm& vm() { return vm_; }
   Resource& cpu() { return cpu_; }
   Adapter& adapter() { return adapter_; }
+  ReliableDelivery& reliable() { return *reliable_; }
   PageoutDaemon& pageout() { return pageout_; }
   std::uint32_t page_size() const { return vm_.page_size(); }
 
@@ -90,6 +92,10 @@ class Node {
     }
   }
 
+  // Turns on the reliable delivery layer (ARQ and/or watchdog) for every
+  // endpoint on this node. Off by default; see ReliableOptions.
+  void EnableReliableDelivery(const ReliableOptions& options) { reliable_->Configure(options); }
+
   // Optional execution tracing (chrome://tracing export); nullptr disables.
   // The log is given this node's sim clock so TraceScope and the VM fault
   // instants read the current simulated time without threading the engine.
@@ -97,6 +103,7 @@ class Node {
     trace_ = trace;
     adapter_.set_trace(trace);
     vm_.set_trace(trace);
+    reliable_->set_trace(trace);
     if (trace != nullptr) {
       trace->set_clock([this] { return engine_->now(); });
     }
@@ -120,6 +127,9 @@ class Node {
   Vm vm_;
   Resource cpu_;
   Adapter adapter_;
+  // unique_ptr so the header needs only the declaration order above; the
+  // layer registers itself as the adapter's ack handler at construction.
+  std::unique_ptr<ReliableDelivery> reliable_;
   PageoutDaemon pageout_;
   std::vector<std::unique_ptr<AddressSpace>> processes_;
   TraceLog* trace_ = nullptr;

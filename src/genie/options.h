@@ -58,6 +58,15 @@ struct GenieOptions {
   // module (application input alignment query, Section 5.2). Zero for our
   // AAL5 stack (no unstripped headers).
   std::uint32_t preferred_input_offset = 0;
+
+  // Graceful semantics degradation: when a prepare step cannot honor the
+  // requested semantics (TCOW sysbuf allocation fails, aligned input pool
+  // exhausted, region wiring fails), retry the transfer along the fallback
+  // chain emulated -> basic -> copy instead of failing the operation. Every
+  // downgrade is counted in Endpoint::Stats::semantics_fallbacks and in the
+  // node's reliable.fallbacks gauge. Off = a failed prepare fails the I/O,
+  // exactly as before.
+  bool enable_semantics_fallback = false;
 };
 
 }  // namespace genie

@@ -1,0 +1,228 @@
+#include "src/genie/reliable.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+ReliableDelivery::ReliableDelivery(Engine& engine, Adapter& adapter, std::string xfer_track)
+    : engine_(&engine),
+      adapter_(&adapter),
+      xfer_track_(std::move(xfer_track)),
+      timers_(engine) {
+  adapter_->set_ack_handler(
+      [this](std::uint64_t channel, std::uint64_t seq, bool ok) { OnAck(channel, seq, ok); });
+}
+
+void ReliableDelivery::Instant(const std::string& text) {
+  if (trace_ != nullptr) {
+    trace_->Instant(xfer_track_, text, "reliable", engine_->now());
+  }
+}
+
+SimTime ReliableDelivery::WithJitter(SimTime timeout) {
+  if (options_.jitter_frac <= 0.0) {
+    return timeout;
+  }
+  const double stretch = static_cast<double>(timeout) * options_.jitter_frac * rng_.NextDouble();
+  return timeout + static_cast<SimTime>(stretch);
+}
+
+void ReliableDelivery::OnAck(std::uint64_t channel, std::uint64_t seq, bool ok) {
+  if (ok) {
+    ++stats_.acks;
+  } else {
+    ++stats_.nacks;
+  }
+  auto it = pending_acks_.find({channel, seq});
+  if (it == pending_acks_.end()) {
+    // Re-ack of a frame we already resolved (the receiver re-acks every
+    // suppressed duplicate so a lost ack cannot wedge the sender).
+    ++stats_.stale_acks;
+    return;
+  }
+  PendingAck& pending = *it->second;
+  if (pending.outcome != PendingAck::kNone) {
+    return;  // This round already resolved (e.g. ack racing the timeout).
+  }
+  pending.outcome = ok ? PendingAck::kAcked : PendingAck::kNacked;
+  pending.event.Set();
+}
+
+Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
+    std::uint64_t channel, IoVec iov, std::uint32_t header, std::uint32_t tag, std::string label,
+    std::shared_ptr<CancelToken> token) {
+  GENIE_CHECK(options_.arq) << "TransmitReliably with ARQ disabled";
+  const std::uint64_t seq = ++next_seq_[channel];
+  ++stats_.sequenced_frames;
+
+  TxReport report;
+  SimTime timeout = options_.initial_timeout;
+  PendingAck pending(*engine_);
+  const std::pair<std::uint64_t, std::uint64_t> key{channel, seq};
+  // Registered before the first transmit: with a delayed-completion fault on
+  // our side of the wire, the peer's ack can arrive while TransmitFrame is
+  // still running.
+  pending_acks_[key] = &pending;
+  if (token != nullptr) {
+    token->wake = &pending.event;
+  }
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    report.attempts = attempt + 1;
+    auto ctl = std::make_shared<TxControl>();
+    ctl->seq = seq;
+    // A retransmitted frame re-occupies the slot its credit already paid
+    // for; acquiring again would double-spend and deadlock under loss.
+    ctl->skip_credit = attempt > 0;
+    if (token != nullptr) {
+      token->ctl = ctl;
+    }
+    co_await adapter_->TransmitFrame(channel, iov, header, tag, ctl);
+    if (ctl->aborted || (token != nullptr && token->cancelled)) {
+      report.outcome = TxOutcome::kCancelled;
+      ++stats_.cancelled_transmits;
+      break;
+    }
+    if (pending.outcome == PendingAck::kNone) {
+      pending.timer = timers_.ScheduleAfter(WithJitter(timeout), [this, key] {
+        auto it = pending_acks_.find(key);
+        if (it == pending_acks_.end() || it->second->outcome != PendingAck::kNone) {
+          return;
+        }
+        it->second->outcome = PendingAck::kTimeout;
+        it->second->event.Set();
+      });
+      co_await pending.event.Wait();
+      timers_.Cancel(pending.timer);
+    }
+    const PendingAck::Outcome outcome = pending.outcome;
+    pending.outcome = PendingAck::kNone;
+    pending.event.Reset();
+
+    if (outcome == PendingAck::kAcked) {
+      report.outcome = TxOutcome::kDelivered;
+      break;
+    }
+    if (token != nullptr && token->cancelled) {
+      report.outcome = TxOutcome::kCancelled;
+      ++stats_.cancelled_transmits;
+      break;
+    }
+    if (attempt >= options_.max_retransmits) {
+      report.outcome = TxOutcome::kGiveUp;
+      ++stats_.giveups;
+      Instant(label + " giveup seq " + std::to_string(seq) + " after " +
+              std::to_string(report.attempts) + " attempts");
+      break;
+    }
+    ++stats_.retransmits;
+    if (outcome == PendingAck::kTimeout) {
+      ++stats_.timeouts;
+      Instant(label + " retransmit(timeout) seq " + std::to_string(seq) + " attempt " +
+              std::to_string(attempt + 2));
+      timeout = std::min<SimTime>(
+          options_.max_timeout, static_cast<SimTime>(static_cast<double>(timeout) *
+                                                     std::max(1.0, options_.backoff_factor)));
+    } else {  // kNacked: receiver saw the frame but CRC failed.
+      Instant(label + " retransmit(nack) seq " + std::to_string(seq) + " attempt " +
+              std::to_string(attempt + 2));
+      if (options_.nack_delay > 0) {
+        co_await Delay(*engine_, options_.nack_delay);
+      }
+      if (pending.outcome == PendingAck::kAcked) {
+        // A duplicate delivery got acked while we paused; done after all.
+        report.outcome = TxOutcome::kDelivered;
+        break;
+      }
+      if (token != nullptr && token->cancelled) {
+        report.outcome = TxOutcome::kCancelled;
+        ++stats_.cancelled_transmits;
+        break;
+      }
+    }
+  }
+
+  pending_acks_.erase(key);
+  if (token != nullptr) {
+    token->wake = nullptr;
+    token->ctl.reset();
+  }
+  co_return report;
+}
+
+std::uint64_t ReliableDelivery::Watch(std::string label, std::function<WatchVerdict()> on_expire) {
+  const std::uint64_t id = next_watch_id_++;
+  if (!watchdog_enabled()) {
+    return id;  // No-op registration keeps call sites branch-free.
+  }
+  watched_.emplace(id, Watched{std::move(label), std::move(on_expire),
+                               engine_->now() + options_.watchdog_timeout});
+  ArmScan();
+  return id;
+}
+
+void ReliableDelivery::Unwatch(std::uint64_t id) { watched_.erase(id); }
+
+void ReliableDelivery::ArmScan() {
+  if (scan_armed_ || watched_.empty()) {
+    return;
+  }
+  scan_armed_ = true;
+  timers_.ScheduleAfter(options_.watchdog_period, [this] {
+    scan_armed_ = false;
+    RunScan();
+    ArmScan();  // Re-arm only while transfers remain watched.
+  });
+}
+
+void ReliableDelivery::RunScan() {
+  ++stats_.watchdog_scans;
+  const SimTime now = engine_->now();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, entry] : watched_) {
+    if (entry.deadline <= now) {
+      expired.push_back(id);
+    }
+  }
+  for (std::uint64_t id : expired) {
+    auto it = watched_.find(id);
+    if (it == watched_.end()) {
+      continue;  // Retired by an earlier callback in this same scan.
+    }
+    // The callback may Unwatch() arbitrary entries (including this one), so
+    // keep what we need before invoking it.
+    const std::string label = it->second.label;
+    const WatchVerdict verdict = it->second.on_expire();
+    it = watched_.find(id);
+    switch (verdict) {
+      case WatchVerdict::kCompleted:
+        if (it != watched_.end()) {
+          watched_.erase(it);
+        }
+        break;
+      case WatchVerdict::kCancelled:
+        ++stats_.watchdog_cancels;
+        Instant(label + " watchdog cancel");
+        if (it != watched_.end()) {
+          watched_.erase(it);
+        }
+        break;
+      case WatchVerdict::kBusy:
+        if (it != watched_.end()) {
+          it->second.deadline = now + options_.watchdog_timeout;
+        }
+        break;
+    }
+  }
+}
+
+void ReliableDelivery::RecordFallback(const std::string& label, std::string_view from,
+                                      std::string_view to) {
+  ++stats_.fallbacks;
+  Instant(label + " fallback " + std::string(from) + " -> " + std::string(to));
+}
+
+}  // namespace genie

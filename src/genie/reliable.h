@@ -1,0 +1,193 @@
+// Reliable delivery layer: per-channel ARQ over the adapter, transfer
+// watchdogs, and bookkeeping for semantics degradation.
+//
+// The adapter (src/net) gives at-most-once datagram service: frames can be
+// lost (link faults, no posted buffer), duplicated, reordered, or corrupted.
+// ReliableDelivery turns an output into exactly-once delivery with
+// stop-and-wait ARQ: each frame carries a per-channel sequence number, the
+// receiving adapter acks (or nacks on CRC failure), and the sender
+// retransmits on timeout with exponential backoff plus deterministic jitter
+// drawn from a seeded SplitMix64. The receiver's dedup set absorbs the
+// duplicates that retransmission inevitably creates, so the host-visible
+// stream is exactly-once even though the wire is not.
+//
+// The watchdog is a periodic scan over registered in-flight transfers. A
+// transfer stuck past the deadline (delayed-completion fault, credit
+// deadlock, lost frame with ARQ off) is handed to its cancel callback, which
+// unwinds VM state (unwire, unreference, free sysbuf, restore hidden
+// regions) and fails the operation with IoStatus::kCancelled. The scan timer
+// is armed only while the watched set is non-empty so Engine::Run() still
+// terminates when the simulation goes quiescent.
+//
+// Everything here is off by default: with ReliableOptions{} the layer adds
+// no events, no RNG draws, and no trace records, keeping every existing
+// deterministic golden (event digests, op-count gates, stress seeds)
+// bit-for-bit identical.
+#ifndef GENIE_SRC_GENIE_RELIABLE_H_
+#define GENIE_SRC_GENIE_RELIABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/net/adapter.h"
+#include "src/sim/awaitable.h"
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/timer.h"
+#include "src/sim/trace.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace genie {
+
+struct ReliableOptions {
+  // ARQ: sequence outputs and retransmit until acked (or give up).
+  bool arq = false;
+  std::uint32_t max_retransmits = 8;   // give up after this many retries
+  SimTime initial_timeout = 2 * kMillisecond;
+  SimTime max_timeout = 32 * kMillisecond;  // backoff ceiling
+  double backoff_factor = 2.0;
+  // Each armed timeout is stretched by a uniform fraction in [0, jitter_frac)
+  // so two channels that lose frames at the same instant do not retransmit in
+  // lockstep forever. Drawn from the seeded RNG: deterministic per seed.
+  double jitter_frac = 0.1;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  // Pause before a nack-triggered retransmit (lets the receiver finish
+  // restoring the posted buffer that the corrupted frame consumed).
+  SimTime nack_delay = 100 * kMicrosecond;
+
+  // Watchdog: 0 = off. A watched transfer older than `watchdog_timeout` is
+  // cancelled; the set is scanned every `watchdog_period` (0 = timeout / 4).
+  SimTime watchdog_timeout = 0;
+  SimTime watchdog_period = 0;
+};
+
+// One reliable endpoint per node, layered over that node's adapter.
+class ReliableDelivery {
+ public:
+  enum class TxOutcome : std::uint8_t {
+    kDelivered,  // acked by the peer adapter
+    kGiveUp,     // max_retransmits exhausted
+    kCancelled,  // watchdog (or caller) cancelled the transfer
+  };
+
+  struct TxReport {
+    TxOutcome outcome = TxOutcome::kDelivered;
+    std::uint32_t attempts = 0;  // transmissions actually performed
+  };
+
+  // Shared between the transmitting coroutine and the watchdog's cancel
+  // callback; lets the watchdog abort a transfer wherever it is parked
+  // (credit wait, wire, ack wait, nack delay).
+  struct CancelToken {
+    bool cancelled = false;
+    std::shared_ptr<TxControl> ctl;  // current in-flight transmission
+    SimEvent* wake = nullptr;        // pending ack wait to poke
+  };
+
+  enum class WatchVerdict : std::uint8_t {
+    kCompleted,  // transfer finished on its own; just forget it
+    kCancelled,  // cancellation initiated; unwind is under way
+    kBusy,       // cannot be cancelled right now; re-arm the deadline
+  };
+
+  struct Stats {
+    std::uint64_t sequenced_frames = 0;  // TransmitReliably calls
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t giveups = 0;
+    std::uint64_t cancelled_transmits = 0;
+    std::uint64_t stale_acks = 0;  // ack/nack with no pending entry
+    std::uint64_t fallbacks = 0;   // semantics downgrades (endpoint-reported)
+    std::uint64_t watchdog_scans = 0;
+    std::uint64_t watchdog_cancels = 0;
+  };
+
+  // `xfer_track` is the trace track transfer-level records go to
+  // (conventionally "<node>.xfer", matching the endpoint's spans).
+  ReliableDelivery(Engine& engine, Adapter& adapter, std::string xfer_track);
+
+  void Configure(const ReliableOptions& options) { options_ = ConfiguredWith(options); }
+  const ReliableOptions& options() const { return options_; }
+  bool arq_enabled() const { return options_.arq; }
+  bool watchdog_enabled() const { return options_.watchdog_timeout > 0; }
+
+  // Transmits `iov` on `channel` with ARQ and co_returns once the frame is
+  // acked, retries are exhausted, or `token` is cancelled. The caller keeps
+  // `iov`'s backing pages alive (and unmutated) until this returns — the
+  // retransmit re-reads them.
+  Task<TxReport> TransmitReliably(std::uint64_t channel, IoVec iov, std::uint32_t header,
+                                  std::uint32_t tag, std::string label,
+                                  std::shared_ptr<CancelToken> token);
+
+  // Registers an in-flight transfer with the watchdog. `on_expire` runs from
+  // the scan when the transfer overstays watchdog_timeout; kBusy verdicts
+  // push the deadline out by a full timeout. Returns an id for Unwatch()
+  // (valid — and ignored — even when the watchdog is off). Unwatch is
+  // idempotent: the cancel callback may already have retired the entry.
+  std::uint64_t Watch(std::string label, std::function<WatchVerdict()> on_expire);
+  void Unwatch(std::uint64_t id);
+
+  // Endpoint-side accounting hook for a semantics downgrade.
+  void RecordFallback(const std::string& label, std::string_view from, std::string_view to);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t watched() const { return watched_.size(); }
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+ private:
+  struct PendingAck {
+    explicit PendingAck(Engine& engine) : event(engine) {}
+    enum Outcome : std::uint8_t { kNone, kAcked, kNacked, kTimeout };
+    Outcome outcome = kNone;
+    SimEvent event;
+    TimerSet::Handle timer = 0;
+  };
+
+  struct Watched {
+    std::string label;
+    std::function<WatchVerdict()> on_expire;
+    SimTime deadline = 0;
+  };
+
+  ReliableOptions ConfiguredWith(ReliableOptions options) {
+    rng_ = SplitMix64(options.seed);
+    if (options.watchdog_timeout > 0 && options.watchdog_period == 0) {
+      options.watchdog_period = options.watchdog_timeout / 4;
+    }
+    return options;
+  }
+
+  void OnAck(std::uint64_t channel, std::uint64_t seq, bool ok);
+  SimTime WithJitter(SimTime timeout);
+  void ArmScan();
+  void RunScan();
+  void Instant(const std::string& text);
+
+  Engine* engine_;
+  Adapter* adapter_;
+  std::string xfer_track_;
+  TraceLog* trace_ = nullptr;
+  ReliableOptions options_;
+  TimerSet timers_;
+  SplitMix64 rng_;
+  Stats stats_;
+
+  std::map<std::uint64_t, std::uint64_t> next_seq_;  // channel -> last used
+  std::map<std::pair<std::uint64_t, std::uint64_t>, PendingAck*> pending_acks_;
+
+  std::uint64_t next_watch_id_ = 1;
+  std::map<std::uint64_t, Watched> watched_;
+  bool scan_armed_ = false;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_GENIE_RELIABLE_H_

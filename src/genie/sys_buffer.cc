@@ -107,6 +107,28 @@ bool TryAllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::ui
   return true;
 }
 
+bool TryAllocateSysBufferDegraded(PhysicalMemory& pm, std::uint32_t page_offset,
+                                  std::uint64_t len, SysBuffer* out, bool* degraded,
+                                  const std::function<bool(std::uint64_t)>& ensure_frames) {
+  const std::uint32_t psz = pm.page_size();
+  *degraded = false;
+  const std::uint64_t aligned_pages = (page_offset + len + psz - 1) / psz;
+  if ((!ensure_frames || ensure_frames(aligned_pages)) &&
+      TryAllocateSysBuffer(pm, page_offset, len, out)) {
+    return true;
+  }
+  if (page_offset == 0) {
+    return false;  // The aligned attempt already was the offset-0 buffer.
+  }
+  const std::uint64_t plain_pages = (len + psz - 1) / psz;
+  if ((!ensure_frames || ensure_frames(plain_pages)) &&
+      TryAllocateSysBuffer(pm, 0, len, out)) {
+    *degraded = true;
+    return true;
+  }
+  return false;
+}
+
 void FreeSysBuffer(PhysicalMemory& pm, SysBuffer& buf) {
   for (FrameId& f : buf.frames) {
     if (f != kInvalidFrame) {

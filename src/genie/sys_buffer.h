@@ -36,6 +36,17 @@ SysBuffer AllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::
 bool TryAllocateSysBuffer(PhysicalMemory& pm, std::uint32_t page_offset, std::uint64_t len,
                           SysBuffer* out);
 
+// Alignment-degrading allocation for the reliability layer: tries the
+// aligned buffer first (`ensure_frames` is called with the page count of
+// each attempt so the caller can run pageout before it), and when the
+// aligned request cannot be satisfied falls back to an offset-0 buffer —
+// one page smaller for any nonzero offset — whose dispose copies out
+// instead of swapping. `*degraded` reports which attempt succeeded.
+// Returns false only when both attempts fail.
+bool TryAllocateSysBufferDegraded(PhysicalMemory& pm, std::uint32_t page_offset,
+                                  std::uint64_t len, SysBuffer* out, bool* degraded,
+                                  const std::function<bool(std::uint64_t)>& ensure_frames);
+
 // Frees the frames still held by `buf` (those not consumed by page swaps).
 void FreeSysBuffer(PhysicalMemory& pm, SysBuffer& buf);
 

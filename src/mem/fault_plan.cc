@@ -22,6 +22,12 @@ const char* FaultSiteName(FaultSite site) {
       return "device_delay";
     case FaultSite::kPageoutPressure:
       return "pageout_pressure";
+    case FaultSite::kLinkDrop:
+      return "link_drop";
+    case FaultSite::kLinkDuplicate:
+      return "link_duplicate";
+    case FaultSite::kLinkReorder:
+      return "link_reorder";
   }
   return "unknown";
 }

@@ -40,9 +40,18 @@ enum class FaultSite : std::uint8_t {
   kDeviceShortTransfer, // Adapter transmit -> truncated frame (arg = bytes kept)
   kDeviceDelay,         // Adapter transmit -> completion delayed (arg = extra ns)
   kPageoutPressure,     // Pressure tick -> force evictions (arg = frames)
+  kLinkDrop,            // Adapter transmit -> frame occupies the wire but is lost
+  kLinkDuplicate,       // Adapter transmit -> frame delivered twice
+  kLinkReorder,         // Adapter transmit -> frame held and delivered late
+                        //   (arg = flush delay ns; 0 = adapter default)
 };
 
-inline constexpr std::size_t kNumFaultSites = 8;
+inline constexpr std::size_t kNumFaultSites = 11;
+
+// The original PR-2 sites. The legacy (ARQ-off) stress harness draws rules
+// from this prefix only: link drop/duplicate/reorder are not recoverable
+// without the reliable layer, so they are exercised by reliable_stress_test.
+inline constexpr std::size_t kNumLegacyFaultSites = 8;
 
 const char* FaultSiteName(FaultSite site);
 

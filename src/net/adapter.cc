@@ -38,15 +38,19 @@ void Adapter::ConnectTo(Adapter* peer, Resource* link) {
 }
 
 Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_t header,
-                                  std::uint32_t tag) {
+                                  std::uint32_t tag, std::shared_ptr<TxControl> ctl) {
   GENIE_CHECK(peer_ != nullptr) << "adapter " << name_ << " not connected";
   const std::uint64_t total = iov.total_bytes();
   GENIE_CHECK_GT(total, 0u);
   GENIE_CHECK_LE(total, kMaxAal5Payload);
+  const std::uint64_t seq = ctl != nullptr ? ctl->seq : 0;
 
-  if (config_.flow_control && tag == 0) {
+  if (config_.flow_control && tag == 0 && (ctl == nullptr || !ctl->skip_credit)) {
     // Credit-based flow control: wait for the receiver to have a buffer.
-    co_await AcquireCredit(channel);
+    co_await AcquireCredit(channel, ctl);
+    if (ctl != nullptr && ctl->aborted) {
+      co_return;  // Watchdog broke a credit deadlock; nothing went out.
+    }
   }
   // Hold the virtual circuit for the whole frame (AAL5 frames on one VC are
   // not interleaved).
@@ -65,8 +69,37 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
       wire_bytes = std::max<std::uint64_t>(1, std::min(keep, total));
     }
   }
+  // Injected link faults. The frame occupies the wire either way; what
+  // differs is whether/when the peer sees it. Consult order (drop, then
+  // reorder, then duplicate) is part of the deterministic replay contract.
+  bool link_drop = false;
+  bool link_reorder = false;
+  bool link_duplicate = false;
+  std::uint64_t reorder_delay_ns = 0;
+  if (fault_plan_ != nullptr) {
+    link_drop = fault_plan_->ShouldFail(FaultSite::kLinkDrop);
+    if (!link_drop) {
+      link_reorder = fault_plan_->ShouldFail(FaultSite::kLinkReorder, &reorder_delay_ns);
+      if (!link_reorder) {
+        link_duplicate = fault_plan_->ShouldFail(FaultSite::kLinkDuplicate);
+      }
+    }
+  }
+  const bool deliver_now = !link_drop && !link_reorder;
+  const bool need_snapshot = link_reorder || link_duplicate;
+
   const SimTime wire_start = engine_.now();
-  peer_->BeginRxFrame(channel, header, tag);
+  if (deliver_now) {
+    peer_->BeginRxFrame(channel, header, tag, seq);
+  }
+  HeldFrame snapshot;
+  if (need_snapshot) {
+    snapshot.channel = channel;
+    snapshot.header = header;
+    snapshot.tag = tag;
+    snapshot.seq = seq;
+    snapshot.bytes.reserve(wire_bytes);
+  }
   std::vector<std::byte> chunk(config_.chunk_bytes);
   std::uint64_t sent = 0;
   while (sent < wire_bytes) {
@@ -83,17 +116,20 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
     }
     co_await Delay(engine_, MicrosToSimTime(static_cast<double>(n) * link_us_per_byte_));
     const bool is_last = sent + n == wire_bytes;
-    peer_->DeliverChunk(std::span<const std::byte>(chunk.data(), n), is_last);
+    if (need_snapshot) {
+      snapshot.bytes.insert(snapshot.bytes.end(), chunk.data(), chunk.data() + n);
+    }
+    if (deliver_now) {
+      peer_->DeliverChunk(std::span<const std::byte>(chunk.data(), n), is_last);
+    }
     sent += n;
   }
   bool crc_ok = true;
-  if (peer_->inject_crc_error_) {
-    peer_->inject_crc_error_ = false;
-    crc_ok = false;
-  }
   if (fault_plan_ != nullptr) {
-    // Injected device error: the frame arrived but its AAL5 CRC failed.
-    if (fault_plan_->ShouldFail(FaultSite::kDeviceError)) {
+    // Injected device error: the frame arrived but its AAL5 CRC failed. A
+    // dropped frame never arrives, so its CRC is not consulted; a held or
+    // duplicated frame carries one CRC outcome for every copy delivered.
+    if (!link_drop && fault_plan_->ShouldFail(FaultSite::kDeviceError)) {
       crc_ok = false;
     }
     // Injected delayed completion: the receive interrupt is held off while
@@ -106,13 +142,131 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
                                             : static_cast<SimTime>(delay_ns));
     }
   }
-  peer_->EndRxFrame(crc_ok);
+  snapshot.crc_ok = crc_ok;
+  if (deliver_now) {
+    peer_->EndRxFrame(crc_ok);
+  }
+  if (link_drop) {
+    ++link_frames_dropped_;
+    if (trace_ != nullptr) {
+      trace_->Instant(name_ + ".wire", "link_drop seq " + std::to_string(seq), "net",
+                      engine_.now());
+    }
+  }
+  if (link_duplicate) {
+    // Second copy arrives back-to-back with the first, from the snapshot
+    // (the sender's pages may be disposed or rewritten by now).
+    ++link_frames_duplicated_;
+    DeliverSnapshot(snapshot);
+  }
+  if (link_reorder) {
+    ++link_frames_reordered_;
+    held_.push_back(std::move(snapshot));
+    if (trace_ != nullptr) {
+      trace_->Instant(name_ + ".wire", "link_hold seq " + std::to_string(seq), "net",
+                      engine_.now());
+    }
+    const SimTime flush_delay = reorder_delay_ns == 0 ? config_.reorder_flush_delay
+                                                      : static_cast<SimTime>(reorder_delay_ns);
+    engine_.ScheduleAfter(flush_delay, [this] { std::move(FlushHeldFrames()).Detach(); });
+  } else {
+    // A younger frame just completed: any held frames now go out late,
+    // behind it — the reordering observable at the peer.
+    DeliverHeldFramesLocked();
+  }
   if (trace_ != nullptr) {
     trace_->Span(name_ + ".wire", "frame " + std::to_string(total) + "B", "net", wire_start,
                  engine_.now());
   }
   tx_link_->Release();
   ++frames_sent_;
+}
+
+void Adapter::DeliverSnapshot(const HeldFrame& frame) {
+  GENIE_CHECK(peer_ != nullptr);
+  peer_->BeginRxFrame(frame.channel, frame.header, frame.tag, frame.seq);
+  std::size_t done = 0;
+  while (done < frame.bytes.size()) {
+    const std::size_t n = std::min(config_.chunk_bytes, frame.bytes.size() - done);
+    const bool is_last = done + n == frame.bytes.size();
+    peer_->DeliverChunk(std::span<const std::byte>(frame.bytes.data() + done, n), is_last);
+    done += n;
+  }
+  peer_->EndRxFrame(frame.crc_ok);
+}
+
+void Adapter::DeliverHeldFramesLocked() {
+  while (!held_.empty()) {
+    HeldFrame frame = std::move(held_.front());
+    held_.pop_front();
+    if (trace_ != nullptr) {
+      trace_->Instant(name_ + ".wire", "link_late_delivery seq " + std::to_string(frame.seq),
+                      "net", engine_.now());
+    }
+    DeliverSnapshot(frame);
+  }
+}
+
+Task<void> Adapter::FlushHeldFrames() {
+  if (held_.empty()) {
+    co_return;  // Already flushed behind a younger frame.
+  }
+  co_await tx_link_->Acquire();
+  DeliverHeldFramesLocked();
+  tx_link_->Release();
+}
+
+void Adapter::InjectCrcError() {
+  FaultRule rule;
+  rule.site = FaultSite::kDeviceError;
+  // Target the next arriving frame; consecutive calls queue consecutive
+  // frames (the old flag semantics, generalized).
+  legacy_crc_next_ = std::max(legacy_crc_next_, legacy_plan_.site_ops(FaultSite::kDeviceError)) + 1;
+  rule.nth = legacy_crc_next_;
+  rule.max_fires = 1;
+  legacy_plan_.AddRule(rule);
+}
+
+void Adapter::SendAck(std::uint64_t channel, std::uint64_t seq, bool ok) {
+  if (peer_ == nullptr) {
+    return;  // Unidirectional test wiring: no control-cell return path.
+  }
+  if (ok) {
+    ++acks_sent_;
+  } else {
+    ++nacks_sent_;
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire", std::string(ok ? "ack" : "nack") + " seq " +
+                        std::to_string(seq), "net", engine_.now());
+  }
+  // Acks ride the (lossless) control-cell path, like credits.
+  Adapter* peer = peer_;
+  engine_.ScheduleAfter(config_.credit_latency,
+                        [peer, channel, seq, ok] { peer->OnAckCell(channel, seq, ok); });
+}
+
+void Adapter::OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok) {
+  if (ack_handler_) {
+    ack_handler_(channel, seq, ok);
+  }
+}
+
+bool Adapter::AbortCreditWait(std::uint64_t channel, const std::shared_ptr<TxControl>& ctl) {
+  auto it = credit_waiters_.find(channel);
+  if (it == credit_waiters_.end()) {
+    return false;
+  }
+  for (auto w = it->second.begin(); w != it->second.end(); ++w) {
+    if (w->ctl == ctl && ctl != nullptr) {
+      const std::coroutine_handle<> h = w->handle;
+      it->second.erase(w);
+      ctl->aborted = true;
+      engine_.ScheduleAfter(0, [h] { h.resume(); });
+      return true;
+    }
+  }
+  return false;
 }
 
 void Adapter::PostReceive(std::uint64_t channel, PostedReceive posted) {
@@ -131,7 +285,7 @@ void Adapter::GrantCredit(std::uint64_t channel) {
   auto& waiters = credit_waiters_[channel];
   if (!waiters.empty()) {
     // Hand the credit straight to the oldest blocked transmission.
-    const std::coroutine_handle<> h = waiters.front();
+    const std::coroutine_handle<> h = waiters.front().handle;
     waiters.pop_front();
     engine_.ScheduleAfter(0, [h] { h.resume(); });
     return;
@@ -144,12 +298,24 @@ std::size_t Adapter::posted_receives(std::uint64_t channel) const {
   return it == posted_.end() ? 0 : it->second.size();
 }
 
-void Adapter::BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag) {
+void Adapter::BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag,
+                           std::uint64_t seq) {
   GENIE_CHECK(!rx_.has_value()) << "overlapping frames on one link";
   rx_.emplace();
   rx_->channel = channel;
   rx_->header = header;
   rx_->tag = tag;
+  rx_->seq = seq;
+  if (seq != 0) {
+    // ARQ duplicate suppression: a sequence number already delivered to the
+    // host is discarded without consuming a buffer (the ack got lost or beat
+    // the sender's timeout; re-acked at EndRxFrame).
+    auto dedup = rx_dedup_.find(channel);
+    if (dedup != rx_dedup_.end() && dedup->second.seen.count(seq) != 0) {
+      rx_->duplicate = true;
+      return;
+    }
+  }
   if (config_.rx_buffering == InputBuffering::kEarlyDemux) {
     if (tag != 0) {
       // Sender-managed placement: look the tag up in the named registry.
@@ -160,19 +326,46 @@ void Adapter::BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uin
         return;
       }
       rx_->dropped = true;
-      ++frames_dropped_no_buffer_;
+      NoteDrop("no_named_buffer", channel, &drops_no_posted_buffer_);
       return;
     }
     auto it = posted_.find(channel);
     if (it == posted_.end() || it->second.empty()) {
       // No posted buffer: the controller has nowhere to put the data.
       rx_->dropped = true;
-      ++frames_dropped_no_buffer_;
+      NoteDrop("no_posted_buffer", channel, &drops_no_posted_buffer_);
     } else {
       rx_->posted = std::move(it->second.front());
       it->second.pop_front();
     }
   }
+}
+
+void Adapter::NoteDrop(const char* cause, std::uint64_t channel, std::uint64_t* cause_counter) {
+  ++frames_dropped_no_buffer_;
+  ++*cause_counter;
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire",
+                    std::string("drop ") + cause + " ch " + std::to_string(channel), "net",
+                    engine_.now());
+  }
+}
+
+bool Adapter::CancelPostedReceive(std::uint64_t channel, std::uint64_t cancel_id) {
+  if (cancel_id == 0) {
+    return false;
+  }
+  auto it = posted_.find(channel);
+  if (it == posted_.end()) {
+    return false;
+  }
+  for (auto q = it->second.begin(); q != it->second.end(); ++q) {
+    if (q->cancel_id == cancel_id) {
+      it->second.erase(q);
+      return true;
+    }
+  }
+  return false;
 }
 
 void Adapter::RegisterNamedBuffer(std::uint64_t channel, std::uint32_t tag,
@@ -200,7 +393,7 @@ void Adapter::DeliverChunk(std::span<const std::byte> data, bool is_last) {
         .Detach();
   }
   RxState& rx = *rx_;
-  if (rx.dropped) {
+  if (rx.dropped || rx.duplicate) {
     rx.bytes += data.size();
     return;
   }
@@ -216,7 +409,7 @@ void Adapter::DeliverChunk(std::span<const std::byte> data, bool is_last) {
           config_.outboard_capacity_bytes) {
         // Outboard staging RAM exhausted: the controller drops the frame.
         rx.dropped = true;
-        ++frames_dropped_no_buffer_;
+        NoteDrop("outboard_overflow", rx.channel, &drops_outboard_overflow_);
         rx.outboard.clear();
         rx.outboard.shrink_to_fit();
         rx.bytes += data.size();
@@ -244,7 +437,7 @@ void Adapter::DeliverChunkPooled(RxState& rx, std::span<const std::byte> data) {
       const FrameId f = pool_->Allocate();
       if (f == kInvalidFrame) {
         rx.dropped = true;
-        ++frames_dropped_no_buffer_;
+        NoteDrop("pool_exhausted", rx.channel, &drops_pool_exhausted_);
         // Return overlay pages already used for this frame.
         for (const FrameId used : rx.overlay_pages) {
           pool_->Free(used);
@@ -270,15 +463,66 @@ void Adapter::EndRxFrame(bool crc_ok) {
   GENIE_CHECK(rx_.has_value());
   RxState rx = std::move(*rx_);
   rx_.reset();
+  // Deprecated InjectCrcError() shim: the adapter-owned plan is consulted
+  // once per arriving frame, matching the old per-frame flag consumption.
+  if (legacy_plan_.ShouldFail(FaultSite::kDeviceError)) {
+    crc_ok = false;
+  }
+  if (rx.duplicate) {
+    ++rx_duplicate_frames_;
+    if (trace_ != nullptr) {
+      trace_->Instant(name_ + ".wire", "dup_suppressed seq " + std::to_string(rx.seq), "net",
+                      engine_.now());
+    }
+    // Re-ack: the sender is retransmitting because the first ack lost the
+    // race against its timeout; only a fresh ack stops it.
+    SendAck(rx.channel, rx.seq, true);
+    return;
+  }
   if (rx.dropped) {
+    if (rx.seq != 0) {
+      SendAck(rx.channel, rx.seq, false);
+    }
     return;
   }
   ++frames_received_;
   if (!crc_ok) {
     ++rx_crc_errors_;
+    if (rx.seq != 0) {
+      // Damaged sequenced frame: the link layer owns recovery, so the host
+      // never sees it. The consumed posted buffer goes back to the *front*
+      // of the queue — its flow-control credit was already spent, and the
+      // retransmission must land in the same buffer.
+      if (config_.rx_buffering == InputBuffering::kEarlyDemux && rx.posted.has_value() &&
+          !rx.named) {
+        posted_[rx.channel].push_front(std::move(*rx.posted));
+      }
+      for (const FrameId used : rx.overlay_pages) {
+        pool_->Free(used);
+      }
+      if (trace_ != nullptr) {
+        trace_->Instant(name_ + ".wire", "rx_crc_retry seq " + std::to_string(rx.seq), "net",
+                        engine_.now());
+      }
+      SendAck(rx.channel, rx.seq, false);
+      return;
+    }
   }
   if (rx.truncated) {
     ++rx_truncated_frames_;
+  }
+  if (rx.seq != 0) {
+    // Accepted: record the sequence number so replays are suppressed, and
+    // prune the window well behind the newest frame (retransmissions never
+    // lag further than the sender's bounded retry horizon).
+    RxDedup& dedup = rx_dedup_[rx.channel];
+    dedup.seen.insert(rx.seq);
+    dedup.max_seq = std::max(dedup.max_seq, rx.seq);
+    while (!dedup.seen.empty() && dedup.max_seq > 128 &&
+           *dedup.seen.begin() < dedup.max_seq - 128) {
+      dedup.seen.erase(dedup.seen.begin());
+    }
+    SendAck(rx.channel, rx.seq, true);
   }
   if (trace_ != nullptr) {
     trace_->Instant(name_ + ".wire",
@@ -293,6 +537,7 @@ void Adapter::EndRxFrame(bool crc_ok) {
       completion.header = rx.header;
       completion.tag = rx.tag;
       completion.bytes = std::min<std::uint64_t>(rx.bytes, rx.posted->target.total_bytes());
+      completion.seq = rx.seq;
       completion.crc_ok = crc_ok;
       completion.truncated = rx.truncated;
       if (rx.posted->on_complete) {

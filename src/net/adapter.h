@@ -23,10 +23,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/cost/cost_model.h"
+#include "src/mem/fault_plan.h"
 #include "src/mem/phys_memory.h"
 #include "src/net/aal5.h"
 #include "src/net/buffer_pool.h"
@@ -53,8 +55,21 @@ struct RxCompletion {
   std::uint64_t bytes = 0;     // bytes delivered into the posted buffer
   std::uint32_t header = 0;    // sender-supplied per-frame header word
   std::uint32_t tag = 0;       // sender-managed buffer tag (0 = receiver-posted)
+  std::uint64_t seq = 0;       // ARQ sequence number (0 = unsequenced)
   bool crc_ok = true;
   bool truncated = false;      // frame longer than the posted buffer
+};
+
+// Per-transmission control block for the reliable layer. Threads the ARQ
+// sequence number through the wire protocol and lets a watchdog abort a
+// transmission stuck waiting for flow-control credit.
+struct TxControl {
+  std::uint64_t seq = 0;     // 0 = unsequenced (legacy datagram)
+  // Retransmissions reuse the receive buffer whose credit the lost original
+  // already consumed, so they must not spend a second credit.
+  bool skip_credit = false;
+  // Set by AbortCreditWait(): the frame was never transmitted.
+  bool aborted = false;
 };
 
 // A complete frame received into pooled overlay buffers.
@@ -92,6 +107,10 @@ class Adapter {
     // buffering "can add complexity and cost to the controller" — the cost
     // is finite staging RAM). Frames that would overflow it are dropped.
     std::size_t outboard_capacity_bytes = 256 * 1024;
+    // A frame held back by an injected kLinkReorder fault is delivered when
+    // the next frame goes out, or after this delay, whichever comes first
+    // (rule arg overrides the delay per firing).
+    SimTime reorder_flush_delay = 50 * kMicrosecond;
   };
 
   // Optional execution tracing: frame transmit spans land on the
@@ -121,18 +140,30 @@ class Adapter {
   // Transmits one AAL5 frame gathering payload from `iov`. Completes when
   // the last byte has left the wire (transmit-complete interrupt time).
   // `header` is an opaque per-frame word (e.g. a transport checksum)
-  // delivered with the receive completion.
+  // delivered with the receive completion. `ctl` (optional) carries the ARQ
+  // sequence number and cancellation state for the reliable layer.
   Task<void> TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_t header = 0,
-                           std::uint32_t tag = 0);
+                           std::uint32_t tag = 0, std::shared_ptr<TxControl> ctl = nullptr);
 
   // --- Early-demultiplexed receive ---
   struct PostedReceive {
     IoVec target;
     std::function<void(const RxCompletion&)> on_complete;
+    // Nonzero ids make the posting cancellable via CancelPostedReceive
+    // (transfer watchdog unwinding a stuck input).
+    std::uint64_t cancel_id = 0;
   };
   // Queues a host buffer on the channel's input buffer list.
   void PostReceive(std::uint64_t channel, PostedReceive posted);
   std::size_t posted_receives(std::uint64_t channel) const;
+
+  // Removes a still-queued posted receive (watchdog cancellation). Returns
+  // false if the buffer is gone — already consumed by an arriving frame or
+  // mid-delivery — in which case the caller must wait for its completion.
+  // Under flow control the credit granted for the posting is deliberately
+  // not revoked: the sender may still transmit into the vacated slot and the
+  // frame is then dropped and nacked, which the ARQ layer absorbs.
+  bool CancelPostedReceive(std::uint64_t channel, std::uint64_t cancel_id);
 
   // Sender-managed placement (paper Section 6.2.1, Hamlyn-style): registers
   // a persistent named buffer; frames transmitted with a matching tag DMA
@@ -156,15 +187,32 @@ class Adapter {
   std::size_t outboard_frames_held() const { return outboard_.size(); }
 
   // --- Fault injection ---
-  // The next received frame reports a CRC failure.
-  void InjectCrcError() { inject_crc_error_ = true; }
+  // Deprecated: use a FaultPlan rule at FaultSite::kDeviceError via
+  // set_fault_plan() instead. This shim now adds exactly such a rule (next
+  // arriving frame, max_fires = 1) to a small adapter-owned plan consulted
+  // once per arriving frame, so all link faults flow through one mechanism.
+  void InjectCrcError();
 
   // Fault plan consulted by this adapter's *transmit* path for
   // kDeviceError (frame delivered with bad CRC), kDeviceShortTransfer
-  // (truncated frame), and kDeviceDelay (completion interrupt held off).
-  // The faults manifest at the receiving peer, as on a real wire. nullptr
-  // detaches. Not owned.
+  // (truncated frame), kDeviceDelay (completion interrupt held off), and the
+  // link sites kLinkDrop / kLinkDuplicate / kLinkReorder (frame lost on the
+  // wire, delivered twice, or held back and delivered late). The faults
+  // manifest at the receiving peer, as on a real wire. nullptr detaches.
+  // Not owned.
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  // --- Reliable layer (ARQ) hooks ---
+  // Invoked on *this* (sending) adapter when the peer acks (ok) or nacks a
+  // sequenced frame, one control-cell latency after the peer's decision.
+  void set_ack_handler(std::function<void(std::uint64_t, std::uint64_t, bool)> handler) {
+    ack_handler_ = std::move(handler);
+  }
+
+  // Aborts a transmission blocked in AcquireCredit (credit-deadlock
+  // watchdog). Returns true if the waiter was found; `ctl->aborted` is set
+  // and TransmitFrame returns without transmitting.
+  bool AbortCreditWait(std::uint64_t channel, const std::shared_ptr<TxControl>& ctl);
 
   // --- Flow control ---
   std::uint32_t tx_credits(std::uint64_t channel) const {
@@ -180,11 +228,23 @@ class Adapter {
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_received() const { return frames_received_; }
   std::uint64_t frames_dropped_no_buffer() const { return frames_dropped_no_buffer_; }
+  // Drop breakdown by cause (sums to frames_dropped_no_buffer):
+  std::uint64_t drops_no_posted_buffer() const { return drops_no_posted_buffer_; }
+  std::uint64_t drops_pool_exhausted() const { return drops_pool_exhausted_; }
+  std::uint64_t drops_outboard_overflow() const { return drops_outboard_overflow_; }
   // Delivered frames whose CRC check failed (line errors, injected or real).
   std::uint64_t rx_crc_errors() const { return rx_crc_errors_; }
   // Delivered frames longer than their posted buffer (short-transfer events:
   // the tail was cut at the receiving device).
   std::uint64_t rx_truncated_frames() const { return rx_truncated_frames_; }
+  // Sequenced frames suppressed by receive-side duplicate detection.
+  std::uint64_t rx_duplicate_frames() const { return rx_duplicate_frames_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t nacks_sent() const { return nacks_sent_; }
+  // Injected link faults observed on this adapter's transmit side.
+  std::uint64_t link_frames_dropped() const { return link_frames_dropped_; }
+  std::uint64_t link_frames_duplicated() const { return link_frames_duplicated_; }
+  std::uint64_t link_frames_reordered() const { return link_frames_reordered_; }
 
  private:
   struct RxState {
@@ -192,12 +252,14 @@ class Adapter {
     std::uint64_t bytes = 0;
     std::uint32_t header = 0;
     std::uint32_t tag = 0;
+    std::uint64_t seq = 0;
     bool crc_failed = false;
     // Early demux:
     std::optional<PostedReceive> posted;
     bool named = false;  // posted came from the named-buffer registry
     bool truncated = false;
     bool dropped = false;
+    bool duplicate = false;  // suppressed by the ARQ dedup window
     // Pooled:
     std::vector<FrameId> overlay_pages;
     std::uint32_t in_page = 0;  // fill level of last overlay page
@@ -205,19 +267,57 @@ class Adapter {
     std::vector<std::byte> outboard;
   };
 
+  // A frame captured byte-for-byte at its original DMA instants, awaiting a
+  // deferred (reordered) or repeated (duplicated) delivery.
+  struct HeldFrame {
+    std::uint64_t channel = 0;
+    std::uint32_t header = 0;
+    std::uint32_t tag = 0;
+    std::uint64_t seq = 0;
+    bool crc_ok = true;
+    std::vector<std::byte> bytes;
+  };
+
+  // ARQ receive-side duplicate suppression state, one window per channel.
+  struct RxDedup {
+    std::uint64_t max_seq = 0;
+    std::set<std::uint64_t> seen;
+  };
+
   // Peer-side delivery, called by the transmitting adapter.
-  void BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag);
+  void BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag,
+                    std::uint64_t seq);
   void DeliverChunk(std::span<const std::byte> data, bool is_last);
   void EndRxFrame(bool crc_ok);
 
   void DeliverChunkEarlyDemux(RxState& rx, std::span<const std::byte> data);
   void DeliverChunkPooled(RxState& rx, std::span<const std::byte> data);
 
+  // Drop accounting: bumps the total and per-cause counters and emits a
+  // trace instant so drops are visible in GENIE_TRACE output.
+  void NoteDrop(const char* cause, std::uint64_t channel, std::uint64_t* cause_counter);
+
+  // Replays a held frame into the peer (zero additional wire time: the bytes
+  // were already clocked out once). Caller must hold the tx link.
+  void DeliverSnapshot(const HeldFrame& frame);
+  void DeliverHeldFramesLocked();
+  Task<void> FlushHeldFrames();
+
+  // Schedules an ack (ok) / nack control cell back to the sending peer.
+  void SendAck(std::uint64_t channel, std::uint64_t seq, bool ok);
+  void OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok);
+
+  struct CreditWaiter {
+    std::coroutine_handle<> handle;
+    std::shared_ptr<TxControl> ctl;
+  };
+
   // Flow control: blocks the transmitting task until a credit is available.
-  auto AcquireCredit(std::uint64_t channel) {
+  auto AcquireCredit(std::uint64_t channel, std::shared_ptr<TxControl> ctl) {
     struct Awaiter {
       Adapter& adapter;
       std::uint64_t channel;
+      std::shared_ptr<TxControl> ctl;
       bool await_ready() {
         std::uint32_t& credits = adapter.tx_credits_[channel];
         if (credits > 0) {
@@ -227,11 +327,11 @@ class Adapter {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        adapter.credit_waiters_[channel].push_back(h);
+        adapter.credit_waiters_[channel].push_back({h, std::move(ctl)});
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{*this, channel};
+    return Awaiter{*this, channel, std::move(ctl)};
   }
   // Called (after the credit latency) when the peer posts a receive buffer.
   void GrantCredit(std::uint64_t channel);
@@ -260,15 +360,31 @@ class Adapter {
 
   std::optional<RxState> rx_;  // in-progress frame (one at a time per link)
   std::map<std::uint64_t, std::uint32_t> tx_credits_;
-  std::map<std::uint64_t, std::deque<std::coroutine_handle<>>> credit_waiters_;
-  bool inject_crc_error_ = false;
+  std::map<std::uint64_t, std::deque<CreditWaiter>> credit_waiters_;
   FaultPlan* fault_plan_ = nullptr;
+  // Owned plan backing the deprecated InjectCrcError() shim; consulted once
+  // per arriving frame at FaultSite::kDeviceError.
+  FaultPlan legacy_plan_;
+  std::uint64_t legacy_crc_next_ = 0;
+
+  std::map<std::uint64_t, RxDedup> rx_dedup_;
+  std::deque<HeldFrame> held_;  // reordered frames awaiting late delivery
+  std::function<void(std::uint64_t, std::uint64_t, bool)> ack_handler_;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t frames_dropped_no_buffer_ = 0;
+  std::uint64_t drops_no_posted_buffer_ = 0;
+  std::uint64_t drops_pool_exhausted_ = 0;
+  std::uint64_t drops_outboard_overflow_ = 0;
   std::uint64_t rx_crc_errors_ = 0;
   std::uint64_t rx_truncated_frames_ = 0;
+  std::uint64_t rx_duplicate_frames_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t link_frames_dropped_ = 0;
+  std::uint64_t link_frames_duplicated_ = 0;
+  std::uint64_t link_frames_reordered_ = 0;
 };
 
 }  // namespace genie

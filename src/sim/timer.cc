@@ -1,0 +1,31 @@
+#include "src/sim/timer.h"
+
+#include <utility>
+
+namespace genie {
+
+TimerSet::Handle TimerSet::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  const Handle handle = next_++;
+  live_.emplace(handle, std::move(fn));
+  engine_->ScheduleAfter(delay, [this, handle] {
+    auto it = live_.find(handle);
+    if (it == live_.end()) {
+      return;  // Cancelled; the queued event degenerates to a no-op.
+    }
+    std::function<void()> callback = std::move(it->second);
+    live_.erase(it);
+    ++fired_;
+    callback();
+  });
+  return handle;
+}
+
+bool TimerSet::Cancel(Handle handle) {
+  if (live_.erase(handle) == 0) {
+    return false;
+  }
+  ++cancelled_;
+  return true;
+}
+
+}  // namespace genie

@@ -42,7 +42,13 @@ struct IterationOutcome {
 
 FaultRule RandomRule(SplitMix64& rng) {
   FaultRule rule;
-  rule.site = static_cast<FaultSite>(rng.Below(kNumFaultSites));
+  // Deliberately drawn from the legacy prefix only: the link-fault sites
+  // (drop/duplicate/reorder) break at-most-once delivery, which this ARQ-off
+  // harness assumes (a lost frame leaves its input waiting forever, a stale
+  // reordered frame lands in a later transfer's buffer). The reliable stress
+  // test exercises them with the ARQ layer on. Keeping the draw bound at the
+  // prefix also preserves every pinned seed's RNG stream bit-for-bit.
+  rule.site = static_cast<FaultSite>(rng.Below(kNumLegacyFaultSites));
   if (rng.Chance(0.6)) {
     rule.nth = 1 + rng.Below(6);
   } else {

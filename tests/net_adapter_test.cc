@@ -145,6 +145,7 @@ TEST_F(AdapterTest, NoPostedBufferDropsFrame) {
   std::move(tx->TransmitFrame(9, src)).Detach();
   eng_.Run();
   EXPECT_EQ(rx->frames_dropped_no_buffer(), 1u);
+  EXPECT_EQ(rx->drops_no_posted_buffer(), 1u);  // attributed to its cause
   EXPECT_EQ(rx->frames_received(), 0u);
 }
 
@@ -249,6 +250,7 @@ TEST_F(AdapterTest, PoolDepletionDropsFrameAndRecyclesPages) {
   eng_.Run();
   EXPECT_FALSE(handler_called);
   EXPECT_EQ(rx->frames_dropped_no_buffer(), 1u);
+  EXPECT_EQ(rx->drops_pool_exhausted(), 1u);
   EXPECT_EQ(rx->pool()->available(), 2u);  // Pages returned.
 }
 
@@ -333,6 +335,7 @@ TEST_F(AdapterTest, OutboardCapacityOverflowDropsFrame) {
   eng_.Run();
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(rx->frames_dropped_no_buffer(), 1u);
+  EXPECT_EQ(rx->drops_outboard_overflow(), 1u);
   // Freeing the staged frame makes room again.
   rx->FreeOutboard(handles[0]);
   std::move(tx->TransmitFrame(1, two_pages)).Detach();
@@ -347,6 +350,381 @@ TEST_F(AdapterTest, OversizedFrameRejected) {
   tx->ConnectTo(rx.get(), &link_);
   const IoVec src = MakeBuffer(16 * kPage, 1);  // 64 KB > AAL5 max.
   EXPECT_DEATH(std::move(tx->TransmitFrame(1, src)).Detach(), "");
+}
+
+TEST_F(AdapterTest, CrcErrorViaFaultPlanRule) {
+  // The supported injection path: a kDeviceError rule on the transmit-side
+  // plan corrupts exactly the scheduled frame.
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.site = FaultSite::kDeviceError;
+  rule.nth = 2;
+  plan.AddRule(rule);
+  tx->set_fault_plan(&plan);
+
+  const IoVec src = MakeBuffer(kPage, 1);
+  const IoVec dst = MakeBuffer(kPage, 0);
+  std::vector<bool> crc;
+  for (int i = 0; i < 3; ++i) {
+    rx->PostReceive(1, Adapter::PostedReceive{dst, [&](const RxCompletion& c) {
+                                                crc.push_back(c.crc_ok);
+                                              }});
+    std::move(tx->TransmitFrame(1, src)).Detach();
+  }
+  eng_.Run();
+  EXPECT_EQ(crc, (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(rx->rx_crc_errors(), 1u);
+  EXPECT_EQ(plan.injected(FaultSite::kDeviceError), 1u);
+}
+
+TEST_F(AdapterTest, InjectCrcErrorShimQueuesConsecutiveFrames) {
+  // The deprecated shim is now a FaultPlan rule underneath; two calls queue
+  // corruption of the next two arriving frames (old flag semantics).
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+  const IoVec src = MakeBuffer(kPage, 1);
+  const IoVec dst = MakeBuffer(kPage, 0);
+  std::vector<bool> crc;
+  rx->InjectCrcError();
+  rx->InjectCrcError();
+  for (int i = 0; i < 3; ++i) {
+    rx->PostReceive(1, Adapter::PostedReceive{dst, [&](const RxCompletion& c) {
+                                                crc.push_back(c.crc_ok);
+                                              }});
+    std::move(tx->TransmitFrame(1, src)).Detach();
+  }
+  eng_.Run();
+  EXPECT_EQ(crc, (std::vector<bool>{false, false, true}));
+  EXPECT_EQ(rx->rx_crc_errors(), 2u);
+}
+
+struct AckRecord {
+  std::uint64_t channel;
+  std::uint64_t seq;
+  bool ok;
+};
+
+TEST_F(AdapterTest, SequencedFrameAckedAndDuplicateSuppressed) {
+  Resource back(eng_, "back");
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+  rx->ConnectTo(tx.get(), &back);  // control-cell return path for acks
+
+  std::vector<AckRecord> acks;
+  tx->set_ack_handler([&](std::uint64_t ch, std::uint64_t seq, bool ok) {
+    acks.push_back({ch, seq, ok});
+  });
+
+  const IoVec src = MakeBuffer(kPage, 7);
+  const IoVec dst1 = MakeBuffer(kPage, 0);
+  const IoVec dst2 = MakeBuffer(kPage, 0);
+  int completions = 0;
+  rx->PostReceive(5, Adapter::PostedReceive{dst1, [&](const RxCompletion& c) {
+                                              ++completions;
+                                              EXPECT_EQ(c.seq, 1u);
+                                            }});
+  rx->PostReceive(5, Adapter::PostedReceive{dst2, [&](const RxCompletion&) { ++completions; }});
+
+  auto ctl = std::make_shared<TxControl>();
+  ctl->seq = 1;
+  std::move(tx->TransmitFrame(5, src, 0, 0, ctl)).Detach();
+  eng_.Run();
+  EXPECT_EQ(completions, 1);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks[0].ok);
+  EXPECT_EQ(acks[0].seq, 1u);
+
+  // Retransmission of the same sequence number (as after a lost ack): the
+  // receive side suppresses it without consuming the second posted buffer,
+  // and re-acks so the sender can stop.
+  auto ctl2 = std::make_shared<TxControl>();
+  ctl2->seq = 1;
+  ctl2->skip_credit = true;
+  std::move(tx->TransmitFrame(5, src, 0, 0, ctl2)).Detach();
+  eng_.Run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(rx->rx_duplicate_frames(), 1u);
+  EXPECT_EQ(rx->posted_receives(5), 1u);
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_TRUE(acks[1].ok);
+  EXPECT_EQ(rx->acks_sent(), 2u);
+}
+
+TEST_F(AdapterTest, CorruptedSequencedFrameNackedAndBufferRestored) {
+  Resource back(eng_, "back");
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+  rx->ConnectTo(tx.get(), &back);
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.site = FaultSite::kDeviceError;
+  rule.nth = 1;
+  plan.AddRule(rule);
+  tx->set_fault_plan(&plan);
+
+  std::vector<AckRecord> acks;
+  tx->set_ack_handler([&](std::uint64_t ch, std::uint64_t seq, bool ok) {
+    acks.push_back({ch, seq, ok});
+  });
+
+  const IoVec src = MakeBuffer(kPage, 3);
+  const IoVec dst = MakeBuffer(kPage, 0);
+  std::optional<RxCompletion> completion;
+  rx->PostReceive(2, Adapter::PostedReceive{dst, [&](const RxCompletion& c) { completion = c; }});
+
+  auto ctl = std::make_shared<TxControl>();
+  ctl->seq = 1;
+  std::move(tx->TransmitFrame(2, src, 0, 0, ctl)).Detach();
+  eng_.Run();
+  // Link layer owns recovery: the host never sees the damaged frame, the
+  // consumed posted buffer is back at the front of the queue, and a nack
+  // went out.
+  EXPECT_FALSE(completion.has_value());
+  EXPECT_EQ(rx->rx_crc_errors(), 1u);
+  EXPECT_EQ(rx->posted_receives(2), 1u);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_FALSE(acks[0].ok);
+  EXPECT_EQ(rx->nacks_sent(), 1u);
+
+  // Retransmission (same seq, clean wire) lands in the restored buffer.
+  auto ctl2 = std::make_shared<TxControl>();
+  ctl2->seq = 1;
+  ctl2->skip_credit = true;
+  std::move(tx->TransmitFrame(2, src, 0, 0, ctl2)).Detach();
+  eng_.Run();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_TRUE(completion->crc_ok);
+  EXPECT_EQ(completion->seq, 1u);
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_TRUE(acks[1].ok);
+
+  std::vector<std::byte> sent(kPage);
+  std::vector<std::byte> got(kPage);
+  ReadFromIoVec(pm_, src, 0, sent);
+  ReadFromIoVec(pm_, dst, 0, got);
+  EXPECT_EQ(std::memcmp(sent.data(), got.data(), sent.size()), 0);
+}
+
+TEST_F(AdapterTest, LinkDropLosesFrameWithoutConsumingBuffer) {
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.site = FaultSite::kLinkDrop;
+  rule.nth = 1;
+  plan.AddRule(rule);
+  tx->set_fault_plan(&plan);
+
+  const IoVec src = MakeBuffer(kPage, 4);
+  const IoVec dst = MakeBuffer(kPage, 0);
+  int completions = 0;
+  rx->PostReceive(1, Adapter::PostedReceive{dst, [&](const RxCompletion&) { ++completions; }});
+
+  std::move(tx->TransmitFrame(1, src)).Detach();
+  eng_.Run();
+  // The frame occupied the wire but never reached the peer.
+  EXPECT_EQ(tx->frames_sent(), 1u);
+  EXPECT_EQ(tx->link_frames_dropped(), 1u);
+  EXPECT_EQ(rx->frames_received(), 0u);
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(rx->posted_receives(1), 1u);
+
+  // The next frame goes through into the untouched buffer.
+  std::move(tx->TransmitFrame(1, src)).Detach();
+  eng_.Run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(AdapterTest, LinkDuplicateDeliversUnsequencedFrameTwice) {
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.site = FaultSite::kLinkDuplicate;
+  rule.nth = 1;
+  plan.AddRule(rule);
+  tx->set_fault_plan(&plan);
+
+  const IoVec src = MakeBuffer(kPage, 6);
+  const IoVec dst1 = MakeBuffer(kPage, 0);
+  const IoVec dst2 = MakeBuffer(kPage, 0);
+  int completions = 0;
+  rx->PostReceive(1, Adapter::PostedReceive{dst1, [&](const RxCompletion&) { ++completions; }});
+  rx->PostReceive(1, Adapter::PostedReceive{dst2, [&](const RxCompletion&) { ++completions; }});
+
+  std::move(tx->TransmitFrame(1, src)).Detach();
+  eng_.Run();
+  // Without a sequence number there is no dedup: both copies land, each
+  // consuming a posted buffer — exactly the hazard the ARQ layer removes.
+  EXPECT_EQ(tx->link_frames_duplicated(), 1u);
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(rx->frames_received(), 2u);
+
+  // Both copies carry the same bytes (snapshotted at the DMA instants).
+  std::vector<std::byte> sent(kPage);
+  std::vector<std::byte> got(kPage);
+  ReadFromIoVec(pm_, src, 0, sent);
+  ReadFromIoVec(pm_, dst2, 0, got);
+  EXPECT_EQ(std::memcmp(sent.data(), got.data(), sent.size()), 0);
+}
+
+TEST_F(AdapterTest, LinkDuplicateOfSequencedFrameSuppressed) {
+  Resource back(eng_, "back");
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+  rx->ConnectTo(tx.get(), &back);
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.site = FaultSite::kLinkDuplicate;
+  rule.nth = 1;
+  plan.AddRule(rule);
+  tx->set_fault_plan(&plan);
+
+  const IoVec src = MakeBuffer(kPage, 6);
+  const IoVec dst1 = MakeBuffer(kPage, 0);
+  const IoVec dst2 = MakeBuffer(kPage, 0);
+  int completions = 0;
+  rx->PostReceive(1, Adapter::PostedReceive{dst1, [&](const RxCompletion&) { ++completions; }});
+  rx->PostReceive(1, Adapter::PostedReceive{dst2, [&](const RxCompletion&) { ++completions; }});
+
+  auto ctl = std::make_shared<TxControl>();
+  ctl->seq = 1;
+  std::move(tx->TransmitFrame(1, src, 0, 0, ctl)).Detach();
+  eng_.Run();
+  // The dedup window absorbs the wire-level duplicate: one host delivery,
+  // one spare buffer, and a re-ack for the suppressed copy.
+  EXPECT_EQ(tx->link_frames_duplicated(), 1u);
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(rx->rx_duplicate_frames(), 1u);
+  EXPECT_EQ(rx->posted_receives(1), 1u);
+  EXPECT_EQ(rx->acks_sent(), 2u);
+}
+
+TEST_F(AdapterTest, LinkReorderDeliversHeldFrameBehindYounger) {
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.site = FaultSite::kLinkReorder;
+  rule.nth = 1;
+  plan.AddRule(rule);
+  tx->set_fault_plan(&plan);
+
+  const IoVec src_a = MakeBuffer(kPage, 0x11);
+  const IoVec src_b = MakeBuffer(kPage, 0x22);
+  const IoVec dst1 = MakeBuffer(kPage, 0);
+  const IoVec dst2 = MakeBuffer(kPage, 0);
+  std::vector<std::uint32_t> arrival_headers;
+  auto note = [&](const RxCompletion& c) { arrival_headers.push_back(c.header); };
+  rx->PostReceive(1, Adapter::PostedReceive{dst1, note});
+  rx->PostReceive(1, Adapter::PostedReceive{dst2, note});
+
+  std::move(tx->TransmitFrame(1, src_a, /*header=*/0xA)).Detach();
+  std::move(tx->TransmitFrame(1, src_b, /*header=*/0xB)).Detach();
+  eng_.Run();
+  // Frame A was held back and delivered late, behind the younger frame B.
+  EXPECT_EQ(tx->link_frames_reordered(), 1u);
+  EXPECT_EQ(arrival_headers, (std::vector<std::uint32_t>{0xB, 0xA}));
+
+  // The late copy carries A's bytes even though it landed second.
+  std::vector<std::byte> sent(kPage);
+  std::vector<std::byte> got(kPage);
+  ReadFromIoVec(pm_, src_a, 0, sent);
+  ReadFromIoVec(pm_, dst2, 0, got);
+  EXPECT_EQ(std::memcmp(sent.data(), got.data(), sent.size()), 0);
+}
+
+TEST_F(AdapterTest, LinkReorderFlushTimerDeliversLoneHeldFrame) {
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.site = FaultSite::kLinkReorder;
+  rule.nth = 1;
+  rule.arg = 30'000;  // flush after 30 us if no younger frame shows up
+  plan.AddRule(rule);
+  tx->set_fault_plan(&plan);
+
+  const IoVec src = MakeBuffer(kPage, 5);
+  const IoVec dst = MakeBuffer(kPage, 0);
+  SimTime done_at = -1;
+  rx->PostReceive(1, Adapter::PostedReceive{dst, [&](const RxCompletion&) {
+                                              done_at = eng_.now();
+                                            }});
+  std::move(tx->TransmitFrame(1, src)).Detach();
+  eng_.Run();
+  // Delivered by the flush timer: wire time + the injected hold delay.
+  const SimTime wire = MicrosToSimTime(kPage * 0.0598);
+  EXPECT_EQ(done_at, wire + 30'000);
+  EXPECT_EQ(rx->frames_received(), 1u);
+}
+
+TEST_F(AdapterTest, CancelPostedReceiveRemovesQueuedBuffer) {
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+  const IoVec dst1 = MakeBuffer(kPage, 0);
+  const IoVec dst2 = MakeBuffer(kPage, 0);
+  std::vector<int> order;
+  rx->PostReceive(3, Adapter::PostedReceive{dst1, [&](const RxCompletion&) { order.push_back(1); },
+                                            /*cancel_id=*/11});
+  rx->PostReceive(3, Adapter::PostedReceive{dst2, [&](const RxCompletion&) { order.push_back(2); },
+                                            /*cancel_id=*/22});
+
+  EXPECT_FALSE(rx->CancelPostedReceive(3, 0));   // 0 is never a valid id
+  EXPECT_FALSE(rx->CancelPostedReceive(9, 11));  // wrong channel
+  EXPECT_TRUE(rx->CancelPostedReceive(3, 11));
+  EXPECT_FALSE(rx->CancelPostedReceive(3, 11));  // idempotent: already gone
+  EXPECT_EQ(rx->posted_receives(3), 1u);
+
+  // The next frame lands in the surviving buffer, not the cancelled one.
+  const IoVec src = MakeBuffer(kPage, 8);
+  std::move(tx->TransmitFrame(3, src)).Detach();
+  eng_.Run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST_F(AdapterTest, AbortCreditWaitBreaksCreditDeadlock) {
+  Adapter::Config tx_cfg;
+  tx_cfg.flow_control = true;
+  auto tx = std::make_unique<Adapter>(eng_, pm_, cost_, "tx", tx_cfg);
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+
+  // No posted buffer -> no credit -> the transmission parks forever. This is
+  // the credit deadlock the transfer watchdog breaks.
+  const IoVec src = MakeBuffer(kPage, 2);
+  auto ctl = std::make_shared<TxControl>();
+  ctl->seq = 1;
+  std::move(tx->TransmitFrame(4, src, 0, 0, ctl)).Detach();
+  eng_.Run();
+  EXPECT_EQ(tx->frames_sent(), 0u);
+  EXPECT_EQ(tx->credit_waiters(4), 1u);
+
+  EXPECT_FALSE(tx->AbortCreditWait(4, nullptr));  // must name the waiter
+  EXPECT_TRUE(tx->AbortCreditWait(4, ctl));
+  eng_.Run();
+  EXPECT_TRUE(ctl->aborted);
+  EXPECT_EQ(tx->credit_waiters(4), 0u);
+  EXPECT_EQ(tx->frames_sent(), 0u);  // nothing ever went out
+  EXPECT_FALSE(tx->AbortCreditWait(4, ctl));  // idempotent: waiter gone
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// TimerSet: cancellable one-shot timers over the (non-cancellable) engine
+// queue. The contract the ARQ retransmit path depends on: Cancel() before the
+// deadline means the callback never runs, the queued trampoline pops as a
+// no-op, and engine event ordering is untouched either way.
+#include "src/sim/timer.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+
+namespace genie {
+namespace {
+
+TEST(TimerSetTest, FiresAtDeadline) {
+  Engine eng;
+  TimerSet timers(eng);
+  SimTime fired_at = -1;
+  timers.ScheduleAfter(1000, [&] { fired_at = eng.now(); });
+  EXPECT_EQ(timers.pending(), 1u);
+  eng.Run();
+  EXPECT_EQ(fired_at, 1000);
+  EXPECT_EQ(timers.pending(), 0u);
+  EXPECT_EQ(timers.fired(), 1u);
+  EXPECT_EQ(timers.cancelled(), 0u);
+}
+
+TEST(TimerSetTest, CancelSuppressesCallback) {
+  Engine eng;
+  TimerSet timers(eng);
+  bool ran = false;
+  const TimerSet::Handle h = timers.ScheduleAfter(1000, [&] { ran = true; });
+  EXPECT_TRUE(timers.Cancel(h));
+  EXPECT_EQ(timers.pending(), 0u);
+  // The engine still holds the trampoline event; it must pop as a no-op.
+  eng.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(timers.fired(), 0u);
+  EXPECT_EQ(timers.cancelled(), 1u);
+}
+
+TEST(TimerSetTest, CancelAfterFireReturnsFalse) {
+  Engine eng;
+  TimerSet timers(eng);
+  const TimerSet::Handle h = timers.ScheduleAfter(10, [] {});
+  eng.Run();
+  EXPECT_FALSE(timers.Cancel(h));  // already fired
+  EXPECT_EQ(timers.cancelled(), 0u);
+}
+
+TEST(TimerSetTest, CancelIsIdempotent) {
+  Engine eng;
+  TimerSet timers(eng);
+  const TimerSet::Handle h = timers.ScheduleAfter(10, [] {});
+  EXPECT_TRUE(timers.Cancel(h));
+  EXPECT_FALSE(timers.Cancel(h));
+  EXPECT_EQ(timers.cancelled(), 1u);
+  EXPECT_FALSE(timers.Cancel(0));  // 0 is never a valid handle
+}
+
+TEST(TimerSetTest, IndependentTimersInterleave) {
+  Engine eng;
+  TimerSet timers(eng);
+  std::vector<int> order;
+  timers.ScheduleAfter(300, [&] { order.push_back(3); });
+  const TimerSet::Handle second = timers.ScheduleAfter(200, [&] { order.push_back(2); });
+  timers.ScheduleAfter(100, [&] { order.push_back(1); });
+  EXPECT_EQ(timers.pending(), 3u);
+  EXPECT_TRUE(timers.Cancel(second));
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(timers.fired(), 2u);
+  EXPECT_EQ(timers.cancelled(), 1u);
+}
+
+TEST(TimerSetTest, CallbackMayRearm) {
+  // The retransmit loop arms the next timeout from inside timer context.
+  Engine eng;
+  TimerSet timers(eng);
+  int fires = 0;
+  std::function<void()> rearm = [&] {
+    if (++fires < 3) {
+      timers.ScheduleAfter(50, rearm);
+    }
+  };
+  timers.ScheduleAfter(50, rearm);
+  eng.Run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(eng.now(), 150);
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace genie
