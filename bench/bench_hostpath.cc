@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "src/net/checksum.h"
 #include "src/net/iovec_io.h"
 #include "src/mem/phys_memory.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_env.h"
 #include "src/util/table.h"
@@ -298,6 +300,15 @@ int Run() {
     injected_faults = plan.total_injected();
     recovered_transfers = tx_ep.stats().recovered_transfers + rx_ep.stats().recovered_transfers;
     metrics_json = receiver.metrics().Snapshot().ToJson();
+    if (trace_file.enabled()) {
+      // The traced transfer also feeds the critical-path analyzer: print its
+      // per-stage attribution next to the trace file it came from.
+      const std::vector<FlowBreakdown> breakdown = AnalyzeTrace(*trace_file.log());
+      std::ostringstream table;
+      WriteBreakdownTable(table, breakdown);
+      std::printf("\nCritical-path attribution (from %s):\n%s\n",
+                  trace_file.path().c_str(), table.str().c_str());
+    }
   }
   TextTable fault_table;
   fault_table.AddHeader({"fault/recovery counter", "value"});

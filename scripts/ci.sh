@@ -11,6 +11,23 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc)
 
+# Flight-recorder dumps from the stress legs land here; on a stress failure
+# the dump is the first triage artifact (last N trace events + replay seed).
+# Absolute path: ctest and the stress binaries run from different working
+# directories, and the recorder opens the path as-is.
+FLIGHT_DIR="${GENIE_FLIGHT_DIR:-$PWD/build/flight}"
+mkdir -p "$FLIGHT_DIR"
+export GENIE_FLIGHT_DIR="$FLIGHT_DIR"
+
+print_flight_dumps() {
+  local dumps
+  dumps=$(ls "$FLIGHT_DIR"/flight_*.json 2>/dev/null || true)
+  if [[ -n "$dumps" ]]; then
+    echo "--- flight recorder dumps (replay seed + last trace events) ---"
+    ls -l "$FLIGHT_DIR"/flight_*.json
+  fi
+}
+
 echo "=== tier-1: optimized build ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -21,8 +38,14 @@ if ! ctest --test-dir build --output-on-failure -j "$JOBS"; then
     echo "--- bench_smoke metrics snapshot (build/tests/bench_smoke_metrics.json) ---"
     cat build/tests/bench_smoke_metrics.json
   fi
+  print_flight_dumps
   exit 1
 fi
+# The critical-path analyzer's byte-identical-JSON contract is part of the
+# trace pipeline's gate: run it by name so a filter change can never silently
+# deselect it.
+build/tests/obs_critical_path_test \
+  --gtest_filter='CriticalPathTest.AnalyzerJsonIsByteIdenticalAcrossRuns'
 
 echo "=== tier-1: ASan+UBSan build ==="
 cmake -B build-asan -S . -DGENIE_ASAN=ON >/dev/null
@@ -34,25 +57,32 @@ cmake --build build-asan -j "$JOBS"
 # -LE bench: the bench_smoke wall-clock gate only means something at -O2;
 # its deterministic layers already ran in the optimized leg.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -LE bench
+ASAN_OPTIONS=detect_leaks=0 build-asan/tests/obs_critical_path_test \
+  --gtest_filter='CriticalPathTest.AnalyzerJsonIsByteIdenticalAcrossRuns'
 
 echo "=== tier-1: fault-stress replay (ASan) ==="
 # Third leg: the fault-injection stress harness under ASan. Three pinned
 # seeds gate the build (each under a fixed wall-clock budget), then one fresh
 # entropy seed widens coverage a little every run; an entropy failure is
 # reported for triage (the seed is the complete repro) but does not fail CI.
+# A failing seed leaves a flight-recorder dump in $GENIE_FLIGHT_DIR.
 STRESS_BIN=build-asan/tests/fault_stress_test
 STRESS_FILTER='--gtest_filter=FaultStressTest.SeededInterleavingsKeepInvariantsAndBytes'
 STRESS_BUDGET=120  # seconds of wall clock per seed
 for seed in 1001 1042 1137; do
   echo "fault-stress fixed seed $seed"
-  GENIE_FAULT_SEED=$seed ASAN_OPTIONS=detect_leaks=0 \
-    timeout "$STRESS_BUDGET" "$STRESS_BIN" "$STRESS_FILTER"
+  if ! GENIE_FAULT_SEED=$seed ASAN_OPTIONS=detect_leaks=0 \
+      timeout "$STRESS_BUDGET" "$STRESS_BIN" "$STRESS_FILTER"; then
+    print_flight_dumps
+    exit 1
+  fi
 done
 ENTROPY_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
 echo "fault-stress entropy seed $ENTROPY_SEED (replay: GENIE_FAULT_SEED=$ENTROPY_SEED $STRESS_BIN $STRESS_FILTER)"
 if ! GENIE_FAULT_SEED=$ENTROPY_SEED ASAN_OPTIONS=detect_leaks=0 \
     timeout "$STRESS_BUDGET" "$STRESS_BIN" "$STRESS_FILTER"; then
   echo "NON-FATAL: entropy seed $ENTROPY_SEED failed the fault-stress harness — file for triage."
+  print_flight_dumps
 fi
 
 echo "=== tier-1: lossy-link soak (ASan) ==="
@@ -64,14 +94,18 @@ RELIABLE_BIN=build-asan/tests/reliable_stress_test
 RELIABLE_FILTER='--gtest_filter=ReliableStressTest.SeededFaultSweepsDeliverExactlyOnce'
 for seed in 7003 7071 7158; do
   echo "reliable-stress fixed seed $seed"
-  GENIE_RELIABLE_SEED=$seed ASAN_OPTIONS=detect_leaks=0 \
-    timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"
+  if ! GENIE_RELIABLE_SEED=$seed ASAN_OPTIONS=detect_leaks=0 \
+      timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"; then
+    print_flight_dumps
+    exit 1
+  fi
 done
 ENTROPY_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
 echo "reliable-stress entropy seed $ENTROPY_SEED (replay: GENIE_RELIABLE_SEED=$ENTROPY_SEED $RELIABLE_BIN $RELIABLE_FILTER)"
 if ! GENIE_RELIABLE_SEED=$ENTROPY_SEED ASAN_OPTIONS=detect_leaks=0 \
     timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"; then
   echo "NON-FATAL: entropy seed $ENTROPY_SEED failed the reliable-stress harness — file for triage."
+  print_flight_dumps
 fi
 
 echo "CI OK: all suites passed."

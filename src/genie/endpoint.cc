@@ -237,13 +237,16 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
   }
   st->effective = effective;
   st->xfer = XferLabel("out", effective);
+  // Minted here, at the origin of the causal chain: every span and instant
+  // this transfer produces — on either node — carries the same flow id.
+  st->flow = node_->engine().NextFlowId();
   st->started_at = node_->engine().now();
 
   ++stats_.outputs;
   ++pending_;
 
   co_await node_->cpu().Acquire();
-  TraceScope prepare_span(node_->trace(), XferTrack(), st->xfer + ".prepare");
+  TraceScope prepare_span(node_->trace(), XferTrack(), st->xfer + ".prepare", "xfer", st->flow);
   co_await Charge(OpKind::kSenderKernelFixed, 0);
   Charges charges;
   IoStatus prep;
@@ -460,7 +463,8 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
   // Device setup, bus and network fixed latencies, then the wire transfer.
   // The transmit span covers DMA through the adapter completion.
   ReliableDelivery& reliable = node_->reliable();
-  TraceScope transmit_span(node_->trace(), XferTrack(), st->xfer + ".transmit");
+  TraceScope transmit_span(node_->trace(), XferTrack(), st->xfer + ".transmit", "xfer",
+                           st->flow);
   co_await Delay(node_->engine(), node_->Cost(OpKind::kHardwareFixed, 0));
   bool delivery_failed = false;
   bool watchdog_cancelled = false;
@@ -488,7 +492,7 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
       });
     }
     const ReliableDelivery::TxReport report = co_await reliable.TransmitReliably(
-        channel_, st->wire, st->header, st->tag, st->xfer, token);
+        channel_, st->wire, st->header, st->tag, st->xfer, token, st->flow);
     if (watching) {
       reliable.Unwatch(watch_id);
     }
@@ -503,12 +507,14 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
                  ? ReliableDelivery::WatchVerdict::kCancelled
                  : ReliableDelivery::WatchVerdict::kBusy;
     });
-    co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag, ctl);
+    co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag, ctl,
+                                            st->flow);
     reliable.Unwatch(watch_id);
     delivery_failed = ctl->aborted;
     watchdog_cancelled = ctl->aborted;
   } else {
-    co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag);
+    co_await node_->adapter().TransmitFrame(channel_, st->wire, st->header, st->tag,
+                                            /*ctl=*/nullptr, st->flow);
   }
   transmit_span.End();
   if (delivery_failed) {
@@ -525,7 +531,7 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
   // Transmit-complete: dispose on the sender CPU (overlapping the network
   // and receiver-side processing).
   co_await node_->cpu().Acquire();
-  TraceScope dispose_span(node_->trace(), XferTrack(), st->xfer + ".dispose");
+  TraceScope dispose_span(node_->trace(), XferTrack(), st->xfer + ".dispose", "xfer", st->flow);
   Charges charges;
   {
     ScopedTraceContext trace_ctx(node_->trace(), st->xfer);
@@ -1361,8 +1367,9 @@ Endpoint::ChecksumVerdict Endpoint::VerifyChecksum(PendingInput& pi, const IoVec
 
 Task<void> Endpoint::RunDisposeEarlyDemux(std::shared_ptr<PendingInput> pi,
                                           RxCompletion completion) {
+  pi->flow = completion.flow;
   co_await node_->cpu().Acquire();
-  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose");
+  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose", "xfer", pi->flow);
   co_await Charge(OpKind::kReceiverKernelFixed, 0);
   Charges charges;
   pi->result.crc_ok = completion.crc_ok;
@@ -1402,8 +1409,9 @@ Task<void> Endpoint::RunDisposeEarlyDemux(std::shared_ptr<PendingInput> pi,
 }
 
 Task<void> Endpoint::RunDisposePooled(std::shared_ptr<PendingInput> pi, PooledFrame frame) {
+  pi->flow = frame.flow;
   co_await node_->cpu().Acquire();
-  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose");
+  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose", "xfer", pi->flow);
   co_await Charge(OpKind::kReceiverKernelFixed, 0);
   // Ready-time operations (Table 4): overlay allocation happened at arrival
   // in the device; the kernel-side costs land here, on the critical path.
@@ -1464,8 +1472,9 @@ Task<void> Endpoint::RunDisposePooled(std::shared_ptr<PendingInput> pi, PooledFr
 Task<void> Endpoint::RunDisposeOutboard(std::shared_ptr<PendingInput> pi, OutboardFrame frame) {
   Adapter& adapter = node_->adapter();
   const std::uint64_t n = std::min<std::uint64_t>(frame.bytes, pi->len);
+  pi->flow = frame.flow;
   co_await node_->cpu().Acquire();
-  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose");
+  TraceScope dispose_span(node_->trace(), XferTrack(), pi->xfer + ".dispose", "xfer", pi->flow);
   co_await Charge(OpKind::kReceiverKernelFixed, 0);
   pi->result.crc_ok = frame.crc_ok;
 

@@ -176,6 +176,7 @@ class Endpoint {
     // application has relinquished the buffer).
     bool deallocate_region = false;
     std::string xfer;          // trace key: "out#<id>[<semantics>]"
+    std::uint64_t flow = 0;    // causal flow id stamping this transfer's events
     SimTime started_at = 0;
   };
 
@@ -201,6 +202,10 @@ class Endpoint {
     InputResult result;
     SimEvent done;
     std::string xfer;  // trace key: "in#<id>[<semantics>]"
+    // Causal flow id of the frame that landed in this input (stamped at
+    // dispose; the prepare happens before any sender exists, so its span is
+    // joined into the flow's graph by label instead).
+    std::uint64_t flow = 0;
     SimTime started_at = 0;
     // Nonzero when the transfer watchdog may cancel this input; for
     // early-demultiplexed inputs the same id is stamped on the posted

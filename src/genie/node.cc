@@ -29,6 +29,7 @@ Node::Node(Engine& engine, std::string name, Config config)
     adapter_.SetDriverWork(&cpu_, &cpu_,
                            cost_.Line(OpKind::kDriverPerByte).slope_us_per_byte);
   }
+  reliable_->set_metrics(&metrics_);
   RegisterComponentGauges();
 }
 

@@ -99,12 +99,21 @@ class Node {
   // Optional execution tracing (chrome://tracing export); nullptr disables.
   // The log is given this node's sim clock so TraceScope and the VM fault
   // instants read the current simulated time without threading the engine.
+  // The node claims its track names on attach, so two nodes sharing one log
+  // with colliding names (e.g. both called "tx") abort at wiring time
+  // instead of silently interleaving their events on one lane.
   void set_trace(TraceLog* trace) {
+    if (trace_ != nullptr && trace_ != trace) {
+      trace_->UnregisterNode(this);
+    }
     trace_ = trace;
     adapter_.set_trace(trace);
     vm_.set_trace(trace);
     reliable_->set_trace(trace);
     if (trace != nullptr) {
+      trace->RegisterNode(this, name_ + ".xfer");
+      trace->RegisterNode(this, name_ + ".cpu");
+      trace->RegisterNode(this, name_ + ".nic.wire");
       trace->set_clock([this] { return engine_->now(); });
     }
   }

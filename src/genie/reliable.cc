@@ -16,10 +16,20 @@ ReliableDelivery::ReliableDelivery(Engine& engine, Adapter& adapter, std::string
       [this](std::uint64_t channel, std::uint64_t seq, bool ok) { OnAck(channel, seq, ok); });
 }
 
-void ReliableDelivery::Instant(const std::string& text) {
+void ReliableDelivery::Instant(const std::string& text, std::uint64_t flow) {
   if (trace_ != nullptr) {
-    trace_->Instant(xfer_track_, text, "reliable", engine_->now());
+    trace_->Instant(xfer_track_, text, "reliable", engine_->now(), flow);
   }
+}
+
+void ReliableDelivery::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    ack_rtt_ = nullptr;
+    retransmit_delay_ = nullptr;
+    return;
+  }
+  ack_rtt_ = &metrics->Histogram("reliable.ack_rtt_us");
+  retransmit_delay_ = &metrics->Histogram("reliable.retransmit_delay_us");
 }
 
 SimTime ReliableDelivery::WithJitter(SimTime timeout) {
@@ -53,7 +63,7 @@ void ReliableDelivery::OnAck(std::uint64_t channel, std::uint64_t seq, bool ok) 
 
 Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
     std::uint64_t channel, IoVec iov, std::uint32_t header, std::uint32_t tag, std::string label,
-    std::shared_ptr<CancelToken> token) {
+    std::shared_ptr<CancelToken> token, std::uint64_t flow) {
   GENIE_CHECK(options_.arq) << "TransmitReliably with ARQ disabled";
   const std::uint64_t seq = ++next_seq_[channel];
   ++stats_.sequenced_frames;
@@ -80,12 +90,13 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
     if (token != nullptr) {
       token->ctl = ctl;
     }
-    co_await adapter_->TransmitFrame(channel, iov, header, tag, ctl);
+    co_await adapter_->TransmitFrame(channel, iov, header, tag, ctl, flow);
     if (ctl->aborted || (token != nullptr && token->cancelled)) {
       report.outcome = TxOutcome::kCancelled;
       ++stats_.cancelled_transmits;
       break;
     }
+    const SimTime attempt_end = engine_->now();
     if (pending.outcome == PendingAck::kNone) {
       pending.timer = timers_.ScheduleAfter(WithJitter(timeout), [this, key] {
         auto it = pending_acks_.find(key);
@@ -101,8 +112,17 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
     const PendingAck::Outcome outcome = pending.outcome;
     pending.outcome = PendingAck::kNone;
     pending.event.Reset();
+    if (trace_ != nullptr && engine_->now() > attempt_end) {
+      // Time parked between this attempt leaving the wire and its
+      // resolution (ack, nack, or timeout).
+      trace_->Span(xfer_track_, label + ".ack_wait", "reliable", attempt_end, engine_->now(),
+                   flow);
+    }
 
     if (outcome == PendingAck::kAcked) {
+      if (ack_rtt_ != nullptr) {
+        ack_rtt_->Add(SimTimeToMicros(engine_->now() - attempt_end));
+      }
       report.outcome = TxOutcome::kDelivered;
       break;
     }
@@ -115,25 +135,39 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
       report.outcome = TxOutcome::kGiveUp;
       ++stats_.giveups;
       Instant(label + " giveup seq " + std::to_string(seq) + " after " +
-              std::to_string(report.attempts) + " attempts");
+                  std::to_string(report.attempts) + " attempts",
+              flow);
       break;
     }
     ++stats_.retransmits;
     if (outcome == PendingAck::kTimeout) {
       ++stats_.timeouts;
+      if (retransmit_delay_ != nullptr) {
+        retransmit_delay_->Add(SimTimeToMicros(engine_->now() - attempt_end));
+      }
       Instant(label + " retransmit(timeout) seq " + std::to_string(seq) + " attempt " +
-              std::to_string(attempt + 2));
+                  std::to_string(attempt + 2),
+              flow);
       timeout = std::min<SimTime>(
           options_.max_timeout, static_cast<SimTime>(static_cast<double>(timeout) *
                                                      std::max(1.0, options_.backoff_factor)));
     } else {  // kNacked: receiver saw the frame but CRC failed.
       Instant(label + " retransmit(nack) seq " + std::to_string(seq) + " attempt " +
-              std::to_string(attempt + 2));
+                  std::to_string(attempt + 2),
+              flow);
       if (options_.nack_delay > 0) {
+        const SimTime delay_start = engine_->now();
         co_await Delay(*engine_, options_.nack_delay);
+        if (trace_ != nullptr) {
+          trace_->Span(xfer_track_, label + ".nack_delay", "reliable", delay_start,
+                       engine_->now(), flow);
+        }
       }
       if (pending.outcome == PendingAck::kAcked) {
         // A duplicate delivery got acked while we paused; done after all.
+        if (ack_rtt_ != nullptr) {
+          ack_rtt_->Add(SimTimeToMicros(engine_->now() - attempt_end));
+        }
         report.outcome = TxOutcome::kDelivered;
         break;
       }
@@ -141,6 +175,9 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
         report.outcome = TxOutcome::kCancelled;
         ++stats_.cancelled_transmits;
         break;
+      }
+      if (retransmit_delay_ != nullptr) {
+        retransmit_delay_->Add(SimTimeToMicros(engine_->now() - attempt_end));
       }
     }
   }
@@ -208,6 +245,9 @@ void ReliableDelivery::RunScan() {
         Instant(label + " watchdog cancel");
         if (it != watched_.end()) {
           watched_.erase(it);
+        }
+        if (cancel_hook_) {
+          cancel_hook_(label);
         }
         break;
       case WatchVerdict::kBusy:

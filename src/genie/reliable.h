@@ -35,6 +35,7 @@
 #include <utility>
 
 #include "src/net/adapter.h"
+#include "src/obs/metrics.h"
 #include "src/sim/awaitable.h"
 #include "src/sim/engine.h"
 #include "src/sim/task.h"
@@ -122,10 +123,11 @@ class ReliableDelivery {
   // Transmits `iov` on `channel` with ARQ and co_returns once the frame is
   // acked, retries are exhausted, or `token` is cancelled. The caller keeps
   // `iov`'s backing pages alive (and unmutated) until this returns — the
-  // retransmit re-reads them.
+  // retransmit re-reads them. `flow` (optional) stamps every trace record
+  // this transmission produces with the transfer's causal flow id.
   Task<TxReport> TransmitReliably(std::uint64_t channel, IoVec iov, std::uint32_t header,
                                   std::uint32_t tag, std::string label,
-                                  std::shared_ptr<CancelToken> token);
+                                  std::shared_ptr<CancelToken> token, std::uint64_t flow = 0);
 
   // Registers an in-flight transfer with the watchdog. `on_expire` runs from
   // the scan when the transfer overstays watchdog_timeout; kBusy verdicts
@@ -141,6 +143,20 @@ class ReliableDelivery {
   const Stats& stats() const { return stats_; }
   std::size_t watched() const { return watched_.size(); }
   void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  // Optional metrics sink: records `reliable.ack_rtt_us` (wire end of the
+  // delivered attempt to ack arrival) and `reliable.retransmit_delay_us`
+  // (previous attempt end to retransmission) latency histograms. Recording
+  // draws no randomness and schedules nothing, so it never perturbs the
+  // event schedule.
+  void set_metrics(MetricsRegistry* metrics);
+
+  // Optional hook invoked when the watchdog cancels a transfer (after the
+  // cancel callback has run). The flight recorder uses it to dump the trace
+  // ring at the moment of failure.
+  void set_cancel_hook(std::function<void(const std::string& label)> hook) {
+    cancel_hook_ = std::move(hook);
+  }
 
  private:
   struct PendingAck {
@@ -169,12 +185,15 @@ class ReliableDelivery {
   SimTime WithJitter(SimTime timeout);
   void ArmScan();
   void RunScan();
-  void Instant(const std::string& text);
+  void Instant(const std::string& text, std::uint64_t flow = 0);
 
   Engine* engine_;
   Adapter* adapter_;
   std::string xfer_track_;
   TraceLog* trace_ = nullptr;
+  LatencyHistogram* ack_rtt_ = nullptr;
+  LatencyHistogram* retransmit_delay_ = nullptr;
+  std::function<void(const std::string& label)> cancel_hook_;
   ReliableOptions options_;
   TimerSet timers_;
   SplitMix64 rng_;

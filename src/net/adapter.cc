@@ -38,7 +38,8 @@ void Adapter::ConnectTo(Adapter* peer, Resource* link) {
 }
 
 Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_t header,
-                                  std::uint32_t tag, std::shared_ptr<TxControl> ctl) {
+                                  std::uint32_t tag, std::shared_ptr<TxControl> ctl,
+                                  std::uint64_t flow) {
   GENIE_CHECK(peer_ != nullptr) << "adapter " << name_ << " not connected";
   const std::uint64_t total = iov.total_bytes();
   GENIE_CHECK_GT(total, 0u);
@@ -47,7 +48,13 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
 
   if (config_.flow_control && tag == 0 && (ctl == nullptr || !ctl->skip_credit)) {
     // Credit-based flow control: wait for the receiver to have a buffer.
+    const SimTime credit_start = engine_.now();
     co_await AcquireCredit(channel, ctl);
+    if (trace_ != nullptr && engine_.now() > credit_start) {
+      // Only a wait that actually suspended gets a span; an immediately
+      // available credit leaves the trace untouched.
+      trace_->Span(name_ + ".wire", "credit_wait", "net", credit_start, engine_.now(), flow);
+    }
     if (ctl != nullptr && ctl->aborted) {
       co_return;  // Watchdog broke a credit deadlock; nothing went out.
     }
@@ -90,7 +97,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
 
   const SimTime wire_start = engine_.now();
   if (deliver_now) {
-    peer_->BeginRxFrame(channel, header, tag, seq);
+    peer_->BeginRxFrame(channel, header, tag, seq, flow);
   }
   HeldFrame snapshot;
   if (need_snapshot) {
@@ -98,6 +105,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
     snapshot.header = header;
     snapshot.tag = tag;
     snapshot.seq = seq;
+    snapshot.flow = flow;
     snapshot.bytes.reserve(wire_bytes);
   }
   std::vector<std::byte> chunk(config_.chunk_bytes);
@@ -150,7 +158,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
     ++link_frames_dropped_;
     if (trace_ != nullptr) {
       trace_->Instant(name_ + ".wire", "link_drop seq " + std::to_string(seq), "net",
-                      engine_.now());
+                      engine_.now(), flow);
     }
   }
   if (link_duplicate) {
@@ -164,7 +172,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
     held_.push_back(std::move(snapshot));
     if (trace_ != nullptr) {
       trace_->Instant(name_ + ".wire", "link_hold seq " + std::to_string(seq), "net",
-                      engine_.now());
+                      engine_.now(), flow);
     }
     const SimTime flush_delay = reorder_delay_ns == 0 ? config_.reorder_flush_delay
                                                       : static_cast<SimTime>(reorder_delay_ns);
@@ -176,7 +184,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
   }
   if (trace_ != nullptr) {
     trace_->Span(name_ + ".wire", "frame " + std::to_string(total) + "B", "net", wire_start,
-                 engine_.now());
+                 engine_.now(), flow);
   }
   tx_link_->Release();
   ++frames_sent_;
@@ -184,7 +192,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
 
 void Adapter::DeliverSnapshot(const HeldFrame& frame) {
   GENIE_CHECK(peer_ != nullptr);
-  peer_->BeginRxFrame(frame.channel, frame.header, frame.tag, frame.seq);
+  peer_->BeginRxFrame(frame.channel, frame.header, frame.tag, frame.seq, frame.flow);
   std::size_t done = 0;
   while (done < frame.bytes.size()) {
     const std::size_t n = std::min(config_.chunk_bytes, frame.bytes.size() - done);
@@ -201,7 +209,7 @@ void Adapter::DeliverHeldFramesLocked() {
     held_.pop_front();
     if (trace_ != nullptr) {
       trace_->Instant(name_ + ".wire", "link_late_delivery seq " + std::to_string(frame.seq),
-                      "net", engine_.now());
+                      "net", engine_.now(), frame.flow);
     }
     DeliverSnapshot(frame);
   }
@@ -216,18 +224,7 @@ Task<void> Adapter::FlushHeldFrames() {
   tx_link_->Release();
 }
 
-void Adapter::InjectCrcError() {
-  FaultRule rule;
-  rule.site = FaultSite::kDeviceError;
-  // Target the next arriving frame; consecutive calls queue consecutive
-  // frames (the old flag semantics, generalized).
-  legacy_crc_next_ = std::max(legacy_crc_next_, legacy_plan_.site_ops(FaultSite::kDeviceError)) + 1;
-  rule.nth = legacy_crc_next_;
-  rule.max_fires = 1;
-  legacy_plan_.AddRule(rule);
-}
-
-void Adapter::SendAck(std::uint64_t channel, std::uint64_t seq, bool ok) {
+void Adapter::SendAck(std::uint64_t channel, std::uint64_t seq, bool ok, std::uint64_t flow) {
   if (peer_ == nullptr) {
     return;  // Unidirectional test wiring: no control-cell return path.
   }
@@ -238,7 +235,7 @@ void Adapter::SendAck(std::uint64_t channel, std::uint64_t seq, bool ok) {
   }
   if (trace_ != nullptr) {
     trace_->Instant(name_ + ".wire", std::string(ok ? "ack" : "nack") + " seq " +
-                        std::to_string(seq), "net", engine_.now());
+                        std::to_string(seq), "net", engine_.now(), flow);
   }
   // Acks ride the (lossless) control-cell path, like credits.
   Adapter* peer = peer_;
@@ -299,13 +296,14 @@ std::size_t Adapter::posted_receives(std::uint64_t channel) const {
 }
 
 void Adapter::BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag,
-                           std::uint64_t seq) {
+                           std::uint64_t seq, std::uint64_t flow) {
   GENIE_CHECK(!rx_.has_value()) << "overlapping frames on one link";
   rx_.emplace();
   rx_->channel = channel;
   rx_->header = header;
   rx_->tag = tag;
   rx_->seq = seq;
+  rx_->flow = flow;
   if (seq != 0) {
     // ARQ duplicate suppression: a sequence number already delivered to the
     // host is discarded without consuming a buffer (the ack got lost or beat
@@ -463,25 +461,20 @@ void Adapter::EndRxFrame(bool crc_ok) {
   GENIE_CHECK(rx_.has_value());
   RxState rx = std::move(*rx_);
   rx_.reset();
-  // Deprecated InjectCrcError() shim: the adapter-owned plan is consulted
-  // once per arriving frame, matching the old per-frame flag consumption.
-  if (legacy_plan_.ShouldFail(FaultSite::kDeviceError)) {
-    crc_ok = false;
-  }
   if (rx.duplicate) {
     ++rx_duplicate_frames_;
     if (trace_ != nullptr) {
       trace_->Instant(name_ + ".wire", "dup_suppressed seq " + std::to_string(rx.seq), "net",
-                      engine_.now());
+                      engine_.now(), rx.flow);
     }
     // Re-ack: the sender is retransmitting because the first ack lost the
     // race against its timeout; only a fresh ack stops it.
-    SendAck(rx.channel, rx.seq, true);
+    SendAck(rx.channel, rx.seq, true, rx.flow);
     return;
   }
   if (rx.dropped) {
     if (rx.seq != 0) {
-      SendAck(rx.channel, rx.seq, false);
+      SendAck(rx.channel, rx.seq, false, rx.flow);
     }
     return;
   }
@@ -502,9 +495,9 @@ void Adapter::EndRxFrame(bool crc_ok) {
       }
       if (trace_ != nullptr) {
         trace_->Instant(name_ + ".wire", "rx_crc_retry seq " + std::to_string(rx.seq), "net",
-                        engine_.now());
+                        engine_.now(), rx.flow);
       }
-      SendAck(rx.channel, rx.seq, false);
+      SendAck(rx.channel, rx.seq, false, rx.flow);
       return;
     }
   }
@@ -522,13 +515,13 @@ void Adapter::EndRxFrame(bool crc_ok) {
            *dedup.seen.begin() < dedup.max_seq - 128) {
       dedup.seen.erase(dedup.seen.begin());
     }
-    SendAck(rx.channel, rx.seq, true);
+    SendAck(rx.channel, rx.seq, true, rx.flow);
   }
   if (trace_ != nullptr) {
     trace_->Instant(name_ + ".wire",
                     "rx_complete " + std::to_string(rx.bytes) + "B" +
                         (crc_ok ? "" : " crc_error") + (rx.truncated ? " truncated" : ""),
-                    "net", engine_.now());
+                    "net", engine_.now(), rx.flow);
   }
   switch (config_.rx_buffering) {
     case InputBuffering::kEarlyDemux: {
@@ -538,6 +531,7 @@ void Adapter::EndRxFrame(bool crc_ok) {
       completion.tag = rx.tag;
       completion.bytes = std::min<std::uint64_t>(rx.bytes, rx.posted->target.total_bytes());
       completion.seq = rx.seq;
+      completion.flow = rx.flow;
       completion.crc_ok = crc_ok;
       completion.truncated = rx.truncated;
       if (rx.posted->on_complete) {
@@ -551,6 +545,7 @@ void Adapter::EndRxFrame(bool crc_ok) {
       frame.header = rx.header;
       frame.overlay_pages = std::move(rx.overlay_pages);
       frame.bytes = rx.bytes;
+      frame.flow = rx.flow;
       frame.crc_ok = crc_ok;
       GENIE_CHECK(pooled_handler_) << "no pooled handler installed";
       pooled_handler_(std::move(frame));
@@ -562,6 +557,7 @@ void Adapter::EndRxFrame(bool crc_ok) {
       frame.header = rx.header;
       frame.handle = next_outboard_handle_++;
       frame.bytes = rx.bytes;
+      frame.flow = rx.flow;
       frame.crc_ok = crc_ok;
       outboard_bytes_held_ += rx.outboard.size();
       outboard_[frame.handle] = std::move(rx.outboard);

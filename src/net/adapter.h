@@ -56,6 +56,7 @@ struct RxCompletion {
   std::uint32_t header = 0;    // sender-supplied per-frame header word
   std::uint32_t tag = 0;       // sender-managed buffer tag (0 = receiver-posted)
   std::uint64_t seq = 0;       // ARQ sequence number (0 = unsequenced)
+  std::uint64_t flow = 0;      // causal flow id stamped by the sender (0 = none)
   bool crc_ok = true;
   bool truncated = false;      // frame longer than the posted buffer
 };
@@ -78,6 +79,7 @@ struct PooledFrame {
   std::vector<FrameId> overlay_pages;  // owned by the adapter's pool
   std::uint64_t bytes = 0;
   std::uint32_t header = 0;
+  std::uint64_t flow = 0;  // causal flow id stamped by the sender (0 = none)
   bool crc_ok = true;
 };
 
@@ -87,6 +89,7 @@ struct OutboardFrame {
   std::uint32_t handle = 0;  // outboard buffer handle
   std::uint64_t bytes = 0;
   std::uint32_t header = 0;
+  std::uint64_t flow = 0;  // causal flow id stamped by the sender (0 = none)
   bool crc_ok = true;
 };
 
@@ -141,9 +144,13 @@ class Adapter {
   // the last byte has left the wire (transmit-complete interrupt time).
   // `header` is an opaque per-frame word (e.g. a transport checksum)
   // delivered with the receive completion. `ctl` (optional) carries the ARQ
-  // sequence number and cancellation state for the reliable layer.
+  // sequence number and cancellation state for the reliable layer. `flow`
+  // (optional) is the transfer's causal flow id: it is stamped into every
+  // trace event the frame produces on both nodes and delivered with the
+  // receive completion, linking sender, wire, and receiver into one graph.
   Task<void> TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_t header = 0,
-                           std::uint32_t tag = 0, std::shared_ptr<TxControl> ctl = nullptr);
+                           std::uint32_t tag = 0, std::shared_ptr<TxControl> ctl = nullptr,
+                           std::uint64_t flow = 0);
 
   // --- Early-demultiplexed receive ---
   struct PostedReceive {
@@ -187,12 +194,6 @@ class Adapter {
   std::size_t outboard_frames_held() const { return outboard_.size(); }
 
   // --- Fault injection ---
-  // Deprecated: use a FaultPlan rule at FaultSite::kDeviceError via
-  // set_fault_plan() instead. This shim now adds exactly such a rule (next
-  // arriving frame, max_fires = 1) to a small adapter-owned plan consulted
-  // once per arriving frame, so all link faults flow through one mechanism.
-  void InjectCrcError();
-
   // Fault plan consulted by this adapter's *transmit* path for
   // kDeviceError (frame delivered with bad CRC), kDeviceShortTransfer
   // (truncated frame), kDeviceDelay (completion interrupt held off), and the
@@ -253,6 +254,7 @@ class Adapter {
     std::uint32_t header = 0;
     std::uint32_t tag = 0;
     std::uint64_t seq = 0;
+    std::uint64_t flow = 0;
     bool crc_failed = false;
     // Early demux:
     std::optional<PostedReceive> posted;
@@ -274,6 +276,7 @@ class Adapter {
     std::uint32_t header = 0;
     std::uint32_t tag = 0;
     std::uint64_t seq = 0;
+    std::uint64_t flow = 0;
     bool crc_ok = true;
     std::vector<std::byte> bytes;
   };
@@ -286,7 +289,7 @@ class Adapter {
 
   // Peer-side delivery, called by the transmitting adapter.
   void BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag,
-                    std::uint64_t seq);
+                    std::uint64_t seq, std::uint64_t flow);
   void DeliverChunk(std::span<const std::byte> data, bool is_last);
   void EndRxFrame(bool crc_ok);
 
@@ -304,7 +307,7 @@ class Adapter {
   Task<void> FlushHeldFrames();
 
   // Schedules an ack (ok) / nack control cell back to the sending peer.
-  void SendAck(std::uint64_t channel, std::uint64_t seq, bool ok);
+  void SendAck(std::uint64_t channel, std::uint64_t seq, bool ok, std::uint64_t flow);
   void OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok);
 
   struct CreditWaiter {
@@ -362,10 +365,6 @@ class Adapter {
   std::map<std::uint64_t, std::uint32_t> tx_credits_;
   std::map<std::uint64_t, std::deque<CreditWaiter>> credit_waiters_;
   FaultPlan* fault_plan_ = nullptr;
-  // Owned plan backing the deprecated InjectCrcError() shim; consulted once
-  // per arriving frame at FaultSite::kDeviceError.
-  FaultPlan legacy_plan_;
-  std::uint64_t legacy_crc_next_ = 0;
 
   std::map<std::uint64_t, RxDedup> rx_dedup_;
   std::deque<HeldFrame> held_;  // reordered frames awaiting late delivery

@@ -1,0 +1,67 @@
+// Crash-time flight recorder: a bounded ring of recent trace events that is
+// cheap enough to leave on in every stress run and dumps itself the moment
+// something goes wrong.
+//
+// The recorder puts an attached TraceLog into ring mode (see
+// TraceLog::set_capacity) so steady-state cost is O(1) per event with no
+// allocation churn, then exposes Dump()/DumpToFile(): a self-contained JSON
+// document with the failure reason, the node, the simulated time, the replay
+// seed, a metrics snapshot, and the last N trace events. Wire it to the
+// failure edges — VmInvariants::SetViolationHook, the reliable layer's
+// watchdog-cancel hook, a failed test assertion — and a red stress run
+// leaves behind exactly the context needed to replay and diagnose it.
+//
+// Recording and dumping schedule no events and draw no randomness, so an
+// attached recorder never perturbs the deterministic schedule (seed-replay
+// digests stay bit-identical).
+#ifndef GENIE_SRC_OBS_FLIGHT_RECORDER_H_
+#define GENIE_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+#include "src/sim/trace.h"
+
+namespace genie {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    // Ring size installed on the trace log (events kept ≈ capacity..2x).
+    std::size_t capacity = 256;
+    // Replay seed recorded in every dump (0 = not seed-driven).
+    std::uint64_t seed = 0;
+    // Dump directory; the GENIE_FLIGHT_DIR environment variable overrides
+    // it, and "." is the fallback when both are empty.
+    std::string dir;
+  };
+
+  // `log` must outlive the recorder. `metrics` may be null (dumps then carry
+  // no snapshot). The log is switched into ring mode with cfg.capacity.
+  FlightRecorder(std::string node, TraceLog* log, const MetricsRegistry* metrics, Config cfg);
+  FlightRecorder(std::string node, TraceLog* log, const MetricsRegistry* metrics);
+
+  // Writes the dump document for `reason` to `os`.
+  void Dump(std::ostream& os, std::string_view reason) const;
+
+  // Writes the dump to "<dir>/flight_<node>_<n>.json" and returns the path
+  // (empty string if the file could not be opened). `n` is a per-recorder
+  // counter, so successive failures in one run do not clobber each other.
+  std::string DumpToFile(std::string_view reason);
+
+  std::uint64_t dumps_written() const { return dumps_written_; }
+
+ private:
+  std::string node_;
+  TraceLog* log_;
+  const MetricsRegistry* metrics_;
+  Config cfg_;
+  std::uint64_t dumps_written_ = 0;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_OBS_FLIGHT_RECORDER_H_

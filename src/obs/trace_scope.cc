@@ -5,11 +5,12 @@
 namespace genie {
 
 TraceScope::TraceScope(TraceLog* log, std::string track, std::string name,
-                       std::string category)
+                       std::string category, std::uint64_t flow)
     : log_(log),
       track_(std::move(track)),
       name_(std::move(name)),
-      category_(std::move(category)) {
+      category_(std::move(category)),
+      flow_(flow) {
   if (log_ != nullptr) {
     start_ = log_->Now();
   } else {
@@ -22,7 +23,7 @@ void TraceScope::End() {
     return;
   }
   ended_ = true;
-  log_->Span(track_, name_, category_, start_, log_->Now());
+  log_->Span(track_, name_, category_, start_, log_->Now(), flow_);
 }
 
 ScopedTraceContext::ScopedTraceContext(TraceLog* log, const std::string& context)

@@ -22,9 +22,10 @@ namespace genie {
 
 class TraceScope {
  public:
-  // A null `log` makes the scope a no-op.
+  // A null `log` makes the scope a no-op. A nonzero `flow` stamps the span
+  // with that causal flow id (see TraceLog::Event::flow).
   TraceScope(TraceLog* log, std::string track, std::string name,
-             std::string category = "xfer");
+             std::string category = "xfer", std::uint64_t flow = 0);
   ~TraceScope() { End(); }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
@@ -37,6 +38,7 @@ class TraceScope {
   std::string track_;
   std::string name_;
   std::string category_;
+  std::uint64_t flow_ = 0;
   SimTime start_ = 0;
   bool ended_ = false;
 };

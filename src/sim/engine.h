@@ -59,6 +59,12 @@ class Engine {
   // harness uses this to prove a failing seed replays the same schedule.
   std::uint64_t event_digest() const { return digest_.value(); }
 
+  // Mints a process-unique flow id (first id is 1; 0 means "no flow"). Flow
+  // ids stamp trace events so cross-node spans of one transfer link into a
+  // causal graph; minting one schedules nothing and draws no randomness, so
+  // it never perturbs the event schedule or digest.
+  std::uint64_t NextFlowId() { return ++next_flow_id_; }
+
  private:
   struct Event {
     SimTime time;
@@ -76,6 +82,7 @@ class Engine {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_flow_id_ = 0;
   std::uint64_t events_executed_ = 0;
   Fnv1a64 digest_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -1,21 +1,55 @@
 #include "src/sim/trace.h"
 
-#include <map>
-
 #include "src/util/check.h"
 #include "src/util/json.h"
 
 namespace genie {
 
+void TraceLog::Push(Event e) {
+  if (capacity_ != 0 && events_.size() >= 2 * capacity_) {
+    const std::size_t excess = events_.size() - capacity_;
+    events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(excess));
+    dropped_events_ += excess;
+  }
+  events_.push_back(std::move(e));
+}
+
 void TraceLog::Span(const std::string& track, const std::string& name,
                     const std::string& category, SimTime start, SimTime end) {
+  Span(track, name, category, start, end, /*flow=*/0);
+}
+
+void TraceLog::Span(const std::string& track, const std::string& name,
+                    const std::string& category, SimTime start, SimTime end,
+                    std::uint64_t flow) {
   GENIE_CHECK_LE(start, end);
-  events_.push_back(Event{track, name, category, start, end, false});
+  Push(Event{track, name, category, start, end, false, flow});
 }
 
 void TraceLog::Instant(const std::string& track, const std::string& name,
                        const std::string& category, SimTime at) {
-  events_.push_back(Event{track, name, category, at, at, true});
+  Instant(track, name, category, at, /*flow=*/0);
+}
+
+void TraceLog::Instant(const std::string& track, const std::string& name,
+                       const std::string& category, SimTime at, std::uint64_t flow) {
+  Push(Event{track, name, category, at, at, true, flow});
+}
+
+void TraceLog::RegisterNode(const void* owner, const std::string& name) {
+  const auto [it, inserted] = node_owners_.emplace(name, owner);
+  GENIE_CHECK(inserted || it->second == owner)
+      << "trace track name \"" << name << "\" already registered by another node";
+}
+
+void TraceLog::UnregisterNode(const void* owner) {
+  for (auto it = node_owners_.begin(); it != node_owners_.end();) {
+    if (it->second == owner) {
+      it = node_owners_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void TraceLog::WriteJson(std::ostream& os) const {
@@ -49,7 +83,14 @@ void TraceLog::WriteJson(std::ostream& os) const {
     if (e.instant) {
       os << R"(,"ph":"i","s":"t"})";
     } else {
-      os << R"(,"ph":"X","dur":)" << SimTimeToMicros(e.end - e.start) << "}";
+      os << R"(,"ph":"X","dur":)" << SimTimeToMicros(e.end - e.start);
+      if (e.flow != 0) {
+        // Perfetto flow arrows: every span of a flow both accepts and
+        // re-emits the same bind_id, chaining them in time order.
+        os << R"(,"bind_id":"0x)" << std::hex << e.flow << std::dec
+           << R"(","flow_in":true,"flow_out":true)";
+      }
+      os << "}";
     }
   }
   os << "\n]\n";

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -25,19 +26,49 @@ class TraceLog {
     SimTime start = 0;
     SimTime end = 0;  // == start for instants
     bool instant = false;
+    // Causal flow id (0 = none). Spans of one end-to-end transfer — sender
+    // stages, wire occupancy, receiver stages, ARQ control events — share a
+    // flow id, which the causal-graph analyzer joins into one DAG and
+    // WriteJson exports as Perfetto flow arrows (bind_id).
+    std::uint64_t flow = 0;
   };
 
   // Records a completed span [start, end) on `track`.
   void Span(const std::string& track, const std::string& name, const std::string& category,
             SimTime start, SimTime end);
+  void Span(const std::string& track, const std::string& name, const std::string& category,
+            SimTime start, SimTime end, std::uint64_t flow);
 
   // Records an instantaneous event.
   void Instant(const std::string& track, const std::string& name,
                const std::string& category, SimTime at);
+  void Instant(const std::string& track, const std::string& name,
+               const std::string& category, SimTime at, std::uint64_t flow);
 
   std::size_t event_count() const { return events_.size(); }
   const std::vector<Event>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    events_.clear();
+    dropped_events_ = 0;
+  }
+
+  // Ring mode: bound the log to roughly the last `capacity` events (0 =
+  // unbounded, the default). Eviction is amortized — the buffer is allowed to
+  // grow to 2x capacity before the oldest half is discarded in one move — so
+  // an always-on flight recorder costs O(1) per event and no allocation churn
+  // in steady state.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
+  // Track-name ownership: a process-wide log shared by several nodes must not
+  // let two distinct components claim the same track name (their events would
+  // interleave on one lane, silently corrupting per-node analysis). Each
+  // owner registers the names it will emit under; claiming a name someone
+  // else holds aborts (construction-time misuse, same policy as the rest of
+  // the library). Re-registering one's own name is a no-op.
+  void RegisterNode(const void* owner, const std::string& name);
+  void UnregisterNode(const void* owner);
 
   // Optional simulated clock, used by convenience emitters (TraceScope) so
   // span producers need not thread an Engine everywhere. Node::set_trace
@@ -53,11 +84,17 @@ class TraceLog {
   void set_context(std::string context) { context_ = std::move(context); }
 
   // Writes the Chrome trace-event JSON array format. Timestamps are emitted
-  // in microseconds (the trace-event unit).
+  // in microseconds (the trace-event unit). Spans with a flow id carry
+  // bind_id/flow_in/flow_out so Perfetto draws the causal arrows.
   void WriteJson(std::ostream& os) const;
 
  private:
+  void Push(Event e);
+
   std::vector<Event> events_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_events_ = 0;
+  std::map<std::string, const void*> node_owners_;
   std::function<SimTime()> clock_;
   std::string context_;
 };

@@ -2,11 +2,16 @@
 
 #include <map>
 #include <sstream>
+#include <utility>
 
 namespace genie {
 
 namespace {
 std::uint64_t g_total_checks = 0;
+std::function<void(const InvariantReport&)>& ViolationHook() {
+  static std::function<void(const InvariantReport&)> hook;
+  return hook;
+}
 }  // namespace
 
 std::string InvariantReport::ToString() const {
@@ -19,6 +24,10 @@ std::string InvariantReport::ToString() const {
 }
 
 std::uint64_t VmInvariants::total_checks() { return g_total_checks; }
+
+void VmInvariants::SetViolationHook(std::function<void(const InvariantReport&)> hook) {
+  ViolationHook() = std::move(hook);
+}
 
 InvariantReport VmInvariants::CheckAll(Vm& vm, std::span<AddressSpace* const> spaces,
                                        bool expect_quiescent) {
@@ -144,6 +153,9 @@ InvariantReport VmInvariants::CheckAll(Vm& vm, std::span<AddressSpace* const> sp
   }
 
   g_total_checks += report.checks;
+  if (!report.violations.empty() && ViolationHook()) {
+    ViolationHook()(report);
+  }
   return report;
 }
 

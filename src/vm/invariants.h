@@ -16,6 +16,7 @@
 #define GENIE_SRC_VM_INVARIANTS_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -63,6 +64,13 @@ class VmInvariants {
   // Total predicates evaluated across all CheckAll calls, process-wide, for
   // the stats table (proves the harness actually ran its checks).
   static std::uint64_t total_checks();
+
+  // Process-wide hook invoked by CheckAll whenever a report comes back with
+  // violations, before the report is returned. The flight recorder installs
+  // one to dump its trace ring at the exact moment a check fails; tests that
+  // *plant* violations should clear it (pass nullptr/empty) around the
+  // expected failure. Replaces any previous hook.
+  static void SetViolationHook(std::function<void(const InvariantReport&)> hook);
 };
 
 }  // namespace genie

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/flight_recorder.h"
 #include "tests/fault_test_util.h"
 
 namespace genie {
@@ -83,6 +84,25 @@ IterationOutcome RunIteration(std::uint64_t seed) {
   GenieOptions options;
   options.checksum_mode = static_cast<ChecksumMode>(rng.Below(3));
   FaultRig rig(seed, buffering, options, /*mem_frames=*/384);
+
+  // Always-on flight recorder: a bounded trace ring over both nodes, dumped
+  // the instant any invariant sweep fails. Recording schedules no events and
+  // draws no randomness, so the digest-replay test below stays bit-identical.
+  TraceLog flight_trace;
+  rig.sender.set_trace(&flight_trace);
+  rig.receiver.set_trace(&flight_trace);
+  FlightRecorder::Config recorder_cfg;
+  recorder_cfg.capacity = 512;
+  recorder_cfg.seed = seed;
+  FlightRecorder recorder("seed" + std::to_string(seed), &flight_trace,
+                          &rig.sender.metrics(), recorder_cfg);
+  VmInvariants::SetViolationHook([&recorder](const InvariantReport& report) {
+    const std::string path = recorder.DumpToFile("invariant violation: " +
+                                                 report.violations.front());
+    if (!path.empty()) {
+      std::printf("[fault-stress] flight recorder dump: %s\n", path.c_str());
+    }
+  });
 
   const std::size_t num_rules = 1 + rng.Below(3);
   for (std::size_t i = 0; i < num_rules; ++i) {
@@ -177,6 +197,18 @@ IterationOutcome RunIteration(std::uint64_t seed) {
   for (const std::string& v : final_report.violations) {
     out.violations.push_back("seed " + std::to_string(seed) + " quiescent: " + v);
   }
+
+  VmInvariants::SetViolationHook(nullptr);
+  // Violations that are not invariant-check failures (payload mismatches,
+  // leaked operations) still deserve a dump of the final ring state.
+  if (!out.violations.empty() && recorder.dumps_written() == 0) {
+    const std::string path = recorder.DumpToFile(out.violations.front());
+    if (!path.empty()) {
+      std::printf("[fault-stress] flight recorder dump: %s\n", path.c_str());
+    }
+  }
+  rig.sender.set_trace(nullptr);
+  rig.receiver.set_trace(nullptr);
 
   out.digest = rig.engine.event_digest();
   out.events = rig.engine.events_executed();

@@ -189,7 +189,8 @@ TEST_P(FailedInputTest, CrcFailureRespectsIntegrity) {
     r->state = RegionState::kMovedIn;
   }
 
-  rig.receiver.adapter().InjectCrcError();
+  CrcErrorInjector crc(rig.sender.adapter());
+  crc.CorruptNextFrame();
   const InputResult result = rig.Transfer(kSrc, kDst, kLen, sem);
 
   EXPECT_FALSE(result.ok);

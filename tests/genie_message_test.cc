@@ -148,7 +148,8 @@ TEST(MessageTest, WiderWindowPipelinesFragments) {
 
 TEST(MessageTest, CrcFailureFailsTheMessageCleanly) {
   MessageRig rig(true);
-  rig.receiver.adapter().InjectCrcError();  // First fragment dies.
+  CrcErrorInjector crc(rig.sender.adapter());
+  crc.CorruptNextFrame();  // First fragment dies.
   const MessageResult r = rig.Exchange(256 * 1024, Semantics::kEmulatedCopy, {});
   EXPECT_FALSE(r.ok);
   // No stuck operations or leaked frames; note in-flight preposted

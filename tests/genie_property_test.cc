@@ -4,6 +4,7 @@
 //   2. simulator latency == analytic model (within rounding);
 //   3. no leaked frames, references, or pending operations;
 //   4. strong-integrity semantics never deliver mixed data on tampering.
+#include <optional>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -129,8 +130,10 @@ TEST(PropertyTest, RandomCrcFailuresAlwaysCleanUp) {
     GENIE_CHECK(rig.tx_app.Write(kSrc, TestPattern(len, 3)) == AccessResult::kOk);
 
     const bool fail = fail_dist(rng) == 1;
+    std::optional<CrcErrorInjector> crc;
     if (fail) {
-      rig.receiver.adapter().InjectCrcError();
+      crc.emplace(rig.sender.adapter());
+      crc->CorruptNextFrame();
     }
     const InputResult r = rig.Transfer(kSrc, kDst, len, sem);
     ASSERT_EQ(r.ok, !fail) << trial;

@@ -65,7 +65,8 @@ TEST(StatsTest, ReverseCopyoutAccounting) {
 TEST(StatsTest, CrcFailureCount) {
   StatsRig rig;
   GENIE_CHECK(rig.tx_app.Write(kSrc, TestPattern(kPage, 1)) == AccessResult::kOk);
-  rig.receiver.adapter().InjectCrcError();
+  CrcErrorInjector crc(rig.sender.adapter());
+  crc.CorruptNextFrame();
   EXPECT_FALSE(rig.Transfer(kSrc, kDst, kPage, Semantics::kEmulatedCopy).ok);
   rig.Send(kPage, Semantics::kEmulatedCopy);
   EXPECT_EQ(rig.rx_ep.stats().crc_failures, 1u);

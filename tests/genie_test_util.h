@@ -3,6 +3,7 @@
 #ifndef GENIE_TESTS_GENIE_TEST_UTIL_H_
 #define GENIE_TESTS_GENIE_TEST_UTIL_H_
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -78,6 +79,35 @@ inline void Rig::ExpectQuiescent() const {
   GENIE_CHECK_EQ(tx_ep.pending_operations(), 0u);
   GENIE_CHECK_EQ(rx_ep.pending_operations(), 0u);
 }
+
+// Test helper replacing the removed Adapter::InjectCrcError() shim: attaches
+// a private FaultPlan to the *transmitting* adapter and queues single-shot
+// kDeviceError rules. Each CorruptNextFrame() call corrupts exactly one more
+// frame (the next one not already scheduled for corruption) — the old shim's
+// queueing semantics, expressed as the one supported injection mechanism.
+// Detaches the plan on destruction; do not combine with another plan on the
+// same adapter.
+class CrcErrorInjector {
+ public:
+  explicit CrcErrorInjector(Adapter& tx) : tx_(&tx) { tx_->set_fault_plan(&plan_); }
+  ~CrcErrorInjector() { tx_->set_fault_plan(nullptr); }
+  CrcErrorInjector(const CrcErrorInjector&) = delete;
+  CrcErrorInjector& operator=(const CrcErrorInjector&) = delete;
+
+  void CorruptNextFrame() {
+    next_ = std::max(next_, plan_.site_ops(FaultSite::kDeviceError)) + 1;
+    FaultRule rule;
+    rule.site = FaultSite::kDeviceError;
+    rule.nth = next_;
+    rule.max_fires = 1;
+    plan_.AddRule(rule);
+  }
+
+ private:
+  Adapter* tx_;
+  FaultPlan plan_{1};
+  std::uint64_t next_ = 0;
+};
 
 }  // namespace genie
 

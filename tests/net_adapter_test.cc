@@ -279,13 +279,19 @@ TEST_F(AdapterTest, CrcErrorInjectionReported) {
   auto tx = MakeTx();
   auto rx = MakeRx(InputBuffering::kEarlyDemux);
   tx->ConnectTo(rx.get(), &link_);
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.site = FaultSite::kDeviceError;
+  rule.nth = 1;
+  rule.max_fires = 1;
+  plan.AddRule(rule);
+  tx->set_fault_plan(&plan);
   const IoVec src = MakeBuffer(kPage, 1);
   const IoVec dst = MakeBuffer(kPage, 0);
   std::optional<RxCompletion> c1;
   std::optional<RxCompletion> c2;
   rx->PostReceive(1, Adapter::PostedReceive{dst, [&](const RxCompletion& c) { c1 = c; }});
   rx->PostReceive(1, Adapter::PostedReceive{dst, [&](const RxCompletion& c) { c2 = c; }});
-  rx->InjectCrcError();
   std::move(tx->TransmitFrame(1, src)).Detach();
   std::move(tx->TransmitFrame(1, src)).Detach();
   eng_.Run();
@@ -380,17 +386,24 @@ TEST_F(AdapterTest, CrcErrorViaFaultPlanRule) {
   EXPECT_EQ(plan.injected(FaultSite::kDeviceError), 1u);
 }
 
-TEST_F(AdapterTest, InjectCrcErrorShimQueuesConsecutiveFrames) {
-  // The deprecated shim is now a FaultPlan rule underneath; two calls queue
-  // corruption of the next two arriving frames (old flag semantics).
+TEST_F(AdapterTest, CrcErrorRulesQueueConsecutiveFrames) {
+  // Two single-shot kDeviceError rules on consecutive frames corrupt exactly
+  // the next two arrivals (the idiom the removed InjectCrcError shim offered).
   auto tx = MakeTx();
   auto rx = MakeRx(InputBuffering::kEarlyDemux);
   tx->ConnectTo(rx.get(), &link_);
+  FaultPlan plan(1);
+  for (std::uint64_t nth = 1; nth <= 2; ++nth) {
+    FaultRule rule;
+    rule.site = FaultSite::kDeviceError;
+    rule.nth = nth;
+    rule.max_fires = 1;
+    plan.AddRule(rule);
+  }
+  tx->set_fault_plan(&plan);
   const IoVec src = MakeBuffer(kPage, 1);
   const IoVec dst = MakeBuffer(kPage, 0);
   std::vector<bool> crc;
-  rx->InjectCrcError();
-  rx->InjectCrcError();
   for (int i = 0; i < 3; ++i) {
     rx->PostReceive(1, Adapter::PostedReceive{dst, [&](const RxCompletion& c) {
                                                 crc.push_back(c.crc_ok);

@@ -1,0 +1,198 @@
+// Critical-path latency attribution: causal-graph reconstruction from a
+// flow-stamped trace, deterministic per-stage breakdowns, and the golden
+// property that loss recovery charges to "retransmit" while "wire" stays
+// identical to the lossless run. The scenario drives all 8 semantics with
+// ARQ on, lossless and with a deterministic first-frame drop per transfer.
+#include "src/obs/critical_path.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/mem/fault_plan.h"
+#include "src/obs/causal_graph.h"
+#include "tests/genie_test_util.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+constexpr Vaddr kSrcBase = 0x20000000;
+constexpr Vaddr kDstBase = 0x30000000;
+constexpr std::uint64_t kLen = 3 * kPage + 100;
+
+struct ScenarioResult {
+  std::vector<FlowBreakdown> flows;
+  std::string json;
+  std::string table;
+};
+
+// Runs one transfer per semantics under ARQ (no jitter: every timing exact).
+// With `lossy`, a single-shot link-drop rule swallows each transfer's first
+// frame, forcing exactly one timeout retransmission per flow.
+ScenarioResult RunScenario(bool lossy, TraceLog* trace_out = nullptr) {
+  TraceLog local;
+  TraceLog& trace = trace_out != nullptr ? *trace_out : local;
+  trace.Clear();
+  Rig rig;
+  rig.sender.set_trace(&trace);
+  rig.receiver.set_trace(&trace);
+  ReliableOptions opts;
+  opts.arq = true;
+  opts.initial_timeout = 1 * kMillisecond;
+  opts.jitter_frac = 0.0;
+  rig.sender.EnableReliableDelivery(opts);
+
+  FaultPlan plan(1);
+  if (lossy) {
+    rig.sender.AttachFaultPlan(&plan);
+  }
+
+  for (std::size_t i = 0; i < kAllSemantics.size(); ++i) {
+    const Semantics sem = kAllSemantics[i];
+    const Vaddr src_region = kSrcBase + static_cast<Vaddr>(i) * 8 * kPage;
+    const Vaddr dst_region = kDstBase + static_cast<Vaddr>(i) * 8 * kPage;
+    rig.tx_app.CreateRegion(src_region, 8 * kPage,
+                            IsSystemAllocated(sem) ? RegionState::kMovedIn
+                                                   : RegionState::kUnmovable);
+    Vaddr dst = 0;
+    if (IsApplicationAllocated(sem)) {
+      rig.rx_app.CreateRegion(dst_region, 8 * kPage);
+      dst = dst_region;
+    }
+    const auto payload = TestPattern(kLen, static_cast<unsigned char>(i + 1));
+    GENIE_CHECK(rig.tx_app.Write(src_region, payload) == AccessResult::kOk);
+
+    if (lossy) {
+      FaultRule rule;
+      rule.site = FaultSite::kLinkDrop;
+      rule.nth = plan.site_ops(FaultSite::kLinkDrop) + 1;
+      rule.max_fires = 1;
+      plan.AddRule(rule);
+    }
+    const InputResult r = rig.Transfer(src_region, dst, kLen, sem);
+    GENIE_CHECK(r.ok) << SemanticsName(sem) << (lossy ? " lossy" : " lossless");
+  }
+  if (lossy) {
+    rig.sender.AttachFaultPlan(nullptr);
+  }
+  rig.sender.set_trace(nullptr);
+  rig.receiver.set_trace(nullptr);
+
+  ScenarioResult out;
+  out.flows = AnalyzeTrace(trace);
+  std::ostringstream js;
+  WriteBreakdownJson(js, out.flows);
+  out.json = js.str();
+  std::ostringstream tb;
+  WriteBreakdownTable(tb, out.flows);
+  out.table = tb.str();
+  return out;
+}
+
+TEST(CriticalPathTest, AnalyzerJsonIsByteIdenticalAcrossRuns) {
+  // The golden determinism contract: re-running the identical deterministic
+  // schedule reproduces the analyzer document byte for byte — lossless and
+  // with retransmissions in the event mix.
+  const ScenarioResult lossless_a = RunScenario(false);
+  const ScenarioResult lossless_b = RunScenario(false);
+  EXPECT_EQ(lossless_a.json, lossless_b.json);
+  EXPECT_FALSE(lossless_a.json.empty());
+
+  const ScenarioResult lossy_a = RunScenario(true);
+  const ScenarioResult lossy_b = RunScenario(true);
+  EXPECT_EQ(lossy_a.json, lossy_b.json);
+  EXPECT_NE(lossy_a.json, lossless_a.json);
+}
+
+TEST(CriticalPathTest, StageTotalsSumExactlyToMakespan) {
+  // Attribution is a partition of the flow's time range: the per-stage
+  // totals reproduce the traced end-to-end latency exactly (the acceptance
+  // bound is 1%; the sweep construction makes it 0).
+  for (const bool lossy : {false, true}) {
+    const ScenarioResult run = RunScenario(lossy);
+    ASSERT_EQ(run.flows.size(), kAllSemantics.size());
+    for (const FlowBreakdown& f : run.flows) {
+      SimTime total = 0;
+      for (const SimTime ns : f.stage_ns) {
+        total += ns;
+      }
+      EXPECT_EQ(total, f.makespan) << "flow " << f.flow << " (" << f.semantics << ")";
+      EXPECT_GT(f.makespan, 0);
+    }
+  }
+}
+
+TEST(CriticalPathTest, RetransmissionChargesToRetransmitNotWire) {
+  const ScenarioResult lossless = RunScenario(false);
+  const ScenarioResult lossy = RunScenario(true);
+  ASSERT_EQ(lossless.flows.size(), kAllSemantics.size());
+  ASSERT_EQ(lossy.flows.size(), kAllSemantics.size());
+
+  for (std::size_t i = 0; i < kAllSemantics.size(); ++i) {
+    const FlowBreakdown& clean = lossless.flows[i];
+    const FlowBreakdown& lost = lossy.flows[i];
+    ASSERT_EQ(clean.semantics, SemanticsName(kAllSemantics[i]));
+    ASSERT_EQ(lost.semantics, clean.semantics);
+
+    // The dropped first attempt and its timed-out ack wait are loss recovery:
+    // all the extra latency lands under "retransmit"...
+    EXPECT_EQ(clean.stage(Stage::kRetransmit), 0) << clean.semantics;
+    EXPECT_GT(lost.stage(Stage::kRetransmit), 0) << lost.semantics;
+    EXPECT_GT(lost.makespan, clean.makespan) << lost.semantics;
+    // ...while "wire" (one real delivery's occupancy) is identical to the
+    // lossless run: same frame, same link rate.
+    EXPECT_EQ(lost.stage(Stage::kWire), clean.stage(Stage::kWire)) << lost.semantics;
+    EXPECT_GT(clean.stage(Stage::kWire), 0) << clean.semantics;
+    // ARQ was genuinely on in both: the final ack round trip is visible.
+    EXPECT_GT(clean.stage(Stage::kAckWait), 0) << clean.semantics;
+    // And the host stages of the taxonomy are present on both sides.
+    EXPECT_GT(clean.stage(Stage::kPrepare), 0) << clean.semantics;
+    EXPECT_GT(clean.stage(Stage::kDispose), 0) << clean.semantics;
+  }
+}
+
+TEST(CriticalPathTest, CausalGraphJoinsReceiverPrepareByLabel) {
+  TraceLog trace;
+  const ScenarioResult run = RunScenario(false, &trace);
+  const std::vector<std::uint64_t> flows = Flows(trace);
+  ASSERT_EQ(flows.size(), kAllSemantics.size());
+  // Ascending, deterministic enumeration.
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_LT(flows[i - 1], flows[i]);
+  }
+
+  const CausalGraph graph = BuildCausalGraph(trace, flows[0]);
+  EXPECT_EQ(graph.flow, flows[0]);
+  EXPECT_EQ(graph.semantics, SemanticsName(kAllSemantics[0]));
+  EXPECT_EQ(graph.label.substr(0, 4), "out#");
+  // The receiver's prepare happened before the sender existed, so it carries
+  // flow 0 — the label join must still pull it into the graph.
+  bool joined_prepare = false;
+  for (const CausalEvent& e : graph.events) {
+    if (e.label_joined && e.name.find(".prepare") != std::string::npos) {
+      joined_prepare = true;
+      EXPECT_EQ(e.name.substr(0, 3), "in#");
+    }
+    EXPECT_GE(e.start, graph.start());
+    EXPECT_LE(e.end, graph.end());
+  }
+  EXPECT_TRUE(joined_prepare);
+  EXPECT_EQ(graph.makespan(), run.flows[0].makespan);
+}
+
+TEST(CriticalPathTest, BreakdownTableGroupsBySemantics) {
+  const ScenarioResult run = RunScenario(false);
+  // One row per semantics plus a header naming every stage column.
+  for (const Semantics sem : kAllSemantics) {
+    EXPECT_NE(run.table.find(SemanticsName(sem)), std::string::npos) << run.table;
+  }
+  for (const char* stage : {"prepare", "wire", "ack_wait", "retransmit", "dispose"}) {
+    EXPECT_NE(run.table.find(stage), std::string::npos) << run.table;
+  }
+}
+
+}  // namespace
+}  // namespace genie

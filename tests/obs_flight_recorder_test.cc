@@ -1,0 +1,181 @@
+// Crash-time flight recorder: ring-mode installation, dump document content,
+// file naming, the GENIE_FLIGHT_DIR override, and the wiring to
+// VmInvariants::SetViolationHook (a planted violation dumps the ring).
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/vm/invariants.h"
+#include "tests/genie_test_util.h"
+
+namespace genie {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// DumpToFile consults GENIE_FLIGHT_DIR before Config::dir, and CI exports it
+// for the whole suite. Pin the variable for the test's duration (nullptr =
+// unset) and restore whatever the harness had, so these tests exercise the
+// documented precedence instead of the ambient environment.
+class ScopedFlightDirEnv {
+ public:
+  explicit ScopedFlightDirEnv(const char* value) {
+    const char* old = std::getenv("GENIE_FLIGHT_DIR");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      setenv("GENIE_FLIGHT_DIR", value, 1);
+    } else {
+      unsetenv("GENIE_FLIGHT_DIR");
+    }
+  }
+  ~ScopedFlightDirEnv() {
+    if (had_old_) {
+      setenv("GENIE_FLIGHT_DIR", old_.c_str(), 1);
+    } else {
+      unsetenv("GENIE_FLIGHT_DIR");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(FlightRecorderTest, InstallsRingAndDumpsRecentEvents) {
+  TraceLog trace;
+  MetricsRegistry metrics;
+  metrics.Counter("test.counter") = 7;
+  FlightRecorder::Config cfg;
+  cfg.capacity = 8;
+  cfg.seed = 1234;
+  FlightRecorder recorder("tx", &trace, &metrics, cfg);
+  EXPECT_EQ(trace.capacity(), 8u);  // the log is now a ring
+
+  for (int i = 0; i < 40; ++i) {
+    trace.Instant("tx.xfer", "e" + std::to_string(i), "c", i * kMicrosecond, /*flow=*/5);
+  }
+  std::ostringstream os;
+  recorder.Dump(os, "planted failure");
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find(R"("reason":"planted failure")"), std::string::npos);
+  EXPECT_NE(dump.find(R"("node":"tx")"), std::string::npos);
+  EXPECT_NE(dump.find(R"("seed":1234)"), std::string::npos);
+  EXPECT_NE(dump.find(R"("test.counter": 7)"), std::string::npos);
+  EXPECT_NE(dump.find(R"("flow":5)"), std::string::npos);
+  // The ring kept the most recent events and the dump says what it dropped.
+  EXPECT_NE(dump.find(R"("name":"e39")"), std::string::npos);
+  EXPECT_EQ(dump.find(R"("name":"e0")"), std::string::npos);
+  EXPECT_NE(dump.find("\"dropped_events\":" + std::to_string(trace.dropped_events())),
+            std::string::npos);
+  EXPECT_GT(trace.dropped_events(), 0u);
+  // Crude well-formedness: balanced braces/brackets, one trailing newline.
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '{'),
+            std::count(dump.begin(), dump.end(), '}'));
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '['),
+            std::count(dump.begin(), dump.end(), ']'));
+}
+
+TEST(FlightRecorderTest, NullMetricsOmitsSnapshot) {
+  TraceLog trace;
+  FlightRecorder recorder("rx", &trace, /*metrics=*/nullptr);
+  EXPECT_EQ(trace.capacity(), 256u);  // default ring size
+  std::ostringstream os;
+  recorder.Dump(os, "r");
+  EXPECT_EQ(os.str().find("\"metrics\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpToFileNamesSequentially) {
+  ScopedFlightDirEnv env(nullptr);  // Config::dir must govern
+  TraceLog trace;
+  trace.Instant("t", "last-event", "c", 0);
+  FlightRecorder::Config cfg;
+  cfg.dir = ::testing::TempDir();
+  FlightRecorder recorder("txnode", &trace, nullptr, cfg);
+
+  const std::string p1 = recorder.DumpToFile("first");
+  const std::string p2 = recorder.DumpToFile("second");
+  ASSERT_FALSE(p1.empty());
+  ASSERT_FALSE(p2.empty());
+  EXPECT_NE(p1.find("flight_txnode_1.json"), std::string::npos);
+  EXPECT_NE(p2.find("flight_txnode_2.json"), std::string::npos);
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  EXPECT_NE(Slurp(p1).find(R"("reason":"first")"), std::string::npos);
+  EXPECT_NE(Slurp(p2).find("last-event"), std::string::npos);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(FlightRecorderTest, EnvironmentOverridesDumpDirectory) {
+  TraceLog trace;
+  FlightRecorder::Config cfg;
+  cfg.dir = "/nonexistent-dir-ignored";
+  FlightRecorder recorder("env", &trace, nullptr, cfg);
+  ScopedFlightDirEnv env(::testing::TempDir().c_str());
+  const std::string path = recorder.DumpToFile("env-routed");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.find("/nonexistent-dir-ignored"), std::string::npos);
+  EXPECT_NE(Slurp(path).find(R"("reason":"env-routed")"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, InvariantViolationHookDumpsTheRing) {
+  // The acceptance scenario: a planted invariant violation must leave a
+  // flight-recorder dump behind with the recent events and the replay seed.
+  ScopedFlightDirEnv env(nullptr);  // dump into Config::dir (TempDir)
+  TraceLog trace;
+  Rig rig;
+  rig.sender.set_trace(&trace);
+  FlightRecorder::Config cfg;
+  cfg.seed = 77;
+  cfg.dir = ::testing::TempDir();
+  FlightRecorder recorder("tx", &trace, &rig.sender.metrics(), cfg);
+  trace.Instant("tx.xfer", "before-violation", "c", 0);
+
+  std::string dump_path;
+  VmInvariants::SetViolationHook([&](const InvariantReport& report) {
+    ASSERT_FALSE(report.violations.empty());
+    dump_path = recorder.DumpToFile("invariant: " + report.violations.front());
+  });
+
+  // Plant: a quiescent check with an input reference still outstanding.
+  PhysicalMemory& pm = rig.sender.vm().pm();
+  const FrameId frame = pm.Allocate();
+  pm.AddInputRef(frame);
+  const InvariantReport report =
+      VmInvariants::CheckAll(rig.sender.vm(), rig.tx_app, /*expect_quiescent=*/true);
+  EXPECT_FALSE(report.ok());
+  VmInvariants::SetViolationHook(nullptr);
+  pm.DropInputRef(frame);
+  pm.Free(frame);
+
+  ASSERT_FALSE(dump_path.empty()) << "violation hook never fired";
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+  const std::string dump = Slurp(dump_path);
+  EXPECT_NE(dump.find(R"("seed":77)"), std::string::npos);
+  EXPECT_NE(dump.find("before-violation"), std::string::npos);
+  EXPECT_NE(dump.find(R"("reason":"invariant: )"), std::string::npos);
+  std::remove(dump_path.c_str());
+
+  // A healthy check must not fire the (now cleared) hook.
+  const InvariantReport clean =
+      VmInvariants::CheckAll(rig.sender.vm(), rig.tx_app, /*expect_quiescent=*/true);
+  EXPECT_TRUE(clean.ok()) << clean.ToString();
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+  rig.sender.set_trace(nullptr);
+}
+
+}  // namespace
+}  // namespace genie

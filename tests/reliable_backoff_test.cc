@@ -39,6 +39,7 @@ class ReliableRig {
     rx_.ConnectTo(&tx_, &back_);
     plan_.set_clock([this] { return eng_.now(); });
     tx_.set_fault_plan(&plan_);
+    rel_.set_metrics(&metrics_);
   }
 
   ~ReliableRig() {
@@ -101,6 +102,7 @@ class ReliableRig {
   Adapter tx_;
   Adapter rx_;
   ReliableDelivery rel_;
+  MetricsRegistry metrics_;
   FaultPlan plan_{1};
   std::vector<FrameId> frames_;
 };
@@ -145,6 +147,14 @@ TEST(ReliableBackoffTest, CleanWireDeliversFirstAttempt) {
   ASSERT_TRUE(completion.has_value());
   EXPECT_EQ(completion->seq, 1u);
 
+  // The ack-RTT histogram saw exactly the one control-cell round trip; a
+  // single-sample histogram reports the sample itself at every quantile.
+  const LatencyHistogram& rtt = rig.metrics_.Histogram("reliable.ack_rtt_us");
+  EXPECT_EQ(rtt.count(), 1u);
+  EXPECT_DOUBLE_EQ(rtt.Quantile(50), SimTimeToMicros(kCtl));
+  EXPECT_DOUBLE_EQ(rtt.Quantile(99), SimTimeToMicros(kCtl));
+  EXPECT_EQ(rig.metrics_.Histogram("reliable.retransmit_delay_us").count(), 0u);
+
   std::vector<std::byte> sent(kPage);
   std::vector<std::byte> got(kPage);
   ReadFromIoVec(rig.pm_, src, 0, sent);
@@ -173,6 +183,17 @@ TEST(ReliableBackoffTest, TimeoutScheduleBacksOffExponentially) {
   // Attempt 1 dropped -> wait 1 ms; attempt 2 dropped -> wait 2 ms (doubled);
   // attempt 3 lands and is acked one control-cell latency later.
   EXPECT_EQ(done, 3 * kWire + 1 * kMillisecond + 2 * kMillisecond + kCtl);
+
+  // Each timeout recorded its full backoff delay; quantiles resolve to the
+  // log-bucket boundary, clamped to the observed [1 ms, 2 ms] range.
+  const LatencyHistogram& delay = rig.metrics_.Histogram("reliable.retransmit_delay_us");
+  EXPECT_EQ(delay.count(), 2u);
+  EXPECT_DOUBLE_EQ(delay.min(), 1000.0);
+  EXPECT_DOUBLE_EQ(delay.max(), 2000.0);
+  EXPECT_GE(delay.Quantile(50), 1000.0);
+  EXPECT_LE(delay.Quantile(50), 1200.0);
+  EXPECT_DOUBLE_EQ(delay.Quantile(99), 2000.0);
+  EXPECT_EQ(rig.metrics_.Histogram("reliable.ack_rtt_us").count(), 1u);
 }
 
 TEST(ReliableBackoffTest, BackoffCapsAtMaxTimeout) {

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/flight_recorder.h"
 #include "tests/fault_test_util.h"
 
 namespace genie {
@@ -103,6 +104,34 @@ IterationOutcome RunIteration(std::uint64_t seed) {
   FaultRig rig(seed, buffering, options, /*mem_frames=*/384);
   rig.sender.EnableReliableDelivery(StressReliableOptions(seed));
   rig.receiver.EnableReliableDelivery(StressReliableOptions(seed ^ 1));
+
+  // Flight recorder over both nodes: dumps the trace ring on any invariant
+  // violation and on every watchdog cancel (a cancelled transfer is exactly
+  // the situation the last-N-events ring exists to explain). Recording adds
+  // no events and no RNG draws; the digest-replay test stays bit-identical.
+  TraceLog flight_trace;
+  rig.sender.set_trace(&flight_trace);
+  rig.receiver.set_trace(&flight_trace);
+  FlightRecorder::Config recorder_cfg;
+  recorder_cfg.capacity = 512;
+  recorder_cfg.seed = seed;
+  FlightRecorder recorder("seed" + std::to_string(seed), &flight_trace,
+                          &rig.sender.metrics(), recorder_cfg);
+  VmInvariants::SetViolationHook([&recorder](const InvariantReport& report) {
+    const std::string path = recorder.DumpToFile("invariant violation: " +
+                                                 report.violations.front());
+    if (!path.empty()) {
+      std::printf("[reliable-stress] flight recorder dump: %s\n", path.c_str());
+    }
+  });
+  const auto dump_on_cancel = [&recorder](const std::string& label) {
+    const std::string path = recorder.DumpToFile("watchdog cancel: " + label);
+    if (!path.empty()) {
+      std::printf("[reliable-stress] flight recorder dump: %s\n", path.c_str());
+    }
+  };
+  rig.sender.reliable().set_cancel_hook(dump_on_cancel);
+  rig.receiver.reliable().set_cancel_hook(dump_on_cancel);
 
   const std::size_t num_rules = 1 + rng.Below(3);
   for (std::size_t i = 0; i < num_rules; ++i) {
@@ -202,6 +231,18 @@ IterationOutcome RunIteration(std::uint64_t seed) {
   for (const std::string& v : final_report.violations) {
     out.violations.push_back("seed " + std::to_string(seed) + " quiescent: " + v);
   }
+
+  VmInvariants::SetViolationHook(nullptr);
+  rig.sender.reliable().set_cancel_hook(nullptr);
+  rig.receiver.reliable().set_cancel_hook(nullptr);
+  if (!out.violations.empty() && recorder.dumps_written() == 0) {
+    const std::string path = recorder.DumpToFile(out.violations.front());
+    if (!path.empty()) {
+      std::printf("[reliable-stress] flight recorder dump: %s\n", path.c_str());
+    }
+  }
+  rig.sender.set_trace(nullptr);
+  rig.receiver.set_trace(nullptr);
 
   out.digest = rig.engine.event_digest();
   out.events = rig.engine.events_executed();

@@ -93,6 +93,91 @@ TEST(TraceLogTest, ContextIsEmptyByDefaultAndSettable) {
   EXPECT_TRUE(trace.context().empty());
 }
 
+TEST(TraceLogTest, RingCapacityBoundsLogAndCountsDrops) {
+  TraceLog trace;
+  trace.set_capacity(8);
+  EXPECT_EQ(trace.capacity(), 8u);
+  for (int i = 0; i < 100; ++i) {
+    trace.Instant("t", "e" + std::to_string(i), "c", i * kMicrosecond);
+  }
+  // Amortized eviction: the buffer never exceeds 2x capacity and at least the
+  // last `capacity` events survive, in order, with the drop count exact.
+  EXPECT_LE(trace.event_count(), 16u);
+  EXPECT_GE(trace.event_count(), 8u);
+  EXPECT_EQ(trace.dropped_events() + trace.event_count(), 100u);
+  EXPECT_EQ(trace.events().back().name, "e99");
+  const std::size_t first_kept = 100 - trace.event_count();
+  EXPECT_EQ(trace.events().front().name, "e" + std::to_string(first_kept));
+  trace.Clear();
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+TEST(TraceLogTest, UnboundedByDefault) {
+  TraceLog trace;
+  for (int i = 0; i < 5000; ++i) {
+    trace.Instant("t", "e", "c", 0);
+  }
+  EXPECT_EQ(trace.event_count(), 5000u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+TEST(TraceLogTest, RegisterNodeIsIdempotentPerOwner) {
+  TraceLog trace;
+  int owner_a = 0;
+  trace.RegisterNode(&owner_a, "node.cpu");
+  trace.RegisterNode(&owner_a, "node.cpu");  // re-claiming one's own is fine
+  trace.UnregisterNode(&owner_a);
+  // After unregistration another owner may claim the freed name.
+  int owner_b = 0;
+  trace.RegisterNode(&owner_b, "node.cpu");
+  trace.UnregisterNode(&owner_b);
+}
+
+TEST(TraceLogDeathTest, ForeignTrackClaimAborts) {
+  TraceLog trace;
+  int owner_a = 0;
+  int owner_b = 0;
+  trace.RegisterNode(&owner_a, "node.cpu");
+  EXPECT_DEATH(trace.RegisterNode(&owner_b, "node.cpu"), "already registered");
+}
+
+TEST(TraceLogTest, TwoNodesSharingOneLogKeepDistinctTracks) {
+  // The regression the (node, name) dedup exists for: two Nodes attached to
+  // one process-wide TraceLog must not collide on track names.
+  TraceLog trace;
+  Engine engine;
+  Node a(engine, "alpha", Node::Config{});
+  Node b(engine, "beta", Node::Config{});
+  a.set_trace(&trace);
+  b.set_trace(&trace);  // distinct names ("alpha.*" vs "beta.*"): no abort
+  a.set_trace(nullptr);
+  b.set_trace(nullptr);
+}
+
+TEST(TraceLogTest, FlowSpansCarryBindId) {
+  TraceLog trace;
+  trace.Span("tx.xfer", "out#1[copy].transmit", "xfer", 0, 1000, /*flow=*/0x2a);
+  trace.Span("wire", "frame 4096B", "net", 1000, 2000, /*flow=*/0x2a);
+  trace.Span("rx.cpu", "plain", "genie", 0, 500);  // flow 0: no arrow
+  trace.Instant("rx.xfer", "rx_complete", "net", 2000, /*flow=*/0x2a);
+  std::ostringstream os;
+  trace.WriteJson(os);
+  const std::string json = os.str();
+  // Both flow-stamped spans chain through the same bind_id.
+  std::size_t arrows = 0;
+  for (std::size_t at = json.find(R"("bind_id":"0x2a")"); at != std::string::npos;
+       at = json.find(R"("bind_id":"0x2a")", at + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 2u);
+  EXPECT_NE(json.find(R"("flow_in":true,"flow_out":true)"), std::string::npos);
+  // The flow-0 span must not grow an arrow.
+  const std::size_t plain = json.find(R"("name":"plain")");
+  ASSERT_NE(plain, std::string::npos);
+  const std::size_t plain_end = json.find('\n', plain);
+  EXPECT_EQ(json.substr(plain, plain_end - plain).find("bind_id"), std::string::npos);
+}
+
 TEST(TraceLogTest, GenieTransferProducesStructuredTrace) {
   TraceLog trace;
   Rig rig;
