@@ -85,27 +85,40 @@ if ! GENIE_FAULT_SEED=$ENTROPY_SEED ASAN_OPTIONS=detect_leaks=0 \
   print_flight_dumps
 fi
 
-echo "=== tier-1: lossy-link soak (ASan) ==="
+echo "=== tier-1: lossy-link soak (-O2 + ASan, stop-and-wait and windowed) ==="
 # Fourth leg: the reliable-delivery stress harness (ARQ + semantics fallback
-# + transfer watchdogs under link drop/duplicate/reorder faults) under ASan.
-# Same shape as leg 3: three pinned seeds gate the build, one entropy seed
-# widens coverage without gating.
-RELIABLE_BIN=build-asan/tests/reliable_stress_test
+# + transfer watchdogs under link drop/duplicate/reorder faults), run in both
+# build flavors and at both ARQ disciplines — GENIE_RELIABLE_WINDOW=1 is the
+# legacy stop-and-wait path, 16 the selective-repeat sliding window with SACK
+# trains and per-entry retransmit timers. Three pinned seeds gate each
+# (build, window) combination; a failing run leaves a flight-recorder dump in
+# $GENIE_FLIGHT_DIR and its path is printed below. One entropy seed per
+# window widens coverage under ASan without gating.
 RELIABLE_FILTER='--gtest_filter=ReliableStressTest.SeededFaultSweepsDeliverExactlyOnce'
-for seed in 7003 7071 7158; do
-  echo "reliable-stress fixed seed $seed"
-  if ! GENIE_RELIABLE_SEED=$seed ASAN_OPTIONS=detect_leaks=0 \
+for build_dir in build build-asan; do
+  for window in 1 16; do
+    RELIABLE_BIN=$build_dir/tests/reliable_stress_test
+    for seed in 7003 7071 7158; do
+      echo "reliable-stress $build_dir window=$window fixed seed $seed"
+      if ! GENIE_RELIABLE_SEED=$seed GENIE_RELIABLE_WINDOW=$window \
+          ASAN_OPTIONS=detect_leaks=0 \
+          timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"; then
+        print_flight_dumps
+        exit 1
+      fi
+    done
+  done
+done
+RELIABLE_BIN=build-asan/tests/reliable_stress_test
+for window in 1 16; do
+  ENTROPY_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+  echo "reliable-stress entropy seed $ENTROPY_SEED window=$window (replay: GENIE_RELIABLE_SEED=$ENTROPY_SEED GENIE_RELIABLE_WINDOW=$window $RELIABLE_BIN $RELIABLE_FILTER)"
+  if ! GENIE_RELIABLE_SEED=$ENTROPY_SEED GENIE_RELIABLE_WINDOW=$window \
+      ASAN_OPTIONS=detect_leaks=0 \
       timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"; then
+    echo "NON-FATAL: entropy seed $ENTROPY_SEED (window=$window) failed the reliable-stress harness — file for triage."
     print_flight_dumps
-    exit 1
   fi
 done
-ENTROPY_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
-echo "reliable-stress entropy seed $ENTROPY_SEED (replay: GENIE_RELIABLE_SEED=$ENTROPY_SEED $RELIABLE_BIN $RELIABLE_FILTER)"
-if ! GENIE_RELIABLE_SEED=$ENTROPY_SEED ASAN_OPTIONS=detect_leaks=0 \
-    timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"; then
-  echo "NON-FATAL: entropy seed $ENTROPY_SEED failed the reliable-stress harness — file for triage."
-  print_flight_dumps
-fi
 
 echo "CI OK: all suites passed."

@@ -95,7 +95,8 @@ Endpoint::Endpoint(Node& node, std::uint64_t channel, GenieOptions options)
     : node_(&node),
       channel_(channel),
       options_(options),
-      metric_prefix_("ep" + std::to_string(channel) + ".") {
+      metric_prefix_("ep" + std::to_string(channel) + "."),
+      cq_ready_(node.engine()) {
   RegisterMetrics();
   switch (node_->adapter().rx_buffering()) {
     case InputBuffering::kPooled:
@@ -146,6 +147,10 @@ void Endpoint::RegisterMetrics() {
                   [this] { return stats_.semantics_fallbacks; });
   m.RegisterGauge(metric_prefix_ + "watchdog_cancels",
                   [this] { return stats_.watchdog_cancels; });
+  m.RegisterGauge(metric_prefix_ + "ring_submits", [this] { return stats_.ring_submits; });
+  m.RegisterGauge(metric_prefix_ + "ring_drains", [this] { return stats_.ring_drains; });
+  m.RegisterGauge(metric_prefix_ + "ring_completions",
+                  [this] { return stats_.ring_completions; });
   for (std::size_t i = 0; i < kOpKindCount; ++i) {
     const std::string op_prefix =
         metric_prefix_ + "op." + std::string(OpKindName(static_cast<OpKind>(i))) + ".";
@@ -206,8 +211,10 @@ Task<void> Endpoint::Output(AddressSpace& app, Vaddr va, std::uint64_t len, Sema
   return OutputTagged(app, va, len, sem, /*tag=*/0);
 }
 
-Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len,
-                                  Semantics sem, std::uint32_t tag) {
+std::shared_ptr<Endpoint::OutputState> Endpoint::MakeOutputState(AddressSpace& app, Vaddr va,
+                                                                 std::uint64_t len,
+                                                                 Semantics sem,
+                                                                 std::uint32_t tag) {
   GENIE_CHECK_GT(len, 0u);
   GENIE_CHECK_LE(len, kMaxAal5Payload);
   auto st = std::make_shared<OutputState>();
@@ -244,8 +251,10 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
 
   ++stats_.outputs;
   ++pending_;
+  return st;
+}
 
-  co_await node_->cpu().Acquire();
+Task<IoStatus> Endpoint::RunOutputPrepare(std::shared_ptr<OutputState> st) {
   TraceScope prepare_span(node_->trace(), XferTrack(), st->xfer + ".prepare", "xfer", st->flow);
   co_await Charge(OpKind::kSenderKernelFixed, 0);
   Charges charges;
@@ -265,16 +274,18 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
       co_await Charge(op, bytes);
     }
     prepare_span.End();
-    node_->cpu().Release();
-    FinishOperation();
-    co_return;
+    if (st->on_complete) {
+      st->on_complete(prep);
+    }
+    co_return prep;
   }
   if (options_.checksum_mode != ChecksumMode::kNone) {
     // Compute the transport checksum over the outgoing data. For copy
     // semantics it can be integrated with the copyin (reference [7]); for
     // in-place output it is a separate read-only pass.
-    st->header = st->has_fused_header ? st->fused_header
-                                      : ChecksumOfIoVec(app.vm().pm(), st->wire, len);
+    st->header = st->has_fused_header
+                     ? st->fused_header
+                     : ChecksumOfIoVec(st->app->vm().pm(), st->wire, st->len);
     if (corrupt_next_checksum_) {
       corrupt_next_checksum_ = false;
       st->header ^= 0xFFFF;
@@ -283,18 +294,135 @@ Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len
                         st->effective == Semantics::kCopy
                     ? OpKind::kChecksumIntegrated
                     : OpKind::kChecksumRead,
-                len);
+                st->len);
   }
   for (const auto& [op, bytes] : charges.items) {
     co_await Charge(op, bytes);
   }
   prepare_span.End();
-  node_->cpu().Release();
+  co_return IoStatus::kOk;
+}
 
+Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                  Semantics sem, std::uint32_t tag) {
+  auto st = MakeOutputState(app, va, len, sem, tag);
+  co_await node_->cpu().Acquire();
+  const IoStatus prep = co_await RunOutputPrepare(st);
+  node_->cpu().Release();
+  if (prep != IoStatus::kOk) {
+    FinishOperation();
+    co_return;
+  }
   // Transmission and dispose proceed asynchronously; the application
   // regains control now (the output call returns).
   std::move(TransmitAndDispose(st)).Detach();
   co_return;
+}
+
+// ---------------------------------------------------------------------------
+// Batched submission/completion rings
+// ---------------------------------------------------------------------------
+
+bool Endpoint::Submit(const SubmitEntry& entry) {
+  GENIE_CHECK(entry.app != nullptr);
+  if (submit_ring_.size() >= options_.ring_depth) {
+    return false;
+  }
+  submit_ring_.push_back(entry);
+  ++stats_.ring_submits;
+  return true;
+}
+
+std::size_t Endpoint::SubmitBatch(const std::vector<SubmitEntry>& entries) {
+  std::size_t accepted = 0;
+  for (const SubmitEntry& entry : entries) {
+    if (!Submit(entry)) {
+      break;
+    }
+    ++accepted;
+  }
+  return accepted;
+}
+
+void Endpoint::PushCompletion(Completion completion) {
+  completion.completed_at = node_->engine().now();
+  completion_ring_.push_back(completion);
+  ++stats_.ring_completions;
+  cq_ready_.Set();
+}
+
+std::size_t Endpoint::Harvest(std::vector<Completion>* out, std::size_t max) {
+  std::size_t popped = 0;
+  while (!completion_ring_.empty() && popped < max) {
+    out->push_back(completion_ring_.front());
+    completion_ring_.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+Task<std::size_t> Endpoint::WaitCompletions(std::size_t n) {
+  while (completion_ring_.size() < n) {
+    co_await cq_ready_.Wait();
+    cq_ready_.Reset();
+  }
+  co_return completion_ring_.size();
+}
+
+Task<void> Endpoint::RunRingInput(SubmitEntry entry) {
+  const InputResult r =
+      co_await InputCommon(*entry.app, entry.va, entry.len, entry.sem, entry.system_allocated);
+  Completion c;
+  c.user_data = entry.user_data;
+  c.op = SubmitEntry::Op::kInput;
+  // A delivery whose payload failed its integrity checks (CRC/checksum) is
+  // reported kIoError: the entry is complete but the data is not usable.
+  c.status = (!r.ok && r.status == IoStatus::kOk) ? IoStatus::kIoError : r.status;
+  c.bytes = r.bytes;
+  c.addr = r.addr;
+  PushCompletion(c);
+}
+
+Task<std::size_t> Endpoint::Drain() {
+  if (submit_ring_.empty()) {
+    co_return 0;
+  }
+  ++stats_.ring_drains;
+  // Take the current batch; entries submitted while this drain runs wait
+  // for the next pass.
+  std::deque<SubmitEntry> batch;
+  batch.swap(submit_ring_);
+  const std::size_t launched = batch.size();
+  // One kernel entry for the whole batch: the CPU is acquired once, and
+  // every output prepare runs under that single hold. Inputs launch their
+  // normal self-contained coroutines, which queue FIFO for the CPU behind
+  // this drain's hold, preserving submission order.
+  co_await node_->cpu().Acquire();
+  for (SubmitEntry& entry : batch) {
+    if (entry.op == SubmitEntry::Op::kInput) {
+      std::move(RunRingInput(entry)).Detach();
+      continue;
+    }
+    auto st = MakeOutputState(*entry.app, entry.va, entry.len, entry.sem, entry.tag);
+    const std::uint64_t user_data = entry.user_data;
+    const std::uint64_t len = entry.len;
+    st->on_complete = [this, user_data, len](IoStatus status) {
+      Completion c;
+      c.user_data = user_data;
+      c.op = SubmitEntry::Op::kOutput;
+      c.status = status;
+      c.bytes = status == IoStatus::kOk ? len : 0;
+      PushCompletion(c);
+    };
+    const IoStatus prep = co_await RunOutputPrepare(st);
+    if (prep != IoStatus::kOk) {
+      FinishOperation();
+      continue;
+    }
+    std::move(TransmitAndDispose(st)).Detach();
+  }
+  node_->cpu().Release();
+  co_return launched;
 }
 
 IoStatus Endpoint::PrepareOutput(OutputState& st, Charges& ch) {
@@ -546,6 +674,11 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
       .Add(SimTimeToMicros(node_->engine().now() - st->started_at));
   node_->cpu().Release();
   FinishOperation();
+  if (st->on_complete) {
+    st->on_complete(delivery_failed
+                        ? (watchdog_cancelled ? IoStatus::kCancelled : IoStatus::kIoError)
+                        : IoStatus::kOk);
+  }
 }
 
 void Endpoint::DisposeOutput(OutputState& st, Charges& ch) {

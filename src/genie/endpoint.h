@@ -14,10 +14,12 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/genie/node.h"
 #include "src/genie/options.h"
@@ -54,6 +56,38 @@ class Endpoint {
   // Per-operation instrumentation hook: (op, bytes, charged simulated time).
   using OpProbe = std::function<void(OpKind, std::uint64_t, SimTime)>;
 
+  // --- Batched submission/completion rings (io_uring-style) ---
+  // Callers enqueue operations with Submit()/SubmitBatch(), then Drain()
+  // pushes the whole batch through the kernel in one pass: outputs run their
+  // prepare under a single CPU acquisition (one "kernel entry" for N
+  // sends, the amortization the windowed ARQ turns into wire pipelining)
+  // and their transmit+dispose proceed detached; inputs launch their normal
+  // self-contained coroutines. Each entry produces exactly one Completion
+  // (tagged with the caller's user_data) in the completion ring, harvested
+  // non-blocking with Harvest() or awaited with WaitCompletions(). Flow ids,
+  // trace spans, watchdogs, and semantics fallback thread through the
+  // batched path exactly as through Output()/Input().
+  struct SubmitEntry {
+    enum class Op : std::uint8_t { kOutput, kInput };
+    Op op = Op::kOutput;
+    AddressSpace* app = nullptr;
+    Vaddr va = 0;            // ignored for system-allocated inputs
+    std::uint64_t len = 0;
+    Semantics sem = Semantics::kCopy;
+    std::uint32_t tag = 0;   // outputs: sender-managed destination (0 = posted)
+    bool system_allocated = false;  // inputs: system chooses the location
+    std::uint64_t user_data = 0;    // opaque; echoed in the Completion
+  };
+
+  struct Completion {
+    std::uint64_t user_data = 0;
+    SubmitEntry::Op op = SubmitEntry::Op::kOutput;
+    IoStatus status = IoStatus::kOk;
+    std::uint64_t bytes = 0;
+    Vaddr addr = 0;          // inputs: where the data landed
+    SimTime completed_at = 0;
+  };
+
   struct Stats {
     std::uint64_t outputs = 0;
     std::uint64_t inputs = 0;
@@ -75,6 +109,10 @@ class Endpoint {
     // (options.enable_semantics_fallback) and watchdog-cancelled operations.
     std::uint64_t semantics_fallbacks = 0;
     std::uint64_t watchdog_cancels = 0;
+    // Ring API traffic: entries accepted, drain passes, completions posted.
+    std::uint64_t ring_submits = 0;
+    std::uint64_t ring_drains = 0;
+    std::uint64_t ring_completions = 0;
   };
 
   Endpoint(Node& node, std::uint64_t channel, GenieOptions options = GenieOptions{});
@@ -139,6 +177,23 @@ class Endpoint {
   Task<void> OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem,
                           std::uint32_t tag);
 
+  // --- Ring API (see the SubmitEntry comment above) ---
+  // Enqueues one entry; false when the submit ring is at options().ring_depth.
+  bool Submit(const SubmitEntry& entry);
+  // Enqueues entries until the ring fills; returns how many were accepted.
+  std::size_t SubmitBatch(const std::vector<SubmitEntry>& entries);
+  // Drains every currently-enqueued entry through the kernel in one pass and
+  // co_returns the number launched (completions arrive asynchronously).
+  Task<std::size_t> Drain();
+  // Pops up to `max` completions into `out`; returns how many were popped.
+  std::size_t Harvest(std::vector<Completion>* out,
+                      std::size_t max = std::numeric_limits<std::size_t>::max());
+  // Suspends until at least `n` completions are harvestable; returns the
+  // number available. `n` counts ring occupancy, not cumulative completions.
+  Task<std::size_t> WaitCompletions(std::size_t n);
+  std::size_t submit_ring_size() const { return submit_ring_.size(); }
+  std::size_t completion_ring_size() const { return completion_ring_.size(); }
+
   // Operations (outputs awaiting dispose, inputs awaiting data) in flight.
   std::size_t pending_operations() const { return pending_; }
 
@@ -178,6 +233,10 @@ class Endpoint {
     std::string xfer;          // trace key: "out#<id>[<semantics>]"
     std::uint64_t flow = 0;    // causal flow id stamping this transfer's events
     SimTime started_at = 0;
+    // Ring-submitted outputs: invoked exactly once with the final status —
+    // at prepare failure, or after dispose (kOk, or kCancelled/kIoError when
+    // delivery failed). Null for the plain Output() path.
+    std::function<void(IoStatus)> on_complete;
   };
 
   struct PendingInput {
@@ -257,6 +316,18 @@ class Endpoint {
   ReliableDelivery::WatchVerdict TryCancelStuckInput(const std::shared_ptr<PendingInput>& pi);
   void CancelStuckInput(PendingInput& pi);
 
+  // Output prepare phase (trace span, kernel-fixed charge, semantics
+  // fallback, checksum, cost charges). Caller holds the CPU. On success the
+  // caller detaches TransmitAndDispose; on failure everything was unwound.
+  Task<IoStatus> RunOutputPrepare(std::shared_ptr<OutputState> st);
+  // Builds the OutputState for [va, va+len) (copy-conversion thresholds,
+  // effective semantics, flow id) — the pre-CPU half of OutputTagged.
+  std::shared_ptr<OutputState> MakeOutputState(AddressSpace& app, Vaddr va, std::uint64_t len,
+                                               Semantics sem, std::uint32_t tag);
+  // Ring input wrapper: runs the normal input path, then posts a Completion.
+  Task<void> RunRingInput(SubmitEntry entry);
+  void PushCompletion(Completion completion);
+
   Task<void> TransmitAndDispose(std::shared_ptr<OutputState> st);
   Task<void> RunDisposeEarlyDemux(std::shared_ptr<PendingInput> pi, RxCompletion completion);
   Task<void> RunDisposePooled(std::shared_ptr<PendingInput> pi, PooledFrame frame);
@@ -316,6 +387,12 @@ class Endpoint {
   std::map<std::uint32_t, std::shared_ptr<NamedBuffer>> named_buffers_;
   std::uint32_t next_tag_ = 1;
   std::uint64_t next_cancel_id_ = 1;
+  // Ring API state. The deques are the rings (bounded by options_.ring_depth
+  // on the submit side); cq_ready_ is set on every completion push so
+  // WaitCompletions wakes exactly when occupancy grows.
+  std::deque<SubmitEntry> submit_ring_;
+  std::deque<Completion> completion_ring_;
+  SimEvent cq_ready_;
 };
 
 }  // namespace genie

@@ -93,8 +93,14 @@ class Node {
   }
 
   // Turns on the reliable delivery layer (ARQ and/or watchdog) for every
-  // endpoint on this node. Off by default; see ReliableOptions.
-  void EnableReliableDelivery(const ReliableOptions& options) { reliable_->Configure(options); }
+  // endpoint on this node. Off by default; see ReliableOptions. The ARQ
+  // window also configures this node's *receive* side (dedup discipline and
+  // SACK batching), so both peers of a reliable channel should be enabled
+  // with the same window.
+  void EnableReliableDelivery(const ReliableOptions& options) {
+    reliable_->Configure(options);
+    adapter_.set_arq_window(options.window);
+  }
 
   // Optional execution tracing (chrome://tracing export); nullptr disables.
   // The log is given this node's sim clock so TraceScope and the VM fault

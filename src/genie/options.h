@@ -4,6 +4,7 @@
 #ifndef GENIE_SRC_GENIE_OPTIONS_H_
 #define GENIE_SRC_GENIE_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace genie {
@@ -58,6 +59,10 @@ struct GenieOptions {
   // module (application input alignment query, Section 5.2). Zero for our
   // AAL5 stack (no unstripped headers).
   std::uint32_t preferred_input_offset = 0;
+
+  // Capacity of the Endpoint submission ring (batched submit/complete API).
+  // Submit() refuses entries beyond this depth until a drain makes room.
+  std::size_t ring_depth = 64;
 
   // Graceful semantics degradation: when a prepare step cannot honor the
   // requested semantics (TCOW sysbuf allocation fails, aligned input pool

@@ -14,6 +14,8 @@ ReliableDelivery::ReliableDelivery(Engine& engine, Adapter& adapter, std::string
       timers_(engine) {
   adapter_->set_ack_handler(
       [this](std::uint64_t channel, std::uint64_t seq, bool ok) { OnAck(channel, seq, ok); });
+  adapter_->set_sack_handler(
+      [this](std::uint64_t channel, std::vector<SackCell> cells) { OnSack(channel, cells); });
 }
 
 void ReliableDelivery::Instant(const std::string& text, std::uint64_t flow) {
@@ -46,6 +48,23 @@ void ReliableDelivery::OnAck(std::uint64_t channel, std::uint64_t seq, bool ok) 
   } else {
     ++stats_.nacks;
   }
+  if (options_.window > 1) {
+    // Windowed mode still receives per-seq control cells for nacks (CRC
+    // failures, dropped frames) and duplicate re-acks; SACK trains carry the
+    // normal acknowledgement traffic (OnSack).
+    WindowEntry* entry = FindEntry(channel, seq);
+    if (entry == nullptr || entry->result != WindowEntry::kPending) {
+      ++stats_.stale_acks;
+      return;
+    }
+    if (ok) {
+      ResolveAcked(*entry);
+    } else {
+      timers_.Cancel(entry->timer);
+      RetransmitOrGiveUp(channel, seq, /*from_nack=*/true);
+    }
+    return;
+  }
   auto it = pending_acks_.find({channel, seq});
   if (it == pending_acks_.end()) {
     // Re-ack of a frame we already resolved (the receiver re-acks every
@@ -65,6 +84,10 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
     std::uint64_t channel, IoVec iov, std::uint32_t header, std::uint32_t tag, std::string label,
     std::shared_ptr<CancelToken> token, std::uint64_t flow) {
   GENIE_CHECK(options_.arq) << "TransmitReliably with ARQ disabled";
+  if (options_.window > 1) {
+    co_return co_await TransmitWindowed(channel, iov, header, tag, std::move(label),
+                                        std::move(token), flow);
+  }
   const std::uint64_t seq = ++next_seq_[channel];
   ++stats_.sequenced_frames;
 
@@ -183,6 +206,280 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
   }
 
   pending_acks_.erase(key);
+  if (token != nullptr) {
+    token->wake = nullptr;
+    token->ctl.reset();
+  }
+  co_return report;
+}
+
+ReliableDelivery::WindowEntry* ReliableDelivery::FindEntry(std::uint64_t channel,
+                                                           std::uint64_t seq) {
+  auto win = windows_.find(channel);
+  if (win == windows_.end()) {
+    return nullptr;
+  }
+  auto it = win->second->inflight.find(seq);
+  return it == win->second->inflight.end() ? nullptr : it->second.get();
+}
+
+void ReliableDelivery::ResolveAcked(WindowEntry& entry) {
+  timers_.Cancel(entry.timer);
+  const SimTime now = engine_->now();
+  if (trace_ != nullptr && entry.last_tx_end > 0 && now > entry.last_tx_end) {
+    // The final ack_wait span of this transfer: last attempt off the wire to
+    // ack arrival. Earlier attempts already emitted theirs when they timed
+    // out (RetransmitOrGiveUp), so the critical-path classifier sees the
+    // same per-flow shape as stop-and-wait.
+    trace_->Span(xfer_track_, entry.label + ".ack_wait", "reliable", entry.last_tx_end, now,
+                 entry.flow);
+  }
+  if (ack_rtt_ != nullptr) {
+    // last_tx_end == 0 means the ack beat the first transmit's completion
+    // (delayed-completion fault on our side): zero observable rtt.
+    ack_rtt_->Add(entry.last_tx_end > 0 ? SimTimeToMicros(now - entry.last_tx_end) : 0.0);
+  }
+  entry.result = WindowEntry::kAcked;
+  entry.done.Set();
+}
+
+void ReliableDelivery::OnSack(std::uint64_t channel, const std::vector<SackCell>& cells) {
+  auto win = windows_.find(channel);
+  if (win == windows_.end() || cells.empty()) {
+    return;
+  }
+  // Resolve every pending entry the train covers. Entries are erased only by
+  // their owning coroutine (woken here via done.Set()), so iterating the
+  // live map is safe. Sequence numbers never wrap in practice (64-bit,
+  // minted from 1), so plain comparisons suffice on the sender side.
+  for (auto& [seq, entry] : win->second->inflight) {
+    if (entry->result != WindowEntry::kPending) {
+      continue;
+    }
+    bool covered = false;
+    for (const SackCell& cell : cells) {
+      const std::uint64_t off = seq - cell.base;
+      if (seq <= cell.cum || (off < kSackBitsPerCell && ((cell.bitmap >> off) & 1ull) != 0)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) {
+      ++stats_.acks;
+      ResolveAcked(*entry);
+    }
+  }
+}
+
+void ReliableDelivery::ArmEntryTimer(std::uint64_t channel, std::uint64_t seq) {
+  WindowEntry* entry = FindEntry(channel, seq);
+  if (entry == nullptr) {
+    return;
+  }
+  entry->timer = timers_.ScheduleAfter(WithJitter(entry->timeout), [this, channel, seq] {
+    RetransmitOrGiveUp(channel, seq, /*from_nack=*/false);
+  });
+}
+
+void ReliableDelivery::RetransmitOrGiveUp(std::uint64_t channel, std::uint64_t seq,
+                                          bool from_nack) {
+  WindowEntry* e = FindEntry(channel, seq);
+  if (e == nullptr || e->result != WindowEntry::kPending || e->retransmitting) {
+    // Already resolved, retired, or a retransmission is still on the wire
+    // (a nack for the previous attempt can arrive mid-retransmit; the fresh
+    // attempt's own timer takes over when it completes).
+    return;
+  }
+  const SimTime now = engine_->now();
+  if (trace_ != nullptr && e->last_tx_end > 0 && now > e->last_tx_end) {
+    // Time parked between the attempt leaving the wire and this escalation.
+    trace_->Span(xfer_track_, e->label + ".ack_wait", "reliable", e->last_tx_end, now, e->flow);
+  }
+  if (e->token != nullptr && e->token->cancelled) {
+    e->result = WindowEntry::kCancelled;
+    e->done.Set();
+    return;
+  }
+  if (e->attempts > options_.max_retransmits) {
+    ++stats_.giveups;
+    Instant(e->label + " giveup seq " + std::to_string(seq) + " after " +
+                std::to_string(e->attempts) + " attempts",
+            e->flow);
+    e->result = WindowEntry::kGiveUp;
+    e->done.Set();
+    return;
+  }
+  ++stats_.retransmits;
+  if (!from_nack) {
+    ++stats_.timeouts;
+  }
+  if (retransmit_delay_ != nullptr && e->last_tx_end > 0) {
+    retransmit_delay_->Add(SimTimeToMicros(now - e->last_tx_end));
+  }
+  Instant(e->label + " retransmit(" + (from_nack ? "nack" : "timeout") + ") seq " +
+              std::to_string(seq) + " attempt " + std::to_string(e->attempts + 1),
+          e->flow);
+  if (!from_nack) {
+    e->timeout = std::min<SimTime>(
+        options_.max_timeout, static_cast<SimTime>(static_cast<double>(e->timeout) *
+                                                   std::max(1.0, options_.backoff_factor)));
+  }
+  e->retransmitting = true;
+  std::move(RetransmitEntry(channel, seq, from_nack)).Detach();
+}
+
+Task<void> ReliableDelivery::RetransmitEntry(std::uint64_t channel, std::uint64_t seq,
+                                             bool from_nack) {
+  // `retransmitting` pins the entry: the owning coroutine defers erasure
+  // until this unwinds, so the pointer stays valid across the awaits below.
+  WindowEntry* e = FindEntry(channel, seq);
+  GENIE_CHECK(e != nullptr);
+  if (from_nack && options_.nack_delay > 0) {
+    // Let the receiver finish restoring the posted buffer that the corrupted
+    // frame consumed before the replacement lands in it.
+    const SimTime delay_start = engine_->now();
+    co_await Delay(*engine_, options_.nack_delay);
+    if (trace_ != nullptr) {
+      trace_->Span(xfer_track_, e->label + ".nack_delay", "reliable", delay_start,
+                   engine_->now(), e->flow);
+    }
+    if (e->result != WindowEntry::kPending ||
+        (e->token != nullptr && e->token->cancelled)) {
+      // A duplicate delivery got acked (or the watchdog struck) during the
+      // pause; the owner retires the entry.
+      e->retransmitting = false;
+      e->done.Set();
+      co_return;
+    }
+  }
+  ++e->attempts;
+  auto ctl = std::make_shared<TxControl>();
+  ctl->seq = seq;
+  // The lost original already spent this frame's flow-control credit;
+  // acquiring again would double-spend and deadlock under loss.
+  ctl->skip_credit = true;
+  e->ctl = ctl;
+  if (e->token != nullptr) {
+    e->token->ctl = ctl;
+  }
+  co_await adapter_->TransmitFrame(channel, e->iov, e->header, e->tag, ctl, e->flow);
+  e->last_tx_end = engine_->now();
+  e->retransmitting = false;
+  if (e->result == WindowEntry::kPending &&
+      (ctl->aborted || (e->token != nullptr && e->token->cancelled))) {
+    e->result = WindowEntry::kCancelled;
+  }
+  if (e->result != WindowEntry::kPending) {
+    e->done.Set();  // Resolved (or cancelled) while on the wire.
+    co_return;
+  }
+  ArmEntryTimer(channel, seq);
+}
+
+Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitWindowed(
+    std::uint64_t channel, IoVec iov, std::uint32_t header, std::uint32_t tag, std::string label,
+    std::shared_ptr<CancelToken> token, std::uint64_t flow) {
+  ++stats_.sequenced_frames;
+  TxReport report;
+  auto& win_slot = windows_[channel];
+  if (win_slot == nullptr) {
+    win_slot = std::make_unique<ChannelWindow>(*engine_);
+  }
+  ChannelWindow& win = *win_slot;
+
+  // Admission: selective repeat keeps live seqs inside [base, base + window),
+  // base being the oldest unacked frame. The seq is minted only on
+  // admission, so a transfer cancelled while stalled leaves no hole in the
+  // sequence space. All stalled admissions re-check when the window slides;
+  // the check-and-mint runs without suspension, so each admission sees its
+  // predecessors' seqs.
+  for (;;) {
+    if (token != nullptr && token->cancelled) {
+      report.outcome = TxOutcome::kCancelled;
+      ++stats_.cancelled_transmits;
+      co_return report;
+    }
+    if (win.inflight.empty() ||
+        next_seq_[channel] + 1 < win.inflight.begin()->first + options_.window) {
+      break;
+    }
+    if (token != nullptr) {
+      token->wake = &win.open;
+    }
+    const SimTime stall_start = engine_->now();
+    co_await win.open.Wait();
+    win.open.Reset();
+    if (trace_ != nullptr && engine_->now() > stall_start) {
+      trace_->Span(xfer_track_, label + ".window_stall", "reliable", stall_start, engine_->now(),
+                   flow);
+    }
+  }
+
+  const std::uint64_t seq = ++next_seq_[channel];
+  auto owned = std::make_unique<WindowEntry>(*engine_);
+  WindowEntry* e = owned.get();
+  e->iov = iov;
+  e->header = header;
+  e->tag = tag;
+  e->label = label;
+  e->flow = flow;
+  e->token = token;
+  e->timeout = options_.initial_timeout;
+  e->attempts = 1;
+  win.inflight.emplace(seq, std::move(owned));
+  if (token != nullptr) {
+    token->wake = &e->done;
+  }
+
+  auto ctl = std::make_shared<TxControl>();
+  ctl->seq = seq;
+  e->ctl = ctl;
+  if (token != nullptr) {
+    token->ctl = ctl;
+  }
+  co_await adapter_->TransmitFrame(channel, iov, header, tag, ctl, flow);
+  e->last_tx_end = engine_->now();
+  if (e->result == WindowEntry::kPending &&
+      (ctl->aborted || (token != nullptr && token->cancelled))) {
+    e->result = WindowEntry::kCancelled;
+  }
+  if (e->result == WindowEntry::kPending) {
+    ArmEntryTimer(channel, seq);
+  }
+
+  // Park until the SACK/timeout/nack machinery resolves the entry, or a
+  // watchdog cancellation pokes `done`.
+  while (e->result == WindowEntry::kPending) {
+    co_await e->done.Wait();
+    e->done.Reset();
+    if (e->result == WindowEntry::kPending && token != nullptr && token->cancelled) {
+      timers_.Cancel(e->timer);
+      e->result = WindowEntry::kCancelled;
+    }
+  }
+  // A detached retransmission may still hold pointers into the entry; it
+  // signals `done` as it unwinds. Only then is the entry safe to retire.
+  while (e->retransmitting) {
+    co_await e->done.Wait();
+    e->done.Reset();
+  }
+
+  report.attempts = e->attempts;
+  switch (e->result) {
+    case WindowEntry::kAcked:
+      report.outcome = TxOutcome::kDelivered;
+      break;
+    case WindowEntry::kGiveUp:
+      report.outcome = TxOutcome::kGiveUp;
+      break;
+    case WindowEntry::kCancelled:
+    case WindowEntry::kPending:
+      report.outcome = TxOutcome::kCancelled;
+      ++stats_.cancelled_transmits;
+      break;
+  }
+  win.inflight.erase(seq);
+  win.open.Set();  // The window slid; stalled admissions re-check.
   if (token != nullptr) {
     token->wake = nullptr;
     token->ctl.reset();

@@ -3,13 +3,28 @@
 //
 // The adapter (src/net) gives at-most-once datagram service: frames can be
 // lost (link faults, no posted buffer), duplicated, reordered, or corrupted.
-// ReliableDelivery turns an output into exactly-once delivery with
-// stop-and-wait ARQ: each frame carries a per-channel sequence number, the
-// receiving adapter acks (or nacks on CRC failure), and the sender
-// retransmits on timeout with exponential backoff plus deterministic jitter
-// drawn from a seeded SplitMix64. The receiver's dedup set absorbs the
-// duplicates that retransmission inevitably creates, so the host-visible
-// stream is exactly-once even though the wire is not.
+// ReliableDelivery turns an output into exactly-once delivery with ARQ:
+// each frame carries a per-channel sequence number, the receiving adapter
+// acks (or nacks on CRC failure), and the sender retransmits on timeout with
+// exponential backoff plus deterministic jitter drawn from a seeded
+// SplitMix64. The receiver's dedup state absorbs the duplicates that
+// retransmission inevitably creates, so the host-visible stream is
+// exactly-once even though the wire is not.
+//
+// Two sender disciplines share that machinery, selected by
+// ReliableOptions::window:
+//   * window == 1 — stop-and-wait: one frame outstanding per transfer, one
+//     ack control cell per frame. This is the original discipline and its
+//     event schedule is bit-for-bit unchanged.
+//   * window  > 1 — selective repeat: up to `window` sequenced frames
+//     outstanding per channel. Each in-flight frame has its own retransmit
+//     timer; the receiver acknowledges with batched SACK cell trains
+//     (cumulative + bitmap, src/net/sack.h) so one control-cell train
+//     resolves many frames; frames are acked out of order and the send
+//     window slides over the acked prefix. A transfer that arrives while
+//     the window is full parks in an admission queue (traced as a
+//     `.window_stall` span). Both peers must be configured with the same
+//     window (Node::EnableReliableDelivery does this).
 //
 // The watchdog is a periodic scan over registered in-flight transfers. A
 // transfer stuck past the deadline (delayed-completion fault, credit
@@ -49,6 +64,10 @@ namespace genie {
 struct ReliableOptions {
   // ARQ: sequence outputs and retransmit until acked (or give up).
   bool arq = false;
+  // Selective-repeat send window, in frames per channel. 1 = stop-and-wait
+  // (the legacy discipline, goldens unchanged); >1 pipelines up to `window`
+  // sequenced frames per channel with SACK acknowledgement.
+  std::uint32_t window = 1;
   std::uint32_t max_retransmits = 8;   // give up after this many retries
   SimTime initial_timeout = 2 * kMillisecond;
   SimTime max_timeout = 32 * kMillisecond;  // backoff ceiling
@@ -173,6 +192,38 @@ class ReliableDelivery {
     SimTime deadline = 0;
   };
 
+  // One in-flight sequenced frame of a selective-repeat window. Owned by
+  // the channel's window map; the transmitting coroutine, the per-entry
+  // retransmit coroutine, and the SACK handler all reach it through the
+  // (channel, seq) key. The entry is only erased by the transmitting
+  // coroutine, and only once `retransmitting` has drained, so the pointers
+  // the detached retransmit coroutine holds across awaits stay valid.
+  struct WindowEntry {
+    explicit WindowEntry(Engine& engine) : done(engine) {}
+    enum Result : std::uint8_t { kPending, kAcked, kGiveUp, kCancelled };
+    IoVec iov;
+    std::uint32_t header = 0;
+    std::uint32_t tag = 0;
+    std::string label;
+    std::uint64_t flow = 0;
+    std::shared_ptr<CancelToken> token;
+    std::shared_ptr<TxControl> ctl;  // latest attempt on the wire
+    std::uint32_t attempts = 0;      // transmissions actually performed
+    SimTime timeout = 0;             // current (backed-off) retransmit timeout
+    SimTime last_tx_end = 0;         // wire end of the latest attempt
+    TimerSet::Handle timer = 0;
+    Result result = kPending;
+    bool retransmitting = false;  // a detached retransmit is in flight
+    SimEvent done;                // set on resolution and on retransmit drain
+  };
+
+  // Per-channel selective-repeat send window (window > 1 only).
+  struct ChannelWindow {
+    explicit ChannelWindow(Engine& engine) : open(engine) {}
+    std::map<std::uint64_t, std::unique_ptr<WindowEntry>> inflight;  // by seq
+    SimEvent open;  // set whenever the window slides; admission re-checks
+  };
+
   ReliableOptions ConfiguredWith(ReliableOptions options) {
     rng_ = SplitMix64(options.seed);
     if (options.watchdog_timeout > 0 && options.watchdog_period == 0) {
@@ -183,6 +234,20 @@ class ReliableDelivery {
 
   void OnAck(std::uint64_t channel, std::uint64_t seq, bool ok);
   SimTime WithJitter(SimTime timeout);
+
+  // --- Selective-repeat window machinery (options_.window > 1) ---
+  Task<TxReport> TransmitWindowed(std::uint64_t channel, IoVec iov, std::uint32_t header,
+                                  std::uint32_t tag, std::string label,
+                                  std::shared_ptr<CancelToken> token, std::uint64_t flow);
+  // Batched SACK train from the peer: resolves every covered in-flight entry.
+  void OnSack(std::uint64_t channel, const std::vector<SackCell>& cells);
+  WindowEntry* FindEntry(std::uint64_t channel, std::uint64_t seq);
+  void ResolveAcked(WindowEntry& entry);
+  // Timeout/nack escalation: emits the attempt's ack_wait span, then either
+  // gives up (retries exhausted) or launches a detached retransmission.
+  void RetransmitOrGiveUp(std::uint64_t channel, std::uint64_t seq, bool from_nack);
+  Task<void> RetransmitEntry(std::uint64_t channel, std::uint64_t seq, bool from_nack);
+  void ArmEntryTimer(std::uint64_t channel, std::uint64_t seq);
   void ArmScan();
   void RunScan();
   void Instant(const std::string& text, std::uint64_t flow = 0);
@@ -201,6 +266,7 @@ class ReliableDelivery {
 
   std::map<std::uint64_t, std::uint64_t> next_seq_;  // channel -> last used
   std::map<std::pair<std::uint64_t, std::uint64_t>, PendingAck*> pending_acks_;
+  std::map<std::uint64_t, std::unique_ptr<ChannelWindow>> windows_;
 
   std::uint64_t next_watch_id_ = 1;
   std::map<std::uint64_t, Watched> watched_;

@@ -249,6 +249,50 @@ void Adapter::OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok) {
   }
 }
 
+void Adapter::ScheduleSackFlush(std::uint64_t channel) {
+  if (peer_ == nullptr) {
+    return;  // Unidirectional test wiring: no control-cell return path.
+  }
+  bool& pending = sack_flush_pending_[channel];
+  if (pending) {
+    return;  // A flush is already armed; this accept rides the same train.
+  }
+  pending = true;
+  // The flush fires one control-cell latency out and snapshots the dedup
+  // state *then*, so every frame accepted during the accumulation window is
+  // acknowledged by the same cell train — one ack wakeup for many frames.
+  engine_.ScheduleAfter(config_.credit_latency, [this, channel] { FlushSack(channel); });
+}
+
+void Adapter::FlushSack(std::uint64_t channel) {
+  sack_flush_pending_[channel] = false;
+  if (peer_ == nullptr) {
+    return;
+  }
+  auto it = rx_dedup_.find(channel);
+  if (it == rx_dedup_.end()) {
+    return;
+  }
+  std::vector<SackCell> cells = EncodeSack(it->second.cum, it->second.seen);
+  ++sack_flushes_;
+  sack_cells_sent_ += cells.size();
+  acks_sent_ += cells.size();
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire",
+                    "sack cum " + std::to_string(it->second.cum) + " +" +
+                        std::to_string(it->second.seen.size()) + " cells " +
+                        std::to_string(cells.size()),
+                    "net", engine_.now());
+  }
+  peer_->OnSackCells(channel, std::move(cells));
+}
+
+void Adapter::OnSackCells(std::uint64_t channel, std::vector<SackCell> cells) {
+  if (sack_handler_) {
+    sack_handler_(channel, std::move(cells));
+  }
+}
+
 bool Adapter::AbortCreditWait(std::uint64_t channel, const std::shared_ptr<TxControl>& ctl) {
   auto it = credit_waiters_.find(channel);
   if (it == credit_waiters_.end()) {
@@ -307,9 +351,13 @@ void Adapter::BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uin
   if (seq != 0) {
     // ARQ duplicate suppression: a sequence number already delivered to the
     // host is discarded without consuming a buffer (the ack got lost or beat
-    // the sender's timeout; re-acked at EndRxFrame).
+    // the sender's timeout; re-acked at EndRxFrame). The windowed receiver
+    // additionally recognizes anything at or below the cumulative mark, so
+    // detection never depends on how deep the seen-set prune reaches.
     auto dedup = rx_dedup_.find(channel);
-    if (dedup != rx_dedup_.end() && dedup->second.seen.count(seq) != 0) {
+    if (dedup != rx_dedup_.end() &&
+        ((arq_window_ > 1 && seq <= dedup->second.cum) ||
+         dedup->second.seen.count(seq) != 0)) {
       rx_->duplicate = true;
       return;
     }
@@ -505,17 +553,53 @@ void Adapter::EndRxFrame(bool crc_ok) {
     ++rx_truncated_frames_;
   }
   if (rx.seq != 0) {
-    // Accepted: record the sequence number so replays are suppressed, and
-    // prune the window well behind the newest frame (retransmissions never
-    // lag further than the sender's bounded retry horizon).
     RxDedup& dedup = rx_dedup_[rx.channel];
-    dedup.seen.insert(rx.seq);
     dedup.max_seq = std::max(dedup.max_seq, rx.seq);
-    while (!dedup.seen.empty() && dedup.max_seq > 128 &&
-           *dedup.seen.begin() < dedup.max_seq - 128) {
-      dedup.seen.erase(dedup.seen.begin());
+    if (arq_window_ > 1) {
+      // Windowed accept: advance the cumulative mark over any now-contiguous
+      // prefix; out-of-order accepts wait above it in the seen-set (bounded
+      // by the sender's window, and recorded forever via `cum` once the
+      // prefix closes). The ack rides the next batched SACK flush.
+      if (rx.seq == dedup.cum + 1) {
+        dedup.cum = rx.seq;
+        while (!dedup.seen.empty() && *dedup.seen.begin() == dedup.cum + 1) {
+          dedup.seen.erase(dedup.seen.begin());
+          ++dedup.cum;
+        }
+      } else if (rx.seq > dedup.cum) {
+        dedup.seen.insert(rx.seq);
+      }
+      // Dead-hole reclamation: the sender's live window spans at most
+      // `arq_window_` seqs, so a gap more than two windows below the newest
+      // accepted frame can no longer be filled (that sender gave up or was
+      // cancelled). Jump the cumulative mark over it rather than letting the
+      // out-of-order set grow without bound.
+      const std::uint64_t horizon = 2ull * arq_window_;
+      if (dedup.max_seq > horizon && dedup.cum < dedup.max_seq - horizon) {
+        dedup.cum = dedup.max_seq - horizon;
+        while (!dedup.seen.empty() && *dedup.seen.begin() <= dedup.cum) {
+          dedup.seen.erase(dedup.seen.begin());
+        }
+        while (!dedup.seen.empty() && *dedup.seen.begin() == dedup.cum + 1) {
+          dedup.seen.erase(dedup.seen.begin());
+          ++dedup.cum;
+        }
+      }
+      ScheduleSackFlush(rx.channel);
+    } else {
+      // Stop-and-wait accept: record the sequence number so replays are
+      // suppressed, and prune the seen-set behind the newest frame. The
+      // retention depth derives from the configured window (floor 128 keeps
+      // the legacy behavior): retransmissions never lag further than the
+      // sender's bounded retry horizon.
+      const std::uint64_t prune_depth = std::max<std::uint64_t>(128, 2ull * arq_window_);
+      dedup.seen.insert(rx.seq);
+      while (!dedup.seen.empty() && dedup.max_seq > prune_depth &&
+             *dedup.seen.begin() < dedup.max_seq - prune_depth) {
+        dedup.seen.erase(dedup.seen.begin());
+      }
+      SendAck(rx.channel, rx.seq, true, rx.flow);
     }
-    SendAck(rx.channel, rx.seq, true, rx.flow);
   }
   if (trace_ != nullptr) {
     trace_->Instant(name_ + ".wire",

@@ -32,6 +32,7 @@
 #include "src/mem/phys_memory.h"
 #include "src/net/aal5.h"
 #include "src/net/buffer_pool.h"
+#include "src/net/sack.h"
 #include "src/sim/awaitable.h"
 #include "src/sim/engine.h"
 #include "src/sim/resource.h"
@@ -210,6 +211,23 @@ class Adapter {
     ack_handler_ = std::move(handler);
   }
 
+  // Configures the receive side for a selective-repeat sender window of `w`
+  // frames. At the default w=1 the adapter acks per frame and dedups with
+  // the legacy seen-set, preserving stop-and-wait behavior exactly. For
+  // w>1 it switches to cumulative+bitmap (SACK) acknowledgement: accepted
+  // frames advance a per-channel cumulative mark, out-of-order accepts are
+  // tracked above it, and one batched SACK cell train per control-cell
+  // latency acknowledges everything at once. Both peers of a reliable
+  // channel must be configured with the same window.
+  void set_arq_window(std::uint32_t w) { arq_window_ = w == 0 ? 1 : w; }
+  std::uint32_t arq_window() const { return arq_window_; }
+
+  // Invoked on *this* (sending) adapter when the peer flushes a batched
+  // SACK train for `channel` (windowed mode only).
+  void set_sack_handler(std::function<void(std::uint64_t, std::vector<SackCell>)> handler) {
+    sack_handler_ = std::move(handler);
+  }
+
   // Aborts a transmission blocked in AcquireCredit (credit-deadlock
   // watchdog). Returns true if the waiter was found; `ctl->aborted` is set
   // and TransmitFrame returns without transmitting.
@@ -242,6 +260,9 @@ class Adapter {
   std::uint64_t rx_duplicate_frames() const { return rx_duplicate_frames_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t nacks_sent() const { return nacks_sent_; }
+  // Windowed mode: batched SACK trains flushed / total cells they carried.
+  std::uint64_t sack_flushes() const { return sack_flushes_; }
+  std::uint64_t sack_cells_sent() const { return sack_cells_sent_; }
   // Injected link faults observed on this adapter's transmit side.
   std::uint64_t link_frames_dropped() const { return link_frames_dropped_; }
   std::uint64_t link_frames_duplicated() const { return link_frames_duplicated_; }
@@ -282,8 +303,13 @@ class Adapter {
   };
 
   // ARQ receive-side duplicate suppression state, one window per channel.
+  // Stop-and-wait (window=1) uses `seen` alone with a bounded prune; the
+  // windowed receiver adds `cum` (every seq <= cum accepted) so `seen` only
+  // holds out-of-order accepts above it and old duplicates are recognized
+  // no matter how far the window has advanced.
   struct RxDedup {
     std::uint64_t max_seq = 0;
+    std::uint64_t cum = 0;  // windowed mode: highest contiguously-accepted seq
     std::set<std::uint64_t> seen;
   };
 
@@ -309,6 +335,13 @@ class Adapter {
   // Schedules an ack (ok) / nack control cell back to the sending peer.
   void SendAck(std::uint64_t channel, std::uint64_t seq, bool ok, std::uint64_t flow);
   void OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok);
+
+  // Windowed mode: arms (at most one per channel) a batched SACK flush one
+  // control-cell latency out; the flush snapshots the dedup state then and
+  // delivers one cell train covering every frame accepted meanwhile.
+  void ScheduleSackFlush(std::uint64_t channel);
+  void FlushSack(std::uint64_t channel);
+  void OnSackCells(std::uint64_t channel, std::vector<SackCell> cells);
 
   struct CreditWaiter {
     std::coroutine_handle<> handle;
@@ -369,6 +402,9 @@ class Adapter {
   std::map<std::uint64_t, RxDedup> rx_dedup_;
   std::deque<HeldFrame> held_;  // reordered frames awaiting late delivery
   std::function<void(std::uint64_t, std::uint64_t, bool)> ack_handler_;
+  std::function<void(std::uint64_t, std::vector<SackCell>)> sack_handler_;
+  std::uint32_t arq_window_ = 1;
+  std::map<std::uint64_t, bool> sack_flush_pending_;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
@@ -381,6 +417,8 @@ class Adapter {
   std::uint64_t rx_duplicate_frames_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t nacks_sent_ = 0;
+  std::uint64_t sack_flushes_ = 0;
+  std::uint64_t sack_cells_sent_ = 0;
   std::uint64_t link_frames_dropped_ = 0;
   std::uint64_t link_frames_duplicated_ = 0;
   std::uint64_t link_frames_reordered_ = 0;

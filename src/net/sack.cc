@@ -1,0 +1,78 @@
+#include "src/net/sack.h"
+
+#include <algorithm>
+
+namespace genie {
+namespace {
+
+// Bound on how far above cum+1 a bitmap member may sit before we treat the
+// set as corrupted and drop the member rather than emit an absurd train.
+constexpr std::uint64_t kMaxBitmapSpan = 64ull << 20;
+
+}  // namespace
+
+std::vector<SackCell> EncodeSack(std::uint64_t cum, const std::set<std::uint64_t>& above) {
+  std::vector<SackCell> cells;
+  SackCell cur;
+  cur.cum = cum;
+  bool open = false;
+  // Members of `above` are strictly above cum in unsigned-distance order;
+  // std::set iterates in numeric order, which only disagrees with distance
+  // order across a wraparound. Walk in distance order by sorting keys by
+  // (seq - (cum + 1)) so the train is monotone even across the wrap.
+  const std::uint64_t origin = cum + 1;
+  std::vector<std::uint64_t> ordered(above.begin(), above.end());
+  if (ordered.size() > 1 &&
+      (ordered.back() - origin) < (ordered.front() - origin)) {
+    // Wrapped set: re-sort by unsigned distance from origin.
+    std::sort(ordered.begin(), ordered.end(),
+              [origin](std::uint64_t a, std::uint64_t b) {
+                return (a - origin) < (b - origin);
+              });
+  }
+  for (std::uint64_t seq : ordered) {
+    const std::uint64_t dist = seq - origin;
+    if (dist > kMaxBitmapSpan) continue;  // corrupted/absurd member
+    if (!open || (seq - cur.base) >= kSackBitsPerCell) {
+      if (open) cells.push_back(cur);
+      cur.base = seq;
+      cur.bitmap = 0;
+      open = true;
+    }
+    cur.bitmap |= 1ull << (seq - cur.base);
+  }
+  if (open) {
+    cells.push_back(cur);
+  } else {
+    // Pure cumulative ack: one cell, empty bitmap anchored just above cum.
+    cur.base = origin;
+    cur.bitmap = 0;
+    cells.push_back(cur);
+  }
+  return cells;
+}
+
+std::size_t DecodeSackBitmap(const SackCell& cell, std::vector<std::uint64_t>* out) {
+  std::size_t n = 0;
+  std::uint64_t bits = cell.bitmap;
+  while (bits != 0) {
+    const int i = __builtin_ctzll(bits);
+    bits &= bits - 1;
+    out->push_back(cell.base + static_cast<std::uint64_t>(i));
+    ++n;
+  }
+  return n;
+}
+
+bool SackCovers(const SackCell& cell, std::uint64_t seq, std::uint64_t horizon) {
+  // Cumulative part: seq in (cum - horizon, cum], computed with unsigned
+  // distances so it holds across wraparound. cum == 0 with no horizon
+  // below it means "nothing accepted yet".
+  const std::uint64_t below = cell.cum - seq;  // mod 2^64
+  if (below < horizon) return true;            // seq <= cum within horizon
+  const std::uint64_t off = seq - cell.base;   // mod 2^64
+  if (off < kSackBitsPerCell && (cell.bitmap >> off) & 1ull) return true;
+  return false;
+}
+
+}  // namespace genie

@@ -1,0 +1,55 @@
+// SACK (selective acknowledgement) control-cell codec for the windowed ARQ.
+//
+// A receiver running a selective-repeat window acknowledges with a
+// *cumulative* sequence number (every frame <= cum has been accepted) plus a
+// bitmap of out-of-order frames above it. One control cell carries one
+// 64-bit bitmap anchored at an explicit base, so a window wider than 64
+// frames is described by a short train of cells; the cumulative field is
+// repeated in every cell of the train so each cell is independently useful.
+//
+// Sequence arithmetic is done in unsigned distances (seq - base mod 2^64),
+// so the codec is correct across sequence-number wraparound: a bitmap based
+// just below 2^64-1 addresses frames on both sides of the wrap.
+#ifndef GENIE_SRC_NET_SACK_H_
+#define GENIE_SRC_NET_SACK_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace genie {
+
+// One SACK control cell. `cum` acknowledges every sequence number in
+// (cum - horizon, cum] cumulatively (the sender only ever has a bounded
+// window outstanding, so "everything <= cum" is interpreted over its live
+// entries). Bit i of `bitmap` acknowledges sequence number `base + i`.
+struct SackCell {
+  std::uint64_t cum = 0;     // cumulative ack (0 = nothing accepted yet)
+  std::uint64_t base = 0;    // first sequence number the bitmap addresses
+  std::uint64_t bitmap = 0;  // bit i set => base + i accepted (64 seqs/cell)
+};
+
+inline constexpr std::uint32_t kSackBitsPerCell = 64;
+
+// Encodes the receiver's dedup state — the cumulative ack plus the set of
+// accepted out-of-order sequence numbers above it — into the smallest train
+// of cells that mentions every member of `above`. An empty `above` yields a
+// single cell with an empty bitmap (pure cumulative ack). Members of
+// `above` at unsigned distance > 64 * 2^20 from cum+1 are clamped away (a
+// sane window never gets near that; the cap bounds a corrupted set).
+std::vector<SackCell> EncodeSack(std::uint64_t cum, const std::set<std::uint64_t>& above);
+
+// Appends every sequence number the cell's *bitmap* acknowledges to `out`
+// (the cumulative field is interpreted by the caller against its own live
+// window; bitmap bits are the selective part). Returns the count appended.
+std::size_t DecodeSackBitmap(const SackCell& cell, std::vector<std::uint64_t>* out);
+
+// True if `seq` is acknowledged by `cell`: covered cumulatively
+// (unsigned-distance test against `cum` with the given live horizon) or by a
+// bitmap bit. `horizon` is the sender's retry depth — how far below cum a
+// live entry can possibly be (window + pending retransmits).
+bool SackCovers(const SackCell& cell, std::uint64_t seq, std::uint64_t horizon);
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_NET_SACK_H_

@@ -23,17 +23,21 @@ bool IsWireSpan(const CausalEvent& e) {
 // Higher rank claims an instant covered by several spans. Retransmission
 // dominates (it is the cause of every overlap it appears in); real wire time
 // beats the sender-side waits that merely contain it; receiver dispose is
-// real work, so it beats the sender's concurrent ack wait; the umbrella
-// ".transmit" span and anything unrecognized rank lowest.
+// real work, so it beats the sender's concurrent ack wait; a window stall
+// (admission blocked behind other transfers' unacked frames) beats the ack
+// wait it overlaps, since the stall is the pipelining bottleneck; the
+// umbrella ".transmit" span and anything unrecognized rank lowest.
 int Rank(Stage stage) {
   switch (stage) {
     case Stage::kRetransmit:
-      return 8;
+      return 9;
     case Stage::kWire:
-      return 7;
+      return 8;
     case Stage::kCreditWait:
-      return 6;
+      return 7;
     case Stage::kDispose:
+      return 6;
+    case Stage::kWindowStall:
       return 5;
     case Stage::kAckWait:
       return 4;
@@ -71,6 +75,8 @@ std::string_view StageName(Stage stage) {
       return "retransmit";
     case Stage::kDispose:
       return "dispose";
+    case Stage::kWindowStall:
+      return "window_stall";
     case Stage::kOther:
       return "other";
   }
@@ -111,6 +117,8 @@ FlowBreakdown AttributeStages(const CausalGraph& graph) {
       stage = ++ack_wait_index == ack_waits ? Stage::kAckWait : Stage::kRetransmit;
     } else if (EndsWith(e.name, ".nack_delay")) {
       stage = Stage::kRetransmit;
+    } else if (EndsWith(e.name, ".window_stall")) {
+      stage = Stage::kWindowStall;
     } else if (EndsWith(e.name, ".dispose")) {
       stage = Stage::kDispose;
     } else if (EndsWith(e.name, ".prepare")) {

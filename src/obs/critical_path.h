@@ -2,7 +2,8 @@
 //
 // The analyzer decomposes a transfer's end-to-end simulated latency into the
 // stages of the buffering-semantics taxonomy: sender prepare, credit wait,
-// wire occupancy, receiver prepare, ack wait, retransmission, and dispose.
+// wire occupancy, receiver prepare, ack wait, retransmission, window stall,
+// and dispose.
 // Attribution is a deterministic priority sweep over the flow's time range:
 // at every instant the highest-priority overlapping span claims the time, and
 // instants not covered by any span fall into "other". The per-stage totals
@@ -37,9 +38,10 @@ enum class Stage : std::uint8_t {
   kRetransmit,       // loss recovery: extra wire spans, earlier ack waits,
                      // nack pauses
   kDispose,          // sender + receiver dispose
+  kWindowStall,      // admission blocked on a full selective-repeat window
   kOther,            // covered by no span (fixed hardware latencies, gaps)
 };
-inline constexpr std::size_t kStageCount = 8;
+inline constexpr std::size_t kStageCount = 9;
 
 std::string_view StageName(Stage stage);
 

@@ -740,5 +740,92 @@ TEST_F(AdapterTest, AbortCreditWaitBreaksCreditDeadlock) {
   EXPECT_FALSE(tx->AbortCreditWait(4, ctl));  // idempotent: waiter gone
 }
 
+TEST_F(AdapterTest, WideWindowDuplicateStillSuppressed) {
+  // Regression: the legacy dedup pruned its seen-set below max_seq - 128
+  // regardless of the configured window, so with a window wider than 128 a
+  // laggard retransmission of an old frame was re-delivered to the host.
+  // The windowed receiver keeps a cumulative mark instead: anything at or
+  // below it is recognized as a duplicate no matter how far the window has
+  // advanced.
+  Resource back(eng_, "back");
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+  rx->ConnectTo(tx.get(), &back);
+  tx->set_arq_window(256);
+  rx->set_arq_window(256);
+
+  const IoVec src = MakeBuffer(kPage, 7);
+  const IoVec dst = MakeBuffer(kPage, 0);
+  int completions = 0;
+  auto note = [&](const RxCompletion&) { ++completions; };
+  // Advance the receive window far past the legacy 128-deep prune horizon.
+  constexpr std::uint64_t kFrames = 200;
+  for (std::uint64_t seq = 1; seq <= kFrames; ++seq) {
+    rx->PostReceive(3, Adapter::PostedReceive{dst, note});
+    auto ctl = std::make_shared<TxControl>();
+    ctl->seq = seq;
+    std::move(tx->TransmitFrame(3, src, 0, 0, ctl)).Detach();
+    eng_.Run();
+  }
+  EXPECT_EQ(completions, static_cast<int>(kFrames));
+  EXPECT_EQ(rx->rx_duplicate_frames(), 0u);
+
+  // A very late retransmission of seq 1 (as after a lost ack plus maximal
+  // backoff) must be suppressed, not delivered into the posted buffer.
+  rx->PostReceive(3, Adapter::PostedReceive{dst, note});
+  auto replay = std::make_shared<TxControl>();
+  replay->seq = 1;
+  replay->skip_credit = true;
+  std::move(tx->TransmitFrame(3, src, 0, 0, replay)).Detach();
+  eng_.Run();
+  EXPECT_EQ(completions, static_cast<int>(kFrames));  // no re-delivery
+  EXPECT_EQ(rx->rx_duplicate_frames(), 1u);
+  EXPECT_EQ(rx->posted_receives(3), 1u);  // buffer not consumed
+}
+
+TEST_F(AdapterTest, WindowedReceiverBatchesSackAcks) {
+  // With a window configured, per-frame ack cells are replaced by batched
+  // SACK trains: frames accepted within one control-cell latency of each
+  // other share a single flush.
+  Resource back(eng_, "back");
+  auto tx = MakeTx();
+  auto rx = MakeRx(InputBuffering::kEarlyDemux);
+  tx->ConnectTo(rx.get(), &link_);
+  rx->ConnectTo(tx.get(), &back);
+  tx->set_arq_window(8);
+  rx->set_arq_window(8);
+
+  std::vector<SackCell> last_train;
+  int trains = 0;
+  tx->set_sack_handler([&](std::uint64_t channel, std::vector<SackCell> cells) {
+    EXPECT_EQ(channel, 2u);
+    last_train = std::move(cells);
+    ++trains;
+  });
+
+  // Frames short enough that several clear the wire within one control-cell
+  // latency (5 us ~ 83 wire-bytes at OC-3): they must share a flush.
+  const IoVec src = MakeBuffer(64, 5);
+  const IoVec dst = MakeBuffer(64, 0);
+  for (int i = 0; i < 4; ++i) {
+    rx->PostReceive(2, Adapter::PostedReceive{dst, nullptr});
+  }
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    auto ctl = std::make_shared<TxControl>();
+    ctl->seq = seq;
+    std::move(tx->TransmitFrame(2, src, 0, 0, ctl)).Detach();
+  }
+  eng_.Run();
+  // Four frames, but far fewer flushes than frames (back-to-back arrivals
+  // accumulate under the armed flush); the final train covers all of them.
+  EXPECT_EQ(rx->frames_received(), 4u);
+  EXPECT_GE(trains, 1);
+  EXPECT_LT(trains, 4);
+  EXPECT_EQ(rx->sack_flushes(), static_cast<std::uint64_t>(trains));
+  ASSERT_FALSE(last_train.empty());
+  EXPECT_EQ(last_train.back().cum, 4u);
+}
+
 }  // namespace
 }  // namespace genie

@@ -1,0 +1,112 @@
+// SACK codec edge cases: wraparound, full window, empty bitmap, and bitmaps
+// wider than one control cell.
+#include "src/net/sack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace genie {
+namespace {
+
+std::vector<std::uint64_t> BitmapSeqs(const std::vector<SackCell>& cells) {
+  std::vector<std::uint64_t> seqs;
+  for (const auto& c : cells) DecodeSackBitmap(c, &seqs);
+  return seqs;
+}
+
+TEST(SackCodec, EmptyBitmapIsPureCumulativeAck) {
+  auto cells = EncodeSack(/*cum=*/42, {});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].cum, 42u);
+  EXPECT_EQ(cells[0].bitmap, 0u);
+  EXPECT_TRUE(BitmapSeqs(cells).empty());
+  // Cumulative coverage: everything within the horizon below cum.
+  EXPECT_TRUE(SackCovers(cells[0], 42, /*horizon=*/64));
+  EXPECT_TRUE(SackCovers(cells[0], 40, 64));
+  EXPECT_FALSE(SackCovers(cells[0], 43, 64));
+}
+
+TEST(SackCodec, SingleOutOfOrderSeq) {
+  auto cells = EncodeSack(10, {13});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].cum, 10u);
+  EXPECT_EQ(cells[0].base, 13u);
+  EXPECT_EQ(cells[0].bitmap, 1u);
+  EXPECT_TRUE(SackCovers(cells[0], 13, 64));
+  EXPECT_FALSE(SackCovers(cells[0], 12, 1));  // gap: not cum, not bitmap
+  EXPECT_FALSE(SackCovers(cells[0], 14, 64));
+}
+
+TEST(SackCodec, FullWindowFitsOneCell) {
+  // A dense run of 64 out-of-order seqs packs into exactly one cell with a
+  // saturated bitmap.
+  std::set<std::uint64_t> above;
+  for (std::uint64_t s = 101; s <= 164; ++s) above.insert(s);
+  auto cells = EncodeSack(99, above);  // gap at 100 keeps them all "above"
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].base, 101u);
+  EXPECT_EQ(cells[0].bitmap, ~0ull);
+  auto seqs = BitmapSeqs(cells);
+  ASSERT_EQ(seqs.size(), 64u);
+  EXPECT_EQ(seqs.front(), 101u);
+  EXPECT_EQ(seqs.back(), 164u);
+}
+
+TEST(SackCodec, BitmapWiderThanOneCellSplitsIntoTrain) {
+  // 130 contiguous seqs above the gap need ceil(130/64) = 3 cells, each
+  // repeating the cumulative field so any single cell is self-contained.
+  std::set<std::uint64_t> above;
+  for (std::uint64_t s = 1001; s <= 1130; ++s) above.insert(s);
+  auto cells = EncodeSack(999, above);
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& c : cells) EXPECT_EQ(c.cum, 999u);
+  EXPECT_EQ(cells[0].base, 1001u);
+  EXPECT_EQ(cells[1].base, 1065u);
+  EXPECT_EQ(cells[2].base, 1129u);
+  auto seqs = BitmapSeqs(cells);
+  ASSERT_EQ(seqs.size(), 130u);
+  EXPECT_EQ(seqs.front(), 1001u);
+  EXPECT_EQ(seqs.back(), 1130u);
+  // Sparse members land in the right cells too.
+  auto sparse = EncodeSack(0, {5, 70, 200});
+  ASSERT_EQ(sparse.size(), 3u);
+  EXPECT_EQ(BitmapSeqs(sparse), (std::vector<std::uint64_t>{5, 70, 200}));
+}
+
+TEST(SackCodec, SequenceWraparound) {
+  // Receiver state straddling 2^64: cum just below the wrap, out-of-order
+  // members on both sides. Distance arithmetic must keep the train monotone
+  // and coverage correct.
+  const std::uint64_t near_max = ~0ull - 2;  // 2^64 - 3
+  std::set<std::uint64_t> above = {near_max + 2, 1, 3};  // wraps to {0xFFFF..FF, 1, 3}
+  auto cells = EncodeSack(near_max, above);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].base, near_max + 2);
+  auto seqs = BitmapSeqs(cells);
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs[0], near_max + 2);
+  EXPECT_EQ(seqs[1], 1u);
+  EXPECT_EQ(seqs[2], 3u);
+  EXPECT_TRUE(SackCovers(cells[0], near_max + 2, 64));
+  EXPECT_TRUE(SackCovers(cells[0], 1, 64));
+  EXPECT_FALSE(SackCovers(cells[0], 2, 64));
+  // Cumulative coverage across the wrap: seq just below cum.
+  EXPECT_TRUE(SackCovers(cells[0], near_max - 1, 64));
+  EXPECT_FALSE(SackCovers(cells[0], near_max + 1, 64));  // the gap itself
+}
+
+TEST(SackCodec, CoverageHorizonBoundsCumulative) {
+  SackCell c;
+  c.cum = 1000;
+  c.base = 1001;
+  c.bitmap = 0;
+  EXPECT_TRUE(SackCovers(c, 1000, /*horizon=*/4));
+  EXPECT_TRUE(SackCovers(c, 997, 4));
+  EXPECT_FALSE(SackCovers(c, 996, 4));  // below the live horizon
+}
+
+}  // namespace
+}  // namespace genie

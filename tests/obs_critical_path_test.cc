@@ -183,6 +183,136 @@ TEST(CriticalPathTest, CausalGraphJoinsReceiverPrepareByLabel) {
   EXPECT_EQ(graph.makespan(), run.flows[0].makespan);
 }
 
+// Windowed-mode scenario: `kBurst` concurrent copy-semantics transfers on
+// one channel under a selective-repeat window. With `lossy`, one single-shot
+// link-drop rule swallows the second wire frame, forcing exactly one timeout
+// retransmission in the burst.
+constexpr int kBurst = 4;
+
+ScenarioResult RunWindowedScenario(std::uint32_t window, bool lossy) {
+  TraceLog trace;
+  Rig rig;
+  rig.sender.set_trace(&trace);
+  rig.receiver.set_trace(&trace);
+  ReliableOptions opts;
+  opts.arq = true;
+  opts.window = window;
+  opts.initial_timeout = 1 * kMillisecond;
+  opts.jitter_frac = 0.0;
+  rig.sender.EnableReliableDelivery(opts);
+  rig.receiver.EnableReliableDelivery(opts);
+
+  FaultPlan plan(1);
+  if (lossy) {
+    rig.sender.AttachFaultPlan(&plan);
+    FaultRule rule;
+    rule.site = FaultSite::kLinkDrop;
+    rule.nth = 2;
+    rule.max_fires = 1;
+    plan.AddRule(rule);
+  }
+
+  std::vector<InputResult> results(kBurst);
+  auto input_driver = [](Endpoint& ep, AddressSpace& app, Vaddr va, std::uint64_t n,
+                         InputResult* out) -> Task<void> {
+    *out = co_await ep.Input(app, va, n, Semantics::kCopy);
+  };
+  for (int i = 0; i < kBurst; ++i) {
+    const Vaddr src = kSrcBase + static_cast<Vaddr>(i) * 8 * kPage;
+    const Vaddr dst = kDstBase + static_cast<Vaddr>(i) * 8 * kPage;
+    rig.tx_app.CreateRegion(src, 8 * kPage);
+    rig.rx_app.CreateRegion(dst, 8 * kPage);
+    GENIE_CHECK(rig.tx_app.Write(src, TestPattern(kLen, static_cast<unsigned char>(i + 1))) ==
+                AccessResult::kOk);
+    std::move(input_driver(rig.rx_ep, rig.rx_app, dst, kLen, &results[i])).Detach();
+    std::move(rig.tx_ep.Output(rig.tx_app, src, kLen, Semantics::kCopy)).Detach();
+  }
+  rig.engine.Run();
+  for (int i = 0; i < kBurst; ++i) {
+    GENIE_CHECK(results[i].ok) << "windowed transfer " << i;
+  }
+  if (lossy) {
+    rig.sender.AttachFaultPlan(nullptr);
+  }
+  rig.sender.set_trace(nullptr);
+  rig.receiver.set_trace(nullptr);
+
+  ScenarioResult out;
+  out.flows = AnalyzeTrace(trace);
+  std::ostringstream js;
+  WriteBreakdownJson(js, out.flows);
+  out.json = js.str();
+  std::ostringstream tb;
+  WriteBreakdownTable(tb, out.flows);
+  out.table = tb.str();
+  return out;
+}
+
+TEST(CriticalPathTest, WindowedStageTotalsSumExactlyToMakespan) {
+  // The partition property holds under pipelined acks, SACK trains, window
+  // stalls, and per-entry retransmissions just as under stop-and-wait.
+  for (const bool lossy : {false, true}) {
+    for (const std::uint32_t window : {2u, 8u}) {
+      const ScenarioResult run = RunWindowedScenario(window, lossy);
+      ASSERT_EQ(run.flows.size(), static_cast<std::size_t>(kBurst));
+      for (const FlowBreakdown& f : run.flows) {
+        SimTime total = 0;
+        for (const SimTime ns : f.stage_ns) {
+          total += ns;
+        }
+        EXPECT_EQ(total, f.makespan)
+            << "flow " << f.flow << " window " << window << (lossy ? " lossy" : "");
+        EXPECT_GT(f.makespan, 0);
+      }
+    }
+  }
+}
+
+TEST(CriticalPathTest, WindowedJsonIsByteIdenticalAcrossRuns) {
+  const ScenarioResult a = RunWindowedScenario(8, true);
+  const ScenarioResult b = RunWindowedScenario(8, true);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_FALSE(a.json.empty());
+  EXPECT_NE(a.json.find("\"window_stall\""), std::string::npos);
+}
+
+TEST(CriticalPathTest, WindowStallChargedWhenWindowSaturates) {
+  // A window of 2 cannot admit a burst of 4 at once: later transfers park in
+  // admission and their stall time is attributed to window_stall. A window
+  // wide enough for the whole burst never stalls.
+  const ScenarioResult narrow = RunWindowedScenario(2, false);
+  SimTime stalled = 0;
+  for (const FlowBreakdown& f : narrow.flows) {
+    stalled += f.stage(Stage::kWindowStall);
+    EXPECT_EQ(f.stage(Stage::kRetransmit), 0) << f.flow;
+  }
+  EXPECT_GT(stalled, 0);
+
+  const ScenarioResult wide = RunWindowedScenario(8, false);
+  for (const FlowBreakdown& f : wide.flows) {
+    EXPECT_EQ(f.stage(Stage::kWindowStall), 0) << f.flow;
+    EXPECT_EQ(f.stage(Stage::kRetransmit), 0) << f.flow;
+  }
+}
+
+TEST(CriticalPathTest, WindowedRetransmissionChargesToRetransmit) {
+  // One frame of the burst is dropped once: exactly one flow pays a timeout
+  // retransmission, charged to "retransmit"; ack pipelining keeps every
+  // other flow's breakdown free of it.
+  const ScenarioResult lossy = RunWindowedScenario(8, true);
+  int flows_with_retransmit = 0;
+  for (const FlowBreakdown& f : lossy.flows) {
+    if (f.stage(Stage::kRetransmit) > 0) {
+      ++flows_with_retransmit;
+      // The retransmitted flow's recovery dominates its makespan: the 1 ms
+      // timeout dwarfs the clean path.
+      EXPECT_GT(f.stage(Stage::kRetransmit), f.stage(Stage::kWire));
+    }
+    EXPECT_GT(f.stage(Stage::kWire), 0) << f.flow;
+  }
+  EXPECT_EQ(flows_with_retransmit, 1);
+}
+
 TEST(CriticalPathTest, BreakdownTableGroupsBySemantics) {
   const ScenarioResult run = RunScenario(false);
   // One row per semantics plus a header naming every stage column.

@@ -8,6 +8,9 @@
 //
 // Replay one seed with
 //   GENIE_RELIABLE_SEED=<seed> ./reliable_stress_test
+// Run the sweep under a selective-repeat window (both peers) with
+//   GENIE_RELIABLE_WINDOW=<w> ./reliable_stress_test   (default 1, stop-and-wait)
+#include <array>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -82,9 +85,26 @@ FaultRule RandomRule(SplitMix64& rng) {
   return rule;
 }
 
+// Selective-repeat window applied to every rig in this binary; CI runs the
+// sweep at {1, 16} so both the stop-and-wait degenerate case and a deep
+// pipeline face the same fault schedules.
+std::uint32_t StressWindow() {
+  static const std::uint32_t window = [] {
+    if (const char* env = std::getenv("GENIE_RELIABLE_WINDOW"); env != nullptr) {
+      const unsigned long v = std::strtoul(env, nullptr, 0);
+      if (v > 0) {
+        return static_cast<std::uint32_t>(v);
+      }
+    }
+    return 1u;
+  }();
+  return window;
+}
+
 ReliableOptions StressReliableOptions(std::uint64_t seed) {
   ReliableOptions opts;
   opts.arq = true;
+  opts.window = StressWindow();
   opts.seed = seed ^ 0xa5c3a5c3a5c3a5c3ULL;
   // Generous relative to the worst-case backoff ladder (~160 ms with the
   // defaults): the watchdog must only catch genuinely stuck transfers, never
@@ -297,9 +317,9 @@ TEST(ReliableStressTest, SeededFaultSweepsDeliverExactlyOnce) {
     total_skipped += out.skipped_fills + out.skipped_verifies;
   }
   std::printf(
-      "[reliable-stress] seeds=%d ok=%d failed=%d skipped=%d injected=%llu "
+      "[reliable-stress] window=%u seeds=%d ok=%d failed=%d skipped=%d injected=%llu "
       "retransmits=%llu fallbacks=%llu dups_suppressed=%llu watchdog_cancels=%llu\n",
-      count, total_ok, total_failed, total_skipped,
+      StressWindow(), count, total_ok, total_failed, total_skipped,
       static_cast<unsigned long long>(total_injected),
       static_cast<unsigned long long>(total_retransmits),
       static_cast<unsigned long long>(total_fallbacks),
@@ -412,11 +432,115 @@ TEST(ReliableStressTest, TenPercentLossDeliversEveryTransfer) {
                 rig.sender.adapter().rx_duplicate_frames(),
             0u);
   std::printf(
-      "[reliable-stress] 10%%-loss soak: %d transfers, %llu drops, %llu retransmits, "
-      "%llu dups suppressed\n",
-      kTransfers,
+      "[reliable-stress] 10%%-loss soak: window=%u, %d transfers, %llu drops, "
+      "%llu retransmits, %llu dups suppressed\n",
+      StressWindow(), kTransfers,
       static_cast<unsigned long long>(rig.sender.adapter().link_frames_dropped()),
       static_cast<unsigned long long>(snap.Value("reliable.retransmits")),
+      static_cast<unsigned long long>(rig.receiver.adapter().rx_duplicate_frames()));
+}
+
+// Pipelined soak: bursts of concurrent transfers share one deep
+// selective-repeat window (16) over a 10%-loss + 5%-duplicate wire. This is
+// the configuration where admission stalls, out-of-order SACK holes, and
+// per-entry retransmit timers all interleave; every transfer must still land
+// exactly once with golden bytes and zero giveups. Runs at window 16
+// regardless of GENIE_RELIABLE_WINDOW so the deep pipeline is always covered.
+TEST(ReliableStressTest, WindowedLossSoakPipelinesConcurrentBursts) {
+  constexpr int kRounds = 6;
+  constexpr int kBurst = 4;
+  SplitMix64 rng(0x51d0);
+
+  GenieOptions options;
+  options.enable_semantics_fallback = true;
+  FaultRig rig(/*seed=*/0x16161616, InputBuffering::kEarlyDemux, options,
+               /*mem_frames=*/384);
+  ReliableOptions tx_opts = StressReliableOptions(0x16161616);
+  tx_opts.window = 16;
+  ReliableOptions rx_opts = StressReliableOptions(0x16161617);
+  rx_opts.window = 16;
+  rig.sender.EnableReliableDelivery(tx_opts);
+  rig.receiver.EnableReliableDelivery(rx_opts);
+
+  FaultRule drop;
+  drop.site = FaultSite::kLinkDrop;
+  drop.probability = 0.10;
+  rig.plan.AddRule(drop);
+  FaultRule dup;
+  dup.site = FaultSite::kLinkDuplicate;
+  dup.probability = 0.05;
+  rig.plan.AddRule(dup);
+
+  auto input_driver = [](Endpoint& ep, AddressSpace& app, Vaddr va, std::uint64_t n,
+                         Semantics s, InputResult* res, bool* flag) -> Task<void> {
+    *res = co_await ep.Input(app, va, n, s);
+    *flag = true;
+  };
+  for (int round = 0; round < kRounds; ++round) {
+    std::array<InputResult, kBurst> results;
+    std::array<bool, kBurst> done{};
+    std::array<std::vector<std::byte>, kBurst> payloads;
+    std::array<std::uint64_t, kBurst> lens;
+    // One length per round: posted receives are a FIFO mailbox, so with a
+    // deep window reordering arrivals across transfers, a datagram can land
+    // in any concurrently-posted buffer — the buffers must all fit it.
+    const std::uint64_t round_len = 1 + rng.Below(3 * kPage);
+    for (int i = 0; i < kBurst; ++i) {
+      const int t = round * kBurst + i;
+      const std::uint64_t len = round_len;
+      const Vaddr src_region = kSrcBase + static_cast<Vaddr>(t) * 8 * kPage;
+      const Vaddr dst_region = kDstBase + static_cast<Vaddr>(t) * 8 * kPage;
+      rig.tx_app.CreateRegion(src_region, 8 * kPage, RegionState::kUnmovable);
+      rig.rx_app.CreateRegion(dst_region, 8 * kPage);
+      payloads[i] = TestPattern(static_cast<std::size_t>(len),
+                                static_cast<unsigned char>(17 + t));
+      lens[i] = len;
+      ASSERT_EQ(rig.tx_app.Write(src_region, payloads[i]), AccessResult::kOk);
+      std::move(input_driver(rig.rx_ep, rig.rx_app, dst_region, len, Semantics::kCopy,
+                             &results[i], &done[i]))
+          .Detach();
+      std::move(rig.tx_ep.Output(rig.tx_app, src_region, len, Semantics::kCopy)).Detach();
+    }
+    rig.engine.Run();
+    // Posted inputs are a shared mailbox: with a deep window reordering
+    // retransmitted datagrams across transfers, the i-th input may complete
+    // with the j-th payload. Exactly-once delivery means the multiset of
+    // delivered payloads equals the multiset sent — each golden payload is
+    // claimed by exactly one completion.
+    std::array<bool, kBurst> claimed{};
+    for (int i = 0; i < kBurst; ++i) {
+      const int t = round * kBurst + i;
+      ASSERT_TRUE(done[i]) << "transfer " << t << " stuck in windowed burst";
+      ASSERT_TRUE(results[i].ok) << "transfer " << t << " failed in windowed burst";
+      const auto got = rig.TryReadBack(results[i].addr, results[i].bytes);
+      ASSERT_TRUE(got.has_value());
+      bool matched = false;
+      for (int j = 0; j < kBurst; ++j) {
+        if (claimed[j] || lens[j] != results[i].bytes) {
+          continue;
+        }
+        if (std::memcmp(got->data(), payloads[j].data(),
+                        static_cast<std::size_t>(lens[j])) == 0) {
+          claimed[j] = true;
+          matched = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(matched) << "transfer " << t
+                           << ": delivered bytes match no outstanding payload";
+    }
+  }
+  rig.ExpectQuiescent();
+  const InvariantReport final_report = rig.CheckInvariants(/*expect_quiescent=*/true);
+  EXPECT_TRUE(final_report.violations.empty());
+
+  const MetricsSnapshot snap = rig.sender.metrics().Snapshot();
+  EXPECT_GT(snap.Value("reliable.retransmits"), 0u);
+  EXPECT_EQ(snap.Value("reliable.giveups"), 0u);
+  std::printf(
+      "[reliable-stress] windowed burst soak: window=16, %d transfers, "
+      "%llu retransmits, %llu dups suppressed\n",
+      kRounds * kBurst, static_cast<unsigned long long>(snap.Value("reliable.retransmits")),
       static_cast<unsigned long long>(rig.receiver.adapter().rx_duplicate_frames()));
 }
 
