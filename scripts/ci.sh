@@ -45,7 +45,7 @@ fi
 # trace pipeline's gate: run it by name so a filter change can never silently
 # deselect it.
 build/tests/obs_critical_path_test \
-  --gtest_filter='CriticalPathTest.AnalyzerJsonIsByteIdenticalAcrossRuns'
+  --gtest_filter='CriticalPathTest.AnalyzerJsonIsByteIdenticalAcrossRuns:CriticalPathTest.FabricJsonIsByteIdenticalAcrossRuns'
 
 echo "=== tier-1: ASan+UBSan build ==="
 cmake -B build-asan -S . -DGENIE_ASAN=ON >/dev/null
@@ -58,7 +58,7 @@ cmake --build build-asan -j "$JOBS"
 # its deterministic layers already ran in the optimized leg.
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -LE bench
 ASAN_OPTIONS=detect_leaks=0 build-asan/tests/obs_critical_path_test \
-  --gtest_filter='CriticalPathTest.AnalyzerJsonIsByteIdenticalAcrossRuns'
+  --gtest_filter='CriticalPathTest.AnalyzerJsonIsByteIdenticalAcrossRuns:CriticalPathTest.FabricJsonIsByteIdenticalAcrossRuns'
 
 echo "=== tier-1: fault-stress replay (ASan) ==="
 # Third leg: the fault-injection stress harness under ASan. Three pinned
@@ -117,6 +117,39 @@ for window in 1 16; do
       ASAN_OPTIONS=detect_leaks=0 \
       timeout "$STRESS_BUDGET" "$RELIABLE_BIN" "$RELIABLE_FILTER"; then
     echo "NON-FATAL: entropy seed $ENTROPY_SEED (window=$window) failed the reliable-stress harness — file for triage."
+    print_flight_dumps
+  fi
+done
+
+echo "=== tier-1: multi-tenant fabric soak (-O2 + ASan, stop-and-wait and windowed) ==="
+# Fifth leg: the switched-fabric workload soak — mixed closed/open-loop
+# tenants over a lossy star/dumbbell fabric with ARQ, golden payloads, and
+# quiescent VM invariants. Three pinned seeds gate each (build, window)
+# combination; replay any failure with GENIE_FABRIC_SEED=<seed>. One entropy
+# seed per window widens coverage under ASan without gating.
+FABRIC_FILTER='--gtest_filter=FabricStressTest.LossySoakDeliversExactlyOnceAcrossSeeds'
+for build_dir in build build-asan; do
+  for window in 1 16; do
+    FABRIC_BIN=$build_dir/tests/fabric_stress_test
+    for seed in 9004 9087 9153; do
+      echo "fabric-stress $build_dir window=$window fixed seed $seed"
+      if ! GENIE_FABRIC_SEED=$seed GENIE_RELIABLE_WINDOW=$window \
+          ASAN_OPTIONS=detect_leaks=0 \
+          timeout "$STRESS_BUDGET" "$FABRIC_BIN" "$FABRIC_FILTER"; then
+        print_flight_dumps
+        exit 1
+      fi
+    done
+  done
+done
+FABRIC_BIN=build-asan/tests/fabric_stress_test
+for window in 1 16; do
+  ENTROPY_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+  echo "fabric-stress entropy seed $ENTROPY_SEED window=$window (replay: GENIE_FABRIC_SEED=$ENTROPY_SEED GENIE_RELIABLE_WINDOW=$window $FABRIC_BIN $FABRIC_FILTER)"
+  if ! GENIE_FABRIC_SEED=$ENTROPY_SEED GENIE_RELIABLE_WINDOW=$window \
+      ASAN_OPTIONS=detect_leaks=0 \
+      timeout "$STRESS_BUDGET" "$FABRIC_BIN" "$FABRIC_FILTER"; then
+    echo "NON-FATAL: entropy seed $ENTROPY_SEED (window=$window) failed the fabric soak — file for triage."
     print_flight_dumps
   fi
 done

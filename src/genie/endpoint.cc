@@ -97,7 +97,9 @@ Endpoint::Endpoint(Node& node, std::uint64_t channel, GenieOptions options)
       options_(options),
       metric_prefix_("ep" + std::to_string(channel) + "."),
       cq_ready_(node.engine()) {
-  RegisterMetrics();
+  if (options_.register_metrics) {
+    RegisterMetrics();
+  }
   switch (node_->adapter().rx_buffering()) {
     case InputBuffering::kPooled:
       node_->RegisterPooledHandler(channel_,
@@ -116,9 +118,23 @@ Endpoint::~Endpoint() {
   while (!named_buffers_.empty()) {
     UnregisterNamedBuffer(named_buffers_.begin()->first);
   }
-  // The node (and its registry) outlives the endpoint, but gauges capture
-  // `this` — drop them so a later snapshot cannot read freed memory.
-  node_->metrics().UnregisterByPrefix(metric_prefix_);
+  // The node outlives the endpoint, but the fan-out handlers and gauges
+  // capture `this` — drop every registration so a frame arriving later or a
+  // metrics snapshot cannot call into freed memory, and so creating and
+  // destroying endpoints in bulk leaves the node's tables empty.
+  switch (node_->adapter().rx_buffering()) {
+    case InputBuffering::kPooled:
+      node_->UnregisterPooledHandler(channel_);
+      break;
+    case InputBuffering::kOutboard:
+      node_->UnregisterOutboardHandler(channel_);
+      break;
+    case InputBuffering::kEarlyDemux:
+      break;
+  }
+  if (options_.register_metrics) {
+    node_->metrics().UnregisterByPrefix(metric_prefix_);
+  }
 }
 
 void Endpoint::RegisterMetrics() {
@@ -167,9 +183,13 @@ std::string Endpoint::XferLabel(const char* direction, Semantics sem) {
 std::string Endpoint::XferTrack() const { return node_->name() + ".xfer"; }
 
 void Endpoint::RecordInputComplete(PendingInput& pi) {
-  node_->metrics()
-      .Histogram(metric_prefix_ + "input_latency_us")
-      .Add(SimTimeToMicros(node_->engine().now() - pi.started_at));
+  const double us = SimTimeToMicros(node_->engine().now() - pi.started_at);
+  if (options_.register_metrics) {
+    node_->metrics().Histogram(metric_prefix_ + "input_latency_us").Add(us);
+  }
+  if (input_latency_probe_) {
+    input_latency_probe_(us);
+  }
 }
 
 Delay Endpoint::Charge(OpKind op, std::uint64_t bytes) {

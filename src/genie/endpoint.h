@@ -127,6 +127,14 @@ class Endpoint {
   const Stats& stats() const { return stats_; }
   void set_op_probe(OpProbe probe) { op_probe_ = std::move(probe); }
 
+  // Per-completed-input latency hook (microseconds). Fires in addition to
+  // the registry histogram, and is the only latency sink when the endpoint
+  // runs with options.register_metrics = false (bulk workload harnesses
+  // roll latencies up per tenant class instead of per channel).
+  void set_input_latency_probe(std::function<void(double)> probe) {
+    input_latency_probe_ = std::move(probe);
+  }
+
   // Deterministic per-operation accounting: how many times each primitive
   // ran on this endpoint and over how many bytes. Bit-stable across runs —
   // the bench-regression gate exact-matches these through the node's
@@ -380,6 +388,7 @@ class Endpoint {
   std::string metric_prefix_;  // "ep<channel>."
   std::uint64_t next_transfer_id_ = 1;
   OpProbe op_probe_;
+  std::function<void(double)> input_latency_probe_;
   bool corrupt_next_checksum_ = false;
   std::size_t pending_ = 0;
   std::deque<std::shared_ptr<PendingInput>> pending_pooled_;

@@ -58,6 +58,13 @@ class Node {
   void RegisterPooledHandler(std::uint64_t channel, std::function<void(PooledFrame)> handler);
   void RegisterOutboardHandler(std::uint64_t channel,
                                std::function<void(OutboardFrame)> handler);
+  // Endpoint teardown: drops a channel's fan-out entry so the `this`-
+  // capturing handler cannot outlive its endpoint. Registering and then
+  // destroying endpoints in bulk leaves the tables empty.
+  void UnregisterPooledHandler(std::uint64_t channel) { pooled_handlers_.erase(channel); }
+  void UnregisterOutboardHandler(std::uint64_t channel) { outboard_handlers_.erase(channel); }
+  std::size_t pooled_handler_count() const { return pooled_handlers_.size(); }
+  std::size_t outboard_handler_count() const { return outboard_handlers_.size(); }
 
   // Cost of `op` over `bytes` on this machine, as simulated time.
   SimTime Cost(OpKind op, std::uint64_t bytes) const { return cost_.Cost(op, bytes); }

@@ -64,6 +64,13 @@ struct GenieOptions {
   // Submit() refuses entries beyond this depth until a drain makes room.
   std::size_t ring_depth = 64;
 
+  // Register the endpoint's ~40 per-channel stat gauges and its input
+  // latency histogram with the node's metrics registry. On by default; bulk
+  // harnesses creating thousands of endpoints (the fabric workload
+  // generator) turn it off and keep their own per-class roll-ups —
+  // Endpoint::stats() stays authoritative either way.
+  bool register_metrics = true;
+
   // Graceful semantics degradation: when a prepare step cannot honor the
   // requested semantics (TCOW sysbuf allocation fails, aligned input pool
   // exhausted, region wiring fails), retry the transfer along the fallback

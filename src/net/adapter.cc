@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/net/iovec_io.h"
+#include "src/net/switch_link.h"
 #include "src/util/check.h"
 
 namespace genie {
@@ -33,14 +34,47 @@ Adapter::Adapter(Engine& engine, PhysicalMemory& pm, const CostModel& cost, std:
 
 void Adapter::ConnectTo(Adapter* peer, Resource* link) {
   GENIE_CHECK(peer != nullptr && link != nullptr);
+  GENIE_CHECK(!fabric_connected()) << "adapter " << name_ << " already on a fabric";
   peer_ = peer;
   tx_link_ = link;
+}
+
+void Adapter::ConnectFabric(RouteFn route, ControlPeerFn control_peer) {
+  GENIE_CHECK(route != nullptr && control_peer != nullptr);
+  GENIE_CHECK(peer_ == nullptr) << "adapter " << name_ << " already wired point-to-point";
+  route_fn_ = std::move(route);
+  control_peer_fn_ = std::move(control_peer);
+}
+
+Task<void> Adapter::AcquirePath(const TxPath& path, std::uint64_t channel,
+                                std::uint64_t bytes) {
+  struct LinkAwaiter {
+    SwitchLink& link;
+    std::uint64_t channel;
+    std::uint64_t bytes;
+    bool await_ready() { return link.TryAcquire(channel, bytes); }
+    void await_suspend(std::coroutine_handle<> h) { link.Enqueue(channel, bytes, h); }
+    void await_resume() const noexcept {}
+  };
+  for (int i = 0; i < path.nlinks; ++i) {
+    co_await LinkAwaiter{*path.links[i], channel, bytes};
+  }
+}
+
+void Adapter::ReleasePath(const TxPath& path) {
+  for (int i = path.nlinks; i-- > 0;) {
+    path.links[i]->Release();
+  }
 }
 
 Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_t header,
                                   std::uint32_t tag, std::shared_ptr<TxControl> ctl,
                                   std::uint64_t flow) {
-  GENIE_CHECK(peer_ != nullptr) << "adapter " << name_ << " not connected";
+  GENIE_CHECK(peer_ != nullptr || fabric_connected()) << "adapter " << name_ << " not connected";
+  const TxPath* path = route_fn_ ? route_fn_(channel) : nullptr;
+  GENIE_CHECK(!fabric_connected() || path != nullptr)
+      << "adapter " << name_ << " has no fabric route for channel " << channel;
+  Adapter* const dst = path != nullptr ? path->dst : peer_;
   const std::uint64_t total = iov.total_bytes();
   GENIE_CHECK_GT(total, 0u);
   GENIE_CHECK_LE(total, kMaxAal5Payload);
@@ -59,9 +93,19 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
       co_return;  // Watchdog broke a credit deadlock; nothing went out.
     }
   }
-  // Hold the virtual circuit for the whole frame (AAL5 frames on one VC are
-  // not interleaved).
-  co_await tx_link_->Acquire();
+  // Hold the whole transmit path for the whole frame (AAL5 frames on one VC
+  // are not interleaved, and exclusive egress preserves the destination's
+  // one-frame-at-a-time receive invariant across N senders).
+  if (path != nullptr) {
+    const SimTime arb_start = engine_.now();
+    co_await AcquirePath(*path, channel, total);
+    if (trace_ != nullptr && engine_.now() > arb_start) {
+      // Only an arbitration wait that actually suspended gets a span.
+      trace_->Span(name_ + ".wire", "fabric_wait", "net", arb_start, engine_.now(), flow);
+    }
+  } else {
+    co_await tx_link_->Acquire();
+  }
   // Injected short transfer: the device stops after `arg` bytes (at least
   // one; default half the frame), as when cell loss truncates an AAL5 frame.
   // The CRC still passes — the transport checksum in `header`, when enabled,
@@ -97,10 +141,12 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
 
   const SimTime wire_start = engine_.now();
   if (deliver_now) {
-    peer_->BeginRxFrame(channel, header, tag, seq, flow);
+    dst->BeginRxFrame(channel, header, tag, seq, flow);
   }
   HeldFrame snapshot;
   if (need_snapshot) {
+    snapshot.dst = dst;
+    snapshot.path = path;
     snapshot.channel = channel;
     snapshot.header = header;
     snapshot.tag = tag;
@@ -128,7 +174,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
       snapshot.bytes.insert(snapshot.bytes.end(), chunk.data(), chunk.data() + n);
     }
     if (deliver_now) {
-      peer_->DeliverChunk(std::span<const std::byte>(chunk.data(), n), is_last);
+      dst->DeliverChunk(std::span<const std::byte>(chunk.data(), n), is_last);
     }
     sent += n;
   }
@@ -152,7 +198,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
   }
   snapshot.crc_ok = crc_ok;
   if (deliver_now) {
-    peer_->EndRxFrame(crc_ok);
+    dst->EndRxFrame(crc_ok);
   }
   if (link_drop) {
     ++link_frames_dropped_;
@@ -178,54 +224,83 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
                                                       : static_cast<SimTime>(reorder_delay_ns);
     engine_.ScheduleAfter(flush_delay, [this] { std::move(FlushHeldFrames()).Detach(); });
   } else {
-    // A younger frame just completed: any held frames now go out late,
-    // behind it — the reordering observable at the peer.
-    DeliverHeldFramesLocked();
+    // A younger frame just completed: any held frames for this destination
+    // now go out late, behind it — the reordering observable at the peer.
+    // (The held path/egress is exactly the one those frames recorded: held
+    // frames only ever target the destination whose path we hold now.)
+    DeliverHeldFramesLocked(dst);
   }
   if (trace_ != nullptr) {
     trace_->Span(name_ + ".wire", "frame " + std::to_string(total) + "B", "net", wire_start,
                  engine_.now(), flow);
   }
-  tx_link_->Release();
+  if (path != nullptr) {
+    ReleasePath(*path);
+  } else {
+    tx_link_->Release();
+  }
   ++frames_sent_;
 }
 
 void Adapter::DeliverSnapshot(const HeldFrame& frame) {
-  GENIE_CHECK(peer_ != nullptr);
-  peer_->BeginRxFrame(frame.channel, frame.header, frame.tag, frame.seq, frame.flow);
+  Adapter* const dst = frame.dst != nullptr ? frame.dst : peer_;
+  GENIE_CHECK(dst != nullptr);
+  dst->BeginRxFrame(frame.channel, frame.header, frame.tag, frame.seq, frame.flow);
   std::size_t done = 0;
   while (done < frame.bytes.size()) {
     const std::size_t n = std::min(config_.chunk_bytes, frame.bytes.size() - done);
     const bool is_last = done + n == frame.bytes.size();
-    peer_->DeliverChunk(std::span<const std::byte>(frame.bytes.data() + done, n), is_last);
+    dst->DeliverChunk(std::span<const std::byte>(frame.bytes.data() + done, n), is_last);
     done += n;
   }
-  peer_->EndRxFrame(frame.crc_ok);
+  dst->EndRxFrame(frame.crc_ok);
 }
 
-void Adapter::DeliverHeldFramesLocked() {
+void Adapter::DeliverHeldFramesLocked(Adapter* dst) {
+  // Only frames bound for `dst` may ride this grant: the caller holds that
+  // destination's egress, and delivering to any other adapter here would
+  // interleave with a frame it might be receiving. Other destinations' held
+  // frames wait for their own flush timer or a later same-destination frame.
+  std::deque<HeldFrame> keep;
   while (!held_.empty()) {
     HeldFrame frame = std::move(held_.front());
     held_.pop_front();
+    if ((frame.dst != nullptr ? frame.dst : peer_) != dst) {
+      keep.push_back(std::move(frame));
+      continue;
+    }
     if (trace_ != nullptr) {
       trace_->Instant(name_ + ".wire", "link_late_delivery seq " + std::to_string(frame.seq),
                       "net", engine_.now(), frame.flow);
     }
     DeliverSnapshot(frame);
   }
+  held_ = std::move(keep);
 }
 
 Task<void> Adapter::FlushHeldFrames() {
-  if (held_.empty()) {
-    co_return;  // Already flushed behind a younger frame.
+  while (!held_.empty()) {
+    // Each flush round acquires the front frame's own transmit path (held
+    // frames may target different destinations on a fabric) and drains every
+    // held frame sharing that destination. Legacy point-to-point wiring
+    // degenerates to the old behavior: one uncontended acquire, full drain.
+    const TxPath* const path = held_.front().path;
+    Adapter* const dst = held_.front().dst != nullptr ? held_.front().dst : peer_;
+    if (path != nullptr) {
+      co_await AcquirePath(*path, held_.front().channel, held_.front().bytes.size());
+      DeliverHeldFramesLocked(dst);
+      ReleasePath(*path);
+    } else {
+      co_await tx_link_->Acquire();
+      DeliverHeldFramesLocked(dst);
+      tx_link_->Release();
+    }
   }
-  co_await tx_link_->Acquire();
-  DeliverHeldFramesLocked();
-  tx_link_->Release();
 }
 
 void Adapter::SendAck(std::uint64_t channel, std::uint64_t seq, bool ok, std::uint64_t flow) {
-  if (peer_ == nullptr) {
+  Adapter* const peer = ControlPeer(channel);
+  if (peer == nullptr) {
     return;  // Unidirectional test wiring: no control-cell return path.
   }
   if (ok) {
@@ -238,7 +313,6 @@ void Adapter::SendAck(std::uint64_t channel, std::uint64_t seq, bool ok, std::ui
                         std::to_string(seq), "net", engine_.now(), flow);
   }
   // Acks ride the (lossless) control-cell path, like credits.
-  Adapter* peer = peer_;
   engine_.ScheduleAfter(config_.credit_latency,
                         [peer, channel, seq, ok] { peer->OnAckCell(channel, seq, ok); });
 }
@@ -250,7 +324,7 @@ void Adapter::OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok) {
 }
 
 void Adapter::ScheduleSackFlush(std::uint64_t channel) {
-  if (peer_ == nullptr) {
+  if (ControlPeer(channel) == nullptr) {
     return;  // Unidirectional test wiring: no control-cell return path.
   }
   bool& pending = sack_flush_pending_[channel];
@@ -266,7 +340,8 @@ void Adapter::ScheduleSackFlush(std::uint64_t channel) {
 
 void Adapter::FlushSack(std::uint64_t channel) {
   sack_flush_pending_[channel] = false;
-  if (peer_ == nullptr) {
+  Adapter* const peer = ControlPeer(channel);
+  if (peer == nullptr) {
     return;
   }
   auto it = rx_dedup_.find(channel);
@@ -284,7 +359,7 @@ void Adapter::FlushSack(std::uint64_t channel) {
                         std::to_string(cells.size()),
                     "net", engine_.now());
   }
-  peer_->OnSackCells(channel, std::move(cells));
+  peer->OnSackCells(channel, std::move(cells));
 }
 
 void Adapter::OnSackCells(std::uint64_t channel, std::vector<SackCell> cells) {
@@ -314,9 +389,9 @@ void Adapter::PostReceive(std::uint64_t channel, PostedReceive posted) {
   GENIE_CHECK(config_.rx_buffering == InputBuffering::kEarlyDemux)
       << "PostReceive requires early demultiplexing";
   posted_[channel].push_back(std::move(posted));
-  if (config_.flow_control && peer_ != nullptr) {
+  Adapter* const peer = ControlPeer(channel);
+  if (config_.flow_control && peer != nullptr) {
     // Return a credit to the sender after the control-cell latency.
-    Adapter* peer = peer_;
     engine_.ScheduleAfter(config_.credit_latency,
                           [peer, channel] { peer->GrantCredit(channel); });
   }

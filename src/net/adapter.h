@@ -16,6 +16,7 @@
 #ifndef GENIE_SRC_NET_ADAPTER_H_
 #define GENIE_SRC_NET_ADAPTER_H_
 
+#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -41,6 +42,22 @@
 #include "src/vm/io_vec.h"
 
 namespace genie {
+
+class Adapter;
+class SwitchLink;
+
+// A resolved transmit route through the switched fabric: the destination
+// adapter plus the ordered chain of arbitrated links (source uplink, an
+// optional dumbbell trunk, destination egress) a frame must hold while it
+// streams. Links are always acquired in array order and released in reverse;
+// the global order uplink < trunk < egress makes the hold-while-waiting
+// discipline deadlock-free. Owned by the Fabric's channel table — the
+// pointer stays valid until the channel is closed.
+struct TxPath {
+  Adapter* dst = nullptr;
+  std::array<SwitchLink*, 3> links{};
+  int nlinks = 0;
+};
 
 enum class InputBuffering : std::uint8_t {
   kEarlyDemux,
@@ -140,6 +157,18 @@ class Adapter {
   // Wires this adapter's transmit side to `peer`'s receive side over `link`
   // (a Resource modelling the ATM virtual circuit in this direction).
   void ConnectTo(Adapter* peer, Resource* link);
+
+  // --- Switched-fabric wiring (src/net/fabric.h) ---
+  // `route` resolves the transmit path for a channel (nullptr = unrouted,
+  // which aborts the transmit: frames on a fabric never guess their
+  // destination); `control_peer` resolves the adapter that acks, SACKs and
+  // credit cells for a channel return to (nullptr = no return path yet).
+  // Fabric wiring replaces the point-to-point peer/link pair; a fabric-
+  // attached adapter reaches a different destination per channel.
+  using RouteFn = std::function<const TxPath*(std::uint64_t channel)>;
+  using ControlPeerFn = std::function<Adapter*(std::uint64_t channel)>;
+  void ConnectFabric(RouteFn route, ControlPeerFn control_peer);
+  bool fabric_connected() const { return static_cast<bool>(route_fn_); }
 
   // Transmits one AAL5 frame gathering payload from `iov`. Completes when
   // the last byte has left the wire (transmit-complete interrupt time).
@@ -291,7 +320,10 @@ class Adapter {
   };
 
   // A frame captured byte-for-byte at its original DMA instants, awaiting a
-  // deferred (reordered) or repeated (duplicated) delivery.
+  // deferred (reordered) or repeated (duplicated) delivery. `dst`/`path`
+  // record the route resolved at capture time: a late delivery must reach
+  // the same destination over the same links (point-to-point frames carry
+  // path == nullptr and fall back to the peer/tx-link pair).
   struct HeldFrame {
     std::uint64_t channel = 0;
     std::uint32_t header = 0;
@@ -299,6 +331,8 @@ class Adapter {
     std::uint64_t seq = 0;
     std::uint64_t flow = 0;
     bool crc_ok = true;
+    Adapter* dst = nullptr;
+    const TxPath* path = nullptr;
     std::vector<std::byte> bytes;
   };
 
@@ -326,11 +360,27 @@ class Adapter {
   // trace instant so drops are visible in GENIE_TRACE output.
   void NoteDrop(const char* cause, std::uint64_t channel, std::uint64_t* cause_counter);
 
-  // Replays a held frame into the peer (zero additional wire time: the bytes
-  // were already clocked out once). Caller must hold the tx link.
+  // Replays a held frame into its destination (zero additional wire time:
+  // the bytes were already clocked out once). Caller must hold the frame's
+  // transmit path.
   void DeliverSnapshot(const HeldFrame& frame);
-  void DeliverHeldFramesLocked();
+  // Delivers every held frame bound for `dst` (whose path the caller holds),
+  // oldest first; frames for other destinations wait for their timer flush.
+  void DeliverHeldFramesLocked(Adapter* dst);
   Task<void> FlushHeldFrames();
+
+  // Fabric path acquisition: holds `path`'s links in array order (the
+  // deadlock-free global order), releases in reverse. `channel`/`bytes`
+  // feed the per-channel DRR arbiter at each hop.
+  Task<void> AcquirePath(const TxPath& path, std::uint64_t channel, std::uint64_t bytes);
+  void ReleasePath(const TxPath& path);
+
+  // The adapter acks / SACK trains / credit cells for `channel` return to.
+  // Point-to-point wiring: the single peer. Fabric wiring: the channel's
+  // routed source, resolved through the fabric's table.
+  Adapter* ControlPeer(std::uint64_t channel) const {
+    return control_peer_fn_ ? control_peer_fn_(channel) : peer_;
+  }
 
   // Schedules an ack (ok) / nack control cell back to the sending peer.
   void SendAck(std::uint64_t channel, std::uint64_t seq, bool ok, std::uint64_t flow);
@@ -381,6 +431,8 @@ class Adapter {
 
   Adapter* peer_ = nullptr;
   Resource* tx_link_ = nullptr;
+  RouteFn route_fn_;
+  ControlPeerFn control_peer_fn_;
   Resource* tx_cpu_ = nullptr;
   Resource* rx_cpu_ = nullptr;
   double driver_us_per_byte_ = 0.0;

@@ -1,0 +1,142 @@
+#include "src/net/fabric.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+Fabric::Fabric(Engine& engine, Config config) : engine_(&engine), config_(config) {
+  GENIE_CHECK_GT(config_.drr_quantum_bytes, 0u);
+  if (config_.topology == Topology::kDumbbell) {
+    trunks_[0] = std::make_unique<SwitchLink>(engine, "fabric.trunk.0to1",
+                                              config_.drr_quantum_bytes);
+    trunks_[1] = std::make_unique<SwitchLink>(engine, "fabric.trunk.1to0",
+                                              config_.drr_quantum_bytes);
+  }
+}
+
+void Fabric::Attach(Adapter& adapter, int side) {
+  GENIE_CHECK(side == 0 || side == 1) << "fabric side must be 0 or 1";
+  if (config_.topology == Topology::kStar) {
+    side = 0;
+  }
+  auto [it, inserted] = ports_.try_emplace(&adapter);
+  GENIE_CHECK(inserted) << "adapter " << adapter.name() << " already attached";
+  Port& port = it->second;
+  port.adapter = &adapter;
+  port.side = side;
+  port.up = std::make_unique<SwitchLink>(*engine_, "fabric." + adapter.name() + ".up",
+                                         config_.drr_quantum_bytes);
+  port.down = std::make_unique<SwitchLink>(*engine_, "fabric." + adapter.name() + ".down",
+                                           config_.drr_quantum_bytes);
+  adapter.ConnectFabric(
+      [this, self = &adapter](std::uint64_t ch) { return RouteFor(*self, ch); },
+      [this, self = &adapter](std::uint64_t ch) { return ControlPeerFor(*self, ch); });
+}
+
+TxPath Fabric::BuildPath(const Port& src, const Port& dst) {
+  TxPath path;
+  path.dst = dst.adapter;
+  path.links[path.nlinks++] = src.up.get();
+  if (config_.topology == Topology::kDumbbell && src.side != dst.side) {
+    path.links[path.nlinks++] = trunks_[src.side].get();
+  }
+  path.links[path.nlinks++] = dst.down.get();
+  return path;
+}
+
+void Fabric::OpenChannel(std::uint64_t ch, Adapter& a, Adapter& b) {
+  GENIE_CHECK(&a != &b) << "channel " << ch << " must join two distinct adapters";
+  Port& pa = PortOf(a);
+  Port& pb = PortOf(b);
+  auto [it, inserted] = routes_.try_emplace(ch);
+  GENIE_CHECK(inserted) << "channel " << ch << " already open";
+  ChannelRoute& route = it->second;
+  route.a = &a;
+  route.b = &b;
+  route.a_to_b = BuildPath(pa, pb);
+  route.b_to_a = BuildPath(pb, pa);
+}
+
+void Fabric::CloseChannel(std::uint64_t ch) {
+  const std::size_t erased = routes_.erase(ch);
+  GENIE_CHECK_EQ(erased, 1u) << "closing unknown channel " << ch;
+}
+
+const TxPath* Fabric::RouteFor(const Adapter& self, std::uint64_t ch) const {
+  auto it = routes_.find(ch);
+  if (it == routes_.end()) {
+    return nullptr;
+  }
+  if (it->second.a == &self) {
+    return &it->second.a_to_b;
+  }
+  if (it->second.b == &self) {
+    return &it->second.b_to_a;
+  }
+  return nullptr;
+}
+
+Adapter* Fabric::ControlPeerFor(const Adapter& self, std::uint64_t ch) const {
+  auto it = routes_.find(ch);
+  if (it == routes_.end()) {
+    return nullptr;
+  }
+  if (it->second.a == &self) {
+    return it->second.b;
+  }
+  if (it->second.b == &self) {
+    return it->second.a;
+  }
+  return nullptr;
+}
+
+Fabric::Port& Fabric::PortOf(const Adapter& adapter) {
+  auto it = ports_.find(&adapter);
+  GENIE_CHECK(it != ports_.end()) << "adapter " << adapter.name() << " not attached";
+  return it->second;
+}
+
+const Fabric::Port* Fabric::FindPort(const Adapter& adapter) const {
+  auto it = ports_.find(&adapter);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+SwitchLink& Fabric::trunk(int side) {
+  GENIE_CHECK(config_.topology == Topology::kDumbbell) << "star fabrics have no trunk";
+  GENIE_CHECK(side == 0 || side == 1);
+  return *trunks_[side];
+}
+
+std::uint64_t Fabric::frames_switched() const {
+  std::uint64_t total = 0;
+  for (const auto& [adapter, port] : ports_) {
+    total += port.down->grants();
+  }
+  return total;
+}
+
+SimTime Fabric::total_arbitration_wait() const {
+  SimTime total = 0;
+  for (const auto& [adapter, port] : ports_) {
+    total += port.up->total_wait() + port.down->total_wait();
+  }
+  if (trunks_[0] != nullptr) {
+    total += trunks_[0]->total_wait() + trunks_[1]->total_wait();
+  }
+  return total;
+}
+
+std::size_t Fabric::max_link_queue() const {
+  std::size_t high = 0;
+  for (const auto& [adapter, port] : ports_) {
+    high = std::max({high, port.up->max_queue_length(), port.down->max_queue_length()});
+  }
+  if (trunks_[0] != nullptr) {
+    high = std::max({high, trunks_[0]->max_queue_length(), trunks_[1]->max_queue_length()});
+  }
+  return high;
+}
+
+}  // namespace genie

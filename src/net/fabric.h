@@ -1,0 +1,116 @@
+// A switched N-port fabric replacing point-to-point adapter wiring.
+//
+// Each attached adapter gets a Port: an ingress (uplink) and an egress
+// (downlink) SwitchLink, both DRR-arbitrated per channel. A star topology
+// connects every uplink to every downlink through the (contention-free)
+// switch core, so a frame's path is [source uplink, destination downlink].
+// A dumbbell splits the ports in two sides joined by one shared trunk per
+// direction — the classic contended bottleneck link — so cross-side frames
+// additionally serialize on [source-side trunk].
+//
+// Frames hold their whole path while streaming (acquire in the global order
+// uplink < trunk < egress, release in reverse), which keeps the receive side
+// of every adapter single-frame-at-a-time exactly as point-to-point wiring
+// did, and makes hold-while-waiting deadlock-free: wait-for edges only point
+// from lower- to higher-ranked links, so no cycle can form. The price is
+// input-queued head-of-line blocking, which the fairness tests observe.
+//
+// Channels are bidirectional: OpenChannel(ch, a, b) installs routes in both
+// directions plus the control-cell return mapping (acks, SACK trains, and
+// flow-control credits ride a lossless out-of-band path straight to the
+// other end, as with point-to-point wiring). Route pointers stay valid until
+// CloseChannel.
+#ifndef GENIE_SRC_NET_FABRIC_H_
+#define GENIE_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/net/adapter.h"
+#include "src/net/switch_link.h"
+#include "src/sim/engine.h"
+
+namespace genie {
+
+class Fabric {
+ public:
+  enum class Topology : std::uint8_t {
+    kStar,      // one switch; contention only at per-port links
+    kDumbbell,  // two sides joined by one shared trunk per direction
+  };
+
+  struct Config {
+    Topology topology = Topology::kStar;
+    // DRR byte quantum per arbitration visit at every link. One quantum per
+    // rotation approximates max-min fair byte shares among backlogged
+    // channels; a quantum at least the common frame size keeps the arbiter
+    // work-conserving for that size.
+    std::uint64_t drr_quantum_bytes = 4096;
+  };
+
+  Fabric(Engine& engine, Config config);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Attaches `adapter` as a fabric port and installs the fabric's routing
+  // hooks on it (Adapter::ConnectFabric — mutually exclusive with
+  // ConnectTo). `side` selects the dumbbell half (0 or 1); stars ignore it.
+  void Attach(Adapter& adapter, int side = 0);
+
+  // Opens channel `ch` between two attached adapters: routes in both
+  // directions plus the control-cell return mapping. A channel id is global
+  // to the fabric — each id connects exactly one adapter pair.
+  void OpenChannel(std::uint64_t ch, Adapter& a, Adapter& b);
+  void CloseChannel(std::uint64_t ch);
+
+  // Route/control resolution relative to `self` (the transmitting adapter).
+  // Returns nullptr when `self` is not an end of `ch`.
+  const TxPath* RouteFor(const Adapter& self, std::uint64_t ch) const;
+  Adapter* ControlPeerFor(const Adapter& self, std::uint64_t ch) const;
+
+  std::size_t ports() const { return ports_.size(); }
+  std::size_t channels() const { return routes_.size(); }
+
+  // Per-port links, for tests and stats roll-ups.
+  SwitchLink& uplink(const Adapter& adapter) { return *PortOf(adapter).up; }
+  SwitchLink& downlink(const Adapter& adapter) { return *PortOf(adapter).down; }
+  // Dumbbell trunk carrying side -> (1 - side) traffic; aborts on a star.
+  SwitchLink& trunk(int side);
+
+  // Aggregate stats over every link in the fabric.
+  std::uint64_t frames_switched() const;   // egress (downlink) grants
+  SimTime total_arbitration_wait() const;  // sum of link wait times
+  std::size_t max_link_queue() const;      // high-water queue over all links
+
+ private:
+  struct Port {
+    Adapter* adapter = nullptr;
+    int side = 0;
+    std::unique_ptr<SwitchLink> up;
+    std::unique_ptr<SwitchLink> down;
+  };
+
+  struct ChannelRoute {
+    Adapter* a = nullptr;
+    Adapter* b = nullptr;
+    TxPath a_to_b;
+    TxPath b_to_a;
+  };
+
+  Port& PortOf(const Adapter& adapter);
+  const Port* FindPort(const Adapter& adapter) const;
+  TxPath BuildPath(const Port& src, const Port& dst);
+
+  Engine* engine_;
+  Config config_;
+  // Keyed by adapter identity; node-indexed maps give stable Port addresses.
+  std::map<const Adapter*, Port> ports_;
+  std::map<std::uint64_t, ChannelRoute> routes_;
+  std::unique_ptr<SwitchLink> trunks_[2];  // dumbbell only; [side] = side -> other
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_NET_FABRIC_H_

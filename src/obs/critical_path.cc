@@ -30,10 +30,16 @@ bool IsWireSpan(const CausalEvent& e) {
 int Rank(Stage stage) {
   switch (stage) {
     case Stage::kRetransmit:
-      return 9;
+      return 10;
     case Stage::kWire:
-      return 8;
+      return 9;
     case Stage::kCreditWait:
+      return 8;
+    // Fabric arbitration sits below the credit wait that may contain it
+    // (credits are the end-to-end bottleneck when both overlap) but above
+    // dispose: a frame parked in a switch queue is the transfer's live
+    // bottleneck, dispose work merely overlaps it.
+    case Stage::kFabricWait:
       return 7;
     case Stage::kDispose:
       return 6;
@@ -77,6 +83,8 @@ std::string_view StageName(Stage stage) {
       return "dispose";
     case Stage::kWindowStall:
       return "window_stall";
+    case Stage::kFabricWait:
+      return "fabric_wait";
     case Stage::kOther:
       return "other";
   }
@@ -113,6 +121,8 @@ FlowBreakdown AttributeStages(const CausalGraph& graph) {
       saw_wire = true;
     } else if (e.name == "credit_wait") {
       stage = Stage::kCreditWait;
+    } else if (e.name == "fabric_wait") {
+      stage = Stage::kFabricWait;
     } else if (EndsWith(e.name, ".ack_wait")) {
       stage = ++ack_wait_index == ack_waits ? Stage::kAckWait : Stage::kRetransmit;
     } else if (EndsWith(e.name, ".nack_delay")) {

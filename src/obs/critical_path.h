@@ -39,9 +39,10 @@ enum class Stage : std::uint8_t {
                      // nack pauses
   kDispose,          // sender + receiver dispose
   kWindowStall,      // admission blocked on a full selective-repeat window
+  kFabricWait,       // blocked in switch-fabric arbitration (contended links)
   kOther,            // covered by no span (fixed hardware latencies, gaps)
 };
-inline constexpr std::size_t kStageCount = 9;
+inline constexpr std::size_t kStageCount = 10;
 
 std::string_view StageName(Stage stage);
 
