@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 CI: build and run the full test suite twice —
-#   1. the default optimized build (RelWithDebInfo, -O2), and
-#   2. an ASan+UBSan build (GENIE_ASAN=ON),
-# so both miscompiled-fast-path bugs and memory/UB bugs are caught. The data
-# plane leans on raw spans over the physical-memory arena (multi-page
-# DataRun, fused checksum-copy), which is exactly the code sanitizers are
-# for.
+# Tier-1 CI: build and run the full test suite in three flavors —
+#   1. the default optimized build (RelWithDebInfo, -O2),
+#   2. an ASan+UBSan build (GENIE_ASAN=ON), and
+#   3. a TSan build (GENIE_TSAN=ON) for the parallel host-path tests,
+# so miscompiled-fast-path bugs, memory/UB bugs, and data races are all
+# caught. The data plane leans on raw spans over the physical-memory arena
+# (multi-page DataRun, fused checksum-copy), and the parallel path runs real
+# threads over it, which is exactly the code sanitizers are for.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -153,5 +154,26 @@ for window in 1 16; do
     print_flight_dumps
   fi
 done
+
+echo "=== tier-1: concurrency layer under TSan ==="
+# Sixth leg: the parallel host-path concurrency tests in a ThreadSanitizer
+# build (GENIE_TSAN=ON; mutually exclusive with GENIE_ASAN, so a third build
+# tree). Pinned seeds keep the workloads reproducible in distribution; the
+# interleavings themselves are the coverage, so the tests are run a few
+# times to let the scheduler explore. The differential checksum suite rides
+# along because its SIMD kernels run inside the TSan'd threads.
+cmake -B build-tsan -S . -DGENIE_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  pool_shard_test hostpath_mt_stress_test net_checksum_test
+for round in 1 2 3; do
+  echo "tsan round $round"
+  for bin in pool_shard_test hostpath_mt_stress_test; do
+    if ! timeout "$STRESS_BUDGET" "build-tsan/tests/$bin"; then
+      echo "TSan leg failed: $bin (round $round)"
+      exit 1
+    fi
+  done
+done
+timeout "$STRESS_BUDGET" build-tsan/tests/net_checksum_test
 
 echo "CI OK: all suites passed."

@@ -6,8 +6,11 @@
 #ifndef GENIE_SRC_GENIE_HOST_PATH_H_
 #define GENIE_SRC_GENIE_HOST_PATH_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "src/mem/alloc_point.h"
 #include "src/net/checksum.h"
 #include "src/vm/address_space.h"
 #include "src/vm/io_vec.h"
@@ -22,6 +25,62 @@ namespace genie {
 // AddressSpace::Read would.
 AccessResult CopyinToIoVec(AddressSpace& app, Vaddr va, std::uint64_t len, const IoVec& dst,
                            InternetChecksum* sum);
+
+// ---------------------------------------------------------------------------
+// Parallel real-host data plane (measurement harness, not simulation).
+//
+// RunParallelFused runs K OS threads against one PhysicalMemory, each thread
+// driving the full per-transfer allocator + data-path stack: draw a system
+// buffer from a private AllocationPoint (bump fast path, locked refill only
+// on arena drain), fused copy+checksum of a thread-seeded pattern into the
+// buffer, fold the checksum into a per-thread digest, free the buffer back
+// to the arena. The deterministic simulation never calls any of this: it is
+// the "real host" counterpart whose wall-clock numbers bench_hostpath
+// reports and whose race-freedom the TSan leg checks.
+// ---------------------------------------------------------------------------
+
+struct ParallelFusedConfig {
+  std::size_t threads = 1;
+  std::size_t ops_per_thread = 64;
+  std::uint64_t bytes_per_op = 64 * 1024;
+  // Frames per thread-private arena. Callers must size PhysicalMemory with
+  // >= threads * arena_frames * 3 + pool_pages frames: allocation failure
+  // inside the run is a CHECK, not a return code, because a thread that
+  // skips ops under transient exhaustion would make the per-thread digests
+  // depend on scheduling.
+  std::size_t arena_frames = 64;
+  // When nonzero, each op also churns one overlay frame through a
+  // ShardedBufferPool (threads shards) shared by all threads, exercising
+  // cross-shard stealing alongside the arena path.
+  std::size_t pool_pages = 0;
+  std::uint64_t seed = 1;
+  bool use_simd = true;  // false pins the scalar checksum kernel
+  // When true every op re-checksums the destination bytes with the scalar
+  // kernel and CHECKs equality — the stress tests' integrity net; off for
+  // benchmarking (it doubles the memory traffic).
+  bool verify = false;
+};
+
+struct ParallelFusedThreadResult {
+  // FNV-1a chain over this thread's per-op checksum values. Depends only on
+  // (seed, thread index, ops_per_thread, bytes_per_op) — never on the
+  // schedule or on which physical frames served the ops — so tests can pin
+  // it as a golden across thread counts and TSan/ASan builds.
+  std::uint64_t digest = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t ops = 0;
+  AllocationPoint::Stats alloc;
+};
+
+struct ParallelFusedResult {
+  std::vector<ParallelFusedThreadResult> per_thread;
+  std::uint64_t total_bytes = 0;
+  double seconds = 0;  // wall time of the parallel region (threads running)
+  std::uint64_t pool_steals = 0;
+  std::uint64_t pool_depletions = 0;
+};
+
+ParallelFusedResult RunParallelFused(PhysicalMemory& pm, const ParallelFusedConfig& cfg);
 
 }  // namespace genie
 

@@ -129,6 +129,44 @@ bool TryAllocateSysBufferDegraded(PhysicalMemory& pm, std::uint32_t page_offset,
   return false;
 }
 
+bool TryAllocateSysBufferFrom(AllocationPoint& ap, std::uint32_t page_offset,
+                              std::uint64_t len, SysBuffer* out) {
+  const std::uint32_t psz = ap.pm().page_size();
+  GENIE_CHECK_LT(page_offset, psz);
+  GENIE_CHECK_GT(len, 0u);
+  GENIE_CHECK_LE(page_offset + len, std::numeric_limits<std::uint32_t>::max());
+  const std::uint64_t pages = (page_offset + len + psz - 1) / psz;
+  const FrameId first = ap.TryAllocateRun(static_cast<std::size_t>(pages));
+  if (first == kInvalidFrame) {
+    return false;
+  }
+  SysBuffer buf;
+  buf.length = len;
+  buf.page_offset = page_offset;
+  buf.frames.reserve(static_cast<std::size_t>(pages));
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    buf.frames.push_back(first + static_cast<FrameId>(i));
+  }
+  buf.iov.segments.push_back(IoSegment{first, page_offset, static_cast<std::uint32_t>(len)});
+  *out = std::move(buf);
+  return true;
+}
+
+void FreeSysBuffer(AllocationPoint& ap, SysBuffer& buf) {
+  if (buf.frames.empty()) {
+    return;
+  }
+  // Allocation-point sysbufs are whole contiguous runs; swap-consumed pages
+  // (kInvalidFrame holes) cannot appear on the parallel path.
+  for (std::size_t i = 0; i < buf.frames.size(); ++i) {
+    GENIE_CHECK(buf.frames[i] != kInvalidFrame);
+    GENIE_CHECK_EQ(buf.frames[i], buf.frames[0] + static_cast<FrameId>(i));
+  }
+  ap.FreeRun(buf.frames[0], buf.frames.size());
+  buf.frames.clear();
+  buf.iov.segments.clear();
+}
+
 void FreeSysBuffer(PhysicalMemory& pm, SysBuffer& buf) {
   for (FrameId& f : buf.frames) {
     if (f != kInvalidFrame) {

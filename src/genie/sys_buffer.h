@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/mem/alloc_point.h"
 #include "src/mem/phys_memory.h"
 #include "src/vm/address_space.h"
 #include "src/vm/io_vec.h"
@@ -49,6 +50,17 @@ bool TryAllocateSysBufferDegraded(PhysicalMemory& pm, std::uint32_t page_offset,
 
 // Frees the frames still held by `buf` (those not consumed by page swaps).
 void FreeSysBuffer(PhysicalMemory& pm, SysBuffer& buf);
+
+// Parallel-mode sysbuf allocation: draws one physically contiguous run from
+// a per-thread AllocationPoint (bump fast path, fill/trap refill) instead
+// of the global free list, so the hot path takes no lock. Always
+// single-segment; fails (false) only when PhysicalMemory cannot supply a
+// contiguous run at refill. Buffers from this path must be freed with the
+// AllocationPoint overload below, on the owning thread, and must not have
+// pages consumed by swaps (the parallel host path never disposes by swap).
+bool TryAllocateSysBufferFrom(AllocationPoint& ap, std::uint32_t page_offset,
+                              std::uint64_t len, SysBuffer* out);
+void FreeSysBuffer(AllocationPoint& ap, SysBuffer& buf);
 
 // Byte accounting of an input dispose, used to charge swap vs copy costs.
 struct DisposePlan {

@@ -1,0 +1,132 @@
+#include "src/mem/alloc_point.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+AllocationPoint::AllocationPoint(PhysicalMemory& pm, std::size_t arena_frames)
+    : pm_(pm), arena_frames_(arena_frames) {
+  GENIE_CHECK_GT(arena_frames, 0u);
+}
+
+AllocationPoint::~AllocationPoint() {
+  GENIE_CHECK_EQ(live_frames_, 0u) << "allocation point destroyed with live allocations";
+  ReapRetired();
+  GENIE_CHECK(retired_.empty());
+  if (has_current_) {
+    pm_.FreeRunMt(current_.base, current_.frames);
+  }
+}
+
+std::size_t AllocationPoint::held_frames() const {
+  std::size_t held = has_current_ ? current_.frames : 0;
+  for (const Arena& a : retired_) {
+    held += a.frames;
+  }
+  return held;
+}
+
+void AllocationPoint::ReapRetired() {
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                [this](const Arena& a) {
+                                  if (a.live != 0) {
+                                    return false;
+                                  }
+                                  pm_.FreeRunMt(a.base, a.frames);
+                                  return true;
+                                }),
+                 retired_.end());
+}
+
+FrameId AllocationPoint::TryAllocateRun(std::size_t count) {
+  GENIE_CHECK_GT(count, 0u);
+  // Oversize requests bypass the bump arena entirely: a dedicated run that
+  // retires the moment it is allocated (freed back to PhysicalMemory when
+  // its FreeRun arrives).
+  if (count > arena_frames_) {
+    const FrameId first = pm_.TryAllocateRunMt(count);
+    if (first == kInvalidFrame) {
+      ++stats_.failed_refills;
+      return kInvalidFrame;
+    }
+    Arena arena;
+    arena.base = first;
+    arena.frames = static_cast<std::uint32_t>(count);
+    arena.bump = arena.frames;
+    arena.live = arena.frames;
+    retired_.push_back(arena);
+    ++stats_.oversize_allocations;
+    live_frames_ += count;
+    return first;
+  }
+  if (has_current_ && current_.bump + count <= current_.frames) {
+    // Fast path: pure bump, no shared state touched.
+    const FrameId first = current_.base + current_.bump;
+    current_.bump += static_cast<std::uint32_t>(count);
+    current_.live += static_cast<std::uint32_t>(count);
+    live_frames_ += count;
+    ++stats_.bump_allocations;
+    return first;
+  }
+  // Trap. A drained arena with nothing live rewinds in place (the
+  // steady-state loop lands here once per arena's worth of allocations and
+  // never reaches PhysicalMemory); otherwise the current arena retires and
+  // a fresh run is filled under the shared lock.
+  if (has_current_ && current_.live == 0) {
+    current_.bump = 0;
+    ++stats_.rewinds;
+  } else {
+    if (has_current_) {
+      retired_.push_back(current_);
+      has_current_ = false;
+    }
+    ReapRetired();  // bound retired growth while the lock is warm anyway
+    const FrameId base = pm_.TryAllocateRunMt(arena_frames_);
+    if (base == kInvalidFrame) {
+      ++stats_.failed_refills;
+      return kInvalidFrame;
+    }
+    current_ = Arena{};
+    current_.base = base;
+    current_.frames = static_cast<std::uint32_t>(arena_frames_);
+    has_current_ = true;
+    ++stats_.refills;
+  }
+  const FrameId first = current_.base + current_.bump;
+  current_.bump += static_cast<std::uint32_t>(count);
+  current_.live += static_cast<std::uint32_t>(count);
+  live_frames_ += count;
+  return first;
+}
+
+void AllocationPoint::FreeRun(FrameId first, std::size_t count) {
+  GENIE_CHECK_GT(count, 0u);
+  GENIE_CHECK_LE(count, live_frames_) << "free of more frames than are live";
+  const FrameId end = first + static_cast<FrameId>(count);
+  if (has_current_ && first >= current_.base && end <= current_.base + current_.frames) {
+    GENIE_CHECK_GE(current_.live, count);
+    current_.live -= static_cast<std::uint32_t>(count);
+    live_frames_ -= count;
+    if (current_.live == 0) {
+      current_.bump = 0;  // whole arena quiet: rewind for reuse
+      ++stats_.rewinds;
+    }
+    return;
+  }
+  for (Arena& a : retired_) {
+    if (first >= a.base && end <= a.base + a.frames) {
+      GENIE_CHECK_GE(a.live, count);
+      a.live -= static_cast<std::uint32_t>(count);
+      live_frames_ -= count;
+      if (a.live == 0) {
+        ReapRetired();
+      }
+      return;
+    }
+  }
+  GENIE_CHECK(false) << "FreeRun of frames not allocated from this allocation point";
+}
+
+}  // namespace genie

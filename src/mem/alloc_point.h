@@ -1,0 +1,91 @@
+// Per-thread allocation points for the parallel host path, after the MPS
+// allocation-buffer design (design.mps.buffer): each thread owns a bump
+// pointer into a private arena — a physically contiguous run of frames
+// drawn from PhysicalMemory — and allocates by pure pointer arithmetic
+// until the arena drains. Draining is the *trap*: the slow path takes the
+// shared allocator's lock once, refills a fresh arena run, and the thread
+// goes back to lock-free bumping. Frees are owner-thread operations that
+// decrement the owning arena's live count; a fully drained current arena
+// whose allocations have all been returned rewinds its bump pointer in
+// place, so a steady-state allocate/free loop touches PhysicalMemory zero
+// times after the first refill.
+//
+// An AllocationPoint is deliberately NOT thread-safe: it is the per-thread
+// structure. Only its refill/retire edges (PhysicalMemory::*Mt) are
+// serialized, which is exactly the MPS fill/trap protocol.
+#ifndef GENIE_SRC_MEM_ALLOC_POINT_H_
+#define GENIE_SRC_MEM_ALLOC_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/phys_memory.h"
+
+namespace genie {
+
+class AllocationPoint {
+ public:
+  struct Stats {
+    std::uint64_t bump_allocations = 0;  // fast path: pointer arithmetic only
+    std::uint64_t refills = 0;           // traps that took the shared lock
+    std::uint64_t oversize_allocations = 0;  // requests larger than the arena
+    std::uint64_t rewinds = 0;  // in-place arena reuse (live hit zero)
+    std::uint64_t failed_refills = 0;    // PhysicalMemory had no run
+  };
+
+  // `arena_frames` is the refill granularity: how many frames each trap
+  // requests from PhysicalMemory. Larger arenas take the shared lock less
+  // often and fragment the frame space more.
+  AllocationPoint(PhysicalMemory& pm, std::size_t arena_frames);
+  // All allocations must have been freed; returns every arena to
+  // PhysicalMemory (thread-safe, so points may be destroyed concurrently).
+  ~AllocationPoint();
+  AllocationPoint(const AllocationPoint&) = delete;
+  AllocationPoint& operator=(const AllocationPoint&) = delete;
+
+  // Allocates `count` physically contiguous frames. Fast path: bump within
+  // the current arena. Trap path: retire the current arena (it is freed
+  // back to PhysicalMemory as soon as its outstanding allocations drop to
+  // zero) and refill a fresh run. Requests larger than the arena get a
+  // dedicated run. Returns kInvalidFrame only when PhysicalMemory cannot
+  // supply a contiguous run of the required length.
+  FrameId TryAllocateRun(std::size_t count);
+
+  // Returns a run previously handed out by TryAllocateRun. Owner-thread
+  // only, like the allocations themselves.
+  void FreeRun(FrameId first, std::size_t count);
+
+  PhysicalMemory& pm() { return pm_; }
+  std::size_t arena_frames() const { return arena_frames_; }
+  // Frames currently allocated out of this point (not yet freed).
+  std::size_t live_frames() const { return live_frames_; }
+  // Frames currently held in arenas (allocated from PhysicalMemory's view).
+  std::size_t held_frames() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Arena {
+    FrameId base = kInvalidFrame;
+    std::uint32_t frames = 0;
+    std::uint32_t bump = 0;  // frames handed out from the front
+    std::uint32_t live = 0;  // frames handed out and not yet freed
+  };
+
+  // Releases retired arenas whose live count reached zero.
+  void ReapRetired();
+
+  PhysicalMemory& pm_;
+  std::size_t arena_frames_;
+  std::size_t live_frames_ = 0;
+  bool has_current_ = false;
+  Arena current_;
+  // Retired arenas (displaced by a trap, or oversize runs) still holding
+  // live allocations; reaped when their last run is freed.
+  std::vector<Arena> retired_;
+  Stats stats_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_MEM_ALLOC_POINT_H_

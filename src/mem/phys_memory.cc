@@ -77,6 +77,33 @@ FrameId PhysicalMemory::TryAllocateRun(std::size_t count) {
   return kInvalidFrame;
 }
 
+FrameId PhysicalMemory::TryAllocateRunMt(std::size_t count) {
+  GENIE_CHECK_GT(count, 0u);
+  const std::lock_guard<std::mutex> lock(mt_mutex_);
+  // First-fit over the free runs, as TryAllocateRun, but with no fault-plan
+  // consult (see header).
+  for (auto run = free_runs_.begin(); run != free_runs_.end(); ++run) {
+    if (run->second >= count) {
+      const FrameId first = run->first;
+      TakeFromRun(run, first, static_cast<FrameId>(count));
+      return first;
+    }
+  }
+  return kInvalidFrame;
+}
+
+void PhysicalMemory::FreeMt(FrameId frame) {
+  const std::lock_guard<std::mutex> lock(mt_mutex_);
+  Free(frame);
+}
+
+void PhysicalMemory::FreeRunMt(FrameId first, std::size_t count) {
+  const std::lock_guard<std::mutex> lock(mt_mutex_);
+  for (std::size_t i = 0; i < count; ++i) {
+    Free(first + static_cast<FrameId>(i));
+  }
+}
+
 FrameId PhysicalMemory::AllocateZeroed() {
   const FrameId frame = Allocate();
   auto data = Data(frame);

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -118,6 +119,19 @@ class PhysicalMemory {
     return info_[frame];
   }
 
+  // --- Multithreaded entry points (parallel host path) ---
+  // Serialized on an internal mutex: safe to call concurrently with each
+  // other, but NOT with the unlocked methods above. The parallel host path
+  // uses them only while the simulation side is quiescent, so the
+  // single-threaded sim/golden path never takes the lock. These are
+  // infrastructure allocations in the Allocate() sense: they never consult
+  // the fault plan (FaultPlan is not thread-safe, and a refill has no
+  // recovery story beyond returning kInvalidFrame anyway). Allocation
+  // points amortize the lock to one acquisition per arena refill.
+  FrameId TryAllocateRunMt(std::size_t count);
+  void FreeMt(FrameId frame);
+  void FreeRunMt(FrameId first, std::size_t count);
+
   // --- Fault injection (tests, stress harness) ---
   // Attaches a fault plan consulted by TryAllocate/TryAllocateRun. Pass
   // nullptr to detach. Not owned; must outlive this object or be detached.
@@ -153,6 +167,9 @@ class PhysicalMemory {
   // Maximal free runs: start frame -> run length (frames). Ordered so
   // allocation is lowest-first and merges are O(log runs).
   std::map<FrameId, FrameId> free_runs_;
+  // Guards the *Mt entry points against each other; untouched by the
+  // single-threaded paths.
+  std::mutex mt_mutex_;
   FaultPlan* fault_plan_ = nullptr;
   std::size_t free_count_ = 0;
   std::size_t zombie_count_ = 0;

@@ -1,5 +1,7 @@
 #include "src/net/buffer_pool.h"
 
+#include <algorithm>
+
 #include "src/util/check.h"
 
 namespace genie {
@@ -44,6 +46,115 @@ std::size_t BufferPool::Refill(std::size_t n) {
     ++refilled;
   }
   return refilled;
+}
+
+ShardedBufferPool::ShardedBufferPool(PhysicalMemory& pm, std::size_t num_pages,
+                                     std::size_t shards)
+    : pm_(pm), capacity_(num_pages), shards_(shards == 0 ? 1 : shards),
+      home_(pm.num_frames(), 0) {
+  // Construction is single-threaded (like every pool in the tree); the
+  // shards only matter once worker threads start calling Allocate/Free.
+  for (std::size_t i = 0; i < num_pages; ++i) {
+    const FrameId f = pm_.Allocate();
+    const std::size_t s = i % shards_.size();
+    home_[f] = static_cast<std::uint32_t>(s);
+    shards_[s].free.push_back(f);
+  }
+}
+
+ShardedBufferPool::~ShardedBufferPool() {
+  std::size_t returned = 0;
+  for (Shard& shard : shards_) {
+    for (const FrameId f : shard.free) {
+      pm_.Free(f);
+      ++returned;
+    }
+  }
+  GENIE_CHECK_EQ(returned, capacity_) << "sharded pool destroyed with pages outstanding";
+}
+
+std::size_t ShardedBufferPool::shard_capacity(std::size_t i) const {
+  GENIE_CHECK_LT(i, shards_.size());
+  return capacity_ / shards_.size() + (i < capacity_ % shards_.size() ? 1 : 0);
+}
+
+std::size_t ShardedBufferPool::shard_available(std::size_t i) {
+  GENIE_CHECK_LT(i, shards_.size());
+  const std::lock_guard<std::mutex> lock(shards_[i].mu);
+  return shards_[i].free.size();
+}
+
+std::size_t ShardedBufferPool::available() {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    total += shard_available(i);
+  }
+  return total;
+}
+
+std::uint64_t ShardedBufferPool::steals() {
+  std::uint64_t total = 0;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.steals;
+  }
+  return total;
+}
+
+std::uint64_t ShardedBufferPool::depletion_events() {
+  std::uint64_t total = 0;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.depletions;
+  }
+  return total;
+}
+
+FrameId ShardedBufferPool::Allocate(std::size_t shard_hint) {
+  const std::size_t s = shard_hint % shards_.size();
+  Shard& own = shards_[s];
+  {
+    const std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.free.empty()) {
+      const FrameId f = own.free.back();
+      own.free.pop_back();
+      return f;
+    }
+  }
+  // Own shard drained: steal a bounded batch from the first non-empty
+  // sibling. The batch (minus the frame returned) parks in the own shard's
+  // list, so a burst pays one steal, not kStealBatch of them. Locks are
+  // taken one at a time — victim first, own second — never nested.
+  for (std::size_t k = 1; k < shards_.size(); ++k) {
+    Shard& victim = shards_[(s + k) % shards_.size()];
+    std::vector<FrameId> batch;
+    {
+      const std::lock_guard<std::mutex> lock(victim.mu);
+      const std::size_t take = std::min(victim.free.size(), kStealBatch);
+      if (take == 0) {
+        continue;
+      }
+      batch.assign(victim.free.end() - static_cast<std::ptrdiff_t>(take), victim.free.end());
+      victim.free.resize(victim.free.size() - take);
+    }
+    const FrameId f = batch.back();
+    batch.pop_back();
+    const std::lock_guard<std::mutex> lock(own.mu);
+    own.free.insert(own.free.end(), batch.begin(), batch.end());
+    ++own.steals;
+    return f;
+  }
+  const std::lock_guard<std::mutex> lock(own.mu);
+  ++own.depletions;
+  return kInvalidFrame;
+}
+
+void ShardedBufferPool::Free(FrameId frame) {
+  GENIE_CHECK_LT(frame, home_.size());
+  Shard& shard = shards_[home_[frame]];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  GENIE_CHECK_LT(shard.free.size(), capacity_) << "pool overfull";
+  shard.free.push_back(frame);
 }
 
 }  // namespace genie

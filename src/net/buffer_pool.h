@@ -1,10 +1,22 @@
 // Pooled in-host input buffering (paper Section 6.2.2): the device controller
 // draws fixed-size overlay buffers (pages) from a private pool in host main
 // memory, without regard to the input request or connection.
+//
+// Two implementations: the original single-owner BufferPool for the
+// deterministic simulation, and ShardedBufferPool for the parallel host
+// path — N independently locked shards keyed by a caller-supplied thread
+// hint, owner-shard free, and bounded cross-shard stealing. Shards hold
+// FrameIds directly, never deferred-free closures: a pool that queues "free
+// later" lambdas decouples the buffer's lifetime from the pool's accounting
+// and turns every pop into an allocation-order mystery (the ezio cache
+// branch rediscovered this the hard way); holding the buffers themselves
+// keeps conservation checkable — every frame is in exactly one shard list
+// or exactly one owner's hands.
 #ifndef GENIE_SRC_NET_BUFFER_POOL_H_
 #define GENIE_SRC_NET_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/mem/phys_memory.h"
@@ -41,6 +53,61 @@ class BufferPool {
   std::vector<FrameId> free_;
   std::size_t capacity_;
   std::uint64_t depletion_events_ = 0;
+};
+
+// Thread-safe overlay pool for the parallel host path. Every frame has a
+// *home shard* fixed at construction (round-robin); Allocate(hint) serves
+// from shard hint%N and, when that drains, steals a bounded batch from the
+// first non-empty sibling (two lock acquisitions, never nested — no lock
+// ordering to get wrong). Free(frame) always returns the frame to its home
+// shard, so every allocated-then-freed frame migrates home; stolen frames
+// parked in the thief's list stay there until used. The conservation
+// invariant the shard tests assert is therefore total, not per-shard: at
+// quiescence every frame sits in exactly one shard list and the lists sum
+// to capacity.
+class ShardedBufferPool {
+ public:
+  // Preallocates `num_pages` frames (unowned by any memory object) spread
+  // round-robin across `shards` shards.
+  ShardedBufferPool(PhysicalMemory& pm, std::size_t num_pages, std::size_t shards);
+  ~ShardedBufferPool();
+  ShardedBufferPool(const ShardedBufferPool&) = delete;
+  ShardedBufferPool& operator=(const ShardedBufferPool&) = delete;
+
+  // Takes a page, preferring shard hint%shard_count() (callers pass a
+  // stable per-thread value); kInvalidFrame if every shard is empty.
+  FrameId Allocate(std::size_t shard_hint);
+
+  // Returns a page to its home shard (any thread).
+  void Free(FrameId frame);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  // Frames a full pool holds in shard `i` (its home population).
+  std::size_t shard_capacity(std::size_t i) const;
+  // Current free count in shard `i` (locked snapshot).
+  std::size_t shard_available(std::size_t i);
+  std::size_t available();  // sum over shards; exact only at quiescence
+  std::uint64_t steals();
+  std::uint64_t depletion_events();
+
+  // Max frames moved per cross-shard steal (bounds both the latency of a
+  // steal and how lopsided a burst can leave the shards).
+  static constexpr std::size_t kStealBatch = 8;
+
+ private:
+  struct alignas(64) Shard {  // one cache line each: no false sharing
+    std::mutex mu;
+    std::vector<FrameId> free;
+    std::uint64_t steals = 0;
+    std::uint64_t depletions = 0;
+  };
+
+  PhysicalMemory& pm_;
+  std::size_t capacity_;
+  std::vector<Shard> shards_;
+  // frame -> home shard, fixed at construction (indexed by FrameId).
+  std::vector<std::uint32_t> home_;
 };
 
 }  // namespace genie

@@ -39,6 +39,22 @@ void InternetChecksum::Consume(const std::byte* p, std::size_t n, std::byte* dst
     ++p;
     --n;
   }
+  // Bulk dispatch: hand every whole SIMD block to the lane-widened kernel
+  // (bit-identical by the folding argument in the header); the scalar loops
+  // below remain the reference implementation and finish the tail.
+  if (use_simd_ && n >= 64) {
+    if (const std::size_t block = internal::SimdBlockBytes(); block != 0) {
+      const std::size_t bulk = n & ~(block - 1);
+      const std::uint64_t part =
+          kCopy ? internal::SimdSumCopy(p, bulk, dst) : internal::SimdSum(p, bulk);
+      sum_ = AddOnes64(sum_, part);
+      p += bulk;
+      n -= bulk;
+      if constexpr (kCopy) {
+        dst += bulk;
+      }
+    }
+  }
   // Main loop: four independent accumulators break the carry dependency
   // chain (RFC 1071 Section 2(C), "deferred carries").
   std::uint64_t s0 = 0;

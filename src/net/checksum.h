@@ -10,6 +10,14 @@
 // bit-identical to summing big-endian 16-bit words byte-by-byte. A fused
 // copy-and-checksum primitive covers the integrated case in one pass over
 // the data, as in BSD copyin/copyout with checksum.
+//
+// Bulk updates dispatch at runtime to a lane-widened SIMD kernel (AVX2 on
+// x86-64 when the CPU has it, NEON on aarch64) that zero-extends 32-bit
+// lanes into 64-bit accumulators; because one's-complement folding is
+// invariant under any exact regrouping of the 16-bit lane sum (2^16 === 1
+// mod 0xFFFF), the SIMD result is bit-identical to the scalar path, which
+// stays in the build as the reference implementation and the head/tail
+// handler. set_use_simd(false) forces the scalar path (differential tests).
 #ifndef GENIE_SRC_NET_CHECKSUM_H_
 #define GENIE_SRC_NET_CHECKSUM_H_
 
@@ -39,6 +47,13 @@ class InternetChecksum {
     pending_ = 0;
   }
 
+  // SIMD dispatch control. Defaults to on; kernels are only entered when the
+  // host ISA has one (ChecksumSimdAvailable()). Forcing it off pins every
+  // update to the scalar reference path — the differential tests compare the
+  // two configurations bit for bit.
+  void set_use_simd(bool on) { use_simd_ = on; }
+  bool use_simd() const { return use_simd_; }
+
  private:
   template <bool kCopy>
   void Consume(const std::byte* p, std::size_t n, std::byte* dst);
@@ -46,7 +61,25 @@ class InternetChecksum {
   std::uint64_t sum_ = 0;  // one's-complement sum of native 16-bit lanes
   bool odd_ = false;       // A dangling odd byte from the previous update.
   std::uint8_t pending_ = 0;
+  bool use_simd_ = true;
 };
+
+// True when a SIMD checksum kernel exists for this build and host CPU.
+bool ChecksumSimdAvailable();
+
+// "avx2", "neon", or "scalar" — what bulk updates actually dispatch to.
+const char* ChecksumIsaName();
+
+namespace internal {
+// SIMD kernels (checksum_simd.cc). `n` must be a multiple of
+// SimdBlockBytes() and below ~8 GiB per call (the lane accumulators carry
+// no end-around logic); callers floor to the block size and let the scalar
+// tail finish. Returns the plain 64-bit sum of the data's zero-extended
+// 32-bit lanes, which folds identically to the 16-bit lane sum.
+std::uint64_t SimdSum(const std::byte* p, std::size_t n);
+std::uint64_t SimdSumCopy(const std::byte* p, std::size_t n, std::byte* dst);
+std::size_t SimdBlockBytes();  // 0 when no kernel is available
+}  // namespace internal
 
 std::uint16_t ChecksumOf(std::span<const std::byte> data);
 

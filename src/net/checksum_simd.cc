@@ -1,0 +1,157 @@
+// Lane-widened SIMD kernels for the Internet checksum (RFC 1071 Section
+// 2(C): "parallel summation"). Each kernel returns the plain 64-bit sum of
+// the input's 32-bit lanes zero-extended to 64 bits. Any exact regrouping
+// of the byte stream folds to the same 16-bit one's-complement value
+// (2^16 === 1 mod 0xFFFF), so the caller can mix SIMD bulk blocks with the
+// scalar head/tail and stay bit-identical to the all-scalar reference.
+//
+// The fused variants store the loaded vector before accumulating, giving
+// the single-pass copy+checksum the copy's memory schedule: one load and
+// one store per 32 bytes, with the checksum riding in registers.
+//
+// x86-64 compiles the AVX2 kernels behind a per-function target attribute
+// (no global -mavx2) and dispatches on __builtin_cpu_supports at runtime;
+// aarch64 uses baseline NEON (always present). Other targets report no
+// kernel and every update stays scalar.
+#include "src/net/checksum.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace genie {
+namespace internal {
+
+#if defined(__x86_64__)
+
+namespace {
+
+// Zero-extends the eight 32-bit lanes of `v` and adds them into `acc`'s
+// four 64-bit lanes. Lane order is irrelevant: only the total survives.
+__attribute__((target("avx2"))) inline __m256i WidenAdd64(__m256i acc, __m256i v) {
+  const __m256i zero = _mm256_setzero_si256();
+  acc = _mm256_add_epi64(acc, _mm256_unpacklo_epi32(v, zero));
+  return _mm256_add_epi64(acc, _mm256_unpackhi_epi32(v, zero));
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t HorizontalSum(__m256i a, __m256i b) {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), _mm256_add_epi64(a, b));
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+bool HaveAvx2() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) std::uint64_t SimdSum(const std::byte* p, std::size_t n) {
+  // Two accumulators break the add dependency chain across the unrolled
+  // 64-byte step; the 32-byte fixup covers the odd block.
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    acc0 = WidenAdd64(acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)));
+    acc1 = WidenAdd64(acc1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 32)));
+  }
+  if (i < n) {
+    acc0 = WidenAdd64(acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)));
+  }
+  return HorizontalSum(acc0, acc1);
+}
+
+__attribute__((target("avx2"))) std::uint64_t SimdSumCopy(const std::byte* p, std::size_t n,
+                                                          std::byte* dst) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i v1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), v1);
+    acc0 = WidenAdd64(acc0, v0);
+    acc1 = WidenAdd64(acc1, v1);
+  }
+  if (i < n) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    acc0 = WidenAdd64(acc0, v);
+  }
+  return HorizontalSum(acc0, acc1);
+}
+
+std::size_t SimdBlockBytes() { return HaveAvx2() ? 32 : 0; }
+
+#elif defined(__aarch64__)
+
+std::uint64_t SimdSum(const std::byte* p, std::size_t n) {
+  // vpadalq_u32: pairwise add-accumulate of 32-bit lanes into 64-bit lanes.
+  uint64x2_t acc0 = vdupq_n_u64(0);
+  uint64x2_t acc1 = vdupq_n_u64(0);
+  const std::uint8_t* b = reinterpret_cast<const std::uint8_t*>(p);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = vpadalq_u32(acc0, vreinterpretq_u32_u8(vld1q_u8(b + i)));
+    acc1 = vpadalq_u32(acc1, vreinterpretq_u32_u8(vld1q_u8(b + i + 16)));
+  }
+  if (i < n) {
+    acc0 = vpadalq_u32(acc0, vreinterpretq_u32_u8(vld1q_u8(b + i)));
+  }
+  const uint64x2_t acc = vaddq_u64(acc0, acc1);
+  return vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+}
+
+std::uint64_t SimdSumCopy(const std::byte* p, std::size_t n, std::byte* dst) {
+  uint64x2_t acc0 = vdupq_n_u64(0);
+  uint64x2_t acc1 = vdupq_n_u64(0);
+  const std::uint8_t* b = reinterpret_cast<const std::uint8_t*>(p);
+  std::uint8_t* d = reinterpret_cast<std::uint8_t*>(dst);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const uint8x16_t v0 = vld1q_u8(b + i);
+    const uint8x16_t v1 = vld1q_u8(b + i + 16);
+    vst1q_u8(d + i, v0);
+    vst1q_u8(d + i + 16, v1);
+    acc0 = vpadalq_u32(acc0, vreinterpretq_u32_u8(v0));
+    acc1 = vpadalq_u32(acc1, vreinterpretq_u32_u8(v1));
+  }
+  if (i < n) {
+    const uint8x16_t v = vld1q_u8(b + i);
+    vst1q_u8(d + i, v);
+    acc0 = vpadalq_u32(acc0, vreinterpretq_u32_u8(v));
+  }
+  const uint64x2_t acc = vaddq_u64(acc0, acc1);
+  return vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+}
+
+std::size_t SimdBlockBytes() { return 16; }
+
+#else
+
+std::uint64_t SimdSum(const std::byte*, std::size_t) { return 0; }
+std::uint64_t SimdSumCopy(const std::byte*, std::size_t, std::byte*) { return 0; }
+std::size_t SimdBlockBytes() { return 0; }
+
+#endif
+
+}  // namespace internal
+
+bool ChecksumSimdAvailable() { return internal::SimdBlockBytes() != 0; }
+
+const char* ChecksumIsaName() {
+#if defined(__x86_64__)
+  return ChecksumSimdAvailable() ? "avx2" : "scalar";
+#elif defined(__aarch64__)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace genie

@@ -233,5 +233,60 @@ TEST(BenchSmokeTest, HostPathThroughputFloors) {
   }
 }
 
+// Parallel-mode tax gate: the single-threaded fused rate through the
+// parallel harness (RunParallelFused at 1 thread: allocation-point sysbufs,
+// one worker thread) must stay within a small factor of the same work done
+// as a plain direct loop. Guards against the parallel plumbing (arena
+// bookkeeping, the MT allocator entry points, thread spawn) quietly taxing
+// the path everyone measures single-threaded.
+TEST(BenchSmokeTest, ParallelModeOffEquivalenceFloor) {
+#if defined(GENIE_ASAN_BUILD) || defined(GENIE_TSAN_BUILD)
+  GTEST_SKIP() << "wall-clock throughput floors are meaningless under sanitizers";
+#else
+  constexpr std::uint64_t kTransfer = 64 * 1024;
+  constexpr std::size_t kOps = 400;
+
+  // Direct loop: same per-op work RunParallelFused's worker does (pattern
+  // copyin with fused checksum into a fresh contiguous sysbuf), no threads,
+  // no allocation point — the "parallel mode off" reference.
+  std::vector<std::byte> pattern(kTransfer);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::byte>((i * 37 + 11) & 0xFF);
+  }
+  PhysicalMemory direct_pm(64, kPage);
+  const double direct_mbps = MeasureMbps(kTransfer * kOps, [&] {
+    for (std::size_t op = 0; op < kOps; ++op) {
+      SysBuffer buf;
+      ASSERT_TRUE(TryAllocateSysBuffer(direct_pm, 0, kTransfer, &buf));
+      InternetChecksum sum;
+      sum.UpdateWithCopy(pattern,
+                         direct_pm.DataRun(buf.iov.segments[0].frame, 0, kTransfer).data());
+      g_sink = sum.value();
+      FreeSysBuffer(direct_pm, buf);
+    }
+  });
+
+  // Harness at 1 thread, pool churn off: same op count per measurement.
+  ParallelFusedConfig cfg;
+  cfg.threads = 1;
+  cfg.ops_per_thread = kOps;
+  cfg.bytes_per_op = kTransfer;
+  cfg.arena_frames = 64;
+  cfg.seed = 11;
+  PhysicalMemory mt_pm(cfg.arena_frames * 3 + 16, kPage);
+  const double harness_mbps =
+      MeasureMbps(kTransfer * kOps, [&] { (void)RunParallelFused(mt_pm, cfg); });
+
+  // The harness pays one thread spawn+join per measurement body (~10 us)
+  // against ~25 MB of copying, plus the arena bookkeeping; allow it to run
+  // at half the direct rate before calling it a regression. In practice the
+  // two are within a few percent — the floor is slack for loaded CI boxes.
+  const GateResult gate =
+      CheckThroughputFloor("hostpath_mt_1t_vs_direct", harness_mbps, 0.5 * direct_mbps);
+  EXPECT_TRUE(gate.ok()) << gate.ToString() << " (direct=" << direct_mbps
+                         << " MB/s, harness=" << harness_mbps << " MB/s)";
+#endif
+}
+
 }  // namespace
 }  // namespace genie

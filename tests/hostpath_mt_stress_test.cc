@@ -1,0 +1,161 @@
+// Multithreaded fused copy+checksum stress: K real threads x M transfers
+// through the full parallel host-path stack (AllocationPoint sysbufs, fused
+// UpdateWithCopy, optional ShardedBufferPool churn) over one PhysicalMemory.
+//
+// The load is scheduled by the OS, but every assertion is schedule-
+// independent: per-thread digests are pure functions of (seed, thread id,
+// op count, op size), verify=true re-reads every destination with the
+// scalar checksum, and at quiescence VmInvariants::CheckAll proves the
+// machine's frame accounting is exactly as if the run never happened.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/genie/host_path.h"
+#include "src/mem/phys_memory.h"
+#include "src/vm/address_space.h"
+#include "src/vm/invariants.h"
+#include "src/vm/vm.h"
+
+namespace genie {
+namespace {
+
+constexpr std::uint32_t kPage = 4096;
+
+// Frames so every thread can hold current + retired arenas plus slack.
+std::size_t FramesFor(const ParallelFusedConfig& cfg) {
+  return cfg.threads * cfg.arena_frames * 3 + cfg.pool_pages + 16;
+}
+
+TEST(HostPathMtStressTest, PerThreadDigestsAreScheduleIndependent) {
+  ParallelFusedConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 200;
+  cfg.bytes_per_op = 24 * 1024 + 77;  // odd length: exercises the carry path
+  cfg.arena_frames = 32;
+  cfg.seed = 42;
+  cfg.verify = true;
+
+  PhysicalMemory pm_a(FramesFor(cfg), kPage);
+  const ParallelFusedResult a = RunParallelFused(pm_a, cfg);
+  PhysicalMemory pm_b(FramesFor(cfg), kPage);
+  const ParallelFusedResult b = RunParallelFused(pm_b, cfg);
+
+  ASSERT_EQ(a.per_thread.size(), cfg.threads);
+  ASSERT_EQ(b.per_thread.size(), cfg.threads);
+  for (std::size_t t = 0; t < cfg.threads; ++t) {
+    // Same seed, same thread index -> same digest, regardless of how the OS
+    // interleaved the two runs.
+    EXPECT_EQ(a.per_thread[t].digest, b.per_thread[t].digest) << "thread " << t;
+    EXPECT_EQ(a.per_thread[t].ops, cfg.ops_per_thread);
+    EXPECT_EQ(a.per_thread[t].bytes, cfg.ops_per_thread * cfg.bytes_per_op);
+  }
+  // Different threads checksum different patterns.
+  EXPECT_NE(a.per_thread[0].digest, a.per_thread[1].digest);
+  EXPECT_EQ(a.total_bytes, cfg.threads * cfg.ops_per_thread * cfg.bytes_per_op);
+}
+
+TEST(HostPathMtStressTest, SimdAndScalarKernelsProduceIdenticalDigests) {
+  ParallelFusedConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 100;
+  cfg.bytes_per_op = 16 * 1024 + 1;
+  cfg.arena_frames = 16;
+  cfg.seed = 7;
+
+  cfg.use_simd = true;
+  PhysicalMemory pm_simd(FramesFor(cfg), kPage);
+  const ParallelFusedResult with_simd = RunParallelFused(pm_simd, cfg);
+
+  cfg.use_simd = false;
+  PhysicalMemory pm_scalar(FramesFor(cfg), kPage);
+  const ParallelFusedResult scalar = RunParallelFused(pm_scalar, cfg);
+
+  for (std::size_t t = 0; t < cfg.threads; ++t) {
+    EXPECT_EQ(with_simd.per_thread[t].digest, scalar.per_thread[t].digest) << "thread " << t;
+  }
+}
+
+TEST(HostPathMtStressTest, PoolChurnRunsCleanAndConserves) {
+  ParallelFusedConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 500;
+  cfg.bytes_per_op = 4 * 1024 + 13;
+  cfg.arena_frames = 16;
+  cfg.pool_pages = 8;  // deliberately tight: forces cross-shard stealing
+  cfg.seed = 99;
+  cfg.verify = true;
+
+  PhysicalMemory pm(FramesFor(cfg), kPage);
+  const std::size_t before = pm.allocated_frames();
+  const ParallelFusedResult r = RunParallelFused(pm, cfg);
+  // The pool and every arena unwound: frame ledger exactly as before.
+  EXPECT_EQ(pm.allocated_frames(), before);
+  EXPECT_EQ(r.total_bytes, cfg.threads * cfg.ops_per_thread * cfg.bytes_per_op);
+  // 8 pool pages over 4 shards = 2 per shard; 4 threads churning every op
+  // must have crossed shards at least once.
+  EXPECT_GT(r.pool_steals + r.pool_depletions, 0u);
+}
+
+TEST(HostPathMtStressTest, AllocationPointsStayOnBumpFastPath) {
+  ParallelFusedConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 1000;
+  cfg.bytes_per_op = 8 * 1024;
+  cfg.arena_frames = 64;  // far larger than the 3 frames an op needs
+  cfg.seed = 5;
+
+  PhysicalMemory pm(FramesFor(cfg), kPage);
+  const ParallelFusedResult r = RunParallelFused(pm, cfg);
+  for (const ParallelFusedThreadResult& t : r.per_thread) {
+    // Alloc-use-free leaves the arena empty each op, so it rewinds in place;
+    // steady state never goes back to the shared allocator.
+    EXPECT_LE(t.alloc.refills, 2u);
+    EXPECT_EQ(t.alloc.failed_refills, 0u);
+    EXPECT_GT(t.alloc.bump_allocations + t.alloc.rewinds, 0u);
+  }
+}
+
+// The headline invariant: a parallel run over the same PhysicalMemory a
+// simulation Vm uses leaves no trace — VmInvariants::CheckAll(expect_
+// quiescent) passes bit-for-bit, with live simulation state (an address
+// space with mapped pages) untouched around it.
+TEST(HostPathMtStressTest, VmInvariantsHoldAtQuiescence) {
+  Vm vm(512, kPage);
+  AddressSpace app(vm, "app");
+  ASSERT_NE(app.CreateRegion(0x10000, 8 * kPage, RegionState::kUnmovable), nullptr);
+  // Touch a few pages so the sim side has real PTEs and owned frames.
+  const std::byte probe[] = {std::byte{0xAB}};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(app.Write(0x10000 + static_cast<Vaddr>(i) * kPage, probe), AccessResult::kOk);
+  }
+  const InvariantReport before = VmInvariants::CheckAll(vm, app, /*expect_quiescent=*/true);
+  ASSERT_TRUE(before.ok()) << before.ToString();
+  const std::size_t allocated_before = vm.pm().allocated_frames();
+
+  ParallelFusedConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 300;
+  cfg.bytes_per_op = 12 * 1024 + 5;
+  cfg.arena_frames = 16;
+  cfg.pool_pages = 12;
+  cfg.seed = 1234;
+  cfg.verify = true;
+  ASSERT_GE(vm.pm().num_frames(), FramesFor(cfg) + allocated_before);
+  RunParallelFused(vm.pm(), cfg);
+
+  EXPECT_EQ(vm.pm().allocated_frames(), allocated_before);
+  const InvariantReport after = VmInvariants::CheckAll(vm, app, /*expect_quiescent=*/true);
+  EXPECT_TRUE(after.ok()) << after.ToString();
+  // The sim side's data survived the parallel storm.
+  for (int i = 0; i < 8; ++i) {
+    std::byte back[1] = {};
+    ASSERT_EQ(app.Read(0x10000 + static_cast<Vaddr>(i) * kPage, back), AccessResult::kOk);
+    EXPECT_EQ(back[0], std::byte{0xAB});
+  }
+}
+
+}  // namespace
+}  // namespace genie

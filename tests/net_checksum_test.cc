@@ -163,6 +163,106 @@ TEST(InternetChecksumTest, UpdateWithCopySplitSequencesCopyAndSum) {
   }
 }
 
+// --- SIMD differential tests: the dispatched kernel (AVX2/NEON when the
+// host has one; otherwise these reduce to scalar-vs-scalar and pass
+// trivially) must be bit-identical to the scalar reference path, which
+// set_use_simd(false) pins. ---
+
+TEST(ChecksumSimdTest, IsaNameIsConsistentWithAvailability) {
+  if (ChecksumSimdAvailable()) {
+    EXPECT_STRNE(ChecksumIsaName(), "scalar");
+    EXPECT_GT(internal::SimdBlockBytes(), 0u);
+  } else {
+    EXPECT_STREQ(ChecksumIsaName(), "scalar");
+    EXPECT_EQ(internal::SimdBlockBytes(), 0u);
+  }
+}
+
+TEST(ChecksumSimdTest, MatchesScalarOverRandomLengths) {
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> byte(0, 255);
+  // Lengths straddling every dispatch boundary: below the 64-byte SIMD
+  // threshold, one block, block+tail, and multi-KiB bulk.
+  std::uniform_int_distribution<std::size_t> size(0, 16384);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::byte> data(round < 128 ? static_cast<std::size_t>(round) : size(rng));
+    for (auto& b : data) {
+      b = static_cast<std::byte>(byte(rng));
+    }
+    InternetChecksum simd;
+    simd.Update(data);
+    InternetChecksum scalar;
+    scalar.set_use_simd(false);
+    scalar.Update(data);
+    ASSERT_EQ(simd.value(), scalar.value()) << "len=" << data.size();
+    ASSERT_EQ(simd.value(), ReferenceChecksum(data)) << "len=" << data.size();
+  }
+}
+
+TEST(ChecksumSimdTest, AllSourceAndDestinationMisalignments) {
+  // A 64-byte-aligned backing store, then every (src, dst) misalignment in
+  // 0..63: unaligned loads/stores in the kernel must neither fault nor
+  // change the folded value or the copied bytes.
+  constexpr std::size_t kLen = 2048 + 7;  // odd length: scalar tail + carry
+  alignas(64) static std::byte src_store[kLen + 64];
+  alignas(64) static std::byte dst_store[kLen + 64];
+  std::mt19937 rng(424242);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (auto& b : src_store) {
+    b = static_cast<std::byte>(byte(rng));
+  }
+  for (std::size_t src_off = 0; src_off < 64; ++src_off) {
+    const std::span<const std::byte> src(src_store + src_off, kLen);
+    InternetChecksum scalar;
+    scalar.set_use_simd(false);
+    scalar.Update(src);
+    const std::uint16_t expect = scalar.value();
+    for (std::size_t dst_off = 0; dst_off < 64; ++dst_off) {
+      const std::span<std::byte> dst(dst_store + dst_off, kLen);
+      std::memset(dst_store, 0xEE, sizeof dst_store);
+      ASSERT_EQ(CopyAndChecksum(src, dst), expect)
+          << "src_off=" << src_off << " dst_off=" << dst_off;
+      ASSERT_TRUE(std::equal(src.begin(), src.end(), dst.begin()))
+          << "src_off=" << src_off << " dst_off=" << dst_off;
+    }
+  }
+}
+
+TEST(ChecksumSimdTest, FusedSplitSequencesMatchScalarAcrossOddCarries) {
+  // Arbitrary (odd, tiny, huge) Update splits drive the dangling-byte carry
+  // through the SIMD entry: after an odd chunk every later chunk enters the
+  // kernel mid-stream. SIMD and forced-scalar runs must agree at every
+  // intermediate value() observation, not just the final one.
+  std::mt19937 rng(777);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 60; ++round) {
+    std::uniform_int_distribution<std::size_t> size(1, 9000);
+    std::vector<std::byte> src(size(rng));
+    for (auto& b : src) {
+      b = static_cast<std::byte>(byte(rng));
+    }
+    std::vector<std::byte> dst_simd(src.size(), std::byte{0});
+    std::vector<std::byte> dst_scalar(src.size(), std::byte{0});
+    InternetChecksum simd;
+    InternetChecksum scalar;
+    scalar.set_use_simd(false);
+    std::size_t pos = 0;
+    while (pos < src.size()) {
+      std::uniform_int_distribution<std::size_t> step(1, 1 + (round % 2 ? 63 : 1500));
+      const std::size_t n = std::min(step(rng), src.size() - pos);
+      const auto chunk = std::span<const std::byte>(src).subspan(pos, n);
+      simd.UpdateWithCopy(chunk, dst_simd.data() + pos);
+      scalar.UpdateWithCopy(chunk, dst_scalar.data() + pos);
+      ASSERT_EQ(simd.value(), scalar.value())
+          << "round=" << round << " pos=" << pos << " n=" << n;
+      pos += n;
+    }
+    ASSERT_EQ(simd.value(), ChecksumOf(src));
+    ASSERT_TRUE(std::equal(src.begin(), src.end(), dst_simd.begin()));
+    ASSERT_TRUE(std::equal(src.begin(), src.end(), dst_scalar.begin()));
+  }
+}
+
 TEST(InternetChecksumTest, ResetClearsDanglingByte) {
   InternetChecksum c;
   c.Update(Bytes({0x01, 0x02, 0x03}));  // Leaves a dangling odd byte.
