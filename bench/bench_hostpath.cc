@@ -9,6 +9,7 @@
 // before/after trajectory.
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -458,6 +459,131 @@ int Run() {
     if (ring_stats.ring_submits != static_cast<std::uint64_t>(kStream) * (1 + kLossyReps) ||
         ring_stats.ring_completions != ring_stats.ring_submits) {
       std::fprintf(stderr, "window sweep w=%u: ring accounting mismatch\n", window);
+      return 1;
+    }
+  }
+
+  // --- Crash-and-heal recovery row (simulated, deterministic). The receiver
+  //     crash-stops mid-datagram and reboots 500 us later; the sender's
+  //     timeout retransmit hits the epoch-2 incarnation and is fenced (epoch
+  //     bump + channel abort with kPeerCrashed + resync). The row reports the
+  //     post-heal simulated throughput of a fresh 64-datagram w=4 stream
+  //     against the rebooted peer. Acceptance: recovery leaves no residue --
+  //     the post-heal rate is within 10% of the w=4 lossless row above. ---
+  {
+    constexpr int kStream = 64;
+    constexpr std::uint32_t window = 4;
+    Engine engine;
+    Node sender(engine, "tx", Node::Config{});
+    Node receiver(engine, "rx", Node::Config{});
+    Network network(engine, sender, receiver);
+    Endpoint tx_ep(sender, 1);
+    Endpoint rx_ep(receiver, 1);
+    AddressSpace& tx_app = sender.CreateProcess("app");
+    AddressSpace& rx_app = receiver.CreateProcess("app");
+    const std::uint64_t wire_len = 60 * 1024;  // one AAL5 datagram per transfer
+    constexpr std::uint64_t kRegionStride = 16 * kPage;
+    tx_app.CreateRegion(kTxBase, wire_len);
+    (void)tx_app.Write(kTxBase, std::span<const std::byte>(payload).subspan(0, wire_len));
+    for (int i = 0; i < kStream; ++i) {
+      rx_app.CreateRegion(kRxBase + i * kRegionStride, wire_len);
+    }
+    ReliableOptions ropts;
+    ropts.arq = true;
+    ropts.window = window;
+    sender.EnableReliableDelivery(ropts);
+    receiver.EnableReliableDelivery(ropts);
+
+    // The sacrificed probe datagram: crash lands mid-wire (60 KiB takes
+    // ~3.7 ms), the probe's posted input is discarded by the crash, and the
+    // sender's retransmit performs epoch discovery against the reboot.
+    auto probe_in = [](Endpoint& ep, AddressSpace& app, std::uint64_t n) -> Task<void> {
+      (void)co_await ep.Input(app, kRxBase, n, Semantics::kCopy);
+    };
+    engine.ScheduleAt(2 * kMillisecond, [&receiver] { receiver.Crash(); });
+    engine.ScheduleAt(2 * kMillisecond + 500 * kMicrosecond,
+                      [&receiver] { receiver.Restart(); });
+    std::move(probe_in(rx_ep, rx_app, wire_len)).Detach();
+    std::move(tx_ep.Output(tx_app, kTxBase, wire_len, Semantics::kCopy)).Detach();
+    engine.Run();
+    if (receiver.crashes() != 1 || receiver.crashed() ||
+        sender.reliable().stats().epoch_bumps != 1 ||
+        sender.reliable().stats().peer_crash_aborts == 0 ||
+        sender.reliable().stats().resyncs == 0) {
+      std::fprintf(stderr, "crash-heal bench: recovery path not exercised\n");
+      return 1;
+    }
+
+    auto ring_driver = [](Endpoint& ep, AddressSpace& app, std::uint64_t len,
+                          std::uint32_t w) -> Task<void> {
+      int sent = 0;
+      std::vector<Endpoint::Completion> done;
+      while (sent < kStream) {
+        const int chunk = std::min<int>(static_cast<int>(w), kStream - sent);
+        std::vector<Endpoint::SubmitEntry> batch(static_cast<std::size_t>(chunk));
+        for (int i = 0; i < chunk; ++i) {
+          batch[static_cast<std::size_t>(i)].op = Endpoint::SubmitEntry::Op::kOutput;
+          batch[static_cast<std::size_t>(i)].app = &app;
+          batch[static_cast<std::size_t>(i)].va = kTxBase;
+          batch[static_cast<std::size_t>(i)].len = len;
+          batch[static_cast<std::size_t>(i)].sem = Semantics::kCopy;
+          batch[static_cast<std::size_t>(i)].user_data = static_cast<std::uint64_t>(sent + i);
+        }
+        if (ep.SubmitBatch(batch) != static_cast<std::size_t>(chunk)) {
+          std::fprintf(stderr, "crash-heal bench: submit ring refused a batch\n");
+          std::abort();
+        }
+        (void)co_await ep.Drain();
+        (void)co_await ep.WaitCompletions(static_cast<std::size_t>(chunk));
+        done.clear();
+        (void)ep.Harvest(&done);
+        for (const Endpoint::Completion& c : done) {
+          if (c.status != IoStatus::kOk) {
+            std::fprintf(stderr, "crash-heal bench: post-heal completion %llu failed\n",
+                         static_cast<unsigned long long>(c.user_data));
+            std::abort();
+          }
+        }
+        sent += chunk;
+      }
+    };
+    auto input = [](Endpoint& ep, AddressSpace& app, Vaddr va, std::uint64_t n) -> Task<void> {
+      (void)co_await ep.Input(app, va, n, Semantics::kCopy);
+    };
+    Row heal;
+    heal.name = "e2e_arq_crash_heal_60k";
+    heal.iterations = 1;
+    const SimTime t0 = engine.now();
+    for (int i = 0; i < kStream; ++i) {
+      std::move(input(rx_ep, rx_app, kRxBase + i * kRegionStride, wire_len)).Detach();
+    }
+    std::move(ring_driver(tx_ep, tx_app, wire_len, window)).Detach();
+    engine.Run();
+    const double sim_s = SimTimeToMicros(engine.now() - t0) / 1e6;
+    heal.mb_per_s =
+        static_cast<double>(kStream) * static_cast<double>(wire_len) / sim_s / 1e6;
+    rows.push_back(heal);
+
+    // Exactly the probe failed; the whole measured stream delivered against
+    // the epoch-2 peer with no give-ups and no lingering resync.
+    if (tx_ep.stats().failed_outputs != 1 || rx_ep.stats().failed_inputs != 1 ||
+        sender.reliable().stats().giveups != 0 ||
+        receiver.reliable().stats().giveups != 0) {
+      std::fprintf(stderr, "crash-heal bench: post-heal stream was not exactly-once\n");
+      return 1;
+    }
+    double lossless_rate = 0;
+    for (const Row& r : rows) {
+      if (r.name == "e2e_copy_arq_w4_lossless_60k") {
+        lossless_rate = r.mb_per_s;
+      }
+    }
+    if (lossless_rate <= 0 ||
+        std::fabs(heal.mb_per_s - lossless_rate) > 0.10 * lossless_rate) {
+      std::fprintf(stderr,
+                   "crash-heal bench: post-heal %.1f MB/s vs lossless %.1f MB/s "
+                   "(bar: within 10%%)\n",
+                   heal.mb_per_s, lossless_rate);
       return 1;
     }
   }

@@ -176,4 +176,42 @@ for round in 1 2 3; do
 done
 timeout "$STRESS_BUDGET" build-tsan/tests/net_checksum_test
 
+echo "=== tier-1: crash/partition recovery soak (-O2 + ASan, stop-and-wait and windowed) ==="
+# Seventh leg: crash-stop chaos — armed node crash/restart cycles plus fabric
+# partition/heal flaps over the multi-tenant workload, gating on exact
+# closed-loop accounting (every transfer completes or fails loudly with
+# kPeerCrashed/kGiveUp), quiescent VM invariants on every node including
+# rebooted ones, and epoch fencing actually firing. Three pinned seeds gate
+# each (build, window) combination — 11030 is the seed that first exposed the
+# TCOW free-while-wired bug, kept as a regression guard. Replay any failure
+# with GENIE_CRASH_SEED=<seed>; a failing seed leaves a flight-recorder dump
+# in $GENIE_FLIGHT_DIR. One entropy seed per window widens coverage under
+# ASan without gating.
+CRASH_FILTER='--gtest_filter=CrashRecoveryStressTest.CrashAndPartitionSoakKeepsAccountingExactAcrossSeeds'
+for build_dir in build build-asan; do
+  for window in 1 16; do
+    CRASH_BIN=$build_dir/tests/crash_recovery_stress_test
+    for seed in 11005 11030 11117; do
+      echo "crash-stress $build_dir window=$window fixed seed $seed"
+      if ! GENIE_CRASH_SEED=$seed GENIE_RELIABLE_WINDOW=$window \
+          ASAN_OPTIONS=detect_leaks=0 \
+          timeout "$STRESS_BUDGET" "$CRASH_BIN" "$CRASH_FILTER"; then
+        print_flight_dumps
+        exit 1
+      fi
+    done
+  done
+done
+CRASH_BIN=build-asan/tests/crash_recovery_stress_test
+for window in 1 16; do
+  ENTROPY_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+  echo "crash-stress entropy seed $ENTROPY_SEED window=$window (replay: GENIE_CRASH_SEED=$ENTROPY_SEED GENIE_RELIABLE_WINDOW=$window $CRASH_BIN $CRASH_FILTER)"
+  if ! GENIE_CRASH_SEED=$ENTROPY_SEED GENIE_RELIABLE_WINDOW=$window \
+      ASAN_OPTIONS=detect_leaks=0 \
+      timeout "$STRESS_BUDGET" "$CRASH_BIN" "$CRASH_FILTER"; then
+    echo "NON-FATAL: entropy seed $ENTROPY_SEED (window=$window) failed the crash-recovery soak — file for triage."
+    print_flight_dumps
+  fi
+done
+
 echo "CI OK: all suites passed."

@@ -112,9 +112,11 @@ Endpoint::Endpoint(Node& node, std::uint64_t channel, GenieOptions options)
     case InputBuffering::kEarlyDemux:
       break;
   }
+  node_->RegisterEndpoint(this);
 }
 
 Endpoint::~Endpoint() {
+  node_->UnregisterEndpoint(this);
   while (!named_buffers_.empty()) {
     UnregisterNamedBuffer(named_buffers_.begin()->first);
   }
@@ -183,6 +185,9 @@ std::string Endpoint::XferLabel(const char* direction, Semantics sem) {
 std::string Endpoint::XferTrack() const { return node_->name() + ".xfer"; }
 
 void Endpoint::RecordInputComplete(PendingInput& pi) {
+  if (pi.cancel_id != 0) {
+    live_inputs_.erase(pi.cancel_id);
+  }
   const double us = SimTimeToMicros(node_->engine().now() - pi.started_at);
   if (options_.register_metrics) {
     node_->metrics().Histogram(metric_prefix_ + "input_latency_us").Add(us);
@@ -325,6 +330,11 @@ Task<IoStatus> Endpoint::RunOutputPrepare(std::shared_ptr<OutputState> st) {
 
 Task<void> Endpoint::OutputTagged(AddressSpace& app, Vaddr va, std::uint64_t len,
                                   Semantics sem, std::uint32_t tag) {
+  if (node_->crashed()) {
+    // Kernel I/O state is gone; fail fast without touching the VM.
+    ++stats_.failed_outputs;
+    co_return;
+  }
   auto st = MakeOutputState(app, va, len, sem, tag);
   co_await node_->cpu().Acquire();
   const IoStatus prep = co_await RunOutputPrepare(st);
@@ -616,6 +626,7 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
   co_await Delay(node_->engine(), node_->Cost(OpKind::kHardwareFixed, 0));
   bool delivery_failed = false;
   bool watchdog_cancelled = false;
+  bool peer_crashed = false;
   if (reliable.arq_enabled()) {
     auto token = std::make_shared<ReliableDelivery::CancelToken>();
     std::uint64_t watch_id = 0;
@@ -623,6 +634,12 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
     if (reliable.watchdog_enabled()) {
       watching = true;
       watch_id = reliable.Watch(st->xfer, [this, token] {
+        if (token->resolved) {
+          // The transfer already succeeded at this instant (ack and watchdog
+          // scan landing together): report completion, not a cancel, so the
+          // giveup/completed counters cannot both tick for one transfer.
+          return ReliableDelivery::WatchVerdict::kCompleted;
+        }
         if (token->cancelled) {
           return ReliableDelivery::WatchVerdict::kBusy;  // Unwind under way.
         }
@@ -646,6 +663,7 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
     }
     delivery_failed = report.outcome != ReliableDelivery::TxOutcome::kDelivered;
     watchdog_cancelled = report.outcome == ReliableDelivery::TxOutcome::kCancelled;
+    peer_crashed = report.outcome == ReliableDelivery::TxOutcome::kPeerCrashed;
   } else if (reliable.watchdog_enabled()) {
     // Unreliable transmit, but watched: a credit deadlock (flow control with
     // the peer never posting a receive) is broken by aborting the wait.
@@ -695,9 +713,13 @@ Task<void> Endpoint::TransmitAndDispose(std::shared_ptr<OutputState> st) {
   node_->cpu().Release();
   FinishOperation();
   if (st->on_complete) {
-    st->on_complete(delivery_failed
-                        ? (watchdog_cancelled ? IoStatus::kCancelled : IoStatus::kIoError)
-                        : IoStatus::kOk);
+    IoStatus status = IoStatus::kOk;
+    if (delivery_failed) {
+      status = peer_crashed      ? IoStatus::kPeerCrashed
+               : watchdog_cancelled ? IoStatus::kCancelled
+                                    : IoStatus::kIoError;
+    }
+    st->on_complete(status);
   }
 }
 
@@ -817,6 +839,15 @@ Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64
                                         Semantics sem, bool system_allocated) {
   GENIE_CHECK_GT(len, 0u);
   GENIE_CHECK_LE(len, kMaxAal5Payload);
+  if (node_->crashed()) {
+    // Kernel I/O state is gone; fail fast without touching the VM.
+    ++stats_.failed_inputs;
+    InputResult result;
+    result.ok = false;
+    result.status = IoStatus::kPeerCrashed;
+    result.completed_at = node_->engine().now();
+    co_return result;
+  }
   auto pi = std::make_shared<PendingInput>(node_->engine());
   pi->app = &app;
   pi->va = va;
@@ -856,13 +887,30 @@ Task<InputResult> Endpoint::InputCommon(AddressSpace& app, Vaddr va, std::uint64
     co_return pi->result;
   }
 
+  if (node_->crashed()) {
+    // The crash landed while prepare held the CPU (the crash unwind cannot
+    // see an input that is not yet posted). Undo the prepare and fail, as
+    // the crash unwind would have; PostReceive on a crashed adapter aborts.
+    Charges discarded;
+    UnwindInputResources(*pi, discarded);
+    ++stats_.failed_inputs;
+    ++stats_.recovered_transfers;
+    pi->result.ok = false;
+    pi->result.status = IoStatus::kPeerCrashed;
+    pi->result.completed_at = node_->engine().now();
+    FinishOperation();
+    co_return pi->result;
+  }
+
   pi->cancel_id = next_cancel_id_++;
+  live_inputs_[pi->cancel_id] = pi;
   switch (pi->mode) {
     case InputBuffering::kEarlyDemux: {
       Adapter::PostedReceive posted;
       posted.target = pi->target;
       posted.cancel_id = pi->cancel_id;
       posted.on_complete = [this, pi](const RxCompletion& c) {
+        pi->dispose_started = true;
         std::move(RunDisposeEarlyDemux(pi, c)).Detach();
       };
       node_->adapter().PostReceive(channel_, std::move(posted));
@@ -1493,6 +1541,39 @@ void Endpoint::CancelStuckInput(PendingInput& pi) {
   pi.done.Set();
 }
 
+void Endpoint::CrashAbort() {
+  // Inputs whose dispose already claimed them run to completion (their
+  // frames are local); everything else waiting for data is unwound. Collect
+  // first — failing an input erases it from live_inputs_.
+  std::vector<std::shared_ptr<PendingInput>> victims;
+  for (const auto& [id, pi] : live_inputs_) {
+    if (!pi->dispose_started) {
+      victims.push_back(pi);
+    }
+  }
+  for (const auto& pi : victims) {
+    // Control-plane unwind, like the watchdog path: no CPU charge.
+    Charges discarded;
+    UnwindInputResources(*pi, discarded);
+    pi->result.ok = false;
+    pi->result.status = IoStatus::kPeerCrashed;
+    pi->result.completed_at = node_->engine().now();
+    ++stats_.failed_inputs;
+    ++stats_.recovered_transfers;
+    if (TraceLog* trace = node_->trace(); trace != nullptr) {
+      trace->Instant(XferTrack(), pi->xfer + " crash aborted", "crash",
+                     node_->engine().now());
+    }
+    RecordInputComplete(*pi);
+    FinishOperation();
+    pi->done.Set();
+  }
+  // The adapter's crash wipe already dropped its postings; the endpoint-side
+  // waiting lists must match (every entry was just failed above).
+  pending_pooled_.clear();
+  pending_outboard_.clear();
+}
+
 Endpoint::ChecksumVerdict Endpoint::VerifyChecksum(PendingInput& pi, const IoVec& data,
                                                    std::uint64_t n, std::uint32_t header,
                                                    Charges& ch) {
@@ -1754,6 +1835,7 @@ void Endpoint::OnPooledFrame(PooledFrame frame) {
   }
   std::shared_ptr<PendingInput> pi = pending_pooled_.front();
   pending_pooled_.pop_front();
+  pi->dispose_started = true;
   std::move(RunDisposePooled(pi, std::move(frame))).Detach();
 }
 
@@ -1764,6 +1846,7 @@ void Endpoint::OnOutboardFrame(const OutboardFrame& frame) {
   }
   std::shared_ptr<PendingInput> pi = pending_outboard_.front();
   pending_outboard_.pop_front();
+  pi->dispose_started = true;
   std::move(RunDisposeOutboard(pi, frame)).Detach();
 }
 

@@ -38,6 +38,7 @@ enum class IoStatus : std::uint8_t {
   kNoMemory,   // frame allocation failed and pageout could not make room
   kIoError,    // device error, failed page-in, or buffer yanked mid-transfer
   kCancelled,  // transfer watchdog cancelled a stuck operation
+  kPeerCrashed,  // aborted by a crash-stop (local node or peer epoch bump)
 };
 
 struct InputResult {
@@ -212,6 +213,13 @@ class Endpoint {
   // Test hook: the next output's transport checksum is corrupted in flight.
   void CorruptNextChecksum() { corrupt_next_checksum_ = true; }
 
+  // Crash-stop unwind (called by Node::Crash after the adapter wiped its
+  // posted-receive and queue state): every waiting input that has not begun
+  // its dispose is unwound and failed with IoStatus::kPeerCrashed. Outputs
+  // need no handling here — in-flight transmits are woken by the reliable
+  // layer's crash resolution and run their normal sender-side dispose.
+  void CrashAbort();
+
  private:
   struct Charges {
     std::vector<std::pair<OpKind, std::uint64_t>> items;
@@ -278,6 +286,10 @@ class Endpoint {
     // early-demultiplexed inputs the same id is stamped on the posted
     // receive so the adapter-side posting can be revoked atomically.
     std::uint64_t cancel_id = 0;
+    // A dispose coroutine has claimed this input: the frame landed and data
+    // movement is running. A node crash lets such inputs finish (the frames
+    // are already local) instead of unwinding under a running dispose.
+    bool dispose_started = false;
   };
 
   Task<InputResult> InputCommon(AddressSpace& app, Vaddr va, std::uint64_t len, Semantics sem,
@@ -396,6 +408,10 @@ class Endpoint {
   std::map<std::uint32_t, std::shared_ptr<NamedBuffer>> named_buffers_;
   std::uint32_t next_tag_ = 1;
   std::uint64_t next_cancel_id_ = 1;
+  // Every live input keyed by cancel id, from post to completion record —
+  // the crash unwind's worklist. The deques above only cover pooled/outboard
+  // waiters; early-demux postings live adapter-side.
+  std::map<std::uint64_t, std::shared_ptr<PendingInput>> live_inputs_;
   // Ring API state. The deques are the rings (bounded by options_.ring_depth
   // on the submit side); cq_ready_ is set on every completion push so
   // WaitCompletions wakes exactly when occupancy grows.

@@ -1,5 +1,10 @@
 #include "src/genie/node.h"
 
+#include <algorithm>
+
+#include "src/genie/endpoint.h"
+#include "src/vm/invariants.h"
+
 namespace genie {
 
 namespace {
@@ -104,6 +109,109 @@ void Node::RegisterComponentGauges() {
                          [&rel] { return rel.stats().watchdog_cancels; });
   metrics_.RegisterGauge("reliable.watchdog_scans",
                          [&rel] { return rel.stats().watchdog_scans; });
+
+  // Crash-stop recovery observability. All of these read zero on a healthy
+  // run, so snapshots (zero-omitting JSON) are unchanged unless crashes,
+  // fencing, or link flaps actually happened.
+  metrics_.RegisterGauge("node.crashes", [this] { return crashes_; });
+  metrics_.RegisterGauge("reliable.epoch_bumps", [&rel] { return rel.stats().epoch_bumps; });
+  metrics_.RegisterGauge("reliable.resyncs", [&rel] { return rel.stats().resyncs; });
+  metrics_.RegisterGauge("reliable.peer_crash_aborts",
+                         [&rel] { return rel.stats().peer_crash_aborts; });
+  metrics_.RegisterGauge("reliable.stale_epoch_drops",
+                         [&nic] { return nic.stale_epoch_drops(); });
+  metrics_.RegisterGauge("nic.crash_frame_drops", [&nic] { return nic.crash_frame_drops(); });
+  metrics_.RegisterGauge("nic.crash_cell_drops", [&nic] { return nic.crash_cell_drops(); });
+  metrics_.RegisterGauge("nic.fences_sent", [&nic] { return nic.fences_sent(); });
+  metrics_.RegisterGauge("nic.resyncs_sent", [&nic] { return nic.resyncs_sent(); });
+  metrics_.RegisterGauge("nic.link_down_drops", [&nic] { return nic.link_down_drops(); });
+}
+
+void Node::Crash() {
+  GENIE_CHECK(!crashed_) << name_ << ": Crash() on an already-crashed node";
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".xfer", "crash -> e" + std::to_string(epoch_ + 1), "crash",
+                    engine_->now());
+  }
+  // The observer fires BEFORE any state is discarded so a flight recorder
+  // can dump the victim's trace ring with its final pre-crash events intact.
+  if (crash_observer_) {
+    crash_observer_(epoch_ + 1);
+  }
+  crashed_ = true;
+  ++epoch_;
+  ++crashes_;
+  // Wipe order matters: the adapter first (so endpoint/reliable unwinds
+  // cannot accidentally transmit or re-post against live NIC state), then
+  // endpoint-level waiting operations, then the reliable layer's in-flight
+  // transfer bookkeeping.
+  adapter_.Crash(epoch_);
+  for (Endpoint* ep : endpoints_) {
+    ep->CrashAbort();
+  }
+  reliable_->Crash(epoch_);
+  // A crash discards I/O state, not correctness of what survives: every
+  // unwound input must have returned its references, wirings, and
+  // system-allocated regions to a consistent VM state.
+  std::vector<AddressSpace*> spaces;
+  spaces.reserve(processes_.size());
+  for (const auto& p : processes_) {
+    spaces.push_back(p.get());
+  }
+  InvariantReport report =
+      VmInvariants::CheckAll(vm_, spaces, /*expect_quiescent=*/false);
+  GENIE_CHECK(report.violations.empty())
+      << name_ << ": VM invariants violated by crash unwind: "
+      << report.violations.front();
+}
+
+void Node::Restart() {
+  GENIE_CHECK(crashed_) << name_ << ": Restart() on a node that is not crashed";
+  crashed_ = false;
+  adapter_.Restart();
+  reliable_->OnRestart();
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".xfer", "restart e" + std::to_string(epoch_), "crash",
+                    engine_->now());
+  }
+  if (restart_observer_) {
+    restart_observer_(epoch_);
+  }
+}
+
+void Node::ArmCrashInjection(FaultPlan* plan, SimTime period, SimTime horizon,
+                             SimTime restart_delay) {
+  GENIE_CHECK(plan != nullptr);
+  GENIE_CHECK(period > 0);
+  ScheduleCrashTick(plan, period, horizon, restart_delay);
+}
+
+void Node::ScheduleCrashTick(FaultPlan* plan, SimTime period, SimTime horizon,
+                             SimTime restart_delay) {
+  if (engine_->now() + period > horizon) {
+    return;  // past the injection window; let the run go quiescent
+  }
+  engine_->ScheduleAfter(period, [this, plan, period, horizon, restart_delay] {
+    // A crashed node consults no rules until its restart lands; the op
+    // counter therefore advances only over live instants, which keeps
+    // nth-style rules meaningful across incarnations.
+    if (!crashed_) {
+      std::uint64_t arg = 0;
+      if (plan->ShouldFail(FaultSite::kNodeCrash, &arg)) {
+        Crash();
+        const SimTime delay = arg != 0 ? static_cast<SimTime>(arg) : restart_delay;
+        engine_->ScheduleAfter(delay, [this] { Restart(); });
+      }
+    }
+    ScheduleCrashTick(plan, period, horizon, restart_delay);
+  });
+}
+
+void Node::RegisterEndpoint(Endpoint* endpoint) { endpoints_.push_back(endpoint); }
+
+void Node::UnregisterEndpoint(Endpoint* endpoint) {
+  endpoints_.erase(std::remove(endpoints_.begin(), endpoints_.end(), endpoint),
+                   endpoints_.end());
 }
 
 AddressSpace& Node::CreateProcess(const std::string& proc_name) {

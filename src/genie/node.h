@@ -24,6 +24,8 @@
 
 namespace genie {
 
+class Endpoint;
+
 class Node {
  public:
   struct Config {
@@ -132,6 +134,49 @@ class Node {
   }
   TraceLog* trace() { return trace_; }
 
+  // --- Crash-stop node failures & epoch-fenced restart ---
+  //
+  // Crash() atomically discards every piece of in-flight I/O state this
+  // incarnation owns: the adapter drops posted receives, held frames, dedup
+  // and credit state; every endpoint fails its waiting inputs with
+  // IoStatus::kPeerCrashed; the reliable layer resolves in-flight transfers
+  // as crashed. The incarnation epoch bumps at crash time, so a peer still
+  // talking to the dead epoch is fenced (its frames bounce with an epoch
+  // fence cell) and must resynchronize before new traffic flows. Process
+  // memory and metrics survive — the model is kernel I/O state loss, not
+  // full machine loss — and VM bookkeeping invariants are asserted on the
+  // post-crash state. Restart() clears the crashed flag; the node accepts
+  // traffic again under the new epoch.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+  std::uint32_t epoch() const { return epoch_; }
+  std::uint64_t crashes() const { return crashes_; }
+
+  // Observer invoked at crash time, BEFORE any state is discarded — the
+  // flight recorder dumps the victim's trace ring here, with its last events
+  // intact. Receives the epoch the node is crashing INTO.
+  void set_crash_observer(std::function<void(std::uint32_t epoch)> observer) {
+    crash_observer_ = std::move(observer);
+  }
+  // Observer invoked after Restart() (flight recorder: reset the trace ring
+  // and stamp subsequent dumps with the new epoch).
+  void set_restart_observer(std::function<void(std::uint32_t epoch)> observer) {
+    restart_observer_ = std::move(observer);
+  }
+
+  // Seeded crash injection: every `period` a tick consults `plan` at
+  // FaultSite::kNodeCrash; a firing rule crash-stops the node and schedules
+  // Restart() after the rule's arg ns (0 = `restart_delay`). Ticks stop
+  // after `horizon` so the simulation can go quiescent.
+  void ArmCrashInjection(FaultPlan* plan, SimTime period, SimTime horizon,
+                         SimTime restart_delay);
+
+  // Endpoint registry (maintained by the Endpoint ctor/dtor) so Crash() can
+  // unwind every endpoint's waiting operations.
+  void RegisterEndpoint(Endpoint* endpoint);
+  void UnregisterEndpoint(Endpoint* endpoint);
+
   // This node's metrics registry. The node registers gauges over its own
   // components (physical memory, backing store, pageout daemon, adapter) at
   // construction and over each process address space in CreateProcess;
@@ -141,6 +186,8 @@ class Node {
 
  private:
   void RegisterComponentGauges();
+  void ScheduleCrashTick(FaultPlan* plan, SimTime period, SimTime horizon,
+                         SimTime restart_delay);
 
   Engine* engine_;
   std::string name_;
@@ -157,6 +204,13 @@ class Node {
   TraceLog* trace_ = nullptr;
   std::map<std::uint64_t, std::function<void(PooledFrame)>> pooled_handlers_;
   std::map<std::uint64_t, std::function<void(OutboardFrame)>> outboard_handlers_;
+
+  std::uint32_t epoch_ = 1;  // incarnation; bumped at crash time
+  bool crashed_ = false;
+  std::uint64_t crashes_ = 0;
+  std::vector<Endpoint*> endpoints_;
+  std::function<void(std::uint32_t)> crash_observer_;
+  std::function<void(std::uint32_t)> restart_observer_;
 };
 
 // Connects two nodes with one ATM virtual circuit in each direction.

@@ -16,6 +16,12 @@ ReliableDelivery::ReliableDelivery(Engine& engine, Adapter& adapter, std::string
       [this](std::uint64_t channel, std::uint64_t seq, bool ok) { OnAck(channel, seq, ok); });
   adapter_->set_sack_handler(
       [this](std::uint64_t channel, std::vector<SackCell> cells) { OnSack(channel, cells); });
+  adapter_->set_fence_handler([this](std::uint64_t channel, std::uint32_t peer_epoch) {
+    OnFence(channel, peer_epoch);
+  });
+  adapter_->set_resync_ack_handler([this](std::uint64_t channel, std::uint32_t peer_epoch) {
+    OnResyncAck(channel, peer_epoch);
+  });
 }
 
 void ReliableDelivery::Instant(const std::string& text, std::uint64_t flow) {
@@ -53,6 +59,16 @@ void ReliableDelivery::OnAck(std::uint64_t channel, std::uint64_t seq, bool ok) 
     // failures, dropped frames) and duplicate re-acks; SACK trains carry the
     // normal acknowledgement traffic (OnSack).
     WindowEntry* entry = FindEntry(channel, seq);
+    if (entry != nullptr && ok && entry->result == WindowEntry::kGiveUp) {
+      // The ack landed in the same instant as the give-up verdict, before
+      // the owning coroutine consumed it: the frame WAS delivered, so the
+      // ack wins and the transfer completes (counted once, as delivered).
+      entry->result = WindowEntry::kAcked;
+      if (entry->token != nullptr) {
+        entry->token->resolved = true;
+      }
+      return;
+    }
     if (entry == nullptr || entry->result != WindowEntry::kPending) {
       ++stats_.stale_acks;
       return;
@@ -74,9 +90,21 @@ void ReliableDelivery::OnAck(std::uint64_t channel, std::uint64_t seq, bool ok) 
   }
   PendingAck& pending = *it->second;
   if (pending.outcome != PendingAck::kNone) {
+    if (ok && pending.outcome == PendingAck::kTimeout) {
+      // Ack and retransmit timer fired in the same instant with the timer's
+      // event first; the round is still unconsumed (the owner wakes via a
+      // zero-delay event), so the ack wins and the round completes.
+      pending.outcome = PendingAck::kAcked;
+      if (pending.token != nullptr) {
+        pending.token->resolved = true;
+      }
+    }
     return;  // This round already resolved (e.g. ack racing the timeout).
   }
   pending.outcome = ok ? PendingAck::kAcked : PendingAck::kNacked;
+  if (ok && pending.token != nullptr) {
+    pending.token->resolved = true;
+  }
   pending.event.Set();
 }
 
@@ -88,12 +116,28 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
     co_return co_await TransmitWindowed(channel, iov, header, tag, std::move(label),
                                         std::move(token), flow);
   }
+  TxReport report;
+  if (crashed_) {
+    report.outcome = TxOutcome::kPeerCrashed;
+    ++stats_.peer_crash_aborts;
+    co_return report;
+  }
+  if (!co_await AwaitResync(channel, token, label, flow)) {
+    report.outcome = TxOutcome::kCancelled;
+    ++stats_.cancelled_transmits;
+    co_return report;
+  }
+  if (crashed_) {
+    report.outcome = TxOutcome::kPeerCrashed;
+    ++stats_.peer_crash_aborts;
+    co_return report;
+  }
   const std::uint64_t seq = ++next_seq_[channel];
   ++stats_.sequenced_frames;
 
-  TxReport report;
   SimTime timeout = options_.initial_timeout;
   PendingAck pending(*engine_);
+  pending.token = token;
   const std::pair<std::uint64_t, std::uint64_t> key{channel, seq};
   // Registered before the first transmit: with a delayed-completion fault on
   // our side of the wire, the peer's ack can arrive while TransmitFrame is
@@ -107,6 +151,8 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
     report.attempts = attempt + 1;
     auto ctl = std::make_shared<TxControl>();
     ctl->seq = seq;
+    ctl->src_epoch = local_epoch_;
+    ctl->dst_epoch = PeerEpoch(channel);
     // A retransmitted frame re-occupies the slot its credit already paid
     // for; acquiring again would double-spend and deadlock under loss.
     ctl->skip_credit = attempt > 0;
@@ -114,6 +160,11 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
       token->ctl = ctl;
     }
     co_await adapter_->TransmitFrame(channel, iov, header, tag, ctl, flow);
+    if (pending.outcome == PendingAck::kCrashed || crashed_) {
+      report.outcome = TxOutcome::kPeerCrashed;
+      ++stats_.peer_crash_aborts;
+      break;
+    }
     if (ctl->aborted || (token != nullptr && token->cancelled)) {
       report.outcome = TxOutcome::kCancelled;
       ++stats_.cancelled_transmits;
@@ -147,6 +198,11 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
         ack_rtt_->Add(SimTimeToMicros(engine_->now() - attempt_end));
       }
       report.outcome = TxOutcome::kDelivered;
+      break;
+    }
+    if (outcome == PendingAck::kCrashed) {
+      report.outcome = TxOutcome::kPeerCrashed;
+      ++stats_.peer_crash_aborts;
       break;
     }
     if (token != nullptr && token->cancelled) {
@@ -194,6 +250,11 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
         report.outcome = TxOutcome::kDelivered;
         break;
       }
+      if (pending.outcome == PendingAck::kCrashed || crashed_) {
+        report.outcome = TxOutcome::kPeerCrashed;
+        ++stats_.peer_crash_aborts;
+        break;
+      }
       if (token != nullptr && token->cancelled) {
         report.outcome = TxOutcome::kCancelled;
         ++stats_.cancelled_transmits;
@@ -207,6 +268,7 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
 
   pending_acks_.erase(key);
   if (token != nullptr) {
+    token->resolved = true;
     token->wake = nullptr;
     token->ctl.reset();
   }
@@ -240,6 +302,9 @@ void ReliableDelivery::ResolveAcked(WindowEntry& entry) {
     ack_rtt_->Add(entry.last_tx_end > 0 ? SimTimeToMicros(now - entry.last_tx_end) : 0.0);
   }
   entry.result = WindowEntry::kAcked;
+  if (entry.token != nullptr) {
+    entry.token->resolved = true;
+  }
   entry.done.Set();
 }
 
@@ -253,7 +318,7 @@ void ReliableDelivery::OnSack(std::uint64_t channel, const std::vector<SackCell>
   // live map is safe. Sequence numbers never wrap in practice (64-bit,
   // minted from 1), so plain comparisons suffice on the sender side.
   for (auto& [seq, entry] : win->second->inflight) {
-    if (entry->result != WindowEntry::kPending) {
+    if (entry->result != WindowEntry::kPending && entry->result != WindowEntry::kGiveUp) {
       continue;
     }
     bool covered = false;
@@ -264,10 +329,22 @@ void ReliableDelivery::OnSack(std::uint64_t channel, const std::vector<SackCell>
         break;
       }
     }
-    if (covered) {
-      ++stats_.acks;
-      ResolveAcked(*entry);
+    if (!covered) {
+      continue;
     }
+    if (entry->result == WindowEntry::kGiveUp) {
+      // The SACK landed in the same instant as the give-up verdict, before
+      // the owning coroutine consumed it: the frame WAS delivered, so the
+      // ack wins and the transfer completes (counted once, as delivered).
+      ++stats_.acks;
+      entry->result = WindowEntry::kAcked;
+      if (entry->token != nullptr) {
+        entry->token->resolved = true;
+      }
+      continue;
+    }
+    ++stats_.acks;
+    ResolveAcked(*entry);
   }
 }
 
@@ -301,10 +378,10 @@ void ReliableDelivery::RetransmitOrGiveUp(std::uint64_t channel, std::uint64_t s
     return;
   }
   if (e->attempts > options_.max_retransmits) {
-    ++stats_.giveups;
-    Instant(e->label + " giveup seq " + std::to_string(seq) + " after " +
-                std::to_string(e->attempts) + " attempts",
-            e->flow);
+    // The give-up is counted (and traced) by the owning coroutine when it
+    // consumes the verdict: an ack landing in this same instant may still
+    // override the result to kAcked (OnAck/OnSack), and that path must
+    // count one delivery — not a give-up AND a delivery.
     e->result = WindowEntry::kGiveUp;
     e->done.Set();
     return;
@@ -355,6 +432,8 @@ Task<void> ReliableDelivery::RetransmitEntry(std::uint64_t channel, std::uint64_
   ++e->attempts;
   auto ctl = std::make_shared<TxControl>();
   ctl->seq = seq;
+  ctl->src_epoch = local_epoch_;
+  ctl->dst_epoch = PeerEpoch(channel);
   // The lost original already spent this frame's flow-control credit;
   // acquiring again would double-spend and deadlock under loss.
   ctl->skip_credit = true;
@@ -394,10 +473,23 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitWindowed(
   // the check-and-mint runs without suspension, so each admission sees its
   // predecessors' seqs.
   for (;;) {
+    if (crashed_) {
+      report.outcome = TxOutcome::kPeerCrashed;
+      ++stats_.peer_crash_aborts;
+      co_return report;
+    }
     if (token != nullptr && token->cancelled) {
       report.outcome = TxOutcome::kCancelled;
       ++stats_.cancelled_transmits;
       co_return report;
+    }
+    if (Resyncing(channel)) {
+      if (!co_await AwaitResync(channel, token, label, flow)) {
+        report.outcome = TxOutcome::kCancelled;
+        ++stats_.cancelled_transmits;
+        co_return report;
+      }
+      continue;  // Re-check crash/cancel/window from the top.
     }
     if (win.inflight.empty() ||
         next_seq_[channel] + 1 < win.inflight.begin()->first + options_.window) {
@@ -433,6 +525,8 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitWindowed(
 
   auto ctl = std::make_shared<TxControl>();
   ctl->seq = seq;
+  ctl->src_epoch = local_epoch_;
+  ctl->dst_epoch = PeerEpoch(channel);
   e->ctl = ctl;
   if (token != nullptr) {
     token->ctl = ctl;
@@ -471,6 +565,14 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitWindowed(
       break;
     case WindowEntry::kGiveUp:
       report.outcome = TxOutcome::kGiveUp;
+      ++stats_.giveups;
+      Instant(label + " giveup seq " + std::to_string(seq) + " after " +
+                  std::to_string(e->attempts) + " attempts",
+              flow);
+      break;
+    case WindowEntry::kCrashed:
+      report.outcome = TxOutcome::kPeerCrashed;
+      ++stats_.peer_crash_aborts;
       break;
     case WindowEntry::kCancelled:
     case WindowEntry::kPending:
@@ -481,6 +583,7 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitWindowed(
   win.inflight.erase(seq);
   win.open.Set();  // The window slid; stalled admissions re-check.
   if (token != nullptr) {
+    token->resolved = true;
     token->wake = nullptr;
     token->ctl.reset();
   }
@@ -560,6 +663,194 @@ void ReliableDelivery::RecordFallback(const std::string& label, std::string_view
                                       std::string_view to) {
   ++stats_.fallbacks;
   Instant(label + " fallback " + std::string(from) + " -> " + std::string(to));
+}
+
+std::uint32_t ReliableDelivery::PeerEpoch(std::uint64_t channel) const {
+  auto it = peer_epoch_.find(channel);
+  return it == peer_epoch_.end() ? 1 : it->second;
+}
+
+bool ReliableDelivery::Resyncing(std::uint64_t channel) const {
+  auto it = resync_.find(channel);
+  return it != resync_.end() && it->second->resyncing;
+}
+
+Task<bool> ReliableDelivery::AwaitResync(std::uint64_t channel,
+                                         std::shared_ptr<CancelToken> token,
+                                         const std::string& label, std::uint64_t flow) {
+  for (;;) {
+    auto it = resync_.find(channel);
+    if (it == resync_.end() || !it->second->resyncing) {
+      co_return true;
+    }
+    if (token != nullptr && token->cancelled) {
+      co_return false;
+    }
+    ResyncBarrier& barrier = *it->second;
+    if (token != nullptr) {
+      token->wake = &barrier.open;
+    }
+    const SimTime stall_start = engine_->now();
+    co_await barrier.open.Wait();
+    barrier.open.Reset();
+    if (trace_ != nullptr && engine_->now() > stall_start) {
+      trace_->Span(xfer_track_, label + ".resync_stall", "reliable", stall_start, engine_->now(),
+                   flow);
+    }
+  }
+}
+
+void ReliableDelivery::OnFence(std::uint64_t channel, std::uint32_t peer_epoch) {
+  if (peer_epoch <= PeerEpoch(channel)) {
+    return;  // Duplicate fence from an incarnation we already resynced with.
+  }
+  ++stats_.epoch_bumps;
+  peer_epoch_[channel] = peer_epoch;
+  adapter_->NotePeerEpoch(channel, peer_epoch);
+  Instant("peer epoch bump ch " + std::to_string(channel) + " -> e" +
+          std::to_string(peer_epoch));
+  AbortChannel(channel);
+  StartResync(channel);
+}
+
+void ReliableDelivery::AbortChannel(std::uint64_t channel) {
+  // Stop-and-wait rounds: resolve in place; the owning coroutine erases its
+  // own map entry when it consumes the verdict.
+  for (auto& [key, pending] : pending_acks_) {
+    if (key.first != channel) {
+      continue;
+    }
+    if (pending->outcome == PendingAck::kNone) {
+      pending->outcome = PendingAck::kCrashed;
+      pending->event.Set();
+    }
+  }
+  // Windowed entries: the map itself stays (owners and detached retransmits
+  // hold pointers into it); each entry resolves and its owner retires it.
+  auto win = windows_.find(channel);
+  if (win != windows_.end()) {
+    for (auto& [seq, entry] : win->second->inflight) {
+      if (entry->result != WindowEntry::kPending) {
+        continue;
+      }
+      timers_.Cancel(entry->timer);
+      entry->result = WindowEntry::kCrashed;
+      entry->done.Set();
+    }
+  }
+}
+
+void ReliableDelivery::StartResync(std::uint64_t channel) {
+  auto& slot = resync_[channel];
+  if (slot == nullptr) {
+    slot = std::make_unique<ResyncBarrier>(*engine_);
+  }
+  ResyncBarrier& barrier = *slot;
+  if (barrier.resyncing) {
+    // An even newer incarnation fenced us mid-handshake: restart the retry
+    // budget and send a fresh proposal.
+    timers_.Cancel(barrier.timer);
+  }
+  barrier.resyncing = true;
+  barrier.open.Reset();
+  barrier.retries = 0;
+  SendResyncAttempt(channel);
+}
+
+void ReliableDelivery::SendResyncAttempt(std::uint64_t channel) {
+  if (crashed_ || !Resyncing(channel)) {
+    return;
+  }
+  ResyncBarrier& barrier = *resync_[channel];
+  ++stats_.resyncs;
+  // Propose our sequence high water: the rebooted receiver fast-forwards its
+  // dedup cursor past every seq this incarnation may retire, so pre-crash
+  // sequence numbers can never be mistaken for fresh traffic.
+  adapter_->SendResync(channel, next_seq_[channel]);
+  barrier.timer = timers_.ScheduleAfter(WithJitter(options_.initial_timeout), [this, channel] {
+    auto it = resync_.find(channel);
+    if (it == resync_.end() || !it->second->resyncing) {
+      return;
+    }
+    if (it->second->retries >= options_.max_retransmits) {
+      // Retry budget exhausted (the peer is still down, or the control path
+      // truly died). Open the barrier anyway: parked transfers proceed and
+      // fail through the normal give-up path, so the simulation still goes
+      // quiescent instead of wedging on the barrier forever.
+      Instant("resync giveup ch " + std::to_string(channel));
+      ReleaseResync(channel);
+      return;
+    }
+    ++it->second->retries;
+    SendResyncAttempt(channel);
+  });
+}
+
+void ReliableDelivery::ReleaseResync(std::uint64_t channel) {
+  auto it = resync_.find(channel);
+  if (it == resync_.end() || !it->second->resyncing) {
+    return;
+  }
+  it->second->resyncing = false;
+  timers_.Cancel(it->second->timer);
+  it->second->open.Set();
+}
+
+void ReliableDelivery::OnResyncAck(std::uint64_t channel, std::uint32_t peer_epoch) {
+  if (peer_epoch > PeerEpoch(channel)) {
+    peer_epoch_[channel] = peer_epoch;
+    adapter_->NotePeerEpoch(channel, peer_epoch);
+  }
+  if (Resyncing(channel)) {
+    Instant("resync complete ch " + std::to_string(channel) + " peer e" +
+            std::to_string(peer_epoch));
+    ReleaseResync(channel);
+  }
+}
+
+void ReliableDelivery::Crash(std::uint32_t epoch) {
+  GENIE_CHECK(!crashed_) << "Crash() on already-crashed reliable layer";
+  GENIE_CHECK_GT(epoch, local_epoch_);
+  crashed_ = true;
+  local_epoch_ = epoch;
+  // Every in-flight round resolves as crashed; the owners observe the flag
+  // when their zero-delay wake-ups run and report kPeerCrashed without
+  // touching the wire again.
+  for (auto& [key, pending] : pending_acks_) {
+    if (pending->outcome == PendingAck::kNone) {
+      pending->outcome = PendingAck::kCrashed;
+    }
+    pending->event.Set();
+  }
+  pending_acks_.clear();  // Owner erasures of retired keys become no-ops.
+  for (auto& [channel, win] : windows_) {
+    for (auto& [seq, entry] : win->inflight) {
+      if (entry->result == WindowEntry::kPending) {
+        timers_.Cancel(entry->timer);
+        entry->result = WindowEntry::kCrashed;
+      }
+      entry->done.Set();
+    }
+    win->open.Set();  // Stalled admissions wake and observe crashed_.
+  }
+  // Open every resync barrier so parked transfers unwind. The barrier
+  // objects themselves persist: parked coroutines hold references into them.
+  for (auto& [channel, barrier] : resync_) {
+    if (barrier->resyncing) {
+      barrier->resyncing = false;
+      timers_.Cancel(barrier->timer);
+    }
+    barrier->open.Set();
+  }
+  // What this incarnation knew about its peers dies with it; defaults (epoch
+  // 1) are always <= the truth, so fencing only errs towards re-learning.
+  peer_epoch_.clear();
+  watched_.clear();  // Pending scan timers self-squelch on the empty set.
+}
+
+void ReliableDelivery::OnRestart() {
+  GENIE_CHECK(crashed_) << "OnRestart() without a crash";
+  crashed_ = false;
 }
 
 }  // namespace genie

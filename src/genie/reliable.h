@@ -91,9 +91,10 @@ struct ReliableOptions {
 class ReliableDelivery {
  public:
   enum class TxOutcome : std::uint8_t {
-    kDelivered,  // acked by the peer adapter
-    kGiveUp,     // max_retransmits exhausted
-    kCancelled,  // watchdog (or caller) cancelled the transfer
+    kDelivered,    // acked by the peer adapter
+    kGiveUp,       // max_retransmits exhausted
+    kCancelled,    // watchdog (or caller) cancelled the transfer
+    kPeerCrashed,  // aborted by a crash-stop (local node or peer epoch bump)
   };
 
   struct TxReport {
@@ -106,6 +107,11 @@ class ReliableDelivery {
   // (credit wait, wire, ack wait, nack delay).
   struct CancelToken {
     bool cancelled = false;
+    // Set the moment the transfer reaches a successful resolution (ack/SACK
+    // arrival). A watchdog scan running in the same instant must observe it
+    // and report kCompleted instead of cancelling — otherwise the race is
+    // double-counted (a watchdog_cancel AND a completed transfer).
+    bool resolved = false;
     std::shared_ptr<TxControl> ctl;  // current in-flight transmission
     SimEvent* wake = nullptr;        // pending ack wait to poke
   };
@@ -128,6 +134,9 @@ class ReliableDelivery {
     std::uint64_t fallbacks = 0;   // semantics downgrades (endpoint-reported)
     std::uint64_t watchdog_scans = 0;
     std::uint64_t watchdog_cancels = 0;
+    std::uint64_t epoch_bumps = 0;        // peer incarnation changes observed
+    std::uint64_t resyncs = 0;            // resync handshake attempts sent
+    std::uint64_t peer_crash_aborts = 0;  // transfers aborted by a crash-stop
   };
 
   // `xfer_track` is the trace track transfer-level records go to
@@ -177,13 +186,36 @@ class ReliableDelivery {
     cancel_hook_ = std::move(hook);
   }
 
+  // --- Crash-stop & epoch fencing ---
+  //
+  // Crash-stop of the owning node: every in-flight stop-and-wait round and
+  // window entry resolves as kPeerCrashed, watchdog registrations are wiped,
+  // and open resync barriers release so parked transfers unwind through the
+  // normal failure paths. `epoch` is the node's new incarnation (strictly
+  // increasing). Sequence numbers are NOT reset — they are monotonic across
+  // incarnations, so the peer's dedup state stays valid and the resync
+  // handshake only has to advance its high water.
+  void Crash(std::uint32_t epoch);
+  // Clears the crashed flag once the node restarts; traffic may flow again.
+  void OnRestart();
+  std::uint32_t local_epoch() const { return local_epoch_; }
+  bool crashed() const { return crashed_; }
+  // Peer incarnation as last learned on `channel` (via fence or resync-ack
+  // control cells); 1 until a bump is observed.
+  std::uint32_t PeerEpoch(std::uint64_t channel) const;
+  // True while a post-fence resync handshake gates new sequenced traffic.
+  bool Resyncing(std::uint64_t channel) const;
+
  private:
   struct PendingAck {
     explicit PendingAck(Engine& engine) : event(engine) {}
-    enum Outcome : std::uint8_t { kNone, kAcked, kNacked, kTimeout };
+    enum Outcome : std::uint8_t { kNone, kAcked, kNacked, kTimeout, kCrashed };
     Outcome outcome = kNone;
     SimEvent event;
     TimerSet::Handle timer = 0;
+    // Lets the ack handler mark the transfer resolved the instant the final
+    // ack arrives, before the owning coroutine has been resumed.
+    std::shared_ptr<CancelToken> token;
   };
 
   struct Watched {
@@ -200,7 +232,7 @@ class ReliableDelivery {
   // the detached retransmit coroutine holds across awaits stay valid.
   struct WindowEntry {
     explicit WindowEntry(Engine& engine) : done(engine) {}
-    enum Result : std::uint8_t { kPending, kAcked, kGiveUp, kCancelled };
+    enum Result : std::uint8_t { kPending, kAcked, kGiveUp, kCancelled, kCrashed };
     IoVec iov;
     std::uint32_t header = 0;
     std::uint32_t tag = 0;
@@ -222,6 +254,17 @@ class ReliableDelivery {
     explicit ChannelWindow(Engine& engine) : open(engine) {}
     std::map<std::uint64_t, std::unique_ptr<WindowEntry>> inflight;  // by seq
     SimEvent open;  // set whenever the window slides; admission re-checks
+  };
+
+  // Per-channel barrier gating sequenced traffic while a post-fence resync
+  // handshake is in flight. Never destroyed once created (parked coroutines
+  // hold references into `open` across awaits).
+  struct ResyncBarrier {
+    explicit ResyncBarrier(Engine& engine) : open(engine) {}
+    bool resyncing = false;
+    std::uint32_t retries = 0;
+    TimerSet::Handle timer = 0;
+    SimEvent open;  // set when the handshake completes (or is abandoned)
   };
 
   ReliableOptions ConfiguredWith(ReliableOptions options) {
@@ -252,6 +295,20 @@ class ReliableDelivery {
   void RunScan();
   void Instant(const std::string& text, std::uint64_t flow = 0);
 
+  // --- Epoch fencing machinery ---
+  // Fence cell from the peer adapter: the peer rebooted into `peer_epoch`.
+  void OnFence(std::uint64_t channel, std::uint32_t peer_epoch);
+  void OnResyncAck(std::uint64_t channel, std::uint32_t peer_epoch);
+  // Resolves every in-flight round/entry on `channel` as kCrashed.
+  void AbortChannel(std::uint64_t channel);
+  void StartResync(std::uint64_t channel);
+  void SendResyncAttempt(std::uint64_t channel);
+  void ReleaseResync(std::uint64_t channel);
+  // Parks until any resync handshake on `channel` completes; returns false
+  // if the transfer was cancelled while parked.
+  Task<bool> AwaitResync(std::uint64_t channel, std::shared_ptr<CancelToken> token,
+                         const std::string& label, std::uint64_t flow);
+
   Engine* engine_;
   Adapter* adapter_;
   std::string xfer_track_;
@@ -267,6 +324,11 @@ class ReliableDelivery {
   std::map<std::uint64_t, std::uint64_t> next_seq_;  // channel -> last used
   std::map<std::pair<std::uint64_t, std::uint64_t>, PendingAck*> pending_acks_;
   std::map<std::uint64_t, std::unique_ptr<ChannelWindow>> windows_;
+
+  std::uint32_t local_epoch_ = 1;  // this node's incarnation (bumped on crash)
+  bool crashed_ = false;
+  std::map<std::uint64_t, std::uint32_t> peer_epoch_;  // channel -> last learned
+  std::map<std::uint64_t, std::unique_ptr<ResyncBarrier>> resync_;
 
   std::uint64_t next_watch_id_ = 1;
   std::map<std::uint64_t, Watched> watched_;

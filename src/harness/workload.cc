@@ -241,6 +241,9 @@ Task<void> Workload::RunClosedLoop(Tenant& t) {
         break;
       }
       ++stats.retries;
+      if (result.status == IoStatus::kPeerCrashed) {
+        ++stats.crash_retries;
+      }
       // Jittered backoff: deterministic per tenant stream.
       co_await Delay(*engine_,
                      cls.retry_backoff * (attempt + 1) + t.rng.Below(cls.retry_backoff / 4 + 1));
@@ -268,15 +271,32 @@ Task<void> Workload::RunOneOpenTransfer(Tenant& t, std::uint64_t id) {
   // tenant's in-flight frames can land any of them in any posted buffer, so
   // content must be reconstructible from what the completion reports.
   const std::uint64_t salt = len;
-  const SimTime started = engine_->now();
-  const InputResult result = co_await TransferOnce(t, salt, len, sem, slot);
-  if (result.ok) {
-    VerifyPayload(t, result.bytes, result.bytes, sem, result);
-    RecordLatency(t, started, result.completed_at);
-    ++stats.completed;
-    stats.completed_bytes += result.bytes;
-  } else {
-    ++stats.failed;  // open loop does not retry: the next arrival is due
+  bool ok = false;
+  for (std::size_t attempt = 0; attempt <= cls.max_retries; ++attempt) {
+    const SimTime started = engine_->now();
+    const InputResult result = co_await TransferOnce(t, salt, len, sem, slot);
+    if (result.ok) {
+      VerifyPayload(t, result.bytes, result.bytes, sem, result);
+      RecordLatency(t, started, result.completed_at);
+      ++stats.completed;
+      stats.completed_bytes += result.bytes;
+      ok = true;
+      break;
+    }
+    // Open loop does not retry ordinary failures (the next arrival is due) —
+    // but with tenant_restart, a transfer that died because a peer
+    // crash-stopped is re-issued after backoff so the tenant survives the
+    // crash instead of bleeding its in-flight window.
+    if (!cls.tenant_restart || result.status != IoStatus::kPeerCrashed ||
+        attempt == cls.max_retries || DeadlinePassed()) {
+      break;
+    }
+    ++stats.crash_retries;
+    co_await Delay(*engine_,
+                   cls.retry_backoff * (attempt + 1) + t.rng.Below(cls.retry_backoff / 4 + 1));
+  }
+  if (!ok) {
+    ++stats.failed;
   }
   t.free_slots.push_back(slot);
   --t.in_flight;
@@ -350,6 +370,7 @@ std::vector<ClassRollup> Workload::Rollups() const {
     r.completed += stats.completed;
     r.failed += stats.failed;
     r.retries += stats.retries;
+    r.crash_retries += stats.crash_retries;
     r.completed_bytes += stats.completed_bytes;
   }
   return out;
@@ -369,12 +390,12 @@ InvariantReport Workload::CheckInvariants(bool expect_quiescent) {
 void Workload::WriteReport(std::ostream& os) const {
   os << std::left << std::setw(16) << "class" << std::right << std::setw(8) << "tenants"
      << std::setw(10) << "done" << std::setw(8) << "fail" << std::setw(8) << "retry"
-     << std::setw(12) << "MB" << std::setw(10) << "p50_us" << std::setw(10) << "p99_us"
-     << std::setw(10) << "max_us" << "\n";
+     << std::setw(8) << "crash" << std::setw(12) << "MB" << std::setw(10) << "p50_us"
+     << std::setw(10) << "p99_us" << std::setw(10) << "max_us" << "\n";
   for (const ClassRollup& r : Rollups()) {
     os << std::left << std::setw(16) << r.name << std::right << std::setw(8) << r.tenants
        << std::setw(10) << r.completed << std::setw(8) << r.failed << std::setw(8) << r.retries
-       << std::setw(12) << std::fixed << std::setprecision(2)
+       << std::setw(8) << r.crash_retries << std::setw(12) << std::fixed << std::setprecision(2)
        << static_cast<double>(r.completed_bytes) / (1024.0 * 1024.0) << std::setw(10)
        << std::setprecision(1) << r.p50_us << std::setw(10) << r.p99_us << std::setw(10)
        << r.max_us << "\n";

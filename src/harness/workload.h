@@ -70,6 +70,14 @@ struct TenantClassConfig {
   // jittered backoff, up to `max_retries` times, then counted failed.
   std::size_t max_retries = 4;
   SimTime retry_backoff = 100 * kMicrosecond;
+
+  // Crash survival: with tenant_restart set, an open-loop transfer that
+  // fails because a peer crash-stopped (IoStatus::kPeerCrashed) is re-issued
+  // after the retry backoff, up to max_retries times, instead of being
+  // dropped at the first failure. Each re-issue counts as a crash_retry in
+  // the tenant stats and class roll-up; closed-loop tenants already retry
+  // and get the same accounting for crash-caused attempts.
+  bool tenant_restart = false;
 };
 
 struct WorkloadConfig {
@@ -112,6 +120,7 @@ struct TenantStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t retries = 0;
+  std::uint64_t crash_retries = 0;  // re-issues after a peer crash-stop
   std::uint64_t completed_bytes = 0;
   std::uint64_t backpressure_stalls = 0;
 };
@@ -123,6 +132,7 @@ struct ClassRollup {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t retries = 0;
+  std::uint64_t crash_retries = 0;
   std::uint64_t completed_bytes = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;

@@ -28,6 +28,8 @@ const char* FaultSiteName(FaultSite site) {
       return "link_duplicate";
     case FaultSite::kLinkReorder:
       return "link_reorder";
+    case FaultSite::kNodeCrash:
+      return "node_crash";
   }
   return "unknown";
 }

@@ -44,9 +44,11 @@ enum class FaultSite : std::uint8_t {
   kLinkDuplicate,       // Adapter transmit -> frame delivered twice
   kLinkReorder,         // Adapter transmit -> frame held and delivered late
                         //   (arg = flush delay ns; 0 = adapter default)
+  kNodeCrash,           // Crash-injection tick -> crash-stop the node
+                        //   (arg = restart delay ns; 0 = injector default)
 };
 
-inline constexpr std::size_t kNumFaultSites = 11;
+inline constexpr std::size_t kNumFaultSites = 12;
 
 // The original PR-2 sites. The legacy (ARQ-off) stress harness draws rules
 // from this prefix only: link drop/duplicate/reorder are not recoverable

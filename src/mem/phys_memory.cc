@@ -143,16 +143,20 @@ void PhysicalMemory::Free(FrameId frame) {
   CheckValid(frame);
   FrameInfo& fi = info_[frame];
   GENIE_CHECK(fi.allocated) << "double free of frame " << frame;
-  GENIE_CHECK_EQ(fi.wire_count, 0) << "freeing wired frame " << frame;
   fi.allocated = false;
   fi.owner_object = kNoOwner;
   if (fi.input_refs > 0 || fi.output_refs > 0) {
     // Pending device I/O: defer until the last reference drops (paper §3.1).
+    // The frame may still be wired here — a TCOW copy-and-swap frees the old
+    // page out of the memory object while the device's DMA (which holds the
+    // wire) is mid-frame; dispose unwires before it unreferences, so the
+    // wire is gone by the time the zombie is reclaimed.
     fi.zombie = true;
     ++zombie_count_;
     ++deferred_frees_;
     return;
   }
+  GENIE_CHECK_EQ(fi.wire_count, 0) << "freeing wired frame " << frame;
   ReleaseToFreeList(frame);
 }
 
@@ -219,6 +223,9 @@ void PhysicalMemory::MaybeReclaim(FrameId frame) {
   FrameInfo& fi = info_[frame];
   if (fi.zombie && fi.input_refs == 0 && fi.output_refs == 0) {
     // Last I/O reference on a page deallocated during I/O: now reusable.
+    // Every dispose path unwires before it unreferences, so the DMA wire a
+    // TCOW'd zombie carried must have been dropped by now.
+    GENIE_CHECK_EQ(fi.wire_count, 0) << "reclaiming wired zombie frame " << frame;
     fi.zombie = false;
     --zombie_count_;
     ++completed_deferred_frees_;

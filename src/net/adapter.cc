@@ -46,25 +46,49 @@ void Adapter::ConnectFabric(RouteFn route, ControlPeerFn control_peer) {
   control_peer_fn_ = std::move(control_peer);
 }
 
-Task<void> Adapter::AcquirePath(const TxPath& path, std::uint64_t channel,
+Task<bool> Adapter::AcquirePath(const TxPath& path, std::uint64_t channel,
                                 std::uint64_t bytes) {
   struct LinkAwaiter {
     SwitchLink& link;
     std::uint64_t channel;
     std::uint64_t bytes;
-    bool await_ready() { return link.TryAcquire(channel, bytes); }
-    void await_suspend(std::coroutine_handle<> h) { link.Enqueue(channel, bytes, h); }
-    void await_resume() const noexcept {}
+    bool dead = false;  // set by the link when it goes down under the waiter
+    bool await_ready() {
+      if (link.down()) {
+        dead = true;
+        return true;
+      }
+      return link.TryAcquire(channel, bytes);
+    }
+    void await_suspend(std::coroutine_handle<> h) { link.Enqueue(channel, bytes, h, &dead); }
+    bool await_resume() const noexcept { return !dead; }
   };
   for (int i = 0; i < path.nlinks; ++i) {
-    co_await LinkAwaiter{*path.links[i], channel, bytes};
+    const bool granted = co_await LinkAwaiter{*path.links[i], channel, bytes};
+    if (!granted) {
+      // Link down: unwind the partial hold; the frame is dropped.
+      for (int j = i; j-- > 0;) {
+        path.links[j]->Release();
+      }
+      co_return false;
+    }
   }
+  co_return true;
 }
 
 void Adapter::ReleasePath(const TxPath& path) {
   for (int i = path.nlinks; i-- > 0;) {
     path.links[i]->Release();
   }
+}
+
+bool Adapter::PathDown(const TxPath& path) {
+  for (int i = 0; i < path.nlinks; ++i) {
+    if (path.links[i]->down()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_t header,
@@ -79,6 +103,8 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
   GENIE_CHECK_GT(total, 0u);
   GENIE_CHECK_LE(total, kMaxAal5Payload);
   const std::uint64_t seq = ctl != nullptr ? ctl->seq : 0;
+  const std::uint32_t src_epoch = ctl != nullptr ? ctl->src_epoch : 0;
+  const std::uint32_t dst_epoch = ctl != nullptr ? ctl->dst_epoch : 0;
 
   if (config_.flow_control && tag == 0 && (ctl == nullptr || !ctl->skip_credit)) {
     // Credit-based flow control: wait for the receiver to have a buffer.
@@ -98,7 +124,18 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
   // one-frame-at-a-time receive invariant across N senders).
   if (path != nullptr) {
     const SimTime arb_start = engine_.now();
-    co_await AcquirePath(*path, channel, total);
+    const bool acquired = co_await AcquirePath(*path, channel, total);
+    if (!acquired) {
+      // A path link is (or went) down: the frame is dropped at the switch,
+      // consuming no wire time. A sequenced frame's loss is recovered by the
+      // ARQ retransmit timer once the partition heals.
+      ++link_down_drops_;
+      if (trace_ != nullptr) {
+        trace_->Instant(name_ + ".wire", "link_down_drop seq " + std::to_string(seq), "net",
+                        engine_.now(), flow);
+      }
+      co_return;
+    }
     if (trace_ != nullptr && engine_.now() > arb_start) {
       // Only an arbitration wait that actually suspended gets a span.
       trace_->Span(name_ + ".wire", "fabric_wait", "net", arb_start, engine_.now(), flow);
@@ -141,7 +178,7 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
 
   const SimTime wire_start = engine_.now();
   if (deliver_now) {
-    dst->BeginRxFrame(channel, header, tag, seq, flow);
+    dst->BeginRxFrame(channel, header, tag, seq, flow, src_epoch, dst_epoch);
   }
   HeldFrame snapshot;
   if (need_snapshot) {
@@ -152,10 +189,13 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
     snapshot.tag = tag;
     snapshot.seq = seq;
     snapshot.flow = flow;
+    snapshot.src_epoch = src_epoch;
+    snapshot.dst_epoch = dst_epoch;
     snapshot.bytes.reserve(wire_bytes);
   }
   std::vector<std::byte> chunk(config_.chunk_bytes);
   std::uint64_t sent = 0;
+  bool carrier_lost = false;
   while (sent < wire_bytes) {
     const std::size_t n =
         static_cast<std::size_t>(std::min<std::uint64_t>(config_.chunk_bytes, wire_bytes - sent));
@@ -177,9 +217,24 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
       dst->DeliverChunk(std::span<const std::byte>(chunk.data(), n), is_last);
     }
     sent += n;
+    if (path != nullptr && sent < wire_bytes && PathDown(*path)) {
+      // A path link died under the streaming frame: the carrier is gone, so
+      // the tail never arrives. The delivered prefix fails the AAL5 CRC and
+      // takes the normal damaged-frame recovery (nack + retransmit).
+      carrier_lost = true;
+      break;
+    }
   }
   bool crc_ok = true;
-  if (fault_plan_ != nullptr) {
+  if (carrier_lost) {
+    crc_ok = false;
+    ++link_down_drops_;
+    if (trace_ != nullptr) {
+      trace_->Instant(name_ + ".wire", "carrier_lost seq " + std::to_string(seq), "net",
+                      engine_.now(), flow);
+    }
+  }
+  if (fault_plan_ != nullptr && !carrier_lost) {
     // Injected device error: the frame arrived but its AAL5 CRC failed. A
     // dropped frame never arrives, so its CRC is not consulted; a held or
     // duplicated frame carries one CRC outcome for every copy delivered.
@@ -245,7 +300,8 @@ Task<void> Adapter::TransmitFrame(std::uint64_t channel, IoVec iov, std::uint32_
 void Adapter::DeliverSnapshot(const HeldFrame& frame) {
   Adapter* const dst = frame.dst != nullptr ? frame.dst : peer_;
   GENIE_CHECK(dst != nullptr);
-  dst->BeginRxFrame(frame.channel, frame.header, frame.tag, frame.seq, frame.flow);
+  dst->BeginRxFrame(frame.channel, frame.header, frame.tag, frame.seq, frame.flow,
+                    frame.src_epoch, frame.dst_epoch);
   std::size_t done = 0;
   while (done < frame.bytes.size()) {
     const std::size_t n = std::min(config_.chunk_bytes, frame.bytes.size() - done);
@@ -287,7 +343,29 @@ Task<void> Adapter::FlushHeldFrames() {
     const TxPath* const path = held_.front().path;
     Adapter* const dst = held_.front().dst != nullptr ? held_.front().dst : peer_;
     if (path != nullptr) {
-      co_await AcquirePath(*path, held_.front().channel, held_.front().bytes.size());
+      const bool acquired =
+          co_await AcquirePath(*path, held_.front().channel, held_.front().bytes.size());
+      if (!acquired) {
+        // The replay path is down: every held frame bound for this
+        // destination is dropped (held-frame drop on link down).
+        std::deque<HeldFrame> keep;
+        while (!held_.empty()) {
+          HeldFrame frame = std::move(held_.front());
+          held_.pop_front();
+          if (frame.dst != dst) {
+            keep.push_back(std::move(frame));
+            continue;
+          }
+          ++link_down_drops_;
+          if (trace_ != nullptr) {
+            trace_->Instant(name_ + ".wire",
+                            "held_drop_link_down seq " + std::to_string(frame.seq), "net",
+                            engine_.now(), frame.flow);
+          }
+        }
+        held_ = std::move(keep);
+        continue;
+      }
       DeliverHeldFramesLocked(dst);
       ReleasePath(*path);
     } else {
@@ -313,13 +391,116 @@ void Adapter::SendAck(std::uint64_t channel, std::uint64_t seq, bool ok, std::ui
                         std::to_string(seq), "net", engine_.now(), flow);
   }
   // Acks ride the (lossless) control-cell path, like credits.
-  engine_.ScheduleAfter(config_.credit_latency,
-                        [peer, channel, seq, ok] { peer->OnAckCell(channel, seq, ok); });
+  engine_.ScheduleAfter(config_.credit_latency, [peer, channel, seq, ok, e = self_epoch_] {
+    peer->OnAckCell(channel, seq, ok, e);
+  });
 }
 
-void Adapter::OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok) {
+void Adapter::OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok,
+                        std::uint32_t acker_epoch) {
+  if (crashed_) {
+    ++crash_cell_drops_;
+    return;
+  }
+  if (StaleCellEpoch(channel, acker_epoch)) {
+    ++stale_epoch_cell_drops_;
+    return;
+  }
   if (ack_handler_) {
     ack_handler_(channel, seq, ok);
+  }
+}
+
+bool Adapter::StaleCellEpoch(std::uint64_t channel, std::uint32_t cell_epoch) const {
+  if (cell_epoch == 0) {
+    return false;  // unfenced legacy cell
+  }
+  auto it = peer_epoch_floor_.find(channel);
+  return it != peer_epoch_floor_.end() && cell_epoch < it->second;
+}
+
+void Adapter::NotePeerEpoch(std::uint64_t channel, std::uint32_t epoch) {
+  std::uint32_t& floor = peer_epoch_floor_[channel];
+  floor = std::max(floor, epoch);
+}
+
+void Adapter::SendEpochFence(std::uint64_t channel, std::uint64_t flow) {
+  Adapter* const peer = ControlPeer(channel);
+  if (peer == nullptr) {
+    return;
+  }
+  ++fences_sent_;
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire", "epoch_fence e" + std::to_string(self_epoch_), "net",
+                    engine_.now(), flow);
+  }
+  engine_.ScheduleAfter(config_.credit_latency,
+                        [peer, channel, e = self_epoch_] { peer->OnFenceCell(channel, e); });
+}
+
+void Adapter::OnFenceCell(std::uint64_t channel, std::uint32_t peer_epoch) {
+  if (crashed_) {
+    ++crash_cell_drops_;
+    return;
+  }
+  if (fence_handler_) {
+    fence_handler_(channel, peer_epoch);
+  }
+}
+
+void Adapter::SendResync(std::uint64_t channel, std::uint64_t seq_hw) {
+  Adapter* const peer = ControlPeer(channel);
+  if (peer == nullptr) {
+    return;
+  }
+  ++resyncs_sent_;
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire",
+                    "resync hw " + std::to_string(seq_hw) + " e" + std::to_string(self_epoch_),
+                    "net", engine_.now());
+  }
+  engine_.ScheduleAfter(config_.credit_latency, [peer, channel, seq_hw, e = self_epoch_] {
+    peer->OnResyncCell(channel, e, seq_hw);
+  });
+}
+
+void Adapter::OnResyncCell(std::uint64_t channel, std::uint32_t peer_epoch,
+                           std::uint64_t seq_hw) {
+  if (crashed_) {
+    ++crash_cell_drops_;
+    return;
+  }
+  // Reinitialize the channel's dedup window at the sender's high-water mark:
+  // every sequence at or below it belongs to completed or abandoned
+  // transfers, so only genuinely new frames are accepted after the bump.
+  RxDedup& dedup = rx_dedup_[channel];
+  dedup.max_seq = std::max(dedup.max_seq, seq_hw);
+  dedup.cum = std::max(dedup.cum, seq_hw);
+  while (!dedup.seen.empty() && *dedup.seen.begin() <= dedup.cum) {
+    dedup.seen.erase(dedup.seen.begin());
+  }
+  dedup.src_epoch = std::max(dedup.src_epoch, peer_epoch);
+  NotePeerEpoch(channel, peer_epoch);
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire", "resync_accept hw " + std::to_string(seq_hw), "net",
+                    engine_.now());
+  }
+  Adapter* const peer = ControlPeer(channel);
+  if (peer == nullptr) {
+    return;
+  }
+  engine_.ScheduleAfter(config_.credit_latency, [peer, channel, e = self_epoch_] {
+    peer->OnResyncAckCell(channel, e);
+  });
+}
+
+void Adapter::OnResyncAckCell(std::uint64_t channel, std::uint32_t peer_epoch) {
+  if (crashed_) {
+    ++crash_cell_drops_;
+    return;
+  }
+  if (resync_ack_handler_) {
+    resync_ack_handler_(channel, peer_epoch);
   }
 }
 
@@ -339,6 +520,9 @@ void Adapter::ScheduleSackFlush(std::uint64_t channel) {
 }
 
 void Adapter::FlushSack(std::uint64_t channel) {
+  if (crashed_) {
+    return;  // Armed pre-crash; the dedup state it would snapshot is gone.
+  }
   sack_flush_pending_[channel] = false;
   Adapter* const peer = ControlPeer(channel);
   if (peer == nullptr) {
@@ -359,10 +543,19 @@ void Adapter::FlushSack(std::uint64_t channel) {
                         std::to_string(cells.size()),
                     "net", engine_.now());
   }
-  peer->OnSackCells(channel, std::move(cells));
+  peer->OnSackCells(channel, std::move(cells), self_epoch_);
 }
 
-void Adapter::OnSackCells(std::uint64_t channel, std::vector<SackCell> cells) {
+void Adapter::OnSackCells(std::uint64_t channel, std::vector<SackCell> cells,
+                          std::uint32_t acker_epoch) {
+  if (crashed_) {
+    ++crash_cell_drops_;
+    return;
+  }
+  if (StaleCellEpoch(channel, acker_epoch)) {
+    ++stale_epoch_cell_drops_;
+    return;
+  }
   if (sack_handler_) {
     sack_handler_(channel, std::move(cells));
   }
@@ -388,6 +581,7 @@ bool Adapter::AbortCreditWait(std::uint64_t channel, const std::shared_ptr<TxCon
 void Adapter::PostReceive(std::uint64_t channel, PostedReceive posted) {
   GENIE_CHECK(config_.rx_buffering == InputBuffering::kEarlyDemux)
       << "PostReceive requires early demultiplexing";
+  GENIE_CHECK(!crashed_) << "PostReceive on crashed adapter " << name_;
   posted_[channel].push_back(std::move(posted));
   Adapter* const peer = ControlPeer(channel);
   if (config_.flow_control && peer != nullptr) {
@@ -398,6 +592,12 @@ void Adapter::PostReceive(std::uint64_t channel, PostedReceive posted) {
 }
 
 void Adapter::GrantCredit(std::uint64_t channel) {
+  if (crashed_) {
+    // The device that would bank or spend this credit is dead; its credit
+    // state reinitializes from the peer's posted buffers after restart.
+    ++crash_cell_drops_;
+    return;
+  }
   auto& waiters = credit_waiters_[channel];
   if (!waiters.empty()) {
     // Hand the credit straight to the oldest blocked transmission.
@@ -415,7 +615,8 @@ std::size_t Adapter::posted_receives(std::uint64_t channel) const {
 }
 
 void Adapter::BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag,
-                           std::uint64_t seq, std::uint64_t flow) {
+                           std::uint64_t seq, std::uint64_t flow, std::uint32_t src_epoch,
+                           std::uint32_t dst_epoch) {
   GENIE_CHECK(!rx_.has_value()) << "overlapping frames on one link";
   rx_.emplace();
   rx_->channel = channel;
@@ -423,6 +624,39 @@ void Adapter::BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uin
   rx_->tag = tag;
   rx_->seq = seq;
   rx_->flow = flow;
+  rx_->src_epoch = src_epoch;
+  rx_->dst_epoch = dst_epoch;
+  if (crashed_) {
+    // A dead node neither delivers nor responds; the sender's ARQ timers
+    // (and eventually the epoch fence after restart) own recovery.
+    rx_->silent_drop = true;
+    ++crash_frame_drops_;
+    return;
+  }
+  if (seq != 0 && dst_epoch != 0) {
+    GENIE_CHECK_LE(dst_epoch, self_epoch_)
+        << "frame addressed to a future incarnation of " << name_;
+    if (dst_epoch < self_epoch_) {
+      // Addressed to a dead incarnation of this node: delivering it could
+      // duplicate data the predecessor already consumed (its dedup state
+      // died with it). Fence the sender instead of acking.
+      rx_->fenced = true;
+      ++stale_epoch_frame_drops_;
+      return;
+    }
+  }
+  if (seq != 0 && src_epoch != 0) {
+    RxDedup& dedup = rx_dedup_[channel];
+    if (dedup.src_epoch != 0 && src_epoch < dedup.src_epoch) {
+      // A straggler (held/duplicated frame) from a dead incarnation of the
+      // sender. Its sequence space predates the channel's current one; drop
+      // without acking so it can never resolve a live entry.
+      rx_->silent_drop = true;
+      ++stale_epoch_frame_drops_;
+      return;
+    }
+    dedup.src_epoch = std::max(dedup.src_epoch, src_epoch);
+  }
   if (seq != 0) {
     // ARQ duplicate suppression: a sequence number already delivered to the
     // host is discarded without consuming a buffer (the ack got lost or beat
@@ -504,8 +738,13 @@ void Adapter::UnregisterNamedBuffer(std::uint64_t channel, std::uint32_t tag) {
 }
 
 void Adapter::DeliverChunk(std::span<const std::byte> data, bool is_last) {
-  GENIE_CHECK(rx_.has_value());
-  if (rx_cpu_ != nullptr && driver_us_per_byte_ > 0 && !is_last) {
+  if (!rx_.has_value()) {
+    // A crash mid-reception discarded the frame state; the sender keeps
+    // streaming into the void until its transmit completes.
+    GENIE_CHECK(rx_discarded_inflight_) << "chunk with no frame on " << name_;
+    return;
+  }
+  if (rx_cpu_ != nullptr && driver_us_per_byte_ > 0 && !is_last && !crashed_) {
     // Receive-side driver work overlapping the rest of the frame's arrival.
     // The final chunk's share is folded into the interrupt processing that
     // completion charges, so it is skipped here to keep it off the wire path.
@@ -514,7 +753,7 @@ void Adapter::DeliverChunk(std::span<const std::byte> data, bool is_last) {
         .Detach();
   }
   RxState& rx = *rx_;
-  if (rx.dropped || rx.duplicate) {
+  if (rx.dropped || rx.duplicate || rx.silent_drop || rx.fenced) {
     rx.bytes += data.size();
     return;
   }
@@ -581,9 +820,23 @@ void Adapter::DeliverChunkPooled(RxState& rx, std::span<const std::byte> data) {
 }
 
 void Adapter::EndRxFrame(bool crc_ok) {
-  GENIE_CHECK(rx_.has_value());
+  if (!rx_.has_value()) {
+    // The frame being streamed when this node crashed: its state is gone.
+    GENIE_CHECK(rx_discarded_inflight_) << "frame end with no frame on " << name_;
+    rx_discarded_inflight_ = false;
+    return;
+  }
   RxState rx = std::move(*rx_);
   rx_.reset();
+  if (rx.silent_drop) {
+    return;  // Crashed node or dead-epoch straggler: no cell goes back.
+  }
+  if (rx.fenced) {
+    // Tell the sender which incarnation is live so it can abort, resync,
+    // and re-stamp; the frame itself is discarded.
+    SendEpochFence(rx.channel, rx.flow);
+    return;
+  }
   if (rx.duplicate) {
     ++rx_duplicate_frames_;
     if (trace_ != nullptr) {
@@ -724,6 +977,62 @@ void Adapter::EndRxFrame(bool crc_ok) {
       outboard_handler_(frame);
       break;
     }
+  }
+}
+
+void Adapter::Crash(std::uint32_t new_epoch) {
+  GENIE_CHECK(!crashed_) << "double crash on " << name_;
+  GENIE_CHECK_GT(new_epoch, self_epoch_) << "crash must bump the incarnation epoch";
+  crashed_ = true;
+  self_epoch_ = new_epoch;
+  // The frame being received right now dies with the device: return its
+  // overlay pages and forget it. The sending adapter's chunk/end calls are
+  // tolerated until its transmit completes (rx_discarded_inflight_).
+  if (rx_.has_value()) {
+    if (pool_ != nullptr) {
+      for (const FrameId used : rx_->overlay_pages) {
+        pool_->Free(used);
+      }
+    }
+    rx_.reset();
+    rx_discarded_inflight_ = true;
+  }
+  // Host-visible device tables: posted and named buffer lists, staged
+  // outboard frames, reorder holds, dedup windows, armed SACK flushes, and
+  // the cell-staleness floors — all RAM-resident device state.
+  posted_.clear();
+  named_.clear();
+  outboard_.clear();
+  outboard_bytes_held_ = 0;
+  held_.clear();
+  rx_dedup_.clear();
+  sack_flush_pending_.clear();
+  peer_epoch_floor_.clear();
+  // Transmit credits die; blocked transmissions resume aborted (the frames
+  // were never put on the wire).
+  tx_credits_.clear();
+  for (auto& [channel, waiters] : credit_waiters_) {
+    (void)channel;
+    for (CreditWaiter& w : waiters) {
+      if (w.ctl != nullptr) {
+        w.ctl->aborted = true;
+      }
+      engine_.ScheduleAfter(0, [h = w.handle] { h.resume(); });
+    }
+  }
+  credit_waiters_.clear();
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire", "crash e" + std::to_string(self_epoch_), "net",
+                    engine_.now());
+  }
+}
+
+void Adapter::Restart() {
+  GENIE_CHECK(crashed_) << "Restart() on live adapter " << name_;
+  crashed_ = false;
+  if (trace_ != nullptr) {
+    trace_->Instant(name_ + ".wire", "restart e" + std::to_string(self_epoch_), "net",
+                    engine_.now());
   }
 }
 

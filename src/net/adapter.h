@@ -89,6 +89,11 @@ struct TxControl {
   bool skip_credit = false;
   // Set by AbortCreditWait(): the frame was never transmitted.
   bool aborted = false;
+  // Incarnation epochs stamped on the frame (crash fencing). src_epoch is
+  // the sender's epoch; dst_epoch the sender's belief of the receiver's.
+  // 0 = unfenced (legacy traffic): every epoch check is skipped.
+  std::uint32_t src_epoch = 0;
+  std::uint32_t dst_epoch = 0;
 };
 
 // A complete frame received into pooled overlay buffers.
@@ -262,6 +267,45 @@ class Adapter {
   // and TransmitFrame returns without transmitting.
   bool AbortCreditWait(std::uint64_t channel, const std::shared_ptr<TxControl>& ctl);
 
+  // --- Crash-stop & epoch fencing ---
+  // The owning node's incarnation epoch (starts at 1, bumped on every
+  // crash). Sequenced frames stamped with a lower dst_epoch are addressed
+  // to a dead incarnation of this node and are fenced instead of delivered;
+  // a lower src_epoch marks a duplicate from a dead sender incarnation.
+  std::uint32_t self_epoch() const { return self_epoch_; }
+  bool crashed() const { return crashed_; }
+
+  // Crash-stop: raises the crashed flag, installs the bumped epoch, and
+  // discards every piece of in-flight device state — the frame mid-
+  // reception, posted and named receive buffers, outboard staging RAM,
+  // held (reordered) frames, dedup windows, armed SACK flushes, transmit
+  // credits, and blocked credit waiters (resumed with ctl->aborted set).
+  // While crashed, arriving frames and control cells are dropped silently.
+  void Crash(std::uint32_t new_epoch);
+  // Clears the crashed flag; receive resumes with empty device state.
+  void Restart();
+
+  // Installed on the *sending* adapter: invoked when the peer fences a
+  // frame addressed to a dead incarnation (args: channel, peer epoch).
+  void set_fence_handler(std::function<void(std::uint64_t, std::uint32_t)> handler) {
+    fence_handler_ = std::move(handler);
+  }
+  // Installed on the *sending* adapter: invoked when the peer acknowledges
+  // a sequence resync (args: channel, peer epoch).
+  void set_resync_ack_handler(std::function<void(std::uint64_t, std::uint32_t)> handler) {
+    resync_ack_handler_ = std::move(handler);
+  }
+  // Sender-side resync: proposes `seq_hw` as the channel's sequence high-
+  // water mark. The (restarted) receiver reinitializes its dedup window at
+  // seq_hw — everything at or below it counts as belonging to the dead
+  // epoch — and replies with a resync-ack.
+  void SendResync(std::uint64_t channel, std::uint64_t seq_hw);
+
+  // Records the peer's learned incarnation epoch for `channel`; ack/SACK
+  // cells stamped with an older epoch are dropped (a dead incarnation must
+  // not ack its successor's sequence space).
+  void NotePeerEpoch(std::uint64_t channel, std::uint32_t epoch);
+
   // --- Flow control ---
   std::uint32_t tx_credits(std::uint64_t channel) const {
     auto it = tx_credits_.find(channel);
@@ -296,6 +340,19 @@ class Adapter {
   std::uint64_t link_frames_dropped() const { return link_frames_dropped_; }
   std::uint64_t link_frames_duplicated() const { return link_frames_duplicated_; }
   std::uint64_t link_frames_reordered() const { return link_frames_reordered_; }
+  // Crash/partition robustness counters.
+  std::uint64_t crash_frame_drops() const { return crash_frame_drops_; }
+  std::uint64_t crash_cell_drops() const { return crash_cell_drops_; }
+  std::uint64_t stale_epoch_frame_drops() const { return stale_epoch_frame_drops_; }
+  std::uint64_t stale_epoch_cell_drops() const { return stale_epoch_cell_drops_; }
+  std::uint64_t stale_epoch_drops() const {
+    return stale_epoch_frame_drops_ + stale_epoch_cell_drops_;
+  }
+  std::uint64_t fences_sent() const { return fences_sent_; }
+  std::uint64_t resyncs_sent() const { return resyncs_sent_; }
+  // Frames dropped by this transmit side because a path link was down
+  // (never acquired, queued on a dying link, or carrier lost mid-stream).
+  std::uint64_t link_down_drops() const { return link_down_drops_; }
 
  private:
   struct RxState {
@@ -305,6 +362,8 @@ class Adapter {
     std::uint32_t tag = 0;
     std::uint64_t seq = 0;
     std::uint64_t flow = 0;
+    std::uint32_t src_epoch = 0;
+    std::uint32_t dst_epoch = 0;
     bool crc_failed = false;
     // Early demux:
     std::optional<PostedReceive> posted;
@@ -312,6 +371,8 @@ class Adapter {
     bool truncated = false;
     bool dropped = false;
     bool duplicate = false;  // suppressed by the ARQ dedup window
+    bool silent_drop = false;  // crashed node or dead-epoch sender: no cell back
+    bool fenced = false;       // addressed to a dead incarnation: fence cell back
     // Pooled:
     std::vector<FrameId> overlay_pages;
     std::uint32_t in_page = 0;  // fill level of last overlay page
@@ -330,6 +391,8 @@ class Adapter {
     std::uint32_t tag = 0;
     std::uint64_t seq = 0;
     std::uint64_t flow = 0;
+    std::uint32_t src_epoch = 0;
+    std::uint32_t dst_epoch = 0;
     bool crc_ok = true;
     Adapter* dst = nullptr;
     const TxPath* path = nullptr;
@@ -345,11 +408,16 @@ class Adapter {
     std::uint64_t max_seq = 0;
     std::uint64_t cum = 0;  // windowed mode: highest contiguously-accepted seq
     std::set<std::uint64_t> seen;
+    // Highest sender incarnation epoch seen on this channel (0 = none yet).
+    // Sequence numbers are monotonic across sender incarnations, so a frame
+    // from a lower epoch is always a stale duplicate.
+    std::uint32_t src_epoch = 0;
   };
 
   // Peer-side delivery, called by the transmitting adapter.
   void BeginRxFrame(std::uint64_t channel, std::uint32_t header, std::uint32_t tag,
-                    std::uint64_t seq, std::uint64_t flow);
+                    std::uint64_t seq, std::uint64_t flow, std::uint32_t src_epoch,
+                    std::uint32_t dst_epoch);
   void DeliverChunk(std::span<const std::byte> data, bool is_last);
   void EndRxFrame(bool crc_ok);
 
@@ -371,9 +439,13 @@ class Adapter {
 
   // Fabric path acquisition: holds `path`'s links in array order (the
   // deadlock-free global order), releases in reverse. `channel`/`bytes`
-  // feed the per-channel DRR arbiter at each hop.
-  Task<void> AcquirePath(const TxPath& path, std::uint64_t channel, std::uint64_t bytes);
+  // feed the per-channel DRR arbiter at each hop. Returns false — with
+  // every partially-acquired link released — when a link on the path went
+  // (or was) down: the frame is dropped, no wire time elapses.
+  Task<bool> AcquirePath(const TxPath& path, std::uint64_t channel, std::uint64_t bytes);
   void ReleasePath(const TxPath& path);
+  // True when any link on the path is down (partition in effect).
+  static bool PathDown(const TxPath& path);
 
   // The adapter acks / SACK trains / credit cells for `channel` return to.
   // Point-to-point wiring: the single peer. Fabric wiring: the channel's
@@ -383,15 +455,26 @@ class Adapter {
   }
 
   // Schedules an ack (ok) / nack control cell back to the sending peer.
+  // Cells are stamped with the acking node's epoch.
   void SendAck(std::uint64_t channel, std::uint64_t seq, bool ok, std::uint64_t flow);
-  void OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok);
+  void OnAckCell(std::uint64_t channel, std::uint64_t seq, bool ok, std::uint32_t acker_epoch);
+
+  // Epoch-fence control cell: tells the sender of a stale-epoch frame what
+  // this node's live incarnation epoch is.
+  void SendEpochFence(std::uint64_t channel, std::uint64_t flow);
+  void OnFenceCell(std::uint64_t channel, std::uint32_t peer_epoch);
+  void OnResyncCell(std::uint64_t channel, std::uint32_t peer_epoch, std::uint64_t seq_hw);
+  void OnResyncAckCell(std::uint64_t channel, std::uint32_t peer_epoch);
+  // True when `cell_epoch` is from a dead incarnation of the channel peer.
+  bool StaleCellEpoch(std::uint64_t channel, std::uint32_t cell_epoch) const;
 
   // Windowed mode: arms (at most one per channel) a batched SACK flush one
   // control-cell latency out; the flush snapshots the dedup state then and
   // delivers one cell train covering every frame accepted meanwhile.
   void ScheduleSackFlush(std::uint64_t channel);
   void FlushSack(std::uint64_t channel);
-  void OnSackCells(std::uint64_t channel, std::vector<SackCell> cells);
+  void OnSackCells(std::uint64_t channel, std::vector<SackCell> cells,
+                   std::uint32_t acker_epoch);
 
   struct CreditWaiter {
     std::coroutine_handle<> handle;
@@ -455,8 +538,15 @@ class Adapter {
   std::deque<HeldFrame> held_;  // reordered frames awaiting late delivery
   std::function<void(std::uint64_t, std::uint64_t, bool)> ack_handler_;
   std::function<void(std::uint64_t, std::vector<SackCell>)> sack_handler_;
+  std::function<void(std::uint64_t, std::uint32_t)> fence_handler_;
+  std::function<void(std::uint64_t, std::uint32_t)> resync_ack_handler_;
   std::uint32_t arq_window_ = 1;
   std::map<std::uint64_t, bool> sack_flush_pending_;
+  std::uint32_t self_epoch_ = 1;
+  bool crashed_ = false;
+  bool rx_discarded_inflight_ = false;  // crash ate the frame mid-reception
+  // Learned peer incarnation epoch per channel (cell staleness floor).
+  std::map<std::uint64_t, std::uint32_t> peer_epoch_floor_;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
@@ -474,6 +564,13 @@ class Adapter {
   std::uint64_t link_frames_dropped_ = 0;
   std::uint64_t link_frames_duplicated_ = 0;
   std::uint64_t link_frames_reordered_ = 0;
+  std::uint64_t crash_frame_drops_ = 0;
+  std::uint64_t crash_cell_drops_ = 0;
+  std::uint64_t stale_epoch_frame_drops_ = 0;
+  std::uint64_t stale_epoch_cell_drops_ = 0;
+  std::uint64_t fences_sent_ = 0;
+  std::uint64_t resyncs_sent_ = 0;
+  std::uint64_t link_down_drops_ = 0;
 };
 
 }  // namespace genie

@@ -103,6 +103,109 @@ const Fabric::Port* Fabric::FindPort(const Adapter& adapter) const {
   return it == ports_.end() ? nullptr : &it->second;
 }
 
+std::vector<SwitchLink*> Fabric::AllLinks() const {
+  std::vector<SwitchLink*> links;
+  for (const auto& [adapter, port] : ports_) {
+    links.push_back(port.up.get());
+    links.push_back(port.down.get());
+  }
+  if (trunks_[0] != nullptr) {
+    links.push_back(trunks_[0].get());
+    links.push_back(trunks_[1].get());
+  }
+  std::sort(links.begin(), links.end(),
+            [](const SwitchLink* a, const SwitchLink* b) { return a->name() < b->name(); });
+  return links;
+}
+
+void Fabric::SetLinkDown(SwitchLink& link) {
+  if (link.down()) {
+    return;
+  }
+  link.SetDown();
+  if (trace_ != nullptr) {
+    trace_->Instant("fabric", "link_down " + link.name(), "fabric", engine_->now());
+  }
+}
+
+void Fabric::SetLinkUp(SwitchLink& link) {
+  if (!link.down()) {
+    return;
+  }
+  link.SetUp();
+  if (trace_ != nullptr) {
+    trace_->Instant("fabric", "link_up " + link.name(), "fabric", engine_->now());
+  }
+}
+
+void Fabric::SetPortDown(const Adapter& adapter) {
+  Port& port = PortOf(adapter);
+  SetLinkDown(*port.up);
+  SetLinkDown(*port.down);
+}
+
+void Fabric::SetPortUp(const Adapter& adapter) {
+  Port& port = PortOf(adapter);
+  SetLinkUp(*port.up);
+  SetLinkUp(*port.down);
+}
+
+void Fabric::SetTrunkDown(int side) { SetLinkDown(trunk(side)); }
+
+void Fabric::SetTrunkUp(int side) { SetLinkUp(trunk(side)); }
+
+void Fabric::HealAll() {
+  for (SwitchLink* link : AllLinks()) {
+    SetLinkUp(*link);
+  }
+}
+
+void Fabric::ScheduleFlaps(std::uint64_t seed, SimTime horizon, SimTime mean_period,
+                           SimTime mean_outage) {
+  GENIE_CHECK_GT(mean_period, 0);
+  GENIE_CHECK_GT(mean_outage, 0);
+  const std::vector<SwitchLink*> links = AllLinks();
+  GENIE_CHECK(!links.empty()) << "flap schedule on an empty fabric";
+  SplitMix64 rng(seed);
+  // The whole schedule is drawn up front so it is a pure function of
+  // (seed, attach order); the flap events then interleave with traffic
+  // deterministically through the engine's FIFO-at-same-instant ordering.
+  SimTime t = 0;
+  while (true) {
+    t += mean_period / 2 + rng.Below(mean_period);
+    if (t >= horizon) {
+      break;
+    }
+    SwitchLink* link = links[rng.Below(links.size())];
+    const SimTime outage = mean_outage / 2 + rng.Below(mean_outage);
+    engine_->ScheduleAfter(t, [this, link] { SetLinkDown(*link); });
+    engine_->ScheduleAfter(t + outage, [this, link] { SetLinkUp(*link); });
+  }
+}
+
+void Fabric::set_trace(TraceLog* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_->RegisterNode(this, "fabric");
+  }
+}
+
+std::uint64_t Fabric::link_flaps() const {
+  std::uint64_t total = 0;
+  for (const SwitchLink* link : AllLinks()) {
+    total += link->flaps();
+  }
+  return total;
+}
+
+std::uint64_t Fabric::link_down_drops() const {
+  std::uint64_t total = 0;
+  for (const SwitchLink* link : AllLinks()) {
+    total += link->down_drops();
+  }
+  return total;
+}
+
 SwitchLink& Fabric::trunk(int side) {
   GENIE_CHECK(config_.topology == Topology::kDumbbell) << "star fabrics have no trunk";
   GENIE_CHECK(side == 0 || side == 1);

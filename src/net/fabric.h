@@ -27,10 +27,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/net/adapter.h"
 #include "src/net/switch_link.h"
 #include "src/sim/engine.h"
+#include "src/sim/trace.h"
+#include "src/util/rng.h"
 
 namespace genie {
 
@@ -79,10 +82,45 @@ class Fabric {
   // Dumbbell trunk carrying side -> (1 - side) traffic; aborts on a star.
   SwitchLink& trunk(int side);
 
+  // --- Link outage control (crash/partition robustness layer) ---
+  //
+  // Taking a link down drops every frame queued on it and fails subsequent
+  // path acquisitions until the link heals; a frame mid-stream when its link
+  // dies arrives corrupt and takes the normal CRC-fail nack/retransmit path.
+  // Adapter-held reorder frames whose replay path is down are dropped at
+  // replay time. Healing resets the link's DRR state (deficits, rotation).
+  // Control cells (acks, SACKs, credits, fences) model a separate resilient
+  // control network and are unaffected — a partition outlasting the ARQ
+  // retry budget still surfaces kGiveUp, never silent loss.
+  void SetLinkDown(SwitchLink& link);
+  void SetLinkUp(SwitchLink& link);
+  // Partitions one port off the fabric (both its uplink and downlink).
+  void SetPortDown(const Adapter& adapter);
+  void SetPortUp(const Adapter& adapter);
+  // Dumbbell trunk outage in one direction; aborts on a star.
+  void SetTrunkDown(int side);
+  void SetTrunkUp(int side);
+  // Brings every down link back up.
+  void HealAll();
+
+  // Builds a deterministic flap schedule from `seed`: starting from the
+  // current sim time, links chosen by the seeded stream go down for a
+  // bounded outage and heal, repeating until `horizon`. mean_period is the
+  // average gap between flap onsets, mean_outage the average down time
+  // (both jittered uniformly in [mean/2, 3*mean/2)). The schedule is fixed
+  // at call time — replaying the same seed replays the same outages.
+  void ScheduleFlaps(std::uint64_t seed, SimTime horizon, SimTime mean_period,
+                     SimTime mean_outage);
+
+  // Emits link_down/link_up trace instants on track "fabric" when set.
+  void set_trace(TraceLog* trace);
+
   // Aggregate stats over every link in the fabric.
   std::uint64_t frames_switched() const;   // egress (downlink) grants
   SimTime total_arbitration_wait() const;  // sum of link wait times
   std::size_t max_link_queue() const;      // high-water queue over all links
+  std::uint64_t link_flaps() const;        // down transitions over all links
+  std::uint64_t link_down_drops() const;   // queued frames dropped by outages
 
  private:
   struct Port {
@@ -102,9 +140,14 @@ class Fabric {
   Port& PortOf(const Adapter& adapter);
   const Port* FindPort(const Adapter& adapter) const;
   TxPath BuildPath(const Port& src, const Port& dst);
+  // Every link in the fabric, sorted by name: a deterministic order for the
+  // seeded flap scheduler (the port map is keyed by pointer, whose iteration
+  // order is not reproducible across processes).
+  std::vector<SwitchLink*> AllLinks() const;
 
   Engine* engine_;
   Config config_;
+  TraceLog* trace_ = nullptr;
   // Keyed by adapter identity; node-indexed maps give stable Port addresses.
   std::map<const Adapter*, Port> ports_;
   std::map<std::uint64_t, ChannelRoute> routes_;

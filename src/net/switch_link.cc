@@ -8,7 +8,7 @@ namespace genie {
 
 bool SwitchLink::TryAcquire(std::uint64_t channel, std::uint64_t bytes) {
   (void)channel;
-  if (held_ || waiting_ > 0) {
+  if (down_ || held_ || waiting_ > 0) {
     return false;
   }
   held_ = true;
@@ -19,12 +19,22 @@ bool SwitchLink::TryAcquire(std::uint64_t channel, std::uint64_t bytes) {
 }
 
 void SwitchLink::Enqueue(std::uint64_t channel, std::uint64_t bytes,
-                         std::coroutine_handle<> h) {
+                         std::coroutine_handle<> h, bool* dead) {
+  if (down_) {
+    // Racing a down transition: drop immediately, same contract as a queued
+    // frame caught by SetDown().
+    ++down_drops_;
+    if (dead != nullptr) {
+      *dead = true;
+    }
+    engine_->ScheduleAfter(0, [h] { h.resume(); });
+    return;
+  }
   auto [it, inserted] = queues_.try_emplace(channel);
   if (inserted) {
     active_.push_back(channel);
   }
-  it->second.push_back(Waiter{bytes, h, engine_->now()});
+  it->second.push_back(Waiter{bytes, h, engine_->now(), dead});
   ++waiting_;
   max_queue_ = std::max(max_queue_, waiting_);
 }
@@ -40,6 +50,43 @@ void SwitchLink::Release() {
   // a fresh engine event at the current simulated time (same discipline as
   // sim::Resource).
   GrantNext();
+}
+
+void SwitchLink::SetDown() {
+  if (down_) {
+    return;
+  }
+  down_ = true;
+  ++flaps_;
+  // Drop every queued frame: resume each waiter with its dead flag set so
+  // the owning transmit coroutine unwinds (releases already-held path links
+  // and reports the frame lost) instead of waiting for a grant that will
+  // never come.
+  for (auto& [ch, q] : queues_) {
+    (void)ch;
+    for (Waiter& w : q) {
+      ++down_drops_;
+      total_wait_ += engine_->now() - w.enqueued_at;
+      if (w.dead != nullptr) {
+        *w.dead = true;
+      }
+      engine_->ScheduleAfter(0, [h = w.handle] { h.resume(); });
+    }
+  }
+  queues_.clear();
+  active_.clear();
+  deficit_.clear();
+  waiting_ = 0;
+}
+
+void SwitchLink::SetUp() {
+  if (!down_) {
+    return;
+  }
+  GENIE_CHECK(queues_.empty()) << "frames queued on down link " << name_;
+  down_ = false;
+  // DRR state reset on heal: deficits and rotation order were cleared at
+  // SetDown(); arbitration restarts from a clean slate.
 }
 
 void SwitchLink::GrantNext() {

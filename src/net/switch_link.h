@@ -40,15 +40,33 @@ class SwitchLink {
   bool TryAcquire(std::uint64_t channel, std::uint64_t bytes);
 
   // Parks a frame of `bytes` on `channel`'s queue; `h` is resumed (via a
-  // fresh engine event) when the arbiter grants the link to this frame.
-  void Enqueue(std::uint64_t channel, std::uint64_t bytes, std::coroutine_handle<> h);
+  // fresh engine event) when the arbiter grants the link to this frame, or
+  // when the link goes down while the frame is queued. In the latter case
+  // `*dead` is set before the resume: the frame was dropped, not granted,
+  // and the caller must not Release().
+  void Enqueue(std::uint64_t channel, std::uint64_t bytes, std::coroutine_handle<> h,
+               bool* dead = nullptr);
 
   // Releases the link and runs one DRR arbitration round over the queued
   // channels, granting at most one frame (the link is exclusive).
   void Release();
 
+  // Takes the link down: every queued frame is dropped (resumed with its
+  // dead flag set) and subsequent TryAcquire calls fail until SetUp(). A
+  // holder mid-frame keeps the link held — the carrier is gone but the
+  // holder still owns the release. Counts one flap per down transition.
+  void SetDown();
+
+  // Brings the link back up with DRR state reset: residual deficits and the
+  // rotation order from before the outage are forgotten (the queues are
+  // empty by construction — frames cannot queue on a down link).
+  void SetUp();
+
   const std::string& name() const { return name_; }
   bool held() const { return held_; }
+  bool down() const { return down_; }
+  std::uint64_t flaps() const { return flaps_; }
+  std::uint64_t down_drops() const { return down_drops_; }
   std::size_t queue_length() const { return waiting_; }
   std::size_t max_queue_length() const { return max_queue_; }
   std::uint64_t grants() const { return grants_; }
@@ -64,6 +82,7 @@ class SwitchLink {
     std::uint64_t bytes = 0;
     std::coroutine_handle<> handle;
     SimTime enqueued_at = 0;
+    bool* dead = nullptr;  // set before resume when the link went down
   };
 
   void GrantNext();
@@ -82,6 +101,9 @@ class SwitchLink {
   std::uint64_t grants_ = 0;
   std::uint64_t bytes_granted_ = 0;
   SimTime total_wait_ = 0;
+  bool down_ = false;
+  std::uint64_t flaps_ = 0;
+  std::uint64_t down_drops_ = 0;
 };
 
 }  // namespace genie

@@ -26,6 +26,9 @@ void FlightRecorder::Dump(std::ostream& os, std::string_view reason) const {
   os << ",\"sim_time_us\":";
   WriteJsonDouble(os, SimTimeToMicros(log_->Now()));
   os << ",\"seed\":" << cfg_.seed;
+  if (epoch_ != 0) {
+    os << ",\"epoch\":" << epoch_;
+  }
   os << ",\"dropped_events\":" << log_->dropped_events();
   if (metrics_ != nullptr) {
     os << ",\"metrics\":";
@@ -66,8 +69,9 @@ std::string FlightRecorder::DumpToFile(std::string_view reason) {
   if (dir.empty()) {
     dir = ".";
   }
+  const std::string infix = epoch_ != 0 ? "_e" + std::to_string(epoch_) + "_" : "_";
   const std::string path =
-      dir + "/flight_" + node_ + "_" + std::to_string(++dumps_written_) + ".json";
+      dir + "/flight_" + node_ + infix + std::to_string(++dumps_written_) + ".json";
   std::ofstream out(path);
   if (!out) {
     return std::string();

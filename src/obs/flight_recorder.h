@@ -50,7 +50,19 @@ class FlightRecorder {
   // Writes the dump to "<dir>/flight_<node>_<n>.json" and returns the path
   // (empty string if the file could not be opened). `n` is a per-recorder
   // counter, so successive failures in one run do not clobber each other.
+  // With a nonzero incarnation epoch set, the name becomes
+  // "flight_<node>_e<epoch>_<n>.json" so dumps from successive incarnations
+  // of a crash-restarting node are distinguishable at a glance.
   std::string DumpToFile(std::string_view reason);
+
+  // Incarnation epoch stamped into dump filenames and documents. Zero (the
+  // default) keeps the legacy name and omits the field — a recorder on a
+  // node that never crashes produces byte-identical dumps to before epochs
+  // existed. Wire a node's crash/restart observers to this: dump at crash
+  // time (before state is discarded), then set the new epoch and clear the
+  // trace ring on restart so the next incarnation records from a clean slate.
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+  std::uint32_t epoch() const { return epoch_; }
 
   std::uint64_t dumps_written() const { return dumps_written_; }
 
@@ -59,6 +71,7 @@ class FlightRecorder {
   TraceLog* log_;
   const MetricsRegistry* metrics_;
   Config cfg_;
+  std::uint32_t epoch_ = 0;
   std::uint64_t dumps_written_ = 0;
 };
 

@@ -177,5 +177,62 @@ TEST(FlightRecorderTest, InvariantViolationHookDumpsTheRing) {
   rig.sender.set_trace(nullptr);
 }
 
+TEST(FlightRecorderTest, CrashRestartCyclesDumpPerIncarnationAndResetTheRing) {
+  // Repeated crash/restart cycles: each crash dumps the dying incarnation's
+  // ring (with its last events intact — the observer runs before state is
+  // discarded), restart stamps subsequent dumps with the new epoch and
+  // clears the ring so incarnations never bleed into each other's dumps.
+  ScopedFlightDirEnv env(nullptr);
+  TraceLog trace;
+  Rig rig;
+  rig.sender.set_trace(&trace);
+  FlightRecorder::Config cfg;
+  cfg.dir = ::testing::TempDir();
+  FlightRecorder recorder("crashnode", &trace, &rig.sender.metrics(), cfg);
+
+  std::vector<std::string> dump_paths;
+  std::vector<std::uint32_t> crash_epochs;
+  rig.sender.set_crash_observer([&](std::uint32_t epoch) {
+    crash_epochs.push_back(epoch);
+    dump_paths.push_back(recorder.DumpToFile("crash into e" + std::to_string(epoch)));
+  });
+  rig.sender.set_restart_observer([&](std::uint32_t epoch) {
+    recorder.set_epoch(epoch);
+    trace.Clear();
+  });
+
+  // Incarnation 1 (epoch field 0 = legacy filename, no "epoch" key).
+  trace.Instant("tx.xfer", "incarnation-1-event", "c", 0);
+  rig.sender.Crash();
+  rig.sender.Restart();
+  // Incarnation 2: its dump carries only its own events, under the new name.
+  trace.Instant("tx.xfer", "incarnation-2-event", "c", 0);
+  rig.sender.Crash();
+  rig.sender.Restart();
+
+  ASSERT_EQ(dump_paths.size(), 2u);
+  EXPECT_EQ(crash_epochs, (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_NE(dump_paths[0].find("flight_crashnode_1.json"), std::string::npos);
+  EXPECT_NE(dump_paths[1].find("flight_crashnode_e2_2.json"), std::string::npos);
+
+  const std::string first = Slurp(dump_paths[0]);
+  EXPECT_NE(first.find("incarnation-1-event"), std::string::npos);
+  EXPECT_EQ(first.find("\"epoch\":"), std::string::npos);
+  const std::string second = Slurp(dump_paths[1]);
+  EXPECT_NE(second.find("incarnation-2-event"), std::string::npos);
+  EXPECT_EQ(second.find("incarnation-1-event"), std::string::npos);  // ring reset
+  EXPECT_NE(second.find(R"("epoch":2)"), std::string::npos);
+  EXPECT_NE(second.find(R"("reason":"crash into e3")"), std::string::npos);
+
+  // The healthy incarnation 3 writes nothing on its own.
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  EXPECT_EQ(rig.sender.epoch(), 3u);
+  EXPECT_FALSE(rig.sender.crashed());
+  for (const std::string& p : dump_paths) {
+    std::remove(p.c_str());
+  }
+  rig.sender.set_trace(nullptr);
+}
+
 }  // namespace
 }  // namespace genie
