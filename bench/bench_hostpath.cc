@@ -146,7 +146,10 @@ int RunThreadsOnly(std::size_t threads) {
 
 }  // namespace
 
-int Run() {
+// `json_only` (bench_hostpath --json) suppresses the human-readable output
+// and prints one machine-readable JSON object of {row: MB/s} — the input
+// scripts/bench_record.sh normalizes into BENCH_hostpath.json.
+int Run(bool json_only) {
   std::vector<Row> rows;
   const std::vector<std::byte> payload = Payload(kTransfer);
 
@@ -221,13 +224,15 @@ int Run() {
       FreeSysBuffer(vm.pm(), sysbuf);
     }));
     const AddressSpace::Counters& c = tx.counters();
-    std::printf("sender counters: tlb_hits=%llu tlb_misses=%llu tlb_inval=%llu "
-                "coalesced_runs=%llu coalesced_pages=%llu\n",
-                static_cast<unsigned long long>(c.tlb_hits),
-                static_cast<unsigned long long>(c.tlb_misses),
-                static_cast<unsigned long long>(c.tlb_invalidations),
-                static_cast<unsigned long long>(c.coalesced_runs),
-                static_cast<unsigned long long>(c.coalesced_pages));
+    if (!json_only) {
+      std::printf("sender counters: tlb_hits=%llu tlb_misses=%llu tlb_inval=%llu "
+                  "coalesced_runs=%llu coalesced_pages=%llu\n",
+                  static_cast<unsigned long long>(c.tlb_hits),
+                  static_cast<unsigned long long>(c.tlb_misses),
+                  static_cast<unsigned long long>(c.tlb_invalidations),
+                  static_cast<unsigned long long>(c.coalesced_runs),
+                  static_cast<unsigned long long>(c.coalesced_pages));
+    }
     if (idle_plan.total_injected() != 0) {
       std::fprintf(stderr, "idle fault plan injected a fault\n");
       return 1;
@@ -404,13 +409,15 @@ int Run() {
       // span in the per-flow partition, so the gap is quoted at stream
       // level).
       const double slot_us = sim_s * 1e6 / static_cast<double>(kStream);
-      std::printf(
-          "critical_path w=%-2u (64-datagram stream, us): slot=%.1f wire=%.1f "
-          "prepare=%.1f dispose=%.1f offwire_gap=%.1f\n",
-          window, slot_us, st[static_cast<std::size_t>(Stage::kWire)] / n,
-          st[static_cast<std::size_t>(Stage::kPrepare)] / n,
-          st[static_cast<std::size_t>(Stage::kDispose)] / n,
-          slot_us - st[static_cast<std::size_t>(Stage::kWire)] / n);
+      if (!json_only) {
+        std::printf(
+            "critical_path w=%-2u (64-datagram stream, us): slot=%.1f wire=%.1f "
+            "prepare=%.1f dispose=%.1f offwire_gap=%.1f\n",
+            window, slot_us, st[static_cast<std::size_t>(Stage::kWire)] / n,
+            st[static_cast<std::size_t>(Stage::kPrepare)] / n,
+            st[static_cast<std::size_t>(Stage::kDispose)] / n,
+            slot_us - st[static_cast<std::size_t>(Stage::kWire)] / n);
+      }
     }
     rows.push_back(lossless);
 
@@ -653,7 +660,7 @@ int Run() {
     std::uint64_t digest_a = 0;
     std::uint64_t digest_b = 0;
     (void)run_fabric(&digest_a, /*report=*/false);
-    rows.push_back(run_fabric(&digest_b, /*report=*/true));
+    rows.push_back(run_fabric(&digest_b, /*report=*/!json_only));
     if (digest_a != digest_b) {
       std::fprintf(stderr, "fabric workload replay diverged: %llx vs %llx\n",
                    static_cast<unsigned long long>(digest_a),
@@ -702,7 +709,9 @@ int Run() {
   //     at 1/2/4/8 threads (allocation-point sysbufs + sharded-pool churn).
   //     Wall-clock, schedule-dependent; the per-thread digests underneath
   //     are pinned by hostpath_mt_stress_test. ---
-  std::printf("checksum kernel: %s\n", ChecksumIsaName());
+  if (!json_only) {
+    std::printf("checksum kernel: %s\n", ChecksumIsaName());
+  }
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                                     std::size_t{8}}) {
     rows.push_back(MeasureParallelFused(threads));
@@ -765,7 +774,7 @@ int Run() {
     injected_faults = plan.total_injected();
     recovered_transfers = tx_ep.stats().recovered_transfers + rx_ep.stats().recovered_transfers;
     metrics_json = receiver.metrics().Snapshot().ToJson();
-    if (trace_file.enabled()) {
+    if (trace_file.enabled() && !json_only) {
       // The traced transfer also feeds the critical-path analyzer: print its
       // per-stage attribution next to the trace file it came from.
       const std::vector<FlowBreakdown> breakdown = AnalyzeTrace(*trace_file.log());
@@ -774,6 +783,14 @@ int Run() {
       std::printf("\nCritical-path attribution (from %s):\n%s\n",
                   trace_file.path().c_str(), table.str().c_str());
     }
+  }
+  if (json_only) {
+    std::printf("{");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::printf("%s\"%s\": %.1f", i == 0 ? "" : ", ", rows[i].name.c_str(), rows[i].mb_per_s);
+    }
+    std::printf("}\n");
+    return 0;
   }
   TextTable fault_table;
   fault_table.AddHeader({"fault/recovery counter", "value"});
@@ -796,6 +813,59 @@ int Run() {
   return 0;
 }
 
+// `bench_hostpath --report [seed]`: a compact telemetry-enabled dumbbell
+// workload whose deterministic run report (telemetry series summaries, SLO
+// verdicts, alert log, critical path when traced) prints to stdout as JSON.
+// Two same-seed invocations — in any build — are byte-identical; the CI
+// telemetry leg diffs them. GENIE_TRACE additionally captures the causal
+// spans with the sampler's counter tracks interleaved.
+int RunReportMode(std::uint64_t seed) {
+  ScopedTraceFile trace_file;
+  Engine engine;
+  WorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.nodes = 4;
+  cfg.fabric.topology = Fabric::Topology::kDumbbell;
+  cfg.deadline = 20 * kMillisecond;
+  ReliableOptions rel;
+  rel.arq = true;
+  rel.window = 4;
+  rel.seed = seed;
+  cfg.reliable = rel;
+  TenantClassConfig bulk;
+  bulk.name = "bulk";
+  bulk.tenants = 6;
+  bulk.transfers_per_tenant = 0;  // run to the deadline
+  bulk.min_bytes = 2048;
+  bulk.max_bytes = 8 * 1024;
+  bulk.semantics_mix = {Semantics::kEmulatedCopy, Semantics::kCopy};
+  bulk.slo_p99_us = 50'000;
+  bulk.slo_goodput_floor_bps = 64 * 1024;  // well under the healthy rate
+  bulk.slo_giveups_zero = true;
+  cfg.classes.push_back(bulk);
+
+  Workload wl(engine, cfg);
+  Workload::TelemetryOptions topts;
+  topts.sampler.period = 500 * kMicrosecond;
+  if (trace_file.enabled()) {
+    topts.trace = trace_file.log();
+    for (std::size_t i = 0; i < wl.node_count(); ++i) {
+      wl.node(i).set_trace(trace_file.log());
+    }
+    wl.fabric().set_trace(trace_file.log());
+  }
+  wl.EnableTelemetry(topts);
+  wl.Run();
+  if (!wl.violations().empty()) {
+    std::fprintf(stderr, "report workload violation: %s\n", wl.violations().front().c_str());
+    return 1;
+  }
+  std::ostringstream report;
+  wl.WriteRunReport(report, trace_file.enabled() ? trace_file.log() : nullptr);
+  std::printf("%s", report.str().c_str());
+  return 0;
+}
+
 }  // namespace genie
 
 int main(int argc, char** argv) {
@@ -807,9 +877,23 @@ int main(int argc, char** argv) {
     }
     return genie::RunThreadsOnly(static_cast<std::size_t>(n));
   }
+  if (argc == 2 && std::string(argv[1]) == "--json") {
+    return genie::Run(/*json_only=*/true);
+  }
+  if ((argc == 2 || argc == 3) && std::string(argv[1]) == "--report") {
+    std::uint64_t seed = 0x7e1e;
+    if (argc == 3) {
+      seed = std::strtoull(argv[2], nullptr, 0);
+      if (seed == 0) {
+        std::fprintf(stderr, "usage: %s --report [seed]  (seed != 0)\n", argv[0]);
+        return 2;
+      }
+    }
+    return genie::RunReportMode(seed);
+  }
   if (argc != 1) {
-    std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--threads N | --json | --report [seed]]\n", argv[0]);
     return 2;
   }
-  return genie::Run();
+  return genie::Run(/*json_only=*/false);
 }

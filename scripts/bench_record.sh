@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Append a normalized bench row to BENCH_hostpath.json.
+#
+# Runs `bench_hostpath --json` (one flat {"row": MB/s, ...} object on
+# stdout), then inserts it as a named, dated section before the trailing
+# "speedup" block so the file keeps its chronological before/after
+# trajectory. The bench's human-readable tables never touch the file;
+# only the machine row does.
+#
+# Usage: scripts/bench_record.sh <section-name> [note] [path-to-bench]
+#   section-name  key for the new section (e.g. "telemetry_plane")
+#   note          free-text provenance note (default: "recorded by bench_record.sh")
+#   bench         bench binary (default: build/bench/bench_hostpath)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SECTION="${1:?usage: bench_record.sh <section-name> [note] [bench-path]}"
+NOTE="${2:-recorded by bench_record.sh}"
+BENCH="${3:-build/bench/bench_hostpath}"
+OUT="BENCH_hostpath.json"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "bench_record.sh: bench binary not found: $BENCH" >&2
+  echo "  (build it first: cmake --build build --target bench_hostpath)" >&2
+  exit 1
+fi
+
+ROWS_JSON="$("$BENCH" --json)"
+
+ROWS_JSON="$ROWS_JSON" SECTION="$SECTION" NOTE="$NOTE" OUT="$OUT" python3 - <<'EOF'
+import json, os, collections
+
+section = os.environ["SECTION"]
+rows = json.loads(os.environ["ROWS_JSON"])
+if not isinstance(rows, dict) or not rows:
+    raise SystemExit("bench --json produced no rows")
+
+path = os.environ["OUT"]
+with open(path) as f:
+    doc = json.load(f, object_pairs_hook=collections.OrderedDict)
+
+entry = collections.OrderedDict()
+entry["date"] = __import__("datetime").date.today().isoformat()
+entry["note"] = os.environ["NOTE"]
+for name, mbps in rows.items():
+    entry[name] = round(float(mbps), 1)
+
+# Keep "speedup" as the trailing block; everything else stays in insertion
+# (chronological) order. Re-recording a section overwrites it in place.
+speedup = doc.pop("speedup", None)
+doc[section] = entry
+if speedup is not None:
+    doc["speedup"] = speedup
+
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"recorded {len(rows)} rows to {path} section {section!r}")
+EOF

@@ -214,4 +214,47 @@ for window in 1 16; do
   fi
 done
 
+echo "=== tier-1: telemetry determinism (-O2 + ASan) ==="
+# Eighth leg: the continuous-telemetry plane's byte-identity contract. The
+# run report (telemetry series summaries, SLO verdicts/alerts, critical path)
+# must be byte-for-byte identical across two same-seed runs WITHIN each build
+# flavor, and identical BETWEEN -O2 and ASan — any platform-dependent float
+# formatting or ordering in the pipeline shows up here as a one-line diff.
+# The Perfetto trace (counter tracks interleaved with causal spans) must be
+# valid JSON with the counter series present.
+REPORT_SEED=0x7e1e
+for build_dir in build build-asan; do
+  BENCH=$build_dir/bench/bench_hostpath
+  echo "telemetry run-report determinism: $build_dir seed $REPORT_SEED"
+  # Both runs trace (the report embeds the critical-path section when traced);
+  # the second run's trace file is scratch — only its report is compared.
+  ASAN_OPTIONS=detect_leaks=0 GENIE_TRACE="$build_dir/telemetry_trace.json" \
+    "$BENCH" --report "$REPORT_SEED" > "$build_dir/run_report_a.json"
+  ASAN_OPTIONS=detect_leaks=0 GENIE_TRACE="$build_dir/telemetry_trace_b.json" \
+    "$BENCH" --report "$REPORT_SEED" > "$build_dir/run_report_b.json"
+  if ! diff "$build_dir/run_report_a.json" "$build_dir/run_report_b.json"; then
+    echo "telemetry leg failed: same-seed run reports differ in $build_dir"
+    exit 1
+  fi
+done
+if ! diff build/run_report_a.json build-asan/run_report_a.json; then
+  echo "telemetry leg failed: run report differs between -O2 and ASan builds"
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+report = json.load(open("build/run_report_a.json"))
+for key in ("period_ns", "samples_taken", "sources", "slo"):
+    assert key in report, f"run report missing {key!r}"
+trace = json.load(open("build/telemetry_trace.json"))
+events = trace["traceEvents"] if isinstance(trace, dict) else trace
+counters = {e["name"] for e in events if e.get("ph") == "C"}
+assert len(counters) >= 5, f"expected >=5 counter tracks, got {sorted(counters)}"
+print(f"telemetry leg OK: report parses, {len(counters)} counter tracks in trace")
+EOF
+# The telemetry unit/soak suite by name, so a filter change can never
+# silently deselect the partition-flap alert scenario.
+build/tests/obs_telemetry_test
+ASAN_OPTIONS=detect_leaks=0 build-asan/tests/obs_telemetry_test
+
 echo "CI OK: all suites passed."

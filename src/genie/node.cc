@@ -125,6 +125,26 @@ void Node::RegisterComponentGauges() {
   metrics_.RegisterGauge("nic.fences_sent", [&nic] { return nic.fences_sent(); });
   metrics_.RegisterGauge("nic.resyncs_sent", [&nic] { return nic.resyncs_sent(); });
   metrics_.RegisterGauge("nic.link_down_drops", [&nic] { return nic.link_down_drops(); });
+
+  // Telemetry rate sources and occupancy gauges. Pool occupancy reads the
+  // receive pool directly (exact between events); on a node without an
+  // outboard pool both read 0 and the zero-omitting snapshot is unchanged.
+  metrics_.RegisterGauge("reliable.delivered_frames",
+                         [&rel] { return rel.stats().delivered_frames; });
+  metrics_.RegisterGauge("reliable.delivered_bytes",
+                         [&rel] { return rel.stats().delivered_bytes; });
+  metrics_.RegisterGauge("nic.pool_free_pages", [this] {
+    BufferPool* pool = adapter_.pool();
+    return pool == nullptr ? 0 : static_cast<std::uint64_t>(pool->available());
+  });
+  metrics_.RegisterGauge("nic.pool_capacity", [this] {
+    BufferPool* pool = adapter_.pool();
+    return pool == nullptr ? 0 : static_cast<std::uint64_t>(pool->capacity());
+  });
+  // Trace-ring overflow: nonzero means a telemetry/trace series was
+  // truncated — exported so truncation can never pass silently.
+  metrics_.RegisterGauge("trace.dropped_events",
+                         [this] { return trace_ == nullptr ? 0 : trace_->dropped_events(); });
 }
 
 void Node::Crash() {

@@ -267,6 +267,10 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitReliably(
   }
 
   pending_acks_.erase(key);
+  if (report.outcome == TxOutcome::kDelivered) {
+    ++stats_.delivered_frames;
+    stats_.delivered_bytes += iov.total_bytes();
+  }
   if (token != nullptr) {
     token->resolved = true;
     token->wake = nullptr;
@@ -561,7 +565,12 @@ Task<ReliableDelivery::TxReport> ReliableDelivery::TransmitWindowed(
   report.attempts = e->attempts;
   switch (e->result) {
     case WindowEntry::kAcked:
+      // Counted here — not in ResolveAcked — so an ack that lands after the
+      // give-up verdict and overrides it (OnAck/OnSack) still counts exactly
+      // one delivery.
       report.outcome = TxOutcome::kDelivered;
+      ++stats_.delivered_frames;
+      stats_.delivered_bytes += e->iov.total_bytes();
       break;
     case WindowEntry::kGiveUp:
       report.outcome = TxOutcome::kGiveUp;

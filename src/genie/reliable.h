@@ -137,6 +137,8 @@ class ReliableDelivery {
     std::uint64_t epoch_bumps = 0;        // peer incarnation changes observed
     std::uint64_t resyncs = 0;            // resync handshake attempts sent
     std::uint64_t peer_crash_aborts = 0;  // transfers aborted by a crash-stop
+    std::uint64_t delivered_frames = 0;   // transfers acked end-to-end
+    std::uint64_t delivered_bytes = 0;    // payload bytes of those transfers
   };
 
   // `xfer_track` is the trace track transfer-level records go to

@@ -1,8 +1,11 @@
 #include "src/harness/workload.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <sstream>
 
+#include "src/obs/run_report.h"
 #include "src/util/check.h"
 
 namespace genie {
@@ -120,6 +123,38 @@ Workload::Workload(Engine& engine, WorkloadConfig config)
       tenant_stats_.push_back(stats);
       tenants_.push_back(std::move(tenant));
     }
+  }
+
+  // Per-class roll-up gauges (satellite of the telemetry plane): the same
+  // aggregates Rollups() computes, visible to snapshots and the sampler.
+  // Quantiles round to whole microseconds so gauge integers stay exact.
+  for (std::size_t ci = 0; ci < config_.classes.size(); ++ci) {
+    const std::string prefix = "wl." + config_.classes[ci].name + ".";
+    auto sum_stat = [this, ci](std::uint64_t TenantStats::* member) {
+      std::uint64_t total = 0;
+      for (const TenantStats& s : tenant_stats_) {
+        if (s.class_index == ci) {
+          total += s.*member;
+        }
+      }
+      return total;
+    };
+    metrics_.RegisterGauge(prefix + "completed",
+                           [sum_stat] { return sum_stat(&TenantStats::completed); });
+    metrics_.RegisterGauge(prefix + "completed_bytes",
+                           [sum_stat] { return sum_stat(&TenantStats::completed_bytes); });
+    metrics_.RegisterGauge(prefix + "failed",
+                           [sum_stat] { return sum_stat(&TenantStats::failed); });
+    metrics_.RegisterGauge(prefix + "retries",
+                           [sum_stat] { return sum_stat(&TenantStats::retries); });
+    metrics_.RegisterGauge(prefix + "backpressure",
+                           [sum_stat] { return sum_stat(&TenantStats::backpressure_stalls); });
+    metrics_.RegisterGauge(prefix + "p50_us", [this, ci] {
+      return static_cast<std::uint64_t>(std::llround(class_latency_[ci]->Quantile(50)));
+    });
+    metrics_.RegisterGauge(prefix + "p99_us", [this, ci] {
+      return static_cast<std::uint64_t>(std::llround(class_latency_[ci]->Quantile(99)));
+    });
   }
 }
 
@@ -343,6 +378,9 @@ void Workload::Run() {
     }
   }
   engine_->Run();
+  if (sampler_ != nullptr) {
+    sampler_->Finish();
+  }
   for (const auto& tenant : tenants_) {
     if (!tenant->done) {
       violations_.push_back("tenant " + std::to_string(tenant->index) +
@@ -353,6 +391,133 @@ void Workload::Run() {
                             std::to_string(tenant->in_flight) + " transfers in flight");
     }
   }
+}
+
+void Workload::EnableTelemetry(const TelemetryOptions& options) {
+  GENIE_CHECK(!ran_) << "EnableTelemetry must precede Run";
+  GENIE_CHECK(sampler_ == nullptr) << "telemetry already enabled";
+
+  TelemetrySampler::Config cfg = options.sampler;
+  if (cfg.seed == 0) {
+    cfg.seed = config_.seed;
+  }
+  if (options.default_tracks) {
+    auto add = [](std::vector<std::string>& v, const std::string& s) {
+      if (std::find(v.begin(), v.end(), s) == v.end()) {
+        v.push_back(s);
+      }
+    };
+    add(cfg.rate_counters, "reliable.delivered_bytes");
+    add(cfg.rate_counters, "reliable.retransmits");
+    add(cfg.rate_counters, "nic.frames_sent");
+    for (const TenantClassConfig& cls : config_.classes) {
+      add(cfg.rate_counters, "wl." + cls.name + ".completed_bytes");
+      add(cfg.counter_tracks, "wl/wl." + cls.name + ".completed_bytes.rate_per_s");
+    }
+    add(cfg.counter_tracks, "fabric/fabric.backlog_frames");
+    add(cfg.counter_tracks, "fabric/fabric.down_links");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const std::string n = nodes_[i]->name() + "/";
+      add(cfg.counter_tracks, n + "nic.pool_free_pages");
+      add(cfg.counter_tracks, n + "reliable.retransmits.rate_per_s");
+      add(cfg.counter_tracks, n + "backing.stored_pages");
+      add(cfg.counter_tracks, n + "node.crashes");
+      add(cfg.counter_tracks, n + "reliable.epoch_bumps");
+    }
+  }
+
+  sampler_ = std::make_unique<TelemetrySampler>(engine_, std::move(cfg));
+  for (const auto& node : nodes_) {
+    sampler_->AddSource(node->name(), &node->metrics());
+  }
+  sampler_->AddSource("fabric", &fabric_->metrics());
+  sampler_->AddSource("wl", &metrics_);
+  sampler_->set_trace(options.trace);
+
+  bool any_slo = false;
+  for (const TenantClassConfig& cls : config_.classes) {
+    any_slo = any_slo || cls.slo_p99_us > 0 || cls.slo_goodput_floor_bps > 0 ||
+              cls.slo_giveups_zero;
+  }
+  if (!any_slo) {
+    return;
+  }
+  slo_ = std::make_unique<SloTracker>(sampler_.get());
+  slo_->set_trace(options.trace);
+  slo_->set_metrics(&metrics_);
+  if (options.flight != nullptr) {
+    // The dump count rides the wl series, so the report shows when (and how
+    // often) alerts fired the recorder.
+    options.flight->RegisterGauges(metrics_);
+    FlightRecorder* flight = options.flight;
+    slo_->set_alert_hook([flight](const SloAlert& a) {
+      std::ostringstream os;
+      os << "slo_alert " << a.objective << " window [" << a.window_start << ", "
+         << a.window_end << ")ns: " << a.reason;
+      flight->DumpToFile(os.str());
+    });
+  }
+  for (std::size_t ci = 0; ci < config_.classes.size(); ++ci) {
+    const TenantClassConfig& cls = config_.classes[ci];
+    const auto windows = [&cls](SloObjective& o) {
+      o.short_windows = cls.slo_short_windows;
+      o.long_windows = cls.slo_long_windows;
+      o.long_burn_threshold = cls.slo_long_burn_threshold;
+    };
+    const auto class_active = [this, ci] {
+      for (const auto& tenant : tenants_) {
+        if (tenant->class_index == ci && !tenant->done) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (cls.slo_p99_us > 0) {
+      SloObjective o;
+      o.name = cls.name;
+      o.p99_limit_us = cls.slo_p99_us;
+      windows(o);
+      SloInputs in;
+      in.latency = class_latency_[ci].get();
+      in.completed_bytes = [this, ci] {
+        std::uint64_t total = 0;
+        for (const TenantStats& s : tenant_stats_) {
+          if (s.class_index == ci) {
+            total += s.completed_bytes;
+          }
+        }
+        return total;
+      };
+      in.active = class_active;
+      slo_->AddObjective(std::move(o), std::move(in));
+    }
+    if (cls.slo_goodput_floor_bps > 0 || cls.slo_giveups_zero) {
+      for (std::size_t ti = 0; ti < tenants_.size(); ++ti) {
+        if (tenants_[ti]->class_index != ci) {
+          continue;
+        }
+        SloObjective o;
+        o.name = cls.name + ".t" + std::to_string(ti);
+        o.goodput_floor_bytes_per_s = cls.slo_goodput_floor_bps;
+        o.giveups_zero = cls.slo_giveups_zero;
+        windows(o);
+        SloInputs in;
+        const TenantStats* stats = &tenant_stats_[ti];
+        in.completed_bytes = [stats] { return stats->completed_bytes; };
+        in.giveups = [stats] { return stats->failed; };
+        const Tenant* tenant = tenants_[ti].get();
+        in.active = [tenant] { return !tenant->done; };
+        slo_->AddObjective(std::move(o), std::move(in));
+      }
+    }
+  }
+}
+
+void Workload::WriteRunReport(std::ostream& os, const TraceLog* trace) const {
+  GENIE_CHECK(sampler_ != nullptr) << "WriteRunReport requires EnableTelemetry";
+  RunReport report(sampler_.get(), slo_.get());
+  report.set_critical_path(trace);
+  report.WriteJson(os);
 }
 
 std::vector<ClassRollup> Workload::Rollups() const {

@@ -29,7 +29,9 @@
 #include "src/genie/endpoint.h"
 #include "src/genie/node.h"
 #include "src/net/fabric.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/awaitable.h"
 #include "src/sim/engine.h"
 #include "src/util/rng.h"
@@ -78,6 +80,20 @@ struct TenantClassConfig {
   // the tenant stats and class roll-up; closed-loop tenants already retry
   // and get the same accounting for crash-caused attempts.
   bool tenant_restart = false;
+
+  // Declarative SLOs, evaluated per telemetry sampling window once
+  // EnableTelemetry is on (0/false = clause disabled). The p99 objective is
+  // tracked at class scope (the latency roll-up is per class); the goodput
+  // floor and giveups==0 objectives are tracked per tenant — named
+  // "<class>.t<tenant-index>" — so a firing alert pins the violating tenant.
+  // "Giveups" at tenant scope are transfers that failed after exhausting the
+  // class retry budget.
+  double slo_p99_us = 0;
+  double slo_goodput_floor_bps = 0;  // bytes per second of sim time, per tenant
+  bool slo_giveups_zero = false;
+  int slo_short_windows = 3;
+  int slo_long_windows = 12;
+  double slo_long_burn_threshold = 0.5;
 };
 
 struct WorkloadConfig {
@@ -147,8 +163,42 @@ class Workload {
   Workload& operator=(const Workload&) = delete;
 
   // Starts every tenant and runs the engine to quiescence. Payload
-  // mismatches and stuck tenants are recorded in violations().
+  // mismatches and stuck tenants are recorded in violations(). With
+  // telemetry enabled, the final partial sampling window is flushed before
+  // returning.
   void Run();
+
+  // Continuous telemetry over the whole workload: the sampler snapshots
+  // every node's registry, the fabric's, and the workload's own wl.* /
+  // slo.* registry on one sim-time cadence, and an SloTracker evaluates the
+  // classes' declarative objectives per window. Call before Run().
+  struct TelemetryOptions {
+    TelemetrySampler::Config sampler;  // seed 0 = inherit the workload seed
+    // Trace log for Perfetto counter tracks and slo_alert instants (null =
+    // no trace output; series and alerts still accumulate).
+    TraceLog* trace = nullptr;
+    // A firing alert dumps this recorder with a reason naming the violating
+    // objective and window (null = no dumps).
+    FlightRecorder* flight = nullptr;
+    // Install the standard counter-track/rate set (pool occupancy, fabric
+    // backlog, retransmit rate, per-class goodput, dirty/crash/epoch
+    // counters) on top of any tracks already in `sampler`.
+    bool default_tracks = true;
+  };
+  void EnableTelemetry(const TelemetryOptions& options);
+
+  TelemetrySampler* telemetry() { return sampler_.get(); }
+  const TelemetrySampler* telemetry() const { return sampler_.get(); }
+  SloTracker* slo() { return slo_.get(); }
+  const SloTracker* slo() const { return slo_.get(); }
+
+  // Workload-scope registry: per-class wl.* roll-up gauges plus the
+  // SloTracker's slo.* counters.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // Deterministic end-of-run report (requires EnableTelemetry); embeds the
+  // critical-path table when `trace` is non-null.
+  void WriteRunReport(std::ostream& os, const TraceLog* trace = nullptr) const;
 
   Engine& engine() { return *engine_; }
   Fabric& fabric() { return *fabric_; }
@@ -216,6 +266,9 @@ class Workload {
   std::vector<TenantStats> tenant_stats_;
   std::vector<std::unique_ptr<LatencyHistogram>> class_latency_;
   std::vector<std::string> violations_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TelemetrySampler> sampler_;
+  std::unique_ptr<SloTracker> slo_;
   bool ran_ = false;
 };
 

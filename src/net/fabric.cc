@@ -14,6 +14,15 @@ Fabric::Fabric(Engine& engine, Config config) : engine_(&engine), config_(config
     trunks_[1] = std::make_unique<SwitchLink>(engine, "fabric.trunk.1to0",
                                               config_.drr_quantum_bytes);
   }
+  metrics_.RegisterGauge("fabric.frames_switched", [this] { return frames_switched(); });
+  metrics_.RegisterGauge("fabric.backlog_frames", [this] { return backlog_frames(); });
+  metrics_.RegisterGauge("fabric.backlog_peak",
+                         [this] { return std::uint64_t{max_link_queue()}; });
+  metrics_.RegisterGauge("fabric.arb_wait_ns",
+                         [this] { return static_cast<std::uint64_t>(total_arbitration_wait()); });
+  metrics_.RegisterGauge("fabric.link_flaps", [this] { return link_flaps(); });
+  metrics_.RegisterGauge("fabric.down_links", [this] { return down_links(); });
+  metrics_.RegisterGauge("fabric.link_down_drops", [this] { return link_down_drops(); });
 }
 
 void Fabric::Attach(Adapter& adapter, int side) {
@@ -227,6 +236,22 @@ SimTime Fabric::total_arbitration_wait() const {
   }
   if (trunks_[0] != nullptr) {
     total += trunks_[0]->total_wait() + trunks_[1]->total_wait();
+  }
+  return total;
+}
+
+std::uint64_t Fabric::backlog_frames() const {
+  std::uint64_t total = 0;
+  for (const SwitchLink* link : AllLinks()) {
+    total += link->queue_length();
+  }
+  return total;
+}
+
+std::uint64_t Fabric::down_links() const {
+  std::uint64_t total = 0;
+  for (const SwitchLink* link : AllLinks()) {
+    total += link->down() ? 1 : 0;
   }
   return total;
 }

@@ -31,6 +31,7 @@
 
 #include "src/net/adapter.h"
 #include "src/net/switch_link.h"
+#include "src/obs/metrics.h"
 #include "src/sim/engine.h"
 #include "src/sim/trace.h"
 #include "src/util/rng.h"
@@ -121,6 +122,12 @@ class Fabric {
   std::size_t max_link_queue() const;      // high-water queue over all links
   std::uint64_t link_flaps() const;        // down transitions over all links
   std::uint64_t link_down_drops() const;   // queued frames dropped by outages
+  std::uint64_t backlog_frames() const;    // frames queued right now, all links
+  std::uint64_t down_links() const;        // links currently down
+
+  // Registry exposing the aggregates as fabric.* gauges, samplable by the
+  // telemetry plane exactly like a node's registry.
+  const MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct Port {
@@ -148,6 +155,7 @@ class Fabric {
   Engine* engine_;
   Config config_;
   TraceLog* trace_ = nullptr;
+  MetricsRegistry metrics_;
   // Keyed by adapter identity; node-indexed maps give stable Port addresses.
   std::map<const Adapter*, Port> ports_;
   std::map<std::uint64_t, ChannelRoute> routes_;

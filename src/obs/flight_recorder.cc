@@ -80,4 +80,8 @@ std::string FlightRecorder::DumpToFile(std::string_view reason) {
   return path;
 }
 
+void FlightRecorder::RegisterGauges(MetricsRegistry& registry) {
+  registry.RegisterGauge("flight.dumps", [this] { return dumps_written_; });
+}
+
 }  // namespace genie

@@ -66,6 +66,11 @@ class FlightRecorder {
 
   std::uint64_t dumps_written() const { return dumps_written_; }
 
+  // Exports the dump count as a "flight.dumps" gauge so telemetry series and
+  // snapshots show when (and how often) the recorder fired. The recorder must
+  // outlive `registry`'s last Snapshot().
+  void RegisterGauges(MetricsRegistry& registry);
+
  private:
   std::string node_;
   TraceLog* log_;

@@ -1,0 +1,161 @@
+#include "src/obs/run_report.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/obs/critical_path.h"
+#include "src/util/check.h"
+#include "src/util/json.h"
+
+namespace genie {
+
+namespace {
+
+// Summary of one metric across a series: first/last raw values plus the
+// range. Missing-in-sample means 0 (snapshots omit zeros).
+struct MetricSummary {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+struct RateSummary {
+  double last = 0.0;
+  double max = 0.0;
+};
+
+void WriteSeries(std::ostream& os, const TelemetrySeries& s) {
+  os << "{\"samples\": " << s.samples.size() << ", \"dropped\": " << s.dropped;
+  if (!s.samples.empty()) {
+    os << ", \"first_t_ns\": " << s.samples.front().t
+       << ", \"last_t_ns\": " << s.samples.back().t;
+  }
+  // Union of metric names over the retained window, then per-metric summary.
+  std::set<std::string> names;
+  for (const TelemetrySample& sample : s.samples) {
+    for (const auto& [name, value] : sample.values) {
+      names.insert(name);
+    }
+  }
+  std::map<std::string, MetricSummary> metrics;
+  std::map<std::string, RateSummary> rates;
+  bool first_sample = true;
+  for (const TelemetrySample& sample : s.samples) {
+    for (const std::string& name : names) {
+      const auto it = sample.values.find(name);
+      const std::uint64_t v = it == sample.values.end() ? 0 : it->second;
+      MetricSummary& m = metrics[name];
+      if (first_sample) {
+        m.first = m.min = m.max = v;
+      } else {
+        m.min = std::min(m.min, v);
+        m.max = std::max(m.max, v);
+      }
+      m.last = v;
+    }
+    for (const auto& [name, v] : sample.rates) {
+      RateSummary& r = rates[name];
+      r.last = v;
+      r.max = std::max(r.max, v);
+    }
+    first_sample = false;
+  }
+  os << ", \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, m] : metrics) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    WriteJsonString(os, name);
+    os << ": {\"first\": " << m.first << ", \"last\": " << m.last << ", \"min\": " << m.min
+       << ", \"max\": " << m.max << "}";
+  }
+  os << "}, \"rates\": {";
+  first = true;
+  for (const auto& [name, r] : rates) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    WriteJsonString(os, name);
+    os << ": {\"last\": ";
+    WriteJsonDouble(os, r.last);
+    os << ", \"max\": ";
+    WriteJsonDouble(os, r.max);
+    os << "}";
+  }
+  os << "}}";
+}
+
+void WriteAlert(std::ostream& os, const SloAlert& a) {
+  os << "{\"objective\": ";
+  WriteJsonString(os, a.objective);
+  os << ", \"window_start_ns\": " << a.window_start
+     << ", \"window_end_ns\": " << a.window_end << ", \"reason\": ";
+  WriteJsonString(os, a.reason);
+  os << ", \"bad_short\": " << a.bad_short << ", \"burn_long\": ";
+  WriteJsonDouble(os, a.burn_long);
+  os << "}";
+}
+
+void WriteVerdict(std::ostream& os, const SloVerdict& v) {
+  os << "{\"objective\": ";
+  WriteJsonString(os, v.objective);
+  os << ", \"windows\": " << v.windows << ", \"bad_windows\": " << v.bad_windows
+     << ", \"alerts\": " << v.alerts << ", \"ok\": " << (v.ok() ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+RunReport::RunReport(const TelemetrySampler* sampler, const SloTracker* slo)
+    : sampler_(sampler), slo_(slo) {
+  GENIE_CHECK(sampler_ != nullptr);
+}
+
+void RunReport::WriteJson(std::ostream& os) const {
+  os << "{\n  \"period_ns\": " << sampler_->period()
+     << ",\n  \"samples_taken\": " << sampler_->samples_taken() << ",\n  \"sources\": {";
+  bool first = true;
+  for (const TelemetrySeries& s : sampler_->series()) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, s.name);
+    os << ": ";
+    WriteSeries(os, s);
+  }
+  os << "\n  }";
+  if (slo_ != nullptr) {
+    os << ",\n  \"slo\": {\n    \"verdicts\": [";
+    first = true;
+    for (const SloVerdict& v : slo_->Verdicts()) {
+      os << (first ? "\n      " : ",\n      ");
+      first = false;
+      WriteVerdict(os, v);
+    }
+    os << "\n    ],\n    \"alerts\": [";
+    first = true;
+    for (const SloAlert& a : slo_->alerts()) {
+      os << (first ? "\n      " : ",\n      ");
+      first = false;
+      WriteAlert(os, a);
+    }
+    os << "\n    ]\n  }";
+  }
+  if (trace_ != nullptr) {
+    os << ",\n  \"critical_path\": ";
+    WriteBreakdownJson(os, AnalyzeTrace(*trace_));
+  }
+  os << "\n}\n";
+}
+
+std::string RunReport::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+}  // namespace genie

@@ -1,0 +1,41 @@
+// Deterministic end-of-run report: per-source telemetry series summaries,
+// per-tenant SLO verdicts, the alert log, and (optionally) the trace-derived
+// critical-path table, as one JSON document.
+//
+// Every field derives from sim-clock stamps and registry integers (doubles
+// only through the round-trip formatter), so two same-seed runs — across
+// optimization levels and sanitizers — emit byte-identical reports. The CI
+// telemetry leg diffs exactly this output.
+#ifndef GENIE_SRC_OBS_RUN_REPORT_H_
+#define GENIE_SRC_OBS_RUN_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/obs/telemetry.h"
+#include "src/sim/trace.h"
+
+namespace genie {
+
+class RunReport {
+ public:
+  // `sampler` is required; `slo` may be null (the report then omits the SLO
+  // section). Both must outlive the report.
+  RunReport(const TelemetrySampler* sampler, const SloTracker* slo);
+
+  // Embeds the per-flow critical-path breakdowns of `trace` (see
+  // AnalyzeTrace) under "critical_path". Null clears.
+  void set_critical_path(const TraceLog* trace) { trace_ = trace; }
+
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
+ private:
+  const TelemetrySampler* sampler_;
+  const SloTracker* slo_;
+  const TraceLog* trace_ = nullptr;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_OBS_RUN_REPORT_H_

@@ -1,0 +1,351 @@
+#include "src/obs/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace genie {
+
+namespace {
+
+constexpr double kNanosPerSecond = 1e9;
+
+// Rate of a window's delta in events (or bytes) per second of sim time.
+double WindowRate(std::uint64_t delta, SimTime interval) {
+  if (interval <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(delta) * kNanosPerSecond / static_cast<double>(interval);
+}
+
+}  // namespace
+
+double HistogramDelta::Quantile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  GENIE_CHECK(p >= 0.0 && p <= 100.0) << "p=" << p;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      if (i == LatencyHistogram::kBuckets - 1) {
+        return end_max;  // overflow bucket: best available bound
+      }
+      return LatencyHistogram::BucketUpperBound(i);
+    }
+  }
+  return end_max;  // unreachable: rank <= count
+}
+
+HistogramDelta DiffHistograms(const LatencyHistogram& end, const LatencyHistogram& start) {
+  HistogramDelta d;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    d.buckets[i] = CounterDelta(start.bucket(i), end.bucket(i));
+    d.count += d.buckets[i];
+  }
+  d.end_max = end.max();
+  return d;
+}
+
+TelemetrySampler::TelemetrySampler(Engine* engine, Config cfg)
+    : engine_(engine), cfg_(std::move(cfg)) {
+  GENIE_CHECK(engine_ != nullptr);
+  GENIE_CHECK_GT(cfg_.period, 0);
+  prev_stamp_ = engine_->now();
+  // First boundary strictly after now, on the seeded phase grid
+  // (seed % period) + k*period.
+  const SimTime phase = static_cast<SimTime>(cfg_.seed % static_cast<std::uint64_t>(cfg_.period));
+  SimTime b = phase;
+  if (b <= prev_stamp_) {
+    const SimTime steps = (prev_stamp_ - b) / cfg_.period + 1;
+    b += steps * cfg_.period;
+  }
+  next_due_ = b;
+  engine_->set_probe([this](SimTime now) { OnProbe(now); });
+}
+
+TelemetrySampler::~TelemetrySampler() {
+  engine_->set_probe(nullptr);
+  if (trace_ != nullptr) {
+    trace_->UnregisterNode(this);
+  }
+}
+
+void TelemetrySampler::AddSource(const std::string& name, const MetricsRegistry* registry) {
+  GENIE_CHECK(registry != nullptr) << "telemetry source " << name;
+  for (const TelemetrySeries& s : series_) {
+    GENIE_CHECK(s.name != name) << "duplicate telemetry source " << name;
+  }
+  TelemetrySeries s;
+  s.name = name;
+  s.registry = registry;
+  series_.push_back(std::move(s));
+}
+
+void TelemetrySampler::set_trace(TraceLog* trace) {
+  if (trace_ != nullptr) {
+    trace_->UnregisterNode(this);
+  }
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_->RegisterNode(this, "telemetry");
+  }
+}
+
+void TelemetrySampler::AddWindowObserver(WindowObserver fn) {
+  GENIE_CHECK(fn != nullptr);
+  observers_.push_back(std::move(fn));
+}
+
+const TelemetrySeries* TelemetrySampler::FindSeries(const std::string& name) const {
+  for (const TelemetrySeries& s : series_) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void TelemetrySampler::OnProbe(SimTime now) {
+  if (now < next_due_) {
+    return;
+  }
+  // The clock may have jumped several periods in one hop (an idle stretch);
+  // one sample at the last crossed boundary covers the whole jump — the
+  // intermediate windows had no events by construction.
+  const SimTime stamp = next_due_ + ((now - next_due_) / cfg_.period) * cfg_.period;
+  TakeSample(stamp);
+  next_due_ = stamp + cfg_.period;
+}
+
+void TelemetrySampler::Finish() {
+  const SimTime now = engine_->now();
+  if (now > prev_stamp_) {
+    TakeSample(now);
+    if (now >= next_due_) {
+      next_due_ = next_due_ + ((now - next_due_) / cfg_.period + 1) * cfg_.period;
+    }
+  }
+}
+
+void TelemetrySampler::TakeSample(SimTime stamp) {
+  const SimTime t0 = prev_stamp_;
+  for (TelemetrySeries& s : series_) {
+    TelemetrySample sample;
+    sample.t = stamp;
+    sample.interval = stamp - t0;
+    sample.values = s.registry->Snapshot().values;
+    for (const std::string& name : cfg_.rate_counters) {
+      const auto it = sample.values.find(name);
+      const std::uint64_t cur = it == sample.values.end() ? 0 : it->second;
+      const auto pit = s.prev.find(name);
+      const std::uint64_t prev = pit == s.prev.end() ? 0 : pit->second;
+      sample.rates[name + ".rate_per_s"] = WindowRate(CounterDelta(prev, cur), sample.interval);
+    }
+    s.prev = sample.values;
+    if (cfg_.ring_capacity != 0 && s.samples.size() >= cfg_.ring_capacity) {
+      s.samples.pop_front();
+      ++s.dropped;
+    }
+    s.samples.push_back(std::move(sample));
+  }
+  if (trace_ != nullptr) {
+    // Every configured series emits every sample — even zeros — so Perfetto
+    // draws continuous counter lines instead of point clouds.
+    for (const std::string& sel : cfg_.counter_tracks) {
+      const std::size_t slash = sel.find('/');
+      if (slash == std::string::npos) {
+        continue;
+      }
+      const TelemetrySeries* s = FindSeries(sel.substr(0, slash));
+      if (s == nullptr || s->samples.empty()) {
+        continue;
+      }
+      const TelemetrySample& sample = s->samples.back();
+      const std::string metric = sel.substr(slash + 1);
+      double value = 0.0;
+      const auto rit = sample.rates.find(metric);
+      if (rit != sample.rates.end()) {
+        value = rit->second;
+      } else {
+        const auto vit = sample.values.find(metric);
+        value = vit == sample.values.end() ? 0.0 : static_cast<double>(vit->second);
+      }
+      trace_->Counter("telemetry", sel, stamp, value);
+    }
+  }
+  prev_stamp_ = stamp;
+  ++samples_taken_;
+  for (const WindowObserver& fn : observers_) {
+    fn(t0, stamp);
+  }
+}
+
+SloTracker::SloTracker(TelemetrySampler* sampler) {
+  GENIE_CHECK(sampler != nullptr);
+  sampler->AddWindowObserver([this](SimTime t0, SimTime t1) { OnWindow(t0, t1); });
+}
+
+SloTracker::~SloTracker() {
+  if (trace_ != nullptr) {
+    trace_->UnregisterNode(this);
+  }
+}
+
+void SloTracker::AddObjective(SloObjective objective, SloInputs inputs) {
+  GENIE_CHECK(!objective.name.empty());
+  GENIE_CHECK_GE(objective.short_windows, 1);
+  GENIE_CHECK_GE(objective.long_windows, objective.short_windows);
+  Tracked t;
+  t.obj = std::move(objective);
+  t.in = std::move(inputs);
+  if (t.in.latency != nullptr) {
+    t.prev_latency = *t.in.latency;
+  }
+  tracked_.push_back(std::move(t));
+}
+
+void SloTracker::set_trace(TraceLog* trace) {
+  if (trace_ != nullptr) {
+    trace_->UnregisterNode(this);
+  }
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_->RegisterNode(this, "slo");
+  }
+}
+
+void SloTracker::OnWindow(SimTime t0, SimTime t1) {
+  const SimTime interval = t1 - t0;
+  if (interval <= 0) {
+    return;
+  }
+  for (Tracked& t : tracked_) {
+    const std::uint64_t bytes = t.in.completed_bytes ? t.in.completed_bytes() : 0;
+    const std::uint64_t window_bytes = CounterDelta(t.prev_bytes, bytes);
+    t.prev_bytes = bytes;
+    const std::uint64_t giveups = t.in.giveups ? t.in.giveups() : 0;
+    const std::uint64_t window_giveups = CounterDelta(t.prev_giveups, giveups);
+    t.prev_giveups = giveups;
+    HistogramDelta latency;
+    if (t.in.latency != nullptr) {
+      latency = DiffHistograms(*t.in.latency, t.prev_latency);
+      t.prev_latency = *t.in.latency;
+    }
+    if (window_bytes > 0) {
+      t.started = true;
+    }
+
+    // Idle windows of a tenant with no work in flight are skipped: a
+    // finished (or not-yet-started) tenant burns no error budget.
+    const bool active = t.in.active ? t.in.active() : t.started;
+    if (!active && window_bytes == 0 && latency.count == 0 && window_giveups == 0) {
+      continue;
+    }
+
+    std::string reason;
+    const auto fail = [&reason](const std::string& clause) {
+      if (!reason.empty()) {
+        reason += "; ";
+      }
+      reason += clause;
+    };
+    if (t.obj.p99_limit_us > 0 && latency.count > 0) {
+      const double p99 = latency.Quantile(99);
+      if (p99 > t.obj.p99_limit_us) {
+        std::ostringstream os;
+        os << "p99 " << p99 << "us > limit " << t.obj.p99_limit_us << "us";
+        fail(os.str());
+      }
+    }
+    if (t.obj.goodput_floor_bytes_per_s > 0 && t.started) {
+      const double goodput = static_cast<double>(window_bytes) * 1e9 /
+                             static_cast<double>(interval);
+      if (goodput < t.obj.goodput_floor_bytes_per_s) {
+        std::ostringstream os;
+        os << "goodput " << goodput << "B/s < floor " << t.obj.goodput_floor_bytes_per_s
+           << "B/s";
+        fail(os.str());
+      }
+    }
+    if (t.obj.giveups_zero && window_giveups > 0) {
+      std::ostringstream os;
+      os << "giveups " << window_giveups << " > 0";
+      fail(os.str());
+    }
+
+    const bool bad = !reason.empty();
+    ++t.windows;
+    t.history.push_back(bad ? 1 : 0);
+    while (t.history.size() > static_cast<std::size_t>(t.obj.long_windows)) {
+      t.history.pop_front();
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Add("slo." + t.obj.name + ".windows", 1);
+    }
+    if (!bad) {
+      t.consecutive_bad = 0;
+      t.in_episode = false;
+      continue;
+    }
+    ++t.bad_windows;
+    ++t.consecutive_bad;
+    if (metrics_ != nullptr) {
+      metrics_->Add("slo." + t.obj.name + ".bad_windows", 1);
+    }
+
+    std::uint64_t bad_in_history = 0;
+    for (char b : t.history) {
+      bad_in_history += b;
+    }
+    const double burn =
+        static_cast<double>(bad_in_history) / static_cast<double>(t.history.size());
+    const bool fire = !t.in_episode && t.consecutive_bad >= t.obj.short_windows &&
+                      burn >= t.obj.long_burn_threshold;
+    if (!fire) {
+      continue;
+    }
+    t.in_episode = true;
+    ++t.alert_count;
+    SloAlert alert;
+    alert.objective = t.obj.name;
+    alert.window_start = t0;
+    alert.window_end = t1;
+    alert.reason = reason;
+    alert.bad_short = t.consecutive_bad;
+    alert.burn_long = burn;
+    if (trace_ != nullptr) {
+      trace_->Instant("slo", "slo_alert:" + t.obj.name, "slo", t1);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Add("slo.alerts", 1);
+      metrics_->Add("slo." + t.obj.name + ".alerts", 1);
+    }
+    alerts_.push_back(alert);
+    if (hook_) {
+      hook_(alerts_.back());
+    }
+  }
+}
+
+std::vector<SloVerdict> SloTracker::Verdicts() const {
+  std::vector<SloVerdict> out;
+  out.reserve(tracked_.size());
+  for (const Tracked& t : tracked_) {
+    SloVerdict v;
+    v.objective = t.obj.name;
+    v.windows = t.windows;
+    v.bad_windows = t.bad_windows;
+    v.alerts = t.alert_count;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace genie

@@ -1,0 +1,236 @@
+// Continuous telemetry: sim-time sampling of metrics registries into bounded
+// time series, with derived rates, Perfetto counter tracks, and per-tenant
+// SLO burn-rate alerting.
+//
+// The sampler is driven by an Engine probe (see Engine::set_probe), not by
+// scheduled events: crossing a sampling boundary is detected when the clock
+// advances past it, so an attached sampler adds zero queue entries and zero
+// RNG draws — every existing event-digest and trace golden stays bit-for-bit.
+// The price is that a sample is taken at the first scheduling opportunity at
+// or after the boundary (stamped with the boundary time): it reflects all
+// events executed strictly before the first event at-or-after that boundary.
+// In a busy simulation that is within one event of the ideal edge.
+//
+// Everything here is deterministic: values come from MetricsRegistry
+// snapshots, stamps from the sim clock, and the cadence from a seeded phase
+// offset — two same-seed runs produce byte-identical series, alert logs, and
+// report JSON.
+#ifndef GENIE_SRC_OBS_TELEMETRY_H_
+#define GENIE_SRC_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sim/engine.h"
+#include "src/sim/trace.h"
+#include "src/util/units.h"
+
+namespace genie {
+
+// Delta of a monotonic counter across a window. A decrease means the source
+// was reset (node restart, registry swap); the window's delta is then 0
+// rather than a huge unsigned wraparound.
+inline std::uint64_t CounterDelta(std::uint64_t prev, std::uint64_t cur) {
+  return cur >= prev ? cur - prev : 0;
+}
+
+// Bucket-wise difference of two cumulative LatencyHistogram captures: the
+// distribution of samples added between `start` and `end`. Each bucket clamps
+// at 0 if the source was reset mid-window (the window is then best-effort).
+struct HistogramDelta {
+  std::uint64_t buckets[LatencyHistogram::kBuckets] = {};
+  std::uint64_t count = 0;
+  // Max observed over the *cumulative* end histogram — used to resolve
+  // overflow-bucket quantiles, since a window's own max is not recoverable
+  // from bucket counts alone.
+  double end_max = 0.0;
+
+  // Quantile over the window's samples: the upper boundary of the bucket
+  // holding the ranked sample (same rank rule as LatencyHistogram::Quantile).
+  // Overflow-bucket ranks report end_max. 0 for an empty delta.
+  double Quantile(double p) const;
+};
+
+HistogramDelta DiffHistograms(const LatencyHistogram& end, const LatencyHistogram& start);
+
+// One sample of one source: the raw snapshot values at the window edge plus
+// per-window rates for the configured rate counters.
+struct TelemetrySample {
+  SimTime t = 0;         // window edge this sample is stamped at
+  SimTime interval = 0;  // t minus the previous sample's t
+  std::map<std::string, std::uint64_t> values;  // counters + gauges (0 omitted)
+  std::map<std::string, double> rates;  // "<metric>.rate_per_s" for rate counters
+};
+
+// Bounded time series for one registered source.
+struct TelemetrySeries {
+  std::string name;
+  const MetricsRegistry* registry = nullptr;
+  std::deque<TelemetrySample> samples;  // ring: oldest evicted past capacity
+  std::uint64_t dropped = 0;            // samples evicted from the ring
+  std::map<std::string, std::uint64_t> prev;  // previous snapshot values
+};
+
+class TelemetrySampler {
+ public:
+  struct Config {
+    // Sampling period in sim time.
+    SimTime period = 100 * kMicrosecond;
+    // Samples retained per source; older ones are evicted (and counted).
+    std::size_t ring_capacity = 4096;
+    // Seeds the cadence phase: boundaries sit at (seed % period) + k*period.
+    // Deterministic — the seed only offsets where window edges fall.
+    std::uint64_t seed = 0;
+    // Metric names (exact) whose per-window rate "<name>.rate_per_s" is
+    // derived for every source that carries them.
+    std::vector<std::string> rate_counters;
+    // Counter-track selectors "<source>/<metric>" (append ".rate_per_s" to
+    // plot a derived rate). Each becomes one Perfetto counter series on the
+    // "telemetry" track, emitted every sample so the line is continuous.
+    std::vector<std::string> counter_tracks;
+  };
+
+  // Installs the engine probe; the engine must have none installed. The
+  // sampler must outlive no registered source and must be destroyed (or the
+  // probe never fires again) before the engine.
+  TelemetrySampler(Engine* engine, Config cfg);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  // Registers a source; `registry` must outlive the sampler. Sources are
+  // sampled (and reported) in registration order.
+  void AddSource(const std::string& name, const MetricsRegistry* registry);
+
+  // Attaches a trace log for counter-track emission. The sampler claims the
+  // "telemetry" track. May be null (counters off).
+  void set_trace(TraceLog* trace);
+
+  // Observers run after each sample, with the window [t0, t1) just closed.
+  // SloTracker registers itself here.
+  using WindowObserver = std::function<void(SimTime t0, SimTime t1)>;
+  void AddWindowObserver(WindowObserver fn);
+
+  // Takes the final partial-window sample at the engine's current time (if
+  // any sim time has passed since the last sample). Call after Engine::Run.
+  void Finish();
+
+  const std::vector<TelemetrySeries>& series() const { return series_; }
+  const TelemetrySeries* FindSeries(const std::string& name) const;
+  std::uint64_t samples_taken() const { return samples_taken_; }
+  SimTime period() const { return cfg_.period; }
+
+ private:
+  void OnProbe(SimTime now);
+  void TakeSample(SimTime stamp);
+
+  Engine* engine_;
+  Config cfg_;
+  TraceLog* trace_ = nullptr;
+  std::vector<TelemetrySeries> series_;
+  std::vector<WindowObserver> observers_;
+  SimTime prev_stamp_ = 0;  // previous sample stamp (start time before any)
+  SimTime next_due_ = 0;    // first boundary not yet sampled
+  std::uint64_t samples_taken_ = 0;
+};
+
+// One tenant-class objective, evaluated per sampling window. A window is
+// *bad* when any enabled clause fails; an alert fires on the multi-window
+// burn-rate rule: the last `short_windows` windows are all bad AND the bad
+// fraction over the trailing `long_windows` reaches `long_burn_threshold`.
+// Once fired, the episode suppresses re-firing until a good window resets it.
+struct SloObjective {
+  std::string name;                        // tenant/class name
+  double p99_limit_us = 0;                 // 0 = clause disabled
+  double goodput_floor_bytes_per_s = 0;    // 0 = clause disabled
+  bool giveups_zero = false;
+  int short_windows = 3;
+  int long_windows = 12;
+  double long_burn_threshold = 0.5;
+};
+
+// Where an objective reads its cumulative signals. `latency` may be null
+// (p99 clause then never evaluates). `active` gates the goodput clause:
+// windows where the tenant has no work in flight (and moved no bytes) are
+// skipped entirely, so a finished tenant's idle tail never burns budget.
+// A null `active` treats the tenant as always active once it has moved bytes.
+struct SloInputs {
+  std::function<std::uint64_t()> completed_bytes;  // cumulative; may be null
+  const LatencyHistogram* latency = nullptr;       // cumulative
+  std::function<std::uint64_t()> giveups;          // cumulative; may be null
+  std::function<bool()> active;                    // optional
+};
+
+struct SloAlert {
+  std::string objective;
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  std::string reason;      // failing clauses, e.g. "goodput 0/s < floor 1000000/s"
+  int bad_short = 0;       // consecutive bad windows at fire time
+  double burn_long = 0.0;  // bad fraction over the long window at fire time
+};
+
+struct SloVerdict {
+  std::string objective;
+  std::uint64_t windows = 0;      // windows evaluated (skipped-idle excluded)
+  std::uint64_t bad_windows = 0;
+  std::uint64_t alerts = 0;
+  bool ok() const { return alerts == 0; }
+};
+
+class SloTracker {
+ public:
+  // Registers as a window observer on `sampler` (must outlive the tracker).
+  explicit SloTracker(TelemetrySampler* sampler);
+  ~SloTracker();
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  void AddObjective(SloObjective objective, SloInputs inputs);
+
+  // Alert side effects, all optional: a trace instant on the "slo" track, a
+  // bump of slo.* counters in `metrics`, and an arbitrary hook (wired to a
+  // flight-recorder dump by Workload).
+  void set_trace(TraceLog* trace);
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  using AlertHook = std::function<void(const SloAlert&)>;
+  void set_alert_hook(AlertHook hook) { hook_ = std::move(hook); }
+
+  const std::vector<SloAlert>& alerts() const { return alerts_; }
+  std::vector<SloVerdict> Verdicts() const;
+
+ private:
+  struct Tracked {
+    SloObjective obj;
+    SloInputs in;
+    std::uint64_t prev_bytes = 0;
+    std::uint64_t prev_giveups = 0;
+    LatencyHistogram prev_latency;
+    bool started = false;          // has ever moved bytes
+    std::deque<char> history;      // trailing window verdicts (1 = bad)
+    int consecutive_bad = 0;
+    bool in_episode = false;       // alert fired, awaiting a good window
+    std::uint64_t windows = 0;
+    std::uint64_t bad_windows = 0;
+    std::uint64_t alert_count = 0;
+  };
+
+  void OnWindow(SimTime t0, SimTime t1);
+
+  TraceLog* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  AlertHook hook_;
+  std::vector<Tracked> tracked_;
+  std::vector<SloAlert> alerts_;
+};
+
+}  // namespace genie
+
+#endif  // GENIE_SRC_OBS_TELEMETRY_H_

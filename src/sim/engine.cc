@@ -29,8 +29,18 @@ bool Engine::Step() {
   ++events_executed_;
   digest_.Mix(static_cast<std::uint64_t>(ev.time));
   digest_.Mix(ev.seq);
+  if (probe_) {
+    // Runs before the callback so a sample taken at time T reflects state
+    // produced by events strictly before T's window edge.
+    probe_(now_);
+  }
   ev.fn();
   return true;
+}
+
+void Engine::set_probe(Probe probe) {
+  GENIE_CHECK(!probe || !probe_) << "engine probe already installed";
+  probe_ = std::move(probe);
 }
 
 void Engine::Run() {

@@ -65,6 +65,16 @@ class Engine {
   // it never perturbs the event schedule or digest.
   std::uint64_t NextFlowId() { return ++next_flow_id_; }
 
+  // Probe invoked by Step() once per executed event, after the clock advances
+  // and the digest mixes but before the event callback runs. A probe must not
+  // schedule events or draw randomness: it exists so observers (the telemetry
+  // sampler) can watch the clock cross sampling boundaries without adding
+  // queue entries, which would shift every later event's seq and change the
+  // digest. Installing over an existing probe is a bug; pass nullptr to clear.
+  using Probe = std::function<void(SimTime)>;
+  void set_probe(Probe probe);
+  bool has_probe() const { return static_cast<bool>(probe_); }
+
  private:
   struct Event {
     SimTime time;
@@ -84,6 +94,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_flow_id_ = 0;
   std::uint64_t events_executed_ = 0;
+  Probe probe_;
   Fnv1a64 digest_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };

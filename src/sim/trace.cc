@@ -36,6 +36,11 @@ void TraceLog::Instant(const std::string& track, const std::string& name,
   Push(Event{track, name, category, at, at, true, flow});
 }
 
+void TraceLog::Counter(const std::string& track, const std::string& name,
+                       SimTime at, double value) {
+  Push(Event{track, name, "counter", at, at, false, 0, true, value});
+}
+
 void TraceLog::RegisterNode(const void* owner, const std::string& name) {
   const auto [it, inserted] = node_owners_.emplace(name, owner);
   GENIE_CHECK(inserted || it->second == owner)
@@ -80,7 +85,11 @@ void TraceLog::WriteJson(std::ostream& os) const {
     WriteJsonString(os, e.name);
     os << R"(,"cat":)";
     WriteJsonString(os, e.category);
-    if (e.instant) {
+    if (e.counter) {
+      os << R"(,"ph":"C","args":{"value":)";
+      WriteJsonDouble(os, e.value);
+      os << "}}";
+    } else if (e.instant) {
       os << R"(,"ph":"i","s":"t"})";
     } else {
       os << R"(,"ph":"X","dur":)" << SimTimeToMicros(e.end - e.start);

@@ -31,6 +31,12 @@ class TraceLog {
     // flow id, which the causal-graph analyzer joins into one DAG and
     // WriteJson exports as Perfetto flow arrows (bind_id).
     std::uint64_t flow = 0;
+    // Counter samples render as Perfetto counter tracks ("ph":"C") — one
+    // value per (track, name) series per timestamp. Counters carry flow 0 and
+    // no transfer-label prefix, so the causal-graph/critical-path analyzers
+    // ignore them.
+    bool counter = false;
+    double value = 0;
   };
 
   // Records a completed span [start, end) on `track`.
@@ -44,6 +50,11 @@ class TraceLog {
                const std::string& category, SimTime at);
   void Instant(const std::string& track, const std::string& name,
                const std::string& category, SimTime at, std::uint64_t flow);
+
+  // Records one sample of counter series `name` on `track`. Perfetto renders
+  // consecutive samples of a series as a stepped area chart under the spans.
+  void Counter(const std::string& track, const std::string& name, SimTime at,
+               double value);
 
   std::size_t event_count() const { return events_.size(); }
   const std::vector<Event>& events() const { return events_; }

@@ -10,6 +10,7 @@
 // Sweep the selective-repeat window (CI runs {1, 16}) with
 //   GENIE_RELIABLE_WINDOW=<w> ./fabric_stress_test
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -103,6 +104,18 @@ SoakOutcome RunSoak(std::uint64_t seed) {
   const WorkloadConfig cfg = SoakConfig(seed);
   Workload wl(engine, cfg);
 
+  // GENIE_RUN_REPORT=<prefix>: sample continuous telemetry during the soak
+  // and leave "<prefix>.<seed>.json" behind for each replayed seed. The
+  // sampler is probe-driven (no events, no RNG), so an instrumented replay
+  // keeps the bare run's digest — the determinism assertions below hold
+  // with or without the variable set.
+  const char* report_prefix = std::getenv("GENIE_RUN_REPORT");
+  if (report_prefix != nullptr) {
+    Workload::TelemetryOptions topts;
+    topts.sampler.period = 500 * kMicrosecond;
+    wl.EnableTelemetry(topts);
+  }
+
   // One deterministic fault plan shared by every node: 1% of frames vanish
   // on the wire, a sprinkle are duplicated. Uplink, trunk, and downlink hops
   // all feed the same adapter-level injection point.
@@ -120,6 +133,14 @@ SoakOutcome RunSoak(std::uint64_t seed) {
   }
 
   wl.Run();
+  if (report_prefix != nullptr) {
+    const std::string path =
+        std::string(report_prefix) + "." + std::to_string(seed) + ".json";
+    std::ofstream report(path);
+    if (report) {
+      wl.WriteRunReport(report);
+    }
+  }
   out.violations = wl.violations();
 
   // Closed-loop accounting is exact: every transfer either completed (and
